@@ -1,0 +1,192 @@
+(* The benchmark harness.
+
+   Part 1 (Bechamel): wall-clock micro-benchmarks of the real code paths
+   behind each paper artifact, on reduced grids so the whole suite runs in
+   seconds — one Test.make group per table/figure.
+
+   Part 2: the full experiment harness — every table and figure of the
+   paper's evaluation regenerated (Tables 1/4/5/6/7/8, Figures 7-14, and the
+   §5.1 correctness methodology). *)
+
+open Bechamel
+open Toolkit
+
+let small_stencil name =
+  let b = Msc.Suite.find name in
+  let dims =
+    match b.Msc.Suite.ndim with 2 -> [| 64; 64 |] | _ -> [| 24; 24; 24 |]
+  in
+  (b, Msc.Suite.stencil ~dims b)
+
+let step_test ?schedule name =
+  let _, st = small_stencil name in
+  Staged.stage (fun () ->
+      let rt = Msc.Runtime.create ?schedule st in
+      Msc.Runtime.step rt)
+
+(* Table 4 / Figure 7-8: one kernel sweep per benchmark. *)
+let suite_tests =
+  Test.make_grouped ~name:"fig7_step"
+    (List.map
+       (fun (b : Msc.Suite.bench) ->
+         Test.make ~name:b.Msc.Suite.name (step_test b.Msc.Suite.name))
+       Msc.Suite.all)
+
+(* Table 5: the tile/reorder/parallel primitives — scheduled vs unscheduled
+   execution of the same stencil. *)
+let schedule_tests =
+  let _, st = small_stencil "3d7pt_star" in
+  let kernel = Msc.Suite.kernel_of st in
+  let tiled = Msc.Schedule.matrix_canonical ~tile:[| 4; 8; 24 |] ~threads:1 kernel in
+  Test.make_grouped ~name:"table5_schedule"
+    [
+      Test.make ~name:"untiled" (step_test "3d7pt_star");
+      Test.make ~name:"tiled" (step_test ~schedule:tiled "3d7pt_star");
+    ]
+
+(* Figure 10: one distributed timestep with real pack/send/recv/unpack. *)
+let halo_tests =
+  let _, st = small_stencil "2d9pt_box" in
+  Test.make_grouped ~name:"fig10_halo"
+    [
+      Test.make ~name:"distributed_step_2x2"
+        (Staged.stage (fun () ->
+             let dist = Msc.Distributed.create ~ranks_shape:[| 2; 2 |] st in
+             Msc.Distributed.step dist));
+      Test.make ~name:"pack_unpack"
+        (Staged.stage
+           (let g = Msc.Grid.create ~shape:[| 64; 64 |] ~halo:[| 2; 2 |] in
+            fun () ->
+              let payload = Msc.Halo.pack g ~dir:[| 1; 0 |] ~width:[| 2; 2 |] in
+              Msc.Halo.unpack g ~dir:[| 1; 0 |] ~width:[| 2; 2 |] payload));
+    ]
+
+(* Table 6 / §4.2: code generation itself. *)
+let codegen_tests =
+  let _, st = small_stencil "3d7pt_star" in
+  let kernel = Msc.Suite.kernel_of st in
+  let sched = Msc.Schedule.sunway_canonical ~tile:[| 4; 8; 24 |] kernel in
+  Test.make_grouped ~name:"table6_codegen"
+    [
+      Test.make ~name:"emit_sunway"
+        (Staged.stage (fun () ->
+             ignore (Msc.Codegen.generate st sched Msc.Codegen.Athread)));
+      Test.make ~name:"emit_openmp"
+        (Staged.stage (fun () ->
+             ignore (Msc.Codegen.generate st sched Msc.Codegen.Openmp)));
+      Test.make ~name:"msc_pretty"
+        (Staged.stage (fun () -> ignore (Msc.Pretty.program st)));
+    ]
+
+(* Figures 7-9: the processor performance simulators. *)
+let sim_tests =
+  let b = Msc.Suite.find "3d13pt_star" in
+  let st = Msc.Suite.stencil b in
+  let kernel = Msc.Suite.kernel_of st in
+  let ssched = Msc.Schedule.sunway_canonical ~tile:[| 2; 4; 64 |] kernel in
+  let msched = Msc.Schedule.matrix_canonical ~tile:[| 2; 8; 256 |] kernel in
+  Test.make_grouped ~name:"fig9_simulators"
+    [
+      Test.make ~name:"sunway_sim"
+        (Staged.stage (fun () -> ignore (Msc.Sunway.simulate st ssched)));
+      Test.make ~name:"matrix_sim"
+        (Staged.stage (fun () -> ignore (Msc.Matrix.simulate st msched)));
+    ]
+
+(* Figure 11: annealing moves + regression fitting. *)
+let tuning_tests =
+  let global = [| 512; 128; 128 |] in
+  let rng = Msc.Prng.create 99 in
+  Test.make_grouped ~name:"fig11_autotune"
+    [
+      Test.make ~name:"sa_neighbor_move"
+        (Staged.stage
+           (let config = ref (Msc.Tuning_params.random rng ~dims:global ~nranks:32) in
+            fun () ->
+              config := Msc.Tuning_params.neighbor rng ~dims:global ~nranks:32 !config));
+      Test.make ~name:"regression_fit"
+        (Staged.stage
+           (let features =
+              Array.init 40 (fun i ->
+                  Array.init 5 (fun j -> float_of_int ((i + j) mod 7) +. 0.5))
+            in
+            let targets = Array.init 40 (fun i -> float_of_int (i mod 11)) in
+            fun () -> ignore (Msc_util.Regress.fit ~features ~targets)));
+    ]
+
+(* §5.6 extensions: variable-coefficient kernels, boundary conditions,
+   grid I/O and the inspector's partitioner. *)
+let extension_tests =
+  let grid = Msc.Builder.def_tensor_2d ~halo:1 "B" Msc.Dtype.F64 64 64 in
+  let coeff = Msc.Builder.coefficient_grid ~grid "C" in
+  let vc =
+    Msc.Builder.var_coeff_kernel ~name:"VC" ~grid ~coeff ~shape:Msc.Shapes.Star
+      ~radius:1 ()
+  in
+  let vc_st = Msc.Builder.single_step ~name:"vc" vc in
+  let linear = Msc.Builder.star_kernel ~name:"L" ~grid ~radius:1 () in
+  let lin_st = Msc.Builder.single_step ~name:"lin" linear in
+  let g = Msc.Grid.create ~shape:[| 64; 64 |] ~halo:[| 1; 1 |] in
+  let io_path = Filename.temp_file "msc_bench_grid" ".bin" in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"step_linear_taps"
+        (Staged.stage (fun () ->
+             let rt = Msc.Runtime.create lin_st in
+             Msc.Runtime.step rt));
+      Test.make ~name:"step_bilinear_varcoef"
+        (Staged.stage (fun () ->
+             let rt = Msc.Runtime.create vc_st in
+             Msc.Runtime.step rt));
+      Test.make ~name:"bc_periodic_apply"
+        (Staged.stage (fun () -> Msc.Bc.apply Msc.Bc.Periodic g));
+      Test.make ~name:"grid_save_load"
+        (Staged.stage (fun () ->
+             Msc.Grid.save g io_path;
+             ignore (Msc.Grid.load io_path)));
+      Test.make ~name:"inspector_partition_256x16"
+        (Staged.stage
+           (let costs =
+              Array.init 256 (fun i -> if i mod 7 = 0 then 5.0 else 1.0)
+            in
+            fun () -> ignore (Msc.Inspector.partition ~costs ~parts:16)));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"msc"
+    [
+      suite_tests; schedule_tests; halo_tests; codegen_tests; sim_tests;
+      tuning_tests; extension_tests;
+    ]
+
+let run_bechamel () =
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_endline "== Bechamel micro-benchmarks (real execution, reduced grids) ==";
+  Msc.Table.print
+    ~header:[ "benchmark"; "time/run" ]
+    (List.map (fun (name, ns) -> [ name; Msc.Units_fmt.seconds (ns *. 1e-9) ]) rows);
+  print_newline ()
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  run_bechamel ();
+  print_endline "== Paper artifacts (Tables 1/4/5/6/7/8, Figures 7-14, correctness) ==\n";
+  print_string (Msc.Experiments.render_all ());
+  print_endline "\n== Ablation studies ==\n";
+  print_string (Msc.Ablations.render_all ());
+  Printf.printf "\n[total harness time: %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,239 @@
+(* msc: command-line front door to the MSC stencil compiler.
+
+   msc list                               - the benchmark suite
+   msc gen -b 3d7pt_star -t sunway -o DIR - AOT code generation
+   msc run -b 2d9pt_box -n 10 -w 8        - native execution
+   msc verify -b 3d13pt_star -n 5         - optimized vs reference
+   msc simulate -b 3d7pt_star -p sunway   - processor performance model
+   msc experiment fig7                    - regenerate a paper artifact *)
+
+open Cmdliner
+
+let bench_conv =
+  let parse s =
+    match Msc.Suite.find s with
+    | b -> Ok b
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (try: %s)" s
+               (String.concat ", "
+                  (List.map (fun b -> b.Msc.Suite.name) Msc.Suite.all))))
+  in
+  let print ppf b = Format.pp_print_string ppf b.Msc.Suite.name in
+  Arg.conv (parse, print)
+
+let bench_arg =
+  Arg.(
+    required
+    & opt (some bench_conv) None
+    & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Benchmark from the Table 4 suite.")
+
+let steps_arg default =
+  Arg.(value & opt int default & info [ "n"; "steps" ] ~docv:"N" ~doc:"Timesteps.")
+
+let small_arg =
+  Arg.(
+    value & flag
+    & info [ "small" ] ~doc:"Use a reduced grid instead of the paper's evaluation size.")
+
+let dims_of b small =
+  if small then
+    match b.Msc.Suite.ndim with 2 -> [| 96; 96 |] | _ -> [| 32; 32; 32 |]
+  else Msc.Suite.default_dims b
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        Printf.printf "%-14s %dD %-4s radius %d  read %4d B  ops %3d  time-dep %d\n"
+          b.Msc.Suite.name b.Msc.Suite.ndim
+          (Format.asprintf "%a" Msc.Shapes.pp_shape b.Msc.Suite.shape)
+          b.Msc.Suite.radius b.Msc.Suite.paper_read_bytes b.Msc.Suite.paper_ops
+          b.Msc.Suite.time_dep)
+      Msc.Suite.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
+
+let gen_cmd =
+  let target =
+    Arg.(
+      value & opt string "sunway"
+      & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"cpu | openmp/matrix | sunway/athread.")
+  in
+  let out =
+    Arg.(
+      value & opt string "_msc_generated"
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run b target out steps small =
+    let st = Msc.Suite.stencil ~dims:(dims_of b small) b in
+    let kernel = Msc.Suite.kernel_of st in
+    let tile =
+      Array.mapi
+        (fun d t -> min t st.Msc.Stencil.grid.Msc.Tensor.shape.(d))
+        (Msc.Schedule.default_tile kernel)
+    in
+    let schedule =
+      match target with
+      | "sunway" | "athread" -> Msc.Schedule.sunway_canonical ~tile kernel
+      | _ -> Msc.Schedule.cpu_canonical ~tile kernel
+    in
+    match Msc.compile_to_source ~steps ~target st schedule with
+    | Ok files ->
+        let dir = Filename.concat out b.Msc.Suite.name in
+        Msc.Codegen.write_files ~dir files;
+        List.iter (fun f -> Printf.printf "wrote %s/%s\n" dir f.Msc.Codegen.name) files;
+        0
+    | Error msg ->
+        prerr_endline msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate AOT C code for a benchmark.")
+    Term.(const run $ bench_arg $ target $ out $ steps_arg 10 $ small_arg)
+
+let run_cmd =
+  let workers =
+    Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
+  in
+  let run b steps workers small =
+    let st = Msc.Suite.stencil ~dims:(dims_of b small) b in
+    let kernel = Msc.Suite.kernel_of st in
+    let tile =
+      Array.mapi
+        (fun d t -> min t st.Msc.Stencil.grid.Msc.Tensor.shape.(d))
+        (Msc.Schedule.default_tile kernel)
+    in
+    let schedule = Msc.Schedule.cpu_canonical ~tile ~threads:workers kernel in
+    let t0 = Sys.time () in
+    let final = Msc.run ~schedule ~workers ~steps st in
+    Format.printf "%a@.cpu time: %.2fs for %d steps@." Msc.Grid.pp_stats final
+      (Sys.time () -. t0) steps;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a benchmark natively.")
+    Term.(const run $ bench_arg $ steps_arg 10 $ workers $ small_arg)
+
+let verify_cmd =
+  let run b steps small =
+    let st = Msc.Suite.stencil ~dims:(dims_of b small) b in
+    let kernel = Msc.Suite.kernel_of st in
+    let tile =
+      Array.mapi
+        (fun d t -> min t st.Msc.Stencil.grid.Msc.Tensor.shape.(d))
+        (Msc.Schedule.default_tile kernel)
+    in
+    let schedule = Msc.Schedule.cpu_canonical ~tile ~threads:4 kernel in
+    let report = Msc.verify ~schedule ~steps st in
+    Format.printf "%a@." Msc.Verify.pp_report report;
+    if report.Msc.Verify.ok then 0 else 1
+  in
+  (* Verification runs real computation twice; default to the small grid. *)
+  let small_default =
+    Arg.(
+      value & opt bool true
+      & info [ "small" ] ~docv:"BOOL" ~doc:"Use a reduced grid (default true).")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check the optimized runtime against the naive reference.")
+    Term.(const run $ bench_arg $ steps_arg 5 $ small_default)
+
+let simulate_cmd =
+  let platform =
+    Arg.(
+      value & opt string "sunway"
+      & info [ "p"; "platform" ] ~docv:"P" ~doc:"sunway | matrix.")
+  in
+  let run b platform =
+    let st = Msc.Suite.stencil b in
+    match platform with
+    | "sunway" -> (
+        let schedule =
+          Msc.Schedule.sunway_canonical
+            ~tile:(Msc_benchsuite.Settings.sunway_tile b)
+            (Msc.Suite.kernel_of st)
+        in
+        match Msc.simulate_sunway st schedule with
+        | Ok r ->
+            Format.printf "%a@." Msc.Sunway.pp_report r;
+            0
+        | Error msg ->
+            prerr_endline msg;
+            1)
+    | "matrix" -> (
+        let schedule =
+          Msc.Schedule.matrix_canonical
+            ~tile:(Msc_benchsuite.Settings.matrix_tile b)
+            (Msc.Suite.kernel_of st)
+        in
+        match Msc.simulate_matrix st schedule with
+        | Ok r ->
+            Format.printf "%a@." Msc.Matrix.pp_report r;
+            0
+        | Error msg ->
+            prerr_endline msg;
+            1)
+    | p ->
+        Printf.eprintf "unknown platform %S\n" p;
+        1
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Predict performance on a many-core processor.")
+    Term.(const run $ bench_arg $ platform)
+
+let experiment_cmd =
+  let experiment_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "table1 | table4 | table5 | table6 | table7 | table8 | fig7 | fig8 | \
+             fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | correctness | \
+             ablations | all")
+  in
+  let run name =
+    let module E = Msc.Experiments in
+    let render =
+      match name with
+      | "table1" -> Some E.render_table1
+      | "table4" -> Some E.render_table4
+      | "table5" -> Some E.render_table5
+      | "table6" -> Some E.render_table6
+      | "table7" -> Some E.render_table7
+      | "table8" -> Some E.render_table8
+      | "fig7" -> Some E.render_fig7
+      | "fig8" -> Some E.render_fig8
+      | "fig9" -> Some E.render_fig9
+      | "fig10" -> Some E.render_fig10
+      | "fig11" -> Some E.render_fig11
+      | "fig12" -> Some E.render_fig12
+      | "fig13" -> Some E.render_fig13
+      | "fig14" -> Some E.render_fig14
+      | "correctness" -> Some E.render_correctness
+      | "ablations" -> Some Msc.Ablations.render_all
+      | "all" -> Some (fun () -> E.render_all () ^ "\n" ^ Msc.Ablations.render_all ())
+      | _ -> None
+    in
+    match render with
+    | Some f ->
+        print_string (f ());
+        0
+    | None ->
+        Printf.eprintf "unknown experiment %S\n" name;
+        1
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
+    Term.(const run $ experiment_name)
+
+let () =
+  let doc = "MSC: automatic code generation and optimization of large-scale stencils" in
+  let info = Cmd.info "msc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; gen_cmd; run_cmd; verify_cmd; simulate_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/autotune_demo.ml: Autotune Format List Msc Printf Suite Tuning_params

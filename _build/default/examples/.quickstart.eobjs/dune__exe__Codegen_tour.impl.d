@@ -1,0 +1,1 @@
+examples/codegen_tour.ml: Builder Codegen Dtype Float Grid List Msc Pretty Printf Result Runtime Schedule

@@ -1,0 +1,1 @@
+examples/distributed_halo.ml: Array Builder Decomp Distributed Dtype Grid List Mpi Msc Printf Runtime Scaling

@@ -1,0 +1,1 @@
+examples/heat3d.ml: Array Builder Domain_pool Dtype Float Format Grid List Matrix Msc Printf Runtime Schedule Sunway

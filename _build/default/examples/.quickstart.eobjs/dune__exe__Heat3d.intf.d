@@ -1,0 +1,1 @@
+examples/heat3d.mli:

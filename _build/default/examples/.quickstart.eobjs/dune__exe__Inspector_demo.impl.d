@@ -1,0 +1,1 @@
+examples/inspector_demo.ml: Array Float Inspector List Msc Printf String Suite

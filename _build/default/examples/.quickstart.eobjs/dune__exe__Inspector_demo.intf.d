@@ -1,0 +1,1 @@
+examples/inspector_demo.mli:

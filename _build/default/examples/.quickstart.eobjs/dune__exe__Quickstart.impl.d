@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Codegen Dtype Format Grid List Msc Schedule Stencil Sunway Verify

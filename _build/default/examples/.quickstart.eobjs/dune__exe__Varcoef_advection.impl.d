@@ -1,0 +1,1 @@
+examples/varcoef_advection.ml: Array Builder Codegen Dtype Format Grid Kernel List Msc Printf Runtime Schedule Shapes Suite Verify

@@ -1,0 +1,1 @@
+examples/varcoef_advection.mli:

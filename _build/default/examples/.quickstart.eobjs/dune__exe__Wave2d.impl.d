@@ -1,0 +1,1 @@
+examples/wave2d.ml: Array Builder Dtype Expr Format Grid List Msc Printf Runtime Stencil Verify

@@ -1,0 +1,27 @@
+(* Performance auto-tuning (§4.4 / Figure 11): a linear-regression
+   performance model trained on simulated measurements, searched with
+   simulated annealing over tile sizes and the MPI grid shape.
+
+   Run with: dune exec examples/autotune_demo.exe *)
+
+open Msc
+
+let () =
+  (* The paper's §5.4 setting: 3d7pt_star on an 8192x128x128 domain over 128
+     Sunway CGs. *)
+  let make_stencil dims = Suite.stencil ~dims (Suite.find "3d7pt_star") in
+  let global = [| 8192; 128; 128 |] in
+  let result = autotune ~seed:7 ~make_stencil ~global ~nranks:128 () in
+  Format.printf "initial config: %a -> %s/step@." Tuning_params.pp
+    result.Autotune.initial
+    (Msc.Units_fmt.seconds result.Autotune.initial_time_s);
+  Format.printf "tuned config  : %a -> %s/step@." Tuning_params.pp
+    result.Autotune.best
+    (Msc.Units_fmt.seconds result.Autotune.best_time_s);
+  Format.printf "improvement   : %.2fx after %d annealing iterations (model R^2 = %.3f)@.@."
+    result.Autotune.improvement result.Autotune.iterations result.Autotune.model_r2;
+  print_endline "convergence (best predicted step time):";
+  List.iter
+    (fun (iter, best) ->
+      if iter mod 2000 = 0 then Printf.printf "  iter %6d: %s\n" iter (Msc.Units_fmt.seconds best))
+    result.Autotune.trace

@@ -1,0 +1,58 @@
+(* Inspector-executor load balancing (§5.6): the paper notes that WRF and
+   POP2 "suffer from serious load imbalance in large-scale execution" and
+   plans an inspector phase that analyses the subgrids before the executor
+   compiles and runs them.
+
+   Here: a POP2-style ocean model where a band of slabs is 8x more expensive
+   than the land background. The inspector profiles the per-slab cost,
+   computes the optimal contiguous partition (linear-partitioning DP), and
+   the executor geometry assigns ragged slabs to ranks.
+
+   Run with: dune exec examples/inspector_demo.exe *)
+
+open Msc
+
+let slabs = 192
+let ranks = 12
+let global = [| slabs; 256; 256 |]
+
+let () =
+  (* Cost profile: cheap land, an expensive ocean band. *)
+  let cost_of_slab i = if i >= 40 && i < 110 then 8.0 else 1.0 in
+  let st = Suite.stencil ~dims:global (Suite.find "3d7pt_star") in
+
+  let costs = Array.init slabs cost_of_slab in
+  let uniform = Inspector.even_plan ~costs ~parts:ranks in
+  let inspected = Inspector.inspect st ~ranks ~cost_of_slab in
+
+  Printf.printf "load profile: land cost 1.0, ocean band [40,110) cost 8.0, %d slabs over %d ranks\n\n"
+    slabs ranks;
+
+  let show label (plan : Inspector.plan) =
+    Printf.printf "%s  (max/mean imbalance %.2f)\n" label plan.Inspector.imbalance;
+    Array.iteri
+      (fun r c ->
+        let width = plan.Inspector.boundaries.(r + 1) - plan.Inspector.boundaries.(r) in
+        Printf.printf "  rank %2d: slabs %3d..%3d (%3d wide)  cost %6.1f  %s\n" r
+          plan.Inspector.boundaries.(r)
+          (plan.Inspector.boundaries.(r + 1) - 1)
+          width c
+          (String.make (int_of_float (c /. 4.0)) '#'))
+      plan.Inspector.rank_costs;
+    print_newline ()
+  in
+  show "uniform blocks (no inspector):" uniform;
+  show "inspector-executor partition:" inspected;
+
+  (* Executor geometry: ragged slabs of the global grid. *)
+  print_endline "executor sub-grids (offset, extent along dimension 0):";
+  List.iteri
+    (fun r (offset, extent) ->
+      Printf.printf "  rank %2d: offset %3d extent %3d x %d x %d\n" r offset.(0)
+        extent.(0) extent.(1) extent.(2))
+    (Inspector.executor_ranks_extents inspected ~global);
+
+  Printf.printf
+    "\nspeedup of the balanced executor over uniform blocks: %.2fx (per-step critical path)\n"
+    (Array.fold_left Float.max 0.0 uniform.Inspector.rank_costs
+    /. Array.fold_left Float.max 0.0 inspected.Inspector.rank_costs)

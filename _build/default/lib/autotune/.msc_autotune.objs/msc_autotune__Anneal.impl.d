@@ -1,0 +1,1 @@
+lib/autotune/anneal.ml: Float List Msc_util

@@ -1,0 +1,1 @@
+lib/autotune/anneal.mli: Msc_util

@@ -1,0 +1,1 @@
+lib/autotune/autotune.ml: Anneal Array Float List Msc_comm Msc_ir Msc_schedule Msc_sunway Msc_util Params Perfmodel

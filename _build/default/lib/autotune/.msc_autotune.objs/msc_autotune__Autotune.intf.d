@@ -1,0 +1,1 @@
+lib/autotune/autotune.mli: Msc_ir Params

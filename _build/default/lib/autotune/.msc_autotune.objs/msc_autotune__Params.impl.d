@@ -1,0 +1,1 @@
+lib/autotune/params.ml: Array Format List Msc_util String

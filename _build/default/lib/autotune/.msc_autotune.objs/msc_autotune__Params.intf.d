@@ -1,0 +1,1 @@
+lib/autotune/params.mli: Format Msc_util

@@ -1,0 +1,1 @@
+lib/autotune/perfmodel.ml: Array List Msc_util Params

@@ -1,0 +1,1 @@
+lib/autotune/perfmodel.mli: Msc_util Params

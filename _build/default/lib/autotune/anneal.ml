@@ -1,0 +1,35 @@
+type 'a result = {
+  best : 'a;
+  best_energy : float;
+  iterations : int;
+  trace : (int * float) list;
+}
+
+let minimize ~rng ~init ~neighbor ~energy ?(iterations = 20_000)
+    ?(initial_temperature = 1.0) ?(cooling = 0.999) ?(trace_every = 200) () =
+  let e0 = energy init in
+  let current = ref init and current_e = ref e0 in
+  let best = ref init and best_e = ref e0 in
+  (* Temperature is relative to the initial energy so acceptance behaves the
+     same across problems of different magnitude. *)
+  let temp = ref (initial_temperature *. Float.max 1e-30 (Float.abs e0)) in
+  let trace = ref [ (0, !best_e) ] in
+  for iter = 1 to iterations do
+    let candidate = neighbor rng !current in
+    let e = energy candidate in
+    let accept =
+      e <= !current_e
+      || Msc_util.Prng.uniform rng < exp ((!current_e -. e) /. Float.max 1e-30 !temp)
+    in
+    if accept then begin
+      current := candidate;
+      current_e := e
+    end;
+    if e < !best_e then begin
+      best := candidate;
+      best_e := e
+    end;
+    temp := !temp *. cooling;
+    if iter mod trace_every = 0 then trace := (iter, !best_e) :: !trace
+  done;
+  { best = !best; best_energy = !best_e; iterations; trace = List.rev !trace }

@@ -1,0 +1,26 @@
+(** Generic simulated annealing (the paper's search algorithm over the
+    performance model). Deterministic given the PRNG. *)
+
+type 'a result = {
+  best : 'a;
+  best_energy : float;
+  iterations : int;
+  trace : (int * float) list;  (** (iteration, best-so-far energy), sparse *)
+}
+
+val minimize :
+  rng:Msc_util.Prng.t ->
+  init:'a ->
+  neighbor:(Msc_util.Prng.t -> 'a -> 'a) ->
+  energy:('a -> float) ->
+  ?iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?trace_every:int ->
+  unit ->
+  'a result
+(** Classic Metropolis acceptance with geometric cooling. [energy] must be
+    cheap (the auto-tuner passes the regression model, not the simulator).
+    Defaults: 20_000 iterations, T0 = 1.0 (relative to the initial energy),
+    cooling 0.999, trace every 200 iterations. The result is never worse than
+    [init]. *)

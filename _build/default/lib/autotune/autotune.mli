@@ -1,0 +1,46 @@
+(** Auto-tuning driver reproducing §5.4 / Figure 11: tune the tile sizes and
+    MPI grid shape of a large-scale stencil run on the Sunway platform. *)
+
+type result = {
+  initial : Params.config;
+  initial_time_s : float;  (** true (simulated) per-step time *)
+  best : Params.config;
+  best_time_s : float;
+  improvement : float;  (** initial / best *)
+  iterations : int;
+  model_r2 : float;
+  trace : (int * float) list;  (** (iteration, best predicted time so far) *)
+}
+
+val true_cost :
+  make_stencil:(int array -> Msc_ir.Stencil.t) ->
+  global:int array ->
+  Params.config ->
+  float
+(** Ground-truth objective: per-step time = node simulation with the config's
+    (clamped) tile + network-model halo exchange for the config's process
+    grid — the terms the paper's model lists (kernel, packing, transfer). *)
+
+val exhaustive :
+  ?max_configs:int ->
+  make_stencil:(int array -> Msc_ir.Stencil.t) ->
+  global:int array ->
+  nranks:int ->
+  unit ->
+  (Params.config * float) option
+(** Evaluate the true cost of every configuration in the space (tile ladders
+    x process-grid factorisations) and return the optimum, or [None] when
+    the space exceeds [max_configs] (default 20_000) — the reference the
+    annealer is measured against in the ablation study. *)
+
+val tune :
+  ?seed:int ->
+  ?iterations:int ->
+  make_stencil:(int array -> Msc_ir.Stencil.t) ->
+  global:int array ->
+  nranks:int ->
+  unit ->
+  result
+(** Train the regression model on sampled configurations, anneal over it,
+    report true times for the initial and best configurations. Deterministic
+    per seed. *)

@@ -1,0 +1,76 @@
+type config = { tile : int array; mpi_grid : int array }
+
+let tile_candidates ~dims =
+  Array.map
+    (fun n ->
+      let rec powers p acc = if p > n then List.rev acc else powers (2 * p) (p :: acc) in
+      let ps = powers 1 [] in
+      if List.mem n ps then ps else ps @ [ n ])
+    dims
+
+let mpi_grid_candidates ~nranks ~ndim =
+  let rec go n d =
+    if d = 1 then [ [ n ] ]
+    else
+      List.concat_map
+        (fun f -> if n mod f = 0 then List.map (fun rest -> f :: rest) (go (n / f) (d - 1)) else [])
+        (List.init n (fun i -> i + 1))
+  in
+  List.map Array.of_list (go nranks ndim)
+
+let pick rng xs = List.nth xs (Msc_util.Prng.int rng (List.length xs))
+
+let random rng ~dims ~nranks =
+  let cands = tile_candidates ~dims in
+  let tile = Array.map (fun c -> pick rng c) cands in
+  let grids = mpi_grid_candidates ~nranks ~ndim:(Array.length dims) in
+  { tile; mpi_grid = pick rng grids }
+
+let neighbor rng ~dims ~nranks config =
+  let nd = Array.length dims in
+  if Msc_util.Prng.uniform rng < 0.7 then begin
+    (* Move one tile dimension one step along its candidate ladder. *)
+    let cands = tile_candidates ~dims in
+    let d = Msc_util.Prng.int rng nd in
+    let ladder = cands.(d) in
+    let pos =
+      let rec find i = function
+        | [] -> 0
+        | x :: rest -> if x = config.tile.(d) then i else find (i + 1) rest
+      in
+      find 0 ladder
+    in
+    let len = List.length ladder in
+    let pos' =
+      if Msc_util.Prng.bool rng then min (len - 1) (pos + 1) else max 0 (pos - 1)
+    in
+    let tile = Array.copy config.tile in
+    tile.(d) <- List.nth ladder pos';
+    { config with tile }
+  end
+  else begin
+    let grids = mpi_grid_candidates ~nranks ~ndim:nd in
+    let idx =
+      let rec find i = function
+        | [] -> 0
+        | g :: rest -> if g = config.mpi_grid then i else find (i + 1) rest
+      in
+      find 0 grids
+    in
+    let len = List.length grids in
+    let idx' =
+      if Msc_util.Prng.bool rng then (idx + 1) mod len else (idx + len - 1) mod len
+    in
+    { config with mpi_grid = List.nth grids idx' }
+  end
+
+let subgrid config ~global =
+  Array.mapi
+    (fun d n -> (n + config.mpi_grid.(d) - 1) / config.mpi_grid.(d))
+    global
+
+let equal a b = a.tile = b.tile && a.mpi_grid = b.mpi_grid
+
+let pp ppf c =
+  let ints a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
+  Format.fprintf ppf "tile(%s) mpi(%s)" (ints c.tile) (ints c.mpi_grid)

@@ -1,0 +1,23 @@
+(** The auto-tuner's search space (§4.4 "Performance auto-tuning"): tile
+    sizes per spatial dimension and the MPI process-grid shape. *)
+
+type config = { tile : int array; mpi_grid : int array }
+
+val tile_candidates : dims:int array -> int list array
+(** Per-dimension candidate tile sizes: powers of two from 1 up to the
+    extent (inclusive of the extent when it is not a power of two). *)
+
+val mpi_grid_candidates : nranks:int -> ndim:int -> int array list
+(** Every factorisation of [nranks] into [ndim] ordered factors. *)
+
+val random : Msc_util.Prng.t -> dims:int array -> nranks:int -> config
+
+val neighbor : Msc_util.Prng.t -> dims:int array -> nranks:int -> config -> config
+(** One annealing move: nudge one tile dimension up/down the candidate list,
+    or swap to an adjacent MPI factorisation. *)
+
+val subgrid : config -> global:int array -> int array
+(** Per-rank extents under the config's process grid (ceil division). *)
+
+val equal : config -> config -> bool
+val pp : Format.formatter -> config -> unit

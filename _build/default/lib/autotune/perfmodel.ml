@@ -1,0 +1,50 @@
+type t = {
+  model : Msc_util.Regress.model;
+  global : int array;
+}
+
+let spm_bytes = 64 * 1024
+
+let features (c : Params.config) ~global =
+  let nd = Array.length global in
+  let sub = Params.subgrid c ~global in
+  let tile = Array.mapi (fun d t -> min t sub.(d)) c.tile in
+  let tile_volume = Array.fold_left ( * ) 1 tile in
+  let padded = Array.map (fun t -> t + 2) tile in
+  let padded_volume = Array.fold_left ( * ) 1 padded in
+  let sub_volume = Array.fold_left ( * ) 1 sub in
+  let working_set = float_of_int ((padded_volume * 2) + tile_volume) *. 8.0 in
+  let rows = padded_volume / padded.(nd - 1) in
+  let surface =
+    List.init nd (fun d -> sub_volume / sub.(d)) |> List.fold_left ( + ) 0
+  in
+  let nranks = Array.fold_left ( * ) 1 c.mpi_grid in
+  let aspect =
+    let mx = Array.fold_left max 1 c.mpi_grid
+    and mn = Array.fold_left min max_int c.mpi_grid in
+    float_of_int mx /. float_of_int (max 1 mn)
+  in
+  [|
+    log (float_of_int tile_volume);
+    working_set /. float_of_int spm_bytes;
+    float_of_int padded_volume /. float_of_int (max 1 tile_volume);
+    float_of_int rows /. float_of_int (max 1 tile_volume);
+    float_of_int sub_volume /. 1e6;
+    float_of_int surface /. float_of_int (max 1 sub_volume);
+    float_of_int nranks /. 1e3;
+    aspect;
+  |]
+
+let train ~rng ~global ~nranks ~true_cost ?(samples = 120) () =
+  let nd = Array.length global in
+  ignore nd;
+  let configs =
+    List.init samples (fun _ -> Params.random rng ~dims:global ~nranks)
+  in
+  let feats = Array.of_list (List.map (fun c -> features c ~global) configs) in
+  (* Regress on log time: costs span orders of magnitude. *)
+  let targets = Array.of_list (List.map (fun c -> log (true_cost c)) configs) in
+  { model = Msc_util.Regress.fit ~features:feats ~targets; global }
+
+let predict t c = exp (Msc_util.Regress.predict t.model (features c ~global:t.global))
+let r_squared t = t.model.Msc_util.Regress.r_squared

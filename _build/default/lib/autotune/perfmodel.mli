@@ -1,0 +1,27 @@
+(** Analytical performance model: multivariable linear regression from
+    schedule/decomposition features to per-step kernel time (§4.4).
+
+    Features capture the terms the paper's model considers: MPI setup,
+    kernel computation, packing/unpacking volume, and transfer volume. *)
+
+type t
+
+val features : Params.config -> global:int array -> float array
+(** Feature vector: log tile volume, working-set-to-SPM ratio, halo overhead
+    ratio, DMA descriptors per point, per-rank points, surface-to-volume
+    ratio, rank count, max process-grid aspect ratio. *)
+
+val train :
+  rng:Msc_util.Prng.t ->
+  global:int array ->
+  nranks:int ->
+  true_cost:(Params.config -> float) ->
+  ?samples:int ->
+  unit ->
+  t
+(** Fit the regression on randomly sampled configurations evaluated by
+    [true_cost] (the processor + network simulators standing in for real
+    measurements). *)
+
+val predict : t -> Params.config -> float
+val r_squared : t -> float

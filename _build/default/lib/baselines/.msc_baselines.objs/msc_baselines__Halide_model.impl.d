@@ -1,0 +1,1 @@
+lib/baselines/halide_model.ml: Kernel Msc_ir Msc_machine Msc_matrix Stencil

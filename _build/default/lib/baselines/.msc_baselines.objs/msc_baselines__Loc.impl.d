@@ -1,0 +1,1 @@
+lib/baselines/loc.ml: Array Buffer Expr Kernel List Msc_codegen Msc_frontend Msc_ir Msc_schedule Printf Stencil String Tensor

@@ -1,0 +1,1 @@
+lib/baselines/loc.mli: Msc_ir Msc_schedule

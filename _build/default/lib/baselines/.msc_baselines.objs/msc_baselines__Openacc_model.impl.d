@@ -1,0 +1,1 @@
+lib/baselines/openacc_model.ml: Array Dtype Kernel List Msc_ir Msc_schedule Msc_sunway Stencil Tensor

@@ -1,0 +1,1 @@
+lib/baselines/openacc_model.mli: Msc_ir Msc_machine Msc_schedule Msc_sunway

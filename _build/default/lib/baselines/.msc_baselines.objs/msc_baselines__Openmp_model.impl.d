@@ -1,0 +1,1 @@
+lib/baselines/openmp_model.ml: Hashtbl Msc_ir Msc_matrix

@@ -1,0 +1,1 @@
+lib/baselines/openmp_model.mli: Msc_ir Msc_machine Msc_matrix Msc_schedule

@@ -1,0 +1,1 @@
+lib/baselines/patus_model.ml: Array Msc_ir Msc_machine Msc_matrix Stencil Tensor

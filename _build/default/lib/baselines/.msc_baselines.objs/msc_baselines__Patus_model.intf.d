@@ -1,0 +1,1 @@
+lib/baselines/patus_model.mli: Msc_ir Msc_machine Msc_schedule

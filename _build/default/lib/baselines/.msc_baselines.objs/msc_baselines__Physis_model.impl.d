@@ -1,0 +1,1 @@
+lib/baselines/physis_model.ml: Array Dtype Float List Msc_comm Msc_ir Msc_machine Msc_matrix Msc_schedule Stencil Tensor

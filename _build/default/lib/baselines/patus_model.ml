@@ -1,0 +1,42 @@
+open Msc_ir
+module Sim = Msc_matrix.Sim
+module Machine = Msc_machine.Machine
+
+type comparison = {
+  benchmark : string;
+  msc_time_s : float;
+  patus_time_s : float;
+  speedup : float;
+}
+
+let bandwidth_efficiency (st : Stencil.t) =
+  let nd = Array.length st.Stencil.grid.Tensor.shape in
+  let radius = Array.fold_left max 0 (Stencil.radius st) in
+  let box = Sim.is_box_shaped st in
+  (* Unaligned 128-bit loads halve useful bandwidth at best; discrete 3-D
+     star arms (one vector per plane touched) waste the most. *)
+  match (nd, box) with
+  | 2, true -> 0.22
+  | 2, false -> 0.20
+  | _, _ -> if radius <= 2 then 0.16 else 0.12
+
+let compare ?(machine = Machine.xeon_server) (st : Stencil.t) schedule =
+  let msc =
+    match Sim.simulate ~machine ~steps:1 st schedule with
+    | Ok r -> r.Sim.time_per_step_s
+    | Error msg -> invalid_arg ("Patus_model.compare: " ^ msg)
+  in
+  let overrides =
+    {
+      Sim.default_overrides with
+      Sim.bandwidth_efficiency = bandwidth_efficiency st;
+      (* SSE only (no AVX/FMA): a quarter of the vector width. *)
+      Sim.vector_efficiency = Some 0.1;
+    }
+  in
+  let patus =
+    match Sim.simulate ~machine ~overrides ~steps:1 st schedule with
+    | Ok r -> r.Sim.time_per_step_s
+    | Error msg -> invalid_arg ("Patus_model.compare: " ^ msg)
+  in
+  { benchmark = st.Stencil.name; msc_time_s = msc; patus_time_s = patus; speedup = patus /. msc }

@@ -1,0 +1,24 @@
+(** Patus comparison on the CPU platform (Figure 13).
+
+    The paper attributes Patus's deficit (MSC averages 5.94x) to aggressive
+    SSE vectorization with unaligned loads that waste memory bandwidth on the
+    already bandwidth-bound kernels, hurting most on wide 3-D star stencils
+    with discrete accesses. We run the same Xeon cache simulation with the
+    corresponding bandwidth derating. *)
+
+type comparison = {
+  benchmark : string;
+  msc_time_s : float;
+  patus_time_s : float;
+  speedup : float;  (** MSC over Patus *)
+}
+
+val bandwidth_efficiency : Msc_ir.Stencil.t -> float
+(** Effective-bandwidth fraction under unaligned SSE: lower for 3-D and for
+    wide star arms. *)
+
+val compare :
+  ?machine:Msc_machine.Machine.t ->
+  Msc_ir.Stencil.t ->
+  Msc_schedule.Schedule.t ->
+  comparison

@@ -1,0 +1,97 @@
+open Msc_ir
+module Sim = Msc_matrix.Sim
+module Machine = Msc_machine.Machine
+module Schedule = Msc_schedule.Schedule
+module Netmodel = Msc_comm.Netmodel
+module Decomp = Msc_comm.Decomp
+
+type config = { mpi_grid : int array; omp_threads : int; sub_grid : int array }
+
+type comparison = {
+  benchmark : string;
+  config : config;
+  msc_time_s : float;
+  physis_time_s : float;
+  speedup : float;
+}
+
+(* A rank owning [threads] of the node's cores gets that share of the
+   socket's bandwidth and cache. *)
+let rank_machine (m : Machine.t) ~threads =
+  let share = float_of_int threads /. float_of_int m.Machine.compute_units in
+  {
+    m with
+    Machine.compute_units = threads;
+    Machine.mem_bandwidth_gbs = m.Machine.mem_bandwidth_gbs *. share;
+  }
+
+let local_time ?(overrides = Sim.default_overrides) ~machine ~threads
+    (st : Stencil.t) =
+  let kernel = List.hd (Stencil.kernels st) in
+  let dims = st.Stencil.grid.Tensor.shape in
+  let tile = Array.mapi (fun d t -> min t dims.(d)) (Schedule.default_tile kernel) in
+  let sched = Schedule.cpu_canonical ~tile ~threads kernel in
+  match
+    Sim.simulate ~machine:(rank_machine machine ~threads) ~overrides ~steps:1 st sched
+  with
+  | Ok r -> r.Sim.time_per_step_s
+  | Error msg -> invalid_arg ("Physis_model.local_time: " ^ msg)
+
+(* Physis's CPU backend emits the GPU kernel structure as plain scalar C
+   with per-access subscript evaluation: no vectorization and wasted
+   bandwidth. This, on top of the RPC exchange, is what grows the gap with
+   stencil order (§5.5). *)
+let physis_kernel_overrides =
+  {
+    Sim.default_overrides with
+    Sim.bandwidth_efficiency = 0.5;
+    Sim.vector_efficiency = Some 0.03;
+  }
+
+let comm_bytes (st : Stencil.t) ~sub_grid =
+  let nd = Array.length sub_grid in
+  let radius = Stencil.radius st in
+  let elem = Dtype.size_bytes st.Stencil.grid.Tensor.dtype in
+  let volume = Array.fold_left ( * ) 1 sub_grid in
+  let face_bytes =
+    List.init nd (fun d -> volume / sub_grid.(d) * radius.(d) * elem)
+    |> List.fold_left ( + ) 0
+  in
+  (2 * nd, float_of_int (2 * face_bytes) /. float_of_int (2 * nd))
+
+let compare ?(machine = Machine.xeon_server) ~make_stencil ~global config =
+  (* MSC: hybrid MPI+OpenMP, asynchronous exchange overlapped with compute. *)
+  let msc_st = make_stencil config.sub_grid in
+  let nranks = Array.fold_left ( * ) 1 config.mpi_grid in
+  let msc_compute = local_time ~machine ~threads:config.omp_threads msc_st in
+  let msgs, bytes = comm_bytes msc_st ~sub_grid:config.sub_grid in
+  let msc_comm =
+    Netmodel.exchange_time Netmodel.shared_memory ~nranks ~messages_per_rank:msgs
+      ~bytes_per_message:bytes
+  in
+  let msc_time = Float.max msc_compute msc_comm in
+  (* Physis: 28 single-threaded ranks, master-coordinated RPC exchange, no
+     communication/computation overlap across the RPC barrier. *)
+  let physis_ranks = machine.Machine.compute_units in
+  let nd = Array.length global in
+  let physis_shape = Decomp.auto_shape ~nranks:physis_ranks ~ndim:nd in
+  let physis_sub =
+    Array.mapi (fun d n -> (n + physis_shape.(d) - 1) / physis_shape.(d)) global
+  in
+  let physis_st = make_stencil physis_sub in
+  let physis_compute =
+    local_time ~overrides:physis_kernel_overrides ~machine ~threads:1 physis_st
+  in
+  let pmsgs, pbytes = comm_bytes physis_st ~sub_grid:physis_sub in
+  let physis_comm =
+    Netmodel.master_coordinated_time Netmodel.shared_memory ~nranks:physis_ranks
+      ~messages_per_rank:pmsgs ~bytes_per_message:pbytes
+  in
+  let physis_time = physis_compute +. physis_comm in
+  {
+    benchmark = msc_st.Stencil.name;
+    config;
+    msc_time_s = msc_time;
+    physis_time_s = physis_time;
+    speedup = physis_time /. msc_time;
+  }

@@ -1,0 +1,30 @@
+(** Physis comparison on the CPU platform (Figure 14, Table 8 configs).
+
+    Physis runs MPI-only (no OpenMP hybrid) and its halo exchange goes
+    through an RPC runtime whose master process coordinates every transfer —
+    the serialisation the paper identifies as the bottleneck (§5.5). MSC runs
+    the same process/thread budget with its asynchronous exchange, fully
+    overlapped with computation. *)
+
+type config = {
+  mpi_grid : int array;  (** MSC's process grid (Table 8) *)
+  omp_threads : int;  (** MSC's threads per process *)
+  sub_grid : int array;  (** MSC's per-rank extents *)
+}
+
+type comparison = {
+  benchmark : string;
+  config : config;
+  msc_time_s : float;  (** per step *)
+  physis_time_s : float;
+  speedup : float;
+}
+
+val compare :
+  ?machine:Msc_machine.Machine.t ->
+  make_stencil:(int array -> Msc_ir.Stencil.t) ->
+  global:int array ->
+  config ->
+  comparison
+(** [make_stencil] builds the benchmark on arbitrary extents. Physis always
+    uses [28] single-threaded ranks over [global] (the paper's setup). *)

@@ -1,0 +1,1 @@
+lib/benchsuite/ablations.ml: Array Buffer List Msc_comm Msc_frontend Msc_ir Msc_matrix Msc_schedule Msc_sunway Msc_util Option Printf Settings String Suite

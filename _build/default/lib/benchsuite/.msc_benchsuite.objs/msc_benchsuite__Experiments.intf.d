@@ -1,0 +1,1 @@
+lib/benchsuite/experiments.mli: Msc_autotune Msc_baselines Msc_comm Msc_ir Msc_machine Msc_matrix Msc_sunway Suite

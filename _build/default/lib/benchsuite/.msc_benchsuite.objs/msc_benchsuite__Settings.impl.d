@@ -1,0 +1,1 @@
+lib/benchsuite/settings.ml: Array List Msc_schedule Suite

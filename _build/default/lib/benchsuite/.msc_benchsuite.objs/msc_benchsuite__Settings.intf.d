@@ -1,0 +1,1 @@
+lib/benchsuite/settings.mli: Msc_ir Msc_schedule Suite

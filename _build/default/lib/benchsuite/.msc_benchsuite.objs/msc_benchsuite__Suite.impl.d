@@ -1,0 +1,1 @@
+lib/benchsuite/suite.ml: Array Builder Dtype Kernel List Msc_frontend Msc_ir Shapes Stencil String Tensor

@@ -1,0 +1,1 @@
+lib/benchsuite/suite.mli: Msc_frontend Msc_ir

@@ -1,0 +1,53 @@
+(** Ablation studies for the design choices DESIGN.md calls out: tile-size
+    selection, the double-buffered streaming extension (§5.6), the halo
+    exchange direction set, and the inspector-executor load balancer. *)
+
+type streaming_row = {
+  benchmark : string;
+  baseline_ms : float;
+  streamed_ms : float option;  (** [None] when 2x buffers overflow the SPM *)
+  speedup : float option;
+}
+
+val streaming : unit -> streaming_row list
+(** Double-buffered tile streaming on the Sunway simulator, per benchmark. *)
+
+type tile_row = {
+  tile : int array;
+  time_ms : float;
+  gflops : float;
+  spm_utilization : float;
+  dma_descriptors : int;
+}
+
+val tile_sweep : ?bench_name:string -> unit -> tile_row list
+(** Sunway step time across tile shapes for one benchmark (default
+    3d7pt_star): exposes the descriptor-amortisation vs SPM-pressure
+    trade-off behind Table 5's choices. *)
+
+type imbalance_row = {
+  skew : float;  (** cost ratio between the heaviest and lightest slab *)
+  even_imbalance : float;
+  inspected_imbalance : float;
+}
+
+val load_balance : ?ranks:int -> ?slabs:int -> unit -> imbalance_row list
+(** Inspector-executor ablation: even blocks vs the DP partition over
+    increasingly skewed synthetic cost profiles (the POP2/WRF §5.6 case). *)
+
+type trace_row = {
+  label : string;
+  untiled_miss : float;
+  tiled_miss : float;
+}
+
+val cache_trace : unit -> trace_row list
+(** Trace-driven validation of the tiling premise: the measured LRU miss
+    rate of a tiled sweep vs the untiled row-major sweep, on a reduced grid
+    with a proportionally reduced cache. *)
+
+val exchange_directions : unit -> (string * int * int) list
+(** Per benchmark: messages per step for faces-only vs all-directions
+    exchange on a 4x4(x4) process grid — the cost of corner support. *)
+
+val render_all : unit -> string

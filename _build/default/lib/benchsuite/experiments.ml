@@ -1,0 +1,733 @@
+open Msc_ir
+module Table = Msc_util.Table
+module Chart = Msc_util.Chart
+module Stats = Msc_util.Stats
+module Schedule = Msc_schedule.Schedule
+module Ssim = Msc_sunway.Sim
+module Msim = Msc_matrix.Sim
+module Roofline = Msc_machine.Roofline
+module Machine = Msc_machine.Machine
+
+let ints a = String.concat "," (Array.to_list (Array.map string_of_int a))
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 *)
+
+type table4_row = {
+  bench : Suite.bench;
+  read_bytes : int;
+  write_bytes : int;
+  ops : int;
+  paper_ops : int;
+}
+
+let table4 () =
+  List.map
+    (fun b ->
+      let st = Suite.stencil b in
+      let k = Suite.kernel_of st in
+      {
+        bench = b;
+        read_bytes = Kernel.read_bytes_per_point k;
+        write_bytes = Kernel.write_bytes_per_point k;
+        ops = Kernel.flops_per_point k;
+        paper_ops = b.Suite.paper_ops;
+      })
+    Suite.all
+
+let render_table4 () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.bench.Suite.name;
+          string_of_int r.read_bytes;
+          string_of_int (r.bench.Suite.paper_read_bytes);
+          string_of_int r.write_bytes;
+          string_of_int r.ops;
+          string_of_int r.paper_ops;
+          string_of_int r.bench.Suite.time_dep;
+        ])
+      (table4 ())
+  in
+  Table.render
+    ~title:
+      "Table 4: stencil benchmarks (measured = derived from the IR; the paper's\n\
+       high-order kernels share coefficients, hence slightly fewer ops there)"
+    ~header:
+      [ "Benchmark"; "Read(B)"; "paper"; "Write(B)"; "Ops"; "paper Ops"; "Time dep" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7 *)
+
+type fig7_row = {
+  benchmark : string;
+  msc : Ssim.report;
+  openacc : Ssim.report;
+  speedup : float;
+}
+
+let fig7 ~precision =
+  List.map
+    (fun b ->
+      let st = Suite.stencil ~dtype:precision b in
+      let sched = Settings.sunway_schedule b st in
+      match (Ssim.simulate st sched, Msc_baselines.Openacc_model.simulate st) with
+      | Ok msc, Ok openacc ->
+          {
+            benchmark = b.Suite.name;
+            msc;
+            openacc;
+            speedup = openacc.Ssim.time_per_step_s /. msc.Ssim.time_per_step_s;
+          }
+      | Error msg, _ | _, Error msg -> invalid_arg ("fig7: " ^ msg))
+    Suite.all
+
+let fig7_average ~precision =
+  Stats.mean (Array.of_list (List.map (fun r -> r.speedup) (fig7 ~precision)))
+
+let render_fig7 () =
+  let section precision label =
+    let rows = fig7 ~precision in
+    let table =
+      Table.render
+        ~title:
+          (Printf.sprintf
+             "Figure 7 (%s): MSC vs OpenACC on one Sunway CG (OpenACC = 1.0)" label)
+        ~header:[ "Benchmark"; "MSC ms/step"; "OpenACC ms/step"; "Speedup" ]
+        (List.map
+           (fun r ->
+             [
+               r.benchmark;
+               Table.fmt_float (r.msc.Ssim.time_per_step_s *. 1e3);
+               Table.fmt_float (r.openacc.Ssim.time_per_step_s *. 1e3);
+               Table.fmt_speedup r.speedup;
+             ])
+           rows)
+    in
+    let chart =
+      Chart.bar_chart
+        ~title:(Printf.sprintf "speedup over OpenACC (%s)" label)
+        ~unit_label:"x"
+        (List.map (fun r -> (r.benchmark, r.speedup)) rows)
+    in
+    let avg = Stats.mean (Array.of_list (List.map (fun r -> r.speedup) rows)) in
+    Printf.sprintf "%s%s\naverage speedup: %.2fx (paper: %s)\n\n" table chart avg
+      (match precision with Dtype.F64 -> "24.4x" | _ -> "20.7x")
+  in
+  section Dtype.F64 "fp64" ^ section Dtype.F32 "fp32"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 *)
+
+type fig8_row = {
+  benchmark : string;
+  msc : Msim.report;
+  openmp : Msim.report;
+  speedup : float;
+}
+
+let fig8 ~precision =
+  List.map
+    (fun b ->
+      let st = Suite.stencil ~dtype:precision b in
+      let sched = Settings.matrix_schedule b st in
+      match (Msim.simulate st sched, Msc_baselines.Openmp_model.simulate st sched) with
+      | Ok msc, Ok openmp ->
+          {
+            benchmark = b.Suite.name;
+            msc;
+            openmp;
+            speedup = openmp.Msim.time_per_step_s /. msc.Msim.time_per_step_s;
+          }
+      | Error msg, _ | _, Error msg -> invalid_arg ("fig8: " ^ msg))
+    Suite.all
+
+let render_fig8 () =
+  let section precision label =
+    let rows = fig8 ~precision in
+    let avg = Stats.mean (Array.of_list (List.map (fun r -> r.speedup) rows)) in
+    Table.render
+      ~title:
+        (Printf.sprintf
+           "Figure 8 (%s): MSC vs hand-tuned OpenMP on a Matrix processor (OpenMP = 1.0)"
+           label)
+      ~header:[ "Benchmark"; "MSC ms/step"; "OpenMP ms/step"; "MSC perf" ]
+      (List.map
+         (fun r ->
+           [
+             r.benchmark;
+             Table.fmt_float (r.msc.Msim.time_per_step_s *. 1e3);
+             Table.fmt_float (r.openmp.Msim.time_per_step_s *. 1e3);
+             Table.fmt_speedup r.speedup;
+           ])
+         rows)
+    ^ Printf.sprintf "average: %.2fx (paper: %s)\n\n" avg
+        (match precision with Dtype.F64 -> "1.05x" | _ -> "1.03x")
+  in
+  section Dtype.F64 "fp64" ^ section Dtype.F32 "fp32"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9 *)
+
+(* The roofline points carry the simulator's own binding-resource verdict
+   (compute vs DMA time), not the bare OI-vs-ridge classification: a kernel
+   whose vector efficiency is below peak can be compute-bound left of the
+   nominal ridge, which is exactly the 2d169pt-on-Sunway case in Figure 9. *)
+let fig9_points machine simulate =
+  List.map
+    (fun b ->
+      let st = Suite.stencil b in
+      match simulate b st with
+      | Ok (gflops, intensity, bound) ->
+          {
+            Roofline.label = b.Suite.name;
+            intensity;
+            achieved_gflops = gflops;
+            attainable_gflops = Roofline.attainable machine Dtype.F64 ~intensity;
+            bound;
+          }
+      | Error msg -> invalid_arg ("fig9: " ^ msg))
+    Suite.all
+
+let fig9_sunway () =
+  fig9_points Machine.sunway_cg (fun b st ->
+      match Ssim.simulate st (Settings.sunway_schedule b st) with
+      | Ok r -> Ok (r.Ssim.gflops, r.Ssim.intensity, r.Ssim.bound)
+      | Error m -> Error m)
+
+let fig9_matrix () =
+  fig9_points Machine.matrix_node (fun b st ->
+      match Msim.simulate st (Settings.matrix_schedule b st) with
+      | Ok r -> Ok (r.Msim.gflops, r.Msim.intensity, r.Msim.bound)
+      | Error m -> Error m)
+
+let render_roofline machine points =
+  let ridge = Roofline.ridge_point machine Dtype.F64 in
+  let table =
+    Table.render
+      ~title:
+        (Printf.sprintf "Roofline on %s (ridge at %.1f Flop/B)" machine.Machine.name
+           ridge)
+      ~header:[ "Benchmark"; "OI (F/B)"; "GFlop/s"; "roof"; "bound" ]
+      (List.map
+         (fun (p : Roofline.point) ->
+           [
+             p.Roofline.label;
+             Table.fmt_float p.Roofline.intensity;
+             Table.fmt_float p.Roofline.achieved_gflops;
+             Table.fmt_float p.Roofline.attainable_gflops;
+             Roofline.bound_to_string p.Roofline.bound;
+           ])
+         points)
+  in
+  let chart =
+    Chart.line_chart ~title:"roofline (log-ish axes by magnitude)" ~x_label:"OI"
+      ~y_label:"GFlop/s"
+      [
+        ( "achieved",
+          List.map
+            (fun (p : Roofline.point) ->
+              (log10 p.Roofline.intensity, log10 (Float.max 0.1 p.Roofline.achieved_gflops)))
+            points );
+        ( "roof",
+          List.init 40 (fun i ->
+              let oi = 10.0 ** (-1.0 +. (float_of_int i /. 13.0)) in
+              (log10 oi, log10 (Roofline.attainable machine Dtype.F64 ~intensity:oi))) );
+      ]
+  in
+  table ^ chart
+
+let render_fig9 () =
+  "Figure 9: roofline analysis (fp64)\n\n"
+  ^ render_roofline Machine.sunway_cg (fig9_sunway ())
+  ^ "\n"
+  ^ render_roofline Machine.matrix_node (fig9_matrix ())
+  ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1, 5, 7, 8 *)
+
+let render_table1 () =
+  let feature_rows =
+    [
+      ("Stencil: single timestep", [ "MSC"; "Halide"; "Pluto"; "Patus"; "YASK"; "STELLA"; "Physis"; "Devito" ]);
+      ("Stencil: multiple timestep", [ "MSC"; "Devito" ]);
+      ("Hardware: CPU", [ "MSC"; "Halide"; "Pluto"; "Patus"; "YASK"; "STELLA"; "Physis"; "Devito" ]);
+      ("Hardware: GPU", [ "Halide"; "Patus"; "STELLA"; "Physis"; "Devito" ]);
+      ("Hardware: many-core (Sunway/Matrix)", [ "MSC" ]);
+      ("Optimization: spatial tiling", [ "MSC"; "Halide"; "Pluto"; "Patus"; "YASK"; "STELLA"; "Physis"; "Devito" ]);
+      ("Optimization: auto-tuning", [ "MSC"; "Halide"; "Pluto"; "Patus"; "YASK"; "Devito" ]);
+      ("Distributed: halo exchange", [ "MSC"; "YASK"; "STELLA"; "Physis"; "Devito" ]);
+      ("Distributed: pluggable comm library", [ "MSC" ]);
+    ]
+  in
+  Table.render ~title:"Table 1 (abridged): MSC vs existing stencil DSLs"
+    ~header:[ "Capability"; "Supported by" ]
+    (List.map (fun (cap, who) -> [ cap; String.concat ", " who ]) feature_rows)
+
+let render_table5 () =
+  Table.render ~title:"Table 5: parameter settings (Sunway tile adjusted to fit\nthe 2-state time window in 64 KB SPM where needed)"
+    ~header:
+      [ "Stencils"; "Grid"; "Sunway tile (paper)"; "Sunway tile (used)"; "Matrix tile"; "Reorder" ]
+    (List.map
+       (fun (r : Settings.table5_row) ->
+         [
+           String.concat " " r.Settings.benchmarks;
+           ints r.Settings.grid;
+           "(" ^ ints r.Settings.paper_sunway_tile ^ ")";
+           "(" ^ ints r.Settings.sunway_tile ^ ")";
+           "(" ^ ints r.Settings.matrix_tile ^ ")";
+           "(" ^ String.concat "," r.Settings.reorder ^ ")";
+         ])
+       Settings.table5)
+
+let render_table7 () =
+  Table.render ~title:"Table 7: scalability configurations (Sunway | Tianhe-3)"
+    ~header:
+      [ "Dim"; "Weak sub-grid"; "Strong sub-grid"; "MPI grid (Sunway)"; "MPI grid (TH-3)"; "Procs" ]
+    (List.map
+       (fun (c : Settings.scaling_config) ->
+         [
+           string_of_int c.Settings.dim ^ "D";
+           ints c.Settings.weak_sub_grid;
+           ints c.Settings.strong_sub_grid;
+           ints c.Settings.sunway_mpi_grid;
+           ints c.Settings.tianhe3_mpi_grid;
+           Printf.sprintf "%d | %d"
+             (Array.fold_left ( * ) 1 c.Settings.sunway_mpi_grid)
+             (Array.fold_left ( * ) 1 c.Settings.tianhe3_mpi_grid);
+         ])
+       Settings.table7)
+
+let render_table8 () =
+  Table.render ~title:"Table 8: MSC configurations for the Physis comparison"
+    ~header:[ "Dim"; "Global"; "Sub-grid"; "MPI grid"; "Processes"; "OMP threads" ]
+    (List.map
+       (fun (c : Settings.physis_config) ->
+         [
+           string_of_int c.Settings.dim ^ "D";
+           ints c.Settings.global;
+           ints c.Settings.sub_grid;
+           ints c.Settings.mpi_grid;
+           string_of_int c.Settings.mpi_processes;
+           string_of_int c.Settings.omp_threads;
+         ])
+       Settings.table8)
+
+(* ------------------------------------------------------------------ *)
+(* Table 6 *)
+
+let table6 () =
+  List.map
+    (fun b ->
+      let st = Suite.stencil b in
+      Msc_baselines.Loc.row st
+        ~sunway_schedule:(Settings.sunway_schedule b st)
+        ~matrix_schedule:(Settings.matrix_schedule b st)
+        ~matrix_tile:(Settings.matrix_tile b)
+        ~mpi_shape:(if b.Suite.ndim = 2 then [| 4; 4 |] else [| 4; 4; 4 |]))
+    Suite.all
+
+let render_table6 () =
+  Table.render ~title:"Table 6: LoC comparison (MSC DSL vs manually optimized codes)"
+    ~header:[ "Benchmark"; "MSC (Sunway)"; "OpenACC"; "MSC (Matrix)"; "OpenMP" ]
+    (List.map
+       (fun (r : Msc_baselines.Loc.row) ->
+         [
+           r.Msc_baselines.Loc.benchmark;
+           string_of_int r.Msc_baselines.Loc.msc_sunway;
+           string_of_int r.Msc_baselines.Loc.openacc;
+           string_of_int r.Msc_baselines.Loc.msc_matrix;
+           string_of_int r.Msc_baselines.Loc.openmp;
+         ])
+       (table6 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 *)
+
+type fig10_series = {
+  benchmark : string;
+  platform : Msc_comm.Scaling.platform;
+  mode : [ `Strong | `Weak ];
+  points : Msc_comm.Scaling.point list;
+}
+
+let fig10 () =
+  let make b dims =
+    Suite.stencil ~dims b
+  in
+  List.concat_map
+    (fun b ->
+      let configs ~platform ~mode =
+        List.filter_map
+          (fun (c : Settings.scaling_config) ->
+            if c.Settings.dim <> b.Suite.ndim then None
+            else begin
+              let mpi =
+                match platform with
+                | Msc_comm.Scaling.Sunway -> c.Settings.sunway_mpi_grid
+                | Msc_comm.Scaling.Tianhe3 -> c.Settings.tianhe3_mpi_grid
+              in
+              let sub =
+                match mode with
+                | `Strong -> c.Settings.strong_sub_grid
+                | `Weak -> c.Settings.weak_sub_grid
+              in
+              Some (mpi, sub)
+            end)
+          Settings.table7
+      in
+      List.concat_map
+        (fun platform ->
+          List.map
+            (fun mode ->
+              {
+                benchmark = b.Suite.name;
+                platform;
+                mode;
+                points =
+                  Msc_comm.Scaling.run ~platform ~make_stencil:(make b)
+                    ~configs:(configs ~platform ~mode);
+              })
+            [ `Strong; `Weak ])
+        [ Msc_comm.Scaling.Sunway; Msc_comm.Scaling.Tianhe3 ])
+    Suite.all
+
+let render_fig10 () =
+  let series = fig10 () in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "Figure 10: strong/weak scalability (achieved vs ideal GFlop/s)\n\n";
+  List.iter
+    (fun platform ->
+      List.iter
+        (fun mode ->
+          let name =
+            Printf.sprintf "%s %s scaling"
+              (match platform with
+              | Msc_comm.Scaling.Sunway -> "Sunway TaihuLight"
+              | Msc_comm.Scaling.Tianhe3 -> "Tianhe-3 prototype")
+              (match mode with `Strong -> "strong" | `Weak -> "weak")
+          in
+          Buffer.add_string buf (name ^ "\n");
+          let rows =
+            List.concat_map
+              (fun s ->
+                if s.platform = platform && s.mode = mode then
+                  List.map
+                    (fun (p : Msc_comm.Scaling.point) ->
+                      [
+                        s.benchmark;
+                        string_of_int p.Msc_comm.Scaling.cores;
+                        ints p.Msc_comm.Scaling.mpi_grid;
+                        Table.fmt_float p.Msc_comm.Scaling.gflops;
+                        Table.fmt_float p.Msc_comm.Scaling.ideal_gflops;
+                        Table.fmt_float
+                          (100.0 *. p.Msc_comm.Scaling.gflops
+                          /. Float.max 1e-9 p.Msc_comm.Scaling.ideal_gflops)
+                        ^ "%";
+                      ])
+                    s.points
+                else [])
+              series
+          in
+          Buffer.add_string buf
+            (Table.render
+               ~header:[ "Benchmark"; "Cores"; "MPI grid"; "GFlop/s"; "ideal"; "efficiency" ]
+               rows);
+          Buffer.add_char buf '\n')
+        [ `Strong; `Weak ])
+    [ Msc_comm.Scaling.Sunway; Msc_comm.Scaling.Tianhe3 ];
+  (* Headline speedups at max scale, as reported in §5.3. *)
+  let avg_speedup platform mode =
+    let sps =
+      List.filter_map
+        (fun s ->
+          if s.platform = platform && s.mode = mode then
+            Some (Msc_comm.Scaling.speedup_vs_first s.points)
+          else None)
+        series
+    in
+    Stats.mean (Array.of_list sps)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "average speedup at max scale (8x cores): strong %.2fx | %.2fx (paper 6.74 | 5.85), weak %.2fx | %.2fx (paper 7.85 | 7.38)\n\n"
+       (avg_speedup Msc_comm.Scaling.Sunway `Strong)
+       (avg_speedup Msc_comm.Scaling.Tianhe3 `Strong)
+       (avg_speedup Msc_comm.Scaling.Sunway `Weak)
+       (avg_speedup Msc_comm.Scaling.Tianhe3 `Weak));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11 *)
+
+let fig11_global = [| 8192; 128; 128 |]
+let fig11_ranks = 128
+
+let fig11_make_stencil dims =
+  Suite.stencil ~dims (Suite.find "3d7pt_star")
+
+let fig11 ?(seeds = [ 11; 23 ]) () =
+  List.map
+    (fun seed ->
+      Msc_autotune.Autotune.tune ~seed ~make_stencil:fig11_make_stencil
+        ~global:fig11_global ~nranks:fig11_ranks ())
+    seeds
+
+let render_fig11 () =
+  let results = fig11 () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 11: auto-tuning 3d7pt_star, 8192x128x128 on 128 Sunway CGs\n";
+  List.iteri
+    (fun i (r : Msc_autotune.Autotune.result) ->
+      Buffer.add_string buf
+        (Format.asprintf
+           "run %d: initial %a = %s/step -> best %a = %s/step (%.2fx better, model R2 %.3f, %d SA iters)\n"
+           (i + 1) Msc_autotune.Params.pp r.Msc_autotune.Autotune.initial
+           (Msc_util.Units_fmt.seconds r.Msc_autotune.Autotune.initial_time_s)
+           Msc_autotune.Params.pp r.Msc_autotune.Autotune.best
+           (Msc_util.Units_fmt.seconds r.Msc_autotune.Autotune.best_time_s)
+           r.Msc_autotune.Autotune.improvement r.Msc_autotune.Autotune.model_r2
+           r.Msc_autotune.Autotune.iterations))
+    results;
+  let chart =
+    Chart.line_chart ~title:"best predicted step time vs SA iteration"
+      ~x_label:"iteration" ~y_label:"predicted time"
+      (List.mapi
+         (fun i (r : Msc_autotune.Autotune.result) ->
+           ( Printf.sprintf "run %d" (i + 1),
+             List.map
+               (fun (it, e) -> (float_of_int it, e))
+               r.Msc_autotune.Autotune.trace ))
+         results)
+  in
+  Buffer.add_string buf chart;
+  Buffer.add_string buf "(paper: optimum found by both runs; 3.28x improvement)\n\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Figures 12-14 *)
+
+let fig12 () =
+  List.map
+    (fun b ->
+      let st = Suite.stencil b in
+      Msc_baselines.Halide_model.compare st (Settings.cpu_schedule b st))
+    Suite.all
+
+let render_fig12 () =
+  let rows = fig12 () in
+  let avg_aot =
+    Stats.mean
+      (Array.of_list
+         (List.map (fun r -> r.Msc_baselines.Halide_model.speedup_aot_vs_jit) rows))
+  in
+  let avg_msc =
+    Stats.mean
+      (Array.of_list
+         (List.map (fun r -> r.Msc_baselines.Halide_model.speedup_msc_vs_jit) rows))
+  in
+  Table.render
+    ~title:"Figure 12: Halide-JIT (baseline) vs Halide-AOT vs MSC on the CPU platform"
+    ~header:[ "Benchmark"; "JIT ms"; "AOT ms"; "MSC ms"; "AOT speedup"; "MSC speedup" ]
+    (List.map
+       (fun (r : Msc_baselines.Halide_model.comparison) ->
+         [
+           r.Msc_baselines.Halide_model.benchmark;
+           Table.fmt_float (r.Msc_baselines.Halide_model.halide_jit_time_s *. 1e3);
+           Table.fmt_float (r.Msc_baselines.Halide_model.halide_aot_time_s *. 1e3);
+           Table.fmt_float (r.Msc_baselines.Halide_model.msc_time_s *. 1e3);
+           Table.fmt_speedup r.Msc_baselines.Halide_model.speedup_aot_vs_jit;
+           Table.fmt_speedup r.Msc_baselines.Halide_model.speedup_msc_vs_jit;
+         ])
+       rows)
+  ^ Printf.sprintf "averages: Halide-AOT %.2fx, MSC %.2fx (paper: 2.92x, 3.33x)\n\n"
+      avg_aot avg_msc
+
+let fig13 () =
+  List.map
+    (fun b ->
+      let st = Suite.stencil b in
+      Msc_baselines.Patus_model.compare st (Settings.cpu_schedule b st))
+    Suite.all
+
+let render_fig13 () =
+  let rows = fig13 () in
+  let avg =
+    Stats.mean
+      (Array.of_list (List.map (fun r -> r.Msc_baselines.Patus_model.speedup) rows))
+  in
+  Table.render ~title:"Figure 13: MSC vs Patus (baseline) on the CPU platform"
+    ~header:[ "Benchmark"; "Patus ms"; "MSC ms"; "Speedup" ]
+    (List.map
+       (fun (r : Msc_baselines.Patus_model.comparison) ->
+         [
+           r.Msc_baselines.Patus_model.benchmark;
+           Table.fmt_float (r.Msc_baselines.Patus_model.patus_time_s *. 1e3);
+           Table.fmt_float (r.Msc_baselines.Patus_model.msc_time_s *. 1e3);
+           Table.fmt_speedup r.Msc_baselines.Patus_model.speedup;
+         ])
+       rows)
+  ^ Printf.sprintf "average speedup: %.2fx (paper: 5.94x)\n\n" avg
+
+let fig14 () =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun (c : Settings.physis_config) ->
+          if c.Settings.dim <> b.Suite.ndim then None
+          else begin
+            let config =
+              {
+                Msc_baselines.Physis_model.mpi_grid = c.Settings.mpi_grid;
+                omp_threads = c.Settings.omp_threads;
+                sub_grid = c.Settings.sub_grid;
+              }
+            in
+            Some
+              (Msc_baselines.Physis_model.compare
+                 ~make_stencil:(fun dims -> Suite.stencil ~dims b)
+                 ~global:c.Settings.global config)
+          end)
+        Settings.table8)
+    Suite.all
+
+let render_fig14 () =
+  let rows = fig14 () in
+  let avg =
+    Stats.mean
+      (Array.of_list (List.map (fun r -> r.Msc_baselines.Physis_model.speedup) rows))
+  in
+  Table.render
+    ~title:"Figure 14: MSC vs Physis (baseline, 28 MPI ranks) on the CPU platform"
+    ~header:[ "Benchmark"; "Config (MPIxOMP)"; "Physis ms"; "MSC ms"; "Speedup" ]
+    (List.map
+       (fun (r : Msc_baselines.Physis_model.comparison) ->
+         let c = r.Msc_baselines.Physis_model.config in
+         [
+           r.Msc_baselines.Physis_model.benchmark;
+           Printf.sprintf "(%s)x%d"
+             (ints c.Msc_baselines.Physis_model.mpi_grid)
+             c.Msc_baselines.Physis_model.omp_threads;
+           Table.fmt_float (r.Msc_baselines.Physis_model.physis_time_s *. 1e3);
+           Table.fmt_float (r.Msc_baselines.Physis_model.msc_time_s *. 1e3);
+           Table.fmt_speedup r.Msc_baselines.Physis_model.speedup;
+         ])
+       rows)
+  ^ Printf.sprintf "average speedup: %.2fx (paper: 9.88x)\n\n" avg
+
+(* ------------------------------------------------------------------ *)
+(* Correctness (§5.1) *)
+
+type correctness_row = {
+  benchmark : string;
+  precision : Dtype.t;
+  steps : int;
+  interp_rel_error : float;
+  codegen_rel_error : float option;
+  tolerance : float;
+  ok : bool;
+}
+
+let small_dims (b : Suite.bench) =
+  match b.Suite.ndim with 2 -> [| 48; 48 |] | _ -> [| 20; 20; 20 |]
+
+let correctness ?(quick = true) () =
+  let steps = 4 in
+  let cc_available = Msc_codegen.Codegen.Toolchain.available () in
+  List.concat_map
+    (fun b ->
+      let dims = if quick then small_dims b else Suite.default_dims b in
+      List.map
+        (fun precision ->
+          let st = Suite.stencil ~dtype:precision ~dims b in
+          let kernel = Suite.kernel_of st in
+          let tile =
+            Array.mapi (fun d t -> min t dims.(d)) (Schedule.default_tile kernel)
+          in
+          let sched = Schedule.cpu_canonical ~tile ~threads:4 kernel in
+          let report = Msc_exec.Verify.check ~schedule:sched ~steps st in
+          let codegen_rel_error =
+            if not cc_available then None
+            else begin
+              let rt = Msc_exec.Runtime.create st in
+              Msc_exec.Runtime.run rt steps;
+              let expected = Msc_exec.Grid.checksum (Msc_exec.Runtime.current rt) in
+              let files =
+                Msc_codegen.Codegen.generate ~steps st sched Msc_codegen.Codegen.Cpu
+              in
+              let dir =
+                Filename.concat (Filename.get_temp_dir_name ())
+                  (Printf.sprintf "msc_correctness_%s_%s" b.Suite.name
+                     (Dtype.to_string precision))
+              in
+              match
+                Msc_codegen.Codegen.Toolchain.compile_and_run ~steps ~dir files
+              with
+              | Ok r ->
+                  Some
+                    (Float.abs (r.Msc_codegen.Codegen.Toolchain.checksum -. expected)
+                    /. Float.max 1.0 (Float.abs expected))
+              | Error _ -> None
+            end
+          in
+          let tolerance = Dtype.tolerance precision in
+          let ok =
+            report.Msc_exec.Verify.ok
+            && match codegen_rel_error with None -> true | Some e -> e <= tolerance
+          in
+          {
+            benchmark = b.Suite.name;
+            precision;
+            steps;
+            interp_rel_error = report.Msc_exec.Verify.max_rel_error;
+            codegen_rel_error;
+            tolerance;
+            ok;
+          })
+        [ Dtype.F64; Dtype.F32 ])
+    Suite.all
+
+let render_correctness () =
+  Table.render
+    ~title:
+      "Correctness (§5.1): optimized runtime vs naive reference, and compiled\n\
+       generated C vs interpreter (relative errors; thresholds 1e-10 fp64 / 1e-5 fp32)"
+    ~header:[ "Benchmark"; "Precision"; "interp err"; "codegen err"; "tol"; "status" ]
+    (List.map
+       (fun r ->
+         [
+           r.benchmark;
+           Dtype.to_string r.precision;
+           Printf.sprintf "%.2g" r.interp_rel_error;
+           (match r.codegen_rel_error with
+           | Some e -> Printf.sprintf "%.2g" e
+           | None -> "n/a");
+           Printf.sprintf "%.0e" r.tolerance;
+           (if r.ok then "OK" else "FAIL");
+         ])
+       (correctness ()))
+  ^ "\n"
+
+let render_all () =
+  String.concat "\n"
+    [
+      render_table1 ();
+      render_table4 ();
+      render_table5 ();
+      render_correctness ();
+      render_fig7 ();
+      render_fig8 ();
+      render_fig9 ();
+      render_table6 ();
+      render_table7 ();
+      render_fig10 ();
+      render_fig11 ();
+      render_table8 ();
+      render_fig12 ();
+      render_fig13 ();
+      render_fig14 ();
+    ]

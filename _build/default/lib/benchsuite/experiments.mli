@@ -1,0 +1,111 @@
+(** Drivers that regenerate every table and figure of the paper's evaluation
+    (§5). Each [figN]/[tableN] returns structured data for tests; each
+    [render_*] produces the printable artifact. *)
+
+module Dtype := Msc_ir.Dtype
+
+(** {1 Table 4: benchmark characteristics} *)
+
+type table4_row = {
+  bench : Suite.bench;
+  read_bytes : int;
+  write_bytes : int;
+  ops : int;
+  paper_ops : int;
+}
+
+val table4 : unit -> table4_row list
+val render_table4 : unit -> string
+
+(** {1 Figure 7: MSC vs OpenACC on one Sunway CG} *)
+
+type fig7_row = {
+  benchmark : string;
+  msc : Msc_sunway.Sim.report;
+  openacc : Msc_sunway.Sim.report;
+  speedup : float;
+}
+
+val fig7 : precision:Dtype.t -> fig7_row list
+val fig7_average : precision:Dtype.t -> float
+val render_fig7 : unit -> string
+
+(** {1 Figure 8: MSC vs hand-tuned OpenMP on Matrix} *)
+
+type fig8_row = {
+  benchmark : string;
+  msc : Msc_matrix.Sim.report;
+  openmp : Msc_matrix.Sim.report;
+  speedup : float;  (** MSC performance relative to OpenMP (1.0 = parity) *)
+}
+
+val fig8 : precision:Dtype.t -> fig8_row list
+val render_fig8 : unit -> string
+
+(** {1 Figure 9: roofline} *)
+
+val fig9_sunway : unit -> Msc_machine.Roofline.point list
+val fig9_matrix : unit -> Msc_machine.Roofline.point list
+val render_fig9 : unit -> string
+
+(** {1 Tables 5/7/8 and Table 1} *)
+
+val render_table1 : unit -> string
+val render_table5 : unit -> string
+val render_table7 : unit -> string
+val render_table8 : unit -> string
+
+(** {1 Table 6: LoC} *)
+
+val table6 : unit -> Msc_baselines.Loc.row list
+val render_table6 : unit -> string
+
+(** {1 Figure 10: scalability} *)
+
+type fig10_series = {
+  benchmark : string;
+  platform : Msc_comm.Scaling.platform;
+  mode : [ `Strong | `Weak ];
+  points : Msc_comm.Scaling.point list;
+}
+
+val fig10 : unit -> fig10_series list
+val render_fig10 : unit -> string
+
+(** {1 Figure 11: auto-tuning} *)
+
+val fig11 : ?seeds:int list -> unit -> Msc_autotune.Autotune.result list
+val render_fig11 : unit -> string
+
+(** {1 Figures 12-14: CPU-platform DSL comparison} *)
+
+val fig12 : unit -> Msc_baselines.Halide_model.comparison list
+val render_fig12 : unit -> string
+
+val fig13 : unit -> Msc_baselines.Patus_model.comparison list
+val render_fig13 : unit -> string
+
+val fig14 : unit -> Msc_baselines.Physis_model.comparison list
+val render_fig14 : unit -> string
+
+(** {1 §5.1 correctness methodology} *)
+
+type correctness_row = {
+  benchmark : string;
+  precision : Dtype.t;
+  steps : int;
+  interp_rel_error : float;  (** optimized runtime vs naive reference *)
+  codegen_rel_error : float option;
+      (** compiled generated C vs interpreter ([None] if no C compiler) *)
+  tolerance : float;
+  ok : bool;
+}
+
+val correctness : ?quick:bool -> unit -> correctness_row list
+(** [quick] (default true) uses reduced grids so real computation stays
+    fast; the shapes and schedules are the real ones. *)
+
+val render_correctness : unit -> string
+
+val render_all : unit -> string
+(** Every artifact in paper order. *)

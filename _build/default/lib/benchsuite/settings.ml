@@ -1,0 +1,217 @@
+module Schedule = Msc_schedule.Schedule
+
+type table5_row = {
+  benchmarks : string list;
+  grid : int array;
+  paper_sunway_tile : int array;
+  sunway_tile : int array;
+  matrix_tile : int array;
+  reorder : string list;
+}
+
+let reorder_2d = [ "xo"; "yo"; "xi"; "yi" ]
+let reorder_3d = [ "xo"; "yo"; "zo"; "xi"; "yi"; "zi" ]
+
+let table5 =
+  [
+    {
+      benchmarks = [ "2d9pt_star"; "2d9pt_box" ];
+      grid = [| 4096; 4096 |];
+      paper_sunway_tile = [| 32; 64 |];
+      sunway_tile = [| 32; 64 |];
+      matrix_tile = [| 2; 2048 |];
+      reorder = reorder_2d;
+    };
+    {
+      benchmarks = [ "2d121pt_box"; "2d169pt_box" ];
+      grid = [| 4096; 4096 |];
+      paper_sunway_tile = [| 16; 32 |];
+      sunway_tile = [| 16; 32 |];
+      matrix_tile = [| 2; 2048 |];
+      reorder = reorder_2d;
+    };
+    {
+      benchmarks = [ "3d7pt_star" ];
+      grid = [| 256; 256; 256 |];
+      paper_sunway_tile = [| 2; 8; 64 |];
+      sunway_tile = [| 2; 8; 64 |];
+      matrix_tile = [| 2; 8; 256 |];
+      reorder = reorder_3d;
+    };
+    {
+      benchmarks = [ "3d13pt_star" ];
+      grid = [| 256; 256; 256 |];
+      paper_sunway_tile = [| 2; 8; 64 |];
+      (* The paper's tile holds one input state; the two-time-window read
+         buffers need a narrower tile to fit 64 KB. *)
+      sunway_tile = [| 2; 4; 64 |];
+      matrix_tile = [| 2; 8; 256 |];
+      reorder = reorder_3d;
+    };
+    {
+      benchmarks = [ "3d25pt_star" ];
+      grid = [| 256; 256; 256 |];
+      paper_sunway_tile = [| 2; 4; 32 |];
+      sunway_tile = [| 2; 4; 16 |];
+      matrix_tile = [| 2; 8; 256 |];
+      reorder = reorder_3d;
+    };
+    {
+      benchmarks = [ "3d31pt_star" ];
+      grid = [| 256; 256; 256 |];
+      paper_sunway_tile = [| 2; 4; 32 |];
+      sunway_tile = [| 2; 2; 16 |];
+      matrix_tile = [| 2; 8; 256 |];
+      reorder = reorder_3d;
+    };
+  ]
+
+let row_for (b : Suite.bench) =
+  match
+    List.find_opt (fun r -> List.mem b.Suite.name r.benchmarks) table5
+  with
+  | Some r -> r
+  | None -> invalid_arg ("Settings: no Table 5 row for " ^ b.Suite.name)
+
+let sunway_tile b = Array.copy (row_for b).sunway_tile
+let matrix_tile b = Array.copy (row_for b).matrix_tile
+
+let sunway_schedule b st =
+  Schedule.sunway_canonical ~tile:(sunway_tile b) (Suite.kernel_of st)
+
+let matrix_schedule b st =
+  Schedule.matrix_canonical ~tile:(matrix_tile b) (Suite.kernel_of st)
+
+let cpu_schedule b st =
+  Schedule.cpu_canonical ~tile:(matrix_tile b) ~threads:28 (Suite.kernel_of st)
+
+type scaling_config = {
+  dim : int;
+  weak_sub_grid : int array;
+  strong_sub_grid : int array;
+  sunway_mpi_grid : int array;
+  tianhe3_mpi_grid : int array;
+}
+
+let table7 =
+  [
+    (* 2-D rows *)
+    {
+      dim = 2;
+      weak_sub_grid = [| 4096; 4096 |];
+      strong_sub_grid = [| 4096; 4096 |];
+      sunway_mpi_grid = [| 16; 8 |];
+      tianhe3_mpi_grid = [| 8; 4 |];
+    };
+    {
+      dim = 2;
+      weak_sub_grid = [| 4096; 4096 |];
+      strong_sub_grid = [| 4096; 2048 |];
+      sunway_mpi_grid = [| 16; 16 |];
+      tianhe3_mpi_grid = [| 8; 8 |];
+    };
+    {
+      dim = 2;
+      weak_sub_grid = [| 4096; 4096 |];
+      strong_sub_grid = [| 2048; 2048 |];
+      sunway_mpi_grid = [| 32; 16 |];
+      tianhe3_mpi_grid = [| 16; 8 |];
+    };
+    {
+      dim = 2;
+      weak_sub_grid = [| 4096; 4096 |];
+      strong_sub_grid = [| 2048; 1024 |];
+      sunway_mpi_grid = [| 32; 32 |];
+      tianhe3_mpi_grid = [| 16; 16 |];
+    };
+    (* 3-D rows *)
+    {
+      dim = 3;
+      weak_sub_grid = [| 256; 256; 256 |];
+      strong_sub_grid = [| 256; 256; 256 |];
+      sunway_mpi_grid = [| 8; 4; 4 |];
+      tianhe3_mpi_grid = [| 4; 4; 2 |];
+    };
+    {
+      dim = 3;
+      weak_sub_grid = [| 256; 256; 256 |];
+      strong_sub_grid = [| 256; 256; 128 |];
+      sunway_mpi_grid = [| 8; 8; 4 |];
+      tianhe3_mpi_grid = [| 4; 4; 4 |];
+    };
+    {
+      dim = 3;
+      weak_sub_grid = [| 256; 256; 256 |];
+      strong_sub_grid = [| 256; 128; 128 |];
+      sunway_mpi_grid = [| 8; 8; 8 |];
+      tianhe3_mpi_grid = [| 4; 8; 4 |];
+    };
+    {
+      dim = 3;
+      weak_sub_grid = [| 256; 256; 256 |];
+      strong_sub_grid = [| 128; 128; 128 |];
+      sunway_mpi_grid = [| 16; 8; 8 |];
+      tianhe3_mpi_grid = [| 8; 8; 4 |];
+    };
+  ]
+
+type physis_config = {
+  dim : int;
+  global : int array;
+  sub_grid : int array;
+  mpi_grid : int array;
+  mpi_processes : int;
+  omp_threads : int;
+}
+
+let table8 =
+  [
+    {
+      dim = 2;
+      global = [| 16384; 28672 |];
+      sub_grid = [| 4096; 4096 |];
+      mpi_grid = [| 4; 7 |];
+      mpi_processes = 28;
+      omp_threads = 1;
+    };
+    {
+      dim = 2;
+      global = [| 16384; 28672 |];
+      sub_grid = [| 8192; 4096 |];
+      mpi_grid = [| 2; 7 |];
+      mpi_processes = 14;
+      omp_threads = 2;
+    };
+    {
+      dim = 2;
+      global = [| 16384; 28672 |];
+      sub_grid = [| 16384; 4096 |];
+      mpi_grid = [| 1; 7 |];
+      mpi_processes = 7;
+      omp_threads = 4;
+    };
+    {
+      dim = 3;
+      global = [| 512; 512; 1792 |];
+      sub_grid = [| 256; 256; 256 |];
+      mpi_grid = [| 2; 2; 7 |];
+      mpi_processes = 28;
+      omp_threads = 1;
+    };
+    {
+      dim = 3;
+      global = [| 512; 512; 1792 |];
+      sub_grid = [| 512; 256; 256 |];
+      mpi_grid = [| 1; 2; 7 |];
+      mpi_processes = 14;
+      omp_threads = 2;
+    };
+    {
+      dim = 3;
+      global = [| 512; 512; 1792 |];
+      sub_grid = [| 512; 512; 256 |];
+      mpi_grid = [| 1; 1; 7 |];
+      mpi_processes = 7;
+      omp_threads = 4;
+    };
+  ]

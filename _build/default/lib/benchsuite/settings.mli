@@ -1,0 +1,50 @@
+(** Experiment parameter settings: Table 5 (single-processor tiles), Table 7
+    (scalability configurations) and Table 8 (Physis-comparison configs). *)
+
+type table5_row = {
+  benchmarks : string list;
+  grid : int array;
+  paper_sunway_tile : int array;  (** as printed in the paper *)
+  sunway_tile : int array;
+      (** tile actually used here: shrunk where the paper's tile cannot hold
+          the two time-window read buffers in the 64 KB SPM *)
+  matrix_tile : int array;
+  reorder : string list;
+}
+
+val table5 : table5_row list
+
+val sunway_tile : Suite.bench -> int array
+val matrix_tile : Suite.bench -> int array
+
+val sunway_schedule : Suite.bench -> Msc_ir.Stencil.t -> Msc_schedule.Schedule.t
+(** The Listing-2 canonical schedule with the bench's Table 5 tile. *)
+
+val matrix_schedule : Suite.bench -> Msc_ir.Stencil.t -> Msc_schedule.Schedule.t
+val cpu_schedule : Suite.bench -> Msc_ir.Stencil.t -> Msc_schedule.Schedule.t
+
+(** {1 Table 7: strong/weak scalability configurations} *)
+
+type scaling_config = {
+  dim : int;  (** 2 or 3 *)
+  weak_sub_grid : int array;  (** per-rank grid, weak scaling *)
+  strong_sub_grid : int array;  (** per-rank grid, strong scaling *)
+  sunway_mpi_grid : int array;
+  tianhe3_mpi_grid : int array;
+}
+
+val table7 : scaling_config list
+(** Four scale points per dimensionality, exactly the paper's rows. *)
+
+(** {1 Table 8: Physis-comparison configurations} *)
+
+type physis_config = {
+  dim : int;
+  global : int array;
+  sub_grid : int array;
+  mpi_grid : int array;
+  mpi_processes : int;
+  omp_threads : int;
+}
+
+val table8 : physis_config list

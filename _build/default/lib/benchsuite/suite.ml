@@ -1,0 +1,71 @@
+open Msc_ir
+open Msc_frontend
+
+type bench = {
+  name : string;
+  shape : Shapes.shape;
+  ndim : int;
+  radius : int;
+  paper_read_bytes : int;
+  paper_write_bytes : int;
+  paper_ops : int;
+  time_dep : int;
+}
+
+let mk name shape ndim radius read ops =
+  {
+    name;
+    shape;
+    ndim;
+    radius;
+    paper_read_bytes = read;
+    paper_write_bytes = 8;
+    paper_ops = ops;
+    time_dep = 2;
+  }
+
+let all =
+  [
+    mk "2d9pt_star" Shapes.Star 2 2 72 17;
+    mk "2d9pt_box" Shapes.Box 2 1 72 17;
+    mk "2d121pt_box" Shapes.Box 2 5 968 231;
+    mk "2d169pt_box" Shapes.Box 2 6 1352 325;
+    mk "3d7pt_star" Shapes.Star 3 1 56 13;
+    mk "3d13pt_star" Shapes.Star 3 2 104 17;
+    mk "3d25pt_star" Shapes.Star 3 4 200 41;
+    mk "3d31pt_star" Shapes.Star 3 5 248 50;
+  ]
+
+let find name =
+  match List.find_opt (fun b -> String.equal b.name name) all with
+  | Some b -> b
+  | None -> raise Not_found
+
+let default_dims b =
+  match b.ndim with
+  | 2 -> [| 4096; 4096 |]
+  | 3 -> [| 256; 256; 256 |]
+  | n -> Array.make n 128
+
+let stencil ?(dtype = Dtype.F64) ?dims b =
+  let dims = match dims with Some d -> d | None -> default_dims b in
+  assert (Array.length dims = b.ndim);
+  let grid =
+    Tensor.sp ~time_window:b.time_dep
+      ~halo:(Array.make b.ndim b.radius)
+      "B" dtype dims
+  in
+  let kernel =
+    Builder.shaped_kernel ~name:("S_" ^ b.name) ~grid ~shape:b.shape ~radius:b.radius ()
+  in
+  if b.time_dep = 2 then Builder.two_step ~name:b.name kernel
+  else Builder.single_step ~name:b.name kernel
+
+let kernel_of (st : Stencil.t) =
+  match Stencil.kernels st with
+  | [ k ] -> k
+  | k :: _ -> k
+  | [] -> invalid_arg "Suite.kernel_of: no kernel"
+
+let measured_read_bytes b = Kernel.read_bytes_per_point (kernel_of (stencil b))
+let measured_ops b = Kernel.flops_per_point (kernel_of (stencil b))

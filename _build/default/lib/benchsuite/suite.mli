@@ -1,0 +1,41 @@
+(** The paper's stencil benchmark suite (Table 4): eight stencils spanning
+    2-D/3-D, star/box shapes and computation orders, each with two time
+    dependencies. *)
+
+type bench = {
+  name : string;
+  shape : Msc_frontend.Shapes.shape;
+  ndim : int;
+  radius : int;
+  paper_read_bytes : int;  (** Table 4 "Read(Byte)" *)
+  paper_write_bytes : int;
+  paper_ops : int;  (** Table 4 "Ops(+-x)" *)
+  time_dep : int;
+}
+
+val all : bench list
+(** In Table 4 order: 2d9pt_star, 2d9pt_box, 2d121pt_box, 2d169pt_box,
+    3d7pt_star, 3d13pt_star, 3d25pt_star, 3d31pt_star. *)
+
+val find : string -> bench
+(** @raise Not_found for unknown names. *)
+
+val default_dims : bench -> int array
+(** Evaluation grids of §5.2: 4096^2 for 2-D, 256^3 for 3-D. *)
+
+val stencil : ?dtype:Msc_ir.Dtype.t -> ?dims:int array -> bench -> Msc_ir.Stencil.t
+(** Builds the benchmark as an MSC stencil: a shaped kernel with distinct
+    coefficients and the canonical two-time-dependency combination
+    [Res\[t\] << 0.5 S\[t-1\] + 0.5 S\[t-2\]]. Default dtype f64. *)
+
+val kernel_of : Msc_ir.Stencil.t -> Msc_ir.Kernel.t
+(** The benchmark's single kernel. *)
+
+val measured_read_bytes : bench -> int
+(** IR-derived per-kernel-application read bytes (should equal
+    [paper_read_bytes]). *)
+
+val measured_ops : bench -> int
+(** IR-derived kernel op count ([2N - 1] with distinct coefficients; the
+    paper's high-order kernels share coefficients, so its Table 4 lists
+    slightly fewer — both are reported). *)

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Emit_athread Emit_common Emit_cpu Filename List Makefile_gen Msc_exec Msc_ir Msc_schedule Printf Stencil String Sys

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Msc_exec Msc_ir Msc_schedule

@@ -1,0 +1,1 @@
+lib/codegen/emit_athread.ml: Array C_writer Dtype Emit_common Expr Kernel List Msc_ir Msc_schedule Printf Stencil String Tensor

@@ -1,0 +1,1 @@
+lib/codegen/emit_athread.mli: Msc_ir Msc_schedule

@@ -1,0 +1,1 @@
+lib/codegen/emit_common.ml: Array C_writer Dtype Expr Kernel List Msc_exec Msc_ir Msc_schedule Printf Simplify Stencil String Tensor

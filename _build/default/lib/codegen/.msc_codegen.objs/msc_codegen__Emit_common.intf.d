@@ -1,0 +1,1 @@
+lib/codegen/emit_common.mli: C_writer Msc_exec Msc_ir Msc_schedule

@@ -1,0 +1,1 @@
+lib/codegen/emit_cpu.ml: C_writer Emit_common Msc_exec Msc_ir Printf Stencil

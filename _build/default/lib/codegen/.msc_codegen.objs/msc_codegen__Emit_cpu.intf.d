@@ -1,0 +1,1 @@
+lib/codegen/emit_cpu.mli: Msc_exec Msc_ir Msc_schedule

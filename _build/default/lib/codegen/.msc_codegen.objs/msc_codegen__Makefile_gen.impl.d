@@ -1,0 +1,1 @@
+lib/codegen/makefile_gen.ml: Printf

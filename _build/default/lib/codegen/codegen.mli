@@ -1,0 +1,42 @@
+(** AOT backend driver: target dispatch, file bundles, and a host toolchain
+    harness that compiles and runs generated CPU/OpenMP code for end-to-end
+    validation. *)
+
+type target =
+  | Cpu  (** portable serial C *)
+  | Openmp  (** Matrix MT2000+ / commodity CPU *)
+  | Athread  (** Sunway SW26010 master + slave pair *)
+
+type file = { name : string; contents : string }
+
+val target_of_string : string -> (target, string) result
+val target_to_string : target -> string
+
+val generate :
+  ?steps:int -> ?bc:Msc_exec.Bc.t -> Msc_ir.Stencil.t -> Msc_schedule.Schedule.t ->
+  target -> file list
+(** Source file(s) plus a Makefile. For [Athread] the schedule's scratchpad
+    footprint is checked against the 64 KB SPM.
+    @raise Invalid_argument on an illegal schedule, or on a non-default
+    boundary condition with the [Athread] target (the MPE-side BC pass is not
+    emitted yet). *)
+
+val write_files : dir:string -> file list -> unit
+(** Creates [dir] if needed and writes each file. *)
+
+val total_loc : file list -> int
+(** Non-empty lines across all generated files (Table 6 accounting). *)
+
+(** Host-side compile-and-run harness (CPU / OpenMP targets only). *)
+module Toolchain : sig
+  type run_result = { checksum : float; maxabs : float; output : string }
+
+  val available : unit -> bool
+  (** Is a C compiler present on this host? *)
+
+  val compile_and_run :
+    ?cc:string -> ?steps:int -> dir:string -> file list -> (run_result, string) result
+  (** Writes the bundle into [dir], compiles the single .c file with [cc]
+      (default "cc"; OpenMP flag added when the source uses omp pragmas),
+      runs it, and parses the ["checksum ... maxabs ..."] report line. *)
+end

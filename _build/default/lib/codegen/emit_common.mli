@@ -1,0 +1,76 @@
+(** Pieces shared by all code-generation targets: stencil-term flattening,
+    index macros, initial-condition and checksum code, and the scheduled loop
+    nest emission. *)
+
+type term = { scale : float; kernel : Msc_ir.Kernel.t option; dt : int }
+(** One additive term of the stencil combination; [kernel = None] is the
+    identity (raw state) term. *)
+
+val flatten_terms : Msc_ir.Stencil.t -> term list
+
+val aux_tensors : Msc_ir.Stencil.t -> Msc_ir.Tensor.t list
+(** Distinct coefficient grids read by the stencil's kernels (multi-grid
+    stencils, §5.6). Their C parameter name is the tensor name. *)
+
+val state_var : int -> string
+(** C identifier for the input-state pointer at [t-dt]: ["s1"], ["s2"], ... *)
+
+val dims_of : Msc_ir.Stencil.t -> int array
+val halo_of : Msc_ir.Stencil.t -> int array
+
+val emit_prelude : C_writer.t -> Msc_ir.Stencil.t -> unit
+(** [#include]s, dimension/halo/padded macros, the [IDX] macro, element
+    count macros, and the C scalar type macro [ELEM]. *)
+
+val emit_aux_init_fns : C_writer.t -> Msc_ir.Stencil.t -> unit
+(** One [static void msc_init_aux_<name>(ELEM *g)] per coefficient grid,
+    writing {!Msc_exec.Runtime.default_aux_init}'s closed form over the
+    padded box (halo included). *)
+
+val emit_init_fn : C_writer.t -> Msc_ir.Stencil.t -> unit
+(** [static void msc_init(ELEM *g)]: writes the deterministic initial field
+    used by the OCaml runtime ({!Msc_exec.Runtime.default_init}) into the
+    interior, zeroing the halo, so generated binaries are comparable
+    bit-for-bit in spirit with the interpreter. *)
+
+val emit_checksum_fn : C_writer.t -> Msc_ir.Stencil.t -> unit
+(** [static void msc_report(const ELEM *g)]: prints ["checksum %.17g maxabs
+    %.17g"] over the interior. *)
+
+val subst_params : (string * float) list -> Msc_ir.Expr.t -> Msc_ir.Expr.t
+(** Fold coefficient bindings into the expression as float constants.
+    @raise Invalid_argument on an unbound parameter. *)
+
+val point_assignment : Msc_ir.Stencil.t -> vars:string list -> string
+(** The innermost statement: [out[IDX(...)] = term + term + ...;] with each
+    kernel expression inlined against its state pointer and coefficient
+    bindings folded in. *)
+
+val emit_scheduled_loops :
+  C_writer.t ->
+  Msc_ir.Stencil.t ->
+  schedule:Msc_schedule.Schedule.t ->
+  pragma:(units:int -> string option) ->
+  body:(vars:string list -> unit) ->
+  unit
+(** Emits the loop nest in schedule order (tiled with clamped inner bounds if
+    a tile primitive is present). [pragma] is asked for an annotation to place
+    before the parallel loop. [body] receives the C names of the point
+    coordinates, outermost dimension first. *)
+
+val emit_bc_fn : C_writer.t -> Msc_ir.Stencil.t -> bc:Msc_exec.Bc.t -> unit
+(** [static void msc_apply_bc(ELEM *g)] refreshing the halo per the boundary
+    condition. Emits nothing for [Dirichlet 0.0] (the zero halo the
+    allocation already provides). *)
+
+val bc_is_trivial : Msc_exec.Bc.t -> bool
+
+val step_params : Msc_ir.Stencil.t -> string
+(** The C parameter list of [msc_step]: one input-state pointer per retained
+    timestep, one pointer per coefficient grid, then the output pointer. *)
+
+val emit_time_loop :
+  ?bc:Msc_exec.Bc.t -> C_writer.t -> Msc_ir.Stencil.t -> steps_expr:string -> unit
+(** The sliding-window main loop: window + coefficient-grid allocation,
+    rotation, per-step call to [msc_step], and final report. Assumes
+    [msc_step] and the init/report helpers were emitted. *)

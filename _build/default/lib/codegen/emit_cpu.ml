@@ -1,0 +1,33 @@
+open Msc_ir
+
+let generate ?(steps = 10) ?(bc = Msc_exec.Bc.Dirichlet 0.0) ~omp (st : Stencil.t)
+    schedule =
+  let w = C_writer.create () in
+  Emit_common.emit_prelude w st;
+  if omp then begin
+    C_writer.line w "#ifdef _OPENMP";
+    C_writer.line w "#include <omp.h>";
+    C_writer.line w "#endif";
+    C_writer.blank w
+  end;
+  Emit_common.emit_init_fn w st;
+  C_writer.blank w;
+  Emit_common.emit_aux_init_fns w st;
+  Emit_common.emit_bc_fn w st ~bc;
+  Emit_common.emit_checksum_fn w st;
+  C_writer.blank w;
+  C_writer.block w
+    (Printf.sprintf "static void msc_step(%s)" (Emit_common.step_params st))
+    (fun () ->
+      let pragma ~units =
+        if omp then
+          Some
+            (Printf.sprintf "#pragma omp parallel for num_threads(%d) schedule(static)"
+               units)
+        else None
+      in
+      Emit_common.emit_scheduled_loops w st ~schedule ~pragma ~body:(fun ~vars ->
+          C_writer.line w "%s" (Emit_common.point_assignment st ~vars)));
+  C_writer.blank w;
+  Emit_common.emit_time_loop ~bc w st ~steps_expr:(string_of_int steps);
+  C_writer.contents w

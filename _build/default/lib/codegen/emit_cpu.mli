@@ -1,0 +1,11 @@
+(** C code generation for homogeneous targets: plain C (serial) and
+    OpenMP-annotated C for the Matrix MT2000+ and commodity CPUs. *)
+
+val generate :
+  ?steps:int -> ?bc:Msc_exec.Bc.t -> omp:bool -> Msc_ir.Stencil.t ->
+  Msc_schedule.Schedule.t -> string
+(** One self-contained translation unit: prelude, init/report helpers, the
+    scheduled [msc_step], and a [main] with the sliding-window time loop.
+    With [omp], the schedule's parallel axis receives an
+    [#pragma omp parallel for] annotation. [steps] is the default timestep
+    count (overridable by [argv\[1\]]; default 10). *)

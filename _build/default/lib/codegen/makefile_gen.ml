@@ -1,0 +1,52 @@
+let cpu ~name =
+  Printf.sprintf
+    {|CC ?= gcc
+CFLAGS ?= -O3 -std=c11 -Wall
+LDLIBS = -lm
+
+%s: %s.c
+	$(CC) $(CFLAGS) -o $@ $< $(LDLIBS)
+
+.PHONY: clean
+clean:
+	rm -f %s
+|}
+    name name name
+
+let openmp ~name =
+  Printf.sprintf
+    {|CC ?= gcc
+CFLAGS ?= -O3 -std=c11 -Wall -fopenmp
+LDLIBS = -lm
+
+%s: %s.c
+	$(CC) $(CFLAGS) -o $@ $< $(LDLIBS)
+
+.PHONY: clean
+clean:
+	rm -f %s
+|}
+    name name name
+
+let athread ~name =
+  Printf.sprintf
+    {|# Sunway SW26010 hybrid build (TaihuLight toolchain)
+HOST_CC = sw5cc -host
+SLAVE_CC = sw5cc -slave
+HYBRID_LD = sw5cc -hybrid
+CFLAGS = -O3
+
+%s: %s_master.o %s_slave.o
+	$(HYBRID_LD) -o $@ $^ -lm_slave
+
+%s_master.o: %s_master.c
+	$(HOST_CC) $(CFLAGS) -c -o $@ $<
+
+%s_slave.o: %s_slave.c
+	$(SLAVE_CC) $(CFLAGS) -msimd -c -o $@ $<
+
+.PHONY: clean
+clean:
+	rm -f %s *.o
+|}
+    name name name name name name name name

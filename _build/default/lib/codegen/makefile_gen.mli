@@ -1,0 +1,12 @@
+(** Build-script generation (§3: "standard C codes as well as corresponding
+    building scripts"). *)
+
+val cpu : name:string -> string
+(** Makefile for the plain-C target (gcc -O3). *)
+
+val openmp : name:string -> string
+(** Makefile for the Matrix / generic OpenMP target (gcc -O3 -fopenmp). *)
+
+val athread : name:string -> string
+(** Makefile for the Sunway target: sw5cc host/slave compilation and hybrid
+    link, as used on TaihuLight. *)

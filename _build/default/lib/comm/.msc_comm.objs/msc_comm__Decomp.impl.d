@@ -1,0 +1,1 @@
+lib/comm/decomp.ml: Array List Printf

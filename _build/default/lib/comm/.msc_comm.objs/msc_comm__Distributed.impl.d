@@ -1,0 +1,1 @@
+lib/comm/distributed.ml: Array Decomp Expr Halo Kernel List Mpi_sim Msc_exec Msc_ir Stencil Tensor

@@ -1,0 +1,1 @@
+lib/comm/distributed.mli: Decomp Mpi_sim Msc_exec Msc_ir Msc_schedule

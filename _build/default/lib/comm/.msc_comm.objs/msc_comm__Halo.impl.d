@@ -1,0 +1,1 @@
+lib/comm/halo.ml: Array Bytes Decomp Int64 List Mpi_sim Msc_exec Printf

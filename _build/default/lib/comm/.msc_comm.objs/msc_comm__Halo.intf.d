@@ -1,0 +1,1 @@
+lib/comm/halo.mli: Bytes Decomp Mpi_sim Msc_exec

@@ -1,0 +1,1 @@
+lib/comm/inspector.ml: Array Float List Msc_ir

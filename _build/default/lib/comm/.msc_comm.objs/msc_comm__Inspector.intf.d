@@ -1,0 +1,1 @@
+lib/comm/inspector.mli: Msc_ir

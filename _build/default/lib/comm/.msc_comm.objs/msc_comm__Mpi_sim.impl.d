@@ -1,0 +1,1 @@
+lib/comm/mpi_sim.ml: Bytes Hashtbl Printf Queue

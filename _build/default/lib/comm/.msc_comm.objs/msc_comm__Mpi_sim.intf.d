@@ -1,0 +1,1 @@
+lib/comm/mpi_sim.mli: Bytes

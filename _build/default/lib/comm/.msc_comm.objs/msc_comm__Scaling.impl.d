@@ -1,0 +1,1 @@
+lib/comm/scaling.ml: Array Dtype Float List Msc_ir Msc_matrix Msc_schedule Msc_sunway Netmodel Stencil Tensor

@@ -1,0 +1,1 @@
+lib/comm/scaling.mli: Msc_ir

@@ -1,0 +1,118 @@
+type t = { global : int array; ranks_shape : int array; nranks : int }
+
+let create ~global ~ranks_shape =
+  let nd = Array.length global in
+  if Array.length ranks_shape <> nd then invalid_arg "Decomp.create: rank mismatch";
+  Array.iter (fun n -> if n <= 0 then invalid_arg "Decomp.create: bad global extent") global;
+  Array.iteri
+    (fun d p ->
+      if p <= 0 then invalid_arg "Decomp.create: bad process count";
+      if p > global.(d) then
+        invalid_arg
+          (Printf.sprintf "Decomp.create: %d processes for %d points on dim %d" p
+             global.(d) d))
+    ranks_shape;
+  { global; ranks_shape; nranks = Array.fold_left ( * ) 1 ranks_shape }
+
+let auto_shape ~nranks ~ndim =
+  assert (nranks >= 1 && ndim >= 1);
+  let shape = Array.make ndim 1 in
+  (* Peel prime factors largest-first onto the currently smallest dimension,
+     so the process grid stays as cubic as possible. *)
+  let rec factors n d acc =
+    if n = 1 then acc
+    else if d * d > n then n :: acc
+    else if n mod d = 0 then factors (n / d) d (d :: acc)
+    else factors n (d + 1) acc
+  in
+  let fs = List.sort (fun a b -> compare b a) (factors nranks 2 []) in
+  List.iter
+    (fun f ->
+      let smallest = ref 0 in
+      Array.iteri (fun d v -> if v < shape.(!smallest) then smallest := d else ignore v) shape;
+      shape.(!smallest) <- shape.(!smallest) * f)
+    fs;
+  Array.sort (fun a b -> compare b a) shape;
+  shape
+
+let coords_of_rank t rank =
+  let nd = Array.length t.ranks_shape in
+  let coords = Array.make nd 0 in
+  let rest = ref rank in
+  for d = nd - 1 downto 0 do
+    coords.(d) <- !rest mod t.ranks_shape.(d);
+    rest := !rest / t.ranks_shape.(d)
+  done;
+  coords
+
+let rank_of_coords t coords =
+  let acc = ref 0 in
+  Array.iteri (fun d c -> acc := (!acc * t.ranks_shape.(d)) + c) coords;
+  !acc
+
+let subdomain t ~rank =
+  let coords = coords_of_rank t rank in
+  let nd = Array.length t.global in
+  let offset = Array.make nd 0 and extent = Array.make nd 0 in
+  for d = 0 to nd - 1 do
+    let n = t.global.(d) and p = t.ranks_shape.(d) in
+    let base = n / p and rem = n mod p in
+    let c = coords.(d) in
+    (* The first [rem] ranks along the dimension take one extra point. *)
+    extent.(d) <- (base + if c < rem then 1 else 0);
+    offset.(d) <- (c * base) + min c rem
+  done;
+  (offset, extent)
+
+let neighbor ?(periodic = false) t ~rank ~dir =
+  let coords = coords_of_rank t rank in
+  let nd = Array.length coords in
+  let ok = ref true in
+  let moved = Array.make nd 0 in
+  for d = 0 to nd - 1 do
+    let c = coords.(d) + dir.(d) in
+    let p = t.ranks_shape.(d) in
+    if c < 0 || c >= p then
+      if periodic then moved.(d) <- ((c mod p) + p) mod p else ok := false
+    else moved.(d) <- c
+  done;
+  if !ok then Some (rank_of_coords t moved) else None
+
+let directions ~ndim ~faces_only =
+  if faces_only then
+    List.concat
+      (List.init ndim (fun d ->
+           let minus = Array.make ndim 0 and plus = Array.make ndim 0 in
+           minus.(d) <- -1;
+           plus.(d) <- 1;
+           [ minus; plus ]))
+  else begin
+    let rec build d =
+      if d = 0 then [ [] ]
+      else
+        let rest = build (d - 1) in
+        List.concat_map (fun tail -> [ -1 :: tail; 0 :: tail; 1 :: tail ]) rest
+    in
+    build ndim
+    |> List.map Array.of_list
+    |> List.filter (fun dir -> Array.exists (fun v -> v <> 0) dir)
+  end
+
+let dir_index ~ndim dir =
+  assert (Array.length dir = ndim);
+  let acc = ref 0 in
+  Array.iter
+    (fun v ->
+      assert (v >= -1 && v <= 1);
+      acc := (!acc * 3) + (v + 1))
+    dir;
+  !acc
+
+let covers_globally t =
+  let total =
+    List.init t.nranks (fun r ->
+        let _, extent = subdomain t ~rank:r in
+        Array.fold_left ( * ) 1 extent)
+    |> List.fold_left ( + ) 0
+  in
+  total = Array.fold_left ( * ) 1 t.global

@@ -1,0 +1,40 @@
+(** Cartesian domain decomposition (§4.4, Figure 6a): the global grid is
+    split evenly over an n-dimensional process grid; each rank owns a
+    sub-tensor with its own halo. *)
+
+type t = {
+  global : int array;  (** global interior extents *)
+  ranks_shape : int array;  (** process-grid extents, same rank as [global] *)
+  nranks : int;
+}
+
+val create : global:int array -> ranks_shape:int array -> t
+(** @raise Invalid_argument on rank mismatch, non-positive entries, or more
+    processes than points along a dimension. *)
+
+val auto_shape : nranks:int -> ndim:int -> int array
+(** Balanced factorisation of [nranks] into [ndim] factors (largest factors
+    on the leading dimensions), e.g. 28 over 2-D -> [|7; 4|]. *)
+
+val coords_of_rank : t -> int -> int array
+val rank_of_coords : t -> int array -> int
+
+val subdomain : t -> rank:int -> int array * int array
+(** [(offset, extent)] of the rank's block in global coordinates. Remainder
+    points go to the leading ranks (extents differ by at most one). *)
+
+val neighbor : ?periodic:bool -> t -> rank:int -> dir:int array -> int option
+(** Neighbouring rank one step along [dir] (entries in -1/0/+1); [None] past
+    the physical boundary. With [periodic], coordinates wrap around, so every
+    direction has a neighbour (possibly the rank itself). *)
+
+val directions : ndim:int -> faces_only:bool -> int array list
+(** The exchange directions: the [2*ndim] faces, or all [3^ndim - 1]
+    non-zero offsets (needed by box stencils, whose corners carry data). *)
+
+val dir_index : ndim:int -> int array -> int
+(** Dense encoding of a direction, used as the message tag. *)
+
+val covers_globally : t -> bool
+(** Do the subdomains partition the global grid exactly? (Used by property
+    tests.) *)

@@ -1,0 +1,158 @@
+open Msc_ir
+module Grid = Msc_exec.Grid
+module Runtime = Msc_exec.Runtime
+module Bc = Msc_exec.Bc
+
+type t = {
+  stencil : Stencil.t;
+  decomp : Decomp.t;
+  mpi : Mpi_sim.t;
+  runtimes : Runtime.t array;
+  offsets : int array array;
+  width : int array;  (** exchange width = stencil radius *)
+  faces_only : bool;
+  bc : Bc.t;
+  mutable steps_done : int;
+}
+
+(* A kernel access touching two or more dimensions at once (box corners)
+   requires diagonal-neighbour exchanges; star stencils get by with faces. *)
+let needs_corners (st : Stencil.t) =
+  List.exists
+    (fun k ->
+      List.exists
+        (fun (a : Expr.access) ->
+          Array.fold_left (fun n o -> if o <> 0 then n + 1 else n) 0 a.Expr.offsets
+          >= 2)
+        (Expr.distinct_accesses k.Kernel.expr))
+    (Stencil.kernels st)
+
+let localize_stencil (st : Stencil.t) ~extent =
+  let grid = st.Stencil.grid in
+  let local_tensor = { grid with Tensor.shape = Array.copy extent } in
+  let localize_kernel k =
+    let aux =
+      List.map
+        (fun (tensor : Tensor.t) -> { tensor with Tensor.shape = Array.copy extent })
+        k.Kernel.aux
+    in
+    Kernel.make ~bindings:k.Kernel.bindings ~aux ~name:k.Kernel.name
+      ~input:local_tensor ~index_vars:k.Kernel.index_vars k.Kernel.expr
+  in
+  let rec go (e : Stencil.expr) =
+    match e with
+    | Stencil.Apply (k, dt) -> Stencil.Apply (localize_kernel k, dt)
+    | Stencil.State _ -> e
+    | Stencil.Scale (c, a) -> Stencil.Scale (c, go a)
+    | Stencil.Sum (a, b) -> Stencil.Sum (go a, go b)
+    | Stencil.Diff (a, b) -> Stencil.Diff (go a, go b)
+  in
+  Stencil.make ~name:st.Stencil.name ~grid:local_tensor (go st.Stencil.expr)
+
+(* Which of a rank's faces sit on the physical boundary (none when the
+   domain is periodic: the wrapped exchange owns every face). *)
+let physical_masks t ~rank =
+  let coords = Decomp.coords_of_rank t.decomp rank in
+  let shape = t.decomp.Decomp.ranks_shape in
+  let low = Array.map (fun c -> c = 0) coords in
+  let high = Array.mapi (fun d c -> c = shape.(d) - 1) coords in
+  (low, high)
+
+let exchange_state t ~dt =
+  let periodic = Bc.equal t.bc Bc.Periodic in
+  let grids = Array.map (fun rt -> Runtime.state rt ~dt) t.runtimes in
+  Halo.exchange ~periodic t.mpi t.decomp ~grids ~width:t.width
+    ~faces_only:t.faces_only;
+  (* Refresh the physical faces after the exchange, so reflect corners can
+     read freshly exchanged edge data. *)
+  if not periodic then
+    Array.iteri
+      (fun rank g ->
+        let low, high = physical_masks t ~rank in
+        Bc.apply ~low ~high t.bc g)
+      grids
+
+let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
+    ?(aux_init = Runtime.default_aux_init) ?(bc = Bc.Dirichlet 0.0) ~ranks_shape
+    (st : Stencil.t) =
+  Stencil.validate_halo st;
+  let grid = st.Stencil.grid in
+  let decomp = Decomp.create ~global:grid.Tensor.shape ~ranks_shape in
+  let nranks = decomp.Decomp.nranks in
+  let mpi = Mpi_sim.create ~nranks in
+  let offsets = Array.make nranks [||] in
+  let runtimes =
+    Array.init nranks (fun rank ->
+        let offset, extent = Decomp.subdomain decomp ~rank in
+        offsets.(rank) <- offset;
+        let local = localize_stencil st ~extent in
+        let local_init _dt coord =
+          init (Array.mapi (fun d c -> c + offset.(d)) coord)
+        in
+        (* Coefficient grids are static closed forms over global coordinates,
+           so each rank fills its slab (halo included) directly -- no
+           exchange needed and bit-identical to the single-grid run. *)
+        let local_aux_init name coord =
+          aux_init name (Array.mapi (fun d c -> c + offset.(d)) coord)
+        in
+        (* The local runtime's own BC pass runs on every face; the exchange
+           plus the physical-face pass above overwrite the interior faces
+           with the right data afterwards. *)
+        Runtime.create ?schedule ~init:local_init ~aux_init:local_aux_init ~bc local)
+  in
+  let t =
+    {
+      stencil = st;
+      decomp;
+      mpi;
+      runtimes;
+      offsets;
+      width = Stencil.radius st;
+      faces_only = not (needs_corners st);
+      bc;
+      steps_done = 0;
+    }
+  in
+  (* Every retained past state needs consistent halos before the first
+     step. *)
+  for dt = 1 to Stencil.time_window st do
+    exchange_state t ~dt
+  done;
+  t
+
+let nranks t = Array.length t.runtimes
+let decomp t = t.decomp
+let mpi t = t.mpi
+let steps_done t = t.steps_done
+
+let step t =
+  Array.iter Runtime.step t.runtimes;
+  exchange_state t ~dt:1;
+  t.steps_done <- t.steps_done + 1
+
+let run t n =
+  for _ = 1 to n do
+    step t
+  done
+
+let rank_state t ~rank = Runtime.current t.runtimes.(rank)
+
+let gather t =
+  let grid = t.stencil.Stencil.grid in
+  let out = Grid.create ~shape:grid.Tensor.shape ~halo:grid.Tensor.halo in
+  Array.iteri
+    (fun rank rt ->
+      let local = Runtime.current rt in
+      let offset = t.offsets.(rank) in
+      Grid.iter_interior local (fun coord ->
+          let global_coord = Array.mapi (fun d c -> c + offset.(d)) coord in
+          Grid.set out global_coord (Grid.get local coord)))
+    t.runtimes;
+  out
+
+let validate ?(steps = 3) ?bc ~ranks_shape (st : Stencil.t) =
+  let dist = create ?bc ~ranks_shape st in
+  let single = Runtime.create ?bc st in
+  run dist steps;
+  Runtime.run single steps;
+  Grid.max_rel_error ~reference:(Runtime.current single) (gather dist)

@@ -1,0 +1,95 @@
+module Grid = Msc_exec.Grid
+
+(* The slab of the rank's grid involved in an exchange toward [dir].
+   [`Inner] = data we own and send; [`Outer] = halo cells we receive into.
+   Returns per-dimension [lo, hi) in interior coordinates (outer slabs extend
+   into negative / beyond-extent coordinates). *)
+let region (g : Grid.t) ~dir ~width ~side =
+  let nd = Grid.ndim g in
+  Array.init nd (fun d ->
+      let n = g.Grid.shape.(d) and w = width.(d) in
+      match (dir.(d), side) with
+      | 0, _ -> (0, n)
+      | -1, `Inner -> (0, w)
+      | 1, `Inner -> (n - w, n)
+      | -1, `Outer -> (-w, 0)
+      | 1, `Outer -> (n, n + w)
+      | _ -> invalid_arg "Halo.region: direction entries must be -1/0/1")
+
+let region_extents g ~dir ~width =
+  Array.map (fun (lo, hi) -> hi - lo) (region g ~dir ~width ~side:`Inner)
+
+let payload_elems g ~dir ~width =
+  Array.fold_left ( * ) 1 (region_extents g ~dir ~width)
+
+let iter_region g ranges fn =
+  let nd = Grid.ndim g in
+  let coord = Array.make nd 0 in
+  let rec go d =
+    if d = nd then fn coord
+    else begin
+      let lo, hi = ranges.(d) in
+      for k = lo to hi - 1 do
+        coord.(d) <- k;
+        go (d + 1)
+      done
+    end
+  in
+  go 0
+
+let pack g ~dir ~width =
+  let ranges = region g ~dir ~width ~side:`Inner in
+  let elems = payload_elems g ~dir ~width in
+  let buf = Bytes.create (8 * elems) in
+  let pos = ref 0 in
+  iter_region g ranges (fun coord ->
+      Bytes.set_int64_le buf !pos (Int64.bits_of_float (Grid.get g coord));
+      pos := !pos + 8);
+  buf
+
+let unpack g ~dir ~width payload =
+  let ranges = region g ~dir ~width ~side:`Outer in
+  let elems = payload_elems g ~dir ~width in
+  if Bytes.length payload <> 8 * elems then
+    invalid_arg
+      (Printf.sprintf "Halo.unpack: payload %d B but slab needs %d B"
+         (Bytes.length payload) (8 * elems));
+  let pos = ref 0 in
+  iter_region g ranges (fun coord ->
+      Grid.set g coord (Int64.float_of_bits (Bytes.get_int64_le payload !pos));
+      pos := !pos + 8)
+
+let exchange ?periodic mpi (decomp : Decomp.t) ~grids ~width ~faces_only =
+  let nranks = Decomp.(decomp.nranks) in
+  assert (Array.length grids = nranks);
+  let nd = Array.length decomp.Decomp.global in
+  let dirs = Decomp.directions ~ndim:nd ~faces_only in
+  (* Phase 1: every rank posts all its sends (MPI_Isend). The tag is the
+     sender's direction, so the receiver matches on the opposite one. *)
+  List.iter
+    (fun dir ->
+      for rank = 0 to nranks - 1 do
+        match Decomp.neighbor ?periodic decomp ~rank ~dir with
+        | None -> ()
+        | Some nb ->
+            let payload = pack grids.(rank) ~dir ~width in
+            Mpi_sim.isend mpi ~src:rank ~dst:nb ~tag:(Decomp.dir_index ~ndim:nd dir)
+              payload
+      done)
+    dirs;
+  (* Phase 2: every rank completes its receives (MPI_Irecv + MPI_Wait). *)
+  List.iter
+    (fun dir ->
+      let opposite = Array.map (fun v -> -v) dir in
+      for rank = 0 to nranks - 1 do
+        match Decomp.neighbor ?periodic decomp ~rank ~dir with
+        | None -> ()
+        | Some nb ->
+            let req =
+              Mpi_sim.irecv mpi ~dst:rank ~src:nb
+                ~tag:(Decomp.dir_index ~ndim:nd opposite)
+            in
+            let payload = Mpi_sim.wait mpi req in
+            unpack grids.(rank) ~dir ~width payload
+      done)
+    dirs

@@ -1,0 +1,37 @@
+(** Halo packing/unpacking and the asynchronous exchange protocol
+    (§4.4, Figure 6b/c).
+
+    The sub-tensor is dissected into the inner halo region (data sent to
+    neighbours), the outer halo region (data received from neighbours), and
+    the inner region. Payloads are serialised into byte buffers (float64
+    little-endian), moved through {!Mpi_sim}, and unpacked on the receiving
+    side. *)
+
+val region_extents : Msc_exec.Grid.t -> dir:int array -> width:int array -> int array
+(** Extent of the (inner or outer) halo slab toward [dir]. *)
+
+val pack : Msc_exec.Grid.t -> dir:int array -> width:int array -> Bytes.t
+(** Serialise the inner halo slab facing [dir] (the data a neighbour at [dir]
+    needs). [width] is the exchange width per dimension (the stencil
+    radius). *)
+
+val unpack : Msc_exec.Grid.t -> dir:int array -> width:int array -> Bytes.t -> unit
+(** Write a received payload into the outer halo slab toward [dir].
+    @raise Invalid_argument if the payload size mismatches the slab. *)
+
+val payload_elems : Msc_exec.Grid.t -> dir:int array -> width:int array -> int
+
+val exchange :
+  ?periodic:bool ->
+  Mpi_sim.t ->
+  Decomp.t ->
+  grids:Msc_exec.Grid.t array ->
+  width:int array ->
+  faces_only:bool ->
+  unit
+(** One complete asynchronous halo exchange of the given per-rank state:
+    every rank posts all its sends, then all receives complete (the
+    MPI_Isend / MPI_Irecv pattern of Figure 6c). Physical-boundary slabs are
+    left untouched unless [periodic], in which case they wrap around the
+    process grid (self-sends included). *)
+

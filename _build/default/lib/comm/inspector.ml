@@ -1,0 +1,85 @@
+type plan = {
+  boundaries : int array;
+  rank_costs : float array;
+  imbalance : float;
+}
+
+let plan_of_boundaries ~costs boundaries =
+  let parts = Array.length boundaries - 1 in
+  let rank_costs =
+    Array.init parts (fun r ->
+        let acc = ref 0.0 in
+        for i = boundaries.(r) to boundaries.(r + 1) - 1 do
+          acc := !acc +. costs.(i)
+        done;
+        !acc)
+  in
+  let total = Array.fold_left ( +. ) 0.0 rank_costs in
+  let mean = total /. float_of_int parts in
+  let worst = Array.fold_left Float.max 0.0 rank_costs in
+  {
+    boundaries;
+    rank_costs;
+    imbalance = (if mean > 0.0 then worst /. mean else 1.0);
+  }
+
+let partition ~costs ~parts =
+  let n = Array.length costs in
+  if parts < 1 || parts > n then invalid_arg "Inspector.partition: bad part count";
+  Array.iter (fun c -> if c < 0.0 then invalid_arg "Inspector.partition: negative cost") costs;
+  (* prefix.(i) = cost of slabs [0, i). *)
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. costs.(i)
+  done;
+  let range_cost lo hi = prefix.(hi) -. prefix.(lo) in
+  (* best.(k).(i): minimal max-range-cost splitting slabs [0, i) into k+1
+     non-empty ranges; cut.(k).(i): position of the last cut. *)
+  let best = Array.make_matrix parts (n + 1) infinity in
+  let cut = Array.make_matrix parts (n + 1) 0 in
+  for i = 1 to n do
+    best.(0).(i) <- range_cost 0 i
+  done;
+  for k = 1 to parts - 1 do
+    for i = k + 1 to n do
+      for j = k to i - 1 do
+        let candidate = Float.max best.(k - 1).(j) (range_cost j i) in
+        if candidate < best.(k).(i) then begin
+          best.(k).(i) <- candidate;
+          cut.(k).(i) <- j
+        end
+      done
+    done
+  done;
+  let boundaries = Array.make (parts + 1) 0 in
+  boundaries.(parts) <- n;
+  let pos = ref n in
+  for k = parts - 1 downto 1 do
+    pos := cut.(k).(!pos);
+    boundaries.(k) <- !pos
+  done;
+  plan_of_boundaries ~costs boundaries
+
+let even_plan ~costs ~parts =
+  let n = Array.length costs in
+  if parts < 1 || parts > n then invalid_arg "Inspector.even_plan: bad part count";
+  let base = n / parts and rem = n mod parts in
+  let boundaries = Array.make (parts + 1) 0 in
+  for r = 0 to parts - 1 do
+    boundaries.(r + 1) <- boundaries.(r) + base + (if r < rem then 1 else 0)
+  done;
+  plan_of_boundaries ~costs boundaries
+
+let inspect (st : Msc_ir.Stencil.t) ~ranks ~cost_of_slab =
+  let n = st.Msc_ir.Stencil.grid.Msc_ir.Tensor.shape.(0) in
+  let costs = Array.init n cost_of_slab in
+  partition ~costs ~parts:ranks
+
+let executor_ranks_extents plan ~global =
+  let nd = Array.length global in
+  let parts = Array.length plan.boundaries - 1 in
+  List.init parts (fun r ->
+      let offset = Array.make nd 0 and extent = Array.copy global in
+      offset.(0) <- plan.boundaries.(r);
+      extent.(0) <- plan.boundaries.(r + 1) - plan.boundaries.(r);
+      (offset, extent))

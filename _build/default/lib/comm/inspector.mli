@@ -1,0 +1,42 @@
+(** Inspector–executor load balancing (§5.6).
+
+    WRF and POP2 "suffer from serious load imbalance in large-scale
+    execution", so the paper plans an inspector-executor design: an
+    {e inspector} phase analyses the per-subgrid cost and derives schedules,
+    an {e executor} phase compiles and runs them. This module implements
+    that for the decomposition dimension: given a per-slab cost profile
+    along dimension 0 (e.g. land/ocean masks in POP2, refinement zones in
+    WRF), the inspector computes the optimal contiguous partition and the
+    executor builds a distributed run whose ranks own ragged slabs.
+
+    The partitioner is the classic linear-partitioning dynamic program:
+    minimise the maximum per-rank cost over contiguous ranges. *)
+
+type plan = {
+  boundaries : int array;
+      (** length [parts + 1], [boundaries.(0) = 0],
+          [boundaries.(parts) = n]; rank [r] owns slabs
+          [boundaries.(r) .. boundaries.(r+1) - 1] *)
+  rank_costs : float array;
+  imbalance : float;  (** max rank cost / mean rank cost (1.0 = perfect) *)
+}
+
+val partition : costs:float array -> parts:int -> plan
+(** Optimal contiguous partition of [costs] into [parts] non-empty ranges
+    minimising the maximum range sum.
+    @raise Invalid_argument if [parts < 1], [parts > length costs], or any
+    cost is negative. *)
+
+val even_plan : costs:float array -> parts:int -> plan
+(** The uniform block decomposition's plan over the same costs (what the
+    non-inspecting executor would do) — the baseline the inspector is
+    compared against. *)
+
+val inspect :
+  Msc_ir.Stencil.t -> ranks:int -> cost_of_slab:(int -> float) -> plan
+(** Inspector phase for a stencil: profile each dimension-0 slab with
+    [cost_of_slab] and partition the grid over [ranks]. *)
+
+val executor_ranks_extents : plan -> global:int array -> (int array * int array) list
+(** Executor phase geometry: per-rank (offset, extent) pairs for the ragged
+    dimension-0 decomposition of [global]. *)

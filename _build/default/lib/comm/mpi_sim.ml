@@ -1,0 +1,68 @@
+type key = { src : int; dst : int; tag : int }
+
+type t = {
+  nranks : int;
+  queues : (key, Bytes.t Queue.t) Hashtbl.t;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable pending : int;
+}
+
+type request = key
+
+let create ~nranks =
+  if nranks < 1 then invalid_arg "Mpi_sim.create: need at least one rank";
+  {
+    nranks;
+    queues = Hashtbl.create 64;
+    messages_sent = 0;
+    bytes_sent = 0;
+    pending = 0;
+  }
+
+let nranks t = t.nranks
+
+let check_rank t r name =
+  if r < 0 || r >= t.nranks then
+    invalid_arg (Printf.sprintf "Mpi_sim.%s: rank %d out of [0,%d)" name r t.nranks)
+
+let queue_of t key =
+  match Hashtbl.find_opt t.queues key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queues key q;
+      q
+
+let isend t ~src ~dst ~tag payload =
+  check_rank t src "isend";
+  check_rank t dst "isend";
+  Queue.push (Bytes.copy payload) (queue_of t { src; dst; tag });
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + Bytes.length payload;
+  t.pending <- t.pending + 1
+
+let irecv t ~dst ~src ~tag =
+  check_rank t src "irecv";
+  check_rank t dst "irecv";
+  { src; dst; tag }
+
+let wait t req =
+  let q = queue_of t req in
+  match Queue.take_opt q with
+  | Some payload ->
+      t.pending <- t.pending - 1;
+      payload
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Mpi_sim.wait: no message for src=%d dst=%d tag=%d (deadlock)" req.src
+           req.dst req.tag)
+
+let pending_messages t = t.pending
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent
+
+let reset_counters t =
+  t.messages_sent <- 0;
+  t.bytes_sent <- 0

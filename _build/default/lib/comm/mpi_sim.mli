@@ -1,0 +1,35 @@
+(** Deterministic message-passing simulator with MPI-like semantics.
+
+    All ranks live in one process; messages are real byte buffers moved
+    through tag-matched FIFO queues, so pack/unpack and matching logic are
+    genuinely exercised. The distributed runtime drives ranks in lockstep
+    phases: every rank posts its [isend]s, then every rank completes its
+    [irecv]s — the standard non-blocking halo-exchange pattern of §4.4. *)
+
+type t
+
+type request
+
+val create : nranks:int -> t
+val nranks : t -> int
+
+val isend : t -> src:int -> dst:int -> tag:int -> Bytes.t -> unit
+(** Asynchronous send: enqueues a copy of the payload.
+    @raise Invalid_argument on out-of-range ranks. *)
+
+val irecv : t -> dst:int -> src:int -> tag:int -> request
+(** Post a receive; completion happens at {!wait}. *)
+
+val wait : t -> request -> Bytes.t
+(** Completes the receive, FIFO per (src, dst, tag).
+    @raise Failure if no matching message was sent (a deadlock in the
+    lockstep protocol — indicates a neighbour/tag bug). *)
+
+val pending_messages : t -> int
+(** Sent-but-unreceived messages (should be 0 between timesteps). *)
+
+(** {1 Traffic counters (drive the network cost model)} *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  alpha_s : float;
+  beta_gbs : float;
+  congestion_at : nranks:int -> messages_per_rank:int -> bytes_per_message:float -> float;
+}
+
+let sunway_taihulight =
+  {
+    name = "Sunway TaihuLight fat-tree";
+    alpha_s = 1.5e-6;
+    beta_gbs = 6.0;
+    congestion_at =
+      (fun ~nranks ~messages_per_rank ~bytes_per_message ->
+        ignore bytes_per_message;
+        (* Ample bisection; only a mild penalty at full-system message
+           storms. *)
+        1.0
+        +. (0.02
+           *. log (float_of_int (max 1 nranks))
+           *. (float_of_int messages_per_rank /. 8.0)));
+  }
+
+let tianhe3_prototype =
+  {
+    name = "Tianhe-3 prototype interconnect";
+    (* Prototype MPI stack: high per-message software cost. *)
+    alpha_s = 25e-6;
+    beta_gbs = 4.0;
+    congestion_at =
+      (fun ~nranks ~messages_per_rank ~bytes_per_message ->
+        ignore messages_per_rank;
+        (* Limited switch capacity: small messages from many concurrently
+           exchanging ranks collide; large streaming transfers are fine.
+           This is what bends the 2-D strong-scaling curves (frequent,
+           small halo messages) while 3-D face exchanges stay efficient
+           (Figure 10a). *)
+        let small = 24e3 /. (8e3 +. bytes_per_message) in
+        1.0 +. (18.0 *. (float_of_int nranks /. 256.0) *. (small *. small)));
+  }
+
+let shared_memory =
+  {
+    name = "intra-node shared memory";
+    alpha_s = 0.4e-6;
+    beta_gbs = 12.0;
+    congestion_at =
+      (fun ~nranks ~messages_per_rank ~bytes_per_message ->
+        ignore messages_per_rank;
+        ignore bytes_per_message;
+        (* Memory-bus contention among co-located ranks. *)
+        1.0 +. (0.05 *. (float_of_int nranks /. 28.0)));
+  }
+
+let exchange_time t ~nranks ~messages_per_rank ~bytes_per_message =
+  let congestion = t.congestion_at ~nranks ~messages_per_rank ~bytes_per_message in
+  (* Contention inflates the per-message setup cost; the payload streams at
+     link bandwidth once a route is established. *)
+  let per_message = (t.alpha_s *. congestion) +. (bytes_per_message /. (t.beta_gbs *. 1e9)) in
+  float_of_int messages_per_rank *. per_message
+
+let master_coordinated_time t ~nranks ~messages_per_rank ~bytes_per_message =
+  (* Each halo message makes two hops (rank -> master -> rank) and the master
+     serialises all of them. *)
+  let total_messages = 2 * nranks * messages_per_rank in
+  let per_message = t.alpha_s +. (bytes_per_message /. (t.beta_gbs *. 1e9)) in
+  float_of_int total_messages *. per_message

@@ -1,0 +1,37 @@
+(** Interconnect cost models for large-scale runs (Figure 10).
+
+    A halo exchange is costed with the alpha-beta model per message, plus a
+    topology-dependent congestion multiplier that grows with the number of
+    concurrently communicating ranks — the effect the paper blames for the
+    2-D strong-scaling droop on the Tianhe-3 prototype. *)
+
+type t = {
+  name : string;
+  alpha_s : float;  (** per-message latency *)
+  beta_gbs : float;  (** per-link bandwidth, GB/s *)
+  congestion_at :
+    nranks:int -> messages_per_rank:int -> bytes_per_message:float -> float;
+      (** multiplier >= 1 applied to the per-message setup cost; small
+          messages from many concurrent ranks congest hardest *)
+}
+
+val sunway_taihulight : t
+(** Custom fat-tree; generous bisection: congestion stays near 1. *)
+
+val tianhe3_prototype : t
+(** Prototype interconnect with limited bisection bandwidth: congestion grows
+    with scale and message count. *)
+
+val shared_memory : t
+(** Intra-node "network" used for the CPU-platform Physis comparison. *)
+
+val exchange_time :
+  t -> nranks:int -> messages_per_rank:int -> bytes_per_message:float -> float
+(** Wall time of one asynchronous exchange round: all ranks communicate
+    concurrently, so the cost is one rank's serialised message stream times
+    the congestion multiplier. *)
+
+val master_coordinated_time :
+  t -> nranks:int -> messages_per_rank:int -> bytes_per_message:float -> float
+(** The Physis-style RPC protocol: every message is relayed through a master
+    rank, serialising the entire exchange volume (§5.5). *)

@@ -1,0 +1,145 @@
+open Msc_ir
+module Schedule = Msc_schedule.Schedule
+
+type platform = Sunway | Tianhe3
+
+type point = {
+  ranks : int;
+  cores : int;
+  mpi_grid : int array;
+  sub_grid : int array;
+  compute_s : float;
+  comm_s : float;
+  time_per_step_s : float;
+  gflops : float;
+  ideal_gflops : float;
+}
+
+let cores_per_rank = function Sunway -> 65 | Tianhe3 -> 32
+
+let network = function
+  | Sunway -> Netmodel.sunway_taihulight
+  | Tianhe3 -> Netmodel.tianhe3_prototype
+
+let clamp_tile tile dims = Array.mapi (fun d t -> min t dims.(d)) tile
+
+(* Shrink the tile until the time-window read buffers plus the write buffer
+   fit the 64 KB scratchpad (the compiler would reject the schedule
+   otherwise). Halves the widest non-contiguous dimension first. *)
+let sunway_fit_tile (st : Stencil.t) tile =
+  let nd = Array.length tile in
+  let radius = Stencil.radius st in
+  let elem = Dtype.size_bytes st.Stencil.grid.Tensor.dtype in
+  let nstates = Stencil.time_window st in
+  let fits tile =
+    let padded = ref 1 and interior = ref 1 in
+    Array.iteri
+      (fun d t ->
+        padded := !padded * (t + (2 * radius.(d)));
+        interior := !interior * t)
+      tile;
+    ((nstates * !padded) + !interior) * elem <= 64 * 1024
+  in
+  let tile = Array.copy tile in
+  let rec shrink () =
+    if fits tile then tile
+    else begin
+      let widest = ref (-1) in
+      for d = 0 to nd - 2 do
+        if tile.(d) > 1 && (!widest < 0 || tile.(d) > tile.(!widest)) then widest := d
+      done;
+      let d = if !widest >= 0 then !widest else nd - 1 in
+      if tile.(d) = 1 then tile
+      else begin
+        tile.(d) <- max 1 (tile.(d) / 2);
+        shrink ()
+      end
+    end
+  in
+  shrink ()
+
+let node_compute_time platform (st : Stencil.t) =
+  let kernels = Stencil.kernels st in
+  let kernel = List.hd kernels in
+  let dims = st.Stencil.grid.Tensor.shape in
+  match platform with
+  | Sunway ->
+      let tile = sunway_fit_tile st (clamp_tile (Schedule.default_tile kernel) dims) in
+      let sched = Schedule.sunway_canonical ~tile kernel in
+      (match Msc_sunway.Sim.simulate ~steps:1 st sched with
+      | Ok r -> r.Msc_sunway.Sim.time_per_step_s
+      | Error msg -> invalid_arg ("Scaling: " ^ msg))
+  | Tianhe3 ->
+      let tile = clamp_tile (Schedule.default_tile kernel) dims in
+      let sched = Schedule.matrix_canonical ~tile kernel in
+      (match Msc_matrix.Sim.simulate ~steps:1 st sched with
+      | Ok r -> r.Msc_matrix.Sim.time_per_step_s
+      | Error msg -> invalid_arg ("Scaling: " ^ msg))
+
+let comm_time platform ~ranks ~sub_grid ~radius ~elem =
+  let nd = Array.length sub_grid in
+  let volume = Array.fold_left ( * ) 1 sub_grid in
+  let messages_per_rank = 2 * nd in
+  (* Mean face payload: radius-deep slab of the sub-grid per face. *)
+  let total_face_bytes =
+    List.init nd (fun d -> volume / sub_grid.(d) * radius.(d) * elem)
+    |> List.fold_left ( + ) 0
+  in
+  let bytes_per_message =
+    float_of_int (2 * total_face_bytes) /. float_of_int messages_per_rank
+  in
+  Netmodel.exchange_time (network platform) ~nranks:ranks ~messages_per_rank
+    ~bytes_per_message
+
+let run ~platform ~make_stencil ~configs =
+  let points =
+    List.map
+      (fun (mpi_grid, sub_grid) ->
+        let ranks = Array.fold_left ( * ) 1 mpi_grid in
+        let st = make_stencil sub_grid in
+        let compute_s = node_compute_time platform st in
+        let radius = Stencil.radius st in
+        let elem = Dtype.size_bytes st.Stencil.grid.Tensor.dtype in
+        let comm_s = comm_time platform ~ranks ~sub_grid ~radius ~elem in
+        (* Asynchronous exchange overlaps with the inner-region sweep, but
+           the packing/unpacking half of the exchange cannot hide. *)
+        let overlap_residual = 0.5 in
+        let time_per_step_s =
+          Float.max compute_s comm_s
+          +. (overlap_residual *. Float.min compute_s comm_s)
+        in
+        let flops =
+          float_of_int (Stencil.flops_per_point st)
+          *. float_of_int (Array.fold_left ( * ) 1 sub_grid)
+          *. float_of_int ranks
+        in
+        {
+          ranks;
+          cores = ranks * cores_per_rank platform;
+          mpi_grid;
+          sub_grid;
+          compute_s;
+          comm_s;
+          time_per_step_s;
+          gflops = flops /. time_per_step_s /. 1e9;
+          ideal_gflops = 0.0;
+        })
+      configs
+  in
+  match points with
+  | [] -> []
+  | first :: _ ->
+      List.map
+        (fun p ->
+          {
+            p with
+            ideal_gflops =
+              first.gflops *. (float_of_int p.ranks /. float_of_int first.ranks);
+          })
+        points
+
+let speedup_vs_first = function
+  | [] -> 1.0
+  | first :: _ as points ->
+      let last = List.nth points (List.length points - 1) in
+      last.gflops /. first.gflops

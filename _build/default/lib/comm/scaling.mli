@@ -1,0 +1,34 @@
+(** Strong/weak scalability estimation (Figure 10): per-rank node performance
+    comes from the processor simulators, halo-exchange cost from the network
+    model, and computation/communication overlap follows the asynchronous
+    design of §4.4. *)
+
+type platform = Sunway | Tianhe3
+
+type point = {
+  ranks : int;
+  cores : int;  (** ranks x cores-per-rank (65 on Sunway CGs, 32 on Matrix) *)
+  mpi_grid : int array;
+  sub_grid : int array;
+  compute_s : float;  (** per step, per rank *)
+  comm_s : float;  (** per step, per rank *)
+  time_per_step_s : float;
+  gflops : float;  (** aggregate achieved *)
+  ideal_gflops : float;  (** linear extrapolation from the smallest run *)
+}
+
+val cores_per_rank : platform -> int
+
+val run :
+  platform:platform ->
+  make_stencil:(int array -> Msc_ir.Stencil.t) ->
+  configs:(int array * int array) list ->
+  point list
+(** [configs] pairs an MPI grid shape with the per-rank sub-grid extents
+    (Table 7 rows; for strong scaling the sub-grid shrinks as ranks grow, for
+    weak scaling it is constant). The stencil builder receives the sub-grid
+    extents. *)
+
+val speedup_vs_first : point list -> float
+(** Achieved perf at the largest scale over the smallest (the paper reports
+    6.74x strong / 7.85x weak on Sunway when cores scale 8x). *)

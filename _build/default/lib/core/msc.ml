@@ -1,0 +1,62 @@
+module Dtype = Msc_ir.Dtype
+module Expr = Msc_ir.Expr
+module Tensor = Msc_ir.Tensor
+module Kernel = Msc_ir.Kernel
+module Stencil = Msc_ir.Stencil
+module Shapes = Msc_frontend.Shapes
+module Builder = Msc_frontend.Builder
+module Pretty = Msc_frontend.Pretty
+module Schedule = Msc_schedule.Schedule
+module Loopnest = Msc_schedule.Loopnest
+module Grid = Msc_exec.Grid
+module Runtime = Msc_exec.Runtime
+module Reference = Msc_exec.Reference
+module Verify = Msc_exec.Verify
+module Bc = Msc_exec.Bc
+module Codegen = Msc_codegen.Codegen
+module Machine = Msc_machine.Machine
+module Roofline = Msc_machine.Roofline
+module Sunway = Msc_sunway.Sim
+module Spm = Msc_sunway.Spm
+module Matrix = Msc_matrix.Sim
+module Mpi = Msc_comm.Mpi_sim
+module Decomp = Msc_comm.Decomp
+module Halo = Msc_comm.Halo
+module Distributed = Msc_comm.Distributed
+module Scaling = Msc_comm.Scaling
+module Autotune = Msc_autotune.Autotune
+module Tuning_params = Msc_autotune.Params
+module Suite = Msc_benchsuite.Suite
+module Experiments = Msc_benchsuite.Experiments
+module Ablations = Msc_benchsuite.Ablations
+module Inspector = Msc_comm.Inspector
+module Domain_pool = Msc_util.Domain_pool
+module Prng = Msc_util.Prng
+module Units_fmt = Msc_util.Units_fmt
+module Stats = Msc_util.Stats
+module Table = Msc_util.Table
+module Chart = Msc_util.Chart
+
+let run ?schedule ?bc ?(workers = 1) ~steps st =
+  let pool = Domain_pool.create workers in
+  let rt = Runtime.create ?schedule ?bc ~pool st in
+  Runtime.run rt steps;
+  Runtime.current rt
+
+let verify ?schedule ?bc ~steps st = Verify.check ?schedule ?bc ~steps st
+
+let compile_to_source ?steps ?bc ~target st schedule =
+  match Codegen.target_of_string target with
+  | Error _ as e -> e
+  | Ok t -> (
+      try Ok (Codegen.generate ?steps ?bc st schedule t)
+      with Invalid_argument msg -> Error msg)
+
+let simulate_sunway ?steps st schedule = Sunway.simulate ?steps st schedule
+let simulate_matrix ?steps st schedule = Matrix.simulate ?steps st schedule
+
+let distribute ?schedule ?bc ~ranks_shape st =
+  Distributed.create ?schedule ?bc ~ranks_shape st
+
+let autotune ?seed ~make_stencil ~global ~nranks () =
+  Autotune.tune ?seed ~make_stencil ~global ~nranks ()

@@ -1,0 +1,88 @@
+(** MSC: a stencil DSL with automatic code generation and optimization for
+    large-scale many-core execution (OCaml reproduction of Li et al.,
+    ICPP '21).
+
+    The typical pipeline is: define a grid and kernel with {!Builder},
+    schedule it with {!Schedule} primitives, then
+
+    - {!run} it natively (sliding time window, tiled, domain-parallel),
+    - {!compile_to_source} to emit AOT C for CPU / OpenMP / Sunway athread,
+    - {!simulate_sunway} / {!simulate_matrix} to predict many-core
+      performance,
+    - {!distribute} it over a simulated MPI grid with automatic halo
+      exchange, or
+    - {!autotune} the tile sizes and process grid.
+
+    Submodules re-export every subsystem; see also the runnable programs
+    under [examples/]. *)
+
+(** {1 Re-exported subsystems} *)
+
+module Dtype = Msc_ir.Dtype
+module Expr = Msc_ir.Expr
+module Tensor = Msc_ir.Tensor
+module Kernel = Msc_ir.Kernel
+module Stencil = Msc_ir.Stencil
+module Shapes = Msc_frontend.Shapes
+module Builder = Msc_frontend.Builder
+module Pretty = Msc_frontend.Pretty
+module Schedule = Msc_schedule.Schedule
+module Loopnest = Msc_schedule.Loopnest
+module Grid = Msc_exec.Grid
+module Runtime = Msc_exec.Runtime
+module Reference = Msc_exec.Reference
+module Verify = Msc_exec.Verify
+module Bc = Msc_exec.Bc
+module Codegen = Msc_codegen.Codegen
+module Machine = Msc_machine.Machine
+module Roofline = Msc_machine.Roofline
+module Sunway = Msc_sunway.Sim
+module Spm = Msc_sunway.Spm
+module Matrix = Msc_matrix.Sim
+module Mpi = Msc_comm.Mpi_sim
+module Decomp = Msc_comm.Decomp
+module Halo = Msc_comm.Halo
+module Distributed = Msc_comm.Distributed
+module Scaling = Msc_comm.Scaling
+module Autotune = Msc_autotune.Autotune
+module Tuning_params = Msc_autotune.Params
+module Suite = Msc_benchsuite.Suite
+module Experiments = Msc_benchsuite.Experiments
+module Ablations = Msc_benchsuite.Ablations
+module Inspector = Msc_comm.Inspector
+module Domain_pool = Msc_util.Domain_pool
+module Prng = Msc_util.Prng
+module Units_fmt = Msc_util.Units_fmt
+module Stats = Msc_util.Stats
+module Table = Msc_util.Table
+module Chart = Msc_util.Chart
+
+(** {1 Pipeline conveniences} *)
+
+val run :
+  ?schedule:Schedule.t -> ?bc:Bc.t -> ?workers:int -> steps:int -> Stencil.t ->
+  Grid.t
+(** Execute natively and return the final state. *)
+
+val verify :
+  ?schedule:Schedule.t -> ?bc:Bc.t -> steps:int -> Stencil.t -> Verify.report
+(** §5.1 correctness check against the naive reference. *)
+
+val compile_to_source :
+  ?steps:int -> ?bc:Bc.t -> target:string -> Stencil.t -> Schedule.t ->
+  (Codegen.file list, string) result
+(** [target] is ["cpu"], ["openmp"]/["matrix"], or ["sunway"]/["athread"]. *)
+
+val simulate_sunway :
+  ?steps:int -> Stencil.t -> Schedule.t -> (Sunway.report, string) result
+
+val simulate_matrix :
+  ?steps:int -> Stencil.t -> Schedule.t -> (Matrix.report, string) result
+
+val distribute :
+  ?schedule:Schedule.t -> ?bc:Bc.t -> ranks_shape:int array -> Stencil.t ->
+  Distributed.t
+
+val autotune :
+  ?seed:int -> make_stencil:(int array -> Stencil.t) -> global:int array ->
+  nranks:int -> unit -> Autotune.result

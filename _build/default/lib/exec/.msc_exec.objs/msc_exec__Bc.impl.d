@@ -1,0 +1,1 @@
+lib/exec/bc.ml: Array Format Grid

@@ -1,0 +1,1 @@
+lib/exec/bc.mli: Format Grid

@@ -1,0 +1,1 @@
+lib/exec/grid.ml: Array Bytes Float Format Fun Int64 Msc_ir Msc_util Printf String

@@ -1,0 +1,1 @@
+lib/exec/grid.mli: Format Msc_ir Msc_util

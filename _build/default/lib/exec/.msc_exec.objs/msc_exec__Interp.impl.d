@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Expr Grid Kernel List Msc_ir Option Printf String Tensor

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Grid Msc_ir

@@ -1,0 +1,1 @@
+lib/exec/reference.ml: Array Bc Expr Grid Kernel List Msc_ir Printf Runtime Stencil String Tensor

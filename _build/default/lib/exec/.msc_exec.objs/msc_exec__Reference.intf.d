@@ -1,0 +1,1 @@
+lib/exec/reference.mli: Bc Grid Msc_ir

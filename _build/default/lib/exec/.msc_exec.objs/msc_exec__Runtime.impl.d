@@ -1,0 +1,1 @@
+lib/exec/runtime.ml: Array Bc Grid Hashtbl Interp Kernel List Msc_ir Msc_schedule Msc_util Stencil String Tensor

@@ -1,0 +1,1 @@
+lib/exec/runtime.mli: Bc Grid Msc_ir Msc_schedule Msc_util

@@ -1,0 +1,1 @@
+lib/exec/verify.ml: Format Grid Msc_ir Reference Runtime

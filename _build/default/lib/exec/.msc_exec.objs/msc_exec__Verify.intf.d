@@ -1,0 +1,1 @@
+lib/exec/verify.mli: Bc Format Grid Msc_ir Msc_schedule Msc_util

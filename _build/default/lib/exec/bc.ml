@@ -1,0 +1,72 @@
+type t = Dirichlet of float | Periodic | Reflect
+
+let mapped_coord t ~extent c =
+  if c >= 0 && c < extent then Some c
+  else
+    match t with
+    | Dirichlet _ -> None
+    | Periodic -> Some (((c mod extent) + extent) mod extent)
+    | Reflect -> Some (if c < 0 then -c - 1 else (2 * extent) - c - 1)
+
+let apply ?low ?high t (g : Grid.t) =
+  let nd = Grid.ndim g in
+  let low = match low with Some a -> a | None -> Array.make nd true in
+  let high = match high with Some a -> a | None -> Array.make nd true in
+  if Array.length low <> nd || Array.length high <> nd then
+    invalid_arg "Bc.apply: mask rank mismatch";
+  (match t with
+  | Reflect | Periodic ->
+      Array.iteri
+        (fun d h ->
+          if h > g.Grid.shape.(d) then
+            invalid_arg "Bc.apply: halo wider than the interior")
+        g.Grid.halo
+  | Dirichlet _ -> ());
+  let coord = Array.make nd 0 in
+  let mapped = Array.make nd 0 in
+  let rec go d =
+    if d = nd then begin
+      (* Classify this cell's out-of-range dimensions. *)
+      let physical_out = ref false and nonphysical_out = ref false in
+      Array.iteri
+        (fun k c ->
+          if c < 0 then
+            if low.(k) then physical_out := true else nonphysical_out := true
+          else if c >= g.Grid.shape.(k) then
+            if high.(k) then physical_out := true else nonphysical_out := true)
+        coord;
+      if !physical_out then begin
+        match t with
+        | Dirichlet v -> Grid.set g coord v
+        | Periodic | Reflect ->
+            let ok = ref true in
+            Array.iteri
+              (fun k c ->
+                let is_physical_out =
+                  (c < 0 && low.(k)) || (c >= g.Grid.shape.(k) && high.(k))
+                in
+                if is_physical_out then begin
+                  match mapped_coord t ~extent:g.Grid.shape.(k) c with
+                  | Some c' -> mapped.(k) <- c'
+                  | None -> ok := false
+                end
+                else mapped.(k) <- c)
+              coord;
+            if !ok then Grid.set g coord (Grid.get g mapped)
+      end
+      else ignore !nonphysical_out
+    end
+    else
+      for c = -g.Grid.halo.(d) to g.Grid.shape.(d) + g.Grid.halo.(d) - 1 do
+        coord.(d) <- c;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let pp ppf = function
+  | Dirichlet v -> Format.fprintf ppf "dirichlet(%g)" v
+  | Periodic -> Format.pp_print_string ppf "periodic"
+  | Reflect -> Format.pp_print_string ppf "reflect"
+
+let equal a b = a = b

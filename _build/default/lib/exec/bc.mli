@@ -1,0 +1,32 @@
+(** Boundary conditions for the physical edges of the domain.
+
+    The paper's related work (§2.4) notes STELLA "supports updating the halo
+    data through boundary conditions or its halo-exchanging library"; MSC's
+    generated codes treat the physical halo as data. This module provides
+    the three standard conditions; the default everywhere is
+    [Dirichlet 0.0], which matches the paper's zero-halo convention.
+
+    A condition is applied to a grid's halo cells. In distributed runs only
+    the faces on the physical boundary are applied (interior faces are owned
+    by the halo exchange); periodic domains have no physical faces at all —
+    their wrap-around traffic goes through the exchange. *)
+
+type t =
+  | Dirichlet of float  (** halo cells hold a constant *)
+  | Periodic  (** halo cells wrap to the opposite edge *)
+  | Reflect  (** halo cells mirror the interior (zero-flux) *)
+
+val apply : ?low:bool array -> ?high:bool array -> t -> Grid.t -> unit
+(** Refresh the halo cells whose out-of-range dimensions all lie on physical
+    faces. [low]/[high] mark which faces are physical per dimension (default
+    all). Mapping is per-dimension, so edges and corners compose correctly;
+    non-physical out-of-range dimensions are kept as-is (their data comes
+    from a prior exchange). *)
+
+val mapped_coord : t -> extent:int -> int -> int option
+(** Where one out-of-range coordinate reads from: [None] for Dirichlet
+    (constant, no source), [Some c'] for periodic/reflect. In-range
+    coordinates map to themselves. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,73 @@
+(** Dense n-dimensional grids with halo padding (the runtime realisation of an
+    SpNode). Data is stored row-major over the padded box in a flat float
+    array; the interior is offset by the halo width in each dimension.
+
+    Boundary convention throughout the reproduction: halo cells hold Dirichlet
+    data (zero unless written by a halo exchange), matching how the paper's
+    generated code treats physical boundaries. *)
+
+type t = private {
+  shape : int array;  (** interior extents *)
+  halo : int array;
+  padded : int array;
+  strides : int array;  (** row-major strides over the padded box *)
+  data : float array;  (** length = product of [padded] *)
+}
+
+val create : shape:int array -> halo:int array -> t
+(** Zero-filled grid. @raise Invalid_argument on bad shapes. *)
+
+val of_tensor : Msc_ir.Tensor.t -> t
+val like : t -> t
+val copy : t -> t
+val ndim : t -> int
+val interior_elems : t -> int
+
+val flat_index : t -> int array -> int
+(** Flat index of an interior coordinate (0-based, halo-adjusted). The
+    coordinate may extend into the halo by up to the halo width. *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+val fill : t -> (int array -> float) -> unit
+(** Set every interior point from its coordinate; halo is untouched. *)
+
+val fill_extended : t -> (int array -> float) -> unit
+(** Set every cell {e including the halo} from its interior-relative
+    coordinate (halo cells get negative / beyond-extent coordinates). Used
+    for static coefficient grids, whose boundary values are defined by the
+    same closed form as the interior. *)
+
+val fill_random : t -> Msc_util.Prng.t -> unit
+(** Uniform values in [\[0,1)] over the interior. *)
+
+val fill_all : t -> float -> unit
+(** Every cell, halo included. *)
+
+val clear_halo : t -> unit
+(** Zero all halo cells, keeping the interior. *)
+
+val iter_interior : t -> (int array -> unit) -> unit
+(** Visit interior coordinates in row-major order. The coordinate array is
+    reused between calls; copy it if retained. *)
+
+val blit_interior : src:t -> dst:t -> unit
+(** Copy the interior region; shapes must match (halos may differ). *)
+
+val max_abs : t -> float
+val max_rel_error : reference:t -> t -> float
+(** max over interior of [|a-b| / max(|a|, 1)]; shapes must match. *)
+
+val checksum : t -> float
+(** Order-independent digest of the interior, for quick equality tests. *)
+
+val save : t -> string -> unit
+(** Serialise to a binary file: magic, rank, shape, halo, then the padded
+    data as little-endian float64 — the on-disk format behind the DSL's
+    [st.input(..., "/data/rand.data")]. *)
+
+val load : string -> t
+(** @raise Invalid_argument on a malformed or truncated file. *)
+
+val pp_stats : Format.formatter -> t -> unit

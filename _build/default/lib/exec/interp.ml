@@ -1,0 +1,331 @@
+open Msc_ir
+
+(* One additive term of a bilinear kernel: coeff * Aux[p+aux_delta]? *
+   In[p+in_delta]?. At least one of the two accesses is present. *)
+type bi_term = {
+  coeff : float;
+  aux_name : string option;
+  aux_delta : int;
+  in_delta : int;
+  has_input : bool;
+}
+
+type mode =
+  | Taps of { coeffs : float array; deltas : int array }
+  | Bilinear of bi_term array
+  | Tree of Expr.t
+
+type t = {
+  kernel : Kernel.t;
+  mode : mode;
+  shape : int array;
+  halo : int array;
+  strides : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bilinear decomposition *)
+
+exception Not_bilinear
+
+(* A partial term during decomposition. *)
+type partial = {
+  c : float;
+  aux : Expr.access option;
+  inp : Expr.access option;
+}
+
+let bilinear_terms ~bindings ~input_name e =
+  let mul_partial a b =
+    let aux =
+      match (a.aux, b.aux) with
+      | Some _, Some _ -> raise Not_bilinear
+      | (Some _ as x), None | None, x -> x
+    in
+    let inp =
+      match (a.inp, b.inp) with
+      | Some _, Some _ -> raise Not_bilinear
+      | (Some _ as x), None | None, x -> x
+    in
+    { c = a.c *. b.c; aux; inp }
+  in
+  let rec go (e : Expr.t) : partial list =
+    match e with
+    | Expr.Fconst x -> [ { c = x; aux = None; inp = None } ]
+    | Expr.Iconst n -> [ { c = float_of_int n; aux = None; inp = None } ]
+    | Expr.Param name -> (
+        match List.assoc_opt name bindings with
+        | Some v -> [ { c = v; aux = None; inp = None } ]
+        | None -> raise Not_bilinear)
+    | Expr.Var _ -> raise Not_bilinear
+    | Expr.Access a ->
+        if String.equal a.Expr.tensor input_name then
+          [ { c = 1.0; aux = None; inp = Some a } ]
+        else [ { c = 1.0; aux = Some a; inp = None } ]
+    | Expr.Unop (Expr.Neg, a) -> List.map (fun t -> { t with c = -.t.c }) (go a)
+    | Expr.Unop ((Expr.Abs | Expr.Sqrt | Expr.Exp | Expr.Sin | Expr.Cos), _) ->
+        raise Not_bilinear
+    | Expr.Binop (Expr.Add, a, b) -> go a @ go b
+    | Expr.Binop (Expr.Sub, a, b) ->
+        go a @ List.map (fun t -> { t with c = -.t.c }) (go b)
+    | Expr.Binop (Expr.Mul, a, b) ->
+        let ta = go a and tb = go b in
+        List.concat_map (fun x -> List.map (mul_partial x) tb) ta
+    | Expr.Binop (Expr.Div, a, b) -> (
+        match go b with
+        | [ { c; aux = None; inp = None } ] when c <> 0.0 ->
+            List.map (fun t -> { t with c = t.c /. c }) (go a)
+        | _ -> raise Not_bilinear)
+    | Expr.Binop ((Expr.Min | Expr.Max), _, _) | Expr.Call _ -> raise Not_bilinear
+  in
+  match go e with
+  | exception Not_bilinear -> None
+  | partials ->
+      (* A nonzero pure-constant part is not representable. *)
+      let constant =
+        List.fold_left
+          (fun acc p -> if p.aux = None && p.inp = None then acc +. p.c else acc)
+          0.0 partials
+      in
+      if constant <> 0.0 then None
+      else
+        Some (List.filter (fun p -> p.aux <> None || p.inp <> None) partials)
+
+(* ------------------------------------------------------------------ *)
+
+let flat_delta strides offsets =
+  let delta = ref 0 in
+  Array.iteri (fun d off -> delta := !delta + (off * strides.(d))) offsets;
+  !delta
+
+let compile kernel ~geometry:(g : Grid.t) =
+  if Kernel.ndim kernel <> Grid.ndim g then
+    invalid_arg "Interp.compile: rank mismatch";
+  if kernel.Kernel.input.Tensor.shape <> g.Grid.shape then
+    invalid_arg "Interp.compile: shape mismatch";
+  let mode =
+    match Kernel.taps kernel with
+    | Some taps ->
+        let n = List.length taps in
+        let coeffs = Array.make n 0.0 and deltas = Array.make n 0 in
+        List.iteri
+          (fun k (tap : Expr.tap) ->
+            coeffs.(k) <- tap.Expr.coeff;
+            deltas.(k) <- flat_delta g.Grid.strides tap.Expr.offsets)
+          taps;
+        Taps { coeffs; deltas }
+    | None -> (
+        match
+          bilinear_terms ~bindings:kernel.Kernel.bindings
+            ~input_name:kernel.Kernel.input.Tensor.name kernel.Kernel.expr
+        with
+        | Some partials ->
+            Bilinear
+              (Array.of_list
+                 (List.map
+                    (fun p ->
+                      {
+                        coeff = p.c;
+                        aux_name = Option.map (fun (a : Expr.access) -> a.Expr.tensor) p.aux;
+                        aux_delta =
+                          (match p.aux with
+                          | Some a -> flat_delta g.Grid.strides a.Expr.offsets
+                          | None -> 0);
+                        in_delta =
+                          (match p.inp with
+                          | Some a -> flat_delta g.Grid.strides a.Expr.offsets
+                          | None -> 0);
+                        has_input = p.inp <> None;
+                      })
+                    partials))
+        | None -> Tree kernel.Kernel.expr)
+  in
+  { kernel; mode; shape = g.Grid.shape; halo = g.Grid.halo; strides = g.Grid.strides }
+
+let kernel t = t.kernel
+let is_linear t = match t.mode with Taps _ -> true | Bilinear _ | Tree _ -> false
+let is_bilinear t = match t.mode with Bilinear _ -> true | Taps _ | Tree _ -> false
+
+let check_geometry t name (g : Grid.t) =
+  if g.Grid.shape <> t.shape || g.Grid.strides <> t.strides then
+    invalid_arg (Printf.sprintf "Interp: %s grid differs from compiled geometry" name)
+
+let check_grids t ~(src : Grid.t) ~(dst : Grid.t) =
+  check_geometry t "src" src;
+  check_geometry t "dst" dst;
+  if src.Grid.data == dst.Grid.data then invalid_arg "Interp: src aliases dst"
+
+let check_range t ~lo ~hi =
+  let nd = Array.length t.shape in
+  if Array.length lo <> nd || Array.length hi <> nd then
+    invalid_arg "Interp: range rank mismatch";
+  Array.iteri
+    (fun d l ->
+      if l < 0 || hi.(d) > t.shape.(d) then invalid_arg "Interp: range out of bounds")
+    lo
+
+let aux_data t ~aux name =
+  match List.assoc_opt name aux with
+  | Some (g : Grid.t) ->
+      check_geometry t ("aux " ^ name) g;
+      g.Grid.data
+  | None -> invalid_arg (Printf.sprintf "Interp: kernel reads aux grid %s but it was not supplied" name)
+
+(* Generic n-D walker over [lo, hi): invokes [row base len] for each
+   innermost row, where [base] is the flat index of the first element. *)
+let iter_rows t ~lo ~hi row =
+  let nd = Array.length t.shape in
+  let last = nd - 1 in
+  let row_len = hi.(last) - lo.(last) in
+  if row_len > 0 then begin
+    let coord = Array.copy lo in
+    let flat_of coord =
+      let acc = ref 0 in
+      for d = 0 to nd - 1 do
+        acc := !acc + ((coord.(d) + t.halo.(d)) * t.strides.(d))
+      done;
+      !acc
+    in
+    let rec go d =
+      if d = last then row (flat_of coord) row_len
+      else
+        for k = lo.(d) to hi.(d) - 1 do
+          coord.(d) <- k;
+          go (d + 1)
+        done
+    in
+    coord.(last) <- lo.(last);
+    go 0
+  end
+
+let eval_tree t expr ~(src : Grid.t) ~aux coord =
+  let load (a : Expr.access) =
+    let data =
+      if String.equal a.Expr.tensor t.kernel.Kernel.input.Tensor.name then src.Grid.data
+      else aux_data t ~aux a.Expr.tensor
+    in
+    let flat = ref 0 in
+    for d = 0 to Array.length coord - 1 do
+      flat := !flat + ((coord.(d) + a.Expr.offsets.(d) + t.halo.(d)) * t.strides.(d))
+    done;
+    data.(!flat)
+  in
+  let var name =
+    let rec find d = function
+      | [] -> invalid_arg (Printf.sprintf "Interp: unknown loop var %s" name)
+      | v :: rest -> if String.equal v name then float_of_int coord.(d) else find (d + 1) rest
+    in
+    find 0 t.kernel.Kernel.index_vars
+  in
+  Expr.eval ~bindings:t.kernel.Kernel.bindings ~load ~var expr
+
+let sweep ?(aux = []) t ~src ~dst ~lo ~hi ~write =
+  check_grids t ~src ~dst;
+  check_range t ~lo ~hi;
+  match t.mode with
+  | Taps { coeffs; deltas } ->
+      let ntaps = Array.length coeffs in
+      let sdata = src.Grid.data and ddata = dst.Grid.data in
+      iter_rows t ~lo ~hi (fun base len ->
+          for c = 0 to len - 1 do
+            let idx = base + c in
+            let acc = ref 0.0 in
+            for k = 0 to ntaps - 1 do
+              acc := !acc +. (coeffs.(k) *. Array.unsafe_get sdata (idx + deltas.(k)))
+            done;
+            write ddata idx !acc
+          done)
+  | Bilinear terms ->
+      (* Resolve each term's aux array once per sweep. *)
+      let nterms = Array.length terms in
+      let arrays =
+        Array.map
+          (fun term ->
+            match term.aux_name with
+            | Some name -> aux_data t ~aux name
+            | None -> src.Grid.data)
+          terms
+      in
+      let sdata = src.Grid.data and ddata = dst.Grid.data in
+      iter_rows t ~lo ~hi (fun base len ->
+          for c = 0 to len - 1 do
+            let idx = base + c in
+            let acc = ref 0.0 in
+            for k = 0 to nterms - 1 do
+              let term = Array.unsafe_get terms k in
+              let factor =
+                match term.aux_name with
+                | Some _ -> Array.unsafe_get arrays.(k) (idx + term.aux_delta)
+                | None -> 1.0
+              in
+              let input_v =
+                if term.has_input then Array.unsafe_get sdata (idx + term.in_delta)
+                else 1.0
+              in
+              acc := !acc +. (term.coeff *. factor *. input_v)
+            done;
+            write ddata idx !acc
+          done)
+  | Tree expr ->
+      let nd = Array.length t.shape in
+      let coord = Array.copy lo in
+      let last = nd - 1 in
+      let rec go d =
+        if d = nd then begin
+          let flat = ref 0 in
+          for k = 0 to last do
+            flat := !flat + ((coord.(k) + t.halo.(k)) * t.strides.(k))
+          done;
+          write dst.Grid.data !flat (eval_tree t expr ~src ~aux coord)
+        end
+        else
+          for k = lo.(d) to hi.(d) - 1 do
+            coord.(d) <- k;
+            go (d + 1)
+          done
+      in
+      go 0
+
+let apply_range ?aux t ~src ~dst ~lo ~hi =
+  sweep ?aux t ~src ~dst ~lo ~hi ~write:(fun data idx v -> Array.unsafe_set data idx v)
+
+let accumulate_range ?aux t ~scale ~src ~dst ~lo ~hi =
+  sweep ?aux t ~src ~dst ~lo ~hi ~write:(fun data idx v ->
+      Array.unsafe_set data idx (Array.unsafe_get data idx +. (scale *. v)))
+
+let apply ?aux t ~src ~dst =
+  let lo = Array.make (Array.length t.shape) 0 in
+  apply_range ?aux t ~src ~dst ~lo ~hi:t.shape
+
+let identity_accumulate_range ~scale ~(src : Grid.t) ~(dst : Grid.t) ~lo ~hi =
+  if src.Grid.shape <> dst.Grid.shape || src.Grid.strides <> dst.Grid.strides then
+    invalid_arg "identity_accumulate_range: geometry mismatch";
+  let nd = Array.length src.Grid.shape in
+  let coord = Array.copy lo in
+  let last = nd - 1 in
+  let row_len = hi.(last) - lo.(last) in
+  if row_len > 0 then begin
+    let flat_of coord =
+      let acc = ref 0 in
+      for d = 0 to nd - 1 do
+        acc := !acc + ((coord.(d) + src.Grid.halo.(d)) * src.Grid.strides.(d))
+      done;
+      !acc
+    in
+    coord.(last) <- lo.(last);
+    let sdata = src.Grid.data and ddata = dst.Grid.data in
+    let rec go d =
+      if d = last then begin
+        let base = flat_of coord in
+        for c = 0 to row_len - 1 do
+          ddata.(base + c) <- ddata.(base + c) +. (scale *. sdata.(base + c))
+        done
+      end
+      else
+        for k = lo.(d) to hi.(d) - 1 do
+          coord.(d) <- k;
+          go (d + 1)
+        done
+    in
+    go 0
+  end

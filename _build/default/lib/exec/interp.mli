@@ -1,0 +1,50 @@
+(** Kernel interpreter: executes a kernel sweep over real grids.
+
+    A kernel is compiled once against a grid geometry (strides + halo).
+    Three execution modes, fastest applicable wins:
+
+    - {b taps}: single-grid linear kernels become a flat (coefficient,
+      flat-delta) array evaluated in a tight loop;
+    - {b bilinear}: multi-grid kernels of the form
+      [sum_k c_k * Aux[p+a_k] * In[p+b_k]] (variable-coefficient stencils,
+      the §5.6 WRF/POP2 shape) become (coefficient, aux-delta, input-delta)
+      triples;
+    - {b tree}: anything else falls back to expression-tree evaluation.
+
+    Kernels reading aux grids must be given them at application time via
+    [~aux]; all grids must share the compiled geometry. *)
+
+type t
+
+val compile : Msc_ir.Kernel.t -> geometry:Grid.t -> t
+(** [geometry] supplies strides/halo only; any grid with the same shape and
+    halo can be passed to the apply functions.
+    @raise Invalid_argument if the kernel rank mismatches the grid. *)
+
+val kernel : t -> Msc_ir.Kernel.t
+
+val is_linear : t -> bool
+(** Taps mode. *)
+
+val is_bilinear : t -> bool
+
+val apply_range :
+  ?aux:(string * Grid.t) list ->
+  t -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array -> unit
+(** [dst\[p\] <- K(src)\[p\]] for interior points [lo <= p < hi].
+    [src], [dst] and every aux grid must share the compiled geometry; [src]
+    must not alias [dst]. @raise Invalid_argument if the kernel reads an aux
+    tensor that was not supplied. *)
+
+val accumulate_range :
+  ?aux:(string * Grid.t) list ->
+  t -> scale:float -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array ->
+  unit
+(** [dst\[p\] <- dst\[p\] + scale * K(src)\[p\]] over the range. *)
+
+val apply : ?aux:(string * Grid.t) list -> t -> src:Grid.t -> dst:Grid.t -> unit
+(** Full-interior [apply_range]. *)
+
+val identity_accumulate_range :
+  scale:float -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array -> unit
+(** [dst += scale * src] over the range (the [State] term of a stencil). *)

@@ -1,0 +1,82 @@
+open Msc_ir
+
+type t = {
+  stencil : Stencil.t;
+  aux : (string * Grid.t) list;
+  bc : Bc.t;
+  mutable history : Grid.t list;  (* newest first; index 0 = t-1 *)
+  mutable steps_done : int;
+}
+
+let default_init = Runtime.default_init
+
+let create ?(init = default_init) ?(aux_init = Runtime.default_aux_init)
+    ?(bc = Bc.Dirichlet 0.0) (st : Stencil.t) =
+  let geometry = Grid.of_tensor st.Stencil.grid in
+  let w = Stencil.time_window st in
+  let history =
+    List.init w (fun k ->
+        let g = Grid.like geometry in
+        Grid.fill g (init (k + 1));
+        Bc.apply bc g;
+        g)
+  in
+  let aux =
+    List.map
+      (fun (tensor : Tensor.t) ->
+        let g = Grid.of_tensor tensor in
+        Grid.fill_extended g (aux_init tensor.Tensor.name);
+        (tensor.Tensor.name, g))
+      (Runtime.aux_tensors_of st)
+  in
+  { stencil = st; aux; bc; history; steps_done = 0 }
+
+let state t ~dt =
+  if dt < 1 || dt > List.length t.history then
+    invalid_arg "Reference.state: dt out of history";
+  List.nth t.history (dt - 1)
+
+let current t = state t ~dt:1
+let steps_done t = t.steps_done
+
+(* Evaluate one kernel at one point via the generic tree interpreter. *)
+let eval_kernel_point t (k : Kernel.t) (src : Grid.t) coord =
+  let load (a : Expr.access) =
+    let c = Array.mapi (fun d v -> v + a.Expr.offsets.(d)) coord in
+    if String.equal a.Expr.tensor k.Kernel.input.Tensor.name then Grid.get src c
+    else
+      match List.assoc_opt a.Expr.tensor t.aux with
+      | Some g -> Grid.get g c
+      | None ->
+          invalid_arg (Printf.sprintf "Reference: unknown tensor %s" a.Expr.tensor)
+  in
+  let var name =
+    let rec find d = function
+      | [] -> invalid_arg (Printf.sprintf "Reference: unknown var %s" name)
+      | v :: rest -> if String.equal v name then float_of_int coord.(d) else find (d + 1) rest
+    in
+    find 0 k.Kernel.index_vars
+  in
+  Expr.eval ~bindings:k.Kernel.bindings ~load ~var k.Kernel.expr
+
+let rec eval_stencil_point t (e : Stencil.expr) coord =
+  match e with
+  | Stencil.Apply (k, dt) -> eval_kernel_point t k (state t ~dt) coord
+  | Stencil.State dt -> Grid.get (state t ~dt) coord
+  | Stencil.Scale (c, a) -> c *. eval_stencil_point t a coord
+  | Stencil.Sum (a, b) -> eval_stencil_point t a coord +. eval_stencil_point t b coord
+  | Stencil.Diff (a, b) -> eval_stencil_point t a coord -. eval_stencil_point t b coord
+
+let step t =
+  let geometry = Grid.of_tensor t.stencil.Stencil.grid in
+  let out = Grid.like geometry in
+  Grid.iter_interior out (fun coord ->
+      Grid.set out coord (eval_stencil_point t t.stencil.Stencil.expr (Array.copy coord)));
+  Bc.apply t.bc out;
+  t.history <- out :: t.history;
+  t.steps_done <- t.steps_done + 1
+
+let run t n =
+  for _ = 1 to n do
+    step t
+  done

@@ -1,0 +1,24 @@
+(** Naive reference executor used as ground truth.
+
+    Deliberately shares no code with {!Runtime}'s fast path: every point is
+    evaluated through the generic expression-tree interpreter, the full state
+    history is kept (no ring buffer), and there is no tiling or parallelism.
+    Matching the optimized runtime against this is the §5.1 correctness
+    check. *)
+
+type t
+
+val create :
+  ?init:(int -> int array -> float) ->
+  ?aux_init:(string -> int array -> float) ->
+  ?bc:Bc.t ->
+  Msc_ir.Stencil.t -> t
+(** Same [init]/[aux_init] conventions as {!Runtime.create}. *)
+
+val step : t -> unit
+val run : t -> int -> unit
+val current : t -> Grid.t
+val state : t -> dt:int -> Grid.t
+(** Any past state remains accessible (full history). *)
+
+val steps_done : t -> int

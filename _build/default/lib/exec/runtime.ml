@@ -1,0 +1,191 @@
+open Msc_ir
+module Schedule = Msc_schedule.Schedule
+
+type term = { scale : float; source : source; dt : int }
+and source = From_kernel of Interp.t | From_state
+
+type t = {
+  stencil : Stencil.t;
+  terms : term list;
+  window : Grid.t array;  (* length W+1 *)
+  aux : (string * Grid.t) list;  (* static coefficient grids *)
+  bc : Bc.t;
+  mutable cur : int;  (* index of the newest state (t-1) *)
+  mutable steps_done : int;
+  tiles : (int array * int array) array;
+  par : [ `Seq | `Block | `Round_robin ];
+  pool : Msc_util.Domain_pool.t;
+}
+
+let rec flatten scale (e : Stencil.expr) =
+  match e with
+  | Stencil.Apply (k, dt) -> [ (scale, `Kernel k, dt) ]
+  | Stencil.State dt -> [ (scale, `State, dt) ]
+  | Stencil.Scale (c, a) -> flatten (scale *. c) a
+  | Stencil.Sum (a, b) -> flatten scale a @ flatten scale b
+  | Stencil.Diff (a, b) -> flatten scale a @ flatten (-.scale) b
+
+let compute_tiles ~shape ~tile =
+  let nd = Array.length shape in
+  let counts = Array.init nd (fun d -> (shape.(d) + tile.(d) - 1) / tile.(d)) in
+  let total = Array.fold_left ( * ) 1 counts in
+  Array.init total (fun id ->
+      let lo = Array.make nd 0 and hi = Array.make nd 0 in
+      let rest = ref id in
+      for d = nd - 1 downto 0 do
+        let td = !rest mod counts.(d) in
+        rest := !rest / counts.(d);
+        lo.(d) <- td * tile.(d);
+        hi.(d) <- min shape.(d) (lo.(d) + tile.(d))
+      done;
+      (lo, hi))
+
+(* Static coefficient grids get a deterministic closed form keyed on the
+   tensor name; halo cells use the same formula (fill_extended), so single
+   node, distributed and generated-C executions all agree. *)
+let aux_base name = 0.2 +. (0.015 *. float_of_int (Hashtbl.hash name mod 11))
+
+let default_aux_init name coord =
+  let acc = ref (aux_base name) in
+  Array.iteri
+    (fun d c -> acc := !acc +. (0.04 *. sin (float_of_int ((d + 2) * (c + 4)) *. 0.05)))
+    coord;
+  !acc
+
+let aux_tensors_of (st : Stencil.t) =
+  List.fold_left
+    (fun acc k ->
+      List.fold_left
+        (fun acc (tensor : Tensor.t) ->
+          if List.exists (fun (t : Tensor.t) -> String.equal t.Tensor.name tensor.Tensor.name) acc
+          then acc
+          else acc @ [ tensor ])
+        acc k.Kernel.aux)
+    [] (Stencil.kernels st)
+
+let default_init _dt coord =
+  (* A deterministic smooth field, identical across initial states so
+     multi-time-dependency stencils start consistently. *)
+  let acc = ref 0.37 in
+  Array.iteri
+      (fun d c ->
+        acc := !acc +. (sin (float_of_int ((d + 1) * (c + 3)) *. 0.1) *. 0.13))
+      coord;
+    !acc
+
+let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
+    ?(init = default_init) ?(aux_init = default_aux_init)
+    ?(bc = Bc.Dirichlet 0.0) (st : Stencil.t) =
+  let geometry = Grid.of_tensor st.Stencil.grid in
+  let terms =
+    List.map
+      (fun (scale, src, dt) ->
+        match src with
+        | `Kernel k -> { scale; source = From_kernel (Interp.compile k ~geometry); dt }
+        | `State -> { scale; source = From_state; dt })
+      (flatten 1.0 st.Stencil.expr)
+  in
+  let w = Stencil.time_window st in
+  let window = Array.init (w + 1) (fun _ -> Grid.like geometry) in
+  (* Slot w holds the spare; slots 0..w-1 hold states t-1 .. t-w. *)
+  for dt = 1 to w do
+    Grid.fill window.(w - dt) (init dt);
+    Bc.apply bc window.(w - dt)
+  done;
+  let aux =
+    List.map
+      (fun (tensor : Tensor.t) ->
+        let g = Grid.of_tensor tensor in
+        Grid.fill_extended g (aux_init tensor.Tensor.name);
+        (tensor.Tensor.name, g))
+      (aux_tensors_of st)
+  in
+  let shape = st.Stencil.grid.Tensor.shape in
+  let tile, par =
+    match schedule with
+    | None -> (Array.copy shape, `Seq)
+    | Some sched ->
+        List.iter
+          (fun k ->
+            match Schedule.validate sched ~kernel:k with
+            | Ok () -> ()
+            | Error msg -> invalid_arg ("Runtime.create: " ^ msg))
+          (Stencil.kernels st);
+        let tile =
+          match Schedule.tile_sizes sched ~ndim:(Array.length shape) with
+          | Some sizes -> sizes
+          | None -> Array.copy shape
+        in
+        let par =
+          match Schedule.parallel_spec sched with
+          | None -> `Seq
+          | Some (_, _, Schedule.Omp_threads) -> `Block
+          | Some (_, _, Schedule.Athread_cpes) -> `Round_robin
+        in
+        (tile, par)
+  in
+  let tiles = compute_tiles ~shape ~tile in
+  {
+    stencil = st;
+    terms;
+    window;
+    aux;
+    bc;
+    cur = w - 1;
+    steps_done = 0;
+    tiles;
+    par;
+    pool;
+  }
+
+let stencil t = t.stencil
+let time_window t = Array.length t.window - 1
+let steps_done t = t.steps_done
+
+let state t ~dt =
+  let len = Array.length t.window in
+  let w = len - 1 in
+  if dt < 1 || dt > w then invalid_arg "Runtime.state: dt out of window";
+  t.window.(((t.cur - (dt - 1)) mod len + len) mod len)
+
+let current t = state t ~dt:1
+
+let output_slot t =
+  let len = Array.length t.window in
+  t.window.((t.cur + 1) mod len)
+
+let tiles t = t.tiles
+let aux_grids t = t.aux
+
+let compute_tile t ~dst id =
+  let lo, hi = t.tiles.(id) in
+  List.iter
+    (fun term ->
+      let src = state t ~dt:term.dt in
+      match term.source with
+      | From_kernel interp ->
+          Interp.accumulate_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
+      | From_state -> Interp.identity_accumulate_range ~scale:term.scale ~src ~dst ~lo ~hi)
+    t.terms
+
+let step t =
+  let dst = output_slot t in
+  Grid.fill_all dst 0.0;
+  let ntiles = Array.length t.tiles in
+  (match t.par with
+  | `Seq ->
+      for id = 0 to ntiles - 1 do
+        compute_tile t ~dst id
+      done
+  | `Block -> Msc_util.Domain_pool.parallel_for t.pool ~lo:0 ~hi:ntiles (compute_tile t ~dst)
+  | `Round_robin ->
+      Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:ntiles
+        (fun ~worker:_ id -> compute_tile t ~dst id));
+  Bc.apply t.bc dst;
+  t.cur <- (t.cur + 1) mod Array.length t.window;
+  t.steps_done <- t.steps_done + 1
+
+let run t n =
+  for _ = 1 to n do
+    step t
+  done

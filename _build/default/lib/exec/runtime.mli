@@ -1,0 +1,73 @@
+(** Single-node stencil runtime: sliding time window (§4.3, Figure 5),
+    tiled execution per the schedule, and optional domain parallelism.
+
+    The window keeps [W + 1] grids for a stencil of time depth [W] (the
+    paper's "width three" for two time dependencies): the [W] most recent
+    states plus one spare slot the next output is written into. *)
+
+type t
+
+val default_init : int -> int array -> float
+(** The default initial condition: a deterministic smooth field, identical
+    for every past state ([dt] is ignored). *)
+
+val default_aux_init : string -> int array -> float
+(** Default closed form for static coefficient grids, keyed on the tensor
+    name; also evaluated over halo cells and replicated by the code
+    generator, so every execution path agrees. *)
+
+val aux_base : string -> float
+(** The name-derived constant of {!default_aux_init} (exposed so the code
+    generator can fold it into the emitted C). *)
+
+val create :
+  ?schedule:Msc_schedule.Schedule.t ->
+  ?pool:Msc_util.Domain_pool.t ->
+  ?init:(int -> int array -> float) ->
+  ?aux_init:(string -> int array -> float) ->
+  ?bc:Bc.t ->
+  Msc_ir.Stencil.t -> t
+(** [create st] builds the runtime. [init dt coord] gives the initial state
+    at time [-dt] ([dt = 1..W]); it defaults to a deterministic pseudo-random
+    field shared by all initial states. [schedule] selects tiling/parallelism
+    for execution (results are schedule-independent); [pool] supplies the
+    worker domains (default sequential). [bc] is applied to every initial
+    state and to each newly produced state (default [Dirichlet 0.0], the
+    paper's zero-halo convention).
+    @raise Invalid_argument if the schedule is illegal for the stencil's
+    kernels. *)
+
+val stencil : t -> Msc_ir.Stencil.t
+val time_window : t -> int
+
+val aux_tensors_of : Msc_ir.Stencil.t -> Msc_ir.Tensor.t list
+(** Distinct aux (coefficient) tensors across the stencil's kernels, in
+    first-use order. *)
+
+val aux_grids : t -> (string * Grid.t) list
+(** The static coefficient grids (one per distinct aux tensor of the
+    stencil's kernels), filled from [aux_init] halo included. *)
+
+val state : t -> dt:int -> Grid.t
+(** The state at [t - dt], [1 <= dt <= W]. After [n] steps, [state ~dt:1] is
+    the result of step [n]. *)
+
+val current : t -> Grid.t
+(** [state ~dt:1]. *)
+
+val output_slot : t -> Grid.t
+(** The spare grid the next step will write into (exposed for the
+    distributed runtime, which must exchange halos into input states). *)
+
+val steps_done : t -> int
+
+val step : t -> unit
+(** Advance one timestep: compute the new state from the window, slide the
+    window. *)
+
+val run : t -> int -> unit
+(** [run t n] performs [n] steps. *)
+
+val tiles : t -> (int array * int array) array
+(** The (lo, hi) interior ranges of each tile under the runtime's schedule
+    (a single full-range tile when untiled). *)

@@ -1,0 +1,32 @@
+type report = {
+  stencil_name : string;
+  steps : int;
+  max_rel_error : float;
+  tolerance : float;
+  ok : bool;
+}
+
+let check ?schedule ?pool ?init ?aux_init ?bc ~steps (st : Msc_ir.Stencil.t) =
+  let fast = Runtime.create ?schedule ?pool ?init ?aux_init ?bc st in
+  let naive = Reference.create ?init ?aux_init ?bc st in
+  Runtime.run fast steps;
+  Reference.run naive steps;
+  let err =
+    Grid.max_rel_error ~reference:(Reference.current naive) (Runtime.current fast)
+  in
+  let tolerance = Msc_ir.Dtype.tolerance st.Msc_ir.Stencil.grid.Msc_ir.Tensor.dtype in
+  {
+    stencil_name = st.Msc_ir.Stencil.name;
+    steps;
+    max_rel_error = err;
+    tolerance;
+    ok = err <= tolerance;
+  }
+
+let check_grids ~dtype ~reference g =
+  Grid.max_rel_error ~reference g <= Msc_ir.Dtype.tolerance dtype
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %d steps, max rel err %.3g (tol %.1g) -> %s" r.stencil_name
+    r.steps r.max_rel_error r.tolerance
+    (if r.ok then "OK" else "FAIL")

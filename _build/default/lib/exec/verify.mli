@@ -1,0 +1,25 @@
+(** §5.1 correctness methodology: run the optimized (scheduled, parallel,
+    window-sliding) runtime and the naive serial reference side by side and
+    compare relative errors against the per-precision thresholds. *)
+
+type report = {
+  stencil_name : string;
+  steps : int;
+  max_rel_error : float;
+  tolerance : float;
+  ok : bool;
+}
+
+val check :
+  ?schedule:Msc_schedule.Schedule.t ->
+  ?pool:Msc_util.Domain_pool.t ->
+  ?init:(int -> int array -> float) ->
+  ?aux_init:(string -> int array -> float) ->
+  ?bc:Bc.t ->
+  steps:int -> Msc_ir.Stencil.t -> report
+(** Runs both executors [steps] timesteps from the same initial condition and
+    compares final states. The tolerance comes from the grid's declared
+    datatype ({!Msc_ir.Dtype.tolerance}). *)
+
+val check_grids : dtype:Msc_ir.Dtype.t -> reference:Grid.t -> Grid.t -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/frontend/builder.ml: Array Expr Kernel List Msc_ir Printf Shapes Stencil Tensor

@@ -1,0 +1,1 @@
+lib/frontend/builder.mli: Msc_ir Shapes

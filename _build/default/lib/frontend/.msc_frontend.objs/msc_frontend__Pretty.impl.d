@@ -1,0 +1,1 @@
+lib/frontend/pretty.ml: Array Buffer Builder Dtype Expr Kernel List Msc_ir Printf Stencil String Tensor

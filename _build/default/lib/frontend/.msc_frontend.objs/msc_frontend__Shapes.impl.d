@@ -1,0 +1,1 @@
+lib/frontend/shapes.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/frontend/shapes.mli: Format

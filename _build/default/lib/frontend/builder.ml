@@ -1,0 +1,97 @@
+open Msc_ir
+
+let def_tensor_1d ?(time_window = 1) ?(halo = 1) name dtype n =
+  Tensor.sp ~time_window ~halo:[| halo |] name dtype [| n |]
+
+let def_tensor_2d ?(time_window = 1) ?(halo = 1) name dtype m n =
+  Tensor.sp ~time_window ~halo:[| halo; halo |] name dtype [| m; n |]
+
+let def_tensor_3d ?(time_window = 1) ?(halo = 1) name dtype m n p =
+  Tensor.sp ~time_window ~halo:[| halo; halo; halo |] name dtype [| m; n; p |]
+
+let def_tensor_3d_timewin name ~time_window ~halo dtype m n p =
+  def_tensor_3d ~time_window ~halo name dtype m n p
+
+let default_index_vars = function
+  | 1 -> [ "i" ]
+  | 2 -> [ "j"; "i" ]
+  | 3 -> [ "k"; "j"; "i" ]
+  | n -> List.init n (Printf.sprintf "i%d")
+
+let kernel ?bindings ~name ~grid expr =
+  Kernel.make ?bindings ~name ~input:grid
+    ~index_vars:(default_index_vars (Tensor.ndim grid))
+    expr
+
+let weights ~center n =
+  assert (n >= 1 && center > 0.0 && center <= 1.0);
+  if n = 1 then [| 1.0 |]
+  else begin
+    let rest = (1.0 -. center) /. float_of_int (n - 1) in
+    Array.init n (fun k -> if k = 0 then center else rest)
+  end
+
+let shaped_kernel ?(center_weight = 0.5) ~name ~grid ~shape ~radius () =
+  let offsets = Shapes.offsets shape ~ndim:(Tensor.ndim grid) ~radius in
+  let n = List.length offsets in
+  let ws = weights ~center:center_weight n in
+  let bindings = List.init n (fun k -> (Printf.sprintf "c%d" k, ws.(k))) in
+  let terms =
+    List.mapi
+      (fun k off -> Expr.(p (Printf.sprintf "c%d" k) * read grid.Tensor.name off))
+      offsets
+  in
+  let expr =
+    match terms with
+    | [] -> assert false
+    | first :: rest -> List.fold_left Expr.( + ) first rest
+  in
+  kernel ~bindings ~name ~grid expr
+
+let star_kernel ?center_weight ~name ~grid ~radius () =
+  shaped_kernel ?center_weight ~name ~grid ~shape:Shapes.Star ~radius ()
+
+let box_kernel ?center_weight ~name ~grid ~radius () =
+  shaped_kernel ?center_weight ~name ~grid ~shape:Shapes.Box ~radius ()
+
+let coefficient_grid ~grid name =
+  Tensor.sp ~halo:(Array.copy grid.Tensor.halo) name grid.Tensor.dtype
+    (Array.copy grid.Tensor.shape)
+
+let var_coeff_kernel ~name ~grid ~coeff ~shape ~radius () =
+  let offsets = Shapes.offsets shape ~ndim:(Tensor.ndim grid) ~radius in
+  let n = List.length offsets in
+  let w = 1.0 /. float_of_int n in
+  let terms =
+    List.map
+      (fun off ->
+        Expr.(p "w" * read coeff.Tensor.name off * read grid.Tensor.name off))
+      offsets
+  in
+  let expr =
+    match terms with
+    | [] -> assert false
+    | first :: rest -> List.fold_left Expr.( + ) first rest
+  in
+  Kernel.make
+    ~bindings:[ ("w", w) ]
+    ~aux:[ coeff ] ~name ~input:grid
+    ~index_vars:(default_index_vars (Tensor.ndim grid))
+    expr
+
+let ( @> ) k dt = Stencil.Apply (k, dt)
+let state dt = Stencil.State dt
+let ( +: ) a b = Stencil.Sum (a, b)
+let ( -: ) a b = Stencil.Diff (a, b)
+let ( *: ) c e = Stencil.Scale (c, e)
+
+let stencil ~name ~grid expr =
+  let st = Stencil.make ~name ~grid expr in
+  Stencil.validate_halo st;
+  st
+
+let single_step ~name k =
+  stencil ~name ~grid:k.Kernel.input (k @> 1)
+
+let two_step ~name k =
+  stencil ~name ~grid:k.Kernel.input ((0.5 *: (k @> 1)) +: (0.5 *: (k @> 2)))

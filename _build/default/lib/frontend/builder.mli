@@ -1,0 +1,87 @@
+(** User-facing DSL entry points, mirroring the paper's Listing 1 API.
+
+    {[
+      let grid = Builder.def_tensor_3d_timewin "B" ~time_window:2 ~halo:1 F64 256 256 256 in
+      let k = Builder.star_kernel ~name:"S_3d7pt" ~grid ~radius:1 in
+      let st = Builder.two_step ~name:"3d7pt" k in
+      ...
+    ]} *)
+
+val def_tensor_1d :
+  ?time_window:int -> ?halo:int -> string -> Msc_ir.Dtype.t -> int -> Msc_ir.Tensor.t
+
+val def_tensor_2d :
+  ?time_window:int -> ?halo:int -> string -> Msc_ir.Dtype.t -> int -> int ->
+  Msc_ir.Tensor.t
+
+val def_tensor_3d :
+  ?time_window:int -> ?halo:int -> string -> Msc_ir.Dtype.t -> int -> int -> int ->
+  Msc_ir.Tensor.t
+
+val def_tensor_3d_timewin :
+  string -> time_window:int -> halo:int -> Msc_ir.Dtype.t -> int -> int -> int ->
+  Msc_ir.Tensor.t
+(** Exact analogue of [DefTensor3D_TimeWin(B, tw, halo, f64, M, N, P)]. *)
+
+val default_index_vars : int -> string list
+(** [\["i"\]], [\["j"; "i"\]] or [\["k"; "j"; "i"\]] (outermost first). *)
+
+val kernel :
+  ?bindings:(string * float) list -> name:string -> grid:Msc_ir.Tensor.t ->
+  Msc_ir.Expr.t -> Msc_ir.Kernel.t
+(** Kernel with default index variables for the grid's rank. *)
+
+val weights : center:float -> int -> float array
+(** [weights ~center n] gives [n] coefficients: [center] first, the remaining
+    mass [1 - center] spread uniformly — a contraction, so iterated stencils
+    stay bounded. *)
+
+val shaped_kernel :
+  ?center_weight:float -> name:string -> grid:Msc_ir.Tensor.t ->
+  shape:Shapes.shape -> radius:int -> unit -> Msc_ir.Kernel.t
+(** Kernel whose expression is [sum_i c_i * B\[p + off_i\]] over the shape's
+    neighbourhood, with distinct named coefficients [c0..cN-1] (as in the
+    paper's Listing 1) bound to {!weights}. *)
+
+val star_kernel :
+  ?center_weight:float -> name:string -> grid:Msc_ir.Tensor.t -> radius:int ->
+  unit -> Msc_ir.Kernel.t
+
+val box_kernel :
+  ?center_weight:float -> name:string -> grid:Msc_ir.Tensor.t -> radius:int ->
+  unit -> Msc_ir.Kernel.t
+
+(** {1 Multi-grid (variable-coefficient) kernels — the §5.6 WRF/POP2 case} *)
+
+val coefficient_grid : grid:Msc_ir.Tensor.t -> string -> Msc_ir.Tensor.t
+(** A static coefficient grid matching [grid]'s shape, halo and dtype. *)
+
+val var_coeff_kernel :
+  name:string -> grid:Msc_ir.Tensor.t -> coeff:Msc_ir.Tensor.t ->
+  shape:Shapes.shape -> radius:int -> unit -> Msc_ir.Kernel.t
+(** Kernel [sum_i w * C\[p+off_i\] * B\[p+off_i\]] over the shape's
+    neighbourhood, with [w = 1/N] so bounded coefficient fields keep the
+    iteration stable. The coefficient grid is read at the {e same} offsets as
+    the input — the variable-coefficient form of WRF's [advect] and POP2's
+    [hdifft] kernels. *)
+
+(** {1 Stencil (temporal) combinators} *)
+
+val ( @> ) : Msc_ir.Kernel.t -> int -> Msc_ir.Stencil.expr
+(** [k @> dt] is the kernel applied to the state at [t - dt]
+    (the paper's [S\[t-dt\]]). *)
+
+val state : int -> Msc_ir.Stencil.expr
+val ( +: ) : Msc_ir.Stencil.expr -> Msc_ir.Stencil.expr -> Msc_ir.Stencil.expr
+val ( -: ) : Msc_ir.Stencil.expr -> Msc_ir.Stencil.expr -> Msc_ir.Stencil.expr
+val ( *: ) : float -> Msc_ir.Stencil.expr -> Msc_ir.Stencil.expr
+
+val stencil :
+  name:string -> grid:Msc_ir.Tensor.t -> Msc_ir.Stencil.expr -> Msc_ir.Stencil.t
+
+val single_step : name:string -> Msc_ir.Kernel.t -> Msc_ir.Stencil.t
+(** [grid\[t\] = K(grid\[t-1\])]. *)
+
+val two_step : name:string -> Msc_ir.Kernel.t -> Msc_ir.Stencil.t
+(** The paper's canonical multi-time-dependency form:
+    [Res\[t\] << 0.5*S\[t-1\] + 0.5*S\[t-2\]] (averaged for stability). *)

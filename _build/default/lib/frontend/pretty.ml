@@ -1,0 +1,134 @@
+open Msc_ir
+
+let shape_args shape = String.concat ", " (Array.to_list (Array.map string_of_int shape))
+
+let access_string (a : Expr.access) vars =
+  let subs =
+    List.mapi
+      (fun d v ->
+        let off = a.Expr.offsets.(d) in
+        if off = 0 then v
+        else if off > 0 then Printf.sprintf "%s+%d" v off
+        else Printf.sprintf "%s%d" v off)
+      vars
+  in
+  Printf.sprintf "%s[%s]" a.Expr.tensor (String.concat "," subs)
+
+let rec surface_expr vars (e : Expr.t) =
+  match e with
+  | Expr.Fconst x -> Printf.sprintf "%g" x
+  | Expr.Iconst n -> string_of_int n
+  | Expr.Param name | Expr.Var name -> name
+  | Expr.Access a -> access_string a vars
+  | Expr.Unop (Expr.Neg, a) -> Printf.sprintf "(-%s)" (surface_expr vars a)
+  | Expr.Unop (op, a) ->
+      let name =
+        match op with
+        | Expr.Abs -> "fabs"
+        | Expr.Sqrt -> "sqrt"
+        | Expr.Exp -> "exp"
+        | Expr.Sin -> "sin"
+        | Expr.Cos -> "cos"
+        | Expr.Neg -> assert false
+      in
+      Printf.sprintf "%s(%s)" name (surface_expr vars a)
+  | Expr.Binop (op, a, b) ->
+      let sym =
+        match op with
+        | Expr.Add -> "+"
+        | Expr.Sub -> "-"
+        | Expr.Mul -> "*"
+        | Expr.Div -> "/"
+        | Expr.Min -> ","
+        | Expr.Max -> ","
+      in
+      (match op with
+      | Expr.Min -> Printf.sprintf "min(%s, %s)" (surface_expr vars a) (surface_expr vars b)
+      | Expr.Max -> Printf.sprintf "max(%s, %s)" (surface_expr vars a) (surface_expr vars b)
+      | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div ->
+          Printf.sprintf "%s %s %s" (surface_expr vars a) sym (surface_expr vars b))
+  | Expr.Call (name, args) ->
+      Printf.sprintf "%s(%s)" name (String.concat ", " (List.map (surface_expr vars) args))
+
+let rec surface_stencil_expr (e : Stencil.expr) =
+  match e with
+  | Stencil.Apply (k, dt) -> Printf.sprintf "%s[t-%d]" k.Kernel.name dt
+  | Stencil.State dt -> Printf.sprintf "U[t-%d]" dt
+  | Stencil.Scale (c, a) -> Printf.sprintf "%g * %s" c (surface_stencil_expr a)
+  | Stencil.Sum (a, b) ->
+      Printf.sprintf "%s + %s" (surface_stencil_expr a) (surface_stencil_expr b)
+  | Stencil.Diff (a, b) ->
+      Printf.sprintf "%s - %s" (surface_stencil_expr a) (surface_stencil_expr b)
+
+let program ?(schedule_lines = []) ?mpi_shape ?(time_iters = (1, 10)) (st : Stencil.t) =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let grid = st.Stencil.grid in
+  let ndim = Tensor.ndim grid in
+  let vars = Builder.default_index_vars ndim in
+  let dims = shape_args grid.Tensor.shape in
+  (match grid.Tensor.shape with
+  | [| m |] -> line "const int M = %d;" m
+  | [| m; n |] when m = n -> line "const int M = N = %d;" m
+  | [| m; n |] -> line "const int M = %d, N = %d;" m n
+  | [| m; n; p |] when m = n && n = p -> line "const int M = N = P = %d;" m
+  | [| m; n; p |] -> line "const int M = %d, N = %d, P = %d;" m n p
+  | _ -> line "const int dims[] = {%s};" dims);
+  line "const int halo_width = %d;" grid.Tensor.halo.(0);
+  line "const int time_window_size = %d;" grid.Tensor.time_window;
+  List.iter (fun v -> line "DefVar(%s, i32);" v) vars;
+  line "DefTensor%dD_TimeWin(%s, time_window_size, halo_width, %s, %s);" ndim
+    grid.Tensor.name
+    (Dtype.to_string grid.Tensor.dtype)
+    dims;
+  (* Static coefficient grids referenced by any kernel. *)
+  let aux_seen = ref [] in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (tensor : Tensor.t) ->
+          if not (List.mem tensor.Tensor.name !aux_seen) then begin
+            aux_seen := tensor.Tensor.name :: !aux_seen;
+            line "DefTensor%dD(%s, halo_width, %s, %s);" ndim tensor.Tensor.name
+              (Dtype.to_string tensor.Tensor.dtype)
+              dims
+          end)
+        k.Kernel.aux)
+    (Stencil.kernels st);
+  List.iter
+    (fun k ->
+      (match k.Kernel.bindings with
+      | [] -> ()
+      | bindings ->
+          (* One declaration line regardless of order, as a user would write. *)
+          line "const %s %s;" (Dtype.to_c grid.Tensor.dtype)
+            (String.concat ", "
+               (List.map (fun (name, v) -> Printf.sprintf "%s = %g" name v) bindings)));
+      line "Kernel %s((%s), %s, schedule);" k.Kernel.name (String.concat "," vars)
+        (surface_expr vars k.Kernel.expr))
+    (Stencil.kernels st);
+  List.iter (fun l -> line "%s" l) schedule_lines;
+  line "auto t = Stencil::t;";
+  line "Result Res((%s), %s[%s]);" (String.concat "," vars) grid.Tensor.name
+    (String.concat "," vars);
+  line "Stencil st((%s), Res[t] << %s);" (String.concat "," vars)
+    (surface_stencil_expr st.Stencil.expr);
+  (match mpi_shape with
+  | Some shape ->
+      line "DefShapeMPI%dD(shape_mpi, %s);" (Array.length shape) (shape_args shape);
+      line "st.input(shape_mpi, %s, \"/data/rand.data\");" grid.Tensor.name
+  | None -> line "st.input(%s, \"/data/rand.data\");" grid.Tensor.name);
+  let t0, t1 = time_iters in
+  line "st.run(%d,%d);" t0 t1;
+  line "st.compile_to_source_code(\"%s\");" st.Stencil.name;
+  Buffer.contents buf
+
+let loc text =
+  let lines = String.split_on_char '\n' text in
+  List.length
+    (List.filter
+       (fun l ->
+         let t = String.trim l in
+         String.length t > 0
+         && not (String.length t >= 2 && String.sub t 0 2 = "//"))
+       lines)

@@ -1,0 +1,18 @@
+(** Renders a stencil program back to MSC's concrete (C++-embedded) surface
+    syntax — the code a user would write, as in the paper's Listing 1/2.
+
+    The LoC comparison of Table 6 counts lines of this rendering against the
+    generated baseline codes. *)
+
+val program :
+  ?schedule_lines:string list ->
+  ?mpi_shape:int array ->
+  ?time_iters:int * int ->
+  Msc_ir.Stencil.t -> string
+(** [program st] renders variable declarations, the tensor declaration, the
+    kernel definitions, the optional optimization-primitive lines, the
+    temporal stencil combination, MPI-grid/input/run statements and the final
+    [compile_to_source_code] call. *)
+
+val loc : string -> int
+(** Number of non-empty, non-comment-only lines. *)

@@ -1,0 +1,56 @@
+type shape = Star | Box
+
+let star_offsets ~ndim ~radius =
+  let centre = Array.make ndim 0 in
+  let arms =
+    List.concat
+      (List.init ndim (fun d ->
+           List.concat
+             (List.init radius (fun r ->
+                  let minus = Array.make ndim 0 and plus = Array.make ndim 0 in
+                  minus.(d) <- -(r + 1);
+                  plus.(d) <- r + 1;
+                  [ minus; plus ]))))
+  in
+  centre :: arms
+
+let box_offsets ~ndim ~radius =
+  let width = (2 * radius) + 1 in
+  let total =
+    let rec pow acc = function 0 -> acc | n -> pow (acc * width) (n - 1) in
+    pow 1 ndim
+  in
+  let nth i =
+    let off = Array.make ndim 0 in
+    let rest = ref i in
+    for d = ndim - 1 downto 0 do
+      off.(d) <- (!rest mod width) - radius;
+      rest := !rest / width
+    done;
+    off
+  in
+  let centre = Array.make ndim 0 in
+  let all = List.init total nth in
+  (* Centre first, then the rest in lexicographic order. *)
+  centre :: List.filter (fun o -> o <> centre) all
+
+let offsets shape ~ndim ~radius =
+  assert (ndim >= 1 && radius >= 1);
+  match shape with
+  | Star -> star_offsets ~ndim ~radius
+  | Box -> box_offsets ~ndim ~radius
+
+let point_count shape ~ndim ~radius =
+  match shape with
+  | Star -> 1 + (2 * radius * ndim)
+  | Box ->
+      let width = (2 * radius) + 1 in
+      let rec pow acc = function 0 -> acc | n -> pow (acc * width) (n - 1) in
+      pow 1 ndim
+
+let name shape ~ndim ~radius =
+  let suffix = match shape with Star -> "star" | Box -> "box" in
+  Printf.sprintf "%dd%dpt_%s" ndim (point_count shape ~ndim ~radius) suffix
+
+let pp_shape ppf s =
+  Format.pp_print_string ppf (match s with Star -> "star" | Box -> "box")

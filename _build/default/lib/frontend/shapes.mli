@@ -1,0 +1,20 @@
+(** Stencil shape generators: star and box neighbourhoods of a given radius
+    (§1: "a stencil can be defined from many aspects, such as grid dimensions,
+    shapes, number of neighbors"). *)
+
+type shape = Star | Box
+
+val offsets : shape -> ndim:int -> radius:int -> int array list
+(** Neighbourhood offsets including the centre point, in deterministic
+    lexicographic order with the centre first.
+
+    - [Star]: centre plus offsets [±1..±radius] along each axis
+      ([1 + 2*radius*ndim] points);
+    - [Box]: the full [(2*radius+1)^ndim] hypercube. *)
+
+val point_count : shape -> ndim:int -> radius:int -> int
+
+val name : shape -> ndim:int -> radius:int -> string
+(** Canonical benchmark-style name, e.g. ["3d7pt_star"], ["2d121pt_box"]. *)
+
+val pp_shape : Format.formatter -> shape -> unit

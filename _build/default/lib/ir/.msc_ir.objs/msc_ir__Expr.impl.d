@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Array Buffer Float Format Int List Printf Stdlib String

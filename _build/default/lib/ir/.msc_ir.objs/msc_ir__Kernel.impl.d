@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Array Dtype Expr Format List Printf String Tensor

@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Expr Float List Option

@@ -1,0 +1,1 @@
+lib/ir/stencil.ml: Array Dtype Expr Format Kernel List Printf String Tensor

@@ -1,0 +1,8 @@
+type t = I32 | F32 | F64
+
+let size_bytes = function I32 -> 4 | F32 -> 4 | F64 -> 8
+let to_c = function I32 -> "int" | F32 -> "float" | F64 -> "double"
+let to_string = function I32 -> "i32" | F32 -> "f32" | F64 -> "f64"
+let tolerance = function I32 -> 0.0 | F32 -> 1e-5 | F64 -> 1e-10
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal a b = a = b

@@ -1,0 +1,19 @@
+(** Scalar datatypes supported by the MSC DSL (§4.2: i32, f32, f64). *)
+
+type t = I32 | F32 | F64
+
+val size_bytes : t -> int
+(** Storage size of one element. *)
+
+val to_c : t -> string
+(** C type name used by the AOT code generator. *)
+
+val to_string : t -> string
+(** DSL-level name: ["i32"], ["f32"], ["f64"]. *)
+
+val tolerance : t -> float
+(** Paper §5.1 correctness threshold on relative error: 1e-5 for fp32,
+    1e-10 for fp64 (and 0 for exact integer data). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

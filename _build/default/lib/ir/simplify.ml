@@ -1,0 +1,68 @@
+let constant = function
+  | Expr.Fconst x -> Some x
+  | Expr.Iconst n -> Some (float_of_int n)
+  | Expr.Param _ | Expr.Var _ | Expr.Access _ | Expr.Unop _ | Expr.Binop _
+  | Expr.Call _ ->
+      None
+
+let is_zero e = constant e = Some 0.0
+let is_one e = constant e = Some 1.0
+
+let fold_binop op a b =
+  match op with
+  | Expr.Add -> a +. b
+  | Expr.Sub -> a -. b
+  | Expr.Mul -> a *. b
+  | Expr.Div -> a /. b
+  | Expr.Min -> Float.min a b
+  | Expr.Max -> Float.max a b
+
+let fold_unop op a =
+  match op with
+  | Expr.Neg -> -.a
+  | Expr.Abs -> Float.abs a
+  | Expr.Sqrt -> sqrt a
+  | Expr.Exp -> exp a
+  | Expr.Sin -> sin a
+  | Expr.Cos -> cos a
+
+(* Integer +,-,* stay integers so the emitted C keeps integer literals. *)
+let fold_int_binop op a b =
+  match op with
+  | Expr.Add -> Some (a + b)
+  | Expr.Sub -> Some (a - b)
+  | Expr.Mul -> Some (a * b)
+  | Expr.Div | Expr.Min | Expr.Max -> None
+
+let rec expr (e : Expr.t) =
+  match e with
+  | Expr.Fconst _ | Expr.Iconst _ | Expr.Param _ | Expr.Var _ | Expr.Access _ -> e
+  | Expr.Call (name, args) -> Expr.Call (name, List.map expr args)
+  | Expr.Unop (op, a) -> (
+      let a = expr a in
+      match (op, a) with
+      | Expr.Neg, Expr.Unop (Expr.Neg, inner) -> inner
+      | _, _ -> (
+          match constant a with
+          | Some c -> Expr.Fconst (fold_unop op c)
+          | None -> Expr.Unop (op, a)))
+  | Expr.Binop (op, a, b) -> (
+      let a = expr a and b = expr b in
+      match (a, b) with
+      | Expr.Iconst x, Expr.Iconst y when fold_int_binop op x y <> None ->
+          Expr.Iconst (Option.get (fold_int_binop op x y))
+      | _ -> (
+          match (constant a, constant b) with
+          | Some x, Some y -> Expr.Fconst (fold_binop op x y)
+          | _ -> (
+              match op with
+              | Expr.Add when is_zero a -> b
+              | Expr.Add when is_zero b -> a
+              | Expr.Sub when is_zero b -> a
+              | Expr.Mul when is_zero a || is_zero b -> Expr.Fconst 0.0
+              | Expr.Mul when is_one a -> b
+              | Expr.Mul when is_one b -> a
+              | Expr.Div when is_zero a -> Expr.Fconst 0.0
+              | Expr.Div when is_one b -> a
+              | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Min | Expr.Max ->
+                  Expr.Binop (op, a, b))))

@@ -1,0 +1,18 @@
+(** Expression simplification: constant folding and algebraic identities.
+
+    Runs after parameter substitution in the code generator, shrinking the
+    emitted C (folded coefficients, dropped [* 1.0] / [+ 0.0] terms). The
+    transformation preserves IEEE semantics for finite values; the one
+    deliberate deviation is [0 * x -> 0], which differs only when [x] is an
+    infinity or NaN (never the case for stencil grid data). *)
+
+val expr : Expr.t -> Expr.t
+(** Bottom-up single pass to a fixed point:
+    - binary/unary operators over constants fold (integer constants fold to
+      integers for [+ - *], to floats otherwise);
+    - [x + 0], [0 + x], [x - 0], [x * 1], [1 * x], [x / 1] reduce to [x];
+    - [x * 0], [0 * x], [0 / x] reduce to [0];
+    - [--x] reduces to [x]; [-(c)] folds. *)
+
+val is_zero : Expr.t -> bool
+val is_one : Expr.t -> bool

@@ -1,0 +1,53 @@
+type kind = Sp | Te
+
+type t = {
+  name : string;
+  kind : kind;
+  dtype : Dtype.t;
+  shape : int array;
+  halo : int array;
+  time_window : int;
+}
+
+let validate t =
+  if Array.length t.shape = 0 then invalid_arg "Tensor: empty shape";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Tensor: non-positive extent") t.shape;
+  if Array.length t.halo <> Array.length t.shape then
+    invalid_arg "Tensor: halo rank mismatch";
+  Array.iter (fun h -> if h < 0 then invalid_arg "Tensor: negative halo") t.halo;
+  if t.time_window < 1 then invalid_arg "Tensor: time window must be >= 1";
+  t
+
+let sp ?(time_window = 1) ?halo name dtype shape =
+  let halo =
+    match halo with Some h -> h | None -> Array.make (Array.length shape) 1
+  in
+  validate { name; kind = Sp; dtype; shape; halo; time_window }
+
+let te name dtype shape =
+  validate
+    {
+      name;
+      kind = Te;
+      dtype;
+      shape;
+      halo = Array.make (Array.length shape) 0;
+      time_window = 1;
+    }
+
+let ndim t = Array.length t.shape
+let elems t = Array.fold_left ( * ) 1 t.shape
+
+let padded_shape t = Array.mapi (fun d n -> n + (2 * t.halo.(d))) t.shape
+let padded_elems t = Array.fold_left ( * ) 1 (padded_shape t)
+
+let footprint_bytes t = padded_elems t * Dtype.size_bytes t.dtype * t.time_window
+
+let rename t name = { t with name }
+
+let pp ppf t =
+  let kind = match t.kind with Sp -> "SpNode" | Te -> "TeNode" in
+  Format.fprintf ppf "%s %s<%a>[%s] halo=[%s] tw=%d" kind t.name Dtype.pp t.dtype
+    (String.concat "," (Array.to_list (Array.map string_of_int t.shape)))
+    (String.concat "," (Array.to_list (Array.map string_of_int t.halo)))
+    t.time_window

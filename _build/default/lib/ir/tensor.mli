@@ -1,0 +1,39 @@
+(** Tensor IR (paper Table 2): [SpNode] carries a halo region and a time
+    window; [TeNode] is a compiler temporary without halo. *)
+
+type kind =
+  | Sp  (** user-visible tensor with halo region (SpNode) *)
+  | Te  (** compiler temporary, no halo (TeNode) *)
+
+type t = {
+  name : string;
+  kind : kind;
+  dtype : Dtype.t;
+  shape : int array;  (** interior extents, outermost dimension first *)
+  halo : int array;  (** halo width per dimension (all zeros for [Te]) *)
+  time_window : int;  (** number of past states kept (>= 1 for Sp) *)
+}
+
+val sp :
+  ?time_window:int -> ?halo:int array -> string -> Dtype.t -> int array -> t
+(** [sp name dtype shape] builds an SpNode. [halo] defaults to width 1 in each
+    dimension; [time_window] defaults to 1.
+    @raise Invalid_argument on empty shape, non-positive extents, negative
+    halo, or halo rank mismatch. *)
+
+val te : string -> Dtype.t -> int array -> t
+(** Compiler temporary: zero halo, time window 1. *)
+
+val ndim : t -> int
+val elems : t -> int
+(** Number of interior points. *)
+
+val padded_shape : t -> int array
+(** Shape including halo on both sides. *)
+
+val padded_elems : t -> int
+val footprint_bytes : t -> int
+(** Bytes for all retained time states, halo included. *)
+
+val rename : t -> string -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/roofline.ml: Float Format Machine

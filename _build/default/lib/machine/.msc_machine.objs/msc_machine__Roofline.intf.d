@@ -1,0 +1,1 @@
+lib/machine/roofline.mli: Format Machine Msc_ir

@@ -1,0 +1,88 @@
+type t = {
+  name : string;
+  frequency_ghz : float;
+  compute_units : int;
+  fp64_flops_per_cycle_per_unit : float;
+  vector_efficiency_star : float;
+  vector_efficiency_box : float;
+  mem_bandwidth_gbs : float;
+  spm_bytes_per_unit : int option;
+  cache_bytes_per_unit : int option;
+  dma_descriptor_latency_s : float;
+  mpi_alpha_s : float;
+  mpi_beta_gbs : float;
+}
+
+let peak_gflops t dtype =
+  let fp64 =
+    t.frequency_ghz *. t.fp64_flops_per_cycle_per_unit *. float_of_int t.compute_units
+  in
+  match dtype with
+  | Msc_ir.Dtype.F64 -> fp64
+  | Msc_ir.Dtype.F32 -> 2.0 *. fp64
+  | Msc_ir.Dtype.I32 -> fp64
+
+let effective_gflops t dtype ~shape_box =
+  peak_gflops t dtype
+  *. (if shape_box then t.vector_efficiency_box else t.vector_efficiency_star)
+
+let sunway_cg =
+  {
+    name = "Sunway SW26010 (1 CG: 1 MPE + 64 CPEs)";
+    frequency_ghz = 1.45;
+    compute_units = 64;
+    (* 3.06 TFlops chip / 4 CGs / 64 CPEs / 1.45 GHz ~= 8 flops/cycle
+       (4-wide fp64 FMA). *)
+    fp64_flops_per_cycle_per_unit = 8.0;
+    (* Discrete star arms defeat the 256-bit SIMD units; compact box rows
+       vectorize well. *)
+    vector_efficiency_star = 0.25;
+    vector_efficiency_box = 0.42;
+    (* DDR3 per CG; ~136 GB/s chip attainable ~34 GB/s per CG via DMA. *)
+    mem_bandwidth_gbs = 34.0;
+    spm_bytes_per_unit = Some (64 * 1024);
+    cache_bytes_per_unit = None;
+    dma_descriptor_latency_s = 0.3e-6;
+    mpi_alpha_s = 1.5e-6;
+    mpi_beta_gbs = 6.0;
+  }
+
+let matrix_node =
+  {
+    name = "Matrix MT2000+ (1 SN: 32 cores)";
+    frequency_ghz = 2.0;
+    compute_units = 32;
+    fp64_flops_per_cycle_per_unit = 8.0;
+    vector_efficiency_star = 0.3;
+    vector_efficiency_box = 0.55;
+    (* 8x DDR4-2400 ~= 153.6 GB/s chip; one of four supernodes. *)
+    mem_bandwidth_gbs = 38.4;
+    spm_bytes_per_unit = None;
+    cache_bytes_per_unit = Some (512 * 1024);
+    dma_descriptor_latency_s = 0.0;
+    mpi_alpha_s = 2.0e-6;
+    mpi_beta_gbs = 3.0;
+  }
+
+let xeon_server =
+  {
+    name = "2x Intel E5-2680v4 (28 cores)";
+    frequency_ghz = 2.4;
+    compute_units = 28;
+    (* AVX2: 2 x 4-wide fp64 FMA. *)
+    fp64_flops_per_cycle_per_unit = 16.0;
+    vector_efficiency_star = 0.3;
+    vector_efficiency_box = 0.5;
+    mem_bandwidth_gbs = 120.0;
+    spm_bytes_per_unit = None;
+    cache_bytes_per_unit = Some (2560 * 1024);
+    dma_descriptor_latency_s = 0.0;
+    mpi_alpha_s = 0.5e-6;
+    mpi_beta_gbs = 10.0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d units @ %.2f GHz, peak %.0f GFlop/s fp64, %.1f GB/s" t.name
+    t.compute_units t.frequency_ghz (peak_gflops t Msc_ir.Dtype.F64)
+    t.mem_bandwidth_gbs

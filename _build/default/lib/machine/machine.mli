@@ -1,0 +1,43 @@
+(** Machine descriptors for the three evaluation platforms (paper Table 3 and
+    §2.2). All performance simulation and roofline analysis keys off these
+    records; the numbers come from the paper and the cited architecture
+    references. *)
+
+type t = {
+  name : string;
+  frequency_ghz : float;
+  compute_units : int;  (** CPEs per CG / cores per Matrix node / CPU cores *)
+  fp64_flops_per_cycle_per_unit : float;
+      (** peak double-precision flops per cycle per compute unit *)
+  vector_efficiency_star : float;
+      (** achievable fraction of peak for star stencils (discrete accesses) *)
+  vector_efficiency_box : float;
+      (** achievable fraction of peak for box stencils (compact accesses) *)
+  mem_bandwidth_gbs : float;  (** attainable main-memory bandwidth, GB/s *)
+  spm_bytes_per_unit : int option;  (** scratchpad (cache-less designs) *)
+  cache_bytes_per_unit : int option;  (** private cache (cached designs) *)
+  dma_descriptor_latency_s : float;
+      (** per-descriptor DMA setup/completion latency (SPM designs) *)
+  mpi_alpha_s : float;  (** per-message network latency when clustered *)
+  mpi_beta_gbs : float;  (** per-link network bandwidth, GB/s *)
+}
+
+val peak_gflops : t -> Msc_ir.Dtype.t -> float
+(** Aggregate peak for the given precision (fp32 counts double the fp64
+    rate). *)
+
+val effective_gflops : t -> Msc_ir.Dtype.t -> shape_box:bool -> float
+(** Peak derated by the achievable vector efficiency for the access shape. *)
+
+val sunway_cg : t
+(** One SW26010 core group: 64 CPEs @ 1.45 GHz, 64 KB SPM each, DMA to
+    DDR3. Chip peak 3.06 TFlops / 4 CGs. *)
+
+val matrix_node : t
+(** One MT2000+ supernode allocation: 32 cores @ 2.0 GHz, 8 flops/cycle,
+    cache-coherent panels. *)
+
+val xeon_server : t
+(** Two-socket E5-2680v4: 28 cores, AVX2. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type bound = Memory_bound | Compute_bound
+
+type point = {
+  label : string;
+  intensity : float;
+  achieved_gflops : float;
+  attainable_gflops : float;
+  bound : bound;
+}
+
+let ridge_point m dtype = Machine.peak_gflops m dtype /. m.Machine.mem_bandwidth_gbs
+
+let attainable m dtype ~intensity =
+  Float.min (Machine.peak_gflops m dtype) (m.Machine.mem_bandwidth_gbs *. intensity)
+
+let classify m dtype ~intensity =
+  if intensity < ridge_point m dtype then Memory_bound else Compute_bound
+
+let make_point m dtype ~label ~intensity ~achieved_gflops =
+  {
+    label;
+    intensity;
+    achieved_gflops;
+    attainable_gflops = attainable m dtype ~intensity;
+    bound = classify m dtype ~intensity;
+  }
+
+let bound_to_string = function
+  | Memory_bound -> "memory-bound"
+  | Compute_bound -> "compute-bound"
+
+let pp_point ppf p =
+  Format.fprintf ppf "%s: OI=%.2f F/B, %.2f GFlop/s (roof %.2f, %s)" p.label
+    p.intensity p.achieved_gflops p.attainable_gflops (bound_to_string p.bound)

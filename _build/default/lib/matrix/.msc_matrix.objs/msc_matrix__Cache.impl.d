@@ -1,0 +1,1 @@
+lib/matrix/cache.ml: Array Float

@@ -1,0 +1,1 @@
+lib/matrix/sim.ml: Array Cache Dtype Float Format Kernel List Msc_ir Msc_machine Msc_schedule Stencil Tensor

@@ -1,0 +1,1 @@
+lib/matrix/sim.mli: Format Msc_ir Msc_machine Msc_schedule

@@ -1,0 +1,1 @@
+lib/matrix/trace.ml: Array Cache Dtype Expr Kernel List Msc_ir Msc_schedule Tensor

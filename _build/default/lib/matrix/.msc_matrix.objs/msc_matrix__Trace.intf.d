@@ -1,0 +1,1 @@
+lib/matrix/trace.mli: Cache Msc_ir Msc_schedule

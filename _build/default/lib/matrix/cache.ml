@@ -1,0 +1,68 @@
+module Lru = struct
+  type t = {
+    line_bytes : int;
+    associativity : int;
+    sets : int;
+    tags : int array array;  (* sets x ways, -1 = empty; index 0 = MRU *)
+    mutable accesses : int;
+    mutable misses : int;
+  }
+
+  let create ?(line_bytes = 64) ?(associativity = 8) ~capacity_bytes () =
+    if capacity_bytes <= 0 || capacity_bytes mod (line_bytes * associativity) <> 0
+    then invalid_arg "Cache.Lru.create: capacity not a multiple of way size";
+    let sets = capacity_bytes / (line_bytes * associativity) in
+    {
+      line_bytes;
+      associativity;
+      sets;
+      tags = Array.init sets (fun _ -> Array.make associativity (-1));
+      accesses = 0;
+      misses = 0;
+    }
+
+  let access t addr =
+    t.accesses <- t.accesses + 1;
+    let line = addr / t.line_bytes in
+    let set = t.tags.(line mod t.sets) in
+    let tag = line / t.sets in
+    let rec find i = if i >= t.associativity then -1 else if set.(i) = tag then i else find (i + 1) in
+    let pos = find 0 in
+    if pos >= 0 then begin
+      (* Move to MRU position. *)
+      for k = pos downto 1 do
+        set.(k) <- set.(k - 1)
+      done;
+      set.(0) <- tag;
+      `Hit
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      for k = t.associativity - 1 downto 1 do
+        set.(k) <- set.(k - 1)
+      done;
+      set.(0) <- tag;
+      `Miss
+    end
+
+  let accesses t = t.accesses
+  let misses t = t.misses
+
+  let miss_rate t =
+    if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+  let reset t =
+    Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) t.tags;
+    t.accesses <- 0;
+    t.misses <- 0
+end
+
+let traffic_bytes ~capacity_bytes ~working_set_bytes ~compulsory_bytes ~resident_reuse =
+  let cap = float_of_int capacity_bytes and ws = float_of_int working_set_bytes in
+  if ws <= cap then compulsory_bytes
+  else begin
+    (* Smoothly interpolate between full reuse (ratio 1) and no reuse
+       (ratio = resident_reuse) as the working set overflows the cache. *)
+    let overflow = Float.min 1.0 ((ws -. cap) /. ws) in
+    compulsory_bytes *. (1.0 +. (overflow *. Float.max 0.0 (resident_reuse -. 1.0)))
+  end

@@ -1,0 +1,32 @@
+(** Cache modelling for the cache-coherent Matrix MT2000+ cores.
+
+    Two layers: a replayable set-associative LRU simulator (used by tests and
+    fine-grained studies) and a closed-form working-set model (used by the
+    performance simulator, where full traces would be too slow). *)
+
+module Lru : sig
+  type t
+
+  val create : ?line_bytes:int -> ?associativity:int -> capacity_bytes:int -> unit -> t
+  (** Defaults: 64-byte lines, 8-way. Capacity must be a positive multiple of
+      [line_bytes * associativity]. *)
+
+  val access : t -> int -> [ `Hit | `Miss ]
+  (** Touch a byte address; updates recency and fills on miss. *)
+
+  val accesses : t -> int
+  val misses : t -> int
+  val miss_rate : t -> float
+  val reset : t -> unit
+end
+
+val traffic_bytes :
+  capacity_bytes:int ->
+  working_set_bytes:int ->
+  compulsory_bytes:float ->
+  resident_reuse:float ->
+  float
+(** Closed-form traffic estimate: compulsory traffic when the working set
+    fits; otherwise amplified toward [compulsory * resident_reuse] (the
+    no-reuse limit where each of the [resident_reuse] uses re-misses) as the
+    working set grows past capacity. *)

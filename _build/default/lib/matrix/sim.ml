@@ -1,0 +1,156 @@
+open Msc_ir
+module Schedule = Msc_schedule.Schedule
+module Machine = Msc_machine.Machine
+module Roofline = Msc_machine.Roofline
+
+type overrides = {
+  bandwidth_efficiency : float;
+  vector_efficiency : float option;
+  fork_join_overhead_s : float;
+  time_multiplier : float;
+}
+
+let default_overrides =
+  {
+    bandwidth_efficiency = 1.0;
+    vector_efficiency = None;
+    fork_join_overhead_s = 5e-6;
+    time_multiplier = 1.0;
+  }
+
+type report = {
+  benchmark : string;
+  precision : Dtype.t;
+  steps : int;
+  time_s : float;
+  time_per_step_s : float;
+  gflops : float;
+  intensity : float;
+  bound : Roofline.bound;
+  compute_time_s : float;
+  mem_time_s : float;
+  tiles : int;
+  cache_resident : bool;
+  mem_bytes_per_step : float;
+}
+
+let is_box_shaped (st : Stencil.t) =
+  match Stencil.kernels st with
+  | [] -> false
+  | kernels ->
+      List.for_all
+        (fun k ->
+          let r = Array.fold_left max 0 (Kernel.radius k) in
+          let nd = Kernel.ndim k in
+          let w = (2 * r) + 1 in
+          let rec pow acc = function 0 -> acc | n -> pow (acc * w) (n - 1) in
+          r >= 1 && Kernel.points k = pow 1 nd)
+        kernels
+
+let distinct_dts (st : Stencil.t) =
+  let rec go acc (e : Stencil.expr) =
+    match e with
+    | Stencil.Apply (_, dt) | Stencil.State dt -> dt :: acc
+    | Stencil.Scale (_, a) -> go acc a
+    | Stencil.Sum (a, b) | Stencil.Diff (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq compare (go [] st.Stencil.expr)
+
+let simulate ?(machine = Machine.matrix_node) ?(overrides = default_overrides)
+    ?(steps = 10) (st : Stencil.t) schedule =
+  let kernels = Stencil.kernels st in
+  let validation =
+    List.fold_left
+      (fun acc k ->
+        match acc with Error _ -> acc | Ok () -> Schedule.validate schedule ~kernel:k)
+      (Ok ()) kernels
+  in
+  match validation with
+  | Error msg -> Error msg
+  | Ok () ->
+      let grid = st.Stencil.grid in
+      let dims = grid.Tensor.shape in
+      let nd = Array.length dims in
+      let elem = Dtype.size_bytes grid.Tensor.dtype in
+      let tile =
+        match Schedule.tile_sizes schedule ~ndim:nd with
+        | Some t -> t
+        | None -> Array.copy dims
+      in
+      let radius = Stencil.radius st in
+      let padded_tile = Array.mapi (fun d t -> t + (2 * radius.(d))) tile in
+      let tile_elems = Array.fold_left ( * ) 1 tile in
+      let padded_elems = Array.fold_left ( * ) 1 padded_tile in
+      let nstates = List.length (distinct_dts st) in
+      let naux =
+        List.length
+          (List.sort_uniq compare
+             (List.concat_map
+                (fun k ->
+                  List.map (fun (a : Tensor.t) -> a.Tensor.name) k.Kernel.aux)
+                kernels))
+      in
+      let nstreams = nstates + naux in
+      let counts = Array.mapi (fun d t -> (dims.(d) + t - 1) / t) tile in
+      let tiles = Array.fold_left ( * ) 1 counts in
+      let points = float_of_int (Tensor.elems grid) in
+      let cache_bytes =
+        match machine.Machine.cache_bytes_per_unit with Some b -> b | None -> 0
+      in
+      let working_set = ((nstreams * padded_elems) + tile_elems) * elem in
+      let compulsory =
+        float_of_int tiles
+        *. float_of_int (((nstreams * padded_elems) + tile_elems) * elem)
+      in
+      let kernel_points =
+        match kernels with k :: _ -> Kernel.points k | [] -> 1
+      in
+      let mem_bytes =
+        Cache.traffic_bytes ~capacity_bytes:cache_bytes ~working_set_bytes:working_set
+          ~compulsory_bytes:compulsory
+          ~resident_reuse:(float_of_int kernel_points /. 2.0)
+      in
+      let bw = machine.Machine.mem_bandwidth_gbs *. overrides.bandwidth_efficiency *. 1e9 in
+      let mem_time = mem_bytes /. bw in
+      let flops_per_step = float_of_int (Stencil.flops_per_point st) *. points in
+      let veff =
+        match overrides.vector_efficiency with
+        | Some v -> v
+        | None ->
+            if is_box_shaped st then machine.Machine.vector_efficiency_box
+            else machine.Machine.vector_efficiency_star
+      in
+      let peak = Machine.peak_gflops machine grid.Tensor.dtype *. veff *. 1e9 in
+      let compute_time = flops_per_step /. peak in
+      let overlap = 0.15 in
+      let binding = Float.max compute_time mem_time in
+      let other = Float.min compute_time mem_time in
+      let step_time =
+        ((binding +. (overlap *. other)) *. overrides.time_multiplier)
+        +. overrides.fork_join_overhead_s
+      in
+      let time_s = step_time *. float_of_int steps in
+      Ok
+        {
+          benchmark = st.Stencil.name;
+          precision = grid.Tensor.dtype;
+          steps;
+          time_s;
+          time_per_step_s = step_time;
+          gflops = flops_per_step /. step_time /. 1e9;
+          intensity = (if mem_bytes > 0.0 then flops_per_step /. mem_bytes else infinity);
+          bound =
+            (if compute_time > mem_time then Roofline.Compute_bound
+             else Roofline.Memory_bound);
+          compute_time_s = compute_time;
+          mem_time_s = mem_time;
+          tiles;
+          cache_resident = working_set <= cache_bytes;
+          mem_bytes_per_step = mem_bytes;
+        }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s(%a): %.3f ms/step, %.2f GFlop/s, OI %.2f, %s%s" r.benchmark
+    Dtype.pp r.precision (r.time_per_step_s *. 1e3) r.gflops r.intensity
+    (Roofline.bound_to_string r.bound)
+    (if r.cache_resident then ", cache-resident tiles" else ", cache overflow")

@@ -1,0 +1,43 @@
+(** Matrix MT2000+ performance simulator: tile tasks statically scheduled
+    over 32 cache-coherent cores, memory traffic from the cache working-set
+    model, OpenMP-style per-step fork/join overhead. *)
+
+type overrides = {
+  bandwidth_efficiency : float;
+  vector_efficiency : float option;
+  fork_join_overhead_s : float;
+  time_multiplier : float;
+      (** residual inefficiency factor for comparator models (1.0 = MSC) *)
+}
+
+val default_overrides : overrides
+
+type report = {
+  benchmark : string;
+  precision : Msc_ir.Dtype.t;
+  steps : int;
+  time_s : float;
+  time_per_step_s : float;
+  gflops : float;
+  intensity : float;
+  bound : Msc_machine.Roofline.bound;
+  compute_time_s : float;
+  mem_time_s : float;
+  tiles : int;
+  cache_resident : bool;  (** does the per-core tile working set fit cache? *)
+  mem_bytes_per_step : float;
+}
+
+val is_box_shaped : Msc_ir.Stencil.t -> bool
+(** Compact (box) neighbourhoods vectorize better than star arms. *)
+
+val simulate :
+  ?machine:Msc_machine.Machine.t ->
+  ?overrides:overrides ->
+  ?steps:int ->
+  Msc_ir.Stencil.t ->
+  Msc_schedule.Schedule.t ->
+  (report, string) result
+(** Default machine {!Msc_machine.Machine.matrix_node}, 10 steps. *)
+
+val pp_report : Format.formatter -> report -> unit

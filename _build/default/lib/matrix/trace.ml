@@ -1,0 +1,78 @@
+open Msc_ir
+module Schedule = Msc_schedule.Schedule
+
+type result = { accesses : int; misses : int; miss_rate : float }
+
+let sweep_miss_rate ?cache kernel schedule =
+  (match Schedule.validate schedule ~kernel with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Trace.sweep_miss_rate: " ^ msg));
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Cache.Lru.create ~capacity_bytes:(32 * 1024) ()
+  in
+  let tensor = kernel.Kernel.input in
+  let dims = tensor.Tensor.shape in
+  let nd = Array.length dims in
+  let halo = tensor.Tensor.halo in
+  let elem = Dtype.size_bytes tensor.Tensor.dtype in
+  (* Row-major byte address over the padded box; the output grid lives after
+     the input in the address space. *)
+  let padded = Array.mapi (fun d n -> n + (2 * halo.(d))) dims in
+  let strides = Array.make nd 1 in
+  for d = nd - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * padded.(d + 1)
+  done;
+  let total = padded.(0) * strides.(0) in
+  let address coord offsets =
+    let acc = ref 0 in
+    for d = 0 to nd - 1 do
+      acc := !acc + ((coord.(d) + offsets.(d) + halo.(d)) * strides.(d))
+    done;
+    !acc * elem
+  in
+  let reads =
+    List.map (fun (a : Expr.access) -> a.Expr.offsets) (Expr.distinct_accesses kernel.Kernel.expr)
+  in
+  let visit coord =
+    List.iter (fun offsets -> ignore (Cache.Lru.access cache (address coord offsets))) reads;
+    (* The write stream to the (disjoint) output grid. *)
+    ignore (Cache.Lru.access cache ((total * elem) + address coord (Array.make nd 0)))
+  in
+  (* Walk tiles in the schedule's order (row-major over tiles, then within
+     the tile), or the plain nest when untiled. *)
+  let tile =
+    match Schedule.tile_sizes schedule ~ndim:nd with
+    | Some t -> t
+    | None -> Array.copy dims
+  in
+  let counts = Array.mapi (fun d t -> (dims.(d) + t - 1) / t) tile in
+  let coord = Array.make nd 0 in
+  let rec tiles d tile_base =
+    if d = nd then begin
+      let rec inner d =
+        if d = nd then visit coord
+        else begin
+          let lo = tile_base.(d) in
+          let hi = min dims.(d) (lo + tile.(d)) in
+          for c = lo to hi - 1 do
+            coord.(d) <- c;
+            inner (d + 1)
+          done
+        end
+      in
+      inner 0
+    end
+    else
+      for tnum = 0 to counts.(d) - 1 do
+        tile_base.(d) <- tnum * tile.(d);
+        tiles (d + 1) tile_base
+      done
+  in
+  tiles 0 (Array.make nd 0);
+  {
+    accesses = Cache.Lru.accesses cache;
+    misses = Cache.Lru.misses cache;
+    miss_rate = Cache.Lru.miss_rate cache;
+  }

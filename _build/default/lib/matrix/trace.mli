@@ -1,0 +1,24 @@
+(** Trace-driven cache analysis: replay the exact memory-access stream of a
+    (scheduled) stencil sweep through the {!Cache.Lru} simulator.
+
+    This grounds the closed-form working-set model the Matrix performance
+    simulator uses: the tiled traversal's measured miss rate must beat the
+    untiled one whenever the grid exceeds the cache, which is the premise of
+    the paper's [tile]/[reorder] primitives. Intended for small grids (every
+    access is simulated). *)
+
+type result = {
+  accesses : int;
+  misses : int;
+  miss_rate : float;
+}
+
+val sweep_miss_rate :
+  ?cache:Cache.Lru.t ->
+  Msc_ir.Kernel.t ->
+  Msc_schedule.Schedule.t ->
+  result
+(** Replay one full kernel sweep (all reads of every tap, one write per
+    point) in the loop order the schedule produces — tile by tile when a
+    tile primitive is present. Default cache: 32 KiB, 8-way, 64-byte lines.
+    @raise Invalid_argument on an illegal schedule. *)

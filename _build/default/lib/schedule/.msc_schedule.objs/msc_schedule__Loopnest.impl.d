@@ -1,0 +1,1 @@
+lib/schedule/loopnest.ml: Array Axis Dtype Format Kernel List Msc_ir Option Printf Schedule String Tensor

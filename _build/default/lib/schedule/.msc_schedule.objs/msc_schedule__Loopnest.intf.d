@@ -1,0 +1,1 @@
+lib/schedule/loopnest.mli: Format Msc_ir Schedule

@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Array Format Kernel List Msc_ir Printf String Tensor

@@ -1,0 +1,199 @@
+open Msc_ir
+
+type axis_role = Outer of int | Inner of int | Full of int
+
+type loop = {
+  name : string;
+  role : axis_role;
+  extent : int;
+  parallel : Axis.parallel_mode;
+}
+
+type dma_plan = {
+  read_buffer : string option;
+  write_buffer : string option;
+  at_axis : string;
+  at_depth : int;
+  transfer_elems : int;
+  transfer_bytes : int;
+  contiguous_run_bytes : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  schedule : Schedule.t;
+  loops : loop list;
+  tile : int array;
+  dma : dma_plan option;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let build_loops kernel schedule =
+  let ndim = Kernel.ndim kernel in
+  let shape = kernel.Kernel.input.Tensor.shape in
+  let names = Schedule.dim_names ndim in
+  let order = Schedule.order schedule ~ndim in
+  let tile =
+    match Schedule.tile_sizes schedule ~ndim with
+    | Some sizes -> sizes
+    | None -> Array.copy shape
+  in
+  let dim_of_name base =
+    let rec find d = function
+      | [] -> invalid_arg (Printf.sprintf "Loopnest: unknown axis base %s" base)
+      | n :: rest -> if String.equal n base then d else find (d + 1) rest
+    in
+    find 0 names
+  in
+  let parse_axis name =
+    (* "xo" / "xi" for tiled schedules, "x" for untiled. *)
+    if List.mem name names then Full (dim_of_name name)
+    else begin
+      let len = String.length name in
+      let base = String.sub name 0 (len - 1) in
+      match name.[len - 1] with
+      | 'o' -> Outer (dim_of_name base)
+      | 'i' -> Inner (dim_of_name base)
+      | _ -> invalid_arg (Printf.sprintf "Loopnest: bad axis name %s" name)
+    end
+  in
+  let par = Schedule.parallel_spec schedule in
+  List.map
+    (fun axis_name ->
+      let role = parse_axis axis_name in
+      let extent =
+        match role with
+        | Full d -> shape.(d)
+        | Outer d -> ceil_div shape.(d) tile.(d)
+        | Inner d -> tile.(d)
+      in
+      let parallel =
+        match par with
+        | Some (p_axis, units, kind) when String.equal p_axis axis_name -> (
+            match kind with
+            | Schedule.Omp_threads -> Axis.Threads units
+            | Schedule.Athread_cpes -> Axis.Cpe_tasks units)
+        | Some _ | None -> Axis.Serial
+      in
+      { name = axis_name; role; extent; parallel })
+    order
+
+let tile_elems_of tile = Array.fold_left ( * ) 1 tile
+
+let tile_halo_elems_of kernel tile =
+  let radius = Kernel.radius kernel in
+  let acc = ref 1 in
+  Array.iteri (fun d s -> acc := !acc * (s + (2 * radius.(d)))) tile;
+  !acc
+
+let build_dma kernel schedule loops tile =
+  let read = Schedule.cache_read_spec schedule in
+  let write = Schedule.cache_write_spec schedule in
+  let ats = Schedule.compute_at_specs schedule in
+  match (read, write, ats) with
+  | None, None, _ | _, _, [] -> None
+  | _ ->
+      let at_axis = snd (List.hd ats) in
+      let at_depth =
+        let rec find d = function
+          | [] -> invalid_arg (Printf.sprintf "Loopnest: compute_at axis %s not in nest" at_axis)
+          | l :: rest -> if String.equal l.name at_axis then d else find (d + 1) rest
+        in
+        find 0 loops
+      in
+      let elem_bytes = Dtype.size_bytes kernel.Kernel.input.Tensor.dtype in
+      let transfer_elems = tile_halo_elems_of kernel tile in
+      let radius = Kernel.radius kernel in
+      let innermost_dim = Array.length tile - 1 in
+      let contiguous_run_bytes =
+        (tile.(innermost_dim) + (2 * radius.(innermost_dim))) * elem_bytes
+      in
+      Some
+        {
+          read_buffer = Option.map (fun (_, b, _) -> b) read;
+          write_buffer = Option.map (fun (b, _) -> b) write;
+          at_axis;
+          at_depth;
+          transfer_elems;
+          transfer_bytes = transfer_elems * elem_bytes;
+          contiguous_run_bytes;
+        }
+
+let lower kernel schedule =
+  match Schedule.validate schedule ~kernel with
+  | Error _ as e -> e
+  | Ok () ->
+      let ndim = Kernel.ndim kernel in
+      let tile =
+        match Schedule.tile_sizes schedule ~ndim with
+        | Some sizes -> sizes
+        | None -> Array.copy kernel.Kernel.input.Tensor.shape
+      in
+      let loops = build_loops kernel schedule in
+      let dma = build_dma kernel schedule loops tile in
+      Ok { kernel; schedule; loops; tile; dma }
+
+let lower_exn kernel schedule =
+  match lower kernel schedule with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Loopnest.lower: " ^ msg)
+
+let tiles_count t =
+  List.fold_left
+    (fun acc l -> match l.role with Outer _ -> acc * l.extent | Inner _ | Full _ -> acc)
+    1 t.loops
+
+let tile_elems t = tile_elems_of t.tile
+let tile_halo_elems t = tile_halo_elems_of t.kernel t.tile
+
+let working_set_bytes t =
+  let elem_bytes = Dtype.size_bytes t.kernel.Kernel.input.Tensor.dtype in
+  (tile_halo_elems t + tile_elems t) * elem_bytes
+
+let parallel_loop t =
+  let rec find depth = function
+    | [] -> None
+    | l :: rest -> (
+        match l.parallel with
+        | Axis.Serial -> find (depth + 1) rest
+        | Axis.Threads _ | Axis.Cpe_tasks _ -> Some (l, depth))
+  in
+  find 0 t.loops
+
+let reuse_factor t =
+  (* Each interior point is read once per distinct kernel tap that covers it;
+     loading the padded tile once means each loaded element serves
+     [points * interior / padded] uses on average. *)
+  let points = float_of_int (Kernel.points t.kernel) in
+  let interior = float_of_int (tile_elems t) in
+  let padded = float_of_int (tile_halo_elems t) in
+  points *. interior /. padded
+
+let innermost_contiguous t =
+  match List.rev t.loops with
+  | [] -> false
+  | last :: _ -> (
+      let ndim = Array.length t.tile in
+      match last.role with
+      | Inner d | Full d -> d = ndim - 1
+      | Outer _ -> false)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun depth l ->
+      let indent = String.make (2 * depth) ' ' in
+      let par =
+        match l.parallel with
+        | Axis.Serial -> ""
+        | Axis.Threads n -> Printf.sprintf "  // omp parallel(%d)" n
+        | Axis.Cpe_tasks n -> Printf.sprintf "  // athread(%d)" n
+      in
+      Format.fprintf ppf "%sfor %s in [0,%d)%s@," indent l.name l.extent par;
+      match t.dma with
+      | Some dma when String.equal dma.at_axis l.name ->
+          Format.fprintf ppf "%s  dma_get %d B; ...; dma_put@," indent dma.transfer_bytes
+      | Some _ | None -> ())
+    t.loops;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,66 @@
+(** Lowering a (kernel, schedule) pair to a concrete loop nest.
+
+    The loop nest is what the code generator walks and what the processor
+    simulators cost. Remainder tiles (extents not divisible by the tile size)
+    are handled by clamping inner-loop bounds. *)
+
+type axis_role =
+  | Outer of int  (** tile-index loop over dimension [d] *)
+  | Inner of int  (** intra-tile loop over dimension [d] *)
+  | Full of int  (** untiled loop over dimension [d] *)
+
+type loop = {
+  name : string;
+  role : axis_role;
+  extent : int;  (** trip count (ceil for outer loops) *)
+  parallel : Msc_ir.Axis.parallel_mode;
+}
+
+type dma_plan = {
+  read_buffer : string option;
+  write_buffer : string option;
+  at_axis : string;  (** transfers happen at each iteration of this axis *)
+  at_depth : int;  (** loop depth of [at_axis] (0 = outermost) *)
+  transfer_elems : int;  (** elements moved per read transfer (halo included) *)
+  transfer_bytes : int;
+  contiguous_run_bytes : int;  (** longest contiguous run per DMA descriptor *)
+}
+
+type t = {
+  kernel : Msc_ir.Kernel.t;
+  schedule : Schedule.t;
+  loops : loop list;  (** outermost first *)
+  tile : int array;  (** effective tile extents per dimension *)
+  dma : dma_plan option;
+}
+
+val lower : Msc_ir.Kernel.t -> Schedule.t -> (t, string) result
+(** Validates the schedule then lowers it. *)
+
+val lower_exn : Msc_ir.Kernel.t -> Schedule.t -> t
+
+val tiles_count : t -> int
+(** Number of tiles = product of outer/untiled-as-single trip counts. *)
+
+val tile_elems : t -> int
+(** Interior points per full tile. *)
+
+val tile_halo_elems : t -> int
+(** Points per tile including the kernel-radius halo ring. *)
+
+val working_set_bytes : t -> int
+(** Per-tile scratch requirement: read buffer (halo included) + write buffer.
+    This is what must fit in a CPE's scratchpad. *)
+
+val parallel_loop : t -> (loop * int) option
+(** The parallel loop and its depth, if any. *)
+
+val reuse_factor : t -> float
+(** Average number of times each loaded element is used by the kernel within
+    a tile (data-locality metric reported in §5.2.1). *)
+
+val innermost_contiguous : t -> bool
+(** True when the innermost loop iterates the contiguous dimension — the
+    access-locality property the [reorder] primitive is meant to establish. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,279 @@
+open Msc_ir
+
+type par_kind = Omp_threads | Athread_cpes
+type buffer_scope = Scope_global | Scope_tile
+
+type primitive =
+  | Tile of int array
+  | Reorder of string list
+  | Parallel of { axis : string; units : int; kind : par_kind }
+  | Cache_read of { tensor : string; buffer : string; scope : buffer_scope }
+  | Cache_write of { buffer : string; scope : buffer_scope }
+  | Compute_at of { buffer : string; axis : string }
+
+type t = { primitives : primitive list }
+
+let empty = { primitives = [] }
+let add t p = { primitives = t.primitives @ [ p ] }
+
+let tile t sizes = add t (Tile (Array.copy sizes))
+let reorder t axes = add t (Reorder axes)
+let parallel ?(kind = Omp_threads) t axis units = add t (Parallel { axis; units; kind })
+
+let cache_read ?(scope = Scope_global) t ~tensor ~buffer =
+  add t (Cache_read { tensor; buffer; scope })
+
+let cache_write ?(scope = Scope_global) t ~buffer = add t (Cache_write { buffer; scope })
+let compute_at t ~buffer ~axis = add t (Compute_at { buffer; axis })
+
+let dim_names ndim =
+  if ndim <= 3 then List.filteri (fun i _ -> i < ndim) [ "x"; "y"; "z" ]
+  else List.init ndim (Printf.sprintf "x%d")
+
+let tile_sizes t ~ndim =
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Tile sizes when Array.length sizes = ndim -> Some (Array.copy sizes)
+      | Tile _ | Reorder _ | Parallel _ | Cache_read _ | Cache_write _ | Compute_at _
+        ->
+          acc)
+    None t.primitives
+
+let split_axis_names ndim =
+  let names = dim_names ndim in
+  List.map (fun n -> n ^ "o") names @ List.map (fun n -> n ^ "i") names
+
+let order t ~ndim =
+  let base =
+    match tile_sizes t ~ndim with
+    | None -> dim_names ndim
+    | Some _ -> split_axis_names ndim
+  in
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Reorder axes when List.sort compare axes = List.sort compare acc -> axes
+      | Reorder _ | Tile _ | Parallel _ | Cache_read _ | Cache_write _ | Compute_at _
+        ->
+          acc)
+    base t.primitives
+
+let parallel_spec t =
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Parallel { axis; units; kind } -> Some (axis, units, kind)
+      | Tile _ | Reorder _ | Cache_read _ | Cache_write _ | Compute_at _ -> acc)
+    None t.primitives
+
+let cache_read_spec t =
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Cache_read { tensor; buffer; scope } -> Some (tensor, buffer, scope)
+      | Tile _ | Reorder _ | Parallel _ | Cache_write _ | Compute_at _ -> acc)
+    None t.primitives
+
+let cache_write_spec t =
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Cache_write { buffer; scope } -> Some (buffer, scope)
+      | Tile _ | Reorder _ | Parallel _ | Cache_read _ | Compute_at _ -> acc)
+    None t.primitives
+
+let compute_at_specs t =
+  List.filter_map
+    (function
+      | Compute_at { buffer; axis } -> Some (buffer, axis)
+      | Tile _ | Reorder _ | Parallel _ | Cache_read _ | Cache_write _ -> None)
+    t.primitives
+
+let validate t ~kernel =
+  let ndim = Kernel.ndim kernel in
+  let shape = kernel.Kernel.input.Tensor.shape in
+  let buffers = ref [] in
+  let axes = ref (dim_names ndim) in
+  let check_axis ctx axis =
+    if List.mem axis !axes then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: unknown axis %s (have: %s)" ctx axis
+           (String.concat "," !axes))
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | p :: rest -> (
+        let step =
+          match p with
+          | Tile sizes ->
+              if Array.length sizes <> ndim then
+                Error
+                  (Printf.sprintf "tile: %d sizes for a %d-D kernel"
+                     (Array.length sizes) ndim)
+              else begin
+                let bad = ref None in
+                Array.iteri
+                  (fun d s ->
+                    if s < 1 then bad := Some (Printf.sprintf "tile: size %d on dim %d" s d)
+                    else if s > shape.(d) then
+                      bad :=
+                        Some
+                          (Printf.sprintf "tile: size %d exceeds extent %d on dim %d" s
+                             shape.(d) d))
+                  sizes;
+                match !bad with
+                | Some msg -> Error msg
+                | None ->
+                    axes := split_axis_names ndim;
+                    Ok ()
+              end
+          | Reorder names ->
+              if List.sort compare names <> List.sort compare !axes then
+                Error
+                  (Printf.sprintf "reorder: %s is not a permutation of %s"
+                     (String.concat "," names)
+                     (String.concat "," !axes))
+              else begin
+                (* Each outer split axis must precede its inner partner. *)
+                let pos name =
+                  let rec find k = function
+                    | [] -> -1
+                    | n :: rest -> if String.equal n name then k else find (k + 1) rest
+                  in
+                  find 0 names
+                in
+                let violation =
+                  List.find_opt
+                    (fun base ->
+                      let po = pos (base ^ "o") and pi = pos (base ^ "i") in
+                      po >= 0 && pi >= 0 && po > pi)
+                    (dim_names ndim)
+                in
+                match violation with
+                | Some base ->
+                    Error
+                      (Printf.sprintf "reorder: %si must come after %so" base base)
+                | None -> Ok ()
+              end
+          | Parallel { axis; units; _ } ->
+              if units < 1 then Error "parallel: unit count must be >= 1"
+              else check_axis "parallel" axis
+          | Cache_read { tensor; buffer; _ } ->
+              if not (String.equal tensor kernel.Kernel.input.Tensor.name) then
+                Error
+                  (Printf.sprintf "cache_read: tensor %s is not the kernel input %s"
+                     tensor kernel.Kernel.input.Tensor.name)
+              else begin
+                buffers := buffer :: !buffers;
+                Ok ()
+              end
+          | Cache_write { buffer; _ } ->
+              buffers := buffer :: !buffers;
+              Ok ()
+          | Compute_at { buffer; axis } ->
+              if not (List.mem buffer !buffers) then
+                Error (Printf.sprintf "compute_at: undeclared buffer %s" buffer)
+              else check_axis "compute_at" axis
+        in
+        match step with Error _ as e -> e | Ok () -> go rest)
+  in
+  go t.primitives
+
+let default_tile kernel =
+  let shape = kernel.Kernel.input.Tensor.shape in
+  let radius = Kernel.radius kernel in
+  let rmax = Array.fold_left max 1 radius in
+  match shape with
+  | [| _; n |] ->
+      (* 2-D: Table 5 uses (32,64) for low order, (16,32) for high order. *)
+      if rmax <= 2 then [| 32; min 64 n |] else [| 16; min 32 n |]
+  | [| _; _; p |] ->
+      (* 3-D: (2,8,64) for low order, (2,4,32) for high order. *)
+      if rmax <= 2 then [| 2; 8; min 64 p |] else [| 2; 4; min 32 p |]
+  | _ -> Array.map (fun n -> min n 32) shape
+
+let canonical_order ndim =
+  let names = dim_names ndim in
+  List.map (fun n -> n ^ "o") names @ List.map (fun n -> n ^ "i") names
+
+let tiled_base ?tile:tile_arg kernel =
+  let sizes = match tile_arg with Some s -> s | None -> default_tile kernel in
+  let t = tile empty sizes in
+  reorder t (canonical_order (Kernel.ndim kernel))
+
+let sunway_canonical ?tile:tile_arg ?(cpes = 64) kernel =
+  let t = tiled_base ?tile:tile_arg kernel in
+  let t = cache_read t ~tensor:kernel.Kernel.input.Tensor.name ~buffer:"buffer_read" in
+  let t = cache_write t ~buffer:"buffer_write" in
+  let ndim = Kernel.ndim kernel in
+  let innermost_outer = List.nth (dim_names ndim) (ndim - 1) ^ "o" in
+  let t = compute_at t ~buffer:"buffer_read" ~axis:innermost_outer in
+  let t = compute_at t ~buffer:"buffer_write" ~axis:innermost_outer in
+  parallel ~kind:Athread_cpes t "xo" cpes
+
+let matrix_canonical ?tile:tile_arg ?(threads = 32) kernel =
+  let t = tiled_base ?tile:tile_arg kernel in
+  parallel ~kind:Omp_threads t "xo" threads
+
+let cpu_canonical ?tile:tile_arg ?(threads = 28) kernel =
+  matrix_canonical ?tile:tile_arg ~threads kernel
+
+let scope_string = function Scope_global -> "global" | Scope_tile -> "tile"
+
+let to_msc_lines t ~kernel_name =
+  let lines = ref [] in
+  let line fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  (match
+     List.find_map (function Tile s -> Some s | _ -> None) t.primitives
+   with
+  | Some sizes ->
+      let names = dim_names (Array.length sizes) in
+      line "const int %s;"
+        (String.concat ", "
+           (List.mapi (fun d n -> Printf.sprintf "tile_size_%s = %d" n sizes.(d)) names));
+      line "Axis %s;" (String.concat ", " (split_axis_names (List.length names)))
+  | None -> ());
+  List.iter
+    (fun p ->
+      match p with
+      | Tile sizes ->
+          let names = dim_names (Array.length sizes) in
+          let taus = List.map (fun n -> "tile_size_" ^ n) names in
+          let splits =
+            List.concat_map (fun n -> [ n ^ "o"; n ^ "i" ]) names
+          in
+          line "%s.tile(%s);" kernel_name (String.concat ", " (taus @ splits))
+      | Reorder axes -> line "%s.reorder(%s);" kernel_name (String.concat ", " axes)
+      | Parallel { axis; units; _ } -> line "%s.parallel(%s, %d);" kernel_name axis units
+      | Cache_read { tensor; buffer; scope } ->
+          line "CacheRead %s;" buffer;
+          line "%s.cache_read(%s, %s, \"%s\");" kernel_name tensor buffer
+            (scope_string scope)
+      | Cache_write { buffer; scope } ->
+          line "CacheWrite %s;" buffer;
+          line "%s.cache_write(%s, \"%s\");" kernel_name buffer (scope_string scope)
+      | Compute_at { buffer; axis } ->
+          line "%s.compute_at(%s, %s);" kernel_name buffer axis)
+    t.primitives;
+  List.rev !lines
+
+let pp_primitive ppf = function
+  | Tile sizes ->
+      Format.fprintf ppf "tile(%s)"
+        (String.concat "," (Array.to_list (Array.map string_of_int sizes)))
+  | Reorder axes -> Format.fprintf ppf "reorder(%s)" (String.concat "," axes)
+  | Parallel { axis; units; kind } ->
+      Format.fprintf ppf "parallel(%s,%d,%s)" axis units
+        (match kind with Omp_threads -> "omp" | Athread_cpes -> "athread")
+  | Cache_read { tensor; buffer; scope } ->
+      Format.fprintf ppf "cache_read(%s,%s,%s)" tensor buffer (scope_string scope)
+  | Cache_write { buffer; scope } ->
+      Format.fprintf ppf "cache_write(%s,%s)" buffer (scope_string scope)
+  | Compute_at { buffer; axis } -> Format.fprintf ppf "compute_at(%s,%s)" buffer axis
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_primitive)
+    t.primitives

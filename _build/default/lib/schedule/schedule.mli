@@ -1,0 +1,84 @@
+(** The optimization primitives of §4.3.
+
+    A schedule is the ordered trace of primitive applications to a kernel:
+    [tile] (loop fission), [reorder], [parallel], and the caching primitives
+    [cache_read] / [cache_write] / [compute_at] that manage scratchpad
+    buffers and DMA on cache-less processors such as Sunway.
+
+    Axis naming convention: spatial dimensions are named [x, y, z, ...] in
+    declaration order (dimension 0 = [x]; the last dimension is contiguous in
+    memory). [tile] splits axis [a] into [ao] (outer) and [ai] (inner). The
+    paper's canonical 3-D schedule is then
+    [reorder (xo, yo, zo, xi, yi, zi); parallel (xo, 64)]. *)
+
+type par_kind =
+  | Omp_threads  (** homogeneous many-core: OpenMP multi-threading *)
+  | Athread_cpes  (** heterogeneous many-core: athread task-to-CPE mapping *)
+
+type buffer_scope =
+  | Scope_global  (** allocated once, outside all loops (Listing 2 "global") *)
+  | Scope_tile  (** allocated per tile *)
+
+type primitive =
+  | Tile of int array  (** fission factor per dimension *)
+  | Reorder of string list  (** full permutation of the split axis names *)
+  | Parallel of { axis : string; units : int; kind : par_kind }
+  | Cache_read of { tensor : string; buffer : string; scope : buffer_scope }
+  | Cache_write of { buffer : string; scope : buffer_scope }
+  | Compute_at of { buffer : string; axis : string }
+
+type t = { primitives : primitive list }
+
+val empty : t
+(** No transformation: the untiled, serial loop nest. *)
+
+val tile : t -> int array -> t
+val reorder : t -> string list -> t
+val parallel : ?kind:par_kind -> t -> string -> int -> t
+val cache_read : ?scope:buffer_scope -> t -> tensor:string -> buffer:string -> t
+val cache_write : ?scope:buffer_scope -> t -> buffer:string -> t
+val compute_at : t -> buffer:string -> axis:string -> t
+
+val dim_names : int -> string list
+(** [\["x"\]], [\["x";"y"\]], [\["x";"y";"z"\]], then [x0..xn]. *)
+
+val tile_sizes : t -> ndim:int -> int array option
+(** Resolved tile sizes if a [Tile] primitive is present. *)
+
+val order : t -> ndim:int -> string list
+(** Final loop order (after tiling and any reorder), outermost first. For an
+    untiled schedule this is just the dimension names. *)
+
+val parallel_spec : t -> (string * int * par_kind) option
+val cache_read_spec : t -> (string * string * buffer_scope) option
+val cache_write_spec : t -> (string * buffer_scope) option
+val compute_at_specs : t -> (string * string) list
+
+val validate : t -> kernel:Msc_ir.Kernel.t -> (unit, string) result
+(** Structural legality: tile rank and positivity, reorder is a permutation
+    of the current axis names, parallel/compute_at axes exist, compute_at
+    buffers were declared by a caching primitive, tile sizes do not exceed
+    extents. *)
+
+val sunway_canonical :
+  ?tile:int array -> ?cpes:int -> Msc_ir.Kernel.t -> t
+(** The Listing-2 schedule: tile + reorder (all outer then all inner) +
+    cache_read/cache_write in SPM + compute_at the innermost outer axis +
+    athread parallelisation of the outermost axis over [cpes] (default 64). *)
+
+val matrix_canonical : ?tile:int array -> ?threads:int -> Msc_ir.Kernel.t -> t
+(** Tile + reorder + OpenMP parallel over the outermost axis (default 32
+    threads, one Matrix supernode). *)
+
+val cpu_canonical : ?tile:int array -> ?threads:int -> Msc_ir.Kernel.t -> t
+(** Same structure as {!matrix_canonical}; default 28 threads (the paper's
+    E5-2680v4 pair). *)
+
+val default_tile : Msc_ir.Kernel.t -> int array
+(** A Table-5-style heuristic tile: small outer dimensions, long contiguous
+    innermost dimension, shrunk for wide halos. *)
+
+val to_msc_lines : t -> kernel_name:string -> string list
+(** Listing-2-style DSL source lines for the primitives (LoC accounting). *)
+
+val pp : Format.formatter -> t -> unit

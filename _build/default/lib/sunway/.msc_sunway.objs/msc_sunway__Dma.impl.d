@@ -1,0 +1,1 @@
+lib/sunway/dma.ml: Float Msc_machine

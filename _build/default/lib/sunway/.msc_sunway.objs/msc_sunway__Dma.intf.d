@@ -1,0 +1,1 @@
+lib/sunway/dma.mli: Msc_machine

@@ -1,0 +1,1 @@
+lib/sunway/sim.ml: Array Dma Dtype Float Format Kernel List Msc_ir Msc_machine Msc_schedule Printf Spm Stencil Tensor

@@ -1,0 +1,1 @@
+lib/sunway/sim.mli: Format Msc_ir Msc_machine Msc_schedule

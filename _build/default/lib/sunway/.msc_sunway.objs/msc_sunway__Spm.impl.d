@@ -1,0 +1,1 @@
+lib/sunway/spm.ml: List Printf String

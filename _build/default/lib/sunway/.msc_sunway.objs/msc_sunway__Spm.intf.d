@@ -1,0 +1,1 @@
+lib/sunway/spm.mli:

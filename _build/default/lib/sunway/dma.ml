@@ -1,0 +1,33 @@
+type engine = {
+  descriptor_latency_s : float;
+  bandwidth_gbs : float;
+  concurrent_engines : int;
+}
+
+type transfer = { bytes : float; descriptors : int }
+
+let of_machine (m : Msc_machine.Machine.t) =
+  {
+    descriptor_latency_s = m.Msc_machine.Machine.dma_descriptor_latency_s;
+    bandwidth_gbs = m.Msc_machine.Machine.mem_bandwidth_gbs;
+    concurrent_engines = m.Msc_machine.Machine.compute_units;
+  }
+
+let no_transfer = { bytes = 0.0; descriptors = 0 }
+
+let combine a b = { bytes = a.bytes +. b.bytes; descriptors = a.descriptors + b.descriptors }
+
+let scale t f =
+  {
+    bytes = t.bytes *. f;
+    descriptors = int_of_float (Float.ceil (float_of_int t.descriptors *. f));
+  }
+
+let time e t =
+  (t.bytes /. (e.bandwidth_gbs *. 1e9))
+  +. (float_of_int t.descriptors *. e.descriptor_latency_s
+     /. float_of_int (max 1 e.concurrent_engines))
+
+let effective_bandwidth_gbs e t =
+  let s = time e t in
+  if s <= 0.0 then e.bandwidth_gbs else t.bytes /. s /. 1e9

@@ -1,0 +1,28 @@
+(** DMA cost engine for CPE <-> main-memory transfers.
+
+    Each transfer is a set of descriptors (one per contiguous row); a
+    descriptor pays a fixed setup/completion latency and the payload moves at
+    the shared core-group bandwidth. Descriptor latencies across the 64 CPEs
+    overlap; payload bandwidth does not. *)
+
+type engine = {
+  descriptor_latency_s : float;
+  bandwidth_gbs : float;  (** aggregate attainable CG bandwidth *)
+  concurrent_engines : int;  (** CPEs issuing in parallel *)
+}
+
+type transfer = { bytes : float; descriptors : int }
+
+val of_machine : Msc_machine.Machine.t -> engine
+
+val no_transfer : transfer
+val combine : transfer -> transfer -> transfer
+val scale : transfer -> float -> transfer
+(** Multiply both fields (descriptor count rounded up). *)
+
+val time : engine -> transfer -> float
+(** Aggregate wall time: [bytes / bandwidth + descriptors * latency /
+    engines]. *)
+
+val effective_bandwidth_gbs : engine -> transfer -> float
+(** Payload bytes over {!time} — degrades as rows shorten. *)

@@ -1,0 +1,258 @@
+open Msc_ir
+module Schedule = Msc_schedule.Schedule
+module Machine = Msc_machine.Machine
+module Roofline = Msc_machine.Roofline
+
+type overrides = {
+  bandwidth_efficiency : float;
+  vector_efficiency : float option;
+  extra_latency_per_point_s : float;
+  spawn_overhead_s : float;
+  tile_reuse : bool;
+  double_buffer : bool;
+  bypass_spm : bool;
+}
+
+let default_overrides =
+  {
+    bandwidth_efficiency = 1.0;
+    vector_efficiency = None;
+    extra_latency_per_point_s = 0.0;
+    spawn_overhead_s = 10e-6;
+    tile_reuse = true;
+    double_buffer = false;
+    bypass_spm = false;
+  }
+
+type counters = {
+  tiles : int;
+  tiles_per_cpe : float;
+  dma_bytes : float;
+  dma_descriptors : int;
+  flops_per_step : float;
+  spm_read_bytes : int;
+  spm_write_bytes : int;
+  spm_utilization : float;
+  reuse_factor : float;
+  points_per_step : float;
+}
+
+type report = {
+  benchmark : string;
+  precision : Dtype.t;
+  steps : int;
+  time_s : float;
+  time_per_step_s : float;
+  gflops : float;
+  intensity : float;
+  bound : Roofline.bound;
+  compute_time_s : float;
+  dma_time_s : float;
+  counters : counters;
+}
+
+let is_box_shaped (st : Stencil.t) =
+  match Stencil.kernels st with
+  | [] -> false
+  | kernels ->
+      List.for_all
+        (fun k ->
+          let r = Array.fold_left max 0 (Kernel.radius k) in
+          let nd = Kernel.ndim k in
+          let box_points =
+            let w = (2 * r) + 1 in
+            let rec pow acc = function 0 -> acc | n -> pow (acc * w) (n - 1) in
+            pow 1 nd
+          in
+          r >= 1 && Kernel.points k = box_points)
+        kernels
+
+let distinct_dts (st : Stencil.t) =
+  let rec go acc (e : Stencil.expr) =
+    match e with
+    | Stencil.Apply (_, dt) | Stencil.State dt -> dt :: acc
+    | Stencil.Scale (_, a) -> go acc a
+    | Stencil.Sum (a, b) | Stencil.Diff (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq compare (go [] st.Stencil.expr)
+
+let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
+    ?(steps = 10) (st : Stencil.t) schedule =
+  let kernels = Stencil.kernels st in
+  let validation =
+    List.fold_left
+      (fun acc k ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> Schedule.validate schedule ~kernel:k)
+      (Ok ()) kernels
+  in
+  match validation with
+  | Error msg -> Error msg
+  | Ok () ->
+      let grid = st.Stencil.grid in
+      let dims = grid.Tensor.shape in
+      let nd = Array.length dims in
+      let elem = Dtype.size_bytes grid.Tensor.dtype in
+      let tile =
+        match Schedule.tile_sizes schedule ~ndim:nd with
+        | Some t -> t
+        | None -> Array.copy dims
+      in
+      let radius = Stencil.radius st in
+      let padded_tile = Array.mapi (fun d t -> t + (2 * radius.(d))) tile in
+      let tile_elems = Array.fold_left ( * ) 1 tile in
+      let padded_elems = Array.fold_left ( * ) 1 padded_tile in
+      let nstates = List.length (distinct_dts st) in
+      (* Static coefficient grids are staged per tile exactly like input
+         states: one more padded SPM buffer and one more DMA stream each. *)
+      let naux =
+        List.length
+          (List.sort_uniq compare
+             (List.concat_map
+                (fun k ->
+                  List.map (fun (a : Tensor.t) -> a.Tensor.name) k.Kernel.aux)
+                kernels))
+      in
+      let nstreams = nstates + naux in
+      (* SPM accounting: one padded read buffer per input state + the write
+         tile, exactly the slave code's __thread_local buffers. *)
+      let spm = Spm.create ?capacity_bytes:machine.Machine.spm_bytes_per_unit () in
+      (* Double buffering keeps two copies of every staged buffer live. *)
+      let copies = if overrides.double_buffer then 2 else 1 in
+      let spm_read_bytes = copies * nstreams * padded_elems * elem in
+      let spm_write_bytes = copies * tile_elems * elem in
+      let alloc_result =
+        if overrides.bypass_spm then Ok ()
+        else
+          List.fold_left
+            (fun acc (name, bytes) ->
+              match acc with Error _ -> acc | Ok () -> Spm.alloc spm ~name ~bytes)
+            (Ok ())
+            (List.init nstates (fun k ->
+                 (Printf.sprintf "buf_read_%d" (k + 1), padded_elems * elem))
+            @ [ ("buf_write", spm_write_bytes) ])
+      in
+      (match alloc_result with
+      | Error msg -> Error msg
+      | Ok () ->
+          let counts = Array.mapi (fun d t -> (dims.(d) + t - 1) / t) tile in
+          let tiles = Array.fold_left ( * ) 1 counts in
+          let cpes = machine.Machine.compute_units in
+          let points = float_of_int (Tensor.elems grid) in
+          (* Per-tile DMA: row-wise descriptors over the padded tile for each
+             input state, interior rows for the write-back. *)
+          let rows_of extents =
+            Array.to_list extents |> List.filteri (fun i _ -> i < nd - 1)
+            |> List.fold_left ( * ) 1
+          in
+          let read_rows = rows_of padded_tile and write_rows = rows_of tile in
+          let halo_amplification =
+            if overrides.tile_reuse then 1.0
+            else begin
+              (* Without SPM retention, each streamed row re-fetches its
+                 neighbour rows in the adjacent plane; the software cache
+                 still catches most of the in-plane reuse. *)
+              let rmax = Array.fold_left max 0 radius in
+              Float.min 9.0 (float_of_int ((2 * rmax) + 1))
+            end
+          in
+          let per_tile_read =
+            {
+              Dma.bytes =
+                float_of_int (nstreams * padded_elems * elem) *. halo_amplification;
+              Dma.descriptors =
+                int_of_float
+                  (Float.ceil (float_of_int (nstreams * read_rows) *. halo_amplification));
+            }
+          in
+          let per_tile_write =
+            { Dma.bytes = float_of_int (tile_elems * elem); Dma.descriptors = write_rows }
+          in
+          let per_step_transfer =
+            Dma.scale (Dma.combine per_tile_read per_tile_write) (float_of_int tiles)
+          in
+          let engine =
+            let base = Dma.of_machine machine in
+            {
+              base with
+              Dma.bandwidth_gbs =
+                base.Dma.bandwidth_gbs *. overrides.bandwidth_efficiency;
+            }
+          in
+          let dma_time = Dma.time engine per_step_transfer in
+          (* Compute roof. *)
+          let flops_per_point =
+            float_of_int (Stencil.flops_per_point st)
+          in
+          let flops_per_step = flops_per_point *. points in
+          let veff =
+            match overrides.vector_efficiency with
+            | Some v -> v
+            | None ->
+                if is_box_shaped st then machine.Machine.vector_efficiency_box
+                else machine.Machine.vector_efficiency_star
+          in
+          let peak =
+            Machine.peak_gflops machine grid.Tensor.dtype *. veff *. 1e9
+          in
+          let compute_time =
+            (flops_per_step /. peak)
+            +. (points *. overrides.extra_latency_per_point_s /. float_of_int cpes)
+          in
+          (* compute_at staging serialises DMA and compute within a tile, but
+             across 64 CPEs the phases interleave, so the step cost is the
+             binding resource plus a fraction of the other. Double-buffered
+             streaming prefetches the next tile during compute, hiding almost
+             all of the non-binding phase. *)
+          let overlap = if overrides.double_buffer then 0.05 else 0.2 in
+          let binding = Float.max compute_time dma_time in
+          let other = Float.min compute_time dma_time in
+          let step_time = binding +. (overlap *. other) +. overrides.spawn_overhead_s in
+          let time_s = step_time *. float_of_int steps in
+          let intensity =
+            if per_step_transfer.Dma.bytes > 0.0 then
+              flops_per_step /. per_step_transfer.Dma.bytes
+            else infinity
+          in
+          let gflops = flops_per_step /. step_time /. 1e9 in
+          let counters =
+            {
+              tiles;
+              tiles_per_cpe = float_of_int tiles /. float_of_int cpes;
+              dma_bytes = per_step_transfer.Dma.bytes;
+              dma_descriptors = per_step_transfer.Dma.descriptors;
+              flops_per_step;
+              spm_read_bytes;
+              spm_write_bytes;
+              spm_utilization = Spm.utilization spm;
+              reuse_factor =
+                float_of_int (Kernel.points (List.hd kernels))
+                *. float_of_int tile_elems /. float_of_int padded_elems;
+              points_per_step = points;
+            }
+          in
+          Ok
+            {
+              benchmark = st.Stencil.name;
+              precision = grid.Tensor.dtype;
+              steps;
+              time_s;
+              time_per_step_s = step_time;
+              gflops;
+              intensity;
+              bound =
+                (if compute_time > dma_time then Roofline.Compute_bound
+                 else Roofline.Memory_bound);
+              compute_time_s = compute_time;
+              dma_time_s = dma_time;
+              counters;
+            })
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s(%a): %.3f ms/step, %.2f GFlop/s, OI %.2f, %s, SPM %.0f%%, %d tiles"
+    r.benchmark Dtype.pp r.precision (r.time_per_step_s *. 1e3) r.gflops r.intensity
+    (Roofline.bound_to_string r.bound)
+    (r.counters.spm_utilization *. 100.0)
+    r.counters.tiles

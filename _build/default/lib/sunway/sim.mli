@@ -1,0 +1,70 @@
+(** Sunway core-group performance simulator.
+
+    Executes the *plan* the scheduled code describes: tile tasks mapped
+    round-robin to 64 CPEs, per-tile DMA staging of padded input tiles (one
+    per input time state), in-SPM compute, and a DMA write-back — exactly the
+    structure {!Msc_codegen.Emit_athread} emits — and charges each phase to
+    the {!Dma} engine and the machine's compute roof. Overrides let baseline
+    strategies (OpenACC) reuse the same simulator with degraded behaviour. *)
+
+type overrides = {
+  bandwidth_efficiency : float;  (** fraction of machine bandwidth attained *)
+  vector_efficiency : float option;  (** replace the shape-derived value *)
+  extra_latency_per_point_s : float;
+      (** per-point software-cache / gld stall (latency-bound baselines) *)
+  spawn_overhead_s : float;  (** per-timestep accelerator launch cost *)
+  tile_reuse : bool;  (** false: halo data re-fetched per point row *)
+  double_buffer : bool;
+      (** stream tiles through two SPM buffer sets so the next tile's DMA
+          overlaps the current tile's compute (the streaming/pipelining
+          §5.6 proposes); doubles the scratchpad footprint *)
+  bypass_spm : bool;
+      (** true: no scratchpad staging at all (directive-style baselines); the
+          SPM capacity check is skipped and accesses pay
+          [extra_latency_per_point_s] instead *)
+}
+
+val default_overrides : overrides
+
+type counters = {
+  tiles : int;
+  tiles_per_cpe : float;
+  dma_bytes : float;  (** per timestep *)
+  dma_descriptors : int;  (** per timestep *)
+  flops_per_step : float;
+  spm_read_bytes : int;  (** staged read buffers, all input states *)
+  spm_write_bytes : int;
+  spm_utilization : float;
+  reuse_factor : float;
+  points_per_step : float;
+}
+
+type report = {
+  benchmark : string;
+  precision : Msc_ir.Dtype.t;
+  steps : int;
+  time_s : float;
+  time_per_step_s : float;
+  gflops : float;
+  intensity : float;  (** flops per main-memory byte actually moved *)
+  bound : Msc_machine.Roofline.bound;
+  compute_time_s : float;  (** per step *)
+  dma_time_s : float;  (** per step *)
+  counters : counters;
+}
+
+val simulate :
+  ?machine:Msc_machine.Machine.t ->
+  ?overrides:overrides ->
+  ?steps:int ->
+  Msc_ir.Stencil.t ->
+  Msc_schedule.Schedule.t ->
+  (report, string) result
+(** Default machine {!Msc_machine.Machine.sunway_cg}, 10 steps. Fails if the
+    schedule is illegal or its buffers overflow the SPM. *)
+
+val is_box_shaped : Msc_ir.Stencil.t -> bool
+(** Compact (box-like) neighbourhoods vectorize better; used to pick the
+    machine's vector efficiency. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,33 @@
+type t = {
+  capacity_bytes : int;
+  mutable allocs : (string * int) list;  (* reverse insertion order *)
+}
+
+let default_capacity = 64 * 1024
+
+let create ?(capacity_bytes = default_capacity) () =
+  if capacity_bytes <= 0 then invalid_arg "Spm.create: capacity must be positive";
+  { capacity_bytes; allocs = [] }
+
+let capacity t = t.capacity_bytes
+let used t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.allocs
+let utilization t = float_of_int (used t) /. float_of_int t.capacity_bytes
+
+let alloc t ~name ~bytes =
+  if bytes < 0 then invalid_arg "Spm.alloc: negative size";
+  if List.mem_assoc name t.allocs then
+    Error (Printf.sprintf "SPM buffer %s already allocated" name)
+  else if used t + bytes > t.capacity_bytes then
+    Error
+      (Printf.sprintf "SPM overflow: %s needs %d B but only %d of %d B remain" name
+         bytes
+         (t.capacity_bytes - used t)
+         t.capacity_bytes)
+  else begin
+    t.allocs <- (name, bytes) :: t.allocs;
+    Ok ()
+  end
+
+let free t ~name = t.allocs <- List.filter (fun (n, _) -> not (String.equal n name)) t.allocs
+let allocations t = List.rev t.allocs
+let reset t = t.allocs <- []

@@ -1,0 +1,25 @@
+(** Scratchpad-memory allocator for one CPE (64 KB, no cache; §2.2).
+
+    The Sunway backend sizes its [cache_read]/[cache_write] buffers through
+    this allocator, which enforces the capacity constraint the paper's
+    schedules must respect. *)
+
+type t
+
+val create : ?capacity_bytes:int -> unit -> t
+(** Default capacity: 64 KiB. *)
+
+val capacity : t -> int
+val used : t -> int
+val utilization : t -> float
+
+val alloc : t -> name:string -> bytes:int -> (unit, string) result
+(** Fails when the remaining capacity is insufficient or the name is taken. *)
+
+val free : t -> name:string -> unit
+(** No-op if the name is unknown. *)
+
+val allocations : t -> (string * int) list
+(** Live allocations, insertion order. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/util/units_fmt.ml: Float Printf

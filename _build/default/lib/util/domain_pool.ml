@@ -1,0 +1,60 @@
+type t = { workers : int }
+
+let hard_limit = 128
+
+let create n =
+  (* Oversubscription past the recommended count is allowed (correctness
+     tests exercise multi-domain paths even on single-CPU hosts); the hard
+     limit guards the runtime's domain cap. *)
+  { workers = max 1 (min n hard_limit) }
+
+let size t = t.workers
+let sequential = { workers = 1 }
+
+let run_workers t per_worker =
+  if t.workers = 1 then per_worker 0
+  else begin
+    let failure = Atomic.make None in
+    let guarded w () =
+      try per_worker w
+      with exn -> ignore (Atomic.compare_and_set failure None (Some exn))
+    in
+    let spawned =
+      List.init (t.workers - 1) (fun k -> Domain.spawn (guarded (k + 1)))
+    in
+    guarded 0 ();
+    List.iter Domain.join spawned;
+    match Atomic.get failure with None -> () | Some exn -> raise exn
+  end
+
+let parallel_for t ~lo ~hi body =
+  if hi <= lo then ()
+  else if t.workers = 1 then
+    for i = lo to hi - 1 do
+      body i
+    done
+  else begin
+    let n = hi - lo in
+    let chunk = (n + t.workers - 1) / t.workers in
+    let per_worker w =
+      let s = lo + (w * chunk) in
+      let e = min hi (s + chunk) in
+      for i = s to e - 1 do
+        body i
+      done
+    in
+    run_workers t per_worker
+  end
+
+let parallel_chunks t ~lo ~hi body =
+  if hi <= lo then ()
+  else begin
+    let per_worker w =
+      let i = ref (lo + w) in
+      while !i < hi do
+        body ~worker:w !i;
+        i := !i + t.workers
+      done
+    in
+    run_workers t per_worker
+  end

@@ -1,0 +1,26 @@
+(** Shared-memory parallel iteration built on OCaml 5 domains.
+
+    This is the execution substrate behind MSC's [parallel] primitive when a
+    scheduled kernel is *run natively* (the CPU-platform experiments of
+    §5.5). Cost-model simulators do not use it. *)
+
+type t
+
+val create : int -> t
+(** [create n] describes a pool of [n] workers ([n >= 1], clamped to 128).
+    Oversubscribing the host's core count is allowed. *)
+
+val size : t -> int
+
+val sequential : t
+(** A one-worker pool: [parallel_for] degrades to a plain loop. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi body] runs [body i] for [lo <= i < hi], statically
+    chunked across the pool's workers. [body] must be safe to run concurrently
+    on disjoint indices. Exceptions raised by workers are re-raised. *)
+
+val parallel_chunks : t -> lo:int -> hi:int -> (worker:int -> int -> unit) -> unit
+(** Like {!parallel_for} but round-robin assignment
+    ([i mod size = worker]), mirroring the athread task-to-CPE mapping
+    ([mod(task_id, 64) == my_id]) the paper describes in §4.3. *)

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All stochastic parts of the reproduction (grid initialisation, simulated
+    annealing, property generators' seeds) draw from this generator so that
+    every experiment is bit-reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Distinct seeds give independent
+    streams. *)
+
+val copy : t -> t
+(** Independent clone with the same state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent child generator (advances the parent). *)

@@ -1,0 +1,99 @@
+type model = {
+  intercept : float;
+  coefficients : float array;
+  r_squared : float;
+}
+
+let solve_linear_system a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "solve_linear_system: shape";
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "solve_linear_system: shape") a;
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry to the diagonal. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-12 then
+      invalid_arg "solve_linear_system: singular matrix";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) /. a.(col).(col) in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        x.(row) <- x.(row) -. (factor *. x.(col))
+      end
+    done
+  done;
+  for row = n - 1 downto 0 do
+    let acc = ref x.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. a.(row).(row)
+  done;
+  x
+
+let fit ~features ~targets =
+  let m = Array.length features in
+  if m = 0 || m <> Array.length targets then invalid_arg "Regress.fit: shape";
+  let dim = Array.length features.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> dim then invalid_arg "Regress.fit: ragged features")
+    features;
+  if m < dim + 1 then invalid_arg "Regress.fit: underdetermined";
+  (* Augment with the intercept column and form X^T X / X^T y. *)
+  let d = dim + 1 in
+  let xtx = Array.make_matrix d d 0.0 in
+  let xty = Array.make d 0.0 in
+  let feat i j = if j = 0 then 1.0 else features.(i).(j - 1) in
+  for i = 0 to m - 1 do
+    for j = 0 to d - 1 do
+      let fj = feat i j in
+      xty.(j) <- xty.(j) +. (fj *. targets.(i));
+      for k = 0 to d - 1 do
+        xtx.(j).(k) <- xtx.(j).(k) +. (fj *. feat i k)
+      done
+    done
+  done;
+  (* Tiny ridge term keeps nearly-collinear schedule features solvable. *)
+  for j = 0 to d - 1 do
+    xtx.(j).(j) <- xtx.(j).(j) +. 1e-9
+  done;
+  let beta = solve_linear_system xtx xty in
+  let intercept = beta.(0) in
+  let coefficients = Array.sub beta 1 dim in
+  let predict_row i =
+    let acc = ref intercept in
+    for j = 0 to dim - 1 do
+      acc := !acc +. (coefficients.(j) *. features.(i).(j))
+    done;
+    !acc
+  in
+  let ybar = Stats.mean targets in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  for i = 0 to m - 1 do
+    let resid = targets.(i) -. predict_row i in
+    ss_res := !ss_res +. (resid *. resid);
+    let dev = targets.(i) -. ybar in
+    ss_tot := !ss_tot +. (dev *. dev)
+  done;
+  let r_squared = if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot) in
+  { intercept; coefficients; r_squared }
+
+let predict model xs =
+  if Array.length xs <> Array.length model.coefficients then
+    invalid_arg "Regress.predict: dimension mismatch";
+  let acc = ref model.intercept in
+  Array.iteri (fun j x -> acc := !acc +. (model.coefficients.(j) *. x)) xs;
+  !acc

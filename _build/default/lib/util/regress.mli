@@ -1,0 +1,24 @@
+(** Multivariable linear regression by least squares (normal equations).
+
+    This backs the analytical performance model the paper's auto-tuner uses to
+    predict stencil kernel time from schedule parameters (§4.4,
+    "Performance auto-tuning"). *)
+
+type model = {
+  intercept : float;
+  coefficients : float array;
+  r_squared : float;
+}
+
+val fit : features:float array array -> targets:float array -> model
+(** [fit ~features ~targets] solves ordinary least squares with an intercept
+    term. [features] is one row per observation; all rows must share a length
+    and there must be at least [dim + 1] observations.
+    @raise Invalid_argument on shape mismatch or a singular system. *)
+
+val predict : model -> float array -> float
+(** Apply the fitted model to one feature vector. *)
+
+val solve_linear_system : float array array -> float array -> float array
+(** [solve_linear_system a b] solves [a x = b] by Gaussian elimination with
+    partial pivoting. [a] is mutated. @raise Invalid_argument if singular. *)

@@ -1,0 +1,25 @@
+(** Aligned ASCII table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+val pad : align -> int -> string -> string
+(** [pad align width s] pads [s] with spaces to [width]; longer strings are
+    returned unchanged. *)
+
+val render :
+  ?title:string -> ?aligns:align list -> header:string list ->
+  string list list -> string
+(** [render ~header rows] lays the header and rows out in aligned columns with
+    a separator rule. [aligns] defaults to left for the first column and right
+    for the rest. Ragged rows are padded with empty cells. *)
+
+val print :
+  ?title:string -> ?aligns:align list -> header:string list ->
+  string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point with default 2 decimals. *)
+
+val fmt_speedup : float -> string
+(** e.g. [fmt_speedup 24.4 = "24.40x"]. *)

@@ -1,0 +1,25 @@
+let seconds s =
+  let abs = Float.abs s in
+  if abs >= 1.0 then Printf.sprintf "%.3g s" s
+  else if abs >= 1e-3 then Printf.sprintf "%.3g ms" (s *. 1e3)
+  else if abs >= 1e-6 then Printf.sprintf "%.3g us" (s *. 1e6)
+  else Printf.sprintf "%.3g ns" (s *. 1e9)
+
+let bytes n =
+  let f = float_of_int n in
+  if f >= 1024.0 *. 1024.0 *. 1024.0 then
+    Printf.sprintf "%.2f GiB" (f /. (1024.0 *. 1024.0 *. 1024.0))
+  else if f >= 1024.0 *. 1024.0 then Printf.sprintf "%.2f MiB" (f /. (1024.0 *. 1024.0))
+  else if f >= 1024.0 then Printf.sprintf "%.2f KiB" (f /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let scaled suffix x =
+  let abs = Float.abs x in
+  if abs >= 1e12 then Printf.sprintf "%.3g T%s" (x /. 1e12) suffix
+  else if abs >= 1e9 then Printf.sprintf "%.3g G%s" (x /. 1e9) suffix
+  else if abs >= 1e6 then Printf.sprintf "%.3g M%s" (x /. 1e6) suffix
+  else if abs >= 1e3 then Printf.sprintf "%.3g K%s" (x /. 1e3) suffix
+  else Printf.sprintf "%.3g %s" x suffix
+
+let flops x = scaled "Flop/s" x
+let count x = scaled "" x

@@ -1,0 +1,13 @@
+(** Human-readable unit formatting. *)
+
+val seconds : float -> string
+(** e.g. ["1.23 s"], ["45.6 ms"], ["789 us"], ["12.3 ns"]. *)
+
+val bytes : int -> string
+(** e.g. ["64.0 KiB"], ["1.5 MiB"]. *)
+
+val flops : float -> string
+(** Rate: e.g. ["3.06 TFlop/s"], ["21.4 GFlop/s"]. *)
+
+val count : float -> string
+(** Plain count with K/M/G suffixes. *)

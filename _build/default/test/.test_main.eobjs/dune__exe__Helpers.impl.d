@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Builder Msc_frontend Msc_ir QCheck QCheck_alcotest

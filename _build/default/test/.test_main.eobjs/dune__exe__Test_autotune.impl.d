@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Array Float Helpers List Msc_autotune Msc_benchsuite Msc_util

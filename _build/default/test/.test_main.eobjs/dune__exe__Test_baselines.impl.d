@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Float Helpers List Msc_baselines Msc_benchsuite Msc_ir Msc_sunway Msc_util

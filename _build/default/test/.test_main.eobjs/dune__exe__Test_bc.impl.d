@@ -1,0 +1,1 @@
+test/test_bc.ml: Alcotest Array Builder Filename Float Format Helpers List Msc_codegen Msc_comm Msc_exec Msc_frontend Msc_ir Msc_schedule Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Filename Float Hashtbl Helpers List Msc_codegen Msc_exec Msc_frontend Msc_ir Msc_schedule Printf Result String Sys

@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Array Bytes Helpers List Msc_benchsuite Msc_comm Msc_exec Msc_frontend Msc_ir QCheck

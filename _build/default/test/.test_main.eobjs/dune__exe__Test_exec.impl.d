@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Builder Dtype Expr Float Helpers Msc_exec Msc_frontend Msc_ir Msc_schedule Msc_util QCheck Tensor

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Gen Helpers List Msc_benchsuite Msc_comm Msc_exec Msc_frontend Msc_ir Msc_matrix Msc_schedule Msc_sunway QCheck Result String Sys

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Builder Dtype Helpers Kernel List Msc_frontend Msc_ir Msc_schedule Pretty Shapes Stencil String Tensor

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Axis Dtype Expr Helpers Kernel List Msc_ir Printf Stencil String Tensor

@@ -1,0 +1,1 @@
+test/test_machines.ml: Alcotest Float Helpers List Msc_benchsuite Msc_ir Msc_machine Msc_matrix Msc_schedule Msc_sunway Result

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bytes Filename Float Format Gen Hashtbl Helpers List Msc_benchsuite Msc_comm Msc_matrix Msc_schedule Msc_sunway Printf QCheck String Sys

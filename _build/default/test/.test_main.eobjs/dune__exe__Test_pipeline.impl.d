@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Autotune Builder Codegen Distributed Dtype Filename Float Grid Helpers List Msc Result Runtime Schedule Stencil Suite Tuning_params Verify

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Dtype Float Helpers List Msc_benchsuite Msc_exec Msc_frontend Msc_ir Msc_schedule Msc_sunway Printf QCheck

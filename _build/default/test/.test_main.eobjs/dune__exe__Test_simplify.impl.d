@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Dtype Expr Filename Float Format Helpers Msc_codegen Msc_exec Msc_frontend Msc_ir Msc_schedule Msc_util Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Array Helpers List Msc_benchsuite Msc_comm Msc_exec Msc_ir Msc_machine String

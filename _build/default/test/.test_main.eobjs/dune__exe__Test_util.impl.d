@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Helpers Int64 List Msc_util Printf QCheck String

@@ -1,0 +1,186 @@
+(* Tests for the auto-tuner: parameter space, simulated annealing, the
+   regression performance model, and the full §5.4 driver. *)
+
+open Helpers
+module Params = Msc_autotune.Params
+module Anneal = Msc_autotune.Anneal
+module Perfmodel = Msc_autotune.Perfmodel
+module Autotune = Msc_autotune.Autotune
+module Prng = Msc_util.Prng
+
+let dims = [| 256; 128; 128 |]
+let nranks = 16
+
+(* --- Params --- *)
+
+let tile_candidates_are_powers () =
+  let cands = Params.tile_candidates ~dims:[| 48 |] in
+  Alcotest.(check (list int)) "powers plus extent" [ 1; 2; 4; 8; 16; 32; 48 ] cands.(0)
+
+let mpi_candidates_factorize () =
+  let grids = Params.mpi_grid_candidates ~nranks:12 ~ndim:2 in
+  check_bool "several factorizations" true (List.length grids >= 6);
+  List.iter
+    (fun g -> check_int "product = nranks" 12 (Array.fold_left ( * ) 1 g))
+    grids
+
+let random_config_valid () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 50 do
+    let c = Params.random rng ~dims ~nranks in
+    Array.iteri (fun d t -> check_bool "tile bounded" true (t >= 1 && t <= dims.(d))) c.Params.tile;
+    check_int "mpi product" nranks (Array.fold_left ( * ) 1 c.Params.mpi_grid)
+  done
+
+let neighbor_stays_valid () =
+  let rng = Prng.create 2 in
+  let c = ref (Params.random rng ~dims ~nranks) in
+  for _ = 1 to 200 do
+    c := Params.neighbor rng ~dims ~nranks !c;
+    check_int "mpi product" nranks (Array.fold_left ( * ) 1 !c.Params.mpi_grid);
+    Array.iteri
+      (fun d t -> check_bool "tile bounded" true (t >= 1 && t <= dims.(d)))
+      !c.Params.tile
+  done
+
+let subgrid_ceil () =
+  let c = { Params.tile = [| 1; 1; 1 |]; mpi_grid = [| 3; 1; 1 |] } in
+  Alcotest.(check (array int)) "ceil division" [| 86; 128; 128 |]
+    (Params.subgrid c ~global:dims)
+
+(* --- Anneal --- *)
+
+let anneal_finds_quadratic_minimum () =
+  let rng = Prng.create 3 in
+  let result =
+    Anneal.minimize ~rng ~init:50.0
+      ~neighbor:(fun rng x -> x +. ((Prng.uniform rng -. 0.5) *. 4.0))
+      ~energy:(fun x -> (x -. 7.0) ** 2.0)
+      ~iterations:5000 ()
+  in
+  check_bool "near 7" true (Float.abs (result.Anneal.best -. 7.0) < 0.5);
+  check_int "iterations recorded" 5000 result.Anneal.iterations
+
+let anneal_never_worse_than_init () =
+  let rng = Prng.create 4 in
+  let result =
+    Anneal.minimize ~rng ~init:1.0
+      ~neighbor:(fun rng x -> x +. Prng.gaussian rng)
+      ~energy:(fun x -> x *. x)
+      ~iterations:200 ()
+  in
+  check_bool "improved or equal" true (result.Anneal.best_energy <= 1.0)
+
+let anneal_trace_decreasing () =
+  let rng = Prng.create 5 in
+  let result =
+    Anneal.minimize ~rng ~init:100.0
+      ~neighbor:(fun rng x -> x +. ((Prng.uniform rng -. 0.5) *. 10.0))
+      ~energy:Float.abs ~iterations:3000 ()
+  in
+  let energies = List.map snd result.Anneal.trace in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  check_bool "best-so-far never increases" true (monotone energies)
+
+let anneal_deterministic () =
+  let run seed =
+    let rng = Prng.create seed in
+    (Anneal.minimize ~rng ~init:10.0
+       ~neighbor:(fun rng x -> x +. Prng.gaussian rng)
+       ~energy:(fun x -> (x -. 2.0) ** 2.0)
+       ~iterations:500 ())
+      .Anneal.best
+  in
+  check_float "same seed same result" (run 9) (run 9)
+
+(* --- Perfmodel --- *)
+
+let fig11_make_stencil dims =
+  Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "3d7pt_star")
+
+let perfmodel_correlates_with_truth () =
+  let rng = Prng.create 6 in
+  let cost = Autotune.true_cost ~make_stencil:fig11_make_stencil ~global:dims in
+  let model = Perfmodel.train ~rng ~global:dims ~nranks ~true_cost:cost () in
+  check_bool "reasonable fit" true (Perfmodel.r_squared model > 0.4);
+  (* Ranking sanity: on a fresh sample, the model orders a clearly-bad
+     config after a clearly-good one. *)
+  let good = { Params.tile = [| 2; 8; 64 |]; mpi_grid = [| 16; 1; 1 |] } in
+  let bad = { Params.tile = [| 1; 1; 1 |]; mpi_grid = [| 16; 1; 1 |] } in
+  check_bool "model ranks pencil-of-1 worse" true
+    (Perfmodel.predict model bad > Perfmodel.predict model good)
+
+let true_cost_penalizes_spm_overflow () =
+  let cost = Autotune.true_cost ~make_stencil:fig11_make_stencil ~global:dims in
+  let huge = { Params.tile = [| 64; 64; 128 |]; mpi_grid = [| 16; 1; 1 |] } in
+  check_float "penalty value" 1.0 (cost huge)
+
+(* --- Full tuner --- *)
+
+let tune_improves () =
+  let r =
+    Autotune.tune ~seed:123 ~iterations:4000 ~make_stencil:fig11_make_stencil
+      ~global:dims ~nranks ()
+  in
+  check_bool "never worse" true (r.Autotune.improvement >= 1.0);
+  check_bool "best time positive" true (r.Autotune.best_time_s > 0.0);
+  check_bool "trace nonempty" true (List.length r.Autotune.trace > 5)
+
+let tune_deterministic_per_seed () =
+  let run () =
+    (Autotune.tune ~seed:77 ~iterations:1500 ~make_stencil:fig11_make_stencil
+       ~global:dims ~nranks ())
+      .Autotune.best_time_s
+  in
+  check_float "reproducible" (run ()) (run ())
+
+let tune_paper_setting_converges () =
+  (* The Figure 11 configuration, reduced iteration count. *)
+  let r =
+    Autotune.tune ~seed:11 ~iterations:6000 ~make_stencil:fig11_make_stencil
+      ~global:[| 8192; 128; 128 |] ~nranks:128 ()
+  in
+  let r2 =
+    Autotune.tune ~seed:23 ~iterations:6000 ~make_stencil:fig11_make_stencil
+      ~global:[| 8192; 128; 128 |] ~nranks:128 ()
+  in
+  (* Both runs land close to the same optimum (paper: "converged iteration
+     time across runs proves the stability"). *)
+  let rel =
+    Float.abs (r.Autotune.best_time_s -. r2.Autotune.best_time_s)
+    /. Float.max r.Autotune.best_time_s r2.Autotune.best_time_s
+  in
+  check_bool "runs agree within 30%" true (rel < 0.3)
+
+let suites =
+  [
+    ( "autotune.params",
+      [
+        tc "tile candidates" tile_candidates_are_powers;
+        tc "mpi factorizations" mpi_candidates_factorize;
+        tc "random valid" random_config_valid;
+        tc "neighbor valid" neighbor_stays_valid;
+        tc "subgrid ceil" subgrid_ceil;
+      ] );
+    ( "autotune.anneal",
+      [
+        tc "quadratic minimum" anneal_finds_quadratic_minimum;
+        tc "never worse" anneal_never_worse_than_init;
+        tc "trace decreasing" anneal_trace_decreasing;
+        tc "deterministic" anneal_deterministic;
+      ] );
+    ( "autotune.perfmodel",
+      [
+        tc "correlates" perfmodel_correlates_with_truth;
+        tc "spm penalty" true_cost_penalizes_spm_overflow;
+      ] );
+    ( "autotune.tune",
+      [
+        tc "improves" tune_improves;
+        tc "deterministic" tune_deterministic_per_seed;
+        slow "paper setting converges" tune_paper_setting_converges;
+      ] );
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the comparator models (OpenACC, OpenMP, Halide, Patus, Physis)
+   and the LoC accounting: each baseline must reproduce the *shape* of its
+   figure — who wins, by roughly what factor, and where the trend goes. *)
+
+open Helpers
+module Suite = Msc_benchsuite.Suite
+module Settings = Msc_benchsuite.Settings
+module B = Msc_baselines
+
+let all_benchmarks = Suite.all
+
+(* --- OpenACC (Figure 7) --- *)
+
+let openacc_always_slower () =
+  List.iter
+    (fun b ->
+      let st = Suite.stencil b in
+      let sched = Settings.sunway_schedule b st in
+      match (Msc_sunway.Sim.simulate st sched, B.Openacc_model.simulate st) with
+      | Ok msc, Ok acc ->
+          check_bool (b.Suite.name ^ " speedup > 5x") true
+            (acc.Msc_sunway.Sim.time_per_step_s
+            > 5.0 *. msc.Msc_sunway.Sim.time_per_step_s)
+      | _ -> Alcotest.fail "simulation failed")
+    all_benchmarks
+
+let openacc_average_near_paper () =
+  let avg = Msc_benchsuite.Experiments.fig7_average ~precision:Msc_ir.Dtype.F64 in
+  check_bool "fp64 avg in [18,38] (paper 24.4)" true (avg > 18.0 && avg < 38.0);
+  let avg32 = Msc_benchsuite.Experiments.fig7_average ~precision:Msc_ir.Dtype.F32 in
+  check_bool "fp32 avg in [14,30] (paper 20.7)" true (avg32 > 14.0 && avg32 < 30.0);
+  check_bool "fp32 gap smaller than fp64 (paper ordering)" true (avg32 < avg)
+
+let openacc_high_order_box_worst () =
+  (* "...especially on high-order stencils (e.g., 2d121pt_box and
+     2d169pt_box)". *)
+  let rows = Msc_benchsuite.Experiments.fig7 ~precision:Msc_ir.Dtype.F64 in
+  let speedup name =
+    (List.find (fun (r : Msc_benchsuite.Experiments.fig7_row) -> r.benchmark = name) rows)
+      .Msc_benchsuite.Experiments.speedup
+  in
+  let low_order_max = Float.max (speedup "2d9pt_star") (speedup "3d7pt_star") in
+  check_bool "121 > low order" true (speedup "2d121pt_box" > low_order_max);
+  check_bool "169 > low order" true (speedup "2d169pt_box" > low_order_max)
+
+(* --- OpenMP (Figure 8) --- *)
+
+let openmp_near_parity () =
+  let rows = Msc_benchsuite.Experiments.fig8 ~precision:Msc_ir.Dtype.F64 in
+  List.iter
+    (fun (r : Msc_benchsuite.Experiments.fig8_row) ->
+      check_bool (r.benchmark ^ " within [1.0, 1.10]") true
+        (r.speedup >= 1.0 && r.speedup <= 1.10))
+    rows;
+  let avg =
+    Msc_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Msc_benchsuite.Experiments.fig8_row) -> r.speedup) rows))
+  in
+  check_bool "average near 1.05" true (avg > 1.01 && avg < 1.08)
+
+let openmp_multiplier_stable () =
+  check_float "deterministic"
+    (B.Openmp_model.time_multiplier ~benchmark:"x")
+    (B.Openmp_model.time_multiplier ~benchmark:"x")
+
+(* --- Halide (Figure 12) --- *)
+
+let halide_ordering () =
+  let rows = Msc_benchsuite.Experiments.fig12 () in
+  List.iter
+    (fun (r : B.Halide_model.comparison) ->
+      check_bool "JIT slowest" true
+        (r.B.Halide_model.halide_jit_time_s > r.B.Halide_model.halide_aot_time_s))
+    rows;
+  (* Paper: AOT beats MSC on small stencils, MSC wins on large ones. *)
+  let row name = List.find (fun (r : B.Halide_model.comparison) -> r.B.Halide_model.benchmark = name) rows in
+  let small = row "2d9pt_star" in
+  check_bool "AOT wins small" true
+    (small.B.Halide_model.halide_aot_time_s < small.B.Halide_model.msc_time_s);
+  let large = row "2d169pt_box" in
+  check_bool "MSC wins large" true
+    (large.B.Halide_model.msc_time_s < large.B.Halide_model.halide_aot_time_s)
+
+let halide_averages () =
+  let rows = Msc_benchsuite.Experiments.fig12 () in
+  let avg f = Msc_util.Stats.mean (Array.of_list (List.map f rows)) in
+  let aot = avg (fun r -> r.B.Halide_model.speedup_aot_vs_jit) in
+  let msc = avg (fun r -> r.B.Halide_model.speedup_msc_vs_jit) in
+  check_bool "AOT avg in [2,4.5] (paper 2.92)" true (aot > 2.0 && aot < 4.5);
+  check_bool "MSC avg in [2.3,5] (paper 3.33)" true (msc > 2.3 && msc < 5.0);
+  check_bool "MSC > AOT on average" true (msc > aot)
+
+(* --- Patus (Figure 13) --- *)
+
+let patus_msc_wins_everywhere () =
+  let rows = Msc_benchsuite.Experiments.fig13 () in
+  List.iter
+    (fun (r : B.Patus_model.comparison) ->
+      check_bool (r.B.Patus_model.benchmark ^ " MSC faster") true (r.B.Patus_model.speedup > 1.0))
+    rows;
+  let avg =
+    Msc_util.Stats.mean
+      (Array.of_list (List.map (fun (r : B.Patus_model.comparison) -> r.B.Patus_model.speedup) rows))
+  in
+  check_bool "average in [3.5, 9] (paper 5.94)" true (avg > 3.5 && avg < 9.0)
+
+let patus_3d_star_suffers_most () =
+  (* "...the 3D star stencils ... suffer more from discrete memory
+     accesses". *)
+  check_bool "3d high-order bw efficiency lowest" true
+    (B.Patus_model.bandwidth_efficiency (Suite.stencil (Suite.find "3d31pt_star"))
+    < B.Patus_model.bandwidth_efficiency (Suite.stencil (Suite.find "2d9pt_box")))
+
+(* --- Physis (Figure 14) --- *)
+
+let physis_msc_wins_everywhere () =
+  let rows = Msc_benchsuite.Experiments.fig14 () in
+  check_int "8 benchmarks x 3 configs" 24 (List.length rows);
+  List.iter
+    (fun (r : B.Physis_model.comparison) ->
+      check_bool (r.B.Physis_model.benchmark ^ " MSC faster") true (r.B.Physis_model.speedup > 1.0))
+    rows
+
+let physis_average_near_paper () =
+  let rows = Msc_benchsuite.Experiments.fig14 () in
+  let avg =
+    Msc_util.Stats.mean
+      (Array.of_list
+         (List.map (fun (r : B.Physis_model.comparison) -> r.B.Physis_model.speedup) rows))
+  in
+  check_bool "average in [5, 16] (paper 9.88)" true (avg > 5.0 && avg < 16.0)
+
+let physis_high_order_gap_larger () =
+  let rows = Msc_benchsuite.Experiments.fig14 () in
+  let avg_for name =
+    let xs =
+      List.filter_map
+        (fun (r : B.Physis_model.comparison) ->
+          if r.B.Physis_model.benchmark = name then Some r.B.Physis_model.speedup else None)
+        rows
+    in
+    Msc_util.Stats.mean (Array.of_list xs)
+  in
+  check_bool "2d121 gap > 2d9 gap" true (avg_for "2d121pt_box" > avg_for "2d9pt_box")
+
+(* --- LoC (Table 6) --- *)
+
+let loc_msc_always_fewer () =
+  List.iter
+    (fun (r : B.Loc.row) ->
+      check_bool (r.B.Loc.benchmark ^ " msc < openacc") true (r.B.Loc.msc_sunway < r.B.Loc.openacc);
+      check_bool (r.B.Loc.benchmark ^ " msc < openmp") true (r.B.Loc.msc_matrix < r.B.Loc.openmp))
+    (Msc_benchsuite.Experiments.table6 ())
+
+let loc_grows_with_order_for_baselines () =
+  let rows = Msc_benchsuite.Experiments.table6 () in
+  let get name = List.find (fun (r : B.Loc.row) -> r.B.Loc.benchmark = name) rows in
+  check_bool "openmp 169 > 9" true ((get "2d169pt_box").B.Loc.openmp > (get "2d9pt_box").B.Loc.openmp);
+  (* MSC's DSL program stays nearly constant. *)
+  check_bool "msc roughly flat" true
+    (abs ((get "2d169pt_box").B.Loc.msc_matrix - (get "2d9pt_box").B.Loc.msc_matrix) <= 5)
+
+let loc_reduction_substantial_on_matrix () =
+  (* Paper: 74% average reduction vs OpenMP. *)
+  let rows = Msc_benchsuite.Experiments.table6 () in
+  let reductions =
+    List.map
+      (fun (r : B.Loc.row) ->
+        1.0 -. (float_of_int r.B.Loc.msc_matrix /. float_of_int r.B.Loc.openmp))
+      rows
+  in
+  let avg = Msc_util.Stats.mean (Array.of_list reductions) in
+  check_bool "avg reduction > 50%" true (avg > 0.5)
+
+let suites =
+  [
+    ( "baselines.openacc",
+      [
+        tc "always slower" openacc_always_slower;
+        tc "average near paper" openacc_average_near_paper;
+        tc "high-order box worst" openacc_high_order_box_worst;
+      ] );
+    ( "baselines.openmp",
+      [ tc "near parity" openmp_near_parity; tc "multiplier stable" openmp_multiplier_stable ]
+    );
+    ("baselines.halide", [ tc "ordering" halide_ordering; tc "averages" halide_averages ]);
+    ( "baselines.patus",
+      [ tc "msc wins" patus_msc_wins_everywhere; tc "3d star worst" patus_3d_star_suffers_most ]
+    );
+    ( "baselines.physis",
+      [
+        tc "msc wins" physis_msc_wins_everywhere;
+        tc "average near paper" physis_average_near_paper;
+        tc "high-order gap" physis_high_order_gap_larger;
+      ] );
+    ( "baselines.loc",
+      [
+        tc "msc fewer lines" loc_msc_always_fewer;
+        tc "baselines grow with order" loc_grows_with_order_for_baselines;
+        tc "matrix reduction" loc_reduction_substantial_on_matrix;
+      ] );
+  ]

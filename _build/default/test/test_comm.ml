@@ -1,0 +1,346 @@
+(* Tests for the communication library: the MPI simulator, domain
+   decomposition, halo pack/unpack/exchange, the distributed runtime, the
+   network model and the scalability estimator. *)
+
+open Helpers
+module Mpi = Msc_comm.Mpi_sim
+module Decomp = Msc_comm.Decomp
+module Halo = Msc_comm.Halo
+module Distributed = Msc_comm.Distributed
+module Netmodel = Msc_comm.Netmodel
+module Scaling = Msc_comm.Scaling
+module Grid = Msc_exec.Grid
+
+(* --- MPI simulator --- *)
+
+let mpi_send_recv () =
+  let mpi = Mpi.create ~nranks:4 in
+  Mpi.isend mpi ~src:0 ~dst:3 ~tag:7 (Bytes.of_string "hello");
+  let req = Mpi.irecv mpi ~dst:3 ~src:0 ~tag:7 in
+  check_string "payload" "hello" (Bytes.to_string (Mpi.wait mpi req));
+  check_int "drained" 0 (Mpi.pending_messages mpi)
+
+let mpi_fifo_order () =
+  let mpi = Mpi.create ~nranks:2 in
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "first");
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "second");
+  check_string "fifo 1" "first"
+    (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0)));
+  check_string "fifo 2" "second"
+    (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0)))
+
+let mpi_tag_matching () =
+  let mpi = Mpi.create ~nranks:2 in
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:1 (Bytes.of_string "a");
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:2 (Bytes.of_string "b");
+  check_string "tag 2 first" "b"
+    (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:2)));
+  check_string "then tag 1" "a"
+    (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:1)))
+
+let mpi_payload_isolated () =
+  let mpi = Mpi.create ~nranks:2 in
+  let buf = Bytes.of_string "orig" in
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 buf;
+  Bytes.set buf 0 'X';
+  check_string "copy semantics" "orig"
+    (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0)))
+
+let mpi_deadlock_detected () =
+  let mpi = Mpi.create ~nranks:2 in
+  check_bool "missing message fails" true
+    (try ignore (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0)); false
+     with Failure _ -> true)
+
+let mpi_counters () =
+  let mpi = Mpi.create ~nranks:2 in
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.create 100);
+  check_int "messages" 1 (Mpi.messages_sent mpi);
+  check_int "bytes" 100 (Mpi.bytes_sent mpi);
+  Mpi.reset_counters mpi;
+  check_int "reset" 0 (Mpi.messages_sent mpi)
+
+let mpi_rank_bounds () =
+  let mpi = Mpi.create ~nranks:2 in
+  check_bool "bad rank" true
+    (try Mpi.isend mpi ~src:0 ~dst:2 ~tag:0 Bytes.empty; false
+     with Invalid_argument _ -> true)
+
+(* --- Decomp --- *)
+
+let decomp_coords_roundtrip () =
+  let d = Decomp.create ~global:[| 32; 32; 32 |] ~ranks_shape:[| 2; 3; 4 |] in
+  for rank = 0 to d.Decomp.nranks - 1 do
+    check_int "roundtrip" rank (Decomp.rank_of_coords d (Decomp.coords_of_rank d rank))
+  done
+
+let decomp_even_split () =
+  let d = Decomp.create ~global:[| 8; 8 |] ~ranks_shape:[| 2; 2 |] in
+  let offset, extent = Decomp.subdomain d ~rank:3 in
+  Alcotest.(check (array int)) "offset" [| 4; 4 |] offset;
+  Alcotest.(check (array int)) "extent" [| 4; 4 |] extent
+
+let decomp_uneven_split () =
+  let d = Decomp.create ~global:[| 10 |] ~ranks_shape:[| 3 |] in
+  let extents = List.init 3 (fun r -> snd (Decomp.subdomain d ~rank:r)) in
+  Alcotest.(check (list (array int))) "4,3,3" [ [| 4 |]; [| 3 |]; [| 3 |] ] extents
+
+let decomp_covers () =
+  List.iter
+    (fun (global, shape) ->
+      let d = Decomp.create ~global ~ranks_shape:shape in
+      check_bool "partition" true (Decomp.covers_globally d))
+    [
+      ([| 10; 7 |], [| 3; 2 |]);
+      ([| 16; 16; 16 |], [| 2; 2; 2 |]);
+      ([| 13 |], [| 5 |]);
+    ]
+
+let decomp_neighbors () =
+  let d = Decomp.create ~global:[| 8; 8 |] ~ranks_shape:[| 2; 2 |] in
+  check_bool "right of 0 is 1" true (Decomp.neighbor d ~rank:0 ~dir:[| 0; 1 |] = Some 1);
+  check_bool "down of 0 is 2" true (Decomp.neighbor d ~rank:0 ~dir:[| 1; 0 |] = Some 2);
+  check_bool "boundary" true (Decomp.neighbor d ~rank:0 ~dir:[| -1; 0 |] = None);
+  check_bool "diagonal" true (Decomp.neighbor d ~rank:0 ~dir:[| 1; 1 |] = Some 3)
+
+let decomp_directions () =
+  check_int "2d faces" 4 (List.length (Decomp.directions ~ndim:2 ~faces_only:true));
+  check_int "2d all" 8 (List.length (Decomp.directions ~ndim:2 ~faces_only:false));
+  check_int "3d faces" 6 (List.length (Decomp.directions ~ndim:3 ~faces_only:true));
+  check_int "3d all" 26 (List.length (Decomp.directions ~ndim:3 ~faces_only:false))
+
+let decomp_dir_index_unique () =
+  let dirs = Decomp.directions ~ndim:3 ~faces_only:false in
+  let idxs = List.map (Decomp.dir_index ~ndim:3) dirs in
+  check_int "unique tags" (List.length dirs) (List.length (List.sort_uniq compare idxs))
+
+let decomp_auto_shape () =
+  Alcotest.(check (array int)) "28 over 2d" [| 7; 4 |] (Decomp.auto_shape ~nranks:28 ~ndim:2);
+  Alcotest.(check (array int)) "64 over 3d" [| 4; 4; 4 |] (Decomp.auto_shape ~nranks:64 ~ndim:3);
+  check_int "product preserved" 28
+    (Array.fold_left ( * ) 1 (Decomp.auto_shape ~nranks:28 ~ndim:3))
+
+let decomp_validation () =
+  check_bool "too many procs" true
+    (try ignore (Decomp.create ~global:[| 4 |] ~ranks_shape:[| 8 |]); false
+     with Invalid_argument _ -> true)
+
+(* --- Halo pack/unpack --- *)
+
+let halo_pack_unpack_roundtrip () =
+  let a = Grid.create ~shape:[| 4; 6 |] ~halo:[| 2; 2 |] in
+  let b = Grid.create ~shape:[| 4; 6 |] ~halo:[| 2; 2 |] in
+  Grid.fill a (fun c -> float_of_int ((c.(0) * 10) + c.(1)) +. 0.5);
+  (* Pack a's top inner slab; unpack into b's bottom outer halo (as the
+     neighbour below would). *)
+  let payload = Halo.pack a ~dir:[| 1; 0 |] ~width:[| 2; 2 |] in
+  Halo.unpack b ~dir:[| -1; 0 |] ~width:[| 2; 2 |] payload;
+  (* a's rows 2..3 must now live in b's halo rows -2..-1. *)
+  for r = 0 to 1 do
+    for c = 0 to 5 do
+      check_float "transferred" (Grid.get a [| 2 + r; c |]) (Grid.get b [| r - 2; c |])
+    done
+  done
+
+let halo_payload_sizes () =
+  let g = Grid.create ~shape:[| 4; 6 |] ~halo:[| 1; 1 |] in
+  check_int "face row" (1 * 6) (Halo.payload_elems g ~dir:[| 1; 0 |] ~width:[| 1; 1 |]);
+  check_int "face col" (4 * 1) (Halo.payload_elems g ~dir:[| 0; -1 |] ~width:[| 1; 1 |]);
+  check_int "corner" 1 (Halo.payload_elems g ~dir:[| 1; 1 |] ~width:[| 1; 1 |])
+
+let halo_unpack_size_mismatch () =
+  let g = Grid.create ~shape:[| 4; 4 |] ~halo:[| 1; 1 |] in
+  check_bool "size checked" true
+    (try Halo.unpack g ~dir:[| 1; 0 |] ~width:[| 1; 1 |] (Bytes.create 3); false
+     with Invalid_argument _ -> true)
+
+let halo_exchange_fills_outer () =
+  let d = Decomp.create ~global:[| 8; 8 |] ~ranks_shape:[| 2; 2 |] in
+  let mpi = Mpi.create ~nranks:4 in
+  let grids =
+    Array.init 4 (fun rank ->
+        let _, extent = Decomp.subdomain d ~rank in
+        let g = Grid.create ~shape:extent ~halo:[| 1; 1 |] in
+        Grid.fill g (fun _ -> float_of_int (rank + 1));
+        g)
+  in
+  Halo.exchange mpi d ~grids ~width:[| 1; 1 |] ~faces_only:false;
+  (* Rank 0's right outer halo holds rank 1's values; its corner holds 3's. *)
+  check_float "right halo from rank 1" 2.0 (Grid.get grids.(0) [| 0; 4 |]);
+  check_float "bottom halo from rank 2" 3.0 (Grid.get grids.(0) [| 4; 0 |]);
+  check_float "corner from rank 3" 4.0 (Grid.get grids.(0) [| 4; 4 |]);
+  (* Physical boundary stays zero. *)
+  check_float "physical boundary" 0.0 (Grid.get grids.(0) [| -1; 0 |]);
+  check_int "no leftover messages" 0 (Mpi.pending_messages mpi)
+
+(* --- Distributed runtime --- *)
+
+let distributed_star_exact () =
+  let _, st = stencil_3d7pt ~n:12 () in
+  check_float "bit-identical" 0.0 (Distributed.validate ~steps:4 ~ranks_shape:[| 2; 2; 2 |] st)
+
+let distributed_box_corners_exact () =
+  let _, st = stencil_2d9pt_box ~m:14 ~n:18 () in
+  check_float "bit-identical" 0.0 (Distributed.validate ~steps:4 ~ranks_shape:[| 2; 3 |] st)
+
+let distributed_uneven_exact () =
+  let _, st = stencil_2d9pt_box ~m:13 ~n:17 () in
+  check_float "uneven blocks" 0.0 (Distributed.validate ~steps:3 ~ranks_shape:[| 3; 2 |] st)
+
+let distributed_wave_exact () =
+  let st = stencil_wave2d ~n:16 () in
+  check_float "state terms survive exchange" 0.0
+    (Distributed.validate ~steps:5 ~ranks_shape:[| 2; 2 |] st)
+
+let distributed_single_rank_degenerate () =
+  let _, st = stencil_3d7pt ~n:8 () in
+  check_float "1 rank" 0.0 (Distributed.validate ~steps:3 ~ranks_shape:[| 1; 1; 1 |] st)
+
+let distributed_wide_halo_exact () =
+  let grid = Msc_frontend.Builder.def_tensor_2d ~time_window:2 ~halo:3 "B" Msc_ir.Dtype.F64 18 18 in
+  let k = Msc_frontend.Builder.star_kernel ~name:"S" ~grid ~radius:3 () in
+  let st = Msc_frontend.Builder.two_step ~name:"2d13pt_star" k in
+  check_float "radius-3 exchange" 0.0 (Distributed.validate ~steps:3 ~ranks_shape:[| 2; 2 |] st)
+
+let distributed_message_accounting () =
+  let _, st = stencil_3d7pt ~n:12 () in
+  let dist = Distributed.create ~ranks_shape:[| 2; 2; 2 |] st in
+  let before = Mpi.messages_sent (Distributed.mpi dist) in
+  (* 8 ranks, faces only (star): each rank has 3 neighbours -> 24 msgs. *)
+  Distributed.step dist;
+  check_int "24 messages per exchange" (before + 24)
+    (Mpi.messages_sent (Distributed.mpi dist))
+
+let distributed_gather_shape () =
+  let _, st = stencil_3d7pt ~n:12 () in
+  let dist = Distributed.create ~ranks_shape:[| 2; 2; 1 |] st in
+  Distributed.run dist 2;
+  let g = Distributed.gather dist in
+  Alcotest.(check (array int)) "global shape" [| 12; 12; 12 |] g.Grid.shape
+
+let distributed_property =
+  qc ~count:12 "distributed == single for random rank shapes"
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (px, py) ->
+      let _, st = stencil_2d9pt_box ~m:12 ~n:12 () in
+      Distributed.validate ~steps:2 ~ranks_shape:[| px; py |] st = 0.0)
+
+(* --- Netmodel & Scaling --- *)
+
+let netmodel_monotone_in_bytes () =
+  let n = Netmodel.sunway_taihulight in
+  let t1 = Netmodel.exchange_time n ~nranks:64 ~messages_per_rank:4 ~bytes_per_message:1e3 in
+  let t2 = Netmodel.exchange_time n ~nranks:64 ~messages_per_rank:4 ~bytes_per_message:1e6 in
+  check_bool "more bytes slower" true (t2 > t1)
+
+let netmodel_master_bottleneck () =
+  let n = Netmodel.shared_memory in
+  let async = Netmodel.exchange_time n ~nranks:28 ~messages_per_rank:4 ~bytes_per_message:1e5 in
+  let master =
+    Netmodel.master_coordinated_time n ~nranks:28 ~messages_per_rank:4 ~bytes_per_message:1e5
+  in
+  check_bool "master much slower" true (master > 10.0 *. async)
+
+let netmodel_tianhe_small_message_congestion () =
+  let n = Netmodel.tianhe3_prototype in
+  let small = Netmodel.exchange_time n ~nranks:256 ~messages_per_rank:4 ~bytes_per_message:20e3 in
+  let small_few = Netmodel.exchange_time n ~nranks:32 ~messages_per_rank:4 ~bytes_per_message:20e3 in
+  check_bool "congestion grows with ranks" true (small > 2.0 *. small_few)
+
+let scaling_weak_near_ideal () =
+  let make_stencil dims = Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "3d7pt_star") in
+  let configs =
+    List.map
+      (fun (c : Msc_benchsuite.Settings.scaling_config) ->
+        (c.Msc_benchsuite.Settings.sunway_mpi_grid, c.Msc_benchsuite.Settings.weak_sub_grid))
+      (List.filter
+         (fun (c : Msc_benchsuite.Settings.scaling_config) ->
+           c.Msc_benchsuite.Settings.dim = 3)
+         Msc_benchsuite.Settings.table7)
+  in
+  let points = Scaling.run ~platform:Scaling.Sunway ~make_stencil ~configs in
+  List.iter
+    (fun (p : Scaling.point) ->
+      check_bool "weak >= 95% ideal" true (p.Scaling.gflops >= 0.95 *. p.Scaling.ideal_gflops))
+    points;
+  check_bool "8x speedup" true (Scaling.speedup_vs_first points > 7.0)
+
+let scaling_tianhe_2d_strong_droops () =
+  let make_stencil dims = Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "2d9pt_star") in
+  let configs =
+    List.map
+      (fun (c : Msc_benchsuite.Settings.scaling_config) ->
+        (c.Msc_benchsuite.Settings.tianhe3_mpi_grid, c.Msc_benchsuite.Settings.strong_sub_grid))
+      (List.filter
+         (fun (c : Msc_benchsuite.Settings.scaling_config) ->
+           c.Msc_benchsuite.Settings.dim = 2)
+         Msc_benchsuite.Settings.table7)
+  in
+  let points = Scaling.run ~platform:Scaling.Tianhe3 ~make_stencil ~configs in
+  let last = List.nth points (List.length points - 1) in
+  check_bool "visible droop at max scale" true
+    (last.Scaling.gflops < 0.9 *. last.Scaling.ideal_gflops)
+
+let scaling_cores_accounting () =
+  let make_stencil dims = Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "3d7pt_star") in
+  let points =
+    Scaling.run ~platform:Scaling.Sunway ~make_stencil
+      ~configs:[ ([| 8; 4; 4 |], [| 128; 128; 128 |]) ]
+  in
+  match points with
+  | [ p ] -> check_int "65 cores per CG" (128 * 65) p.Scaling.cores
+  | _ -> Alcotest.fail "one point expected"
+
+let suites =
+  [
+    ( "comm.mpi",
+      [
+        tc "send/recv" mpi_send_recv;
+        tc "fifo" mpi_fifo_order;
+        tc "tag matching" mpi_tag_matching;
+        tc "payload copied" mpi_payload_isolated;
+        tc "deadlock detected" mpi_deadlock_detected;
+        tc "counters" mpi_counters;
+        tc "rank bounds" mpi_rank_bounds;
+      ] );
+    ( "comm.decomp",
+      [
+        tc "coords roundtrip" decomp_coords_roundtrip;
+        tc "even split" decomp_even_split;
+        tc "uneven split" decomp_uneven_split;
+        tc "covers globally" decomp_covers;
+        tc "neighbors" decomp_neighbors;
+        tc "directions" decomp_directions;
+        tc "dir tags unique" decomp_dir_index_unique;
+        tc "auto shape" decomp_auto_shape;
+        tc "validation" decomp_validation;
+      ] );
+    ( "comm.halo",
+      [
+        tc "pack/unpack roundtrip" halo_pack_unpack_roundtrip;
+        tc "payload sizes" halo_payload_sizes;
+        tc "unpack size mismatch" halo_unpack_size_mismatch;
+        tc "exchange fills outer" halo_exchange_fills_outer;
+      ] );
+    ( "comm.distributed",
+      [
+        tc "star exact" distributed_star_exact;
+        tc "box corners exact" distributed_box_corners_exact;
+        tc "uneven exact" distributed_uneven_exact;
+        tc "wave exact" distributed_wave_exact;
+        tc "single rank" distributed_single_rank_degenerate;
+        tc "wide halo" distributed_wide_halo_exact;
+        tc "message accounting" distributed_message_accounting;
+        tc "gather shape" distributed_gather_shape;
+      ] );
+    ("comm.properties", [ distributed_property ]);
+    ( "comm.netmodel_scaling",
+      [
+        tc "monotone in bytes" netmodel_monotone_in_bytes;
+        tc "master bottleneck" netmodel_master_bottleneck;
+        tc "tianhe congestion" netmodel_tianhe_small_message_congestion;
+        tc "weak near ideal" scaling_weak_near_ideal;
+        tc "tianhe 2d strong droops" scaling_tianhe_2d_strong_droops;
+        tc "cores accounting" scaling_cores_accounting;
+      ] );
+  ]

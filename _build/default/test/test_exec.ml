@@ -1,0 +1,286 @@
+(* Tests for the execution engine: grids, the kernel interpreter, the
+   sliding-window runtime, the naive reference and the verifier. *)
+
+open Helpers
+module Grid = Msc_exec.Grid
+module Interp = Msc_exec.Interp
+module Runtime = Msc_exec.Runtime
+module Reference = Msc_exec.Reference
+module Verify = Msc_exec.Verify
+open Msc_ir
+open Msc_frontend
+
+(* --- Grid --- *)
+
+let grid_basics () =
+  let g = Grid.create ~shape:[| 3; 4 |] ~halo:[| 1; 2 |] in
+  check_int "interior" 12 (Grid.interior_elems g);
+  Alcotest.(check (array int)) "padded" [| 5; 8 |] g.Grid.padded;
+  Grid.set g [| 0; 0 |] 5.0;
+  check_float "get/set" 5.0 (Grid.get g [| 0; 0 |])
+
+let grid_halo_addressable () =
+  let g = Grid.create ~shape:[| 4; 4 |] ~halo:[| 1; 1 |] in
+  Grid.set g [| -1; -1 |] 2.5;
+  Grid.set g [| 4; 4 |] 3.5;
+  check_float "corner -1" 2.5 (Grid.get g [| -1; -1 |]);
+  check_float "corner +1" 3.5 (Grid.get g [| 4; 4 |])
+
+let grid_fill_and_checksum () =
+  let g = Grid.create ~shape:[| 2; 3 |] ~halo:[| 1; 1 |] in
+  Grid.fill g (fun c -> float_of_int ((c.(0) * 3) + c.(1)));
+  check_float "sum 0..5" 15.0 (Grid.checksum g);
+  check_float "max abs" 5.0 (Grid.max_abs g)
+
+let grid_clear_halo () =
+  let g = Grid.create ~shape:[| 2; 2 |] ~halo:[| 1; 1 |] in
+  Grid.fill_all g 7.0;
+  Grid.clear_halo g;
+  check_float "interior kept" 7.0 (Grid.get g [| 0; 0 |]);
+  check_float "halo zeroed" 0.0 (Grid.get g [| -1; 0 |]);
+  check_float "checksum = interior only" 28.0 (Grid.checksum g)
+
+let grid_blit_interior () =
+  let a = Grid.create ~shape:[| 3; 3 |] ~halo:[| 1; 1 |] in
+  let b = Grid.create ~shape:[| 3; 3 |] ~halo:[| 2; 2 |] in
+  Grid.fill a (fun c -> float_of_int (c.(0) + c.(1)));
+  Grid.blit_interior ~src:a ~dst:b;
+  check_float "copied" (Grid.checksum a) (Grid.checksum b)
+
+let grid_max_rel_error () =
+  let a = Grid.create ~shape:[| 2 |] ~halo:[| 0 |] in
+  let b = Grid.create ~shape:[| 2 |] ~halo:[| 0 |] in
+  Grid.set a [| 0 |] 2.0;
+  Grid.set b [| 0 |] 2.002;
+  check_bool "about 1e-3" true
+    (Float.abs (Grid.max_rel_error ~reference:a b -. 1e-3) < 1e-9)
+
+let grid_validation () =
+  check_bool "bad extent" true
+    (try ignore (Grid.create ~shape:[| 0 |] ~halo:[| 0 |]); false
+     with Invalid_argument _ -> true);
+  check_bool "rank mismatch" true
+    (try ignore (Grid.create ~shape:[| 2; 2 |] ~halo:[| 1 |]); false
+     with Invalid_argument _ -> true)
+
+let grid_of_tensor () =
+  let t = Tensor.sp ~halo:[| 2; 1 |] "B" Dtype.F64 [| 4; 6 |] in
+  let g = Grid.of_tensor t in
+  Alcotest.(check (array int)) "shape" [| 4; 6 |] g.Grid.shape;
+  Alcotest.(check (array int)) "halo" [| 2; 1 |] g.Grid.halo
+
+(* --- Interp --- *)
+
+let interp_identity () =
+  let grid = Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 4 4 in
+  let k = Builder.kernel ~name:"Id" ~grid (Expr.read "B" [| 0; 0 |]) in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  check_bool "linear" true (Interp.is_linear c);
+  let src = Grid.of_tensor grid and dst = Grid.of_tensor grid in
+  Grid.fill src (fun coord -> float_of_int ((coord.(0) * 4) + coord.(1)));
+  Interp.apply c ~src ~dst;
+  check_float "identity" (Grid.checksum src) (Grid.checksum dst)
+
+let interp_shift_reads_halo () =
+  let grid = Builder.def_tensor_1d ~halo:1 "B" Dtype.F64 4 in
+  let k = Builder.kernel ~name:"Shift" ~grid (Expr.read "B" [| 1 |]) in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  let src = Grid.of_tensor grid and dst = Grid.of_tensor grid in
+  Grid.fill src (fun coord -> float_of_int coord.(0) +. 1.0);
+  Interp.apply c ~src ~dst;
+  (* dst[i] = src[i+1]; src[3+1] is halo = 0 *)
+  check_float "dst0" 2.0 (Grid.get dst [| 0 |]);
+  check_float "dst3 reads zero halo" 0.0 (Grid.get dst [| 3 |])
+
+let interp_laplacian_hand_value () =
+  let grid = Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 3 3 in
+  let k =
+    Builder.kernel ~name:"Lap" ~grid
+      Expr.(
+        read "B" [| -1; 0 |] + read "B" [| 1; 0 |] + read "B" [| 0; -1 |]
+        + read "B" [| 0; 1 |]
+        - (f 4.0 * read "B" [| 0; 0 |]))
+  in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  let src = Grid.of_tensor grid and dst = Grid.of_tensor grid in
+  Grid.fill src (fun coord -> float_of_int ((coord.(0) * 3) + coord.(1)));
+  Interp.apply c ~src ~dst;
+  (* centre point (1,1)=4: 1 + 7 + 3 + 5 - 16 = 0 *)
+  check_float "laplacian of linear field" 0.0 (Grid.get dst [| 1; 1 |])
+
+let interp_accumulate () =
+  let grid = Builder.def_tensor_1d ~halo:1 "B" Dtype.F64 3 in
+  let k = Builder.kernel ~name:"Id" ~grid (Expr.read "B" [| 0 |]) in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  let src = Grid.of_tensor grid and dst = Grid.of_tensor grid in
+  Grid.fill src (fun _ -> 2.0);
+  Grid.fill dst (fun _ -> 1.0);
+  Interp.accumulate_range c ~scale:0.5 ~src ~dst ~lo:[| 0 |] ~hi:[| 3 |];
+  check_float "1 + 0.5*2" 2.0 (Grid.get dst [| 1 |])
+
+let interp_range_subbox () =
+  let grid = Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 4 4 in
+  let k = Builder.kernel ~name:"Id" ~grid (Expr.read "B" [| 0; 0 |]) in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  let src = Grid.of_tensor grid and dst = Grid.of_tensor grid in
+  Grid.fill src (fun _ -> 3.0);
+  Interp.apply_range c ~src ~dst ~lo:[| 1; 1 |] ~hi:[| 3; 3 |];
+  check_float "inside" 3.0 (Grid.get dst [| 2; 2 |]);
+  check_float "outside untouched" 0.0 (Grid.get dst [| 0; 0 |])
+
+let interp_nonlinear_tree_path () =
+  let grid = Builder.def_tensor_1d ~halo:1 "B" Dtype.F64 4 in
+  let k =
+    Builder.kernel ~name:"Sq" ~grid Expr.(read "B" [| 0 |] * read "B" [| 0 |])
+  in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  check_bool "tree mode" false (Interp.is_linear c);
+  let src = Grid.of_tensor grid and dst = Grid.of_tensor grid in
+  Grid.fill src (fun coord -> float_of_int (coord.(0) + 1));
+  Interp.apply c ~src ~dst;
+  check_float "squares" (1.0 +. 4.0 +. 9.0 +. 16.0) (Grid.checksum dst)
+
+let interp_rejects_aliasing () =
+  let grid = Builder.def_tensor_1d ~halo:1 "B" Dtype.F64 4 in
+  let k = Builder.kernel ~name:"Id" ~grid (Expr.read "B" [| 0 |]) in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  let g = Grid.of_tensor grid in
+  check_bool "alias rejected" true
+    (try Interp.apply c ~src:g ~dst:g; false with Invalid_argument _ -> true)
+
+(* --- Runtime --- *)
+
+let runtime_matches_reference () =
+  let _, st = stencil_3d7pt ~n:10 () in
+  let r = Verify.check ~steps:4 st in
+  check_bool "bit-identical" true (r.Verify.max_rel_error = 0.0)
+
+let runtime_tiled_parallel_matches () =
+  let k, st = stencil_3d7pt ~n:10 () in
+  let sched = Msc_schedule.Schedule.matrix_canonical ~tile:[| 3; 4; 5 |] ~threads:4 k in
+  let pool = Msc_util.Domain_pool.create 4 in
+  let r = Verify.check ~schedule:sched ~pool ~steps:4 st in
+  check_bool "bit-identical" true (r.Verify.max_rel_error = 0.0)
+
+let runtime_athread_mapping_matches () =
+  let k, st = stencil_3d7pt ~n:10 () in
+  let sched = Msc_schedule.Schedule.sunway_canonical ~tile:[| 2; 5; 5 |] ~cpes:8 k in
+  let pool = Msc_util.Domain_pool.create 4 in
+  let r = Verify.check ~schedule:sched ~pool ~steps:3 st in
+  check_bool "round-robin identical" true (r.Verify.max_rel_error = 0.0)
+
+let runtime_wave_matches () =
+  (* The runtime evaluates linear kernels as distributed taps while the
+     reference keeps the factored expression tree, so a few ULPs of
+     reassociation error are expected -- well inside the fp64 threshold. *)
+  let st = stencil_wave2d ~n:12 () in
+  let r = Verify.check ~steps:6 st in
+  check_bool "within fp64 tolerance" true r.Verify.ok
+
+let runtime_sliding_window_long_run () =
+  (* The ring buffer must keep working far beyond the window length. *)
+  let _, st = stencil_3d7pt ~n:6 () in
+  let rt = Runtime.create st in
+  let naive = Reference.create st in
+  Runtime.run rt 15;
+  Reference.run naive 15;
+  check_float "after 15 steps" 0.0
+    (Grid.max_rel_error ~reference:(Reference.current naive) (Runtime.current rt))
+
+let runtime_state_accessors () =
+  let _, st = stencil_3d7pt ~n:6 () in
+  let rt = Runtime.create st in
+  check_int "window" 2 (Runtime.time_window rt);
+  let before = Grid.checksum (Runtime.current rt) in
+  Runtime.step rt;
+  (* The previous newest state becomes dt=2. *)
+  check_float "states slide" before (Grid.checksum (Runtime.state rt ~dt:2));
+  check_int "steps counted" 1 (Runtime.steps_done rt)
+
+let runtime_state_bounds () =
+  let _, st = stencil_3d7pt ~n:6 () in
+  let rt = Runtime.create st in
+  check_bool "dt=0 rejected" true
+    (try ignore (Runtime.state rt ~dt:0); false with Invalid_argument _ -> true);
+  check_bool "dt=3 rejected" true
+    (try ignore (Runtime.state rt ~dt:3); false with Invalid_argument _ -> true)
+
+let runtime_stability () =
+  (* two_step with contraction weights must stay bounded. *)
+  let _, st = stencil_3d7pt ~n:8 () in
+  let rt = Runtime.create st in
+  Runtime.run rt 50;
+  check_bool "bounded" true (Grid.max_abs (Runtime.current rt) < 10.0)
+
+let runtime_custom_init () =
+  let _, st = stencil_3d7pt ~n:6 () in
+  let rt = Runtime.create ~init:(fun _ _ -> 1.0) st in
+  (* weights sum to 1 and halo is zero, so interior away from the border
+     stays 1 after a step; centre point check: *)
+  Runtime.step rt;
+  check_float "centre stays 1" 1.0 (Grid.get (Runtime.current rt) [| 3; 3; 3 |])
+
+let verify_detects_mismatch () =
+  (* Feed the verifier two different initial conditions via a tampered run. *)
+  let _, st = stencil_3d7pt ~n:6 () in
+  let rt = Runtime.create st in
+  Runtime.run rt 2;
+  let g = Runtime.current rt in
+  let tampered = Grid.copy g in
+  Grid.set tampered [| 2; 2; 2 |] (Grid.get g [| 2; 2; 2 |] +. 1.0);
+  check_bool "error detected" true (Grid.max_rel_error ~reference:g tampered > 0.1)
+
+let schedule_equivalence_property =
+  qc ~count:20 "any legal 2-D tile gives identical results"
+    QCheck.(pair (int_range 1 9) (int_range 1 9))
+    (fun (tx, ty) ->
+      let k, st = stencil_2d9pt_box ~m:9 ~n:9 () in
+      let sched = Msc_schedule.Schedule.matrix_canonical ~tile:[| tx; ty |] ~threads:2 k in
+      let r = Verify.check ~schedule:sched ~steps:3 st in
+      r.Verify.max_rel_error = 0.0)
+
+let suites =
+  [
+    ( "exec.grid",
+      [
+        tc "basics" grid_basics;
+        tc "halo addressable" grid_halo_addressable;
+        tc "fill/checksum" grid_fill_and_checksum;
+        tc "clear halo" grid_clear_halo;
+        tc "blit interior" grid_blit_interior;
+        tc "max rel error" grid_max_rel_error;
+        tc "validation" grid_validation;
+        tc "of tensor" grid_of_tensor;
+      ] );
+    ( "exec.interp",
+      [
+        tc "identity" interp_identity;
+        tc "shift reads halo" interp_shift_reads_halo;
+        tc "laplacian hand value" interp_laplacian_hand_value;
+        tc "accumulate" interp_accumulate;
+        tc "range subbox" interp_range_subbox;
+        tc "nonlinear tree path" interp_nonlinear_tree_path;
+        tc "aliasing rejected" interp_rejects_aliasing;
+      ] );
+    ( "exec.runtime",
+      [
+        tc "matches reference" runtime_matches_reference;
+        tc "tiled parallel matches" runtime_tiled_parallel_matches;
+        tc "athread mapping matches" runtime_athread_mapping_matches;
+        tc "wave matches" runtime_wave_matches;
+        tc "long sliding window" runtime_sliding_window_long_run;
+        tc "state accessors" runtime_state_accessors;
+        tc "state bounds" runtime_state_bounds;
+        tc "stability" runtime_stability;
+        tc "custom init" runtime_custom_init;
+        tc "verify detects mismatch" verify_detects_mismatch;
+      ] );
+    ("exec.properties", [ schedule_equivalence_property ]);
+  ]

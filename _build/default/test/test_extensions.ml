@@ -1,0 +1,271 @@
+(* Tests for the §5.6 extensions: the inspector-executor load balancer,
+   double-buffered tile streaming, grid binary I/O, and the ablation
+   drivers. *)
+
+open Helpers
+module Inspector = Msc_comm.Inspector
+module Grid = Msc_exec.Grid
+module Ssim = Msc_sunway.Sim
+module Ablations = Msc_benchsuite.Ablations
+
+(* --- Inspector --- *)
+
+let partition_uniform_is_even () =
+  let plan = Inspector.partition ~costs:(Array.make 12 1.0) ~parts:4 in
+  Alcotest.(check (array int)) "even boundaries" [| 0; 3; 6; 9; 12 |]
+    plan.Inspector.boundaries;
+  check_float "perfect balance" 1.0 plan.Inspector.imbalance
+
+let partition_respects_structure () =
+  (* One very expensive slab must get its own rank. *)
+  let costs = [| 1.0; 1.0; 100.0; 1.0; 1.0; 1.0 |] in
+  let plan = Inspector.partition ~costs ~parts:3 in
+  let owner =
+    let rec find r = if plan.Inspector.boundaries.(r + 1) > 2 then r else find (r + 1) in
+    find 0
+  in
+  check_float "expensive slab isolated" 100.0 plan.Inspector.rank_costs.(owner)
+
+let partition_beats_even_on_skew () =
+  let costs = Array.init 64 (fun i -> if i < 16 then 10.0 else 1.0) in
+  let even = Inspector.even_plan ~costs ~parts:8 in
+  let opt = Inspector.partition ~costs ~parts:8 in
+  check_bool "inspector strictly better" true
+    (opt.Inspector.imbalance < even.Inspector.imbalance)
+
+let partition_validation () =
+  check_bool "zero parts" true
+    (try ignore (Inspector.partition ~costs:[| 1.0 |] ~parts:0); false
+     with Invalid_argument _ -> true);
+  check_bool "more parts than slabs" true
+    (try ignore (Inspector.partition ~costs:[| 1.0 |] ~parts:2); false
+     with Invalid_argument _ -> true);
+  check_bool "negative cost" true
+    (try ignore (Inspector.partition ~costs:[| -1.0; 1.0 |] ~parts:1); false
+     with Invalid_argument _ -> true)
+
+let partition_boundaries_cover () =
+  let costs = Array.init 20 (fun i -> float_of_int ((i mod 5) + 1)) in
+  let plan = Inspector.partition ~costs ~parts:6 in
+  check_int "starts at 0" 0 plan.Inspector.boundaries.(0);
+  check_int "ends at n" 20 plan.Inspector.boundaries.(6);
+  for r = 0 to 5 do
+    check_bool "non-empty ranges" true
+      (plan.Inspector.boundaries.(r + 1) > plan.Inspector.boundaries.(r))
+  done
+
+let executor_extents () =
+  let plan = Inspector.partition ~costs:[| 3.0; 1.0; 1.0; 1.0 |] ~parts:2 in
+  let geo = Inspector.executor_ranks_extents plan ~global:[| 4; 10 |] in
+  check_int "two ranks" 2 (List.length geo);
+  let total = List.fold_left (fun acc (_, e) -> acc + e.(0)) 0 geo in
+  check_int "dim0 covered" 4 total;
+  List.iter (fun (_, e) -> check_int "other dims untouched" 10 e.(1)) geo
+
+(* Brute force over all cut positions confirms the DP is optimal. *)
+let partition_optimal_property =
+  qc ~count:40 "DP partition is optimal (vs brute force, n<=8, k<=3)"
+    QCheck.(pair (int_range 1 3) (list_of_size Gen.(int_range 3 8) (int_range 1 9)))
+    (fun (parts, cost_list) ->
+      let costs = Array.of_list (List.map float_of_int cost_list) in
+      let n = Array.length costs in
+      QCheck.assume (parts <= n);
+      let dp = (Inspector.partition ~costs ~parts).Inspector.rank_costs in
+      let dp_max = Array.fold_left Float.max 0.0 dp in
+      (* Enumerate all boundary combinations. *)
+      let best = ref infinity in
+      let rec enumerate cuts pos =
+        if List.length cuts = parts - 1 then begin
+          let bounds = Array.of_list ((0 :: List.rev cuts) @ [ n ]) in
+          let worst = ref 0.0 in
+          for r = 0 to parts - 1 do
+            let acc = ref 0.0 in
+            for i = bounds.(r) to bounds.(r + 1) - 1 do
+              acc := !acc +. costs.(i)
+            done;
+            worst := Float.max !worst !acc
+          done;
+          if !worst < !best then best := !worst
+        end
+        else
+          for c = pos to n - (parts - 1 - List.length cuts) do
+            enumerate (c :: cuts) (c + 1)
+          done
+      in
+      enumerate [] 1;
+      Float.abs (dp_max -. !best) < 1e-9)
+
+(* --- Streaming (double buffer) --- *)
+
+let streaming_never_slower () =
+  List.iter
+    (fun (r : Ablations.streaming_row) ->
+      match r.Ablations.speedup with
+      | Some s -> check_bool (r.Ablations.benchmark ^ " >= 1") true (s >= 0.999)
+      | None -> ())
+    (Ablations.streaming ())
+
+let streaming_doubles_spm () =
+  let b = Msc_benchsuite.Suite.find "3d7pt_star" in
+  let st = Msc_benchsuite.Suite.stencil b in
+  let sched = Msc_benchsuite.Settings.sunway_schedule b st in
+  let plain = Result.get_ok (Ssim.simulate st sched) in
+  let streamed =
+    Result.get_ok
+      (Ssim.simulate
+         ~overrides:{ Ssim.default_overrides with Ssim.double_buffer = true }
+         st sched)
+  in
+  check_int "2x read buffers"
+    (2 * plain.Ssim.counters.Ssim.spm_read_bytes)
+    streamed.Ssim.counters.Ssim.spm_read_bytes
+
+let streaming_overflow_detected () =
+  (* 2d9pt tiles fit once but not twice. *)
+  let b = Msc_benchsuite.Suite.find "2d9pt_star" in
+  let st = Msc_benchsuite.Suite.stencil b in
+  let sched = Msc_benchsuite.Settings.sunway_schedule b st in
+  check_bool "single buffering fits" true (Result.is_ok (Ssim.simulate st sched));
+  check_bool "double buffering overflows" true
+    (Result.is_error
+       (Ssim.simulate
+          ~overrides:{ Ssim.default_overrides with Ssim.double_buffer = true }
+          st sched))
+
+(* --- Grid I/O --- *)
+
+let grid_save_load_roundtrip () =
+  let g = Grid.create ~shape:[| 5; 7 |] ~halo:[| 2; 1 |] in
+  Grid.fill_extended g (fun c -> float_of_int ((c.(0) * 100) + c.(1)) +. 0.125);
+  let path = Filename.temp_file "msc_grid" ".bin" in
+  Grid.save g path;
+  let h = Grid.load path in
+  Sys.remove path;
+  Alcotest.(check (array int)) "shape" g.Grid.shape h.Grid.shape;
+  Alcotest.(check (array int)) "halo" g.Grid.halo h.Grid.halo;
+  check_float "bit-identical" 0.0 (Grid.max_rel_error ~reference:g h);
+  (* Halo round-trips too. *)
+  check_float "halo cell" (Grid.get g [| -2; -1 |]) (Grid.get h [| -2; -1 |])
+
+let grid_load_rejects_garbage () =
+  let path = Filename.temp_file "msc_grid" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc "not a grid at all";
+  close_out oc;
+  let rejected = try ignore (Grid.load path); false with Invalid_argument _ -> true in
+  Sys.remove path;
+  check_bool "bad magic rejected" true rejected
+
+let grid_load_rejects_truncation () =
+  let g = Grid.create ~shape:[| 4; 4 |] ~halo:[| 1; 1 |] in
+  let path = Filename.temp_file "msc_grid" ".bin" in
+  Grid.save g path;
+  (* Chop the last bytes off. *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic (len - 16) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  let rejected = try ignore (Grid.load path); false with Invalid_argument _ -> true in
+  Sys.remove path;
+  check_bool "truncation rejected" true rejected
+
+(* --- Trace-driven cache study --- *)
+
+let trace_tiling_wins_when_thrashing () =
+  List.iter
+    (fun (r : Ablations.trace_row) ->
+      check_bool (r.Ablations.label ^ ": tiled beats untiled") true
+        (r.Ablations.tiled_miss < r.Ablations.untiled_miss))
+    (Ablations.cache_trace ())
+
+let trace_compulsory_floor () =
+  (* With a cache far larger than the grid, the only misses are compulsory:
+     one per touched line. *)
+  let grid = Msc_frontend.Builder.def_tensor_2d ~halo:1 "B" Msc_ir.Dtype.F64 32 32 in
+  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~grid ~radius:1 () in
+  let cache = Msc_matrix.Cache.Lru.create ~capacity_bytes:(1024 * 1024) () in
+  let r = Msc_matrix.Trace.sweep_miss_rate ~cache k Msc_schedule.Schedule.empty in
+  (* Touched: input padded (34*34) + output region lines; 8 elements per
+     64 B line. Misses must be within a small factor of that floor. *)
+  let lines = ((34 * 34) + (32 * 34)) / 8 in
+  check_bool "near compulsory floor" true
+    (r.Msc_matrix.Trace.misses < 2 * lines);
+  check_bool "plenty of hits" true (r.Msc_matrix.Trace.miss_rate < 0.06)
+
+let trace_schedule_validated () =
+  let grid = Msc_frontend.Builder.def_tensor_2d ~halo:1 "B" Msc_ir.Dtype.F64 16 16 in
+  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~grid ~radius:1 () in
+  check_bool "illegal schedule rejected" true
+    (try
+       ignore
+         (Msc_matrix.Trace.sweep_miss_rate k
+            (Msc_schedule.Schedule.tile Msc_schedule.Schedule.empty [| 99; 1 |]));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Ablation drivers --- *)
+
+let tile_sweep_shape () =
+  let rows = Ablations.tile_sweep () in
+  check_bool "several feasible tiles" true (List.length rows >= 4);
+  (* Pencil tiles must be slower than the Table 5 tile. *)
+  let time_of tile =
+    (List.find (fun (r : Ablations.tile_row) -> r.Ablations.tile = tile) rows)
+      .Ablations.time_ms
+  in
+  check_bool "amortisation" true (time_of [| 1; 1; 64 |] > time_of [| 2; 8; 64 |])
+
+let load_balance_shape () =
+  let rows = Ablations.load_balance () in
+  List.iter
+    (fun (r : Ablations.imbalance_row) ->
+      check_bool "inspector never worse" true
+        (r.Ablations.inspected_imbalance <= r.Ablations.even_imbalance +. 1e-9))
+    rows;
+  let last = List.nth rows (List.length rows - 1) in
+  check_bool "big win at high skew" true
+    (last.Ablations.even_imbalance > 2.0 *. last.Ablations.inspected_imbalance)
+
+let ablations_render () =
+  check_bool "renders" true (String.length (Ablations.render_all ()) > 500)
+
+let suites =
+  [
+    ( "extensions.inspector",
+      [
+        tc "uniform even" partition_uniform_is_even;
+        tc "isolates hot slab" partition_respects_structure;
+        tc "beats even split" partition_beats_even_on_skew;
+        tc "validation" partition_validation;
+        tc "boundaries cover" partition_boundaries_cover;
+        tc "executor extents" executor_extents;
+      ] );
+    ("extensions.inspector_props", [ partition_optimal_property ]);
+    ( "extensions.streaming",
+      [
+        tc "never slower" streaming_never_slower;
+        tc "doubles spm" streaming_doubles_spm;
+        tc "overflow detected" streaming_overflow_detected;
+      ] );
+    ( "extensions.grid_io",
+      [
+        tc "save/load roundtrip" grid_save_load_roundtrip;
+        tc "bad magic" grid_load_rejects_garbage;
+        tc "truncation" grid_load_rejects_truncation;
+      ] );
+    ( "extensions.cache_trace",
+      [
+        tc "tiling wins when thrashing" trace_tiling_wins_when_thrashing;
+        tc "compulsory floor" trace_compulsory_floor;
+        tc "schedule validated" trace_schedule_validated;
+      ] );
+    ( "extensions.ablations",
+      [
+        tc "tile sweep" tile_sweep_shape;
+        tc "load balance" load_balance_shape;
+        tc "render" ablations_render;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* Tests for the DSL frontend: shape generators, builder combinators, and
+   the MSC surface-syntax pretty printer. *)
+
+open Helpers
+open Msc_ir
+open Msc_frontend
+
+(* --- Shapes --- *)
+
+let star_counts () =
+  check_int "3d r=1 -> 7pt" 7 (Shapes.point_count Shapes.Star ~ndim:3 ~radius:1);
+  check_int "3d r=2 -> 13pt" 13 (Shapes.point_count Shapes.Star ~ndim:3 ~radius:2);
+  check_int "3d r=4 -> 25pt" 25 (Shapes.point_count Shapes.Star ~ndim:3 ~radius:4);
+  check_int "3d r=5 -> 31pt" 31 (Shapes.point_count Shapes.Star ~ndim:3 ~radius:5);
+  check_int "2d r=2 -> 9pt" 9 (Shapes.point_count Shapes.Star ~ndim:2 ~radius:2)
+
+let box_counts () =
+  check_int "2d r=1 -> 9pt" 9 (Shapes.point_count Shapes.Box ~ndim:2 ~radius:1);
+  check_int "2d r=5 -> 121pt" 121 (Shapes.point_count Shapes.Box ~ndim:2 ~radius:5);
+  check_int "2d r=6 -> 169pt" 169 (Shapes.point_count Shapes.Box ~ndim:2 ~radius:6);
+  check_int "3d r=1 -> 27pt" 27 (Shapes.point_count Shapes.Box ~ndim:3 ~radius:1)
+
+let offsets_match_count () =
+  List.iter
+    (fun (shape, ndim, radius) ->
+      check_int "offsets = count"
+        (Shapes.point_count shape ~ndim ~radius)
+        (List.length (Shapes.offsets shape ~ndim ~radius)))
+    [
+      (Shapes.Star, 2, 2); (Shapes.Star, 3, 5); (Shapes.Box, 2, 6); (Shapes.Box, 3, 2);
+      (Shapes.Star, 1, 3); (Shapes.Box, 1, 1);
+    ]
+
+let offsets_centre_first () =
+  List.iter
+    (fun (shape, ndim, radius) ->
+      match Shapes.offsets shape ~ndim ~radius with
+      | centre :: _ ->
+          Alcotest.(check (array int)) "centre first" (Array.make ndim 0) centre
+      | [] -> Alcotest.fail "empty")
+    [ (Shapes.Star, 2, 1); (Shapes.Box, 3, 1) ]
+
+let offsets_unique () =
+  let offs = Shapes.offsets Shapes.Box ~ndim:2 ~radius:3 in
+  check_int "no duplicates" (List.length offs)
+    (List.length (List.sort_uniq compare offs))
+
+let offsets_within_radius () =
+  List.iter
+    (fun off -> Array.iter (fun o -> check_bool "bounded" true (abs o <= 4)) off)
+    (Shapes.offsets Shapes.Star ~ndim:3 ~radius:4)
+
+let star_offsets_on_axes () =
+  List.iter
+    (fun off ->
+      let nonzero = Array.fold_left (fun n o -> if o <> 0 then n + 1 else n) 0 off in
+      check_bool "at most one axis" true (nonzero <= 1))
+    (Shapes.offsets Shapes.Star ~ndim:3 ~radius:3)
+
+let shape_names () =
+  check_string "3d7pt" "3d7pt_star" (Shapes.name Shapes.Star ~ndim:3 ~radius:1);
+  check_string "2d121pt" "2d121pt_box" (Shapes.name Shapes.Box ~ndim:2 ~radius:5)
+
+(* --- Builder --- *)
+
+let builder_tensor_defaults () =
+  let t = Builder.def_tensor_3d "B" Dtype.F64 4 5 6 in
+  Alcotest.(check (array int)) "shape" [| 4; 5; 6 |] t.Tensor.shape;
+  Alcotest.(check (array int)) "default halo 1" [| 1; 1; 1 |] t.Tensor.halo;
+  check_int "default tw" 1 t.Tensor.time_window
+
+let builder_weights_contract () =
+  let w = Builder.weights ~center:0.5 9 in
+  check_float "sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 w);
+  check_float "center" 0.5 w.(0)
+
+let builder_star_kernel () =
+  let grid = Builder.def_tensor_2d ~halo:2 "B" Dtype.F64 8 8 in
+  let k = Builder.star_kernel ~name:"K" ~grid ~radius:2 () in
+  check_int "9 points" 9 (Kernel.points k);
+  check_bool "linear" true (Kernel.taps k <> None);
+  (* 9 muls + 8 adds, matching Table 4's 2d9pt entry. *)
+  check_int "ops" 17 (Kernel.flops_per_point k)
+
+let builder_default_index_vars () =
+  Alcotest.(check (list string)) "3d" [ "k"; "j"; "i" ] (Builder.default_index_vars 3);
+  Alcotest.(check (list string)) "2d" [ "j"; "i" ] (Builder.default_index_vars 2);
+  Alcotest.(check (list string)) "1d" [ "i" ] (Builder.default_index_vars 1)
+
+let builder_two_step_window () =
+  let _, st = stencil_3d7pt () in
+  check_int "window" 2 (Stencil.time_window st)
+
+let builder_halo_validated () =
+  let grid = Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 8 8 in
+  check_bool "radius 2 with halo 1 rejected" true
+    (try ignore (Builder.star_kernel ~name:"K" ~grid ~radius:2 ()); false
+     with Invalid_argument _ -> true)
+
+(* --- Pretty --- *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.equal (String.sub haystack i n) needle || scan (i + 1)) in
+  scan 0
+
+let pretty_program_structure () =
+  let _, st = stencil_3d7pt () in
+  let src = Pretty.program ~mpi_shape:[| 4; 4; 4 |] st in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle src))
+    [
+      "DefTensor3D_TimeWin";
+      "DefVar(k, i32)";
+      "Kernel S_3d7pt";
+      "Res[t] << ";
+      "S_3d7pt[t-1]";
+      "S_3d7pt[t-2]";
+      "DefShapeMPI3D(shape_mpi, 4, 4, 4)";
+      "st.run(1,10)";
+      "compile_to_source_code";
+    ]
+
+let pretty_includes_schedule_lines () =
+  let k, st = stencil_3d7pt () in
+  let sched = Msc_schedule.Schedule.sunway_canonical ~tile:[| 2; 4; 6 |] k in
+  let lines = Msc_schedule.Schedule.to_msc_lines sched ~kernel_name:"S_3d7pt" in
+  let src = Pretty.program ~schedule_lines:lines st in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle src))
+    [ "S_3d7pt.tile("; "S_3d7pt.reorder("; "S_3d7pt.parallel(xo, 64)";
+      "S_3d7pt.cache_read("; "S_3d7pt.compute_at(" ]
+
+let pretty_loc_counts_nonempty () =
+  check_int "counts lines" 2 (Pretty.loc "a\n\nb\n");
+  check_int "ignores comments" 1 (Pretty.loc "// c\nx\n")
+
+let pretty_wave_uses_state_syntax () =
+  let st = stencil_wave2d () in
+  let src = Pretty.program st in
+  check_bool "U[t-2] appears" true (contains ~needle:"U[t-2]" src)
+
+let suites =
+  [
+    ( "frontend.shapes",
+      [
+        tc "star counts" star_counts;
+        tc "box counts" box_counts;
+        tc "offsets match count" offsets_match_count;
+        tc "centre first" offsets_centre_first;
+        tc "unique" offsets_unique;
+        tc "within radius" offsets_within_radius;
+        tc "star on axes" star_offsets_on_axes;
+        tc "names" shape_names;
+      ] );
+    ( "frontend.builder",
+      [
+        tc "tensor defaults" builder_tensor_defaults;
+        tc "weights contract" builder_weights_contract;
+        tc "star kernel" builder_star_kernel;
+        tc "index vars" builder_default_index_vars;
+        tc "two-step window" builder_two_step_window;
+        tc "halo validated" builder_halo_validated;
+      ] );
+    ( "frontend.pretty",
+      [
+        tc "program structure" pretty_program_structure;
+        tc "schedule lines" pretty_includes_schedule_lines;
+        tc "loc counting" pretty_loc_counts_nonempty;
+        tc "wave state syntax" pretty_wave_uses_state_syntax;
+      ] );
+  ]

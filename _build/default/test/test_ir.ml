@@ -1,0 +1,312 @@
+(* Tests for the single-level IR: dtypes, expressions, axes, tensors,
+   kernels and stencils (paper Table 2). *)
+
+open Helpers
+open Msc_ir
+
+(* --- Dtype --- *)
+
+let dtype_sizes () =
+  check_int "f64" 8 (Dtype.size_bytes Dtype.F64);
+  check_int "f32" 4 (Dtype.size_bytes Dtype.F32);
+  check_int "i32" 4 (Dtype.size_bytes Dtype.I32)
+
+let dtype_c_names () =
+  check_string "f64" "double" (Dtype.to_c Dtype.F64);
+  check_string "f32" "float" (Dtype.to_c Dtype.F32);
+  check_string "i32" "int" (Dtype.to_c Dtype.I32)
+
+let dtype_tolerances () =
+  (* The §5.1 thresholds. *)
+  check_float "f64" 1e-10 (Dtype.tolerance Dtype.F64);
+  check_float "f32" 1e-5 (Dtype.tolerance Dtype.F32)
+
+(* --- Expr --- *)
+
+let sample_expr =
+  Expr.(
+    (p "c0" * read "B" [| 0; 0 |])
+    + (p "c1" * read "B" [| -1; 0 |])
+    + (p "c2" * read "B" [| 1; 0 |]))
+
+let expr_accesses () =
+  check_int "three reads" 3 (List.length (Expr.accesses sample_expr));
+  check_int "three distinct" 3 (List.length (Expr.distinct_accesses sample_expr))
+
+let expr_duplicate_accesses_merged () =
+  let e = Expr.(read "B" [| 0 |] + read "B" [| 0 |]) in
+  check_int "raw count" 2 (List.length (Expr.accesses e));
+  check_int "distinct count" 1 (List.length (Expr.distinct_accesses e))
+
+let expr_flops () =
+  (* 3 muls + 2 adds. *)
+  check_int "flops" 5 (Expr.flops sample_expr)
+
+let expr_params () =
+  Alcotest.(check (list string)) "params in order" [ "c0"; "c1"; "c2" ]
+    (Expr.params sample_expr)
+
+let expr_linear_taps () =
+  match
+    Expr.linear_taps
+      ~bindings:[ ("c0", 0.5); ("c1", 0.25); ("c2", 0.25) ]
+      sample_expr
+  with
+  | None -> Alcotest.fail "expected linear"
+  | Some taps ->
+      check_int "three taps" 3 (List.length taps);
+      let total = List.fold_left (fun acc (t : Expr.tap) -> acc +. t.Expr.coeff) 0.0 taps in
+      check_float "weights sum" 1.0 total
+
+let expr_taps_merge_same_offset () =
+  let e = Expr.((f 0.25 * read "B" [| 0 |]) + (f 0.5 * read "B" [| 0 |])) in
+  match Expr.linear_taps ~bindings:[] e with
+  | Some [ tap ] -> check_float "merged coeff" 0.75 tap.Expr.coeff
+  | Some _ | None -> Alcotest.fail "expected one merged tap"
+
+let expr_nonlinear_rejected () =
+  let e = Expr.(read "B" [| 0 |] * read "B" [| 0 |]) in
+  check_bool "product of reads is non-linear" true (Expr.linear_taps ~bindings:[] e = None)
+
+let expr_affine_rejected () =
+  (* A nonzero additive constant cannot be expressed as taps. *)
+  let e = Expr.(read "B" [| 0 |] + f 1.0) in
+  check_bool "affine rejected" true (Expr.linear_taps ~bindings:[] e = None)
+
+let expr_div_by_const_linear () =
+  let e = Expr.(read "B" [| 0 |] / f 4.0) in
+  match Expr.linear_taps ~bindings:[] e with
+  | Some [ tap ] -> check_float "quarter" 0.25 tap.Expr.coeff
+  | Some _ | None -> Alcotest.fail "expected linear division"
+
+let expr_eval () =
+  let load (a : Expr.access) = float_of_int (10 + a.Expr.offsets.(0)) in
+  let v =
+    Expr.eval ~bindings:[ ("c0", 2.0) ]
+      ~load
+      ~var:(fun _ -> 0.0)
+      Expr.(p "c0" * (read "B" [| 1 |] - read "B" [| -1 |]))
+  in
+  check_float "2 * (11 - 9)" 4.0 v
+
+let expr_eval_calls () =
+  let v =
+    Expr.eval ~bindings:[] ~load:(fun _ -> 0.0) ~var:(fun _ -> 0.0)
+      Expr.(Call ("pow", [ f 2.0; f 10.0 ]))
+  in
+  check_float "pow" 1024.0 v
+
+let expr_eval_unbound_param () =
+  check_bool "unbound raises" true
+    (try
+       ignore (Expr.eval ~bindings:[] ~load:(fun _ -> 0.0) ~var:(fun _ -> 0.0) (Expr.p "x"));
+       false
+     with Invalid_argument _ -> true)
+
+let expr_rename_tensor () =
+  let e = Expr.rename_tensor ~from:"B" ~to_:"A" sample_expr in
+  List.iter
+    (fun (a : Expr.access) -> check_string "renamed" "A" a.Expr.tensor)
+    (Expr.accesses e)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.equal (String.sub haystack i n) needle || scan (i + 1)) in
+  scan 0
+
+let expr_to_c () =
+  let c =
+    Expr.to_c
+      ~index:(fun a -> Printf.sprintf "B[%d]" a.Expr.offsets.(0))
+      Expr.(f 2.0 * read "B" [| 1 |])
+  in
+  check_bool "contains access" true (contains ~needle:"B[1]" c);
+  check_bool "float literal" true (contains ~needle:"2" c)
+
+let expr_equal () =
+  check_bool "structural equality" true (Expr.equal sample_expr sample_expr);
+  check_bool "inequality" false (Expr.equal sample_expr (Expr.f 1.0))
+
+(* --- Axis --- *)
+
+let axis_extent () =
+  let ax = Axis.make "i" ~stop:10 ~order:0 in
+  check_int "extent" 10 (Axis.extent ax);
+  let strided = Axis.make ~start:0 ~stride:3 "i" ~stop:10 ~order:0 in
+  check_int "ceil extent" 4 (Axis.extent strided)
+
+let axis_trip_count () =
+  let axes = [ Axis.make "i" ~stop:4 ~order:0; Axis.make "j" ~stop:5 ~order:1 ] in
+  check_int "product" 20 (Axis.trip_count axes)
+
+(* --- Tensor --- *)
+
+let tensor_sp () =
+  let t = Tensor.sp ~time_window:2 ~halo:[| 2; 1 |] "B" Dtype.F64 [| 8; 16 |] in
+  check_int "ndim" 2 (Tensor.ndim t);
+  check_int "elems" 128 (Tensor.elems t);
+  Alcotest.(check (array int)) "padded" [| 12; 18 |] (Tensor.padded_shape t);
+  check_int "footprint" (12 * 18 * 8 * 2) (Tensor.footprint_bytes t)
+
+let tensor_te_no_halo () =
+  let t = Tensor.te "tmp" Dtype.F32 [| 4; 4 |] in
+  Alcotest.(check (array int)) "no halo" [| 0; 0 |] t.Tensor.halo;
+  check_int "tw 1" 1 t.Tensor.time_window
+
+let tensor_validation () =
+  check_bool "negative extent" true
+    (try ignore (Tensor.sp "B" Dtype.F64 [| -1 |]); false
+     with Invalid_argument _ -> true);
+  check_bool "halo rank mismatch" true
+    (try ignore (Tensor.sp ~halo:[| 1 |] "B" Dtype.F64 [| 4; 4 |]); false
+     with Invalid_argument _ -> true)
+
+(* --- Kernel --- *)
+
+let mk_grid () = Tensor.sp ~time_window:2 ~halo:[| 1; 1 |] "B" Dtype.F64 [| 8; 8 |]
+
+let kernel_basic () =
+  let grid = mk_grid () in
+  let k =
+    Kernel.make ~bindings:[ ("c", 0.25) ] ~name:"K" ~input:grid
+      ~index_vars:[ "j"; "i" ]
+      Expr.(p "c" * (read "B" [| 0; 1 |] + read "B" [| 0; -1 |] + read "B" [| 1; 0 |] + read "B" [| -1; 0 |]))
+  in
+  check_int "points" 4 (Kernel.points k);
+  Alcotest.(check (array int)) "radius" [| 1; 1 |] (Kernel.radius k);
+  check_int "read bytes" 32 (Kernel.read_bytes_per_point k);
+  check_int "write bytes" 8 (Kernel.write_bytes_per_point k);
+  check_bool "linear" true (Kernel.taps k <> None)
+
+let kernel_rejects_offset_beyond_halo () =
+  let grid = mk_grid () in
+  check_bool "halo exceeded" true
+    (try
+       ignore
+         (Kernel.make ~name:"K" ~input:grid ~index_vars:[ "j"; "i" ]
+            (Expr.read "B" [| 2; 0 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let kernel_rejects_wrong_tensor () =
+  let grid = mk_grid () in
+  check_bool "foreign tensor" true
+    (try
+       ignore
+         (Kernel.make ~name:"K" ~input:grid ~index_vars:[ "j"; "i" ]
+            (Expr.read "A" [| 0; 0 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let kernel_rejects_unbound_param () =
+  let grid = mk_grid () in
+  check_bool "unbound" true
+    (try
+       ignore
+         (Kernel.make ~name:"K" ~input:grid ~index_vars:[ "j"; "i" ]
+            Expr.(p "nope" * read "B" [| 0; 0 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let kernel_rejects_rank_mismatch () =
+  let grid = mk_grid () in
+  check_bool "rank" true
+    (try
+       ignore (Kernel.make ~name:"K" ~input:grid ~index_vars:[ "i" ] (Expr.read "B" [| 0; 0 |]));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Stencil --- *)
+
+let stencil_time_window () =
+  let _, st = stencil_3d7pt () in
+  check_int "window 2" 2 (Stencil.time_window st);
+  check_int "one kernel" 1 (List.length (Stencil.kernels st))
+
+let stencil_flops () =
+  let k, st = stencil_3d7pt () in
+  (* two kernel applications + 2 scales + 1 sum *)
+  check_int "combined flops"
+    ((2 * Kernel.flops_per_point k) + 3)
+    (Stencil.flops_per_point st)
+
+let stencil_read_bytes_counts_states () =
+  let k, st = stencil_3d7pt () in
+  check_int "reads from both states"
+    (2 * Kernel.read_bytes_per_point k)
+    (Stencil.read_bytes_per_point st)
+
+let stencil_rejects_zero_offset () =
+  let grid = mk_grid () in
+  let k = Kernel.make ~name:"K" ~input:grid ~index_vars:[ "j"; "i" ] (Expr.read "B" [| 0; 0 |]) in
+  check_bool "t-0 rejected" true
+    (try ignore (Stencil.make ~name:"bad" ~grid (Stencil.Apply (k, 0))); false
+     with Invalid_argument _ -> true)
+
+let stencil_rejects_narrow_time_window () =
+  let grid = Tensor.sp ~time_window:1 ~halo:[| 1; 1 |] "B" Dtype.F64 [| 8; 8 |] in
+  let k = Kernel.make ~name:"K" ~input:grid ~index_vars:[ "j"; "i" ] (Expr.read "B" [| 0; 0 |]) in
+  check_bool "window too small" true
+    (try
+       ignore
+         (Stencil.make ~name:"bad" ~grid
+            (Stencil.Sum (Stencil.Apply (k, 1), Stencil.Apply (k, 2))));
+       false
+     with Invalid_argument _ -> true)
+
+let stencil_wave_uses_states () =
+  let st = stencil_wave2d () in
+  check_int "window 2" 2 (Stencil.time_window st);
+  check_int "one kernel (identity terms are states)" 1
+    (List.length (Stencil.kernels st))
+
+let stencil_radius () =
+  let _, st = stencil_3d7pt () in
+  Alcotest.(check (array int)) "radius 1" [| 1; 1; 1 |] (Stencil.radius st)
+
+let suites =
+  [
+    ( "ir.dtype",
+      [ tc "sizes" dtype_sizes; tc "c names" dtype_c_names; tc "tolerances" dtype_tolerances ]
+    );
+    ( "ir.expr",
+      [
+        tc "accesses" expr_accesses;
+        tc "duplicates merged" expr_duplicate_accesses_merged;
+        tc "flops" expr_flops;
+        tc "params" expr_params;
+        tc "linear taps" expr_linear_taps;
+        tc "taps merge" expr_taps_merge_same_offset;
+        tc "nonlinear rejected" expr_nonlinear_rejected;
+        tc "affine rejected" expr_affine_rejected;
+        tc "division linear" expr_div_by_const_linear;
+        tc "eval" expr_eval;
+        tc "eval calls" expr_eval_calls;
+        tc "eval unbound param" expr_eval_unbound_param;
+        tc "rename tensor" expr_rename_tensor;
+        tc "to_c" expr_to_c;
+        tc "equality" expr_equal;
+      ] );
+    ("ir.axis", [ tc "extent" axis_extent; tc "trip count" axis_trip_count ]);
+    ( "ir.tensor",
+      [ tc "sp node" tensor_sp; tc "te node" tensor_te_no_halo; tc "validation" tensor_validation ]
+    );
+    ( "ir.kernel",
+      [
+        tc "basic" kernel_basic;
+        tc "offset beyond halo" kernel_rejects_offset_beyond_halo;
+        tc "wrong tensor" kernel_rejects_wrong_tensor;
+        tc "unbound param" kernel_rejects_unbound_param;
+        tc "rank mismatch" kernel_rejects_rank_mismatch;
+      ] );
+    ( "ir.stencil",
+      [
+        tc "time window" stencil_time_window;
+        tc "flops" stencil_flops;
+        tc "read bytes count states" stencil_read_bytes_counts_states;
+        tc "t-0 rejected" stencil_rejects_zero_offset;
+        tc "narrow window rejected" stencil_rejects_narrow_time_window;
+        tc "wave uses states" stencil_wave_uses_states;
+        tc "radius" stencil_radius;
+      ] );
+  ]

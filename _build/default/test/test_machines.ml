@@ -1,0 +1,277 @@
+(* Tests for machine descriptors, roofline analysis, and the Sunway/Matrix
+   performance simulators. *)
+
+open Helpers
+module Machine = Msc_machine.Machine
+module Roofline = Msc_machine.Roofline
+module Spm = Msc_sunway.Spm
+module Dma = Msc_sunway.Dma
+module Ssim = Msc_sunway.Sim
+module Cache = Msc_matrix.Cache
+module Msim = Msc_matrix.Sim
+module Schedule = Msc_schedule.Schedule
+
+(* --- Machine --- *)
+
+let machine_peaks () =
+  (* One CG = 64 CPEs * 8 flops/cycle * 1.45 GHz ~= 742 GFlops fp64. *)
+  let p = Machine.peak_gflops Machine.sunway_cg Msc_ir.Dtype.F64 in
+  check_bool "CG peak ~742" true (Float.abs (p -. 742.4) < 1.0);
+  check_float "fp32 doubles" (2.0 *. p) (Machine.peak_gflops Machine.sunway_cg Msc_ir.Dtype.F32);
+  (* Matrix SN: 32 * 8 * 2.0 = 512. *)
+  check_float "Matrix SN peak" 512.0 (Machine.peak_gflops Machine.matrix_node Msc_ir.Dtype.F64)
+
+let machine_effective () =
+  let m = Machine.sunway_cg in
+  check_bool "box >= star efficiency" true
+    (Machine.effective_gflops m Msc_ir.Dtype.F64 ~shape_box:true
+    >= Machine.effective_gflops m Msc_ir.Dtype.F64 ~shape_box:false)
+
+(* --- Roofline --- *)
+
+let roofline_ridge () =
+  let ridge = Roofline.ridge_point Machine.sunway_cg Msc_ir.Dtype.F64 in
+  check_bool "ridge ~21.8" true (Float.abs (ridge -. (742.4 /. 34.0)) < 0.1)
+
+let roofline_attainable () =
+  let m = Machine.sunway_cg in
+  (* Below the ridge: bandwidth-limited. *)
+  check_float "bw roof" 34.0 (Roofline.attainable m Msc_ir.Dtype.F64 ~intensity:1.0);
+  (* Far above: compute-limited. *)
+  check_float "compute roof"
+    (Machine.peak_gflops m Msc_ir.Dtype.F64)
+    (Roofline.attainable m Msc_ir.Dtype.F64 ~intensity:1000.0)
+
+let roofline_classify () =
+  let m = Machine.sunway_cg in
+  check_bool "low OI memory bound" true
+    (Roofline.classify m Msc_ir.Dtype.F64 ~intensity:1.0 = Roofline.Memory_bound);
+  check_bool "high OI compute bound" true
+    (Roofline.classify m Msc_ir.Dtype.F64 ~intensity:100.0 = Roofline.Compute_bound)
+
+(* --- SPM allocator --- *)
+
+let spm_alloc_free () =
+  let spm = Spm.create () in
+  check_int "64 KiB" 65536 (Spm.capacity spm);
+  check_bool "alloc ok" true (Spm.alloc spm ~name:"a" ~bytes:30000 = Ok ());
+  check_bool "second ok" true (Spm.alloc spm ~name:"b" ~bytes:30000 = Ok ());
+  check_bool "overflow" true (Result.is_error (Spm.alloc spm ~name:"c" ~bytes:10000));
+  Spm.free spm ~name:"a";
+  check_bool "after free" true (Spm.alloc spm ~name:"c" ~bytes:10000 = Ok ());
+  check_bool "utilization" true (Spm.utilization spm > 0.6)
+
+let spm_duplicate_name () =
+  let spm = Spm.create () in
+  ignore (Spm.alloc spm ~name:"x" ~bytes:8);
+  check_bool "dup rejected" true (Result.is_error (Spm.alloc spm ~name:"x" ~bytes:8))
+
+let spm_reset () =
+  let spm = Spm.create () in
+  ignore (Spm.alloc spm ~name:"x" ~bytes:1024);
+  Spm.reset spm;
+  check_int "used 0" 0 (Spm.used spm)
+
+(* --- DMA engine --- *)
+
+let dma_time_components () =
+  let e = { Dma.descriptor_latency_s = 1e-6; bandwidth_gbs = 10.0; concurrent_engines = 1 } in
+  (* 1e9 bytes at 10 GB/s = 0.1 s plus 10 descriptors * 1 us. *)
+  let t = Dma.time e { Dma.bytes = 1e9; descriptors = 10 } in
+  check_bool "time" true (Float.abs (t -. 0.10001) < 1e-6)
+
+let dma_concurrency_hides_latency () =
+  let base = { Dma.descriptor_latency_s = 1e-6; bandwidth_gbs = 10.0; concurrent_engines = 1 } in
+  let wide = { base with Dma.concurrent_engines = 64 } in
+  let tr = { Dma.bytes = 1e6; descriptors = 6400 } in
+  check_bool "64 engines faster" true (Dma.time wide tr < Dma.time base tr)
+
+let dma_effective_bandwidth_degrades () =
+  let e = { Dma.descriptor_latency_s = 1e-6; bandwidth_gbs = 10.0; concurrent_engines = 1 } in
+  let long_rows = { Dma.bytes = 1e8; descriptors = 100 } in
+  let short_rows = { Dma.bytes = 1e8; descriptors = 1_000_000 } in
+  check_bool "short rows slower" true
+    (Dma.effective_bandwidth_gbs e short_rows < Dma.effective_bandwidth_gbs e long_rows)
+
+(* --- Sunway simulator --- *)
+
+let bench st_name = Msc_benchsuite.Suite.find st_name
+
+let ssim_report st_name =
+  let b = bench st_name in
+  let st = Msc_benchsuite.Suite.stencil b in
+  let sched = Msc_benchsuite.Settings.sunway_schedule b st in
+  match Ssim.simulate st sched with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+let ssim_sane () =
+  let r = ssim_report "3d7pt_star" in
+  check_bool "positive time" true (r.Ssim.time_per_step_s > 0.0);
+  check_bool "gflops plausible" true (r.Ssim.gflops > 1.0 && r.Ssim.gflops < 742.0);
+  check_bool "spm within capacity" true (r.Ssim.counters.Ssim.spm_utilization <= 1.0);
+  check_bool "memory bound" true (r.Ssim.bound = Msc_machine.Roofline.Memory_bound)
+
+let ssim_tiles_per_cpe () =
+  (* The paper: 3d13pt on 256^3 -> each CPE computes 256 tiles with the
+     paper's (2,8,64) tile; our SPM-fitting (2,4,64) tile doubles that. *)
+  let r = ssim_report "3d13pt_star" in
+  check_float "512 tiles per CPE" 512.0 r.Ssim.counters.Ssim.tiles_per_cpe
+
+let ssim_spm_overflow_detected () =
+  let b = bench "3d31pt_star" in
+  let st = Msc_benchsuite.Suite.stencil b in
+  let k = Msc_benchsuite.Suite.kernel_of st in
+  let sched = Schedule.sunway_canonical ~tile:[| 8; 8; 64 |] k in
+  check_bool "overflow error" true (Result.is_error (Ssim.simulate st sched))
+
+let ssim_box_compute_bound () =
+  (* The paper's roofline: 2d169pt is compute-bound on Sunway, 2d121pt is
+     not. *)
+  let r169 = ssim_report "2d169pt_box" in
+  let r121 = ssim_report "2d121pt_box" in
+  check_bool "169 compute bound" true (r169.Ssim.bound = Msc_machine.Roofline.Compute_bound);
+  check_bool "121 memory bound" true (r121.Ssim.bound = Msc_machine.Roofline.Memory_bound)
+
+let ssim_fp32_faster () =
+  let b = bench "3d7pt_star" in
+  let st64 = Msc_benchsuite.Suite.stencil ~dtype:Msc_ir.Dtype.F64 b in
+  let st32 = Msc_benchsuite.Suite.stencil ~dtype:Msc_ir.Dtype.F32 b in
+  let sched64 = Msc_benchsuite.Settings.sunway_schedule b st64 in
+  let sched32 = Msc_benchsuite.Settings.sunway_schedule b st32 in
+  match (Ssim.simulate st64 sched64, Ssim.simulate st32 sched32) with
+  | Ok r64, Ok r32 ->
+      check_bool "fp32 faster" true (r32.Ssim.time_per_step_s < r64.Ssim.time_per_step_s)
+  | _ -> Alcotest.fail "simulation failed"
+
+let ssim_larger_tiles_amortize_dma () =
+  let b = bench "3d7pt_star" in
+  let st = Msc_benchsuite.Suite.stencil b in
+  let k = Msc_benchsuite.Suite.kernel_of st in
+  let small = Schedule.sunway_canonical ~tile:[| 1; 1; 16 |] k in
+  let big = Schedule.sunway_canonical ~tile:[| 2; 8; 64 |] k in
+  match (Ssim.simulate st small, Ssim.simulate st big) with
+  | Ok rs, Ok rb ->
+      check_bool "bigger tile faster" true (rb.Ssim.time_per_step_s < rs.Ssim.time_per_step_s)
+  | _ -> Alcotest.fail "simulation failed"
+
+let ssim_is_box_shaped () =
+  check_bool "box" true
+    (Ssim.is_box_shaped (Msc_benchsuite.Suite.stencil (bench "2d9pt_box")));
+  check_bool "star" false
+    (Ssim.is_box_shaped (Msc_benchsuite.Suite.stencil (bench "2d9pt_star")))
+
+(* --- Cache model + Matrix simulator --- *)
+
+let lru_hits_and_misses () =
+  let c = Cache.Lru.create ~line_bytes:64 ~associativity:2 ~capacity_bytes:1024 () in
+  check_bool "first access misses" true (Cache.Lru.access c 0 = `Miss);
+  check_bool "same line hits" true (Cache.Lru.access c 8 = `Hit);
+  check_bool "next line misses" true (Cache.Lru.access c 64 = `Miss);
+  check_int "accesses" 3 (Cache.Lru.accesses c);
+  check_int "misses" 2 (Cache.Lru.misses c)
+
+let lru_eviction () =
+  (* 2-way set: three lines mapping to the same set evict the LRU one. *)
+  let c = Cache.Lru.create ~line_bytes:64 ~associativity:2 ~capacity_bytes:1024 () in
+  let sets = 1024 / (64 * 2) in
+  let addr k = k * sets * 64 in
+  ignore (Cache.Lru.access c (addr 0));
+  ignore (Cache.Lru.access c (addr 1));
+  ignore (Cache.Lru.access c (addr 2));
+  check_bool "LRU line evicted" true (Cache.Lru.access c (addr 0) = `Miss);
+  (* Refilling addr0 evicted the then-LRU addr1; addr2 stays resident. *)
+  check_bool "MRU line survives" true (Cache.Lru.access c (addr 2) = `Hit)
+
+let lru_working_set_fits () =
+  let c = Cache.Lru.create ~capacity_bytes:8192 () in
+  (* Stream 4 KiB twice: second pass must be all hits. *)
+  for pass = 1 to 2 do
+    for addr = 0 to 63 do
+      let r = Cache.Lru.access c (addr * 64) in
+      if pass = 2 then check_bool "second pass hits" true (r = `Hit)
+    done
+  done
+
+let lru_reset () =
+  let c = Cache.Lru.create ~capacity_bytes:1024 () in
+  ignore (Cache.Lru.access c 0);
+  Cache.Lru.reset c;
+  check_int "cleared" 0 (Cache.Lru.accesses c);
+  check_bool "cold again" true (Cache.Lru.access c 0 = `Miss)
+
+let traffic_model () =
+  let fits =
+    Cache.traffic_bytes ~capacity_bytes:1000 ~working_set_bytes:500
+      ~compulsory_bytes:100.0 ~resident_reuse:5.0
+  in
+  check_float "resident = compulsory" 100.0 fits;
+  let thrash =
+    Cache.traffic_bytes ~capacity_bytes:1000 ~working_set_bytes:100000
+      ~compulsory_bytes:100.0 ~resident_reuse:5.0
+  in
+  check_bool "overflow amplifies" true (thrash > 100.0 && thrash <= 500.1)
+
+let msim_sane () =
+  let b = bench "2d9pt_star" in
+  let st = Msc_benchsuite.Suite.stencil b in
+  match Msim.simulate st (Msc_benchsuite.Settings.matrix_schedule b st) with
+  | Ok r ->
+      check_bool "positive" true (r.Msim.time_per_step_s > 0.0);
+      check_bool "below peak" true (r.Msim.gflops < 512.0);
+      check_bool "cache resident" true r.Msim.cache_resident
+  | Error msg -> Alcotest.fail msg
+
+let msim_all_memory_bound () =
+  (* Figure 9(b): on Matrix even 2d169pt stays memory-bound. *)
+  List.iter
+    (fun name ->
+      let b = bench name in
+      let st = Msc_benchsuite.Suite.stencil b in
+      match Msim.simulate st (Msc_benchsuite.Settings.matrix_schedule b st) with
+      | Ok r ->
+          check_bool (name ^ " memory bound") true
+            (r.Msim.bound = Msc_machine.Roofline.Memory_bound)
+      | Error msg -> Alcotest.fail msg)
+    [ "2d121pt_box"; "2d169pt_box"; "3d7pt_star" ]
+
+let suites =
+  [
+    ( "machine",
+      [
+        tc "peaks" machine_peaks;
+        tc "effective" machine_effective;
+        tc "roofline ridge" roofline_ridge;
+        tc "roofline attainable" roofline_attainable;
+        tc "roofline classify" roofline_classify;
+      ] );
+    ( "sunway.spm_dma",
+      [
+        tc "alloc/free" spm_alloc_free;
+        tc "duplicate name" spm_duplicate_name;
+        tc "reset" spm_reset;
+        tc "dma time" dma_time_components;
+        tc "dma concurrency" dma_concurrency_hides_latency;
+        tc "dma short rows" dma_effective_bandwidth_degrades;
+      ] );
+    ( "sunway.sim",
+      [
+        tc "sane report" ssim_sane;
+        tc "tiles per cpe" ssim_tiles_per_cpe;
+        tc "spm overflow" ssim_spm_overflow_detected;
+        tc "169 compute / 121 memory" ssim_box_compute_bound;
+        tc "fp32 faster" ssim_fp32_faster;
+        tc "tiles amortize dma" ssim_larger_tiles_amortize_dma;
+        tc "box shape detection" ssim_is_box_shaped;
+      ] );
+    ( "matrix.cache_sim",
+      [
+        tc "lru hit/miss" lru_hits_and_misses;
+        tc "lru eviction" lru_eviction;
+        tc "lru working set" lru_working_set_fits;
+        tc "lru reset" lru_reset;
+        tc "traffic model" traffic_model;
+        tc "sim sane" msim_sane;
+        tc "all memory bound" msim_all_memory_bound;
+      ] );
+  ]

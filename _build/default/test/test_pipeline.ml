@@ -1,0 +1,145 @@
+(* API-level tests of the public Msc pipeline, multi-kernel (multi-stage)
+   stencils, and the autotuner's SA-vs-exhaustive quality. *)
+
+open Helpers
+open Msc
+
+(* --- multi-kernel stencils (STELLA-style multiple stages, §2.4) --- *)
+
+let two_distinct_kernels () =
+  (* Res[t] << 0.6 * A(u[t-1]) + 0.4 * B(u[t-2]) with A a star and B a box:
+     both kernels appear, and the optimized runtime matches the reference. *)
+  let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 12 14 in
+  let a = Builder.star_kernel ~name:"A" ~grid ~radius:1 () in
+  let b = Builder.box_kernel ~name:"Bk" ~grid ~radius:1 () in
+  let st =
+    Builder.(stencil ~name:"two_stage" ~grid ((0.6 *: (a @> 1)) +: (0.4 *: (b @> 2))))
+  in
+  check_int "two kernels" 2 (List.length (Stencil.kernels st));
+  let r = verify ~steps:4 st in
+  check_bool "verified" true (r.Verify.max_rel_error = 0.0)
+
+let two_kernels_distributed () =
+  let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 14 14 in
+  let a = Builder.star_kernel ~name:"A" ~grid ~radius:1 () in
+  let b = Builder.box_kernel ~name:"Bk" ~grid ~radius:1 () in
+  let st =
+    Builder.(stencil ~name:"two_stage" ~grid ((0.5 *: (a @> 1)) +: (0.5 *: (b @> 1))))
+  in
+  check_float "distributed exact" 0.0
+    (Distributed.validate ~steps:3 ~ranks_shape:[| 2; 2 |] st)
+
+let two_kernels_codegen_roundtrip () =
+  if Codegen.Toolchain.available () then begin
+    let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 12 12 in
+    let a = Builder.star_kernel ~name:"A" ~grid ~radius:1 () in
+    let b = Builder.box_kernel ~name:"Bk" ~grid ~radius:1 () in
+    let st =
+      Builder.(stencil ~name:"two_stage" ~grid ((0.6 *: (a @> 1)) +: (0.4 *: (b @> 2))))
+    in
+    let sched = Schedule.cpu_canonical ~tile:[| 4; 6 |] ~threads:2 a in
+    let rt = Runtime.create st in
+    Runtime.run rt 3;
+    let expected = Grid.checksum (Runtime.current rt) in
+    let files = Codegen.generate ~steps:3 st sched Codegen.Cpu in
+    let dir = Filename.concat (Filename.get_temp_dir_name ()) "msc_test_two_stage" in
+    match Codegen.Toolchain.compile_and_run ~steps:3 ~dir files with
+    | Ok r ->
+        check_bool "compiled C matches" true
+          (Float.abs (r.Codegen.Toolchain.checksum -. expected)
+           /. Float.max 1.0 (Float.abs expected)
+          < 1e-12)
+    | Error msg -> Alcotest.fail msg
+  end
+
+(* --- public pipeline conveniences --- *)
+
+let pipeline_run_and_verify () =
+  let _, st = stencil_3d7pt ~n:10 () in
+  let g = run ~workers:2 ~steps:3 st in
+  check_bool "produced data" true (Grid.max_abs g > 0.0);
+  check_bool "verify ok" true (verify ~steps:3 st).Verify.ok
+
+let pipeline_compile_targets () =
+  let k, st = stencil_3d7pt ~n:12 () in
+  let sched = Schedule.sunway_canonical ~tile:[| 2; 4; 6 |] k in
+  List.iter
+    (fun target ->
+      match compile_to_source ~target st sched with
+      | Ok files -> check_bool (target ^ " nonempty") true (List.length files >= 2)
+      | Error msg -> Alcotest.fail (target ^ ": " ^ msg))
+    [ "cpu"; "openmp"; "sunway" ];
+  check_bool "unknown target" true (Result.is_error (compile_to_source ~target:"gpu" st sched))
+
+let pipeline_simulate () =
+  let k, st = stencil_3d7pt ~n:16 () in
+  let sched = Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k in
+  check_bool "sunway" true (Result.is_ok (simulate_sunway st sched));
+  let msched = Schedule.matrix_canonical ~tile:[| 2; 4; 8 |] k in
+  check_bool "matrix" true (Result.is_ok (simulate_matrix st msched))
+
+let pipeline_distribute () =
+  let _, st = stencil_3d7pt ~n:12 () in
+  let dist = distribute ~ranks_shape:[| 2; 1; 1 |] st in
+  Distributed.run dist 2;
+  check_int "steps" 2 (Distributed.steps_done dist)
+
+(* --- autotuner vs exhaustive optimum --- *)
+
+let small_global = [| 128; 64; 64 |]
+
+let make_stencil dims = Suite.stencil ~dims (Suite.find "3d7pt_star")
+
+let exhaustive_finds_optimum () =
+  match Autotune.exhaustive ~make_stencil ~global:small_global ~nranks:8 () with
+  | None -> Alcotest.fail "space unexpectedly large"
+  | Some (config, best) ->
+      check_bool "positive" true (best > 0.0);
+      (* Spot-check optimality against a few alternatives. *)
+      let cost = Autotune.true_cost ~make_stencil ~global:small_global in
+      List.iter
+        (fun tile ->
+          let alt = { config with Tuning_params.tile } in
+          check_bool "no better alternative" true (cost alt >= best -. 1e-12))
+        [ [| 1; 1; 16 |]; [| 2; 8; 64 |]; [| 4; 4; 32 |] ]
+
+let sa_close_to_exhaustive () =
+  match Autotune.exhaustive ~make_stencil ~global:small_global ~nranks:8 () with
+  | None -> Alcotest.fail "space unexpectedly large"
+  | Some (_, best) ->
+      let r =
+        Autotune.tune ~seed:5 ~iterations:6000 ~make_stencil ~global:small_global
+          ~nranks:8 ()
+      in
+      (* The annealer optimises a regression model, so allow slack — the
+         paper's claim is convergence to a good optimum, not the global one. *)
+      check_bool "within 2x of the global optimum" true
+        (r.Autotune.best_time_s <= 2.0 *. best)
+
+let exhaustive_respects_cap () =
+  check_bool "large space returns None" true
+    (Autotune.exhaustive ~max_configs:10 ~make_stencil ~global:small_global ~nranks:8 ()
+    = None)
+
+let suites =
+  [
+    ( "pipeline.multi_kernel",
+      [
+        tc "two distinct kernels" two_distinct_kernels;
+        tc "distributed" two_kernels_distributed;
+        tc "codegen roundtrip" two_kernels_codegen_roundtrip;
+      ] );
+    ( "pipeline.api",
+      [
+        tc "run + verify" pipeline_run_and_verify;
+        tc "compile targets" pipeline_compile_targets;
+        tc "simulate" pipeline_simulate;
+        tc "distribute" pipeline_distribute;
+      ] );
+    ( "pipeline.autotune_quality",
+      [
+        tc "exhaustive optimum" exhaustive_finds_optimum;
+        slow "SA close to optimum" sa_close_to_exhaustive;
+        tc "cap respected" exhaustive_respects_cap;
+      ] );
+  ]

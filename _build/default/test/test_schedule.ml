@@ -1,0 +1,231 @@
+(* Tests for the optimization primitives and loop-nest lowering. *)
+
+open Helpers
+module Schedule = Msc_schedule.Schedule
+module Loopnest = Msc_schedule.Loopnest
+open Msc_ir
+
+let kernel_3d () = fst (stencil_3d7pt ~n:16 ())
+
+(* --- primitive accumulation --- *)
+
+let schedule_order_untiled () =
+  Alcotest.(check (list string)) "dims" [ "x"; "y"; "z" ]
+    (Schedule.order Schedule.empty ~ndim:3)
+
+let schedule_order_tiled () =
+  let s = Schedule.tile Schedule.empty [| 2; 4; 8 |] in
+  Alcotest.(check (list string)) "split axes"
+    [ "xo"; "yo"; "zo"; "xi"; "yi"; "zi" ]
+    (Schedule.order s ~ndim:3)
+
+let schedule_reorder_applied () =
+  let s = Schedule.tile Schedule.empty [| 2; 4; 8 |] in
+  let s = Schedule.reorder s [ "xo"; "yo"; "zo"; "zi"; "yi"; "xi" ] in
+  Alcotest.(check (list string)) "custom order"
+    [ "xo"; "yo"; "zo"; "zi"; "yi"; "xi" ]
+    (Schedule.order s ~ndim:3)
+
+let schedule_specs () =
+  let k = kernel_3d () in
+  let s = Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k in
+  (match Schedule.parallel_spec s with
+  | Some ("xo", 64, Schedule.Athread_cpes) -> ()
+  | _ -> Alcotest.fail "parallel spec");
+  (match Schedule.cache_read_spec s with
+  | Some ("B", "buffer_read", Schedule.Scope_global) -> ()
+  | _ -> Alcotest.fail "cache_read spec");
+  (match Schedule.cache_write_spec s with
+  | Some ("buffer_write", Schedule.Scope_global) -> ()
+  | _ -> Alcotest.fail "cache_write spec");
+  check_int "two compute_at" 2 (List.length (Schedule.compute_at_specs s))
+
+(* --- validation --- *)
+
+let validate_ok () =
+  let k = kernel_3d () in
+  match Schedule.validate (Schedule.sunway_canonical k) ~kernel:k with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let validate_tile_rank () =
+  let k = kernel_3d () in
+  match Schedule.validate (Schedule.tile Schedule.empty [| 4; 4 |]) ~kernel:k with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "2 sizes for 3-D kernel must fail"
+
+let validate_tile_too_big () =
+  let k = kernel_3d () in
+  match Schedule.validate (Schedule.tile Schedule.empty [| 99; 4; 4 |]) ~kernel:k with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "tile larger than extent must fail"
+
+let validate_reorder_not_permutation () =
+  let k = kernel_3d () in
+  let s = Schedule.tile Schedule.empty [| 2; 4; 8 |] in
+  match Schedule.validate (Schedule.reorder s [ "xo"; "yo"; "zo"; "xi"; "yi"; "yi" ]) ~kernel:k with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-permutation must fail"
+
+let validate_inner_before_outer () =
+  let k = kernel_3d () in
+  let s = Schedule.tile Schedule.empty [| 2; 4; 8 |] in
+  match
+    Schedule.validate (Schedule.reorder s [ "xi"; "xo"; "yo"; "zo"; "yi"; "zi" ]) ~kernel:k
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "xi before xo must fail"
+
+let validate_unknown_parallel_axis () =
+  let k = kernel_3d () in
+  match Schedule.validate (Schedule.parallel Schedule.empty "wo" 8) ~kernel:k with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown axis must fail"
+
+let validate_compute_at_undeclared_buffer () =
+  let k = kernel_3d () in
+  match
+    Schedule.validate (Schedule.compute_at Schedule.empty ~buffer:"ghost" ~axis:"x") ~kernel:k
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undeclared buffer must fail"
+
+let validate_cache_read_wrong_tensor () =
+  let k = kernel_3d () in
+  match
+    Schedule.validate (Schedule.cache_read Schedule.empty ~tensor:"A" ~buffer:"b") ~kernel:k
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong tensor must fail"
+
+(* --- default tiles and canonical schedules --- *)
+
+let default_tile_fits_spm () =
+  (* For every suite benchmark, the Settings tile must satisfy the SPM
+     capacity with the full time window. *)
+  List.iter
+    (fun b ->
+      let st = Msc_benchsuite.Suite.stencil b in
+      let sched = Msc_benchsuite.Settings.sunway_schedule b st in
+      match Msc_sunway.Sim.simulate st sched with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail (b.Msc_benchsuite.Suite.name ^ ": " ^ msg))
+    Msc_benchsuite.Suite.all
+
+let msc_lines_emitted () =
+  let k = kernel_3d () in
+  let lines =
+    Schedule.to_msc_lines (Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k)
+      ~kernel_name:"S"
+  in
+  check_bool "several lines" true (List.length lines >= 7)
+
+(* --- loop nest lowering --- *)
+
+let lower_untiled () =
+  let k = kernel_3d () in
+  let nest = Loopnest.lower_exn k Schedule.empty in
+  check_int "three loops" 3 (List.length nest.Loopnest.loops);
+  check_int "one tile" 1 (Loopnest.tiles_count nest);
+  check_bool "innermost contiguous" true (Loopnest.innermost_contiguous nest)
+
+let lower_tiled_counts () =
+  let k = kernel_3d () in
+  (* grid 16^3, tile (2,4,8) -> 8*4*2 = 64 tiles *)
+  let nest = Loopnest.lower_exn k (Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k) in
+  check_int "six loops" 6 (List.length nest.Loopnest.loops);
+  check_int "tiles" 64 (Loopnest.tiles_count nest);
+  check_int "tile elems" 64 (Loopnest.tile_elems nest);
+  (* halo 1: (2+2)(4+2)(8+2) = 240 *)
+  check_int "padded elems" 240 (Loopnest.tile_halo_elems nest)
+
+let lower_remainder_ceil () =
+  let grid = Msc_frontend.Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 10 10 in
+  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~grid ~radius:1 () in
+  let nest = Loopnest.lower_exn k (Msc_schedule.Schedule.matrix_canonical ~tile:[| 4; 4 |] k) in
+  (* ceil(10/4) = 3 per dim *)
+  check_int "ceil tiles" 9 (Loopnest.tiles_count nest)
+
+let lower_parallel_loop () =
+  let k = kernel_3d () in
+  let nest = Loopnest.lower_exn k (Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k) in
+  match Loopnest.parallel_loop nest with
+  | Some (l, 0) -> check_string "outermost xo" "xo" l.Loopnest.name
+  | Some (_, d) -> Alcotest.fail (Printf.sprintf "depth %d" d)
+  | None -> Alcotest.fail "no parallel loop"
+
+let lower_dma_plan () =
+  let k = kernel_3d () in
+  let nest = Loopnest.lower_exn k (Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k) in
+  match nest.Loopnest.dma with
+  | None -> Alcotest.fail "expected dma plan"
+  | Some dma ->
+      check_string "at innermost outer" "zo" dma.Loopnest.at_axis;
+      check_int "transfer elems = padded tile" 240 dma.Loopnest.transfer_elems;
+      check_int "contiguous run" ((8 + 2) * 8) dma.Loopnest.contiguous_run_bytes
+
+let lower_working_set () =
+  let k = kernel_3d () in
+  let nest = Loopnest.lower_exn k (Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k) in
+  check_int "read+write bytes" ((240 + 64) * 8) (Loopnest.working_set_bytes nest)
+
+let lower_reuse_factor () =
+  let k = kernel_3d () in
+  let nest = Loopnest.lower_exn k (Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k) in
+  let reuse = Loopnest.reuse_factor nest in
+  check_bool "reuse around 7*64/240" true (Float.abs (reuse -. (7.0 *. 64.0 /. 240.0)) < 1e-9)
+
+let lower_rejects_illegal () =
+  let k = kernel_3d () in
+  match Loopnest.lower k (Schedule.tile Schedule.empty [| 1; 1 |]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad schedule lowered"
+
+(* --- property: schedules never change results --- *)
+
+let random_tile_semantics =
+  qc ~count:25 "tiled/reordered execution equals reference"
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 1 8))
+    (fun (tx, ty, tz) ->
+      let k, st = stencil_3d7pt ~n:8 () in
+      let sched =
+        Schedule.matrix_canonical ~tile:[| min tx 8; min ty 8; min tz 8 |] ~threads:2 k
+      in
+      let report = Msc_exec.Verify.check ~schedule:sched ~steps:3 st in
+      report.Msc_exec.Verify.max_rel_error = 0.0)
+
+let suites =
+  [
+    ( "schedule.primitives",
+      [
+        tc "untiled order" schedule_order_untiled;
+        tc "tiled order" schedule_order_tiled;
+        tc "reorder applied" schedule_reorder_applied;
+        tc "specs" schedule_specs;
+        tc "msc lines" msc_lines_emitted;
+      ] );
+    ( "schedule.validation",
+      [
+        tc "canonical ok" validate_ok;
+        tc "tile rank" validate_tile_rank;
+        tc "tile too big" validate_tile_too_big;
+        tc "reorder permutation" validate_reorder_not_permutation;
+        tc "inner before outer" validate_inner_before_outer;
+        tc "unknown parallel axis" validate_unknown_parallel_axis;
+        tc "undeclared buffer" validate_compute_at_undeclared_buffer;
+        tc "wrong cache tensor" validate_cache_read_wrong_tensor;
+        tc "settings tiles fit SPM" default_tile_fits_spm;
+      ] );
+    ( "schedule.loopnest",
+      [
+        tc "untiled" lower_untiled;
+        tc "tiled counts" lower_tiled_counts;
+        tc "remainder ceil" lower_remainder_ceil;
+        tc "parallel loop" lower_parallel_loop;
+        tc "dma plan" lower_dma_plan;
+        tc "working set" lower_working_set;
+        tc "reuse factor" lower_reuse_factor;
+        tc "illegal rejected" lower_rejects_illegal;
+      ] );
+    ("schedule.properties", [ random_tile_semantics ]);
+  ]

@@ -1,0 +1,194 @@
+(* Tests for the expression simplifier: rule-by-rule units, a semantics-
+   preservation property over randomly generated expressions, and a
+   differential fuzz of the full pipeline (random kernels: interpreter vs
+   compiled generated C). *)
+
+open Helpers
+open Msc_ir
+module Simplify = Msc_ir.Simplify
+
+let b = Expr.read "B" [| 0 |]
+
+(* --- rules --- *)
+
+let folds_constants () =
+  check_bool "2+3" true (Expr.equal (Simplify.expr Expr.(f 2.0 + f 3.0)) (Expr.f 5.0));
+  check_bool "int mul" true (Expr.equal (Simplify.expr Expr.(i 4 * i 5)) (Expr.i 20));
+  check_bool "mixed to float" true
+    (Expr.equal (Simplify.expr Expr.(i 4 / i 8)) (Expr.f 0.5));
+  check_bool "nested" true
+    (Expr.equal (Simplify.expr Expr.((f 1.0 + f 2.0) * (f 2.0 + f 2.0))) (Expr.f 12.0))
+
+let identity_rules () =
+  check_bool "x+0" true (Expr.equal (Simplify.expr Expr.(b + f 0.0)) b);
+  check_bool "0+x" true (Expr.equal (Simplify.expr Expr.(f 0.0 + b)) b);
+  check_bool "x-0" true (Expr.equal (Simplify.expr Expr.(b - f 0.0)) b);
+  check_bool "x*1" true (Expr.equal (Simplify.expr Expr.(b * f 1.0)) b);
+  check_bool "1*x" true (Expr.equal (Simplify.expr Expr.(f 1.0 * b)) b);
+  check_bool "x/1" true (Expr.equal (Simplify.expr Expr.(b / f 1.0)) b)
+
+let annihilation_rules () =
+  check_bool "x*0" true (Expr.equal (Simplify.expr Expr.(b * f 0.0)) (Expr.f 0.0));
+  check_bool "0*x" true (Expr.equal (Simplify.expr Expr.(f 0.0 * b)) (Expr.f 0.0));
+  check_bool "0/x" true (Expr.equal (Simplify.expr Expr.(f 0.0 / b)) (Expr.f 0.0))
+
+let neg_rules () =
+  check_bool "--x" true (Expr.equal (Simplify.expr (Expr.neg (Expr.neg b))) b);
+  check_bool "-(3)" true (Expr.equal (Simplify.expr (Expr.neg (Expr.f 3.0))) (Expr.f (-3.0)))
+
+let unop_folding () =
+  check_bool "sqrt 9" true
+    (Expr.equal (Simplify.expr (Expr.Unop (Expr.Sqrt, Expr.f 9.0))) (Expr.f 3.0));
+  check_bool "min folds" true
+    (Expr.equal (Simplify.expr (Expr.Binop (Expr.Min, Expr.f 2.0, Expr.f 5.0))) (Expr.f 2.0))
+
+let leaves_opaque_terms () =
+  let e = Expr.(p "c" * b) in
+  check_bool "params survive" true (Expr.equal (Simplify.expr e) e)
+
+let nested_zero_collapse () =
+  (* (0 * B[0]) + (1 * B[0]) -> B[0] *)
+  let e = Expr.((f 0.0 * b) + (f 1.0 * b)) in
+  check_bool "collapses" true (Expr.equal (Simplify.expr e) b)
+
+(* --- property: simplification preserves evaluation --- *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf rng =
+    match int_bound 4 rng with
+    | 0 -> Expr.f (float_range (-4.0) 4.0 rng)
+    | 1 -> Expr.i (int_range (-5) 5 rng)
+    | 2 -> Expr.read "B" [| int_range (-1) 1 rng |]
+    | 3 -> Expr.p "c"
+    | _ -> Expr.f 0.0 (* seed plenty of zeros/ones via the next case *)
+  in
+  let rec node depth rng =
+    if depth = 0 then leaf rng
+    else begin
+      let child () = node (depth - 1) rng in
+      match int_bound 7 rng with
+      | 0 ->
+          let a = child () and b = child () in
+          Expr.Binop (Expr.Add, a, b)
+      | 1 ->
+          let a = child () and b = child () in
+          Expr.Binop (Expr.Sub, a, b)
+      | 2 ->
+          let a = child () and b = child () in
+          Expr.Binop (Expr.Mul, a, b)
+      | 3 -> Expr.neg (child ())
+      | 4 ->
+          let a = child () and b = child () in
+          Expr.Binop (Expr.Min, a, b)
+      | 5 ->
+          let a = child () and b = child () in
+          Expr.Binop (Expr.Max, a, b)
+      | 6 -> Expr.f (if bool rng then 1.0 else 0.0)
+      | _ -> leaf rng
+    end
+  in
+  node 4
+
+let semantics_preserved =
+  qc ~count:300 "simplify preserves eval"
+    (QCheck.make ~print:Expr.to_string gen_expr)
+    (fun e ->
+      let load (a : Expr.access) = 0.5 +. (0.25 *. float_of_int a.Expr.offsets.(0)) in
+      let eval e =
+        Expr.eval ~bindings:[ ("c", 1.75) ] ~load ~var:(fun _ -> 0.0) e
+      in
+      let original = eval e and simplified = eval (Simplify.expr e) in
+      (Float.is_nan original && Float.is_nan simplified)
+      || Float.abs (original -. simplified)
+         <= 1e-9 *. Float.max 1.0 (Float.abs original))
+
+let simplify_idempotent =
+  qc ~count:200 "simplify is idempotent"
+    (QCheck.make ~print:Expr.to_string gen_expr)
+    (fun e ->
+      let once = Simplify.expr e in
+      Expr.equal once (Simplify.expr once))
+
+(* --- differential fuzz: random kernels, interpreter vs compiled C --- *)
+
+let codegen_differential_fuzz () =
+  if Msc_codegen.Codegen.Toolchain.available () then begin
+    let rng = Msc_util.Prng.create 20210812 in
+    for case = 1 to 5 do
+      let ndim = 2 + Msc_util.Prng.int rng 2 in
+      let radius = 1 + Msc_util.Prng.int rng 2 in
+      let dims =
+        Array.init ndim (fun _ -> (2 * radius) + 4 + Msc_util.Prng.int rng 8)
+      in
+      let shape =
+        if Msc_util.Prng.bool rng then Msc_frontend.Shapes.Star
+        else Msc_frontend.Shapes.Box
+      in
+      let tw = 1 + Msc_util.Prng.int rng 2 in
+      let grid =
+        Msc_ir.Tensor.sp ~time_window:tw ~halo:(Array.make ndim radius) "B"
+          Dtype.F64 dims
+      in
+      let kernel =
+        Msc_frontend.Builder.shaped_kernel
+          ~center_weight:(0.3 +. Msc_util.Prng.float rng 0.4)
+          ~name:"K" ~grid ~shape ~radius ()
+      in
+      let st =
+        if tw = 2 then Msc_frontend.Builder.two_step ~name:"fuzz" kernel
+        else Msc_frontend.Builder.single_step ~name:"fuzz" kernel
+      in
+      let tile =
+        Array.map (fun n -> 1 + Msc_util.Prng.int rng n) dims
+      in
+      let sched =
+        Msc_schedule.Schedule.cpu_canonical ~tile
+          ~threads:(1 + Msc_util.Prng.int rng 4)
+          kernel
+      in
+      let steps = 2 + Msc_util.Prng.int rng 3 in
+      let rt = Msc_exec.Runtime.create st in
+      Msc_exec.Runtime.run rt steps;
+      let expected = Msc_exec.Grid.checksum (Msc_exec.Runtime.current rt) in
+      let files =
+        Msc_codegen.Codegen.generate ~steps st sched Msc_codegen.Codegen.Cpu
+      in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "msc_fuzz_%d" case)
+      in
+      match Msc_codegen.Codegen.Toolchain.compile_and_run ~steps ~dir files with
+      | Ok r ->
+          let rel =
+            Float.abs (r.Msc_codegen.Codegen.Toolchain.checksum -. expected)
+            /. Float.max 1.0 (Float.abs expected)
+          in
+          check_bool
+            (Printf.sprintf "case %d (%dD %s r=%d dims=%s tile=%s tw=%d steps=%d)" case
+               ndim
+               (Format.asprintf "%a" Msc_frontend.Shapes.pp_shape shape)
+               radius
+               (String.concat "x" (Array.to_list (Array.map string_of_int dims)))
+               (String.concat "x" (Array.to_list (Array.map string_of_int tile)))
+               tw steps)
+            true (rel < 1e-12)
+      | Error msg -> Alcotest.fail msg
+    done
+  end
+
+let suites =
+  [
+    ( "simplify.rules",
+      [
+        tc "constant folding" folds_constants;
+        tc "identities" identity_rules;
+        tc "annihilation" annihilation_rules;
+        tc "negation" neg_rules;
+        tc "unops and min/max" unop_folding;
+        tc "opaque terms" leaves_opaque_terms;
+        tc "nested collapse" nested_zero_collapse;
+      ] );
+    ("simplify.properties", [ semantics_preserved; simplify_idempotent ]);
+    ("simplify.fuzz", [ slow "codegen differential" codegen_differential_fuzz ]);
+  ]
