@@ -120,11 +120,11 @@ let extension_tests =
   let grid = Msc.Builder.def_tensor_2d ~halo:1 "B" Msc.Dtype.F64 64 64 in
   let coeff = Msc.Builder.coefficient_grid ~grid "C" in
   let vc =
-    Msc.Builder.var_coeff_kernel ~name:"VC" ~grid ~coeff ~shape:Msc.Shapes.Star
-      ~radius:1 ()
+    Msc.Builder.var_coeff_kernel ~name:"VC" ~coeff ~shape:Msc.Shapes.Star
+      ~radius:1 grid
   in
   let vc_st = Msc.Builder.single_step ~name:"vc" vc in
-  let linear = Msc.Builder.star_kernel ~name:"L" ~grid ~radius:1 () in
+  let linear = Msc.Builder.star_kernel ~name:"L" ~radius:1 grid in
   let lin_st = Msc.Builder.single_step ~name:"lin" linear in
   let g = Msc.Grid.create ~shape:[| 64; 64 |] ~halo:[| 1; 1 |] in
   let io_path = Filename.temp_file "msc_bench_grid" ".bin" in
@@ -152,11 +152,33 @@ let extension_tests =
             fun () -> ignore (Msc.Inspector.partition ~costs ~parts:16)));
     ]
 
+(* Tentpole guarantee of the tracing subsystem: a disabled trace must cost
+   nothing measurable. All three variants run the same fig7-style 3d7pt
+   step; [step_trace_disabled] passes the disabled sink explicitly (what
+   every instrumented call site does by default) and must stay within the
+   noise (< 2%) of [step_untraced]. [step_trace_enabled] shows the cost of
+   live recording for scale. *)
+let trace_overhead_tests =
+  let _, st = small_stencil "3d7pt_star" in
+  let live = Msc.Trace.create () in
+  Test.make_grouped ~name:"trace_overhead"
+    [
+      Test.make ~name:"step_untraced" (step_test "3d7pt_star");
+      Test.make ~name:"step_trace_disabled"
+        (Staged.stage (fun () ->
+             let rt = Msc.Runtime.create ~trace:Msc.Trace.disabled st in
+             Msc.Runtime.step rt));
+      Test.make ~name:"step_trace_enabled"
+        (Staged.stage (fun () ->
+             let rt = Msc.Runtime.create ~trace:live st in
+             Msc.Runtime.step rt));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"msc"
     [
       suite_tests; schedule_tests; halo_tests; codegen_tests; sim_tests;
-      tuning_tests; extension_tests;
+      tuning_tests; extension_tests; trace_overhead_tests;
     ]
 
 let run_bechamel () =
@@ -180,11 +202,31 @@ let run_bechamel () =
   Msc.Table.print
     ~header:[ "benchmark"; "time/run" ]
     (List.map (fun (name, ns) -> [ name; Msc.Units_fmt.seconds (ns *. 1e-9) ]) rows);
-  print_newline ()
+  print_newline ();
+  rows
+
+let report_trace_overhead rows =
+  let time suffix =
+    List.find_map
+      (fun (name, ns) ->
+        let sl = String.length suffix and nl = String.length name in
+        if nl >= sl && String.sub name (nl - sl) sl = suffix then Some ns
+        else None)
+      rows
+  in
+  match (time "step_untraced", time "step_trace_disabled", time "step_trace_enabled") with
+  | Some base, Some disabled, Some enabled ->
+      Printf.printf
+        "trace overhead on 3d7pt step: disabled %+.2f%% vs untraced (target < 2%%), \
+         enabled %+.2f%%\n\n"
+        ((disabled -. base) /. base *. 100.0)
+        ((enabled -. base) /. base *. 100.0)
+  | _ -> ()
 
 let () =
   let t0 = Unix.gettimeofday () in
-  run_bechamel ();
+  let rows = run_bechamel () in
+  report_trace_overhead rows;
   print_endline "== Paper artifacts (Tables 1/4/5/6/7/8, Figures 7-14, correctness) ==\n";
   print_string (Msc.Experiments.render_all ());
   print_endline "\n== Ablation studies ==\n";

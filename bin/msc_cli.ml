@@ -5,6 +5,7 @@
    msc run -b 2d9pt_box -n 10 -w 8        - native execution
    msc verify -b 3d13pt_star -n 5         - optimized vs reference
    msc simulate -b 3d7pt_star -p sunway   - processor performance model
+   msc profile 3d7pt -o trace.json        - traced pipeline + chrome trace
    msc experiment fig7                    - regenerate a paper artifact *)
 
 open Cmdliner
@@ -28,6 +29,11 @@ let bench_arg =
     required
     & opt (some bench_conv) None
     & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Benchmark from the Table 4 suite.")
+
+let target_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Msc.Codegen.target_of_string s) in
+  let print ppf t = Format.pp_print_string ppf (Msc.Codegen.target_to_string t) in
+  Arg.conv (parse, print)
 
 let steps_arg default =
   Arg.(value & opt int default & info [ "n"; "steps" ] ~docv:"N" ~doc:"Timesteps.")
@@ -59,7 +65,8 @@ let list_cmd =
 let gen_cmd =
   let target =
     Arg.(
-      value & opt string "sunway"
+      value
+      & opt target_conv Msc.Codegen.Athread
       & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"cpu | openmp/matrix | sunway/athread.")
   in
   let out =
@@ -69,18 +76,8 @@ let gen_cmd =
   in
   let run b target out steps small =
     let st = Msc.Suite.stencil ~dims:(dims_of b small) b in
-    let kernel = Msc.Suite.kernel_of st in
-    let tile =
-      Array.mapi
-        (fun d t -> min t st.Msc.Stencil.grid.Msc.Tensor.shape.(d))
-        (Msc.Schedule.default_tile kernel)
-    in
-    let schedule =
-      match target with
-      | "sunway" | "athread" -> Msc.Schedule.sunway_canonical ~tile kernel
-      | _ -> Msc.Schedule.cpu_canonical ~tile kernel
-    in
-    match Msc.compile_to_source ~steps ~target st schedule with
+    let p = Msc.Pipeline.make ~stencil:st () in
+    match Msc.Pipeline.compile ~steps ~target p with
     | Ok files ->
         let dir = Filename.concat out b.Msc.Suite.name in
         Msc.Codegen.write_files ~dir files;
@@ -107,8 +104,9 @@ let run_cmd =
         (Msc.Schedule.default_tile kernel)
     in
     let schedule = Msc.Schedule.cpu_canonical ~tile ~threads:workers kernel in
+    let p = Msc.Pipeline.make ~stencil:st ~schedule ~workers () in
     let t0 = Sys.time () in
-    let final = Msc.run ~schedule ~workers ~steps st in
+    let final = Msc.Pipeline.run ~steps p in
     Format.printf "%a@.cpu time: %.2fs for %d steps@." Msc.Grid.pp_stats final
       (Sys.time () -. t0) steps;
     0
@@ -127,7 +125,8 @@ let verify_cmd =
         (Msc.Schedule.default_tile kernel)
     in
     let schedule = Msc.Schedule.cpu_canonical ~tile ~threads:4 kernel in
-    let report = Msc.verify ~schedule ~steps st in
+    let p = Msc.Pipeline.make ~stencil:st ~schedule () in
+    let report = Msc.Pipeline.verify ~steps p in
     Format.printf "%a@." Msc.Verify.pp_report report;
     if report.Msc.Verify.ok then 0 else 1
   in
@@ -144,45 +143,86 @@ let verify_cmd =
 let simulate_cmd =
   let platform =
     Arg.(
-      value & opt string "sunway"
+      value
+      & opt (enum [ ("sunway", Msc.Codegen.Athread); ("matrix", Msc.Codegen.Openmp) ])
+          Msc.Codegen.Athread
       & info [ "p"; "platform" ] ~docv:"P" ~doc:"sunway | matrix.")
   in
-  let run b platform =
+  let run b target =
     let st = Msc.Suite.stencil b in
-    match platform with
-    | "sunway" -> (
-        let schedule =
-          Msc.Schedule.sunway_canonical
-            ~tile:(Msc_benchsuite.Settings.sunway_tile b)
-            (Msc.Suite.kernel_of st)
-        in
-        match Msc.simulate_sunway st schedule with
-        | Ok r ->
-            Format.printf "%a@." Msc.Sunway.pp_report r;
-            0
-        | Error msg ->
-            prerr_endline msg;
-            1)
-    | "matrix" -> (
-        let schedule =
-          Msc.Schedule.matrix_canonical
-            ~tile:(Msc_benchsuite.Settings.matrix_tile b)
-            (Msc.Suite.kernel_of st)
-        in
-        match Msc.simulate_matrix st schedule with
-        | Ok r ->
-            Format.printf "%a@." Msc.Matrix.pp_report r;
-            0
-        | Error msg ->
-            prerr_endline msg;
-            1)
-    | p ->
-        Printf.eprintf "unknown platform %S\n" p;
+    let kernel = Msc.Suite.kernel_of st in
+    let schedule =
+      match (target : Msc.Codegen.target) with
+      | Msc.Codegen.Athread ->
+          Msc.Schedule.sunway_canonical ~tile:(Msc_benchsuite.Settings.sunway_tile b)
+            kernel
+      | _ ->
+          Msc.Schedule.matrix_canonical ~tile:(Msc_benchsuite.Settings.matrix_tile b)
+            kernel
+    in
+    let p = Msc.Pipeline.make ~stencil:st ~schedule () in
+    match Msc.Pipeline.simulate ~target p with
+    | Ok (Msc.Pipeline.Sunway_report r) ->
+        Format.printf "%a@." Msc.Sunway.pp_report r;
+        0
+    | Ok (Msc.Pipeline.Matrix_report r) ->
+        Format.printf "%a@." Msc.Matrix.pp_report r;
+        0
+    | Error msg ->
+        prerr_endline msg;
         1
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Predict performance on a many-core processor.")
     Term.(const run $ bench_arg $ platform)
+
+let profile_cmd =
+  let bench_pos =
+    Arg.(
+      required
+      & pos 0 (some bench_conv) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark (any unambiguous prefix works).")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Chrome-trace output file.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
+  in
+  let run b steps workers out =
+    let trace = Msc.Trace.create () in
+    let st = Msc.Suite.stencil ~dims:(dims_of b true) b in
+    let p = Msc.Pipeline.make ~stencil:st ~workers ~trace () in
+    (* Native run: sweep / bc / window phases, per-worker spans. *)
+    ignore (Msc.Pipeline.run ~steps p);
+    (* Distributed run: halo pack / exchange / unpack per rank. *)
+    let ranks_shape =
+      Array.init b.Msc.Suite.ndim (fun d -> if d < 2 then 2 else 1)
+    in
+    let dist = Msc.Pipeline.distribute ~ranks_shape p in
+    Msc.Distributed.run dist steps;
+    (* Processor model: simulated DMA / compute phases. *)
+    (match Msc.Pipeline.simulate ~steps ~target:Msc.Codegen.Athread p with
+    | Ok _ -> ()
+    | Error msg -> Printf.eprintf "(sunway model skipped: %s)\n" msg);
+    let oc = open_out out in
+    output_string oc (Msc.Trace.to_chrome_json trace);
+    close_out oc;
+    Printf.printf "%d events -> %s (load in about:tracing or Perfetto)\n\n"
+      (List.length (Msc.Trace.events trace))
+      out;
+    print_string (Msc.Trace.report trace);
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a benchmark through the native, distributed and simulated \
+          pipeline stages with tracing on; write a chrome trace and print \
+          the per-phase summary.")
+    Term.(const run $ bench_pos $ steps_arg 5 $ workers $ out)
 
 let experiment_cmd =
   let experiment_name =
@@ -236,4 +276,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; gen_cmd; run_cmd; verify_cmd; simulate_cmd; experiment_cmd ]))
+          [
+            list_cmd;
+            gen_cmd;
+            run_cmd;
+            verify_cmd;
+            simulate_cmd;
+            profile_cmd;
+            experiment_cmd;
+          ]))

@@ -11,7 +11,8 @@ let () =
      Sunway CGs. *)
   let make_stencil dims = Suite.stencil ~dims (Suite.find "3d7pt_star") in
   let global = [| 8192; 128; 128 |] in
-  let result = autotune ~seed:7 ~make_stencil ~global ~nranks:128 () in
+  let p = Pipeline.make ~stencil:(make_stencil global) () in
+  let result = Pipeline.autotune ~seed:7 ~make_stencil ~nranks:128 p in
   Format.printf "initial config: %a -> %s/step@." Tuning_params.pp
     result.Autotune.initial
     (Msc.Units_fmt.seconds result.Autotune.initial_time_s);

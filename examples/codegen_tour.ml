@@ -8,7 +8,7 @@ open Msc
 
 let () =
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:2 "B" Dtype.F64 40 40 in
-  let kernel = Builder.star_kernel ~name:"S_2d9pt" ~grid ~radius:2 () in
+  let kernel = Builder.star_kernel ~name:"S_2d9pt" ~radius:2 grid in
   let st = Builder.two_step ~name:"2d9pt_star" kernel in
   let schedule = Schedule.sunway_canonical ~tile:[| 8; 20 |] kernel in
 
@@ -20,16 +20,18 @@ let () =
        ~mpi_shape:[| 4; 4 |] st);
   print_newline ();
 
+  let p = Pipeline.make ~stencil:st ~schedule () in
   List.iter
     (fun target ->
-      match compile_to_source ~steps:6 ~target st schedule with
+      let name = Codegen.target_to_string target in
+      match Pipeline.compile ~steps:6 ~target p with
       | Ok files ->
-          let dir = "_msc_generated/tour_" ^ target in
+          let dir = "_msc_generated/tour_" ^ name in
           Codegen.write_files ~dir files;
-          Printf.printf "=== %s target: %d file(s), %d LoC -> %s ===\n" target
+          Printf.printf "=== %s target: %d file(s), %d LoC -> %s ===\n" name
             (List.length files) (Codegen.total_loc files) dir
-      | Error msg -> Printf.printf "%s: %s\n" target msg)
-    [ "cpu"; "openmp"; "sunway" ];
+      | Error msg -> Printf.printf "%s: %s\n" name msg)
+    [ Codegen.Cpu; Codegen.Openmp; Codegen.Athread ];
 
   (* Round trip: compile the CPU code with the host toolchain and compare
      checksums with the interpreter. *)
@@ -38,7 +40,7 @@ let () =
     Runtime.run rt 6;
     let expected = Grid.checksum (Runtime.current rt) in
     match
-      compile_to_source ~steps:6 ~target:"cpu" st schedule
+      Pipeline.compile ~steps:6 ~target:Codegen.Cpu p
       |> Result.get_ok
       |> Codegen.Toolchain.compile_and_run ~steps:6 ~dir:"_msc_generated/tour_roundtrip"
     with

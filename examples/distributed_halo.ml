@@ -10,10 +10,12 @@ let () =
   (* The paper's Figure 6 setting, scaled up a little: a 2d9pt box stencil on
      a 2x2 MPI grid (box corners force diagonal exchanges). *)
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 64 64 in
-  let kernel = Builder.box_kernel ~name:"S_2d9pt" ~grid ~radius:1 () in
+  let kernel = Builder.box_kernel ~name:"S_2d9pt" ~radius:1 grid in
   let st = Builder.two_step ~name:"2d9pt_box" kernel in
 
-  let dist = distribute ~ranks_shape:[| 2; 2 |] st in
+  let dist =
+    Pipeline.distribute ~ranks_shape:[| 2; 2 |] (Pipeline.make ~stencil:st ())
+  in
   Printf.printf "decomposed 64x64 over %d ranks:\n" (Distributed.nranks dist);
   let d = Distributed.decomp dist in
   for rank = 0 to Distributed.nranks dist - 1 do
@@ -39,7 +41,7 @@ let () =
 
   (* An uneven 3-D decomposition with a star stencil (faces only). *)
   let grid3 = Builder.def_tensor_3d ~time_window:2 ~halo:2 "B" Dtype.F64 23 17 29 in
-  let k3 = Builder.star_kernel ~name:"S_3d13pt" ~grid:grid3 ~radius:2 () in
+  let k3 = Builder.star_kernel ~name:"S_3d13pt" ~radius:2 grid3 in
   let st3 = Builder.two_step ~name:"3d13pt_star" k3 in
   let err3 = Distributed.validate ~steps:5 ~ranks_shape:[| 3; 2; 2 |] st3 in
   Printf.printf "3d13pt_star on a 3x2x2 grid (uneven blocks): err %g -> %s\n" err3
@@ -49,7 +51,7 @@ let () =
   print_newline ();
   let make_stencil dims =
     let g = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 dims.(0) dims.(1) in
-    Builder.two_step ~name:"2d9pt_box" (Builder.box_kernel ~name:"S" ~grid:g ~radius:1 ())
+    Builder.two_step ~name:"2d9pt_box" (Builder.box_kernel ~name:"S" ~radius:1 g)
   in
   let points =
     Scaling.run ~platform:Scaling.Sunway ~make_stencil

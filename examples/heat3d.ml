@@ -12,7 +12,7 @@ let n = 48
 let () =
   let grid = Builder.def_tensor_3d ~time_window:1 ~halo:1 "T" Dtype.F64 n n n in
   (* Jacobi weights: alpha on the centre, the rest spread over 6 faces. *)
-  let kernel = Builder.star_kernel ~center_weight:0.4 ~name:"Heat" ~grid ~radius:1 () in
+  let kernel = Builder.star_kernel ~center_weight:0.4 ~name:"Heat" ~radius:1 grid in
   let heat = Builder.single_step ~name:"heat3d" kernel in
 
   (* A hot plate on one face. *)
@@ -45,11 +45,16 @@ let () =
 
   (* Predicted performance of the same stencil at evaluation scale. *)
   let big_grid = Builder.def_tensor_3d ~time_window:1 ~halo:1 "T" Dtype.F64 256 256 256 in
-  let big_kernel = Builder.star_kernel ~center_weight:0.4 ~name:"Heat" ~grid:big_grid ~radius:1 () in
+  let big_kernel = Builder.star_kernel ~center_weight:0.4 ~name:"Heat" ~radius:1 big_grid in
   let big = Builder.single_step ~name:"heat3d" big_kernel in
-  (match simulate_sunway big (Schedule.sunway_canonical ~tile:[| 2; 8; 64 |] big_kernel) with
-  | Ok r -> Format.printf "Sunway CG : %a@." Sunway.pp_report r
+  let simulate target schedule =
+    Pipeline.simulate ~target (Pipeline.make ~stencil:big ~schedule ())
+  in
+  (match simulate Codegen.Athread (Schedule.sunway_canonical ~tile:[| 2; 8; 64 |] big_kernel) with
+  | Ok (Pipeline.Sunway_report r) -> Format.printf "Sunway CG : %a@." Sunway.pp_report r
+  | Ok _ -> ()
   | Error msg -> Format.printf "Sunway: %s@." msg);
-  match simulate_matrix big (Schedule.matrix_canonical ~tile:[| 2; 8; 256 |] big_kernel) with
-  | Ok r -> Format.printf "Matrix SN : %a@." Matrix.pp_report r
+  match simulate Codegen.Openmp (Schedule.matrix_canonical ~tile:[| 2; 8; 256 |] big_kernel) with
+  | Ok (Pipeline.Matrix_report r) -> Format.printf "Matrix SN : %a@." Matrix.pp_report r
+  | Ok _ -> ()
   | Error msg -> Format.printf "Matrix: %s@." msg

@@ -11,7 +11,7 @@ let () =
   let grid = Builder.def_tensor_3d_timewin "B" ~time_window:2 ~halo:1 Dtype.F64 64 64 64 in
 
   (* Kernel S_3d7pt((k,j,i), c0*B[k,j,i] + c1*B[k,j,i-1] + ...) *)
-  let kernel = Builder.star_kernel ~name:"S_3d7pt" ~grid ~radius:1 () in
+  let kernel = Builder.star_kernel ~name:"S_3d7pt" ~radius:1 grid in
 
   (* Stencil st((k,j,i), Res[t] << S_3d7pt[t-1] + S_3d7pt[t-2]) *)
   let st = Builder.two_step ~name:"3d7pt" kernel in
@@ -22,16 +22,19 @@ let () =
   let schedule = Schedule.sunway_canonical ~tile:[| 2; 8; 32 |] kernel in
   Format.printf "schedule:@.%a@.@." Schedule.pp schedule;
 
+  (* One pipeline configuration drives every stage. *)
+  let p = Pipeline.make ~stencil:st ~schedule ~workers:4 () in
+
   (* Correctness: optimized runtime vs naive reference (§5.1). *)
-  let report = verify ~schedule ~steps:5 st in
+  let report = Pipeline.verify ~steps:5 p in
   Format.printf "%a@.@." Verify.pp_report report;
 
   (* Native execution with 4 worker domains. *)
-  let final = run ~schedule ~workers:4 ~steps:10 st in
+  let final = Pipeline.run ~steps:10 p in
   Format.printf "after 10 steps: %a@.@." Grid.pp_stats final;
 
   (* st.compile_to_source_code("3d7pt") — AOT C for the Sunway target. *)
-  (match compile_to_source ~target:"sunway" st schedule with
+  (match Pipeline.compile ~target:Codegen.Athread p with
   | Ok files ->
       Codegen.write_files ~dir:"_msc_generated/quickstart" files;
       Format.printf "generated:@.";
@@ -42,6 +45,8 @@ let () =
   | Error msg -> Format.printf "codegen failed: %s@." msg);
 
   (* And a performance prediction on one Sunway core group. *)
-  match simulate_sunway st schedule with
-  | Ok r -> Format.printf "@.simulated on a Sunway CG: %a@." Sunway.pp_report r
+  match Pipeline.simulate ~target:Codegen.Athread p with
+  | Ok (Pipeline.Sunway_report r) ->
+      Format.printf "@.simulated on a Sunway CG: %a@." Sunway.pp_report r
+  | Ok (Pipeline.Matrix_report _) -> assert false
   | Error msg -> Format.printf "simulation failed: %s@." msg

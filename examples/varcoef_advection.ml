@@ -17,8 +17,8 @@ let () =
   let grid = Builder.def_tensor_2d ~time_window:1 ~halo:1 "B" Dtype.F64 n n in
   let coeff = Builder.coefficient_grid ~grid "C" in
   let kernel =
-    Builder.var_coeff_kernel ~name:"VC_diffuse" ~grid ~coeff ~shape:Shapes.Star
-      ~radius:1 ()
+    Builder.var_coeff_kernel ~name:"VC_diffuse" ~coeff ~shape:Shapes.Star
+      ~radius:1 grid
   in
   let st = Builder.single_step ~name:"hetero_heat" kernel in
   Format.printf "%a@." Kernel.pp kernel;
@@ -74,7 +74,12 @@ let () =
 
   (* The same stencil compiles to C with the coefficient grid as an extra
      parameter, and to athread with a dedicated SPM staging buffer. *)
-  match compile_to_source ~target:"sunway" st (Schedule.sunway_canonical ~tile:[| 8; 16 |] kernel) with
+  let sunway =
+    Pipeline.make ~stencil:st
+      ~schedule:(Schedule.sunway_canonical ~tile:[| 8; 16 |] kernel)
+      ()
+  in
+  match Pipeline.compile ~target:Codegen.Athread sunway with
   | Ok files ->
       Codegen.write_files ~dir:"_msc_generated/varcoef" files;
       Printf.printf "\ngenerated Sunway code (aux grid staged in SPM): %d files, %d LoC\n"

@@ -6,7 +6,9 @@ type 'a result = {
 }
 
 let minimize ~rng ~init ~neighbor ~energy ?(iterations = 20_000)
-    ?(initial_temperature = 1.0) ?(cooling = 0.999) ?(trace_every = 200) () =
+    ?(initial_temperature = 1.0) ?(cooling = 0.999) ?(trace_every = 200)
+    ?trace:(mtrace = Msc_trace.disabled) () =
+  let ts_sa = Msc_trace.begin_span mtrace in
   let e0 = energy init in
   let current = ref init and current_e = ref e0 in
   let best = ref init and best_e = ref e0 in
@@ -23,8 +25,10 @@ let minimize ~rng ~init ~neighbor ~energy ?(iterations = 20_000)
     in
     if accept then begin
       current := candidate;
-      current_e := e
-    end;
+      current_e := e;
+      Msc_trace.add mtrace "anneal.accepted" 1.0
+    end
+    else Msc_trace.add mtrace "anneal.rejected" 1.0;
     if e < !best_e then begin
       best := candidate;
       best_e := e
@@ -32,4 +36,5 @@ let minimize ~rng ~init ~neighbor ~energy ?(iterations = 20_000)
     temp := !temp *. cooling;
     if iter mod trace_every = 0 then trace := (iter, !best_e) :: !trace
   done;
+  Msc_trace.end_span mtrace "anneal.minimize" ts_sa;
   { best = !best; best_energy = !best_e; iterations; trace = List.rev !trace }

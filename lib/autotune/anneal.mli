@@ -17,10 +17,15 @@ val minimize :
   ?initial_temperature:float ->
   ?cooling:float ->
   ?trace_every:int ->
+  ?trace:Msc_trace.t ->
   unit ->
   'a result
 (** Classic Metropolis acceptance with geometric cooling. [energy] must be
     cheap (the auto-tuner passes the regression model, not the simulator).
     Defaults: 20_000 iterations, T0 = 1.0 (relative to the initial energy),
     cooling 0.999, trace every 200 iterations. The result is never worse than
-    [init]. *)
+    [init].
+
+    [trace] (an {!Msc_trace} sink, unrelated to the [trace] result field)
+    counts Metropolis decisions as [anneal.accepted] / [anneal.rejected] and
+    wraps the search in an ["anneal.minimize"] span. *)

@@ -73,11 +73,22 @@ let exhaustive ?(max_configs = 20_000) ~make_stencil ~global ~nranks () =
     !best
   end
 
-let tune ?(seed = 42) ?(iterations = 20_000) ~make_stencil ~global ~nranks () =
+let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
+    ~make_stencil ~global ~nranks () =
   let rng = Msc_util.Prng.create seed in
-  let cost c = true_cost ~make_stencil ~global c in
+  (* Every true-cost evaluation is one tuner trial: a node simulation plus
+     the network model, the measured quantity of Figure 11. *)
+  let cost c =
+    let ts0 = Msc_trace.begin_span trace in
+    let t = true_cost ~make_stencil ~global c in
+    Msc_trace.end_span trace "tune.trial" ts0;
+    Msc_trace.add trace "tune.trials" 1.0;
+    t
+  in
   let model =
-    Perfmodel.train ~rng:(Msc_util.Prng.split rng) ~global ~nranks ~true_cost:cost ()
+    Msc_trace.span trace "tune.model_train" (fun () ->
+        Perfmodel.train ~rng:(Msc_util.Prng.split rng) ~global ~nranks
+          ~true_cost:cost ())
   in
   (* The starting point is the untuned default a user would first run:
      row-pencil tiles (no blocking) and the most skewed process grid — valid
@@ -95,7 +106,7 @@ let tune ?(seed = 42) ?(iterations = 20_000) ~make_stencil ~global ~nranks () =
   let sa =
     Anneal.minimize ~rng ~init:initial
       ~neighbor:(fun rng c -> Params.neighbor rng ~dims:global ~nranks c)
-      ~energy:(Perfmodel.predict model) ~iterations ()
+      ~energy:(Perfmodel.predict model) ~iterations ~trace ()
   in
   let initial_time_s = cost initial in
   let best_time_s = cost sa.Anneal.best in
@@ -113,7 +124,7 @@ let tune ?(seed = 42) ?(iterations = 20_000) ~make_stencil ~global ~nranks () =
       ~rng:(Msc_util.Prng.split rng)
       ~init:!best
       ~neighbor:(fun rng c -> Params.neighbor rng ~dims:global ~nranks c)
-      ~energy:cost ~iterations:1500 ~initial_temperature:0.3 ()
+      ~energy:cost ~iterations:1500 ~initial_temperature:0.3 ~trace ()
   in
   if refine.Anneal.best_energy < !best_cost then begin
     best := refine.Anneal.best;

@@ -36,6 +36,7 @@ val exhaustive :
 val tune :
   ?seed:int ->
   ?iterations:int ->
+  ?trace:Msc_trace.t ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->
   global:int array ->
   nranks:int ->
@@ -43,4 +44,8 @@ val tune :
   result
 (** Train the regression model on sampled configurations, anneal over it,
     report true times for the initial and best configurations. Deterministic
-    per seed. *)
+    per seed.
+
+    [trace] records every true-cost evaluation as a ["tune.trial"] span
+    (with a [tune.trials] counter), the model fit as ["tune.model_train"],
+    and the annealer's Metropolis decisions via {!Anneal.minimize}. *)

@@ -126,9 +126,9 @@ let cache_trace () =
     }
   in
   let g1 = Msc_frontend.Builder.def_tensor_2d ~halo:1 "B" Msc_ir.Dtype.F64 256 256 in
-  let k1 = Msc_frontend.Builder.box_kernel ~name:"K" ~grid:g1 ~radius:1 () in
+  let k1 = Msc_frontend.Builder.box_kernel ~name:"K" ~radius:1 g1 in
   let g2 = Msc_frontend.Builder.def_tensor_2d ~halo:2 "B" Msc_ir.Dtype.F64 256 256 in
-  let k2 = Msc_frontend.Builder.star_kernel ~name:"K" ~grid:g2 ~radius:2 () in
+  let k2 = Msc_frontend.Builder.star_kernel ~name:"K" ~radius:2 g2 in
   [
     study "2d9pt_box 256^2, 2 KiB LRU" ~grid:g1 ~kernel:k1 ~tile:[| 16; 16 |];
     study "2d9pt_star 256^2, 2 KiB LRU" ~grid:g2 ~kernel:k2 ~tile:[| 16; 16 |];

@@ -39,7 +39,16 @@ let all =
 let find name =
   match List.find_opt (fun b -> String.equal b.name name) all with
   | Some b -> b
-  | None -> raise Not_found
+  | None -> (
+      (* Accept any unambiguous prefix, so "3d7pt" means "3d7pt_star" while
+         "2d9pt" (star or box?) stays an error. *)
+      let is_prefix b =
+        String.length name <= String.length b.name
+        && String.equal name (String.sub b.name 0 (String.length name))
+      in
+      match List.filter is_prefix all with
+      | [ b ] -> b
+      | _ -> raise Not_found)
 
 let default_dims b =
   match b.ndim with
@@ -56,7 +65,7 @@ let stencil ?(dtype = Dtype.F64) ?dims b =
       "B" dtype dims
   in
   let kernel =
-    Builder.shaped_kernel ~name:("S_" ^ b.name) ~grid ~shape:b.shape ~radius:b.radius ()
+    Builder.shaped_kernel ~name:("S_" ^ b.name) ~shape:b.shape ~radius:b.radius grid
   in
   if b.time_dep = 2 then Builder.two_step ~name:b.name kernel
   else Builder.single_step ~name:b.name kernel

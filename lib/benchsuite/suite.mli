@@ -18,7 +18,9 @@ val all : bench list
     3d7pt_star, 3d13pt_star, 3d25pt_star, 3d31pt_star. *)
 
 val find : string -> bench
-(** @raise Not_found for unknown names. *)
+(** Exact name, or any unambiguous prefix (["3d7pt"] finds ["3d7pt_star"];
+    ["2d9pt"] is ambiguous).
+    @raise Not_found for unknown or ambiguous names. *)
 
 val default_dims : bench -> int array
 (** Evaluation grids of §5.2: 4096^2 for 2-D, 256^3 for 3-D. *)

@@ -12,6 +12,7 @@ type t = {
   width : int array;  (** exchange width = stencil radius *)
   faces_only : bool;
   bc : Bc.t;
+  trace : Msc_trace.t;
   mutable steps_done : int;
 }
 
@@ -58,10 +59,13 @@ let physical_masks t ~rank =
   let high = Array.mapi (fun d c -> c = shape.(d) - 1) coords in
   (low, high)
 
+(* One full exchange = the communication window of a timestep: the span
+   covers pack, transfer and unpack for every rank and direction. *)
 let exchange_state t ~dt =
+  let ts_win = Msc_trace.begin_span t.trace in
   let periodic = Bc.equal t.bc Bc.Periodic in
   let grids = Array.map (fun rt -> Runtime.state rt ~dt) t.runtimes in
-  Halo.exchange ~periodic t.mpi t.decomp ~grids ~width:t.width
+  Halo.exchange ~periodic ~trace:t.trace t.mpi t.decomp ~grids ~width:t.width
     ~faces_only:t.faces_only;
   (* Refresh the physical faces after the exchange, so reflect corners can
      read freshly exchanged edge data. *)
@@ -70,11 +74,12 @@ let exchange_state t ~dt =
       (fun rank g ->
         let low, high = physical_masks t ~rank in
         Bc.apply ~low ~high t.bc g)
-      grids
+      grids;
+  Msc_trace.end_span t.trace "halo.window" ts_win
 
 let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
-    ?(aux_init = Runtime.default_aux_init) ?(bc = Bc.Dirichlet 0.0) ~ranks_shape
-    (st : Stencil.t) =
+    ?(aux_init = Runtime.default_aux_init) ?(bc = Bc.Dirichlet 0.0)
+    ?(trace = Msc_trace.disabled) ~ranks_shape (st : Stencil.t) =
   Stencil.validate_halo st;
   let grid = st.Stencil.grid in
   let decomp = Decomp.create ~global:grid.Tensor.shape ~ranks_shape in
@@ -98,7 +103,8 @@ let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
         (* The local runtime's own BC pass runs on every face; the exchange
            plus the physical-face pass above overwrite the interior faces
            with the right data afterwards. *)
-        Runtime.create ?schedule ~init:local_init ~aux_init:local_aux_init ~bc local)
+        Runtime.create ?schedule ~init:local_init ~aux_init:local_aux_init ~bc
+          ~trace ~tid:rank local)
   in
   let t =
     {
@@ -110,6 +116,7 @@ let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
       width = Stencil.radius st;
       faces_only = not (needs_corners st);
       bc;
+      trace;
       steps_done = 0;
     }
   in

@@ -12,6 +12,7 @@ val create :
   ?init:(int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
   ?bc:Msc_exec.Bc.t ->
+  ?trace:Msc_trace.t ->
   ranks_shape:int array ->
   Msc_ir.Stencil.t -> t
 (** Decomposes the stencil's grid over [ranks_shape] processes. [init] maps a
@@ -20,6 +21,10 @@ val create :
     static coefficient grids as a global closed form (each rank fills its
     slab halo-included, no exchange needed). Initial halo exchanges run for
     every retained state.
+
+    [trace] instruments every rank's local runtime (spans tagged with the
+    rank as [tid]), each halo pack/exchange/unpack (via {!Halo.exchange}),
+    and a ["halo.window"] span over each complete exchange.
     @raise Invalid_argument if the halo is thinner than the stencil radius or
     the decomposition is invalid. *)
 

@@ -59,7 +59,8 @@ let unpack g ~dir ~width payload =
       Grid.set g coord (Int64.float_of_bits (Bytes.get_int64_le payload !pos));
       pos := !pos + 8)
 
-let exchange ?periodic mpi (decomp : Decomp.t) ~grids ~width ~faces_only =
+let exchange ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
+    ~grids ~width ~faces_only =
   let nranks = Decomp.(decomp.nranks) in
   assert (Array.length grids = nranks);
   let nd = Array.length decomp.Decomp.global in
@@ -72,9 +73,15 @@ let exchange ?periodic mpi (decomp : Decomp.t) ~grids ~width ~faces_only =
         match Decomp.neighbor ?periodic decomp ~rank ~dir with
         | None -> ()
         | Some nb ->
+            let ts_pack = Msc_trace.begin_span trace in
             let payload = pack grids.(rank) ~dir ~width in
+            Msc_trace.end_span ~tid:rank trace "halo.pack" ts_pack;
+            Msc_trace.add ~tid:rank trace "halo.bytes"
+              (float_of_int (Bytes.length payload));
+            let ts_send = Msc_trace.begin_span trace in
             Mpi_sim.isend mpi ~src:rank ~dst:nb ~tag:(Decomp.dir_index ~ndim:nd dir)
-              payload
+              payload;
+            Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_send
       done)
     dirs;
   (* Phase 2: every rank completes its receives (MPI_Irecv + MPI_Wait). *)
@@ -85,11 +92,15 @@ let exchange ?periodic mpi (decomp : Decomp.t) ~grids ~width ~faces_only =
         match Decomp.neighbor ?periodic decomp ~rank ~dir with
         | None -> ()
         | Some nb ->
+            let ts_recv = Msc_trace.begin_span trace in
             let req =
               Mpi_sim.irecv mpi ~dst:rank ~src:nb
                 ~tag:(Decomp.dir_index ~ndim:nd opposite)
             in
             let payload = Mpi_sim.wait mpi req in
-            unpack grids.(rank) ~dir ~width payload
+            Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_recv;
+            let ts_unpack = Msc_trace.begin_span trace in
+            unpack grids.(rank) ~dir ~width payload;
+            Msc_trace.end_span ~tid:rank trace "halo.unpack" ts_unpack
       done)
     dirs

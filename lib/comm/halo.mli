@@ -23,6 +23,7 @@ val payload_elems : Msc_exec.Grid.t -> dir:int array -> width:int array -> int
 
 val exchange :
   ?periodic:bool ->
+  ?trace:Msc_trace.t ->
   Mpi_sim.t ->
   Decomp.t ->
   grids:Msc_exec.Grid.t array ->
@@ -33,5 +34,10 @@ val exchange :
     every rank posts all its sends, then all receives complete (the
     MPI_Isend / MPI_Irecv pattern of Figure 6c). Physical-boundary slabs are
     left untouched unless [periodic], in which case they wrap around the
-    process grid (self-sends included). *)
+    process grid (self-sends included).
+
+    [trace] records, per message and tagged with the owning rank as [tid]:
+    ["halo.pack"] / ["halo.unpack"] spans around serialisation, a
+    ["halo.exchange"] span around each send post and receive completion,
+    and a ["halo.bytes"] counter of payload volume. *)
 

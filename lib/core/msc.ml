@@ -36,21 +36,96 @@ module Units_fmt = Msc_util.Units_fmt
 module Stats = Msc_util.Stats
 module Table = Msc_util.Table
 module Chart = Msc_util.Chart
+module Trace = Msc_trace
 
-let run ?schedule ?bc ?(workers = 1) ~steps st =
-  let pool = Domain_pool.create workers in
-  let rt = Runtime.create ?schedule ?bc ~pool st in
-  Runtime.run rt steps;
-  Runtime.current rt
+module Pipeline = struct
+  type t = {
+    stencil : Stencil.t;
+    schedule : Schedule.t option;
+    bc : Bc.t option;
+    workers : int;
+    trace : Trace.t;
+  }
 
-let verify ?schedule ?bc ~steps st = Verify.check ?schedule ?bc ~steps st
+  let make ~stencil ?schedule ?bc ?(workers = 1) ?(trace = Trace.disabled) () =
+    if workers < 1 then invalid_arg "Pipeline.make: workers must be >= 1";
+    { stencil; schedule; bc; workers; trace }
+
+  let stencil p = p.stencil
+  let trace p = p.trace
+
+  (* When no schedule was given, fall back to the target's canonical one with
+     the default tile clamped to the grid (exactly what a user would write
+     first; the CLI used to duplicate this). *)
+  let schedule_for ~target p =
+    match p.schedule with
+    | Some s -> s
+    | None ->
+        let kernel = List.hd (Stencil.kernels p.stencil) in
+        let tile =
+          Array.mapi
+            (fun d t -> min t p.stencil.Stencil.grid.Tensor.shape.(d))
+            (Schedule.default_tile kernel)
+        in
+        (match (target : Codegen.target) with
+        | Codegen.Athread -> Schedule.sunway_canonical ~tile kernel
+        | Codegen.Openmp -> Schedule.matrix_canonical ~tile kernel
+        | Codegen.Cpu -> Schedule.cpu_canonical ~tile kernel)
+
+  let run ~steps p =
+    let pool = Domain_pool.create p.workers in
+    let rt =
+      Runtime.create ?schedule:p.schedule ?bc:p.bc ~pool ~trace:p.trace
+        p.stencil
+    in
+    Runtime.run rt steps;
+    Runtime.current rt
+
+  let verify ~steps p =
+    Verify.check ?schedule:p.schedule ?bc:p.bc ~trace:p.trace ~steps p.stencil
+
+  let compile ?steps ~target p =
+    let schedule = schedule_for ~target p in
+    try Ok (Codegen.generate ?steps ?bc:p.bc p.stencil schedule target)
+    with Invalid_argument msg -> Error msg
+
+  type sim_report =
+    | Sunway_report of Sunway.report
+    | Matrix_report of Matrix.report
+
+  let simulate ?steps ~target p =
+    match (target : Codegen.target) with
+    | Codegen.Athread ->
+        Result.map
+          (fun r -> Sunway_report r)
+          (Sunway.simulate ?steps ~trace:p.trace p.stencil
+             (schedule_for ~target p))
+    | Codegen.Openmp ->
+        Result.map
+          (fun r -> Matrix_report r)
+          (Matrix.simulate ?steps ~trace:p.trace p.stencil
+             (schedule_for ~target p))
+    | Codegen.Cpu ->
+        Error "simulate: the cpu target has no processor model (use run)"
+
+  let distribute ~ranks_shape p =
+    Distributed.create ?schedule:p.schedule ?bc:p.bc ~trace:p.trace
+      ~ranks_shape p.stencil
+
+  let autotune ?seed ?iterations ~make_stencil ~nranks p =
+    Autotune.tune ?seed ?iterations ~trace:p.trace ~make_stencil
+      ~global:p.stencil.Stencil.grid.Tensor.shape ~nranks ()
+end
+
+let run ?schedule ?bc ?workers ~steps st =
+  Pipeline.run ~steps (Pipeline.make ~stencil:st ?schedule ?bc ?workers ())
+
+let verify ?schedule ?bc ~steps st =
+  Pipeline.verify ~steps (Pipeline.make ~stencil:st ?schedule ?bc ())
 
 let compile_to_source ?steps ?bc ~target st schedule =
-  match Codegen.target_of_string target with
-  | Error _ as e -> e
-  | Ok t -> (
-      try Ok (Codegen.generate ?steps ?bc st schedule t)
-      with Invalid_argument msg -> Error msg)
+  try Ok (Codegen.generate ?steps ?bc st schedule target)
+  with Invalid_argument msg -> Error msg
 
 let simulate_sunway ?steps st schedule = Sunway.simulate ?steps st schedule
 let simulate_matrix ?steps st schedule = Matrix.simulate ?steps st schedule

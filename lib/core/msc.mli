@@ -2,19 +2,30 @@
     large-scale many-core execution (OCaml reproduction of Li et al.,
     ICPP '21).
 
-    The typical pipeline is: define a grid and kernel with {!Builder},
-    schedule it with {!Schedule} primitives, then
+    The front door is {!Pipeline}: define a grid and kernel with {!Builder},
+    wrap them once with {!Pipeline.make} (optionally with a {!Schedule}, a
+    boundary condition, worker domains, and a {!Trace} sink), then drive the
+    same configuration through every stage —
 
-    - {!run} it natively (sliding time window, tiled, domain-parallel),
-    - {!compile_to_source} to emit AOT C for CPU / OpenMP / Sunway athread,
-    - {!simulate_sunway} / {!simulate_matrix} to predict many-core
-      performance,
-    - {!distribute} it over a simulated MPI grid with automatic halo
-      exchange, or
-    - {!autotune} the tile sizes and process grid.
+    {[
+      let p = Msc.Pipeline.make ~stencil ~trace () in
+      let final = Msc.Pipeline.run ~steps:10 p in
+      let report = Msc.Pipeline.verify ~steps:5 p in
+      let files = Msc.Pipeline.compile ~target:Msc.Codegen.Athread p in
+      let sim = Msc.Pipeline.simulate ~target:Msc.Codegen.Athread p in
+      let cluster = Msc.Pipeline.distribute ~ranks_shape:[| 2; 2; 1 |] p in
+    ]}
+
+    Every stage honours the pipeline's single [trace] sink ({!Trace}, a
+    near-zero-cost span/counter recorder): native runs record per-tile
+    sweeps, BC application and window rotation; the distributed runtime
+    records halo pack/exchange/unpack per rank; the processor simulators
+    record modelled DMA/compute phases; the auto-tuner records trials and
+    annealer decisions. Export with {!Trace.to_chrome_json} (load in
+    [about:tracing] / Perfetto) or print {!Trace.report}.
 
     Submodules re-export every subsystem; see also the runnable programs
-    under [examples/]. *)
+    under [examples/] and the [msc profile] CLI subcommand. *)
 
 (** {1 Re-exported subsystems} *)
 
@@ -57,32 +68,112 @@ module Stats = Msc_util.Stats
 module Table = Msc_util.Table
 module Chart = Msc_util.Chart
 
-(** {1 Pipeline conveniences} *)
+module Trace = Msc_trace
+(** Pipeline-wide tracing: spans, counters, chrome-trace export and a
+    per-phase aggregate report. {!Trace.disabled} (the default everywhere)
+    costs one branch per instrumentation point and allocates nothing. *)
+
+(** {1 Pipeline}
+
+    One configuration record shared by every stage of the toolchain. *)
+
+module Pipeline : sig
+  type t
+  (** A stencil plus the knobs every stage shares: optional schedule,
+      boundary condition, worker-domain count and trace sink. Immutable;
+      cheap to build. *)
+
+  val make :
+    stencil:Stencil.t ->
+    ?schedule:Schedule.t ->
+    ?bc:Bc.t ->
+    ?workers:int ->
+    ?trace:Trace.t ->
+    unit ->
+    t
+  (** [workers] (default 1) sizes the domain pool used by {!run}. [trace]
+      (default {!Trace.disabled}) is threaded through every stage. When
+      [schedule] is omitted, stages that need one derive the target's
+      canonical schedule with the default tile clamped to the grid.
+      @raise Invalid_argument if [workers < 1]. *)
+
+  val stencil : t -> Stencil.t
+  val trace : t -> Trace.t
+
+  val run : steps:int -> t -> Grid.t
+  (** Execute natively (sliding time window, tiled, domain-parallel) and
+      return the final state. *)
+
+  val verify : steps:int -> t -> Verify.report
+  (** §5.1 correctness check of the optimized runtime against the naive
+      reference. *)
+
+  val compile :
+    ?steps:int -> target:Codegen.target -> t -> (Codegen.file list, string) result
+  (** AOT C code generation for [target]; [Error] on an illegal schedule
+      (e.g. SPM overflow for {!Codegen.Athread}). *)
+
+  type sim_report =
+    | Sunway_report of Sunway.report
+    | Matrix_report of Matrix.report
+
+  val simulate :
+    ?steps:int -> target:Codegen.target -> t -> (sim_report, string) result
+  (** Processor performance model: {!Codegen.Athread} runs the Sunway
+      SW26010 CPE-cluster model, {!Codegen.Openmp} the Matrix MT2000+ model;
+      {!Codegen.Cpu} has no model and returns [Error]. *)
+
+  val distribute : ranks_shape:int array -> t -> Distributed.t
+  (** Decompose over a simulated MPI process grid with automatic halo
+      exchange; each rank's runtime inherits the pipeline's trace sink with
+      its rank as [tid]. *)
+
+  val autotune :
+    ?seed:int ->
+    ?iterations:int ->
+    make_stencil:(int array -> Stencil.t) ->
+    nranks:int ->
+    t ->
+    Autotune.result
+  (** Tune tile sizes and MPI grid shape for this pipeline's global grid
+      ([make_stencil] rebuilds the stencil at each candidate subgrid). *)
+end
+
+(** {1 Legacy entry points}
+
+    Thin wrappers kept for source compatibility; new code should build a
+    {!Pipeline.t} once and reuse it. *)
 
 val run :
   ?schedule:Schedule.t -> ?bc:Bc.t -> ?workers:int -> steps:int -> Stencil.t ->
   Grid.t
-(** Execute natively and return the final state. *)
+[@@deprecated "use Msc.Pipeline.make + Pipeline.run"]
 
 val verify :
   ?schedule:Schedule.t -> ?bc:Bc.t -> steps:int -> Stencil.t -> Verify.report
-(** §5.1 correctness check against the naive reference. *)
+[@@deprecated "use Msc.Pipeline.make + Pipeline.verify"]
 
 val compile_to_source :
-  ?steps:int -> ?bc:Bc.t -> target:string -> Stencil.t -> Schedule.t ->
+  ?steps:int -> ?bc:Bc.t -> target:Codegen.target -> Stencil.t -> Schedule.t ->
   (Codegen.file list, string) result
-(** [target] is ["cpu"], ["openmp"]/["matrix"], or ["sunway"]/["athread"]. *)
+[@@deprecated "use Msc.Pipeline.make ~schedule + Pipeline.compile"]
+(** [target] is a {!Codegen.target}; parse command-line strings with
+    {!Codegen.target_of_string}. *)
 
 val simulate_sunway :
   ?steps:int -> Stencil.t -> Schedule.t -> (Sunway.report, string) result
+[@@deprecated "use Msc.Pipeline.make ~schedule + Pipeline.simulate ~target:Codegen.Athread"]
 
 val simulate_matrix :
   ?steps:int -> Stencil.t -> Schedule.t -> (Matrix.report, string) result
+[@@deprecated "use Msc.Pipeline.make ~schedule + Pipeline.simulate ~target:Codegen.Openmp"]
 
 val distribute :
   ?schedule:Schedule.t -> ?bc:Bc.t -> ranks_shape:int array -> Stencil.t ->
   Distributed.t
+[@@deprecated "use Msc.Pipeline.make + Pipeline.distribute"]
 
 val autotune :
   ?seed:int -> make_stencil:(int array -> Stencil.t) -> global:int array ->
   nranks:int -> unit -> Autotune.result
+[@@deprecated "use Msc.Pipeline.make + Pipeline.autotune"]

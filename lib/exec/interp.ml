@@ -98,7 +98,11 @@ let flat_delta strides offsets =
   Array.iteri (fun d off -> delta := !delta + (off * strides.(d))) offsets;
   !delta
 
-let compile kernel ~geometry:(g : Grid.t) =
+let mode_name t =
+  match t.mode with Taps _ -> "taps" | Bilinear _ -> "bilinear" | Tree _ -> "tree"
+
+let compile ?(trace = Msc_trace.disabled) kernel ~geometry:(g : Grid.t) =
+  let ts0 = Msc_trace.begin_span trace in
   if Kernel.ndim kernel <> Grid.ndim g then
     invalid_arg "Interp.compile: rank mismatch";
   if kernel.Kernel.input.Tensor.shape <> g.Grid.shape then
@@ -140,7 +144,13 @@ let compile kernel ~geometry:(g : Grid.t) =
                     partials))
         | None -> Tree kernel.Kernel.expr)
   in
-  { kernel; mode; shape = g.Grid.shape; halo = g.Grid.halo; strides = g.Grid.strides }
+  let t =
+    { kernel; mode; shape = g.Grid.shape; halo = g.Grid.halo; strides = g.Grid.strides }
+  in
+  Msc_trace.end_span trace "interp.compile" ts0;
+  Msc_trace.add trace ("interp.mode." ^ mode_name t) 1.0;
+  Msc_trace.add trace "interp.kernel_points" (float_of_int (Kernel.points kernel));
+  t
 
 let kernel t = t.kernel
 let is_linear t = match t.mode with Taps _ -> true | Bilinear _ | Tree _ -> false

@@ -16,12 +16,18 @@
 
 type t
 
-val compile : Msc_ir.Kernel.t -> geometry:Grid.t -> t
+val compile : ?trace:Msc_trace.t -> Msc_ir.Kernel.t -> geometry:Grid.t -> t
 (** [geometry] supplies strides/halo only; any grid with the same shape and
-    halo can be passed to the apply functions.
+    halo can be passed to the apply functions. [trace] records an
+    [interp.compile] span plus [interp.mode.<taps|bilinear|tree>] and
+    [interp.kernel_points] counters.
     @raise Invalid_argument if the kernel rank mismatches the grid. *)
 
 val kernel : t -> Msc_ir.Kernel.t
+
+val mode_name : t -> string
+(** ["taps"], ["bilinear"] or ["tree"] — which execution mode {!compile}
+    selected. *)
 
 val is_linear : t -> bool
 (** Taps mode. *)

@@ -15,6 +15,10 @@ type t = {
   tiles : (int array * int array) array;
   par : [ `Seq | `Block | `Round_robin ];
   pool : Msc_util.Domain_pool.t;
+  trace : Msc_trace.t;
+  tid : int;  (* label for this runtime's spans (the rank, when distributed) *)
+  on_worker : (int -> unit) option;  (* attaches worker domains to [trace] *)
+  points_per_step : float;  (* interior points swept per step *)
 }
 
 let rec flatten scale (e : Stencil.expr) =
@@ -75,13 +79,15 @@ let default_init _dt coord =
 
 let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
     ?(init = default_init) ?(aux_init = default_aux_init)
-    ?(bc = Bc.Dirichlet 0.0) (st : Stencil.t) =
+    ?(bc = Bc.Dirichlet 0.0) ?(trace = Msc_trace.disabled) ?(tid = 0)
+    (st : Stencil.t) =
   let geometry = Grid.of_tensor st.Stencil.grid in
   let terms =
     List.map
       (fun (scale, src, dt) ->
         match src with
-        | `Kernel k -> { scale; source = From_kernel (Interp.compile k ~geometry); dt }
+        | `Kernel k ->
+            { scale; source = From_kernel (Interp.compile ~trace k ~geometry); dt }
         | `State -> { scale; source = From_state; dt })
       (flatten 1.0 st.Stencil.expr)
   in
@@ -125,6 +131,11 @@ let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
         (tile, par)
   in
   let tiles = compute_tiles ~shape ~tile in
+  let on_worker =
+    if Msc_trace.enabled trace then
+      Some (fun w -> Msc_trace.attach_worker trace ~tid:w)
+    else None
+  in
   {
     stencil = st;
     terms;
@@ -136,6 +147,10 @@ let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
     tiles;
     par;
     pool;
+    trace;
+    tid;
+    on_worker;
+    points_per_step = float_of_int (Array.fold_left ( * ) 1 shape);
   }
 
 let stencil t = t.stencil
@@ -168,6 +183,14 @@ let compute_tile t ~dst id =
       | From_state -> Interp.identity_accumulate_range ~scale:term.scale ~src ~dst ~lo ~hi)
     t.terms
 
+(* [compute_tile] wrapped in a per-tile "sweep" span. On parallel paths the
+   worker's attachment supplies the tid; sequential sweeps carry the
+   runtime's own label (the rank, under the distributed runtime). *)
+let sweep_tile ?tid t ~dst id =
+  let ts0 = Msc_trace.begin_span t.trace in
+  compute_tile t ~dst id;
+  Msc_trace.end_span ?tid t.trace "sweep" ts0
+
 let step t =
   let dst = output_slot t in
   Grid.fill_all dst 0.0;
@@ -175,15 +198,22 @@ let step t =
   (match t.par with
   | `Seq ->
       for id = 0 to ntiles - 1 do
-        compute_tile t ~dst id
+        sweep_tile ~tid:t.tid t ~dst id
       done
-  | `Block -> Msc_util.Domain_pool.parallel_for t.pool ~lo:0 ~hi:ntiles (compute_tile t ~dst)
+  | `Block ->
+      Msc_util.Domain_pool.parallel_for ?on_worker:t.on_worker t.pool ~lo:0
+        ~hi:ntiles (sweep_tile t ~dst)
   | `Round_robin ->
-      Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:ntiles
-        (fun ~worker:_ id -> compute_tile t ~dst id));
+      Msc_util.Domain_pool.parallel_chunks ?on_worker:t.on_worker t.pool ~lo:0
+        ~hi:ntiles (fun ~worker:_ id -> sweep_tile t ~dst id));
+  Msc_trace.add ~tid:t.tid t.trace "sweep.points" t.points_per_step;
+  let ts_bc = Msc_trace.begin_span t.trace in
   Bc.apply t.bc dst;
+  Msc_trace.end_span ~tid:t.tid t.trace "bc.apply" ts_bc;
+  let ts_rot = Msc_trace.begin_span t.trace in
   t.cur <- (t.cur + 1) mod Array.length t.window;
-  t.steps_done <- t.steps_done + 1
+  t.steps_done <- t.steps_done + 1;
+  Msc_trace.end_span ~tid:t.tid t.trace "window.rotate" ts_rot
 
 let run t n =
   for _ = 1 to n do

@@ -26,6 +26,8 @@ val create :
   ?init:(int -> int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
   ?bc:Bc.t ->
+  ?trace:Msc_trace.t ->
+  ?tid:int ->
   Msc_ir.Stencil.t -> t
 (** [create st] builds the runtime. [init dt coord] gives the initial state
     at time [-dt] ([dt = 1..W]); it defaults to a deterministic pseudo-random
@@ -34,6 +36,13 @@ val create :
     worker domains (default sequential). [bc] is applied to every initial
     state and to each newly produced state (default [Dirichlet 0.0], the
     paper's zero-halo convention).
+
+    [trace] (default {!Msc_trace.disabled}) records a ["sweep"] span per
+    tile, ["bc.apply"] and ["window.rotate"] spans per step, and a
+    ["sweep.points"] counter; parallel sweeps propagate a per-worker sink
+    through the pool's [on_worker] hook, so worker spans carry their worker
+    id as [tid]. Sequential spans carry [tid] (default 0 — the distributed
+    runtime labels each rank's runtime with its rank).
     @raise Invalid_argument if the schedule is illegal for the stencil's
     kernels. *)
 

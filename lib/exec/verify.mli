@@ -16,10 +16,12 @@ val check :
   ?init:(int -> int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
   ?bc:Bc.t ->
+  ?trace:Msc_trace.t ->
   steps:int -> Msc_ir.Stencil.t -> report
 (** Runs both executors [steps] timesteps from the same initial condition and
     compares final states. The tolerance comes from the grid's declared
-    datatype ({!Msc_ir.Dtype.tolerance}). *)
+    datatype ({!Msc_ir.Dtype.tolerance}). [trace] instruments the optimized
+    runtime only (the reference stays untimed). *)
 
 val check_grids : dtype:Msc_ir.Dtype.t -> reference:Grid.t -> Grid.t -> bool
 val pp_report : Format.formatter -> report -> unit

@@ -31,7 +31,7 @@ let weights ~center n =
     Array.init n (fun k -> if k = 0 then center else rest)
   end
 
-let shaped_kernel ?(center_weight = 0.5) ~name ~grid ~shape ~radius () =
+let shaped_kernel ?(center_weight = 0.5) ~name ~shape ~radius grid =
   let offsets = Shapes.offsets shape ~ndim:(Tensor.ndim grid) ~radius in
   let n = List.length offsets in
   let ws = weights ~center:center_weight n in
@@ -48,17 +48,17 @@ let shaped_kernel ?(center_weight = 0.5) ~name ~grid ~shape ~radius () =
   in
   kernel ~bindings ~name ~grid expr
 
-let star_kernel ?center_weight ~name ~grid ~radius () =
-  shaped_kernel ?center_weight ~name ~grid ~shape:Shapes.Star ~radius ()
+let star_kernel ?center_weight ~name ~radius grid =
+  shaped_kernel ?center_weight ~name ~shape:Shapes.Star ~radius grid
 
-let box_kernel ?center_weight ~name ~grid ~radius () =
-  shaped_kernel ?center_weight ~name ~grid ~shape:Shapes.Box ~radius ()
+let box_kernel ?center_weight ~name ~radius grid =
+  shaped_kernel ?center_weight ~name ~shape:Shapes.Box ~radius grid
 
 let coefficient_grid ~grid name =
   Tensor.sp ~halo:(Array.copy grid.Tensor.halo) name grid.Tensor.dtype
     (Array.copy grid.Tensor.shape)
 
-let var_coeff_kernel ~name ~grid ~coeff ~shape ~radius () =
+let var_coeff_kernel ~name ~coeff ~shape ~radius grid =
   let offsets = Shapes.offsets shape ~ndim:(Tensor.ndim grid) ~radius in
   let n = List.length offsets in
   let w = 1.0 /. float_of_int n in

@@ -2,7 +2,7 @@
 
     {[
       let grid = Builder.def_tensor_3d_timewin "B" ~time_window:2 ~halo:1 F64 256 256 256 in
-      let k = Builder.star_kernel ~name:"S_3d7pt" ~grid ~radius:1 in
+      let k = Builder.star_kernel ~name:"S_3d7pt" ~radius:1 grid in
       let st = Builder.two_step ~name:"3d7pt" k in
       ...
     ]} *)
@@ -37,19 +37,19 @@ val weights : center:float -> int -> float array
     stay bounded. *)
 
 val shaped_kernel :
-  ?center_weight:float -> name:string -> grid:Msc_ir.Tensor.t ->
-  shape:Shapes.shape -> radius:int -> unit -> Msc_ir.Kernel.t
+  ?center_weight:float -> name:string -> shape:Shapes.shape -> radius:int ->
+  Msc_ir.Tensor.t -> Msc_ir.Kernel.t
 (** Kernel whose expression is [sum_i c_i * B\[p + off_i\]] over the shape's
     neighbourhood, with distinct named coefficients [c0..cN-1] (as in the
     paper's Listing 1) bound to {!weights}. *)
 
 val star_kernel :
-  ?center_weight:float -> name:string -> grid:Msc_ir.Tensor.t -> radius:int ->
-  unit -> Msc_ir.Kernel.t
+  ?center_weight:float -> name:string -> radius:int -> Msc_ir.Tensor.t ->
+  Msc_ir.Kernel.t
 
 val box_kernel :
-  ?center_weight:float -> name:string -> grid:Msc_ir.Tensor.t -> radius:int ->
-  unit -> Msc_ir.Kernel.t
+  ?center_weight:float -> name:string -> radius:int -> Msc_ir.Tensor.t ->
+  Msc_ir.Kernel.t
 
 (** {1 Multi-grid (variable-coefficient) kernels — the §5.6 WRF/POP2 case} *)
 
@@ -57,8 +57,8 @@ val coefficient_grid : grid:Msc_ir.Tensor.t -> string -> Msc_ir.Tensor.t
 (** A static coefficient grid matching [grid]'s shape, halo and dtype. *)
 
 val var_coeff_kernel :
-  name:string -> grid:Msc_ir.Tensor.t -> coeff:Msc_ir.Tensor.t ->
-  shape:Shapes.shape -> radius:int -> unit -> Msc_ir.Kernel.t
+  name:string -> coeff:Msc_ir.Tensor.t -> shape:Shapes.shape -> radius:int ->
+  Msc_ir.Tensor.t -> Msc_ir.Kernel.t
 (** Kernel [sum_i w * C\[p+off_i\] * B\[p+off_i\]] over the shape's
     neighbourhood, with [w = 1/N] so bounded coefficient fields keep the
     iteration stable. The coefficient grid is read at the {e same} offsets as

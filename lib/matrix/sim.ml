@@ -57,7 +57,8 @@ let distinct_dts (st : Stencil.t) =
   List.sort_uniq compare (go [] st.Stencil.expr)
 
 let simulate ?(machine = Machine.matrix_node) ?(overrides = default_overrides)
-    ?(steps = 10) (st : Stencil.t) schedule =
+    ?(steps = 10) ?(trace = Msc_trace.disabled) (st : Stencil.t) schedule =
+  let ts_sim = Msc_trace.begin_span trace in
   let kernels = Stencil.kernels st in
   let validation =
     List.fold_left
@@ -130,6 +131,13 @@ let simulate ?(machine = Machine.matrix_node) ?(overrides = default_overrides)
         +. overrides.fork_join_overhead_s
       in
       let time_s = step_time *. float_of_int steps in
+      (* Model-time phases, mirroring the Sunway simulator's trace schema
+         with DRAM traffic in place of DMA staging. *)
+      Msc_trace.emit_span trace "mem" ~dur_s:mem_time;
+      Msc_trace.emit_span trace "core.compute" ~dur_s:compute_time;
+      Msc_trace.add trace "mem.bytes" mem_bytes;
+      Msc_trace.add trace "sim.step_seconds" step_time;
+      Msc_trace.end_span trace "sim.matrix" ts_sim;
       Ok
         {
           benchmark = st.Stencil.name;

@@ -35,9 +35,14 @@ val simulate :
   ?machine:Msc_machine.Machine.t ->
   ?overrides:overrides ->
   ?steps:int ->
+  ?trace:Msc_trace.t ->
   Msc_ir.Stencil.t ->
   Msc_schedule.Schedule.t ->
   (report, string) result
-(** Default machine {!Msc_machine.Machine.matrix_node}, 10 steps. *)
+(** Default machine {!Msc_machine.Machine.matrix_node}, 10 steps.
+
+    [trace] records modelled ["mem"] / ["core.compute"] spans (simulated
+    durations), [mem.bytes] and [sim.step_seconds] counters, and a
+    wall-clock ["sim.matrix"] span. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -77,7 +77,8 @@ let distinct_dts (st : Stencil.t) =
   List.sort_uniq compare (go [] st.Stencil.expr)
 
 let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
-    ?(steps = 10) (st : Stencil.t) schedule =
+    ?(steps = 10) ?(trace = Msc_trace.disabled) (st : Stencil.t) schedule =
+  let ts_sim = Msc_trace.begin_span trace in
   let kernels = Stencil.kernels st in
   let validation =
     List.fold_left
@@ -232,6 +233,18 @@ let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
               points_per_step = points;
             }
           in
+          (* Model-time phases: the simulator's predicted per-step DMA and
+             CPE-compute costs become spans (durations are model results,
+             not wall clock), the traffic volumes become counters. *)
+          Msc_trace.emit_span trace "dma" ~dur_s:dma_time;
+          Msc_trace.emit_span trace "cpe.compute" ~dur_s:compute_time;
+          Msc_trace.add trace "dma.bytes" per_step_transfer.Dma.bytes;
+          Msc_trace.add trace "dma.descriptors"
+            (float_of_int per_step_transfer.Dma.descriptors);
+          Msc_trace.add trace "spm.read_bytes" (float_of_int spm_read_bytes);
+          Msc_trace.add trace "spm.write_bytes" (float_of_int spm_write_bytes);
+          Msc_trace.add trace "sim.step_seconds" step_time;
+          Msc_trace.end_span trace "sim.sunway" ts_sim;
           Ok
             {
               benchmark = st.Stencil.name;

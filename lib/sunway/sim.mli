@@ -57,11 +57,18 @@ val simulate :
   ?machine:Msc_machine.Machine.t ->
   ?overrides:overrides ->
   ?steps:int ->
+  ?trace:Msc_trace.t ->
   Msc_ir.Stencil.t ->
   Msc_schedule.Schedule.t ->
   (report, string) result
 (** Default machine {!Msc_machine.Machine.sunway_cg}, 10 steps. Fails if the
-    schedule is illegal or its buffers overflow the SPM. *)
+    schedule is illegal or its buffers overflow the SPM.
+
+    [trace] records the modelled per-step ["dma"] and ["cpe.compute"] phases
+    as spans (durations are {e simulated} seconds), DMA/SPM traffic volumes
+    as counters ([dma.bytes], [dma.descriptors], [spm.read_bytes],
+    [spm.write_bytes], [sim.step_seconds]), and a wall-clock ["sim.sunway"]
+    span over the simulation itself. *)
 
 val is_box_shaped : Msc_ir.Stencil.t -> bool
 (** Compact (box-like) neighbourhoods vectorize better; used to pick the

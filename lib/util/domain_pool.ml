@@ -11,7 +11,15 @@ let create n =
 let size t = t.workers
 let sequential = { workers = 1 }
 
-let run_workers t per_worker =
+let run_workers ?on_worker t per_worker =
+  let per_worker =
+    match on_worker with
+    | None -> per_worker
+    | Some hook ->
+        fun w ->
+          hook w;
+          per_worker w
+  in
   if t.workers = 1 then per_worker 0
   else begin
     let failure = Atomic.make None in
@@ -27,9 +35,9 @@ let run_workers t per_worker =
     match Atomic.get failure with None -> () | Some exn -> raise exn
   end
 
-let parallel_for t ~lo ~hi body =
+let parallel_for ?on_worker t ~lo ~hi body =
   if hi <= lo then ()
-  else if t.workers = 1 then
+  else if t.workers = 1 && Option.is_none on_worker then
     for i = lo to hi - 1 do
       body i
     done
@@ -43,10 +51,10 @@ let parallel_for t ~lo ~hi body =
         body i
       done
     in
-    run_workers t per_worker
+    run_workers ?on_worker t per_worker
   end
 
-let parallel_chunks t ~lo ~hi body =
+let parallel_chunks ?on_worker t ~lo ~hi body =
   if hi <= lo then ()
   else begin
     let per_worker w =
@@ -56,5 +64,5 @@ let parallel_chunks t ~lo ~hi body =
         i := !i + t.workers
       done
     in
-    run_workers t per_worker
+    run_workers ?on_worker t per_worker
   end

@@ -15,12 +15,20 @@ val size : t -> int
 val sequential : t
 (** A one-worker pool: [parallel_for] degrades to a plain loop. *)
 
-val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+val parallel_for :
+  ?on_worker:(int -> unit) -> t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi body] runs [body i] for [lo <= i < hi], statically
     chunked across the pool's workers. [body] must be safe to run concurrently
-    on disjoint indices. Exceptions raised by workers are re-raised. *)
+    on disjoint indices. Exceptions raised by workers are re-raised.
 
-val parallel_chunks : t -> lo:int -> hi:int -> (worker:int -> int -> unit) -> unit
+    [on_worker w] runs once on each worker's domain at region entry, before
+    any [body] call — the hook the tracing subsystem uses to bind each fresh
+    domain to a per-worker event buffer ({!Msc_trace.attach_worker} via the
+    runtime). It must be domain-safe. *)
+
+val parallel_chunks :
+  ?on_worker:(int -> unit) -> t -> lo:int -> hi:int ->
+  (worker:int -> int -> unit) -> unit
 (** Like {!parallel_for} but round-robin assignment
     ([i mod size = worker]), mirroring the athread task-to-CPE mapping
     ([mod(task_id, 64) == my_id]) the paper describes in §4.3. *)

@@ -16,13 +16,13 @@ let qc ?(count = 100) name gen prop =
 (* A 3d7pt two-time-dependency stencil on a small grid. *)
 let stencil_3d7pt ?(n = 12) ?(dtype = Msc_ir.Dtype.F64) () =
   let grid = Builder.def_tensor_3d ~time_window:2 ~halo:1 "B" dtype n n n in
-  let k = Builder.star_kernel ~name:"S_3d7pt" ~grid ~radius:1 () in
+  let k = Builder.star_kernel ~name:"S_3d7pt" ~radius:1 grid in
   (k, Builder.two_step ~name:"3d7pt_star" k)
 
 (* A 2d9pt box stencil (corners matter for halo exchange). *)
 let stencil_2d9pt_box ?(m = 14) ?(n = 18) () =
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Msc_ir.Dtype.F64 m n in
-  let k = Builder.box_kernel ~name:"S_2d9pt" ~grid ~radius:1 () in
+  let k = Builder.box_kernel ~name:"S_2d9pt" ~radius:1 grid in
   (k, Builder.two_step ~name:"2d9pt_box" k)
 
 (* A wave-equation stencil exercising State terms. *)

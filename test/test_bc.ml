@@ -84,7 +84,7 @@ let periodic_conserves_mass () =
   (* Weights sum to 1 and the domain is closed: the interior sum is exactly
      conserved under a periodic single-step stencil. *)
   let grid = Builder.def_tensor_2d ~time_window:1 ~halo:1 "B" Msc_ir.Dtype.F64 12 12 in
-  let k = Builder.star_kernel ~name:"S" ~grid ~radius:1 () in
+  let k = Builder.star_kernel ~name:"S" ~radius:1 grid in
   let st = Builder.single_step ~name:"mass" k in
   let rt = Runtime.create ~bc:Bc.Periodic ~init:bumpy_init st in
   let before = Grid.checksum (Runtime.current rt) in
@@ -95,7 +95,7 @@ let periodic_conserves_mass () =
 let dirichlet_leaks_mass () =
   (* Zero boundaries absorb: the sum must strictly decrease. *)
   let grid = Builder.def_tensor_2d ~time_window:1 ~halo:1 "B" Msc_ir.Dtype.F64 12 12 in
-  let k = Builder.star_kernel ~name:"S" ~grid ~radius:1 () in
+  let k = Builder.star_kernel ~name:"S" ~radius:1 grid in
   let st = Builder.single_step ~name:"leak" k in
   let rt = Runtime.create ~bc:(Bc.Dirichlet 0.0) ~init:(fun _ _ -> 1.0) st in
   let before = Grid.checksum (Runtime.current rt) in
@@ -105,7 +105,7 @@ let dirichlet_leaks_mass () =
 let reflect_conserves_mass () =
   (* Zero-flux mirrors also conserve the sum for a symmetric stencil. *)
   let grid = Builder.def_tensor_2d ~time_window:1 ~halo:1 "B" Msc_ir.Dtype.F64 12 12 in
-  let k = Builder.star_kernel ~name:"S" ~grid ~radius:1 () in
+  let k = Builder.star_kernel ~name:"S" ~radius:1 grid in
   let st = Builder.single_step ~name:"flux" k in
   let rt = Runtime.create ~bc:Bc.Reflect ~init:bumpy_init st in
   let before = Grid.checksum (Runtime.current rt) in

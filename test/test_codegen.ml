@@ -79,7 +79,7 @@ let athread_bundle () =
 let athread_spm_guard () =
   (* A tile whose window buffers exceed 64 KB must be rejected. *)
   let grid = Msc_frontend.Builder.def_tensor_3d ~time_window:2 ~halo:1 "B" Msc_ir.Dtype.F64 64 64 64 in
-  let k = Msc_frontend.Builder.star_kernel ~name:"S" ~grid ~radius:1 () in
+  let k = Msc_frontend.Builder.star_kernel ~name:"S" ~radius:1 grid in
   let st = Msc_frontend.Builder.two_step ~name:"big" k in
   let sched = Schedule.sunway_canonical ~tile:[| 32; 32; 64 |] k in
   check_bool "SPM overflow rejected" true

@@ -198,7 +198,7 @@ let distributed_single_rank_degenerate () =
 
 let distributed_wide_halo_exact () =
   let grid = Msc_frontend.Builder.def_tensor_2d ~time_window:2 ~halo:3 "B" Msc_ir.Dtype.F64 18 18 in
-  let k = Msc_frontend.Builder.star_kernel ~name:"S" ~grid ~radius:3 () in
+  let k = Msc_frontend.Builder.star_kernel ~name:"S" ~radius:3 grid in
   let st = Msc_frontend.Builder.two_step ~name:"2d13pt_star" k in
   check_float "radius-3 exchange" 0.0 (Distributed.validate ~steps:3 ~ranks_shape:[| 2; 2 |] st)
 

@@ -185,7 +185,7 @@ let trace_compulsory_floor () =
   (* With a cache far larger than the grid, the only misses are compulsory:
      one per touched line. *)
   let grid = Msc_frontend.Builder.def_tensor_2d ~halo:1 "B" Msc_ir.Dtype.F64 32 32 in
-  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~grid ~radius:1 () in
+  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~radius:1 grid in
   let cache = Msc_matrix.Cache.Lru.create ~capacity_bytes:(1024 * 1024) () in
   let r = Msc_matrix.Trace.sweep_miss_rate ~cache k Msc_schedule.Schedule.empty in
   (* Touched: input padded (34*34) + output region lines; 8 elements per
@@ -197,7 +197,7 @@ let trace_compulsory_floor () =
 
 let trace_schedule_validated () =
   let grid = Msc_frontend.Builder.def_tensor_2d ~halo:1 "B" Msc_ir.Dtype.F64 16 16 in
-  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~grid ~radius:1 () in
+  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~radius:1 grid in
   check_bool "illegal schedule rejected" true
     (try
        ignore

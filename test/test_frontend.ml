@@ -76,7 +76,7 @@ let builder_weights_contract () =
 
 let builder_star_kernel () =
   let grid = Builder.def_tensor_2d ~halo:2 "B" Dtype.F64 8 8 in
-  let k = Builder.star_kernel ~name:"K" ~grid ~radius:2 () in
+  let k = Builder.star_kernel ~name:"K" ~radius:2 grid in
   check_int "9 points" 9 (Kernel.points k);
   check_bool "linear" true (Kernel.taps k <> None);
   (* 9 muls + 8 adds, matching Table 4's 2d9pt entry. *)
@@ -94,7 +94,7 @@ let builder_two_step_window () =
 let builder_halo_validated () =
   let grid = Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 8 8 in
   check_bool "radius 2 with halo 1 rejected" true
-    (try ignore (Builder.star_kernel ~name:"K" ~grid ~radius:2 ()); false
+    (try ignore (Builder.star_kernel ~name:"K" ~radius:2 grid); false
      with Invalid_argument _ -> true)
 
 (* --- Pretty --- *)

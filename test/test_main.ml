@@ -7,4 +7,5 @@ let () =
    @ Test_machines.suites @ Test_comm.suites @ Test_autotune.suites
    @ Test_multigrid.suites @ Test_extensions.suites @ Test_bc.suites
    @ Test_baselines.suites
-   @ Test_suite.suites @ Test_pipeline.suites @ Test_misc.suites)
+   @ Test_suite.suites @ Test_pipeline.suites @ Test_trace.suites
+   @ Test_misc.suites)

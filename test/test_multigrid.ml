@@ -16,7 +16,7 @@ module Codegen = Msc_codegen.Codegen
 let fixture ?(n = 12) ?(radius = 1) () =
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:radius "B" Dtype.F64 n n in
   let coeff = Builder.coefficient_grid ~grid "C" in
-  let k = Builder.var_coeff_kernel ~name:"VC" ~grid ~coeff ~shape:Shapes.Star ~radius () in
+  let k = Builder.var_coeff_kernel ~name:"VC" ~coeff ~shape:Shapes.Star ~radius grid in
   (k, coeff, Builder.two_step ~name:"varcoef" k)
 
 (* --- IR --- *)
@@ -172,7 +172,7 @@ let varcoef_mixed_with_states () =
      VC(u[t-1]) exercises State terms and aux grids together. *)
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 12 12 in
   let coeff = Builder.coefficient_grid ~grid "C" in
-  let k = Builder.var_coeff_kernel ~name:"VC" ~grid ~coeff ~shape:Shapes.Star ~radius:1 () in
+  let k = Builder.var_coeff_kernel ~name:"VC" ~coeff ~shape:Shapes.Star ~radius:1 grid in
   let st =
     Builder.(
       stencil ~name:"hetero_wave" ~grid
@@ -243,7 +243,7 @@ let varcoef_spm_accounting () =
      fits two streams but not three must be rejected. *)
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 128 128 in
   let coeff = Builder.coefficient_grid ~grid "C" in
-  let k = Builder.var_coeff_kernel ~name:"VC" ~grid ~coeff ~shape:Shapes.Star ~radius:1 () in
+  let k = Builder.var_coeff_kernel ~name:"VC" ~coeff ~shape:Shapes.Star ~radius:1 grid in
   let st = Builder.two_step ~name:"varcoef_big" k in
   (* padded tile (34x34) * 8B = 9248 B per stream; write 32*32*8 = 8192.
      3 streams: 35936 B (fits); tile 62x62: padded 64x64*8 = 32768 * 3 +
@@ -270,7 +270,7 @@ let bilinear_vs_tree_property =
       let grid = Builder.def_tensor_2d ~time_window:1 ~halo:radius "B" Dtype.F64 n n in
       let coeff = Builder.coefficient_grid ~grid "C" in
       let k =
-        Builder.var_coeff_kernel ~name:"VC" ~grid ~coeff ~shape:Shapes.Star ~radius ()
+        Builder.var_coeff_kernel ~name:"VC" ~coeff ~shape:Shapes.Star ~radius grid
       in
       let st = Builder.single_step ~name:"vc" k in
       (* Runtime uses the bilinear compiled path; Reference walks the tree. *)

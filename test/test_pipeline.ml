@@ -10,19 +10,19 @@ let two_distinct_kernels () =
   (* Res[t] << 0.6 * A(u[t-1]) + 0.4 * B(u[t-2]) with A a star and B a box:
      both kernels appear, and the optimized runtime matches the reference. *)
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 12 14 in
-  let a = Builder.star_kernel ~name:"A" ~grid ~radius:1 () in
-  let b = Builder.box_kernel ~name:"Bk" ~grid ~radius:1 () in
+  let a = Builder.star_kernel ~name:"A" ~radius:1 grid in
+  let b = Builder.box_kernel ~name:"Bk" ~radius:1 grid in
   let st =
     Builder.(stencil ~name:"two_stage" ~grid ((0.6 *: (a @> 1)) +: (0.4 *: (b @> 2))))
   in
   check_int "two kernels" 2 (List.length (Stencil.kernels st));
-  let r = verify ~steps:4 st in
+  let r = Pipeline.verify ~steps:4 (Pipeline.make ~stencil:st ()) in
   check_bool "verified" true (r.Verify.max_rel_error = 0.0)
 
 let two_kernels_distributed () =
   let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 14 14 in
-  let a = Builder.star_kernel ~name:"A" ~grid ~radius:1 () in
-  let b = Builder.box_kernel ~name:"Bk" ~grid ~radius:1 () in
+  let a = Builder.star_kernel ~name:"A" ~radius:1 grid in
+  let b = Builder.box_kernel ~name:"Bk" ~radius:1 grid in
   let st =
     Builder.(stencil ~name:"two_stage" ~grid ((0.5 *: (a @> 1)) +: (0.5 *: (b @> 1))))
   in
@@ -32,8 +32,8 @@ let two_kernels_distributed () =
 let two_kernels_codegen_roundtrip () =
   if Codegen.Toolchain.available () then begin
     let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Dtype.F64 12 12 in
-    let a = Builder.star_kernel ~name:"A" ~grid ~radius:1 () in
-    let b = Builder.box_kernel ~name:"Bk" ~grid ~radius:1 () in
+    let a = Builder.star_kernel ~name:"A" ~radius:1 grid in
+    let b = Builder.box_kernel ~name:"Bk" ~radius:1 grid in
     let st =
       Builder.(stencil ~name:"two_stage" ~grid ((0.6 *: (a @> 1)) +: (0.4 *: (b @> 2))))
     in
@@ -56,31 +56,53 @@ let two_kernels_codegen_roundtrip () =
 
 let pipeline_run_and_verify () =
   let _, st = stencil_3d7pt ~n:10 () in
-  let g = run ~workers:2 ~steps:3 st in
+  let p = Pipeline.make ~stencil:st ~workers:2 () in
+  let g = Pipeline.run ~steps:3 p in
   check_bool "produced data" true (Grid.max_abs g > 0.0);
-  check_bool "verify ok" true (verify ~steps:3 st).Verify.ok
+  check_bool "verify ok" true (Pipeline.verify ~steps:3 p).Verify.ok
 
 let pipeline_compile_targets () =
   let k, st = stencil_3d7pt ~n:12 () in
   let sched = Schedule.sunway_canonical ~tile:[| 2; 4; 6 |] k in
+  let p = Pipeline.make ~stencil:st ~schedule:sched () in
   List.iter
     (fun target ->
-      match compile_to_source ~target st sched with
-      | Ok files -> check_bool (target ^ " nonempty") true (List.length files >= 2)
-      | Error msg -> Alcotest.fail (target ^ ": " ^ msg))
-    [ "cpu"; "openmp"; "sunway" ];
-  check_bool "unknown target" true (Result.is_error (compile_to_source ~target:"gpu" st sched))
+      let name = Codegen.target_to_string target in
+      match Pipeline.compile ~target p with
+      | Ok files -> check_bool (name ^ " nonempty") true (List.length files >= 2)
+      | Error msg -> Alcotest.fail (name ^ ": " ^ msg))
+    [ Codegen.Cpu; Codegen.Openmp; Codegen.Athread ];
+  (* Free-form strings live only at the CLI boundary now. *)
+  check_bool "unknown target string" true
+    (Result.is_error (Codegen.target_of_string "gpu"))
 
 let pipeline_simulate () =
   let k, st = stencil_3d7pt ~n:16 () in
   let sched = Schedule.sunway_canonical ~tile:[| 2; 4; 8 |] k in
-  check_bool "sunway" true (Result.is_ok (simulate_sunway st sched));
+  (match
+     Pipeline.simulate ~target:Codegen.Athread
+       (Pipeline.make ~stencil:st ~schedule:sched ())
+   with
+  | Ok (Pipeline.Sunway_report _) -> ()
+  | Ok _ -> Alcotest.fail "expected a Sunway report"
+  | Error msg -> Alcotest.fail msg);
   let msched = Schedule.matrix_canonical ~tile:[| 2; 4; 8 |] k in
-  check_bool "matrix" true (Result.is_ok (simulate_matrix st msched))
+  (match
+     Pipeline.simulate ~target:Codegen.Openmp
+       (Pipeline.make ~stencil:st ~schedule:msched ())
+   with
+  | Ok (Pipeline.Matrix_report _) -> ()
+  | Ok _ -> Alcotest.fail "expected a Matrix report"
+  | Error msg -> Alcotest.fail msg);
+  check_bool "cpu has no model" true
+    (Result.is_error
+       (Pipeline.simulate ~target:Codegen.Cpu (Pipeline.make ~stencil:st ())))
 
 let pipeline_distribute () =
   let _, st = stencil_3d7pt ~n:12 () in
-  let dist = distribute ~ranks_shape:[| 2; 1; 1 |] st in
+  let dist =
+    Pipeline.distribute ~ranks_shape:[| 2; 1; 1 |] (Pipeline.make ~stencil:st ())
+  in
   Distributed.run dist 2;
   check_int "steps" 2 (Distributed.steps_done dist)
 

@@ -141,7 +141,7 @@ let lower_tiled_counts () =
 
 let lower_remainder_ceil () =
   let grid = Msc_frontend.Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 10 10 in
-  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~grid ~radius:1 () in
+  let k = Msc_frontend.Builder.star_kernel ~name:"K" ~radius:1 grid in
   let nest = Loopnest.lower_exn k (Msc_schedule.Schedule.matrix_canonical ~tile:[| 4; 4 |] k) in
   (* ceil(10/4) = 3 per dim *)
   check_int "ceil tiles" 9 (Loopnest.tiles_count nest)

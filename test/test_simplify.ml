@@ -133,7 +133,7 @@ let codegen_differential_fuzz () =
       let kernel =
         Msc_frontend.Builder.shaped_kernel
           ~center_weight:(0.3 +. Msc_util.Prng.float rng 0.4)
-          ~name:"K" ~grid ~shape ~radius ()
+          ~name:"K" ~shape ~radius grid
       in
       let st =
         if tw = 2 then Msc_frontend.Builder.two_step ~name:"fuzz" kernel
