@@ -152,6 +152,61 @@ let extension_tests =
             fun () -> ignore (Msc.Inspector.partition ~costs ~parts:16)));
     ]
 
+(* Dispatch latency of the persistent worker pool vs the spawn-per-region
+   pattern it replaced. [spawn_join] pays domain creation + teardown on every
+   parallel region; [pool_dispatch] parks the same helpers on a condvar and
+   only pays a broadcast + wait. *)
+let parallel_overhead_tests =
+  let pool = Msc.Domain_pool.create 4 in
+  (* Prime the pool so the one-time spawn is not measured. *)
+  Msc.Domain_pool.parallel_for pool ~lo:0 ~hi:4 (fun _ -> ());
+  Test.make_grouped ~name:"parallel_overhead"
+    [
+      Test.make ~name:"spawn_join_4"
+        (Staged.stage (fun () ->
+             let doms = List.init 3 (fun _ -> Domain.spawn (fun () -> ())) in
+             List.iter Domain.join doms));
+      Test.make ~name:"pool_dispatch_4"
+        (Staged.stage (fun () ->
+             Msc.Domain_pool.parallel_for pool ~lo:0 ~hi:4 (fun _ -> ())));
+      Test.make ~name:"pool_chunks_4x64"
+        (Staged.stage (fun () ->
+             Msc.Domain_pool.parallel_chunks pool ~lo:0 ~hi:64
+               (fun ~worker:_ _ -> ())));
+    ]
+
+(* The fast-path engine: write-through step vs the legacy zero+accumulate
+   step, and the specialized taps sweep vs the retained generic closure
+   walker it replaced. *)
+let fastpath_tests =
+  let _, st = small_stencil "3d7pt_star" in
+  let kernel = Msc.Suite.kernel_of st in
+  let geometry = Msc.Grid.of_tensor st.Msc.Stencil.grid in
+  let compiled = Msc.Interp.compile kernel ~geometry in
+  let src = Msc.Grid.of_tensor st.Msc.Stencil.grid in
+  Msc.Grid.fill src (fun c -> float_of_int (c.(0) + c.(1) + c.(2)) *. 0.01);
+  let dst = Msc.Grid.like src in
+  let lo = [| 0; 0; 0 |] and hi = st.Msc.Stencil.grid.Msc.Tensor.shape in
+  Test.make_grouped ~name:"fastpath"
+    [
+      Test.make ~name:"step_write_through"
+        (Staged.stage (fun () ->
+             let rt = Msc.Runtime.create ~engine:Msc.Runtime.Write_through st in
+             Msc.Runtime.step rt));
+      Test.make ~name:"step_zero_accumulate"
+        (Staged.stage (fun () ->
+             let rt =
+               Msc.Runtime.create ~engine:Msc.Runtime.Zero_accumulate st
+             in
+             Msc.Runtime.step rt));
+      Test.make ~name:"sweep_specialized"
+        (Staged.stage (fun () ->
+             Msc.Interp.apply_range ~aux:[] compiled ~src ~dst ~lo ~hi));
+      Test.make ~name:"sweep_generic"
+        (Staged.stage (fun () ->
+             Msc.Interp.generic_apply_range ~aux:[] compiled ~src ~dst ~lo ~hi));
+    ]
+
 (* Tentpole guarantee of the tracing subsystem: a disabled trace must cost
    nothing measurable. All three variants run the same fig7-style 3d7pt
    step; [step_trace_disabled] passes the disabled sink explicitly (what
@@ -178,8 +233,101 @@ let all_tests =
   Test.make_grouped ~name:"msc"
     [
       suite_tests; schedule_tests; halo_tests; codegen_tests; sim_tests;
-      tuning_tests; extension_tests; trace_overhead_tests;
+      tuning_tests; extension_tests; parallel_overhead_tests; fastpath_tests;
+      trace_overhead_tests;
     ]
+
+(* == BENCH_runtime.json: machine-readable per-kernel throughput ==
+
+   Direct wall-clock measurement (not Bechamel) so the numbers are plain
+   points/sec a future PR can diff. Each suite kernel runs single-threaded
+   at the reduced bench dims; the fastpath entry pins the speedup of the
+   specialized write-through sweep over the legacy fill+generic-accumulate
+   step body on 3d7pt_star. *)
+
+let time_per_run f =
+  f ();
+  (* warm-up *)
+  let rec ramp iters =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 0.2 then dt /. float_of_int iters else ramp (iters * 2)
+  in
+  ramp 1
+
+let kernel_points_per_sec (b : Msc.Suite.bench) =
+  let dims =
+    match b.Msc.Suite.ndim with 2 -> [| 64; 64 |] | _ -> [| 24; 24; 24 |]
+  in
+  let st = Msc.Suite.stencil ~dims b in
+  let points = float_of_int (Array.fold_left ( * ) 1 dims) in
+  let rt = Msc.Runtime.create st in
+  let per_step = time_per_run (fun () -> Msc.Runtime.step rt) in
+  (dims, points /. per_step)
+
+let fastpath_speedup () =
+  let b = Msc.Suite.find "3d7pt_star" in
+  let st = Msc.Suite.stencil ~dims:[| 24; 24; 24 |] b in
+  let points = float_of_int (24 * 24 * 24) in
+  let kernel = Msc.Suite.kernel_of st in
+  let geometry = Msc.Grid.of_tensor st.Msc.Stencil.grid in
+  let compiled = Msc.Interp.compile kernel ~geometry in
+  let src = Msc.Grid.of_tensor st.Msc.Stencil.grid in
+  Msc.Grid.fill src (fun c -> float_of_int (c.(0) + c.(1) + c.(2)) *. 0.01);
+  let dst = Msc.Grid.like src in
+  let lo = [| 0; 0; 0 |] and hi = st.Msc.Stencil.grid.Msc.Tensor.shape in
+  (* New step body: the first term writes through via the specialized row
+     loops — no zero pass. *)
+  let t_fast =
+    time_per_run (fun () ->
+        Msc.Interp.apply_range ~aux:[] compiled ~src ~dst ~lo ~hi)
+  in
+  (* Legacy step body: zero the whole padded array, then accumulate through
+     the generic closure walker — what Runtime.step did before this engine. *)
+  let t_legacy =
+    time_per_run (fun () ->
+        Msc.Grid.fill_all dst 0.0;
+        Msc.Interp.generic_accumulate_range ~aux:[] compiled ~scale:1.0 ~src
+          ~dst ~lo ~hi)
+  in
+  (points /. t_fast, points /. t_legacy, t_legacy /. t_fast)
+
+let emit_runtime_json path =
+  let kernels =
+    List.map
+      (fun (b : Msc.Suite.bench) ->
+        let dims, pps = kernel_points_per_sec b in
+        Printf.sprintf
+          "    { \"name\": %S, \"dims\": [%s], \"points_per_sec\": %.6e }"
+          b.Msc.Suite.name
+          (String.concat ", " (Array.to_list (Array.map string_of_int dims)))
+          pps)
+      Msc.Suite.all
+  in
+  let fast_pps, legacy_pps, speedup = fastpath_speedup () in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"msc-bench-runtime-v1\",\n\
+    \  \"kernels\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"fastpath_3d7pt_star\": {\n\
+    \    \"step_body_points_per_sec\": %.6e,\n\
+    \    \"legacy_step_body_points_per_sec\": %.6e,\n\
+    \    \"speedup\": %.3f\n\
+    \  }\n\
+     }\n"
+    (String.concat ",\n" kernels)
+    fast_pps legacy_pps speedup;
+  close_out oc;
+  Printf.printf
+    "wrote %s (fastpath 3d7pt_star step body: %.2fx over legacy \
+     fill+generic-accumulate)\n"
+    path speedup
 
 let run_bechamel () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -227,6 +375,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   let rows = run_bechamel () in
   report_trace_overhead rows;
+  emit_runtime_json "BENCH_runtime.json";
+  print_newline ();
   print_endline "== Paper artifacts (Tables 1/4/5/6/7/8, Figures 7-14, correctness) ==\n";
   print_string (Msc.Experiments.render_all ());
   print_endline "\n== Ablation studies ==\n";

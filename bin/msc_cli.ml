@@ -214,6 +214,28 @@ let profile_cmd =
       (List.length (Msc.Trace.events trace))
       out;
     print_string (Msc.Trace.report trace);
+    (* Sweep throughput, derived from the trace itself: the runtime bumps
+       the "sweep.points" counter once per step and wraps every tile sweep
+       in a "sweep" span, so counter-sum / span-total is per-core
+       points-per-second across all traced runs. *)
+    (let sweep_phase =
+       List.find_opt
+         (fun p -> p.Msc.Trace.phase = "sweep")
+         (Msc.Trace.phases trace)
+     and sweep_points =
+       List.find_opt
+         (fun c -> c.Msc.Trace.counter = "sweep.points")
+         (Msc.Trace.totals trace)
+     in
+     match (sweep_phase, sweep_points) with
+     | Some p, Some c when p.Msc.Trace.total_s > 0.0 ->
+         Printf.printf
+           "\nsweep throughput: %s points/s per core (%s points / %s of sweep \
+            spans)\n"
+           (Msc.Units_fmt.count (c.Msc.Trace.sum /. p.Msc.Trace.total_s))
+           (Msc.Units_fmt.count c.Msc.Trace.sum)
+           (Msc.Units_fmt.seconds p.Msc.Trace.total_s)
+     | _ -> ());
     0
   in
   Cmd.v

@@ -37,7 +37,74 @@ let iter_region g ranges fn =
   in
   go 0
 
+(* Walk a slab one contiguous innermost run at a time: [row base len] gets
+   the flat index of the run's first element. The innermost dimension has
+   stride 1 by construction, so the per-element work inside a run is just
+   the float<->LE conversion — no coordinate arithmetic. *)
+let iter_region_rows (g : Grid.t) ranges row =
+  let nd = Grid.ndim g in
+  let last = nd - 1 in
+  let lo_last, hi_last = ranges.(last) in
+  let len = hi_last - lo_last in
+  if len > 0 then begin
+    let coord = Array.map fst ranges in
+    let base_of () =
+      let acc = ref 0 in
+      for d = 0 to nd - 1 do
+        acc := !acc + ((coord.(d) + g.Grid.halo.(d)) * g.Grid.strides.(d))
+      done;
+      !acc
+    in
+    let rec go d =
+      if d = last then row (base_of ()) len
+      else begin
+        let lo, hi = ranges.(d) in
+        for k = lo to hi - 1 do
+          coord.(d) <- k;
+          go (d + 1)
+        done
+      end
+    in
+    go 0
+  end
+
 let pack g ~dir ~width =
+  let ranges = region g ~dir ~width ~side:`Inner in
+  let elems = payload_elems g ~dir ~width in
+  let buf = Bytes.create (8 * elems) in
+  let data = g.Grid.data in
+  let pos = ref 0 in
+  iter_region_rows g ranges (fun base len ->
+      let p = !pos in
+      for c = 0 to len - 1 do
+        Bytes.set_int64_le buf
+          (p + (8 * c))
+          (Int64.bits_of_float (Array.unsafe_get data (base + c)))
+      done;
+      pos := p + (8 * len));
+  buf
+
+let unpack g ~dir ~width payload =
+  let ranges = region g ~dir ~width ~side:`Outer in
+  let elems = payload_elems g ~dir ~width in
+  if Bytes.length payload <> 8 * elems then
+    invalid_arg
+      (Printf.sprintf "Halo.unpack: payload %d B but slab needs %d B"
+         (Bytes.length payload) (8 * elems));
+  let data = g.Grid.data in
+  let pos = ref 0 in
+  iter_region_rows g ranges (fun base len ->
+      let p = !pos in
+      for c = 0 to len - 1 do
+        Array.unsafe_set data (base + c)
+          (Int64.float_of_bits (Bytes.get_int64_le payload (p + (8 * c))))
+      done;
+      pos := p + (8 * len))
+
+(* The original coordinate-at-a-time implementations, retained as the
+   reference the row-based pack/unpack are property-tested against. *)
+
+let pack_naive g ~dir ~width =
   let ranges = region g ~dir ~width ~side:`Inner in
   let elems = payload_elems g ~dir ~width in
   let buf = Bytes.create (8 * elems) in
@@ -47,7 +114,7 @@ let pack g ~dir ~width =
       pos := !pos + 8);
   buf
 
-let unpack g ~dir ~width payload =
+let unpack_naive g ~dir ~width payload =
   let ranges = region g ~dir ~width ~side:`Outer in
   let elems = payload_elems g ~dir ~width in
   if Bytes.length payload <> 8 * elems then

@@ -13,11 +13,20 @@ val region_extents : Msc_exec.Grid.t -> dir:int array -> width:int array -> int 
 val pack : Msc_exec.Grid.t -> dir:int array -> width:int array -> Bytes.t
 (** Serialise the inner halo slab facing [dir] (the data a neighbour at [dir]
     needs). [width] is the exchange width per dimension (the stencil
-    radius). *)
+    radius). The slab is walked one contiguous innermost run at a time, so
+    per-element cost is just the float64-LE conversion. *)
 
 val unpack : Msc_exec.Grid.t -> dir:int array -> width:int array -> Bytes.t -> unit
 (** Write a received payload into the outer halo slab toward [dir].
     @raise Invalid_argument if the payload size mismatches the slab. *)
+
+val pack_naive : Msc_exec.Grid.t -> dir:int array -> width:int array -> Bytes.t
+(** Coordinate-at-a-time reference implementation of {!pack}, retained so
+    the row-based path stays property-tested against it. *)
+
+val unpack_naive :
+  Msc_exec.Grid.t -> dir:int array -> width:int array -> Bytes.t -> unit
+(** Reference implementation of {!unpack} (see {!pack_naive}). *)
 
 val payload_elems : Msc_exec.Grid.t -> dir:int array -> width:int array -> int
 

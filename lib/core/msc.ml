@@ -10,6 +10,7 @@ module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
 module Grid = Msc_exec.Grid
 module Runtime = Msc_exec.Runtime
+module Interp = Msc_exec.Interp
 module Reference = Msc_exec.Reference
 module Verify = Msc_exec.Verify
 module Bc = Msc_exec.Bc
@@ -74,12 +75,17 @@ module Pipeline = struct
 
   let run ~steps p =
     let pool = Domain_pool.create p.workers in
-    let rt =
-      Runtime.create ?schedule:p.schedule ?bc:p.bc ~pool ~trace:p.trace
-        p.stencil
-    in
-    Runtime.run rt steps;
-    Runtime.current rt
+    (* The pool's workers persist across steps; release them when the run
+       finishes rather than leaving parked domains to the GC backstop. *)
+    Fun.protect
+      ~finally:(fun () -> Domain_pool.shutdown pool)
+      (fun () ->
+        let rt =
+          Runtime.create ?schedule:p.schedule ?bc:p.bc ~pool ~trace:p.trace
+            p.stencil
+        in
+        Runtime.run rt steps;
+        Runtime.current rt)
 
   let verify ~steps p =
     Verify.check ?schedule:p.schedule ?bc:p.bc ~trace:p.trace ~steps p.stencil

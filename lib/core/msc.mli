@@ -41,6 +41,7 @@ module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
 module Grid = Msc_exec.Grid
 module Runtime = Msc_exec.Runtime
+module Interp = Msc_exec.Interp
 module Reference = Msc_exec.Reference
 module Verify = Msc_exec.Verify
 module Bc = Msc_exec.Bc

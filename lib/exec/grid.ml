@@ -72,6 +72,27 @@ let fill_random t rng = fill t (fun _ -> Msc_util.Prng.uniform rng)
 
 let fill_all t v = Array.fill t.data 0 (Array.length t.data) v
 
+(* Walk the interior one contiguous innermost row at a time ([base] is the
+   flat index of the row's first element; rows have length [shape.(nd-1)]
+   because the innermost stride is 1 by construction). *)
+let iter_interior_rows t fn =
+  let nd = ndim t in
+  let last = nd - 1 in
+  let coord = Array.make nd 0 in
+  let rec go d =
+    if d = last then fn (flat_index t coord)
+    else
+      for k = 0 to t.shape.(d) - 1 do
+        coord.(d) <- k;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let fill_interior t v =
+  let len = t.shape.(ndim t - 1) in
+  iter_interior_rows t (fun base -> Array.fill t.data base len v)
+
 let in_interior t coord =
   let ok = ref true in
   Array.iteri (fun d c -> if c < 0 || c >= t.shape.(d) then ok := false) coord;
@@ -100,7 +121,22 @@ let clear_halo t =
 
 let blit_interior ~src ~dst =
   if src.shape <> dst.shape then invalid_arg "Grid.blit_interior: shape mismatch";
-  iter_interior src (fun coord -> set dst coord (get src coord))
+  (* Rows are contiguous in both grids even when their halos differ, so the
+     copy is one [Array.blit] per innermost row. *)
+  let nd = ndim src in
+  let last = nd - 1 in
+  let len = src.shape.(last) in
+  let coord = Array.make nd 0 in
+  let rec go d =
+    if d = last then
+      Array.blit src.data (flat_index src coord) dst.data (flat_index dst coord) len
+    else
+      for k = 0 to src.shape.(d) - 1 do
+        coord.(d) <- k;
+        go (d + 1)
+      done
+  in
+  go 0
 
 let max_abs t =
   let acc = ref 0.0 in

@@ -45,6 +45,11 @@ val fill_random : t -> Msc_util.Prng.t -> unit
 val fill_all : t -> float -> unit
 (** Every cell, halo included. *)
 
+val fill_interior : t -> float -> unit
+(** Every interior cell (halo untouched), as one [Array.fill] per contiguous
+    innermost row — the cheap zero pass for sweeps that only accumulate into
+    the interior. *)
+
 val clear_halo : t -> unit
 (** Zero all halo cells, keeping the interior. *)
 
@@ -53,7 +58,8 @@ val iter_interior : t -> (int array -> unit) -> unit
     reused between calls; copy it if retained. *)
 
 val blit_interior : src:t -> dst:t -> unit
-(** Copy the interior region; shapes must match (halos may differ). *)
+(** Copy the interior region; shapes must match (halos may differ). One
+    [Array.blit] per contiguous innermost row. *)
 
 val max_abs : t -> float
 val max_rel_error : reference:t -> t -> float

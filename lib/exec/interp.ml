@@ -10,9 +10,24 @@ type bi_term = {
   has_input : bool;
 }
 
+(* Term kinds for the bilinear inner loop, precomputed at compile time so
+   the per-point dispatch is an int match instead of option/string tests. *)
+let kind_aux_input = 0
+let kind_input_only = 1
+let kind_aux_only = 2
+
+type bilinear = {
+  terms : bi_term array;  (* retained for introspection / the generic path *)
+  bl_coeffs : float array;
+  bl_kinds : int array;
+  bl_aux_names : string option array;
+  bl_aux_deltas : int array;
+  bl_in_deltas : int array;
+}
+
 type mode =
   | Taps of { coeffs : float array; deltas : int array }
-  | Bilinear of bi_term array
+  | Bilinear of bilinear
   | Tree of Expr.t
 
 type t = {
@@ -22,6 +37,11 @@ type t = {
   halo : int array;
   strides : int array;
 }
+
+(* How a sweep writes its per-point kernel value into [dst]. [Apply] and
+   [Apply_scaled] overwrite (the write-through fast path: the first stencil
+   term needs no prior zero fill); [Accumulate] adds (every later term). *)
+type writeback = Apply | Apply_scaled of float | Accumulate of float
 
 (* ------------------------------------------------------------------ *)
 (* Bilinear decomposition *)
@@ -101,6 +121,23 @@ let flat_delta strides offsets =
 let mode_name t =
   match t.mode with Taps _ -> "taps" | Bilinear _ -> "bilinear" | Tree _ -> "tree"
 
+let make_bilinear terms =
+  let n = Array.length terms in
+  {
+    terms;
+    bl_coeffs = Array.map (fun tm -> tm.coeff) terms;
+    bl_kinds =
+      Array.init n (fun k ->
+          let tm = terms.(k) in
+          match (tm.aux_name, tm.has_input) with
+          | Some _, true -> kind_aux_input
+          | None, _ -> kind_input_only
+          | Some _, false -> kind_aux_only);
+    bl_aux_names = Array.map (fun tm -> tm.aux_name) terms;
+    bl_aux_deltas = Array.map (fun tm -> tm.aux_delta) terms;
+    bl_in_deltas = Array.map (fun tm -> tm.in_delta) terms;
+  }
+
 let compile ?(trace = Msc_trace.disabled) kernel ~geometry:(g : Grid.t) =
   let ts0 = Msc_trace.begin_span trace in
   if Kernel.ndim kernel <> Grid.ndim g then
@@ -125,23 +162,24 @@ let compile ?(trace = Msc_trace.disabled) kernel ~geometry:(g : Grid.t) =
         with
         | Some partials ->
             Bilinear
-              (Array.of_list
-                 (List.map
-                    (fun p ->
-                      {
-                        coeff = p.c;
-                        aux_name = Option.map (fun (a : Expr.access) -> a.Expr.tensor) p.aux;
-                        aux_delta =
-                          (match p.aux with
-                          | Some a -> flat_delta g.Grid.strides a.Expr.offsets
-                          | None -> 0);
-                        in_delta =
-                          (match p.inp with
-                          | Some a -> flat_delta g.Grid.strides a.Expr.offsets
-                          | None -> 0);
-                        has_input = p.inp <> None;
-                      })
-                    partials))
+              (make_bilinear
+                 (Array.of_list
+                    (List.map
+                       (fun p ->
+                         {
+                           coeff = p.c;
+                           aux_name = Option.map (fun (a : Expr.access) -> a.Expr.tensor) p.aux;
+                           aux_delta =
+                             (match p.aux with
+                             | Some a -> flat_delta g.Grid.strides a.Expr.offsets
+                             | None -> 0);
+                           in_delta =
+                             (match p.inp with
+                             | Some a -> flat_delta g.Grid.strides a.Expr.offsets
+                             | None -> 0);
+                           has_input = p.inp <> None;
+                         })
+                       partials)))
         | None -> Tree kernel.Kernel.expr)
   in
   let t =
@@ -181,10 +219,12 @@ let aux_data t ~aux name =
       g.Grid.data
   | None -> invalid_arg (Printf.sprintf "Interp: kernel reads aux grid %s but it was not supplied" name)
 
-(* Generic n-D walker over [lo, hi): invokes [row base len] for each
-   innermost row, where [base] is the flat index of the first element. *)
-let iter_rows t ~lo ~hi row =
-  let nd = Array.length t.shape in
+(* Generic n-D row walker over [lo, hi): invokes [row base len] for each
+   innermost row, where [base] is the flat index of the first element. The
+   innermost dimension is contiguous (stride 1 by construction), so every
+   inner loop below runs over [base .. base+len-1] directly. *)
+let iter_rows ~shape ~halo ~strides ~lo ~hi row =
+  let nd = Array.length shape in
   let last = nd - 1 in
   let row_len = hi.(last) - lo.(last) in
   if row_len > 0 then begin
@@ -192,7 +232,7 @@ let iter_rows t ~lo ~hi row =
     let flat_of coord =
       let acc = ref 0 in
       for d = 0 to nd - 1 do
-        acc := !acc + ((coord.(d) + t.halo.(d)) * t.strides.(d))
+        acc := !acc + ((coord.(d) + halo.(d)) * strides.(d))
       done;
       !acc
     in
@@ -207,6 +247,251 @@ let iter_rows t ~lo ~hi row =
     coord.(last) <- lo.(last);
     go 0
   end
+
+let iter_rows_of t ~lo ~hi row =
+  iter_rows ~shape:t.shape ~halo:t.halo ~strides:t.strides ~lo ~hi row
+
+(* ------------------------------------------------------------------ *)
+(* Taps mode: direct loops, no per-point closure. Small odd tap counts are
+   the star stencils (1-D/2-D/3-D first-order: 3/5/7 points), worth fully
+   unrolling. Accumulation order matches the generic path exactly (ascending
+   tap index, left-associated sums), so results stay bit-identical. *)
+
+let taps_row_generic ~coeffs ~deltas ~sdata ~ddata wb base len =
+  let ntaps = Array.length coeffs in
+  match wb with
+  | Apply ->
+      for c = 0 to len - 1 do
+        let idx = base + c in
+        let acc = ref 0.0 in
+        for k = 0 to ntaps - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get coeffs k
+               *. Array.unsafe_get sdata (idx + Array.unsafe_get deltas k))
+        done;
+        Array.unsafe_set ddata idx !acc
+      done
+  | Apply_scaled s ->
+      for c = 0 to len - 1 do
+        let idx = base + c in
+        let acc = ref 0.0 in
+        for k = 0 to ntaps - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get coeffs k
+               *. Array.unsafe_get sdata (idx + Array.unsafe_get deltas k))
+        done;
+        Array.unsafe_set ddata idx (s *. !acc)
+      done
+  | Accumulate s ->
+      for c = 0 to len - 1 do
+        let idx = base + c in
+        let acc = ref 0.0 in
+        for k = 0 to ntaps - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get coeffs k
+               *. Array.unsafe_get sdata (idx + Array.unsafe_get deltas k))
+        done;
+        Array.unsafe_set ddata idx (Array.unsafe_get ddata idx +. (s *. !acc))
+      done
+
+let sweep_taps t ~coeffs ~deltas ~(sdata : float array) ~(ddata : float array)
+    ~lo ~hi wb =
+  let row =
+    match Array.length coeffs with
+    | 3 ->
+        let c0 = coeffs.(0) and c1 = coeffs.(1) and c2 = coeffs.(2) in
+        let d0 = deltas.(0) and d1 = deltas.(1) and d2 = deltas.(2) in
+        fun base len ->
+          (match wb with
+          | Apply ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  ((c0 *. Array.unsafe_get sdata (idx + d0))
+                  +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                  +. (c2 *. Array.unsafe_get sdata (idx + d2)))
+              done
+          | Apply_scaled s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (s
+                  *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                     +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                     +. (c2 *. Array.unsafe_get sdata (idx + d2))))
+              done
+          | Accumulate s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (Array.unsafe_get ddata idx
+                  +. (s
+                     *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                        +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                        +. (c2 *. Array.unsafe_get sdata (idx + d2)))))
+              done)
+    | 5 ->
+        let c0 = coeffs.(0) and c1 = coeffs.(1) and c2 = coeffs.(2) in
+        let c3 = coeffs.(3) and c4 = coeffs.(4) in
+        let d0 = deltas.(0) and d1 = deltas.(1) and d2 = deltas.(2) in
+        let d3 = deltas.(3) and d4 = deltas.(4) in
+        fun base len ->
+          (match wb with
+          | Apply ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  ((c0 *. Array.unsafe_get sdata (idx + d0))
+                  +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                  +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                  +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                  +. (c4 *. Array.unsafe_get sdata (idx + d4)))
+              done
+          | Apply_scaled s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (s
+                  *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                     +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                     +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                     +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                     +. (c4 *. Array.unsafe_get sdata (idx + d4))))
+              done
+          | Accumulate s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (Array.unsafe_get ddata idx
+                  +. (s
+                     *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                        +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                        +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                        +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                        +. (c4 *. Array.unsafe_get sdata (idx + d4)))))
+              done)
+    | 7 ->
+        let c0 = coeffs.(0) and c1 = coeffs.(1) and c2 = coeffs.(2) in
+        let c3 = coeffs.(3) and c4 = coeffs.(4) and c5 = coeffs.(5) in
+        let c6 = coeffs.(6) in
+        let d0 = deltas.(0) and d1 = deltas.(1) and d2 = deltas.(2) in
+        let d3 = deltas.(3) and d4 = deltas.(4) and d5 = deltas.(5) in
+        let d6 = deltas.(6) in
+        fun base len ->
+          (match wb with
+          | Apply ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  ((c0 *. Array.unsafe_get sdata (idx + d0))
+                  +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                  +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                  +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                  +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                  +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                  +. (c6 *. Array.unsafe_get sdata (idx + d6)))
+              done
+          | Apply_scaled s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (s
+                  *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                     +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                     +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                     +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                     +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                     +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                     +. (c6 *. Array.unsafe_get sdata (idx + d6))))
+              done
+          | Accumulate s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (Array.unsafe_get ddata idx
+                  +. (s
+                     *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                        +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                        +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                        +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                        +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                        +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                        +. (c6 *. Array.unsafe_get sdata (idx + d6)))))
+              done)
+    | _ -> taps_row_generic ~coeffs ~deltas ~sdata ~ddata wb
+  in
+  iter_rows_of t ~lo ~hi row
+
+(* ------------------------------------------------------------------ *)
+(* Bilinear mode. Per-term aux arrays are resolved once per sweep; the
+   per-point dispatch is an int-kind match over precompiled parallel arrays
+   (the legacy path re-matched [aux_name] per point per term). Term order
+   and multiplication association are unchanged, so results are
+   bit-identical to the generic path. *)
+
+let resolve_bilinear_arrays t ~aux ~(sdata : float array) b =
+  Array.map
+    (fun name -> match name with Some n -> aux_data t ~aux n | None -> sdata)
+    b.bl_aux_names
+
+let sweep_bilinear t ~aux ~(sdata : float array) ~(ddata : float array) ~lo ~hi
+    b wb =
+  let arrays = resolve_bilinear_arrays t ~aux ~sdata b in
+  let n = Array.length b.bl_coeffs in
+  let coeffs = b.bl_coeffs and kinds = b.bl_kinds in
+  let aux_deltas = b.bl_aux_deltas and in_deltas = b.bl_in_deltas in
+  let point idx =
+    let acc = ref 0.0 in
+    for k = 0 to n - 1 do
+      let c = Array.unsafe_get coeffs k in
+      let v =
+        match Array.unsafe_get kinds k with
+        | 0 (* aux * input *) ->
+            c
+            *. Array.unsafe_get (Array.unsafe_get arrays k)
+                 (idx + Array.unsafe_get aux_deltas k)
+            *. Array.unsafe_get sdata (idx + Array.unsafe_get in_deltas k)
+        | 1 (* input only *) ->
+            c *. Array.unsafe_get sdata (idx + Array.unsafe_get in_deltas k)
+        | _ (* aux only *) ->
+            c
+            *. Array.unsafe_get (Array.unsafe_get arrays k)
+                 (idx + Array.unsafe_get aux_deltas k)
+      in
+      acc := !acc +. v
+    done;
+    !acc
+  in
+  let row =
+    match wb with
+    | Apply ->
+        fun base len ->
+          for c = 0 to len - 1 do
+            let idx = base + c in
+            Array.unsafe_set ddata idx (point idx)
+          done
+    | Apply_scaled s ->
+        fun base len ->
+          for c = 0 to len - 1 do
+            let idx = base + c in
+            Array.unsafe_set ddata idx (s *. point idx)
+          done
+    | Accumulate s ->
+        fun base len ->
+          for c = 0 to len - 1 do
+            let idx = base + c in
+            Array.unsafe_set ddata idx
+              (Array.unsafe_get ddata idx +. (s *. point idx))
+          done
+  in
+  iter_rows_of t ~lo ~hi row
+
+(* ------------------------------------------------------------------ *)
+(* Tree mode: expression evaluation dominates, so a per-point write closure
+   costs nothing measurable and the legacy walker is kept. *)
 
 let eval_tree t expr ~(src : Grid.t) ~aux coord =
   let load (a : Expr.access) =
@@ -229,14 +514,74 @@ let eval_tree t expr ~(src : Grid.t) ~aux coord =
   in
   Expr.eval ~bindings:t.kernel.Kernel.bindings ~load ~var expr
 
-let sweep ?(aux = []) t ~src ~dst ~lo ~hi ~write =
+let sweep_tree t expr ~src ~aux ~(ddata : float array) ~lo ~hi wb =
+  let write =
+    match wb with
+    | Apply -> fun idx v -> Array.unsafe_set ddata idx v
+    | Apply_scaled s -> fun idx v -> Array.unsafe_set ddata idx (s *. v)
+    | Accumulate s ->
+        fun idx v ->
+          Array.unsafe_set ddata idx (Array.unsafe_get ddata idx +. (s *. v))
+  in
+  let nd = Array.length t.shape in
+  let coord = Array.copy lo in
+  let last = nd - 1 in
+  let rec go d =
+    if d = nd then begin
+      let flat = ref 0 in
+      for k = 0 to last do
+        flat := !flat + ((coord.(k) + t.halo.(k)) * t.strides.(k))
+      done;
+      write !flat (eval_tree t expr ~src ~aux coord)
+    end
+    else
+      for k = lo.(d) to hi.(d) - 1 do
+        coord.(d) <- k;
+        go (d + 1)
+      done
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let sweep ?(aux = []) t ~src ~dst ~lo ~hi wb =
+  check_grids t ~src ~dst;
+  check_range t ~lo ~hi;
+  let sdata = (src : Grid.t).Grid.data and ddata = (dst : Grid.t).Grid.data in
+  match t.mode with
+  | Taps { coeffs; deltas } -> sweep_taps t ~coeffs ~deltas ~sdata ~ddata ~lo ~hi wb
+  | Bilinear b -> sweep_bilinear t ~aux ~sdata ~ddata ~lo ~hi b wb
+  | Tree expr -> sweep_tree t expr ~src ~aux ~ddata ~lo ~hi wb
+
+let apply_range ?aux t ~src ~dst ~lo ~hi = sweep ?aux t ~src ~dst ~lo ~hi Apply
+
+let apply_scaled_range ?aux t ~scale ~src ~dst ~lo ~hi =
+  (* scale = 1 degrades to a plain overwrite ([1.0 *. x] is exact, but the
+     multiply is not free). *)
+  if scale = 1.0 then sweep ?aux t ~src ~dst ~lo ~hi Apply
+  else sweep ?aux t ~src ~dst ~lo ~hi (Apply_scaled scale)
+
+let accumulate_range ?aux t ~scale ~src ~dst ~lo ~hi =
+  sweep ?aux t ~src ~dst ~lo ~hi (Accumulate scale)
+
+let apply ?aux t ~src ~dst =
+  let lo = Array.make (Array.length t.shape) 0 in
+  apply_range ?aux t ~src ~dst ~lo ~hi:t.shape
+
+(* ------------------------------------------------------------------ *)
+(* The retained generic path: every point funnelled through a [write]
+   closure, bilinear terms re-dispatched per point. This is the legacy
+   implementation the fast paths above are parity-tested against (and the
+   baseline the [fastpath] bench group measures). *)
+
+let generic_sweep ?(aux = []) t ~src ~dst ~lo ~hi ~write =
   check_grids t ~src ~dst;
   check_range t ~lo ~hi;
   match t.mode with
   | Taps { coeffs; deltas } ->
       let ntaps = Array.length coeffs in
       let sdata = src.Grid.data and ddata = dst.Grid.data in
-      iter_rows t ~lo ~hi (fun base len ->
+      iter_rows_of t ~lo ~hi (fun base len ->
           for c = 0 to len - 1 do
             let idx = base + c in
             let acc = ref 0.0 in
@@ -245,9 +590,10 @@ let sweep ?(aux = []) t ~src ~dst ~lo ~hi ~write =
             done;
             write ddata idx !acc
           done)
-  | Bilinear terms ->
-      (* Resolve each term's aux array once per sweep. *)
+  | Bilinear b ->
+      let terms = b.terms in
       let nterms = Array.length terms in
+      let sdata = src.Grid.data and ddata = dst.Grid.data in
       let arrays =
         Array.map
           (fun term ->
@@ -256,8 +602,7 @@ let sweep ?(aux = []) t ~src ~dst ~lo ~hi ~write =
             | None -> src.Grid.data)
           terms
       in
-      let sdata = src.Grid.data and ddata = dst.Grid.data in
-      iter_rows t ~lo ~hi (fun base len ->
+      iter_rows_of t ~lo ~hi (fun base len ->
           for c = 0 to len - 1 do
             let idx = base + c in
             let acc = ref 0.0 in
@@ -296,46 +641,44 @@ let sweep ?(aux = []) t ~src ~dst ~lo ~hi ~write =
       in
       go 0
 
-let apply_range ?aux t ~src ~dst ~lo ~hi =
-  sweep ?aux t ~src ~dst ~lo ~hi ~write:(fun data idx v -> Array.unsafe_set data idx v)
+let generic_apply_range ?aux t ~src ~dst ~lo ~hi =
+  generic_sweep ?aux t ~src ~dst ~lo ~hi ~write:(fun data idx v ->
+      Array.unsafe_set data idx v)
 
-let accumulate_range ?aux t ~scale ~src ~dst ~lo ~hi =
-  sweep ?aux t ~src ~dst ~lo ~hi ~write:(fun data idx v ->
+let generic_accumulate_range ?aux t ~scale ~src ~dst ~lo ~hi =
+  generic_sweep ?aux t ~src ~dst ~lo ~hi ~write:(fun data idx v ->
       Array.unsafe_set data idx (Array.unsafe_get data idx +. (scale *. v)))
 
-let apply ?aux t ~src ~dst =
-  let lo = Array.make (Array.length t.shape) 0 in
-  apply_range ?aux t ~src ~dst ~lo ~hi:t.shape
+(* ------------------------------------------------------------------ *)
+(* Identity (State) terms. *)
+
+let check_identity ~(src : Grid.t) ~(dst : Grid.t) name =
+  if src.Grid.shape <> dst.Grid.shape || src.Grid.strides <> dst.Grid.strides then
+    invalid_arg (name ^ ": geometry mismatch")
 
 let identity_accumulate_range ~scale ~(src : Grid.t) ~(dst : Grid.t) ~lo ~hi =
-  if src.Grid.shape <> dst.Grid.shape || src.Grid.strides <> dst.Grid.strides then
-    invalid_arg "identity_accumulate_range: geometry mismatch";
-  let nd = Array.length src.Grid.shape in
-  let coord = Array.copy lo in
-  let last = nd - 1 in
-  let row_len = hi.(last) - lo.(last) in
-  if row_len > 0 then begin
-    let flat_of coord =
-      let acc = ref 0 in
-      for d = 0 to nd - 1 do
-        acc := !acc + ((coord.(d) + src.Grid.halo.(d)) * src.Grid.strides.(d))
-      done;
-      !acc
-    in
-    coord.(last) <- lo.(last);
-    let sdata = src.Grid.data and ddata = dst.Grid.data in
-    let rec go d =
-      if d = last then begin
-        let base = flat_of coord in
-        for c = 0 to row_len - 1 do
-          ddata.(base + c) <- ddata.(base + c) +. (scale *. sdata.(base + c))
-        done
-      end
-      else
-        for k = lo.(d) to hi.(d) - 1 do
-          coord.(d) <- k;
-          go (d + 1)
-        done
-    in
-    go 0
-  end
+  check_identity ~src ~dst "identity_accumulate_range";
+  let sdata = src.Grid.data and ddata = dst.Grid.data in
+  iter_rows ~shape:src.Grid.shape ~halo:src.Grid.halo ~strides:src.Grid.strides
+    ~lo ~hi (fun base len ->
+      for c = 0 to len - 1 do
+        let i = base + c in
+        Array.unsafe_set ddata i
+          (Array.unsafe_get ddata i +. (scale *. Array.unsafe_get sdata i))
+      done)
+
+let identity_apply_range ~scale ~(src : Grid.t) ~(dst : Grid.t) ~lo ~hi =
+  check_identity ~src ~dst "identity_apply_range";
+  let sdata = src.Grid.data and ddata = dst.Grid.data in
+  if scale = 1.0 then
+    (* A pure copy: rows are contiguous in both grids (same geometry). *)
+    iter_rows ~shape:src.Grid.shape ~halo:src.Grid.halo
+      ~strides:src.Grid.strides ~lo ~hi (fun base len ->
+        Array.blit sdata base ddata base len)
+  else
+    iter_rows ~shape:src.Grid.shape ~halo:src.Grid.halo
+      ~strides:src.Grid.strides ~lo ~hi (fun base len ->
+        for c = 0 to len - 1 do
+          let i = base + c in
+          Array.unsafe_set ddata i (scale *. Array.unsafe_get sdata i)
+        done)

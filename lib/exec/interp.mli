@@ -4,12 +4,21 @@
     Three execution modes, fastest applicable wins:
 
     - {b taps}: single-grid linear kernels become a flat (coefficient,
-      flat-delta) array evaluated in a tight loop;
+      flat-delta) array evaluated in a tight loop, fully unrolled for the
+      3/5/7-point stars;
     - {b bilinear}: multi-grid kernels of the form
       [sum_k c_k * Aux[p+a_k] * In[p+b_k]] (variable-coefficient stencils,
-      the §5.6 WRF/POP2 shape) become (coefficient, aux-delta, input-delta)
-      triples;
+      the §5.6 WRF/POP2 shape) become precompiled (coefficient, kind,
+      aux-delta, input-delta) parallel arrays — per-term aux arrays are
+      resolved once per sweep, the per-point dispatch is an integer match;
     - {b tree}: anything else falls back to expression-tree evaluation.
+
+    Every sweep comes in three writeback flavours, all direct loops with no
+    per-point closure: overwrite ([apply_range]), overwrite-with-scale
+    ([apply_scaled_range] — the runtime's write-through fast path, which
+    lets the first stencil term skip the zero fill), and accumulate
+    ([accumulate_range]). The pre-optimization closure-based implementation
+    is retained as [generic_sweep] for parity tests and benchmarks.
 
     Kernels reading aux grids must be given them at application time via
     [~aux]; all grids must share the compiled geometry. *)
@@ -42,6 +51,14 @@ val apply_range :
     must not alias [dst]. @raise Invalid_argument if the kernel reads an aux
     tensor that was not supplied. *)
 
+val apply_scaled_range :
+  ?aux:(string * Grid.t) list ->
+  t -> scale:float -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array ->
+  unit
+(** [dst\[p\] <- scale * K(src)\[p\]] over the range — an overwrite, not an
+    accumulation, so the destination needs no prior zero fill. Bit-identical
+    to [accumulate_range] into a zeroed destination. *)
+
 val accumulate_range :
   ?aux:(string * Grid.t) list ->
   t -> scale:float -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array ->
@@ -54,3 +71,31 @@ val apply : ?aux:(string * Grid.t) list -> t -> src:Grid.t -> dst:Grid.t -> unit
 val identity_accumulate_range :
   scale:float -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array -> unit
 (** [dst += scale * src] over the range (the [State] term of a stencil). *)
+
+val identity_apply_range :
+  scale:float -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array -> unit
+(** [dst <- scale * src] over the range — write-through form of the [State]
+    term; degrades to contiguous row blits when [scale = 1]. *)
+
+(** {1 Retained generic path}
+
+    The pre-optimization implementation: every point funnelled through a
+    [write] closure, bilinear terms re-dispatched per point. Kept as the
+    in-tree reference the specialized loops are parity-tested against, and
+    as the baseline of the [fastpath] bench group. Semantically identical
+    to the fast paths (bit-exact for taps/tree, and for bilinear too — term
+    order is preserved). *)
+
+val generic_sweep :
+  ?aux:(string * Grid.t) list ->
+  t -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array ->
+  write:(float array -> int -> float -> unit) -> unit
+
+val generic_apply_range :
+  ?aux:(string * Grid.t) list ->
+  t -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array -> unit
+
+val generic_accumulate_range :
+  ?aux:(string * Grid.t) list ->
+  t -> scale:float -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array ->
+  unit

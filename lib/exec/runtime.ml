@@ -4,6 +4,8 @@ module Schedule = Msc_schedule.Schedule
 type term = { scale : float; source : source; dt : int }
 and source = From_kernel of Interp.t | From_state
 
+type engine = Write_through | Zero_accumulate
+
 type t = {
   stencil : Stencil.t;
   terms : term list;
@@ -15,6 +17,7 @@ type t = {
   tiles : (int array * int array) array;
   par : [ `Seq | `Block | `Round_robin ];
   pool : Msc_util.Domain_pool.t;
+  engine : engine;
   trace : Msc_trace.t;
   tid : int;  (* label for this runtime's spans (the rank, when distributed) *)
   on_worker : (int -> unit) option;  (* attaches worker domains to [trace] *)
@@ -79,8 +82,8 @@ let default_init _dt coord =
 
 let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
     ?(init = default_init) ?(aux_init = default_aux_init)
-    ?(bc = Bc.Dirichlet 0.0) ?(trace = Msc_trace.disabled) ?(tid = 0)
-    (st : Stencil.t) =
+    ?(bc = Bc.Dirichlet 0.0) ?(engine = Write_through)
+    ?(trace = Msc_trace.disabled) ?(tid = 0) (st : Stencil.t) =
   let geometry = Grid.of_tensor st.Stencil.grid in
   let terms =
     List.map
@@ -147,6 +150,7 @@ let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
     tiles;
     par;
     pool;
+    engine;
     trace;
     tid;
     on_worker;
@@ -172,16 +176,33 @@ let output_slot t =
 let tiles t = t.tiles
 let aux_grids t = t.aux
 
+let term_accumulate t ~dst ~lo ~hi term =
+  let src = state t ~dt:term.dt in
+  match term.source with
+  | From_kernel interp ->
+      Interp.accumulate_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
+  | From_state -> Interp.identity_accumulate_range ~scale:term.scale ~src ~dst ~lo ~hi
+
+let term_write t ~dst ~lo ~hi term =
+  let src = state t ~dt:term.dt in
+  match term.source with
+  | From_kernel interp ->
+      Interp.apply_scaled_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
+  | From_state -> Interp.identity_apply_range ~scale:term.scale ~src ~dst ~lo ~hi
+
 let compute_tile t ~dst id =
   let lo, hi = t.tiles.(id) in
-  List.iter
-    (fun term ->
-      let src = state t ~dt:term.dt in
-      match term.source with
-      | From_kernel interp ->
-          Interp.accumulate_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
-      | From_state -> Interp.identity_accumulate_range ~scale:term.scale ~src ~dst ~lo ~hi)
-    t.terms
+  match (t.engine, t.terms) with
+  | Write_through, first :: rest ->
+      (* The first term overwrites the tile, so [step] needs no zero pass —
+         that pass plus the first term's read-modify-write were a full extra
+         round trip over the output grid per step. Later terms accumulate as
+         before; agreement with the zero-accumulate engine is bit-exact
+         ([0.0 +. x = x]). *)
+      term_write t ~dst ~lo ~hi first;
+      List.iter (term_accumulate t ~dst ~lo ~hi) rest
+  | Write_through, [] | Zero_accumulate, _ ->
+      List.iter (term_accumulate t ~dst ~lo ~hi) t.terms
 
 (* [compute_tile] wrapped in a per-tile "sweep" span. On parallel paths the
    worker's attachment supplies the tid; sequential sweeps carry the
@@ -193,7 +214,13 @@ let sweep_tile ?tid t ~dst id =
 
 let step t =
   let dst = output_slot t in
-  Grid.fill_all dst 0.0;
+  (* The zero pass only exists for the zero-accumulate engine, and only the
+     interior needs it: every halo cell of [dst] is rewritten by [Bc.apply]
+     below before the grid is ever read as an input state (the distributed
+     runtime additionally overwrites exchanged faces afterwards). *)
+  (match t.engine with
+  | Write_through -> ()
+  | Zero_accumulate -> Grid.fill_interior dst 0.0);
   let ntiles = Array.length t.tiles in
   (match t.par with
   | `Seq ->

@@ -7,6 +7,15 @@
 
 type t
 
+type engine = Write_through | Zero_accumulate
+(** How a step materialises the output grid. [Write_through] (the default)
+    has the first stencil term overwrite each tile directly
+    ({!Interp.apply_scaled_range}) and later terms accumulate — no zero
+    pass, one full memory round trip over the output grid saved per step.
+    [Zero_accumulate] is the legacy engine: zero the interior
+    ({!Grid.fill_interior}), then accumulate every term. The two agree
+    bit-exactly; the legacy engine is retained for parity tests. *)
+
 val default_init : int -> int array -> float
 (** The default initial condition: a deterministic smooth field, identical
     for every past state ([dt] is ignored). *)
@@ -26,6 +35,7 @@ val create :
   ?init:(int -> int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
   ?bc:Bc.t ->
+  ?engine:engine ->
   ?trace:Msc_trace.t ->
   ?tid:int ->
   Msc_ir.Stencil.t -> t

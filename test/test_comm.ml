@@ -154,6 +154,46 @@ let halo_unpack_size_mismatch () =
     (try Halo.unpack g ~dir:[| 1; 0 |] ~width:[| 1; 1 |] (Bytes.create 3); false
      with Invalid_argument _ -> true)
 
+let halo_corner_roundtrip () =
+  let a = Grid.create ~shape:[| 5; 4 |] ~halo:[| 2; 2 |] in
+  let b = Grid.create ~shape:[| 5; 4 |] ~halo:[| 2; 2 |] in
+  Grid.fill a (fun c -> float_of_int ((c.(0) * 7) + c.(1)) +. 0.25);
+  (* Diagonal (corner) transfer with asymmetric width. *)
+  let payload = Halo.pack a ~dir:[| 1; 1 |] ~width:[| 2; 1 |] in
+  Halo.unpack b ~dir:[| -1; -1 |] ~width:[| 2; 1 |] payload;
+  for r = 0 to 1 do
+    check_float "corner cell" (Grid.get a [| 3 + r; 3 |]) (Grid.get b [| r - 2; -1 |])
+  done
+
+(* Property: the row-blit pack/unpack agree with the retained
+   coordinate-at-a-time reference on random shapes, halos, widths and
+   directions (faces, edges and corners; a dir of all zeros packs the whole
+   interior, also legal). *)
+let halo_blit_matches_naive_property =
+  qc ~count:120 "blit pack/unpack == naive reference"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 3)
+        (quad (int_range 3 8) (int_range 1 3) (int_range 1 3) (int_range (-1) 1)))
+    (fun dims ->
+      let shape = Array.of_list (List.map (fun (n, _, _, _) -> n) dims) in
+      let halo = Array.of_list (List.map (fun (_, h, _, _) -> h) dims) in
+      let width = Array.of_list (List.map (fun (_, h, w, _) -> min w h) dims) in
+      let dir = Array.of_list (List.map (fun (_, _, _, d) -> d) dims) in
+      let g = Grid.create ~shape ~halo in
+      Grid.fill_extended g (fun c ->
+          let acc = ref 1.0 in
+          Array.iteri
+            (fun d k -> acc := !acc +. (float_of_int ((d + 3) * k) *. 0.21))
+            c;
+          !acc);
+      let fast = Halo.pack g ~dir ~width in
+      let naive = Halo.pack_naive g ~dir ~width in
+      let b1 = Grid.create ~shape ~halo and b2 = Grid.create ~shape ~halo in
+      Halo.unpack b1 ~dir ~width fast;
+      Halo.unpack_naive b2 ~dir ~width naive;
+      Bytes.equal fast naive && b1.Grid.data = b2.Grid.data)
+
 let halo_exchange_fills_outer () =
   let d = Decomp.create ~global:[| 8; 8 |] ~ranks_shape:[| 2; 2 |] in
   let mpi = Mpi.create ~nranks:4 in
@@ -318,9 +358,11 @@ let suites =
     ( "comm.halo",
       [
         tc "pack/unpack roundtrip" halo_pack_unpack_roundtrip;
+        tc "corner roundtrip" halo_corner_roundtrip;
         tc "payload sizes" halo_payload_sizes;
         tc "unpack size mismatch" halo_unpack_size_mismatch;
         tc "exchange fills outer" halo_exchange_fills_outer;
+        halo_blit_matches_naive_property;
       ] );
     ( "comm.distributed",
       [

@@ -1,0 +1,240 @@
+(* Parity and stress tests for the fast-path execution engine: the
+   write-through runtime vs the legacy zero-accumulate engine, specialized
+   vs generic interpreter sweeps, schedule-independence across the whole
+   benchmark suite, and the persistent domain pool. *)
+
+open Helpers
+module Grid = Msc_exec.Grid
+module Interp = Msc_exec.Interp
+module Runtime = Msc_exec.Runtime
+module Schedule = Msc_schedule.Schedule
+module Suite = Msc_benchsuite.Suite
+module Domain_pool = Msc_util.Domain_pool
+open Msc_ir
+open Msc_frontend
+
+let small_dims (b : Suite.bench) =
+  match b.Suite.ndim with 2 -> [| 18; 18 |] | _ -> [| 12; 12; 12 |]
+
+let final_state ?schedule ?pool ?engine ~steps st =
+  let rt = Runtime.create ?schedule ?pool ?engine st in
+  Runtime.run rt steps;
+  Runtime.current rt
+
+(* --- Write-through vs legacy engine, whole suite --- *)
+
+let engine_parity_suite () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      let st = Suite.stencil ~dims:(small_dims b) b in
+      let fast = final_state ~engine:Runtime.Write_through ~steps:4 st in
+      let legacy = final_state ~engine:Runtime.Zero_accumulate ~steps:4 st in
+      let err = Grid.max_rel_error ~reference:legacy fast in
+      check_bool
+        (Printf.sprintf "%s within 1e-12 (err %g)" b.Suite.name err)
+        true (err <= 1e-12))
+    Suite.all
+
+(* --- Seq / Block / Round_robin schedules agree on every suite kernel --- *)
+
+let schedule_parity_suite () =
+  let pool = Domain_pool.create 4 in
+  List.iter
+    (fun (b : Suite.bench) ->
+      let st = Suite.stencil ~dims:(small_dims b) b in
+      let kernel = Suite.kernel_of st in
+      let tile =
+        Array.map (fun n -> max 1 (n / 3)) st.Stencil.grid.Tensor.shape
+      in
+      let seq = Grid.checksum (final_state ~steps:3 st) in
+      let block =
+        Grid.checksum
+          (final_state
+             ~schedule:(Schedule.matrix_canonical ~tile ~threads:4 kernel)
+             ~pool ~steps:3 st)
+      in
+      let rr =
+        Grid.checksum
+          (final_state
+             ~schedule:(Schedule.sunway_canonical ~tile ~cpes:8 kernel)
+             ~pool ~steps:3 st)
+      in
+      check_float (b.Suite.name ^ " block == seq") seq block;
+      check_float (b.Suite.name ^ " round_robin == seq") seq rr)
+    Suite.all;
+  check_int "one spawn for the whole suite" 3 (Domain_pool.spawn_total pool);
+  Domain_pool.shutdown pool
+
+(* --- Specialized sweeps vs the retained generic closure path --- *)
+
+let sweep_vs_generic ~name c ~aux ~src shape =
+  let lo = Array.make (Array.length shape) 0 in
+  let dst_fast = Grid.like src and dst_gen = Grid.like src in
+  Interp.apply_range ~aux c ~src ~dst:dst_fast ~lo ~hi:shape;
+  Interp.generic_apply_range ~aux c ~src ~dst:dst_gen ~lo ~hi:shape;
+  check_float (name ^ " apply == generic") 0.0
+    (Grid.max_rel_error ~reference:dst_gen dst_fast);
+  Interp.accumulate_range ~aux c ~scale:0.7 ~src ~dst:dst_fast ~lo ~hi:shape;
+  Interp.generic_accumulate_range ~aux c ~scale:0.7 ~src ~dst:dst_gen ~lo
+    ~hi:shape;
+  check_float (name ^ " accumulate == generic") 0.0
+    (Grid.max_rel_error ~reference:dst_gen dst_fast);
+  (* apply_scaled == accumulate into a zeroed destination. *)
+  let dst_scaled = Grid.like src and dst_zeroacc = Grid.like src in
+  Interp.apply_scaled_range ~aux c ~scale:(-1.3) ~src ~dst:dst_scaled ~lo
+    ~hi:shape;
+  Interp.generic_accumulate_range ~aux c ~scale:(-1.3) ~src ~dst:dst_zeroacc
+    ~lo ~hi:shape;
+  check_float (name ^ " apply_scaled == zero+accumulate") 0.0
+    (Grid.max_rel_error ~reference:dst_zeroacc dst_scaled)
+
+(* Taps mode at every unrolled arity (3/5/7-point stars) plus a generic
+   arity (9-point 2-D box). *)
+let interp_taps_parity () =
+  let cases =
+    [
+      ("3pt", Builder.def_tensor_1d ~halo:1 "B" Dtype.F64 17, Shapes.Star, 1);
+      ("5pt", Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 11 13, Shapes.Star, 1);
+      ("7pt", Builder.def_tensor_3d ~halo:1 "B" Dtype.F64 7 8 9, Shapes.Star, 1);
+      ("9pt_box", Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 11 13, Shapes.Box, 1);
+      ("13pt", Builder.def_tensor_3d ~halo:2 "B" Dtype.F64 7 8 9, Shapes.Star, 2);
+    ]
+  in
+  List.iter
+    (fun (name, grid, shape, radius) ->
+      let k = Builder.shaped_kernel ~name:("K" ^ name) ~shape ~radius grid in
+      let geometry = Grid.of_tensor grid in
+      let c = Interp.compile k ~geometry in
+      check_bool (name ^ " is taps") true (Interp.is_linear c);
+      let src = Grid.of_tensor grid in
+      Grid.fill_extended src (fun coord ->
+          let acc = ref 0.9 in
+          Array.iteri
+            (fun d x -> acc := !acc +. (0.11 *. float_of_int ((d + 1) * x)))
+            coord;
+          !acc);
+      sweep_vs_generic ~name c ~aux:[] ~src grid.Tensor.shape)
+    cases
+
+let interp_bilinear_parity () =
+  let grid = Builder.def_tensor_2d ~halo:1 "B" Dtype.F64 12 14 in
+  let coeff = Builder.coefficient_grid ~grid "C" in
+  let k =
+    Builder.var_coeff_kernel ~name:"VC" ~coeff ~shape:Shapes.Star ~radius:1 grid
+  in
+  let geometry = Grid.of_tensor grid in
+  let c = Interp.compile k ~geometry in
+  check_bool "bilinear mode" true (Interp.is_bilinear c);
+  let src = Grid.of_tensor grid in
+  Grid.fill_extended src (fun coord ->
+      1.0 +. (0.07 *. float_of_int (coord.(0) + (3 * coord.(1)))));
+  let aux_grid = Grid.of_tensor grid in
+  Grid.fill_extended aux_grid (Runtime.default_aux_init "C");
+  sweep_vs_generic ~name:"bilinear" c ~aux:[ ("C", aux_grid) ] ~src
+    grid.Tensor.shape
+
+let interp_identity_apply () =
+  let g = Grid.create ~shape:[| 6; 7 |] ~halo:[| 1; 1 |] in
+  Grid.fill g (fun c -> float_of_int ((c.(0) * 7) + c.(1)) +. 0.5);
+  let lo = [| 1; 2 |] and hi = [| 5; 6 |] in
+  (* scale = 1: a row blit. *)
+  let dst = Grid.like g in
+  Interp.identity_apply_range ~scale:1.0 ~src:g ~dst ~lo ~hi;
+  check_float "copied subbox" (Grid.get g [| 2; 3 |]) (Grid.get dst [| 2; 3 |]);
+  check_float "outside untouched" 0.0 (Grid.get dst [| 0; 0 |]);
+  (* scaled write == accumulate into zero. *)
+  let dst_s = Grid.like g and dst_a = Grid.like g in
+  Interp.identity_apply_range ~scale:0.25 ~src:g ~dst:dst_s ~lo ~hi;
+  Interp.identity_accumulate_range ~scale:0.25 ~src:g ~dst:dst_a ~lo ~hi;
+  check_float "scaled identity parity" 0.0
+    (Grid.max_rel_error ~reference:dst_a dst_s)
+
+let grid_fill_interior () =
+  let g = Grid.create ~shape:[| 3; 4 |] ~halo:[| 1; 2 |] in
+  Grid.fill_all g 7.0;
+  Grid.fill_interior g 0.0;
+  check_float "interior zeroed" 0.0 (Grid.get g [| 1; 1 |]);
+  check_float "halo kept" 7.0 (Grid.get g [| -1; 0 |]);
+  check_float "far halo kept" 7.0 (Grid.get g [| 2; 5 |]);
+  Grid.fill_interior g 2.0;
+  check_float "refill" 2.0 (Grid.get g [| 0; 3 |])
+
+(* --- Persistent pool: reuse, stress, exceptions --- *)
+
+let pool_spawns_once_across_steps () =
+  let k, st = stencil_3d7pt ~n:10 () in
+  let sched = Schedule.matrix_canonical ~tile:[| 3; 4; 5 |] ~threads:4 k in
+  let pool = Domain_pool.create 4 in
+  let rt = Runtime.create ~schedule:sched ~pool st in
+  Runtime.run rt 40;
+  (* 40 steps x many tiles: still exactly one spawn per helper domain. *)
+  check_int "helpers spawned once" 3 (Domain_pool.spawn_total pool);
+  let seq = final_state ~steps:40 st in
+  check_float "parallel result identical" 0.0
+    (Grid.max_rel_error ~reference:seq (Runtime.current rt));
+  Domain_pool.shutdown pool
+
+let pool_exception_then_reuse () =
+  let pool = Domain_pool.create 3 in
+  for round = 1 to 4 do
+    check_bool
+      (Printf.sprintf "round %d raises" round)
+      true
+      (try
+         Domain_pool.parallel_for pool ~lo:0 ~hi:60 (fun i ->
+             if i mod 17 = 5 then failwith "boom");
+         false
+       with Failure _ -> true);
+    (* The pool must stay fully functional after a failed region. *)
+    let acc = Atomic.make 0 in
+    Domain_pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+        ignore (Atomic.fetch_and_add acc i));
+    check_int (Printf.sprintf "round %d sum" round) 4950 (Atomic.get acc)
+  done;
+  check_int "no respawn across failures" 2 (Domain_pool.spawn_total pool);
+  Domain_pool.shutdown pool
+
+let pool_shutdown_respawn () =
+  let pool = Domain_pool.create 3 in
+  Domain_pool.parallel_for pool ~lo:0 ~hi:10 (fun _ -> ());
+  check_int "first spawn" 2 (Domain_pool.spawn_total pool);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool (* idempotent *);
+  let hits = Array.make 10 0 in
+  Domain_pool.parallel_for pool ~lo:0 ~hi:10 (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iter (fun h -> check_int "post-shutdown dispatch" 1 h) hits;
+  check_int "respawned" 4 (Domain_pool.spawn_total pool);
+  Domain_pool.shutdown pool
+
+let pool_dispatch_stress () =
+  let pool = Domain_pool.create 4 in
+  let total = ref 0 in
+  for _ = 1 to 500 do
+    let acc = Atomic.make 0 in
+    Domain_pool.parallel_chunks pool ~lo:0 ~hi:32 (fun ~worker:_ i ->
+        ignore (Atomic.fetch_and_add acc i));
+    total := !total + Atomic.get acc
+  done;
+  check_int "500 dispatches" (500 * 496) !total;
+  check_int "still one spawn" 3 (Domain_pool.spawn_total pool);
+  Domain_pool.shutdown pool
+
+let suites =
+  [
+    ( "fastpath.parity",
+      [
+        slow "engine parity over Suite.all" engine_parity_suite;
+        slow "schedule parity over Suite.all" schedule_parity_suite;
+        tc "taps unrolls == generic" interp_taps_parity;
+        tc "bilinear == generic" interp_bilinear_parity;
+        tc "identity apply" interp_identity_apply;
+        tc "fill_interior" grid_fill_interior;
+      ] );
+    ( "fastpath.pool",
+      [
+        tc "spawns once across steps" pool_spawns_once_across_steps;
+        tc "exception then reuse" pool_exception_then_reuse;
+        tc "shutdown respawn" pool_shutdown_respawn;
+        tc "dispatch stress" pool_dispatch_stress;
+      ] );
+  ]

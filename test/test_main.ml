@@ -8,4 +8,4 @@ let () =
    @ Test_multigrid.suites @ Test_extensions.suites @ Test_bc.suites
    @ Test_baselines.suites
    @ Test_suite.suites @ Test_pipeline.suites @ Test_trace.suites
-   @ Test_misc.suites)
+   @ Test_fastpath.suites @ Test_misc.suites)
