@@ -207,6 +207,29 @@ let fastpath_tests =
              Msc.Interp.generic_apply_range ~aux:[] compiled ~src ~dst ~lo ~hi));
     ]
 
+(* Plan-driven tile traversal: the native runtime sweeps the plan's
+   materialized task array, so a schedule's [reorder] now decides traversal
+   order. Same tiles, same results — only locality differs between the
+   canonical (row-major outer) order and the reversed outer order. *)
+let plan_traversal_tests =
+  let _, st = small_stencil "3d7pt_star" in
+  let tile = [| 4; 8; 24 |] in
+  let sched order =
+    Msc.Schedule.reorder (Msc.Schedule.tile Msc.Schedule.empty tile) order
+  in
+  let rt order =
+    Msc.Runtime.create ~plan:(Msc.Plan.compile_exn st (sched order)) st
+  in
+  let rt_canonical = rt [ "xo"; "yo"; "zo"; "xi"; "yi"; "zi" ] in
+  let rt_reversed = rt [ "zo"; "yo"; "xo"; "xi"; "yi"; "zi" ] in
+  Test.make_grouped ~name:"plan_traversal"
+    [
+      Test.make ~name:"outer_canonical"
+        (Staged.stage (fun () -> Msc.Runtime.step rt_canonical));
+      Test.make ~name:"outer_reversed"
+        (Staged.stage (fun () -> Msc.Runtime.step rt_reversed));
+    ]
+
 (* Tentpole guarantee of the tracing subsystem: a disabled trace must cost
    nothing measurable. All three variants run the same fig7-style 3d7pt
    step; [step_trace_disabled] passes the disabled sink explicitly (what
@@ -234,7 +257,7 @@ let all_tests =
     [
       suite_tests; schedule_tests; halo_tests; codegen_tests; sim_tests;
       tuning_tests; extension_tests; parallel_overhead_tests; fastpath_tests;
-      trace_overhead_tests;
+      plan_traversal_tests; trace_overhead_tests;
     ]
 
 (* == BENCH_runtime.json: machine-readable per-kernel throughput ==
@@ -295,6 +318,26 @@ let fastpath_speedup () =
   in
   (points /. t_fast, points /. t_legacy, t_legacy /. t_fast)
 
+(* Before/after for the plan-layer traversal change: the same tiled 3d7pt
+   step with canonical outer order (what the pre-plan runtime always did)
+   vs the reversed outer order [reorder] can now express natively. *)
+let reorder_locality () =
+  let b = Msc.Suite.find "3d7pt_star" in
+  let st = Msc.Suite.stencil ~dims:[| 24; 24; 24 |] b in
+  let points = float_of_int (24 * 24 * 24) in
+  let tile = [| 4; 8; 24 |] in
+  let run order =
+    let sched =
+      Msc.Schedule.reorder (Msc.Schedule.tile Msc.Schedule.empty tile) order
+    in
+    let rt = Msc.Runtime.create ~plan:(Msc.Plan.compile_exn st sched) st in
+    let per_step = time_per_run (fun () -> Msc.Runtime.step rt) in
+    points /. per_step
+  in
+  let canonical = run [ "xo"; "yo"; "zo"; "xi"; "yi"; "zi" ] in
+  let reversed = run [ "zo"; "yo"; "xo"; "xi"; "yi"; "zi" ] in
+  (canonical, reversed)
+
 let emit_runtime_json path =
   let kernels =
     List.map
@@ -308,6 +351,7 @@ let emit_runtime_json path =
       Msc.Suite.all
   in
   let fast_pps, legacy_pps, speedup = fastpath_speedup () in
+  let canonical_pps, reversed_pps = reorder_locality () in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -319,15 +363,22 @@ let emit_runtime_json path =
     \    \"step_body_points_per_sec\": %.6e,\n\
     \    \"legacy_step_body_points_per_sec\": %.6e,\n\
     \    \"speedup\": %.3f\n\
+    \  },\n\
+    \  \"plan_reorder_3d7pt_star\": {\n\
+    \    \"outer_canonical_points_per_sec\": %.6e,\n\
+    \    \"outer_reversed_points_per_sec\": %.6e,\n\
+    \    \"canonical_over_reversed\": %.3f\n\
     \  }\n\
      }\n"
     (String.concat ",\n" kernels)
-    fast_pps legacy_pps speedup;
+    fast_pps legacy_pps speedup canonical_pps reversed_pps
+    (canonical_pps /. reversed_pps);
   close_out oc;
   Printf.printf
     "wrote %s (fastpath 3d7pt_star step body: %.2fx over legacy \
-     fill+generic-accumulate)\n"
+     fill+generic-accumulate; plan traversal canonical/reversed: %.2fx)\n"
     path speedup
+    (canonical_pps /. reversed_pps)
 
 let run_bechamel () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in

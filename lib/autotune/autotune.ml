@@ -1,4 +1,6 @@
 module Schedule = Msc_schedule.Schedule
+module Plan = Msc_schedule.Plan
+module Machine = Msc_machine.Machine
 
 type result = {
   initial : Params.config;
@@ -9,21 +11,46 @@ type result = {
   iterations : int;
   model_r2 : float;
   trace : (int * float) list;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
 }
 
-let true_cost ~make_stencil ~global (c : Params.config) =
+(* Every candidate configuration lowers to the same canonical Sunway
+   schedule shape; the (stencil, schedule) pair is what the plan cache
+   memoizes so annealing revisits never re-lower. *)
+let lower ~make_stencil ~global (c : Params.config) =
   let sub = Params.subgrid c ~global in
   let st = make_stencil sub in
   let kernel = List.hd (Msc_ir.Stencil.kernels st) in
   let tile = Array.mapi (fun d t -> min t sub.(d)) c.tile in
-  let sched = Schedule.sunway_canonical ~tile kernel in
+  (st, Schedule.sunway_canonical ~tile kernel)
+
+let plan_of ?cache ~make_stencil ~global (c : Params.config) =
+  let st, sched = lower ~make_stencil ~global c in
+  match cache with
+  | Some cache -> Plan.Cache.compile cache st sched
+  | None -> Plan.compile ~machine:Machine.sunway_cg st sched
+
+let true_cost ?cache ~make_stencil ~global (c : Params.config) =
+  let sub = Params.subgrid c ~global in
+  let st, sched = lower ~make_stencil ~global c in
+  let plan =
+    match cache with
+    | Some cache -> Plan.Cache.compile cache st sched
+    | None -> Plan.compile ~machine:Machine.sunway_cg st sched
+  in
   let compute =
-    match Msc_sunway.Sim.simulate ~steps:1 st sched with
-    | Ok r -> r.Msc_sunway.Sim.time_per_step_s
+    match plan with
     | Error _ ->
-        (* SPM overflow and similar illegal points are heavily penalised
-           rather than rejected, so the search space stays connected. *)
+        (* Illegal points are heavily penalised rather than rejected, so the
+           search space stays connected. *)
         1.0
+    | Ok plan -> (
+        match Msc_sunway.Sim.simulate ~steps:1 ~plan st sched with
+        | Ok r -> r.Msc_sunway.Sim.time_per_step_s
+        | Error _ ->
+            (* SPM overflow: same penalty. *)
+            1.0)
   in
   let nranks = Array.fold_left ( * ) 1 c.mpi_grid in
   let nd = Array.length sub in
@@ -49,7 +76,8 @@ let exhaustive ?(max_configs = 20_000) ~make_stencil ~global ~nranks () =
   in
   if space > max_configs then None
   else begin
-    let cost = true_cost ~make_stencil ~global in
+    let cache = Plan.Cache.create ~machine:Machine.sunway_cg () in
+    let cost = true_cost ~cache ~make_stencil ~global in
     let best = ref None in
     let consider config =
       let c = cost config in
@@ -76,11 +104,16 @@ let exhaustive ?(max_configs = 20_000) ~make_stencil ~global ~nranks () =
 let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
     ~make_stencil ~global ~nranks () =
   let rng = Msc_util.Prng.create seed in
+  (* One memoized plan compiler serves both the regression features and the
+     true-cost simulations: each distinct candidate schedule is lowered and
+     validated exactly once over the whole tuning run. *)
+  let cache = Plan.Cache.create ~machine:Machine.sunway_cg () in
+  let plan_of c = plan_of ~cache ~make_stencil ~global c in
   (* Every true-cost evaluation is one tuner trial: a node simulation plus
      the network model, the measured quantity of Figure 11. *)
   let cost c =
     let ts0 = Msc_trace.begin_span trace in
-    let t = true_cost ~make_stencil ~global c in
+    let t = true_cost ~cache ~make_stencil ~global c in
     Msc_trace.end_span trace "tune.trial" ts0;
     Msc_trace.add trace "tune.trials" 1.0;
     t
@@ -88,7 +121,7 @@ let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
   let model =
     Msc_trace.span trace "tune.model_train" (fun () ->
         Perfmodel.train ~rng:(Msc_util.Prng.split rng) ~global ~nranks
-          ~true_cost:cost ())
+          ~true_cost:cost ~plan_of ())
   in
   (* The starting point is the untuned default a user would first run:
      row-pencil tiles (no blocking) and the most skewed process grid — valid
@@ -131,6 +164,7 @@ let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
     best_cost := refine.Anneal.best_energy
   end;
   let best = !best and best_time_s = !best_cost in
+  let plan_cache_hits, plan_cache_misses = Plan.Cache.stats cache in
   {
     initial;
     initial_time_s;
@@ -140,4 +174,6 @@ let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
     iterations = sa.Anneal.iterations;
     model_r2 = Perfmodel.r_squared model;
     trace = sa.Anneal.trace;
+    plan_cache_hits;
+    plan_cache_misses;
   }

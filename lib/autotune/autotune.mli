@@ -10,16 +10,30 @@ type result = {
   iterations : int;
   model_r2 : float;
   trace : (int * float) list;  (** (iteration, best predicted time so far) *)
+  plan_cache_hits : int;
+      (** plan-cache lookups served from the memo (re-visited candidates) *)
+  plan_cache_misses : int;  (** distinct candidate schedules lowered *)
 }
 
+val plan_of :
+  ?cache:Msc_schedule.Plan.Cache.t ->
+  make_stencil:(int array -> Msc_ir.Stencil.t) ->
+  global:int array ->
+  Params.config ->
+  (Msc_schedule.Plan.t, string) Stdlib.result
+(** Lower one candidate configuration (per-rank subgrid + clamped canonical
+    Sunway schedule) to a plan, through [cache] when given. *)
+
 val true_cost :
+  ?cache:Msc_schedule.Plan.Cache.t ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->
   global:int array ->
   Params.config ->
   float
 (** Ground-truth objective: per-step time = node simulation with the config's
     (clamped) tile + network-model halo exchange for the config's process
-    grid — the terms the paper's model lists (kernel, packing, transfer). *)
+    grid — the terms the paper's model lists (kernel, packing, transfer).
+    The node simulation reuses the memoized plan when [cache] is given. *)
 
 val exhaustive :
   ?max_configs:int ->
@@ -44,7 +58,10 @@ val tune :
   result
 (** Train the regression model on sampled configurations, anneal over it,
     report true times for the initial and best configurations. Deterministic
-    per seed.
+    per seed. One {!Msc_schedule.Plan.Cache} is shared by the model features
+    and every true-cost simulation, so each distinct candidate schedule is
+    lowered at most once ([plan_cache_hits]/[plan_cache_misses] report the
+    traffic).
 
     [trace] records every true-cost evaluation as a ["tune.trial"] span
     (with a [tune.trials] counter), the model fit as ["tune.model_train"],

@@ -1,20 +1,30 @@
+module Plan = Msc_schedule.Plan
+
 type t = {
   model : Msc_util.Regress.model;
   global : int array;
+  plan_of : Params.config -> (Plan.t, string) result;
 }
 
-let spm_bytes = 64 * 1024
+(* Fallback only for plans compiled without a machine descriptor. *)
+let default_spm_bytes = 64 * 1024
 
-let features (c : Params.config) ~global =
+let features ~plan_of (c : Params.config) ~global =
   let nd = Array.length global in
   let sub = Params.subgrid c ~global in
-  let tile = Array.mapi (fun d t -> min t sub.(d)) c.tile in
-  let tile_volume = Array.fold_left ( * ) 1 tile in
-  let padded = Array.map (fun t -> t + 2) tile in
-  let padded_volume = Array.fold_left ( * ) 1 padded in
   let sub_volume = Array.fold_left ( * ) 1 sub in
-  let working_set = float_of_int ((padded_volume * 2) + tile_volume) *. 8.0 in
-  let rows = padded_volume / padded.(nd - 1) in
+  let plan : Plan.t =
+    match plan_of c with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Perfmodel.features: " ^ msg)
+  in
+  let tile_volume = plan.Plan.tile_elems in
+  let padded_volume = plan.Plan.padded_elems in
+  let working_set = float_of_int plan.Plan.working_set_bytes in
+  let spm_bytes =
+    Option.value plan.Plan.spm_capacity_bytes ~default:default_spm_bytes
+  in
+  let rows = padded_volume / plan.Plan.padded_tile.(nd - 1) in
   let surface =
     List.init nd (fun d -> sub_volume / sub.(d)) |> List.fold_left ( + ) 0
   in
@@ -35,16 +45,16 @@ let features (c : Params.config) ~global =
     aspect;
   |]
 
-let train ~rng ~global ~nranks ~true_cost ?(samples = 120) () =
-  let nd = Array.length global in
-  ignore nd;
+let train ~rng ~global ~nranks ~true_cost ~plan_of ?(samples = 120) () =
   let configs =
     List.init samples (fun _ -> Params.random rng ~dims:global ~nranks)
   in
-  let feats = Array.of_list (List.map (fun c -> features c ~global) configs) in
+  let feats = Array.of_list (List.map (fun c -> features ~plan_of c ~global) configs) in
   (* Regress on log time: costs span orders of magnitude. *)
   let targets = Array.of_list (List.map (fun c -> log (true_cost c)) configs) in
-  { model = Msc_util.Regress.fit ~features:feats ~targets; global }
+  { model = Msc_util.Regress.fit ~features:feats ~targets; global; plan_of }
 
-let predict t c = exp (Msc_util.Regress.predict t.model (features c ~global:t.global))
+let predict t c =
+  exp (Msc_util.Regress.predict t.model (features ~plan_of:t.plan_of c ~global:t.global))
+
 let r_squared t = t.model.Msc_util.Regress.r_squared

@@ -2,26 +2,36 @@
     schedule/decomposition features to per-step kernel time (§4.4).
 
     Features capture the terms the paper's model considers: MPI setup,
-    kernel computation, packing/unpacking volume, and transfer volume. *)
+    kernel computation, packing/unpacking volume, and transfer volume. All
+    lowering-derived quantities (tile/padded volumes, scratchpad working
+    set, SPM capacity) come from the {!Msc_schedule.Plan.t} that [plan_of]
+    supplies — normally {!Autotune}'s memoized plan cache — never from
+    hardcoded machine constants. *)
 
 type t
 
-val features : Params.config -> global:int array -> float array
+val features :
+  plan_of:(Params.config -> (Msc_schedule.Plan.t, string) result) ->
+  Params.config ->
+  global:int array ->
+  float array
 (** Feature vector: log tile volume, working-set-to-SPM ratio, halo overhead
     ratio, DMA descriptors per point, per-rank points, surface-to-volume
-    ratio, rank count, max process-grid aspect ratio. *)
+    ratio, rank count, max process-grid aspect ratio.
+    @raise Invalid_argument when [plan_of] fails (illegal schedule). *)
 
 val train :
   rng:Msc_util.Prng.t ->
   global:int array ->
   nranks:int ->
   true_cost:(Params.config -> float) ->
+  plan_of:(Params.config -> (Msc_schedule.Plan.t, string) result) ->
   ?samples:int ->
   unit ->
   t
 (** Fit the regression on randomly sampled configurations evaluated by
     [true_cost] (the processor + network simulators standing in for real
-    measurements). *)
+    measurements). [plan_of] is retained for {!predict}. *)
 
 val predict : t -> Params.config -> float
 val r_squared : t -> float

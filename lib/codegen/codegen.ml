@@ -1,4 +1,6 @@
 open Msc_ir
+module Plan = Msc_schedule.Plan
+module Machine = Msc_machine.Machine
 
 type target = Cpu | Openmp | Athread
 
@@ -12,53 +14,55 @@ let target_of_string = function
 
 let target_to_string = function Cpu -> "cpu" | Openmp -> "openmp" | Athread -> "sunway"
 
-let spm_capacity_bytes = 64 * 1024
+(* Each backend is lowered against the machine descriptor it targets, so
+   capacity guards (SPM, caches) come from the same source the simulators
+   and autotuner use. *)
+let machine_of_target = function
+  | Cpu -> Machine.xeon_server
+  | Openmp -> Machine.matrix_node
+  | Athread -> Machine.sunway_cg
 
-let validate_schedule (st : Stencil.t) schedule =
-  List.iter
-    (fun k ->
-      match Msc_schedule.Schedule.validate schedule ~kernel:k with
-      | Ok () -> ()
-      | Error msg -> invalid_arg ("Codegen.generate: " ^ msg))
-    (Stencil.kernels st)
+let default_spm_capacity_bytes = 64 * 1024
 
 let generate ?steps ?(bc = Msc_exec.Bc.Dirichlet 0.0) (st : Stencil.t) schedule
     target =
-  validate_schedule st schedule;
+  let machine = machine_of_target target in
+  let plan =
+    match Plan.compile ~machine st schedule with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Codegen.generate: " ^ msg)
+  in
   let name = st.Stencil.name in
   match target with
   | Cpu ->
       [
-        {
-          name = name ^ ".c";
-          contents = Emit_cpu.generate ?steps ~bc ~omp:false st schedule;
-        };
+        { name = name ^ ".c"; contents = Emit_cpu.generate ?steps ~bc ~omp:false plan };
         { name = "Makefile"; contents = Makefile_gen.cpu ~name };
       ]
   | Openmp ->
       [
-        {
-          name = name ^ ".c";
-          contents = Emit_cpu.generate ?steps ~bc ~omp:true st schedule;
-        };
+        { name = name ^ ".c"; contents = Emit_cpu.generate ?steps ~bc ~omp:true plan };
         { name = "Makefile"; contents = Makefile_gen.openmp ~name };
       ]
   | Athread ->
       if not (Emit_common.bc_is_trivial bc) then
         invalid_arg
           "Codegen.generate: non-default boundary conditions are not emitted for the            Sunway target yet";
-      let footprint = Emit_athread.spm_bytes_needed st schedule in
-      if footprint > spm_capacity_bytes then
+      let footprint = plan.Plan.working_set_bytes in
+      let capacity =
+        Option.value plan.Plan.spm_capacity_bytes ~default:default_spm_capacity_bytes
+      in
+      if footprint > capacity then
         invalid_arg
           (Printf.sprintf
              "Codegen.generate: schedule needs %d B of scratchpad but the CPE SPM is %d B"
-             footprint spm_capacity_bytes);
+             footprint capacity);
       [
         {
           name = name ^ "_master.c";
-          contents = Emit_athread.generate_master ?steps st schedule;
+          contents = Emit_athread.generate_master ?steps plan;
         };
-        { name = name ^ "_slave.c"; contents = Emit_athread.generate_slave st schedule };
+        { name = name ^ "_slave.c"; contents = Emit_athread.generate_slave plan };
         { name = "Makefile"; contents = Makefile_gen.athread ~name };
       ]
 

@@ -12,11 +12,19 @@ type file = { name : string; contents : string }
 val target_of_string : string -> (target, string) result
 val target_to_string : target -> string
 
+val machine_of_target : target -> Msc_machine.Machine.t
+(** The machine descriptor a target's schedules are lowered against:
+    [Cpu] → {!Msc_machine.Machine.xeon_server}, [Openmp] →
+    {!Msc_machine.Machine.matrix_node}, [Athread] →
+    {!Msc_machine.Machine.sunway_cg}. *)
+
 val generate :
   ?steps:int -> ?bc:Msc_exec.Bc.t -> Msc_ir.Stencil.t -> Msc_schedule.Schedule.t ->
   target -> file list
-(** Source file(s) plus a Makefile. For [Athread] the schedule's scratchpad
-    footprint is checked against the 64 KB SPM.
+(** Source file(s) plus a Makefile. The schedule is lowered to a
+    {!Msc_schedule.Plan.t} against the target's machine descriptor and the
+    emitters walk [plan.loops]. For [Athread] the plan's
+    [working_set_bytes] is checked against the machine's SPM capacity.
     @raise Invalid_argument on an illegal schedule, or on a non-default
     boundary condition with the [Athread] target (the MPE-side BC pass is not
     emitted yet). *)

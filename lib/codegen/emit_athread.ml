@@ -1,34 +1,17 @@
 open Msc_ir
 module Schedule = Msc_schedule.Schedule
+module Plan = Msc_schedule.Plan
 
-let tile_of (st : Stencil.t) schedule =
-  let dims = Emit_common.dims_of st in
-  match Schedule.tile_sizes schedule ~ndim:(Array.length dims) with
-  | Some t -> t
-  | None -> Array.copy dims
-
-let cpes_of schedule =
-  match Schedule.parallel_spec schedule with Some (_, n, _) -> n | None -> 64
+let cpes_of (plan : Plan.t) =
+  match plan.Plan.parallel with
+  | Plan.Seq -> 64
+  | Plan.Block n | Plan.Round_robin n -> n
 
 let radius_of (st : Stencil.t) = Stencil.radius st
 
 let distinct_dts (st : Stencil.t) =
   List.sort_uniq compare
     (List.map (fun (t : Emit_common.term) -> t.Emit_common.dt) (Emit_common.flatten_terms st))
-
-let spm_bytes_needed (st : Stencil.t) schedule =
-  let tile = tile_of st schedule in
-  let radius = radius_of st in
-  let elem = Dtype.size_bytes st.Stencil.grid.Tensor.dtype in
-  let read_elems =
-    Array.to_list (Array.mapi (fun d t -> t + (2 * radius.(d))) tile)
-    |> List.fold_left ( * ) 1
-  in
-  let write_elems = Array.fold_left ( * ) 1 tile in
-  let staged_buffers =
-    List.length (distinct_dts st) + List.length (Emit_common.aux_tensors st)
-  in
-  (staged_buffers * read_elems * elem) + (write_elems * elem)
 
 let args_struct (st : Stencil.t) =
   let tw = Stencil.time_window st in
@@ -41,8 +24,8 @@ let args_struct (st : Stencil.t) =
   Printf.sprintf "typedef struct { %s ELEM *out; } msc_step_args;"
     (String.concat " " fields)
 
-let generate_master ?(steps = 10) (st : Stencil.t) schedule =
-  ignore schedule;
+let generate_master ?(steps = 10) (plan : Plan.t) =
+  let st : Stencil.t = plan.Plan.stencil in
   let w = C_writer.create () in
   Emit_common.emit_prelude w st;
   C_writer.line w "#include <athread.h>";
@@ -117,15 +100,16 @@ let generate_master ?(steps = 10) (st : Stencil.t) schedule =
       C_writer.line w "return rc;");
   C_writer.contents w
 
-let generate_slave (st : Stencil.t) schedule =
+let generate_slave (plan : Plan.t) =
+  let st : Stencil.t = plan.Plan.stencil in
   let w = C_writer.create () in
   let dims = Emit_common.dims_of st in
   let nd = Array.length dims in
-  let tile = tile_of st schedule in
+  let tile = plan.Plan.tile in
   let radius = radius_of st in
-  let cpes = cpes_of schedule in
+  let cpes = cpes_of plan in
   let counts = Array.mapi (fun d t -> (dims.(d) + t - 1) / t) tile in
-  let ntasks = Array.fold_left ( * ) 1 counts in
+  let ntasks = plan.Plan.tiles_count in
   Emit_common.emit_prelude w st;
   C_writer.line w "#include <slave.h>";
   C_writer.line w "#include <dma.h>";

@@ -49,12 +49,13 @@ val point_assignment : Msc_ir.Stencil.t -> vars:string list -> string
 val emit_scheduled_loops :
   C_writer.t ->
   Msc_ir.Stencil.t ->
-  schedule:Msc_schedule.Schedule.t ->
+  plan:Msc_schedule.Plan.t ->
   pragma:(units:int -> string option) ->
   body:(vars:string list -> unit) ->
   unit
-(** Emits the loop nest in schedule order (tiled with clamped inner bounds if
-    a tile primitive is present). [pragma] is asked for an annotation to place
+(** Emits the loop nest by walking [plan.loops] — the lowered nest the
+    simulators cost — tiled with clamped inner bounds when the plan has
+    [Outer]/[Inner] roles. [pragma] is asked for an annotation to place
     before the parallel loop. [body] receives the C names of the point
     coordinates, outermost dimension first. *)
 

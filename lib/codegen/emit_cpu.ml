@@ -1,7 +1,9 @@
 open Msc_ir
+module Plan = Msc_schedule.Plan
 
-let generate ?(steps = 10) ?(bc = Msc_exec.Bc.Dirichlet 0.0) ~omp (st : Stencil.t)
-    schedule =
+let generate ?(steps = 10) ?(bc = Msc_exec.Bc.Dirichlet 0.0) ~omp
+    (plan : Plan.t) =
+  let st : Stencil.t = plan.Plan.stencil in
   let w = C_writer.create () in
   Emit_common.emit_prelude w st;
   if omp then begin
@@ -26,7 +28,7 @@ let generate ?(steps = 10) ?(bc = Msc_exec.Bc.Dirichlet 0.0) ~omp (st : Stencil.
                units)
         else None
       in
-      Emit_common.emit_scheduled_loops w st ~schedule ~pragma ~body:(fun ~vars ->
+      Emit_common.emit_scheduled_loops w st ~plan ~pragma ~body:(fun ~vars ->
           C_writer.line w "%s" (Emit_common.point_assignment st ~vars)));
   C_writer.blank w;
   Emit_common.emit_time_loop ~bc w st ~steps_expr:(string_of_int steps);

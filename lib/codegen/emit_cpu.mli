@@ -2,10 +2,9 @@
     OpenMP-annotated C for the Matrix MT2000+ and commodity CPUs. *)
 
 val generate :
-  ?steps:int -> ?bc:Msc_exec.Bc.t -> omp:bool -> Msc_ir.Stencil.t ->
-  Msc_schedule.Schedule.t -> string
+  ?steps:int -> ?bc:Msc_exec.Bc.t -> omp:bool -> Msc_schedule.Plan.t -> string
 (** One self-contained translation unit: prelude, init/report helpers, the
-    scheduled [msc_step], and a [main] with the sliding-window time loop.
-    With [omp], the schedule's parallel axis receives an
-    [#pragma omp parallel for] annotation. [steps] is the default timestep
-    count (overridable by [argv\[1\]]; default 10). *)
+    [msc_step] whose loop nest walks [plan.loops], and a [main] with the
+    sliding-window time loop. With [omp], the plan's parallel loop receives
+    an [#pragma omp parallel for] annotation. [steps] is the default
+    timestep count (overridable by [argv\[1\]]; default 10). *)

@@ -2,6 +2,7 @@ open Msc_ir
 module Grid = Msc_exec.Grid
 module Runtime = Msc_exec.Runtime
 module Bc = Msc_exec.Bc
+module Plan = Msc_schedule.Plan
 
 type t = {
   stencil : Stencil.t;
@@ -86,11 +87,31 @@ let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
   let nranks = decomp.Decomp.nranks in
   let mpi = Mpi_sim.create ~nranks in
   let offsets = Array.make nranks [||] in
+  (* One plan per distinct rank extent (uneven decompositions produce at
+     most a handful): equal-extent ranks share the same compiled task
+     array instead of each rank re-lowering the schedule. *)
+  let plans = ref [] in
+  let plan_for local ~extent =
+    match schedule with
+    | None -> None
+    | Some sched -> (
+        match List.find_opt (fun (e, _) -> e = extent) !plans with
+        | Some (_, p) -> Some p
+        | None ->
+            let p =
+              match Plan.compile local sched with
+              | Ok p -> p
+              | Error msg -> invalid_arg ("Distributed.create: " ^ msg)
+            in
+            plans := (Array.copy extent, p) :: !plans;
+            Some p)
+  in
   let runtimes =
     Array.init nranks (fun rank ->
         let offset, extent = Decomp.subdomain decomp ~rank in
         offsets.(rank) <- offset;
         let local = localize_stencil st ~extent in
+        let plan = plan_for local ~extent in
         let local_init _dt coord =
           init (Array.mapi (fun d c -> c + offset.(d)) coord)
         in
@@ -103,7 +124,7 @@ let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
         (* The local runtime's own BC pass runs on every face; the exchange
            plus the physical-face pass above overwrite the interior faces
            with the right data afterwards. *)
-        Runtime.create ?schedule ~init:local_init ~aux_init:local_aux_init ~bc
+        Runtime.create ?plan ~init:local_init ~aux_init:local_aux_init ~bc
           ~trace ~tid:rank local)
   in
   let t =

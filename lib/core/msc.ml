@@ -8,6 +8,7 @@ module Builder = Msc_frontend.Builder
 module Pretty = Msc_frontend.Pretty
 module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
+module Plan = Msc_schedule.Plan
 module Grid = Msc_exec.Grid
 module Runtime = Msc_exec.Runtime
 module Interp = Msc_exec.Interp
@@ -73,6 +74,16 @@ module Pipeline = struct
         | Codegen.Openmp -> Schedule.matrix_canonical ~tile kernel
         | Codegen.Cpu -> Schedule.cpu_canonical ~tile kernel)
 
+  let plan ?target p =
+    match target with
+    | None ->
+        let sched = Option.value p.schedule ~default:Schedule.empty in
+        Plan.compile p.stencil sched
+    | Some target ->
+        Plan.compile
+          ~machine:(Codegen.machine_of_target target)
+          p.stencil (schedule_for ~target p)
+
   let run ~steps p =
     let pool = Domain_pool.create p.workers in
     (* The pool's workers persist across steps; release them when the run
@@ -122,22 +133,3 @@ module Pipeline = struct
     Autotune.tune ?seed ?iterations ~trace:p.trace ~make_stencil
       ~global:p.stencil.Stencil.grid.Tensor.shape ~nranks ()
 end
-
-let run ?schedule ?bc ?workers ~steps st =
-  Pipeline.run ~steps (Pipeline.make ~stencil:st ?schedule ?bc ?workers ())
-
-let verify ?schedule ?bc ~steps st =
-  Pipeline.verify ~steps (Pipeline.make ~stencil:st ?schedule ?bc ())
-
-let compile_to_source ?steps ?bc ~target st schedule =
-  try Ok (Codegen.generate ?steps ?bc st schedule target)
-  with Invalid_argument msg -> Error msg
-
-let simulate_sunway ?steps st schedule = Sunway.simulate ?steps st schedule
-let simulate_matrix ?steps st schedule = Matrix.simulate ?steps st schedule
-
-let distribute ?schedule ?bc ~ranks_shape st =
-  Distributed.create ?schedule ?bc ~ranks_shape st
-
-let autotune ?seed ~make_stencil ~global ~nranks () =
-  Autotune.tune ?seed ~make_stencil ~global ~nranks ()

@@ -39,6 +39,7 @@ module Builder = Msc_frontend.Builder
 module Pretty = Msc_frontend.Pretty
 module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
+module Plan = Msc_schedule.Plan
 module Grid = Msc_exec.Grid
 module Runtime = Msc_exec.Runtime
 module Interp = Msc_exec.Interp
@@ -101,6 +102,15 @@ module Pipeline : sig
   val stencil : t -> Stencil.t
   val trace : t -> Trace.t
 
+  val plan : ?target:Codegen.target -> t -> (Plan.t, string) result
+  (** The lowered execution plan every stage consumes: validated loop nest,
+      materialized tile tasks, parallel assignment, DMA plan and derived
+      metrics. Without [target], lowers the pipeline's own schedule (or the
+      empty schedule) with no machine descriptor — what {!run} executes.
+      With [target], lowers the target's canonical schedule fallback against
+      that target's machine descriptor — what {!compile} emits and
+      {!simulate} costs. *)
+
   val run : steps:int -> t -> Grid.t
   (** Execute natively (sliding time window, tiled, domain-parallel) and
       return the final state. *)
@@ -139,42 +149,3 @@ module Pipeline : sig
   (** Tune tile sizes and MPI grid shape for this pipeline's global grid
       ([make_stencil] rebuilds the stencil at each candidate subgrid). *)
 end
-
-(** {1 Legacy entry points}
-
-    Thin wrappers kept for source compatibility; new code should build a
-    {!Pipeline.t} once and reuse it. *)
-
-val run :
-  ?schedule:Schedule.t -> ?bc:Bc.t -> ?workers:int -> steps:int -> Stencil.t ->
-  Grid.t
-[@@deprecated "use Msc.Pipeline.make + Pipeline.run"]
-
-val verify :
-  ?schedule:Schedule.t -> ?bc:Bc.t -> steps:int -> Stencil.t -> Verify.report
-[@@deprecated "use Msc.Pipeline.make + Pipeline.verify"]
-
-val compile_to_source :
-  ?steps:int -> ?bc:Bc.t -> target:Codegen.target -> Stencil.t -> Schedule.t ->
-  (Codegen.file list, string) result
-[@@deprecated "use Msc.Pipeline.make ~schedule + Pipeline.compile"]
-(** [target] is a {!Codegen.target}; parse command-line strings with
-    {!Codegen.target_of_string}. *)
-
-val simulate_sunway :
-  ?steps:int -> Stencil.t -> Schedule.t -> (Sunway.report, string) result
-[@@deprecated "use Msc.Pipeline.make ~schedule + Pipeline.simulate ~target:Codegen.Athread"]
-
-val simulate_matrix :
-  ?steps:int -> Stencil.t -> Schedule.t -> (Matrix.report, string) result
-[@@deprecated "use Msc.Pipeline.make ~schedule + Pipeline.simulate ~target:Codegen.Openmp"]
-
-val distribute :
-  ?schedule:Schedule.t -> ?bc:Bc.t -> ranks_shape:int array -> Stencil.t ->
-  Distributed.t
-[@@deprecated "use Msc.Pipeline.make + Pipeline.distribute"]
-
-val autotune :
-  ?seed:int -> make_stencil:(int array -> Stencil.t) -> global:int array ->
-  nranks:int -> unit -> Autotune.result
-[@@deprecated "use Msc.Pipeline.make + Pipeline.autotune"]

@@ -1,5 +1,6 @@
 open Msc_ir
 module Schedule = Msc_schedule.Schedule
+module Plan = Msc_schedule.Plan
 
 type term = { scale : float; source : source; dt : int }
 and source = From_kernel of Interp.t | From_state
@@ -31,21 +32,6 @@ let rec flatten scale (e : Stencil.expr) =
   | Stencil.Scale (c, a) -> flatten (scale *. c) a
   | Stencil.Sum (a, b) -> flatten scale a @ flatten scale b
   | Stencil.Diff (a, b) -> flatten scale a @ flatten (-.scale) b
-
-let compute_tiles ~shape ~tile =
-  let nd = Array.length shape in
-  let counts = Array.init nd (fun d -> (shape.(d) + tile.(d) - 1) / tile.(d)) in
-  let total = Array.fold_left ( * ) 1 counts in
-  Array.init total (fun id ->
-      let lo = Array.make nd 0 and hi = Array.make nd 0 in
-      let rest = ref id in
-      for d = nd - 1 downto 0 do
-        let td = !rest mod counts.(d) in
-        rest := !rest / counts.(d);
-        lo.(d) <- td * tile.(d);
-        hi.(d) <- min shape.(d) (lo.(d) + tile.(d))
-      done;
-      (lo, hi))
 
 (* Static coefficient grids get a deterministic closed form keyed on the
    tensor name; halo cells use the same formula (fill_extended), so single
@@ -80,7 +66,7 @@ let default_init _dt coord =
       coord;
     !acc
 
-let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
+let create ?plan ?schedule ?(pool = Msc_util.Domain_pool.sequential)
     ?(init = default_init) ?(aux_init = default_aux_init)
     ?(bc = Bc.Dirichlet 0.0) ?(engine = Write_through)
     ?(trace = Msc_trace.disabled) ?(tid = 0) (st : Stencil.t) =
@@ -110,30 +96,33 @@ let create ?schedule ?(pool = Msc_util.Domain_pool.sequential)
       (aux_tensors_of st)
   in
   let shape = st.Stencil.grid.Tensor.shape in
-  let tile, par =
-    match schedule with
-    | None -> (Array.copy shape, `Seq)
-    | Some sched ->
-        List.iter
-          (fun k ->
-            match Schedule.validate sched ~kernel:k with
-            | Ok () -> ()
-            | Error msg -> invalid_arg ("Runtime.create: " ^ msg))
-          (Stencil.kernels st);
-        let tile =
-          match Schedule.tile_sizes sched ~ndim:(Array.length shape) with
-          | Some sizes -> sizes
-          | None -> Array.copy shape
-        in
-        let par =
-          match Schedule.parallel_spec sched with
-          | None -> `Seq
-          | Some (_, _, Schedule.Omp_threads) -> `Block
-          | Some (_, _, Schedule.Athread_cpes) -> `Round_robin
-        in
-        (tile, par)
+  (* All schedule interpretation lives in the plan layer: [?schedule] is
+     sugar that lowers here, [?plan] shares a precompiled plan (the
+     distributed runtime passes one per distinct rank extent). *)
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> (
+        let sched = Option.value schedule ~default:Schedule.empty in
+        match Plan.compile st sched with
+        | Ok p -> p
+        | Error msg -> invalid_arg ("Runtime.create: " ^ msg))
   in
-  let tiles = compute_tiles ~shape ~tile in
+  let tiles = plan.Plan.tasks in
+  let par =
+    match plan.Plan.parallel with
+    | Plan.Seq -> `Seq
+    | Plan.Block _ -> `Block
+    | Plan.Round_robin _ -> `Round_robin
+  in
+  if Msc_trace.enabled trace then begin
+    (* Tag the execution trace with the plan's metadata so profiles can be
+       read against the lowering that produced them. *)
+    Msc_trace.add ~tid trace "plan.tiles" (float_of_int plan.Plan.tiles_count);
+    Msc_trace.add ~tid trace "plan.working_set_bytes"
+      (float_of_int plan.Plan.working_set_bytes);
+    Msc_trace.add ~tid trace "plan.reuse_factor" plan.Plan.reuse_factor
+  end;
   let on_worker =
     if Msc_trace.enabled trace then
       Some (fun w -> Msc_trace.attach_worker trace ~tid:w)

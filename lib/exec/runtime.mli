@@ -30,6 +30,7 @@ val aux_base : string -> float
     generator can fold it into the emitted C). *)
 
 val create :
+  ?plan:Msc_schedule.Plan.t ->
   ?schedule:Msc_schedule.Schedule.t ->
   ?pool:Msc_util.Domain_pool.t ->
   ?init:(int -> int array -> float) ->
@@ -41,18 +42,25 @@ val create :
   Msc_ir.Stencil.t -> t
 (** [create st] builds the runtime. [init dt coord] gives the initial state
     at time [-dt] ([dt = 1..W]); it defaults to a deterministic pseudo-random
-    field shared by all initial states. [schedule] selects tiling/parallelism
-    for execution (results are schedule-independent); [pool] supplies the
-    worker domains (default sequential). [bc] is applied to every initial
-    state and to each newly produced state (default [Dirichlet 0.0], the
-    paper's zero-halo convention).
+    field shared by all initial states. [plan] supplies a precompiled
+    {!Msc_schedule.Plan.t} whose tile tasks and parallel assignment drive
+    execution — the sweep follows the plan's task order, so a schedule's
+    [reorder] decides the traversal. [schedule] is sugar that compiles a
+    plan here (ignored when [plan] is given; when neither is given the
+    runtime runs the untiled sequential plan of {!Msc_schedule.Schedule.empty}).
+    Results are plan-independent. [pool] supplies the worker domains
+    (default sequential). [bc] is applied to every initial state and to each
+    newly produced state (default [Dirichlet 0.0], the paper's zero-halo
+    convention).
 
     [trace] (default {!Msc_trace.disabled}) records a ["sweep"] span per
     tile, ["bc.apply"] and ["window.rotate"] spans per step, and a
     ["sweep.points"] counter; parallel sweeps propagate a per-worker sink
     through the pool's [on_worker] hook, so worker spans carry their worker
     id as [tid]. Sequential spans carry [tid] (default 0 — the distributed
-    runtime labels each rank's runtime with its rank).
+    runtime labels each rank's runtime with its rank). An enabled trace is
+    additionally tagged with the plan's metadata ([plan.tiles],
+    [plan.working_set_bytes], [plan.reuse_factor] counters).
     @raise Invalid_argument if the schedule is illegal for the stencil's
     kernels. *)
 
@@ -88,5 +96,5 @@ val run : t -> int -> unit
 (** [run t n] performs [n] steps. *)
 
 val tiles : t -> (int array * int array) array
-(** The (lo, hi) interior ranges of each tile under the runtime's schedule
+(** The (lo, hi) interior ranges of each tile in the plan's traversal order
     (a single full-range tile when untiled). *)

@@ -1,5 +1,6 @@
 open Msc_ir
 module Schedule = Msc_schedule.Schedule
+module Plan = Msc_schedule.Plan
 module Machine = Msc_machine.Machine
 module Roofline = Msc_machine.Roofline
 
@@ -47,64 +48,27 @@ let is_box_shaped (st : Stencil.t) =
           r >= 1 && Kernel.points k = pow 1 nd)
         kernels
 
-let distinct_dts (st : Stencil.t) =
-  let rec go acc (e : Stencil.expr) =
-    match e with
-    | Stencil.Apply (_, dt) | Stencil.State dt -> dt :: acc
-    | Stencil.Scale (_, a) -> go acc a
-    | Stencil.Sum (a, b) | Stencil.Diff (a, b) -> go (go acc a) b
-  in
-  List.sort_uniq compare (go [] st.Stencil.expr)
-
 let simulate ?(machine = Machine.matrix_node) ?(overrides = default_overrides)
-    ?(steps = 10) ?(trace = Msc_trace.disabled) (st : Stencil.t) schedule =
+    ?(steps = 10) ?(trace = Msc_trace.disabled) ?plan (st : Stencil.t) schedule =
   let ts_sim = Msc_trace.begin_span trace in
-  let kernels = Stencil.kernels st in
-  let validation =
-    List.fold_left
-      (fun acc k ->
-        match acc with Error _ -> acc | Ok () -> Schedule.validate schedule ~kernel:k)
-      (Ok ()) kernels
+  let plan =
+    match plan with
+    | Some p -> Ok p
+    | None -> Plan.compile ~machine st schedule
   in
-  match validation with
+  match plan with
   | Error msg -> Error msg
-  | Ok () ->
+  | Ok plan ->
       let grid = st.Stencil.grid in
-      let dims = grid.Tensor.shape in
-      let nd = Array.length dims in
-      let elem = Dtype.size_bytes grid.Tensor.dtype in
-      let tile =
-        match Schedule.tile_sizes schedule ~ndim:nd with
-        | Some t -> t
-        | None -> Array.copy dims
-      in
-      let radius = Stencil.radius st in
-      let padded_tile = Array.mapi (fun d t -> t + (2 * radius.(d))) tile in
-      let tile_elems = Array.fold_left ( * ) 1 tile in
-      let padded_elems = Array.fold_left ( * ) 1 padded_tile in
-      let nstates = List.length (distinct_dts st) in
-      let naux =
-        List.length
-          (List.sort_uniq compare
-             (List.concat_map
-                (fun k ->
-                  List.map (fun (a : Tensor.t) -> a.Tensor.name) k.Kernel.aux)
-                kernels))
-      in
-      let nstreams = nstates + naux in
-      let counts = Array.mapi (fun d t -> (dims.(d) + t - 1) / t) tile in
-      let tiles = Array.fold_left ( * ) 1 counts in
+      let tiles = plan.Plan.tiles_count in
       let points = float_of_int (Tensor.elems grid) in
       let cache_bytes =
         match machine.Machine.cache_bytes_per_unit with Some b -> b | None -> 0
       in
-      let working_set = ((nstreams * padded_elems) + tile_elems) * elem in
-      let compulsory =
-        float_of_int tiles
-        *. float_of_int (((nstreams * padded_elems) + tile_elems) * elem)
-      in
+      let working_set = plan.Plan.working_set_bytes in
+      let compulsory = float_of_int tiles *. float_of_int working_set in
       let kernel_points =
-        match kernels with k :: _ -> Kernel.points k | [] -> 1
+        match Stencil.kernels st with k :: _ -> Kernel.points k | [] -> 1
       in
       let mem_bytes =
         Cache.traffic_bytes ~capacity_bytes:cache_bytes ~working_set_bytes:working_set

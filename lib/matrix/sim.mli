@@ -36,10 +36,13 @@ val simulate :
   ?overrides:overrides ->
   ?steps:int ->
   ?trace:Msc_trace.t ->
+  ?plan:Msc_schedule.Plan.t ->
   Msc_ir.Stencil.t ->
   Msc_schedule.Schedule.t ->
   (report, string) result
-(** Default machine {!Msc_machine.Machine.matrix_node}, 10 steps.
+(** Default machine {!Msc_machine.Machine.matrix_node}, 10 steps. Costs the
+    lowered {!Msc_schedule.Plan.t} — pass [plan] to reuse a compiled one;
+    otherwise the plan is compiled here.
 
     [trace] records modelled ["mem"] / ["core.compute"] spans (simulated
     durations), [mem.bytes] and [sim.step_seconds] counters, and a

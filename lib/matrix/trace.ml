@@ -1,12 +1,14 @@
 open Msc_ir
-module Schedule = Msc_schedule.Schedule
+module Plan = Msc_schedule.Plan
 
 type result = { accesses : int; misses : int; miss_rate : float }
 
 let sweep_miss_rate ?cache kernel schedule =
-  (match Schedule.validate schedule ~kernel with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Trace.sweep_miss_rate: " ^ msg));
+  let plan =
+    match Plan.compile (Stencil.of_kernel kernel) schedule with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Trace.sweep_miss_rate: " ^ msg)
+  in
   let cache =
     match cache with
     | Some c -> c
@@ -40,37 +42,22 @@ let sweep_miss_rate ?cache kernel schedule =
     (* The write stream to the (disjoint) output grid. *)
     ignore (Cache.Lru.access cache ((total * elem) + address coord (Array.make nd 0)))
   in
-  (* Walk tiles in the schedule's order (row-major over tiles, then within
-     the tile), or the plain nest when untiled. *)
-  let tile =
-    match Schedule.tile_sizes schedule ~ndim:nd with
-    | Some t -> t
-    | None -> Array.copy dims
-  in
-  let counts = Array.mapi (fun d t -> (dims.(d) + t - 1) / t) tile in
+  (* Walk the plan's materialized tile tasks — the same traversal order the
+     native runtime uses, so a schedule's [reorder] changes the replayed
+     address stream too. Within a tile the sweep stays row-major. *)
   let coord = Array.make nd 0 in
-  let rec tiles d tile_base =
-    if d = nd then begin
+  Array.iter
+    (fun (lo, hi) ->
       let rec inner d =
         if d = nd then visit coord
-        else begin
-          let lo = tile_base.(d) in
-          let hi = min dims.(d) (lo + tile.(d)) in
-          for c = lo to hi - 1 do
+        else
+          for c = lo.(d) to hi.(d) - 1 do
             coord.(d) <- c;
             inner (d + 1)
           done
-        end
       in
-      inner 0
-    end
-    else
-      for tnum = 0 to counts.(d) - 1 do
-        tile_base.(d) <- tnum * tile.(d);
-        tiles (d + 1) tile_base
-      done
-  in
-  tiles 0 (Array.make nd 0);
+      inner 0)
+    plan.Plan.tasks;
   {
     accesses = Cache.Lru.accesses cache;
     misses = Cache.Lru.misses cache;

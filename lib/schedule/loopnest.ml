@@ -29,9 +29,8 @@ type t = {
 
 let ceil_div a b = (a + b - 1) / b
 
-let build_loops kernel schedule =
-  let ndim = Kernel.ndim kernel in
-  let shape = kernel.Kernel.input.Tensor.shape in
+let loops_for ~shape schedule =
+  let ndim = Array.length shape in
   let names = Schedule.dim_names ndim in
   let order = Schedule.order schedule ~ndim in
   let tile =
@@ -78,6 +77,9 @@ let build_loops kernel schedule =
       in
       { name = axis_name; role; extent; parallel })
     order
+
+let build_loops kernel schedule =
+  loops_for ~shape:kernel.Kernel.input.Tensor.shape schedule
 
 let tile_elems_of tile = Array.fold_left ( * ) 1 tile
 

@@ -34,6 +34,11 @@ type t = {
   dma : dma_plan option;
 }
 
+val loops_for : shape:int array -> Schedule.t -> loop list
+(** The loop list a schedule induces over an interior of the given extents
+    (no validation; {!Plan.compile} validates first). Used for stencils
+    whose kernel set may be empty (pure [State] combinations). *)
+
 val lower : Msc_ir.Kernel.t -> Schedule.t -> (t, string) result
 (** Validates the schedule then lowers it. *)
 

@@ -1,0 +1,213 @@
+open Msc_ir
+module Machine = Msc_machine.Machine
+
+type parallel = Seq | Block of int | Round_robin of int
+
+type t = {
+  stencil : Stencil.t;
+  schedule : Schedule.t;
+  machine : Machine.t option;
+  nests : Loopnest.t list;
+  loops : Loopnest.loop list;
+  tile : int array;
+  padded_tile : int array;
+  tasks : (int array * int array) array;
+  parallel : parallel;
+  dma : Loopnest.dma_plan option;
+  n_state_streams : int;
+  n_aux_streams : int;
+  tiles_count : int;
+  tile_elems : int;
+  padded_elems : int;
+  working_set_bytes : int;
+  reuse_factor : float;
+  spm_capacity_bytes : int option;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let distinct_dts (st : Stencil.t) =
+  let rec go acc (e : Stencil.expr) =
+    match e with
+    | Stencil.Apply (_, dt) | Stencil.State dt -> dt :: acc
+    | Stencil.Scale (_, a) -> go acc a
+    | Stencil.Sum (a, b) | Stencil.Diff (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq compare (go [] st.Stencil.expr)
+
+let distinct_aux_names (st : Stencil.t) =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun k -> List.map (fun (a : Tensor.t) -> a.Tensor.name) k.Kernel.aux)
+       (Stencil.kernels st))
+
+(* Enumerate the tile tasks in the traversal order the outer loops dictate:
+   the outermost tile-index loop varies slowest, the innermost fastest. A
+   schedule that reorders the outer axes therefore reorders the sweep — the
+   native runtime inherits the locality effect the [reorder] primitive is
+   meant to establish. *)
+let tasks_of ~shape ~tile loops =
+  let nd = Array.length shape in
+  let outer =
+    List.filter_map
+      (fun (l : Loopnest.loop) ->
+        match l.Loopnest.role with
+        | Loopnest.Outer d -> Some d
+        | Loopnest.Inner _ | Loopnest.Full _ -> None)
+      loops
+  in
+  match outer with
+  | [] -> [| (Array.make nd 0, Array.copy shape) |]
+  | dims ->
+      let dims = Array.of_list dims in
+      let counts = Array.map (fun d -> ceil_div shape.(d) tile.(d)) dims in
+      let total = Array.fold_left ( * ) 1 counts in
+      Array.init total (fun id ->
+          let lo = Array.make nd 0 and hi = Array.copy shape in
+          let rest = ref id in
+          for i = Array.length dims - 1 downto 0 do
+            let d = dims.(i) in
+            let td = !rest mod counts.(i) in
+            rest := !rest / counts.(i);
+            lo.(d) <- td * tile.(d);
+            hi.(d) <- min shape.(d) (lo.(d) + tile.(d))
+          done;
+          (lo, hi))
+
+let compile ?machine (st : Stencil.t) schedule =
+  let kernels = Stencil.kernels st in
+  let validation =
+    List.fold_left
+      (fun acc k ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> Schedule.validate schedule ~kernel:k)
+      (Ok ()) kernels
+  in
+  match validation with
+  | Error _ as e -> e
+  | Ok () ->
+      let grid = st.Stencil.grid in
+      let shape = grid.Tensor.shape in
+      let nd = Array.length shape in
+      let elem = Dtype.size_bytes grid.Tensor.dtype in
+      let tile =
+        match Schedule.tile_sizes schedule ~ndim:nd with
+        | Some sizes -> sizes
+        | None -> Array.copy shape
+      in
+      let radius = Stencil.radius st in
+      let padded_tile = Array.mapi (fun d t -> t + (2 * radius.(d))) tile in
+      let loops = Loopnest.loops_for ~shape schedule in
+      (* Validation passed for every kernel, so per-kernel lowering cannot
+         fail. *)
+      let nests = List.map (fun k -> Loopnest.lower_exn k schedule) kernels in
+      let tasks = tasks_of ~shape ~tile loops in
+      let parallel =
+        match Schedule.parallel_spec schedule with
+        | None -> Seq
+        | Some (_, units, Schedule.Omp_threads) -> Block units
+        | Some (_, units, Schedule.Athread_cpes) -> Round_robin units
+      in
+      let tile_elems = Array.fold_left ( * ) 1 tile in
+      let padded_elems = Array.fold_left ( * ) 1 padded_tile in
+      let n_state_streams = List.length (distinct_dts st) in
+      let n_aux_streams = List.length (distinct_aux_names st) in
+      let nstreams = n_state_streams + n_aux_streams in
+      let reuse_factor =
+        match kernels with
+        | [] -> 0.0
+        | k :: _ ->
+            float_of_int (Kernel.points k)
+            *. float_of_int tile_elems /. float_of_int padded_elems
+      in
+      Ok
+        {
+          stencil = st;
+          schedule;
+          machine;
+          nests;
+          loops;
+          tile;
+          padded_tile;
+          tasks;
+          parallel;
+          dma = (match nests with [] -> None | n :: _ -> n.Loopnest.dma);
+          n_state_streams;
+          n_aux_streams;
+          tiles_count = Array.length tasks;
+          tile_elems;
+          padded_elems;
+          working_set_bytes = ((nstreams * padded_elems) + tile_elems) * elem;
+          reuse_factor;
+          spm_capacity_bytes =
+            Option.bind machine (fun (m : Machine.t) ->
+                m.Machine.spm_bytes_per_unit);
+        }
+
+let compile_exn ?machine st schedule =
+  match compile ?machine st schedule with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Plan.compile: " ^ msg)
+
+let spm_fits t =
+  match t.spm_capacity_bytes with
+  | None -> true
+  | Some cap -> t.working_set_bytes <= cap
+
+let outer_dims t =
+  List.filter_map
+    (fun (l : Loopnest.loop) ->
+      match l.Loopnest.role with
+      | Loopnest.Outer d -> Some d
+      | Loopnest.Inner _ | Loopnest.Full _ -> None)
+    t.loops
+
+let pp ppf t =
+  let par =
+    match t.parallel with
+    | Seq -> "seq"
+    | Block n -> Printf.sprintf "block(%d)" n
+    | Round_robin n -> Printf.sprintf "round_robin(%d)" n
+  in
+  Format.fprintf ppf "@[<v>plan %s: %d tiles, %s, working set %d B@,"
+    t.stencil.Stencil.name t.tiles_count par t.working_set_bytes;
+  List.iteri
+    (fun depth (l : Loopnest.loop) ->
+      Format.fprintf ppf "%sfor %s in [0,%d)@,"
+        (String.make (2 * depth) ' ')
+        l.Loopnest.name l.Loopnest.extent)
+    t.loops;
+  Format.fprintf ppf "@]"
+
+module Cache = struct
+  type plan = t
+
+  type key = Stencil.t * Schedule.t
+
+  type t = {
+    machine : Machine.t option;
+    tbl : (key, (plan, string) result) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?machine () =
+    { machine; tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+  let compile c st schedule =
+    let key = (st, schedule) in
+    match Hashtbl.find_opt c.tbl key with
+    | Some r ->
+        c.hits <- c.hits + 1;
+        r
+    | None ->
+        c.misses <- c.misses + 1;
+        let r = compile ?machine:c.machine st schedule in
+        Hashtbl.add c.tbl key r;
+        r
+
+  let hits c = c.hits
+  let misses c = c.misses
+  let stats c = (c.hits, c.misses)
+end

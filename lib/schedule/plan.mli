@@ -1,0 +1,87 @@
+(** The lowered execution plan: one artifact every backend shares.
+
+    [compile] validates a schedule once against every kernel of a stencil and
+    produces everything the consumers used to re-derive independently:
+
+    - the lowered loop list (what the C emitters walk),
+    - a materialized tile task array in the traversal order the [reorder]
+      primitive dictates (what the native runtime and the cache-trace
+      replayer sweep, and what the distributed runtime shares across ranks),
+    - the parallel assignment (sequential / block-threads / round-robin CPE
+      tasks),
+    - the DMA/SPM staging plan and stream counts (what the Sunway simulator
+      costs and the athread emitter stages),
+    - derived metrics: [tiles_count], [working_set_bytes], [reuse_factor]
+      (what the performance model and the Matrix cache model consume).
+
+    After this layer, no module outside [lib/schedule] queries
+    {!Schedule.tile_sizes}/{!Schedule.parallel_spec}/{!Schedule.validate}
+    directly. *)
+
+type parallel =
+  | Seq  (** no parallel primitive: one sequential sweep *)
+  | Block of int  (** OpenMP-style static blocks over [n] threads *)
+  | Round_robin of int  (** athread-style [mod(task, n)] CPE assignment *)
+
+type t = {
+  stencil : Msc_ir.Stencil.t;
+  schedule : Schedule.t;
+  machine : Msc_machine.Machine.t option;
+  nests : Loopnest.t list;  (** per-kernel lowerings, kernel order *)
+  loops : Loopnest.loop list;  (** the shared loop nest, outermost first *)
+  tile : int array;  (** effective tile extents (grid shape when untiled) *)
+  padded_tile : int array;  (** tile + twice the stencil radius per dim *)
+  tasks : (int array * int array) array;
+      (** interior (lo, hi) spans of every tile, enumerated in the traversal
+          order of the schedule's outer loops — [reorder] changes this *)
+  parallel : parallel;
+  dma : Loopnest.dma_plan option;  (** staging plan of the first kernel *)
+  n_state_streams : int;  (** distinct time states read per point *)
+  n_aux_streams : int;  (** distinct coefficient grids staged per tile *)
+  tiles_count : int;
+  tile_elems : int;  (** interior points per full tile *)
+  padded_elems : int;  (** points per tile including the halo ring *)
+  working_set_bytes : int;
+      (** per-tile scratch: one padded read buffer per stream plus the write
+          tile — the quantity that must fit in a CPE scratchpad and the
+          Matrix cache model's working set *)
+  reuse_factor : float;
+  spm_capacity_bytes : int option;  (** from the machine descriptor *)
+}
+
+val compile :
+  ?machine:Msc_machine.Machine.t ->
+  Msc_ir.Stencil.t ->
+  Schedule.t ->
+  (t, string) result
+(** Validate [schedule] against every kernel of the stencil, then lower.
+    [machine] only supplies capacity metadata ([spm_capacity_bytes]); the
+    plan itself is machine-independent. *)
+
+val compile_exn : ?machine:Msc_machine.Machine.t -> Msc_ir.Stencil.t -> Schedule.t -> t
+
+val spm_fits : t -> bool
+(** [working_set_bytes <= spm_capacity_bytes] (true when the machine has no
+    scratchpad). *)
+
+val outer_dims : t -> int list
+(** Dimensions of the tile-index loops, outermost first — the traversal
+    order [tasks] is enumerated in. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Memoizing plan compiler for the auto-tuner: annealing revisits the same
+    (stencil, schedule) points many times; each distinct pair is lowered and
+    validated exactly once. *)
+module Cache : sig
+  type plan := t
+  type t
+
+  val create : ?machine:Msc_machine.Machine.t -> unit -> t
+  val compile : t -> Msc_ir.Stencil.t -> Schedule.t -> (plan, string) result
+  val hits : t -> int
+  val misses : t -> int
+
+  val stats : t -> int * int
+  (** [(hits, misses)]. *)
+end

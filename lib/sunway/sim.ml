@@ -1,5 +1,6 @@
 open Msc_ir
 module Schedule = Msc_schedule.Schedule
+module Plan = Msc_schedule.Plan
 module Machine = Msc_machine.Machine
 module Roofline = Msc_machine.Roofline
 
@@ -67,55 +68,28 @@ let is_box_shaped (st : Stencil.t) =
           r >= 1 && Kernel.points k = box_points)
         kernels
 
-let distinct_dts (st : Stencil.t) =
-  let rec go acc (e : Stencil.expr) =
-    match e with
-    | Stencil.Apply (_, dt) | Stencil.State dt -> dt :: acc
-    | Stencil.Scale (_, a) -> go acc a
-    | Stencil.Sum (a, b) | Stencil.Diff (a, b) -> go (go acc a) b
-  in
-  List.sort_uniq compare (go [] st.Stencil.expr)
-
 let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
-    ?(steps = 10) ?(trace = Msc_trace.disabled) (st : Stencil.t) schedule =
+    ?(steps = 10) ?(trace = Msc_trace.disabled) ?plan (st : Stencil.t) schedule =
   let ts_sim = Msc_trace.begin_span trace in
-  let kernels = Stencil.kernels st in
-  let validation =
-    List.fold_left
-      (fun acc k ->
-        match acc with
-        | Error _ -> acc
-        | Ok () -> Schedule.validate schedule ~kernel:k)
-      (Ok ()) kernels
+  let plan =
+    match plan with
+    | Some p -> Ok p
+    | None -> Plan.compile ~machine st schedule
   in
-  match validation with
+  match plan with
   | Error msg -> Error msg
-  | Ok () ->
+  | Ok plan ->
       let grid = st.Stencil.grid in
-      let dims = grid.Tensor.shape in
-      let nd = Array.length dims in
+      let nd = Array.length grid.Tensor.shape in
       let elem = Dtype.size_bytes grid.Tensor.dtype in
-      let tile =
-        match Schedule.tile_sizes schedule ~ndim:nd with
-        | Some t -> t
-        | None -> Array.copy dims
-      in
-      let radius = Stencil.radius st in
-      let padded_tile = Array.mapi (fun d t -> t + (2 * radius.(d))) tile in
-      let tile_elems = Array.fold_left ( * ) 1 tile in
-      let padded_elems = Array.fold_left ( * ) 1 padded_tile in
-      let nstates = List.length (distinct_dts st) in
+      let tile = plan.Plan.tile in
+      let padded_tile = plan.Plan.padded_tile in
+      let tile_elems = plan.Plan.tile_elems in
+      let padded_elems = plan.Plan.padded_elems in
       (* Static coefficient grids are staged per tile exactly like input
          states: one more padded SPM buffer and one more DMA stream each. *)
-      let naux =
-        List.length
-          (List.sort_uniq compare
-             (List.concat_map
-                (fun k ->
-                  List.map (fun (a : Tensor.t) -> a.Tensor.name) k.Kernel.aux)
-                kernels))
-      in
-      let nstreams = nstates + naux in
+      let nstates = plan.Plan.n_state_streams in
+      let nstreams = nstates + plan.Plan.n_aux_streams in
       (* SPM accounting: one padded read buffer per input state + the write
          tile, exactly the slave code's __thread_local buffers. *)
       let spm = Spm.create ?capacity_bytes:machine.Machine.spm_bytes_per_unit () in
@@ -137,8 +111,8 @@ let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
       (match alloc_result with
       | Error msg -> Error msg
       | Ok () ->
-          let counts = Array.mapi (fun d t -> (dims.(d) + t - 1) / t) tile in
-          let tiles = Array.fold_left ( * ) 1 counts in
+          let tiles = plan.Plan.tiles_count in
+          let radius = Stencil.radius st in
           let cpes = machine.Machine.compute_units in
           let points = float_of_int (Tensor.elems grid) in
           (* Per-tile DMA: row-wise descriptors over the padded tile for each
@@ -227,9 +201,7 @@ let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
               spm_read_bytes;
               spm_write_bytes;
               spm_utilization = Spm.utilization spm;
-              reuse_factor =
-                float_of_int (Kernel.points (List.hd kernels))
-                *. float_of_int tile_elems /. float_of_int padded_elems;
+              reuse_factor = plan.Plan.reuse_factor;
               points_per_step = points;
             }
           in

@@ -58,11 +58,14 @@ val simulate :
   ?overrides:overrides ->
   ?steps:int ->
   ?trace:Msc_trace.t ->
+  ?plan:Msc_schedule.Plan.t ->
   Msc_ir.Stencil.t ->
   Msc_schedule.Schedule.t ->
   (report, string) result
-(** Default machine {!Msc_machine.Machine.sunway_cg}, 10 steps. Fails if the
-    schedule is illegal or its buffers overflow the SPM.
+(** Default machine {!Msc_machine.Machine.sunway_cg}, 10 steps. Costs the
+    lowered {!Msc_schedule.Plan.t} — pass [plan] to reuse a compiled one
+    (the auto-tuner's memoized path); otherwise the plan is compiled here.
+    Fails if the schedule is illegal or its buffers overflow the SPM.
 
     [trace] records the modelled per-step ["dma"] and ["cpe.compute"] phases
     as spans (durations are {e simulated} seconds), DMA/SPM traffic volumes

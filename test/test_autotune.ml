@@ -104,7 +104,10 @@ let fig11_make_stencil dims =
 let perfmodel_correlates_with_truth () =
   let rng = Prng.create 6 in
   let cost = Autotune.true_cost ~make_stencil:fig11_make_stencil ~global:dims in
-  let model = Perfmodel.train ~rng ~global:dims ~nranks ~true_cost:cost () in
+  let plan_of = Autotune.plan_of ~make_stencil:fig11_make_stencil ~global:dims in
+  let model =
+    Perfmodel.train ~rng ~global:dims ~nranks ~true_cost:cost ~plan_of ()
+  in
   check_bool "reasonable fit" true (Perfmodel.r_squared model > 0.4);
   (* Ranking sanity: on a fresh sample, the model orders a clearly-bad
      config after a clearly-good one. *)
@@ -127,7 +130,10 @@ let tune_improves () =
   in
   check_bool "never worse" true (r.Autotune.improvement >= 1.0);
   check_bool "best time positive" true (r.Autotune.best_time_s > 0.0);
-  check_bool "trace nonempty" true (List.length r.Autotune.trace > 5)
+  check_bool "trace nonempty" true (List.length r.Autotune.trace > 5);
+  (* The shared plan cache means revisited candidates never re-lower. *)
+  check_bool "some candidates lowered" true (r.Autotune.plan_cache_misses > 0);
+  check_bool "revisits served from plan cache" true (r.Autotune.plan_cache_hits > 0)
 
 let tune_deterministic_per_seed () =
   let run () =

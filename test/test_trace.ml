@@ -251,19 +251,18 @@ let disabled_noop () =
 
 (* --- pipeline integration --- *)
 
-let pipeline_matches_legacy () =
+let pipeline_matches_untraced () =
   let _, st = stencil_3d7pt ~n:10 () in
-  let legacy =
-    (* The deprecated entry points must keep working and agree with the
-       Pipeline (they are documented thin wrappers). *)
-    let[@warning "-3"] g = Msc.run ~workers:2 ~steps:4 st in
-    g
+  let untraced =
+    (* Tracing must be purely observational: a traced run agrees bit-for-bit
+       with the same pipeline run without a sink. *)
+    Msc.Pipeline.run ~steps:4 (Msc.Pipeline.make ~stencil:st ~workers:2 ())
   in
   let trace = Trace.create () in
   let p = Msc.Pipeline.make ~stencil:st ~workers:2 ~trace () in
   let piped = Msc.Pipeline.run ~steps:4 p in
   check_float "identical result" 0.0
-    (Msc.Grid.max_rel_error ~reference:legacy piped);
+    (Msc.Grid.max_rel_error ~reference:untraced piped);
   let phases = List.map (fun ph -> ph.Trace.phase) (Trace.phases trace) in
   List.iter
     (fun name -> check_bool name true (List.mem name phases))
@@ -312,7 +311,7 @@ let suites =
     ( "trace.pipeline",
       [
         tc "disabled sink no-op" disabled_noop;
-        tc "pipeline matches legacy" pipeline_matches_legacy;
+        tc "pipeline matches untraced" pipeline_matches_untraced;
         tc "distributed traces halo" distributed_traces_halo;
       ] );
   ]
