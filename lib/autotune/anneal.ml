@@ -36,5 +36,11 @@ let minimize ~rng ~init ~neighbor ~energy ?(iterations = 20_000)
     temp := !temp *. cooling;
     if iter mod trace_every = 0 then trace := (iter, !best_e) :: !trace
   done;
+  (* The sampled trace drops the tail whenever [iterations] is not a
+     multiple of [trace_every]; always close it with the final best so the
+     convergence curve ends at the returned energy. *)
+  (match !trace with
+  | (it, _) :: _ when it = iterations -> ()
+  | _ -> trace := (iterations, !best_e) :: !trace);
   Msc_trace.end_span mtrace "anneal.minimize" ts_sa;
   { best = !best; best_energy = !best_e; iterations; trace = List.rev !trace }

@@ -5,7 +5,10 @@ type 'a result = {
   best : 'a;
   best_energy : float;
   iterations : int;
-  trace : (int * float) list;  (** (iteration, best-so-far energy), sparse *)
+  trace : (int * float) list;
+      (** (iteration, best-so-far energy), sampled every [trace_every]
+          iterations; the final entry is always [(iterations, best_energy)]
+          even when the count is not a multiple of the sampling period *)
 }
 
 val minimize :

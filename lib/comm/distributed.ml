@@ -4,6 +4,8 @@ module Runtime = Msc_exec.Runtime
 module Bc = Msc_exec.Bc
 module Plan = Msc_schedule.Plan
 
+type engine = Bulk_synchronous | Overlapped
+
 type t = {
   stencil : Stencil.t;
   decomp : Decomp.t;
@@ -13,6 +15,11 @@ type t = {
   width : int array;  (** exchange width = stencil radius *)
   faces_only : bool;
   bc : Bc.t;
+  engine : engine;
+  pool : Msc_util.Domain_pool.t;  (** dispatches ranks, not tiles *)
+  phases : ((int array * int array) array * (int array * int array) array) array;
+      (** per rank: (interior tasks, boundary-shell tasks) — the plan's
+          tiles split against the cells at least [width] from every face *)
   trace : Msc_trace.t;
   mutable steps_done : int;
 }
@@ -78,15 +85,19 @@ let exchange_state t ~dt =
       grids;
   Msc_trace.end_span t.trace "halo.window" ts_win
 
-let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
+let create ?(engine = Overlapped) ?net
+    ?(pool = Msc_util.Domain_pool.sequential) ?schedule
+    ?(init = fun coord -> Runtime.default_init 1 coord)
     ?(aux_init = Runtime.default_aux_init) ?(bc = Bc.Dirichlet 0.0)
     ?(trace = Msc_trace.disabled) ~ranks_shape (st : Stencil.t) =
   Stencil.validate_halo st;
   let grid = st.Stencil.grid in
   let decomp = Decomp.create ~global:grid.Tensor.shape ~ranks_shape in
   let nranks = decomp.Decomp.nranks in
-  let mpi = Mpi_sim.create ~nranks in
+  let mpi = Mpi_sim.create ?net ~nranks () in
   let offsets = Array.make nranks [||] in
+  let width = Stencil.radius st in
+  let phases = Array.make nranks ([||], [||]) in
   (* One plan per distinct rank extent (uneven decompositions produce at
      most a handful): equal-extent ranks share the same compiled task
      array instead of each rank re-lowering the schedule. *)
@@ -124,8 +135,21 @@ let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
         (* The local runtime's own BC pass runs on every face; the exchange
            plus the physical-face pass above overwrite the interior faces
            with the right data afterwards. *)
-        Runtime.create ?plan ~init:local_init ~aux_init:local_aux_init ~bc
-          ~trace ~tid:rank local)
+        let rt =
+          Runtime.create ?plan ~init:local_init ~aux_init:local_aux_init ~bc
+            ~trace ~tid:rank local
+        in
+        (* Split the rank's tile tasks against its halo-free core: cells at
+           least the stencil radius from every local face read no halo
+           data, so their sub-sweep can run while exchange messages are in
+           flight. A sub-grid thinner than twice the radius has an empty
+           interior (every cell waits for the exchange). *)
+        let core_lo = Array.copy width in
+        let core_hi =
+          Array.mapi (fun d n -> max width.(d) (n - width.(d))) extent
+        in
+        phases.(rank) <- Plan.split_tasks ~core_lo ~core_hi (Runtime.tiles rt);
+        rt)
   in
   let t =
     {
@@ -134,9 +158,12 @@ let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
       mpi;
       runtimes;
       offsets;
-      width = Stencil.radius st;
+      width;
       faces_only = not (needs_corners st);
       bc;
+      engine;
+      pool;
+      phases;
       trace;
       steps_done = 0;
     }
@@ -151,11 +178,75 @@ let create ?schedule ?(init = fun coord -> Runtime.default_init 1 coord)
 let nranks t = Array.length t.runtimes
 let decomp t = t.decomp
 let mpi t = t.mpi
+let engine t = t.engine
 let steps_done t = t.steps_done
 
-let step t =
+(* The parity reference: every rank sweeps its full tile set, then the
+   freshly produced state is exchanged — no compute hides the messages. *)
+let bulk_step t =
   Array.iter Runtime.step t.runtimes;
-  exchange_state t ~dt:1;
+  exchange_state t ~dt:1
+
+(* The overlapped step re-splits the exchange around the interior sub-sweep.
+   The state entering the step (dt = 1) already has consistent halos from
+   the previous step's phase B (or from [create]'s initial exchanges), and
+   re-exchanging it moves bit-identical data: packing reads interior slabs,
+   which no phase mutates. Interior cells read no halo data at all, so
+   phase A's sub-sweep is correct regardless of message progress; the
+   boundary shell waits for the completed exchange in phase B.
+
+   Three pool dispatches with barriers between them keep the protocol
+   deadlock-free even when the pool has fewer workers than ranks: every
+   send is posted before any rank blocks in [Mpi_sim.wait]. Posting is its
+   own (cheap) phase rather than a prologue of each rank's compute so that
+   all messages enter flight before any interior sweep starts — the full
+   sweep then counts against every message's latency, even when the pool's
+   workers time-slice a single core. *)
+let overlapped_step t =
+  let periodic = Bc.equal t.bc Bc.Periodic in
+  let n = Array.length t.runtimes in
+  let recvs = Array.make n [] in
+  (* Phase A: pack and post every rank's sends and receives. *)
+  Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+    (fun ~worker:_ rank ->
+      let rt = t.runtimes.(rank) in
+      let grid = Runtime.state rt ~dt:1 in
+      Halo.post_sends ~periodic ~trace:t.trace t.mpi t.decomp ~rank ~grid
+        ~width:t.width ~faces_only:t.faces_only;
+      recvs.(rank) <-
+        Halo.post_recvs ~periodic t.mpi t.decomp ~rank
+          ~faces_only:t.faces_only);
+  (* Phase B: hide the interior sub-sweep behind the in-flight messages. *)
+  Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+    (fun ~worker:_ rank ->
+      let rt = t.runtimes.(rank) in
+      Runtime.begin_step rt;
+      let interior, _ = t.phases.(rank) in
+      let ts = Msc_trace.begin_span t.trace in
+      Runtime.sweep_tasks rt interior;
+      Msc_trace.end_span ~tid:rank t.trace "halo.overlap" ts);
+  (* Phase C: complete the receives, refresh the physical faces, sweep the
+     boundary shell, commit the step. *)
+  Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+    (fun ~worker:_ rank ->
+      let rt = t.runtimes.(rank) in
+      let grid = Runtime.state rt ~dt:1 in
+      Halo.complete_recvs ~trace:t.trace t.mpi ~rank ~grid ~width:t.width
+        recvs.(rank);
+      if not periodic then begin
+        let low, high = physical_masks t ~rank in
+        Bc.apply ~low ~high t.bc grid
+      end;
+      let _, shell = t.phases.(rank) in
+      let ts = Msc_trace.begin_span t.trace in
+      Runtime.sweep_tasks rt shell;
+      Msc_trace.end_span ~tid:rank t.trace "halo.shell" ts;
+      Runtime.finish_step rt)
+
+let step t =
+  (match t.engine with
+  | Bulk_synchronous -> bulk_step t
+  | Overlapped -> overlapped_step t);
   t.steps_done <- t.steps_done + 1
 
 let run t n =
@@ -178,8 +269,8 @@ let gather t =
     t.runtimes;
   out
 
-let validate ?(steps = 3) ?bc ~ranks_shape (st : Stencil.t) =
-  let dist = create ?bc ~ranks_shape st in
+let validate ?engine ?(steps = 3) ?bc ~ranks_shape (st : Stencil.t) =
+  let dist = create ?engine ?bc ~ranks_shape st in
   let single = Runtime.create ?bc st in
   run dist steps;
   Runtime.run single steps;

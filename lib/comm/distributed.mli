@@ -7,7 +7,26 @@
 
 type t
 
+type engine =
+  | Bulk_synchronous
+      (** The parity reference: every rank sweeps all its tiles, then the
+          freshly produced state is exchanged with no compute in flight. *)
+  | Overlapped
+      (** The paper's asynchronous protocol (§4.4, Figure 6c): each step
+          posts every rank's sends and receives, sweeps the halo-free
+          interior while the messages are in flight, then completes the
+          receives and sweeps the boundary shell. Bit-identical to
+          [Bulk_synchronous]. *)
+
+val needs_corners : Msc_ir.Stencil.t -> bool
+(** Whether any kernel access touches two or more dimensions at once (box
+    corners carry data), requiring diagonal-neighbour exchanges on top of
+    the [2*ndim] faces. Star stencils get by with faces only. *)
+
 val create :
+  ?engine:engine ->
+  ?net:Netmodel.t ->
+  ?pool:Msc_util.Domain_pool.t ->
   ?schedule:Msc_schedule.Schedule.t ->
   ?init:(int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
@@ -22,20 +41,32 @@ val create :
     slab halo-included, no exchange needed). Initial halo exchanges run for
     every retained state.
 
+    [engine] (default [Overlapped]) selects the stepping protocol; both
+    engines produce bit-identical states. [net] attaches a network cost
+    model to the MPI simulator, so every message carries a simulated
+    in-flight latency — {!Mpi_sim.wait} sleeps out the remainder, making
+    the overlap window measurable in wall-clock traces. [pool] dispatches
+    {e ranks} concurrently in the overlapped engine (default sequential;
+    each rank's local runtime keeps its own plan-level parallelism).
+
     [trace] instruments every rank's local runtime (spans tagged with the
-    rank as [tid]), each halo pack/exchange/unpack (via {!Halo.exchange}),
-    and a ["halo.window"] span over each complete exchange.
+    rank as [tid]), each halo pack/exchange/unpack, a ["halo.window"] span
+    over each bulk exchange, and — in the overlapped engine — a
+    ["halo.overlap"] span per rank over the interior sub-sweep (the window
+    the exchange hides behind) plus a ["halo.shell"] span over the
+    boundary sub-sweep.
     @raise Invalid_argument if the halo is thinner than the stencil radius or
     the decomposition is invalid. *)
 
 val nranks : t -> int
 val decomp : t -> Decomp.t
 val mpi : t -> Mpi_sim.t
+val engine : t -> engine
 val steps_done : t -> int
 
 val step : t -> unit
-(** One timestep: local sweeps on every rank, then the halo exchange of the
-    freshly produced state. *)
+(** One timestep: local sweeps on every rank plus the halo exchange, ordered
+    per the engine. *)
 
 val run : t -> int -> unit
 
@@ -46,6 +77,7 @@ val gather : t -> Msc_exec.Grid.t
 (** Assemble the global newest state from all ranks. *)
 
 val validate :
+  ?engine:engine ->
   ?steps:int -> ?bc:Msc_exec.Bc.t -> ranks_shape:int array -> Msc_ir.Stencil.t ->
   float
 (** Runs the distributed and the single-grid runtimes side by side and

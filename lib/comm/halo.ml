@@ -126,48 +126,63 @@ let unpack_naive g ~dir ~width payload =
       Grid.set g coord (Int64.float_of_bits (Bytes.get_int64_le payload !pos));
       pos := !pos + 8)
 
-let exchange ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
-    ~grids ~width ~faces_only =
-  let nranks = Decomp.(decomp.nranks) in
-  assert (Array.length grids = nranks);
+(* The tag is the sender's direction, so the receiver matches on the
+   opposite one. *)
+let post_sends ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
+    ~rank ~grid ~width ~faces_only =
   let nd = Array.length decomp.Decomp.global in
-  let dirs = Decomp.directions ~ndim:nd ~faces_only in
-  (* Phase 1: every rank posts all its sends (MPI_Isend). The tag is the
-     sender's direction, so the receiver matches on the opposite one. *)
   List.iter
     (fun dir ->
-      for rank = 0 to nranks - 1 do
-        match Decomp.neighbor ?periodic decomp ~rank ~dir with
-        | None -> ()
-        | Some nb ->
-            let ts_pack = Msc_trace.begin_span trace in
-            let payload = pack grids.(rank) ~dir ~width in
-            Msc_trace.end_span ~tid:rank trace "halo.pack" ts_pack;
-            Msc_trace.add ~tid:rank trace "halo.bytes"
-              (float_of_int (Bytes.length payload));
-            let ts_send = Msc_trace.begin_span trace in
-            Mpi_sim.isend mpi ~src:rank ~dst:nb ~tag:(Decomp.dir_index ~ndim:nd dir)
-              payload;
-            Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_send
-      done)
-    dirs;
-  (* Phase 2: every rank completes its receives (MPI_Irecv + MPI_Wait). *)
-  List.iter
+      match Decomp.neighbor ?periodic decomp ~rank ~dir with
+      | None -> ()
+      | Some nb ->
+          let ts_pack = Msc_trace.begin_span trace in
+          let payload = pack grid ~dir ~width in
+          Msc_trace.end_span ~tid:rank trace "halo.pack" ts_pack;
+          Msc_trace.add ~tid:rank trace "halo.bytes"
+            (float_of_int (Bytes.length payload));
+          let ts_send = Msc_trace.begin_span trace in
+          Mpi_sim.isend mpi ~src:rank ~dst:nb
+            ~tag:(Decomp.dir_index ~ndim:nd dir) payload;
+          Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_send)
+    (Decomp.directions ~ndim:nd ~faces_only)
+
+let post_recvs ?periodic mpi (decomp : Decomp.t) ~rank ~faces_only =
+  let nd = Array.length decomp.Decomp.global in
+  List.filter_map
     (fun dir ->
       let opposite = Array.map (fun v -> -v) dir in
-      for rank = 0 to nranks - 1 do
-        match Decomp.neighbor ?periodic decomp ~rank ~dir with
-        | None -> ()
-        | Some nb ->
-            let ts_recv = Msc_trace.begin_span trace in
-            let req =
+      match Decomp.neighbor ?periodic decomp ~rank ~dir with
+      | None -> None
+      | Some nb ->
+          Some
+            ( dir,
               Mpi_sim.irecv mpi ~dst:rank ~src:nb
-                ~tag:(Decomp.dir_index ~ndim:nd opposite)
-            in
-            let payload = Mpi_sim.wait mpi req in
-            Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_recv;
-            let ts_unpack = Msc_trace.begin_span trace in
-            unpack grids.(rank) ~dir ~width payload;
-            Msc_trace.end_span ~tid:rank trace "halo.unpack" ts_unpack
-      done)
-    dirs
+                ~tag:(Decomp.dir_index ~ndim:nd opposite) ))
+    (Decomp.directions ~ndim:nd ~faces_only)
+
+let complete_recvs ?timeout_s ?(trace = Msc_trace.disabled) mpi ~rank ~grid
+    ~width recvs =
+  List.iter
+    (fun (dir, req) ->
+      let ts_recv = Msc_trace.begin_span trace in
+      let payload = Mpi_sim.wait ?timeout_s mpi req in
+      Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_recv;
+      let ts_unpack = Msc_trace.begin_span trace in
+      unpack grid ~dir ~width payload;
+      Msc_trace.end_span ~tid:rank trace "halo.unpack" ts_unpack)
+    recvs
+
+let exchange ?periodic ?trace mpi (decomp : Decomp.t) ~grids ~width ~faces_only =
+  let nranks = Decomp.(decomp.nranks) in
+  assert (Array.length grids = nranks);
+  (* Phase 1: every rank posts all its sends (MPI_Isend). *)
+  for rank = 0 to nranks - 1 do
+    post_sends ?periodic ?trace mpi decomp ~rank ~grid:grids.(rank) ~width
+      ~faces_only
+  done;
+  (* Phase 2: every rank completes its receives (MPI_Irecv + MPI_Wait). *)
+  for rank = 0 to nranks - 1 do
+    let recvs = post_recvs ?periodic mpi decomp ~rank ~faces_only in
+    complete_recvs ?trace mpi ~rank ~grid:grids.(rank) ~width recvs
+  done

@@ -30,6 +30,57 @@ val unpack_naive :
 
 val payload_elems : Msc_exec.Grid.t -> dir:int array -> width:int array -> int
 
+(** {1 Split protocol (the overlapped engine's phases)}
+
+    One exchange = every rank runs {!post_sends} (and usually {!post_recvs}),
+    then — after any computation it wants to hide behind the in-flight
+    messages — {!complete_recvs}. All sends must be posted before any rank
+    completes its receives; the distributed runtime guarantees this with a
+    pool barrier between its phases. *)
+
+val post_sends :
+  ?periodic:bool ->
+  ?trace:Msc_trace.t ->
+  Mpi_sim.t ->
+  Decomp.t ->
+  rank:int ->
+  grid:Msc_exec.Grid.t ->
+  width:int array ->
+  faces_only:bool ->
+  unit
+(** Pack and post one rank's sends for every exchange direction (MPI_Isend).
+    The message tag is the {e sender's} direction index, so the receiver
+    matches on the opposite direction. Records ["halo.pack"] spans, a
+    ["halo.bytes"] counter and a ["halo.exchange"] span per posted send,
+    all tagged with [rank] as [tid]. *)
+
+val post_recvs :
+  ?periodic:bool ->
+  Mpi_sim.t ->
+  Decomp.t ->
+  rank:int ->
+  faces_only:bool ->
+  (int array * Mpi_sim.request) list
+(** Post one rank's receives (MPI_Irecv): one request per direction that has
+    a neighbour, paired with the direction whose outer slab the payload
+    belongs to. *)
+
+val complete_recvs :
+  ?timeout_s:float ->
+  ?trace:Msc_trace.t ->
+  Mpi_sim.t ->
+  rank:int ->
+  grid:Msc_exec.Grid.t ->
+  width:int array ->
+  (int array * Mpi_sim.request) list ->
+  unit
+(** Wait out each posted receive (simulated in-flight latency included) and
+    unpack its payload into the matching outer halo slab. Records a
+    ["halo.exchange"] span per completion and ["halo.unpack"] spans, tagged
+    with [rank].
+    @raise Mpi_sim.Deadlock when a matching send never arrives within
+    [timeout_s] (a neighbour/tag bug). *)
+
 val exchange :
   ?periodic:bool ->
   ?trace:Msc_trace.t ->
@@ -39,11 +90,12 @@ val exchange :
   width:int array ->
   faces_only:bool ->
   unit
-(** One complete asynchronous halo exchange of the given per-rank state:
+(** One complete bulk-synchronous halo exchange of the given per-rank state:
     every rank posts all its sends, then all receives complete (the
-    MPI_Isend / MPI_Irecv pattern of Figure 6c). Physical-boundary slabs are
-    left untouched unless [periodic], in which case they wrap around the
-    process grid (self-sends included).
+    MPI_Isend / MPI_Irecv pattern of Figure 6c) — {!post_sends} then
+    {!post_recvs}/{!complete_recvs} over all ranks, with no compute in
+    between. Physical-boundary slabs are left untouched unless [periodic],
+    in which case they wrap around the process grid (self-sends included).
 
     [trace] records, per message and tagged with the owning rank as [tid]:
     ["halo.pack"] / ["halo.unpack"] spans around serialisation, a

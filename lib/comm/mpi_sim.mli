@@ -2,28 +2,65 @@
 
     All ranks live in one process; messages are real byte buffers moved
     through tag-matched FIFO queues, so pack/unpack and matching logic are
-    genuinely exercised. The distributed runtime drives ranks in lockstep
-    phases: every rank posts its [isend]s, then every rank completes its
-    [irecv]s — the standard non-blocking halo-exchange pattern of §4.4. *)
+    genuinely exercised. The mailbox is mutex-guarded and every operation is
+    domain-safe, so the distributed runtime can drive ranks concurrently
+    over a {!Msc_util.Domain_pool}: every rank posts its [isend]s, computes
+    while the messages are in flight, and completes its [irecv]s afterwards
+    — the non-blocking overlapped halo-exchange pattern of §4.4.
+
+    With a {!Netmodel} attached, each message additionally carries a
+    simulated in-flight latency ({!Netmodel.message_time}): [wait] blocks
+    until the arrival time passes, so wall-clock traces show a real transfer
+    window that overlapped computation can hide. Without one, delivery is
+    instantaneous (the original lockstep behaviour). *)
 
 type t
 
 type request
+(** A posted receive. One-shot: it completes at most once ({!test} /
+    {!wait}), independently of any other request on the same channel. *)
 
-val create : nranks:int -> t
+exception
+  Deadlock of {
+    src : int;
+    dst : int;
+    tag : int;
+    waited_s : float;
+    backlog : (int * int * int * int) list;
+        (** every non-empty queue as [(src, dst, tag, depth)] — the
+            misrouted or mis-tagged messages that explain the hang *)
+  }
+(** Raised by {!wait} when no matching message shows up within the timeout.
+    Registered with a {!Printexc} printer, so the report names the missing
+    [(src, dst, tag)] and dumps the queues that {e do} hold messages
+    (distinguishing a tag/neighbour bug from a genuinely missing send). *)
+
+val create : ?net:Netmodel.t -> nranks:int -> unit -> t
+(** [net] prices each message's in-flight latency; omitted = instantaneous
+    delivery. @raise Invalid_argument when [nranks < 1]. *)
+
 val nranks : t -> int
 
 val isend : t -> src:int -> dst:int -> tag:int -> Bytes.t -> unit
-(** Asynchronous send: enqueues a copy of the payload.
+(** Asynchronous send: enqueues a copy of the payload, stamped with its
+    simulated arrival time. Never blocks.
     @raise Invalid_argument on out-of-range ranks. *)
 
 val irecv : t -> dst:int -> src:int -> tag:int -> request
-(** Post a receive; completion happens at {!wait}. *)
+(** Post a receive; completion happens at {!test} or {!wait}. *)
 
-val wait : t -> request -> Bytes.t
-(** Completes the receive, FIFO per (src, dst, tag).
-    @raise Failure if no matching message was sent (a deadlock in the
-    lockstep protocol — indicates a neighbour/tag bug). *)
+val test : t -> request -> bool
+(** Non-blocking completion probe: true once the matching message has been
+    sent {e and} its simulated arrival time has passed (the message is then
+    claimed by this request). Idempotent after completion. *)
+
+val wait : ?timeout_s:float -> t -> request -> Bytes.t
+(** Complete the receive, FIFO per (src, dst, tag), blocking until the
+    message arrives (simulated latency included). A message that is merely
+    in flight waits out its arrival time; a message that was never sent
+    raises {!Deadlock} after [timeout_s] (default 1 s) with a dump of the
+    queues that are non-empty. Waiting an already-completed request returns
+    its payload again. *)
 
 val pending_messages : t -> int
 (** Sent-but-unreceived messages (should be 0 between timesteps). *)
@@ -32,4 +69,8 @@ val pending_messages : t -> int
 
 val messages_sent : t -> int
 val bytes_sent : t -> int
+
 val reset_counters : t -> unit
+(** Zero [messages_sent], [bytes_sent] {e and} [pending_messages], so an
+    aborted or partially drained exchange cannot leak stale in-flight counts
+    into the next benchmark repetition. *)

@@ -52,6 +52,11 @@ let shared_memory =
         1.0 +. (0.05 *. (float_of_int nranks /. 28.0)));
   }
 
+let message_time t ~nranks ~bytes =
+  let bytes_per_message = float_of_int bytes in
+  let congestion = t.congestion_at ~nranks ~messages_per_rank:1 ~bytes_per_message in
+  (t.alpha_s *. congestion) +. (bytes_per_message /. (t.beta_gbs *. 1e9))
+
 let exchange_time t ~nranks ~messages_per_rank ~bytes_per_message =
   let congestion = t.congestion_at ~nranks ~messages_per_rank ~bytes_per_message in
   (* Contention inflates the per-message setup cost; the payload streams at

@@ -25,6 +25,13 @@ val tianhe3_prototype : t
 val shared_memory : t
 (** Intra-node "network" used for the CPU-platform Physis comparison. *)
 
+val message_time : t -> nranks:int -> bytes:int -> float
+(** In-flight time of a single message: per-message setup (congested at the
+    given scale, one message per rank) plus payload streaming. This is the
+    latency {!Mpi_sim} charges between posting a send and the matching
+    receive completing, so traces show a genuine transfer window the
+    overlapped engine can hide compute behind. *)
+
 val exchange_time :
   t -> nranks:int -> messages_per_rank:int -> bytes_per_message:float -> float
 (** Wall time of one asynchronous exchange round: all ranks communicate

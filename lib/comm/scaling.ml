@@ -76,20 +76,47 @@ let node_compute_time platform (st : Stencil.t) =
       | Ok r -> r.Msc_matrix.Sim.time_per_step_s
       | Error msg -> invalid_arg ("Scaling: " ^ msg))
 
-let comm_time platform ~ranks ~sub_grid ~radius ~elem =
+let comm_time platform ~ranks ~sub_grid ~radius ~elem ~faces_only =
   let nd = Array.length sub_grid in
-  let volume = Array.fold_left ( * ) 1 sub_grid in
-  let messages_per_rank = 2 * nd in
-  (* Mean face payload: radius-deep slab of the sub-grid per face. *)
-  let total_face_bytes =
-    List.init nd (fun d -> volume / sub_grid.(d) * radius.(d) * elem)
-    |> List.fold_left ( + ) 0
+  (* The directions the engine actually exchanges: faces for star stencils,
+     all 3^nd - 1 offsets (edges and corners included) for box stencils —
+     the same enumeration {!Halo} drives, so message counts match the
+     functional runtime instead of hardcoding [2 * nd]. *)
+  let dirs = Decomp.directions ~ndim:nd ~faces_only in
+  let messages_per_rank = List.length dirs in
+  (* A direction's payload is the slab that is radius-deep along every
+     non-zero axis and sub-grid-wide along the rest. *)
+  let slab_bytes dir =
+    let elems = ref 1 in
+    Array.iteri
+      (fun d o -> elems := !elems * if o = 0 then sub_grid.(d) else radius.(d))
+      dir;
+    !elems * elem
   in
-  let bytes_per_message =
-    float_of_int (2 * total_face_bytes) /. float_of_int messages_per_rank
+  let total_bytes = List.fold_left (fun acc d -> acc + slab_bytes d) 0 dirs in
+  (* Faces carry essentially all the volume, so the switch-contention regime
+     is set by their size — not by the byte-average that a box stencil's
+     8-byte corner messages would drag down. Congestion is evaluated at the
+     mean face size; every message (corners included) pays the contended
+     setup cost, and the payload streams at link bandwidth. For star
+     stencils this is exactly {!Netmodel.exchange_time}. *)
+  let faces =
+    List.filter
+      (fun dir ->
+        Array.fold_left (fun n o -> if o <> 0 then n + 1 else n) 0 dir = 1)
+      dirs
   in
-  Netmodel.exchange_time (network platform) ~nranks:ranks ~messages_per_rank
-    ~bytes_per_message
+  let face_bytes = List.fold_left (fun acc d -> acc + slab_bytes d) 0 faces in
+  let mean_face_bytes =
+    float_of_int face_bytes /. float_of_int (List.length faces)
+  in
+  let net = network platform in
+  let congestion =
+    net.Netmodel.congestion_at ~nranks:ranks ~messages_per_rank
+      ~bytes_per_message:mean_face_bytes
+  in
+  (float_of_int messages_per_rank *. net.Netmodel.alpha_s *. congestion)
+  +. (float_of_int total_bytes /. (net.Netmodel.beta_gbs *. 1e9))
 
 let run ~platform ~make_stencil ~configs =
   let points =
@@ -100,9 +127,13 @@ let run ~platform ~make_stencil ~configs =
         let compute_s = node_compute_time platform st in
         let radius = Stencil.radius st in
         let elem = Dtype.size_bytes st.Stencil.grid.Tensor.dtype in
-        let comm_s = comm_time platform ~ranks ~sub_grid ~radius ~elem in
-        (* Asynchronous exchange overlaps with the inner-region sweep, but
-           the packing/unpacking half of the exchange cannot hide. *)
+        let comm_s =
+          comm_time platform ~ranks ~sub_grid ~radius ~elem
+            ~faces_only:(not (Distributed.needs_corners st))
+        in
+        (* The overlapped engine hides the transfer behind the interior
+           sub-sweep ({!Distributed.Overlapped}); the packing/unpacking half
+           of the exchange still cannot hide. *)
         let overlap_residual = 0.5 in
         let time_per_step_s =
           Float.max compute_s comm_s

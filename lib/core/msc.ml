@@ -22,6 +22,7 @@ module Sunway = Msc_sunway.Sim
 module Spm = Msc_sunway.Spm
 module Matrix = Msc_matrix.Sim
 module Mpi = Msc_comm.Mpi_sim
+module Netmodel = Msc_comm.Netmodel
 module Decomp = Msc_comm.Decomp
 module Halo = Msc_comm.Halo
 module Distributed = Msc_comm.Distributed
@@ -125,9 +126,16 @@ module Pipeline = struct
     | Codegen.Cpu ->
         Error "simulate: the cpu target has no processor model (use run)"
 
-  let distribute ~ranks_shape p =
-    Distributed.create ?schedule:p.schedule ?bc:p.bc ~trace:p.trace
-      ~ranks_shape p.stencil
+  let distribute ?engine ~ranks_shape p =
+    (* Workers dispatch ranks, not tiles: the overlapped engine runs each
+       rank's phase concurrently. Workers spawn lazily and the pool carries
+       a GC finaliser, so sizing it here leaks nothing when unused. *)
+    let pool =
+      if p.workers = 1 then Domain_pool.sequential
+      else Domain_pool.create p.workers
+    in
+    Distributed.create ?engine ~pool ?schedule:p.schedule ?bc:p.bc
+      ~trace:p.trace ~ranks_shape p.stencil
 
   let autotune ?seed ?iterations ~make_stencil ~nranks p =
     Autotune.tune ?seed ?iterations ~trace:p.trace ~make_stencil

@@ -53,6 +53,7 @@ module Sunway = Msc_sunway.Sim
 module Spm = Msc_sunway.Spm
 module Matrix = Msc_matrix.Sim
 module Mpi = Msc_comm.Mpi_sim
+module Netmodel = Msc_comm.Netmodel
 module Decomp = Msc_comm.Decomp
 module Halo = Msc_comm.Halo
 module Distributed = Msc_comm.Distributed
@@ -134,10 +135,13 @@ module Pipeline : sig
       SW26010 CPE-cluster model, {!Codegen.Openmp} the Matrix MT2000+ model;
       {!Codegen.Cpu} has no model and returns [Error]. *)
 
-  val distribute : ranks_shape:int array -> t -> Distributed.t
+  val distribute :
+    ?engine:Distributed.engine -> ranks_shape:int array -> t -> Distributed.t
   (** Decompose over a simulated MPI process grid with automatic halo
       exchange; each rank's runtime inherits the pipeline's trace sink with
-      its rank as [tid]. *)
+      its rank as [tid]. [engine] (default {!Distributed.Overlapped})
+      selects the stepping protocol; the pipeline's [workers] size the pool
+      that dispatches ranks concurrently in the overlapped engine. *)
 
   val autotune :
     ?seed:int ->

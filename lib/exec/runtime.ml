@@ -179,11 +179,10 @@ let term_write t ~dst ~lo ~hi term =
       Interp.apply_scaled_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
   | From_state -> Interp.identity_apply_range ~scale:term.scale ~src ~dst ~lo ~hi
 
-let compute_tile t ~dst id =
-  let lo, hi = t.tiles.(id) in
+let compute_range t ~dst ~lo ~hi =
   match (t.engine, t.terms) with
   | Write_through, first :: rest ->
-      (* The first term overwrites the tile, so [step] needs no zero pass —
+      (* The first term overwrites the range, so [step] needs no zero pass —
          that pass plus the first term's read-modify-write were a full extra
          round trip over the output grid per step. Later terms accumulate as
          before; agreement with the zero-accumulate engine is bit-exact
@@ -193,35 +192,47 @@ let compute_tile t ~dst id =
   | Write_through, [] | Zero_accumulate, _ ->
       List.iter (term_accumulate t ~dst ~lo ~hi) t.terms
 
-(* [compute_tile] wrapped in a per-tile "sweep" span. On parallel paths the
+(* [compute_range] wrapped in a per-tile "sweep" span. On parallel paths the
    worker's attachment supplies the tid; sequential sweeps carry the
    runtime's own label (the rank, under the distributed runtime). *)
-let sweep_tile ?tid t ~dst id =
+let sweep_one ?tid t ~dst (lo, hi) =
   let ts0 = Msc_trace.begin_span t.trace in
-  compute_tile t ~dst id;
+  compute_range t ~dst ~lo ~hi;
   Msc_trace.end_span ?tid t.trace "sweep" ts0
 
-let step t =
-  let dst = output_slot t in
-  (* The zero pass only exists for the zero-accumulate engine, and only the
-     interior needs it: every halo cell of [dst] is rewritten by [Bc.apply]
-     below before the grid is ever read as an input state (the distributed
-     runtime additionally overwrites exchanged faces afterwards). *)
-  (match t.engine with
-  | Write_through -> ()
-  | Zero_accumulate -> Grid.fill_interior dst 0.0);
-  let ntiles = Array.length t.tiles in
-  (match t.par with
+(* Sweep an explicit task array into [dst] under the plan's parallel
+   dispatch. Every cell's value depends only on the input window, so any
+   partition of the interior into tasks — the plan's tiles, or their
+   interior/shell split — produces bit-identical output in any order. *)
+let sweep_tasks_into t ~dst tasks =
+  let ntiles = Array.length tasks in
+  match t.par with
   | `Seq ->
       for id = 0 to ntiles - 1 do
-        sweep_tile ~tid:t.tid t ~dst id
+        sweep_one ~tid:t.tid t ~dst tasks.(id)
       done
   | `Block ->
       Msc_util.Domain_pool.parallel_for ?on_worker:t.on_worker t.pool ~lo:0
-        ~hi:ntiles (sweep_tile t ~dst)
+        ~hi:ntiles (fun id -> sweep_one t ~dst tasks.(id))
   | `Round_robin ->
       Msc_util.Domain_pool.parallel_chunks ?on_worker:t.on_worker t.pool ~lo:0
-        ~hi:ntiles (fun ~worker:_ id -> sweep_tile t ~dst id));
+        ~hi:ntiles (fun ~worker:_ id -> sweep_one t ~dst tasks.(id))
+
+let begin_step t =
+  (* The zero pass only exists for the zero-accumulate engine, and only the
+     interior needs it: every halo cell of [dst] is rewritten by [Bc.apply]
+     in [finish_step] before the grid is ever read as an input state (the
+     distributed runtime additionally overwrites exchanged faces). Zeroing
+     the whole interior up front keeps later [sweep_tasks] phases free to
+     accumulate into any sub-range. *)
+  match t.engine with
+  | Write_through -> ()
+  | Zero_accumulate -> Grid.fill_interior (output_slot t) 0.0
+
+let sweep_tasks t tasks = sweep_tasks_into t ~dst:(output_slot t) tasks
+
+let finish_step t =
+  let dst = output_slot t in
   Msc_trace.add ~tid:t.tid t.trace "sweep.points" t.points_per_step;
   let ts_bc = Msc_trace.begin_span t.trace in
   Bc.apply t.bc dst;
@@ -230,6 +241,11 @@ let step t =
   t.cur <- (t.cur + 1) mod Array.length t.window;
   t.steps_done <- t.steps_done + 1;
   Msc_trace.end_span ~tid:t.tid t.trace "window.rotate" ts_rot
+
+let step t =
+  begin_step t;
+  sweep_tasks t t.tiles;
+  finish_step t
 
 let run t n =
   for _ = 1 to n do

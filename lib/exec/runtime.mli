@@ -90,7 +90,28 @@ val steps_done : t -> int
 
 val step : t -> unit
 (** Advance one timestep: compute the new state from the window, slide the
-    window. *)
+    window. Equivalent to [begin_step t; sweep_tasks t (tiles t);
+    finish_step t]. *)
+
+(** {1 Split stepping}
+
+    A step decomposed into phases, for callers that interleave other work
+    (the distributed runtime hides its halo exchange behind an interior
+    sub-sweep). One step = [begin_step], then [sweep_tasks] calls whose task
+    arrays together cover {!tiles} exactly once (in any order and split —
+    every cell depends only on the input window, so the result is
+    bit-identical to {!step}), then [finish_step]. *)
+
+val begin_step : t -> unit
+(** Prepare the output slot (the zero pass, when the engine needs one). *)
+
+val sweep_tasks : t -> (int array * int array) array -> unit
+(** Sweep the given (lo, hi) task ranges into the output slot under the
+    plan's parallel dispatch, recording a ["sweep"] span per task. *)
+
+val finish_step : t -> unit
+(** Record ["sweep.points"], apply the boundary condition to the new state,
+    and rotate the window. *)
 
 val run : t -> int -> unit
 (** [run t n] performs [n] steps. *)

@@ -145,6 +145,49 @@ let compile ?machine (st : Stencil.t) schedule =
                 m.Machine.spm_bytes_per_unit);
         }
 
+(* Split every task box into the part inside the core box [core_lo, core_hi)
+   and the parts outside it, by peeling one slab per dimension side off the
+   remaining box. Peeling is sequential on the remainder, so the produced
+   boxes are pairwise disjoint and cover each task exactly — any traversal
+   of the split computes every cell exactly once. Order within each half
+   follows the original traversal order. *)
+let split_tasks ~core_lo ~core_hi tasks =
+  let interior = ref [] and shell = ref [] in
+  let nonempty lo hi =
+    let ok = ref true in
+    Array.iteri (fun d l -> if l >= hi.(d) then ok := false) lo;
+    !ok
+  in
+  Array.iter
+    (fun ((lo : int array), (hi : int array)) ->
+      let cur_lo = Array.copy lo and cur_hi = Array.copy hi in
+      for d = 0 to Array.length lo - 1 do
+        if cur_lo.(d) < core_lo.(d) then begin
+          let b_hi = Array.copy cur_hi in
+          b_hi.(d) <- min cur_hi.(d) core_lo.(d);
+          if nonempty cur_lo b_hi then shell := (Array.copy cur_lo, b_hi) :: !shell;
+          cur_lo.(d) <- min cur_hi.(d) core_lo.(d)
+        end;
+        if cur_hi.(d) > core_hi.(d) then begin
+          let b_lo = Array.copy cur_lo in
+          b_lo.(d) <- max cur_lo.(d) core_hi.(d);
+          if nonempty b_lo cur_hi then shell := (b_lo, Array.copy cur_hi) :: !shell;
+          cur_hi.(d) <- max cur_lo.(d) core_hi.(d)
+        end
+      done;
+      if nonempty cur_lo cur_hi then interior := (cur_lo, cur_hi) :: !interior)
+    tasks;
+  (Array.of_list (List.rev !interior), Array.of_list (List.rev !shell))
+
+let interior_shell t =
+  let shape = t.stencil.Stencil.grid.Tensor.shape in
+  let radius = Stencil.radius t.stencil in
+  let core_lo = Array.copy radius in
+  let core_hi =
+    Array.mapi (fun d n -> max core_lo.(d) (n - radius.(d))) shape
+  in
+  split_tasks ~core_lo ~core_hi t.tasks
+
 let compile_exn ?machine st schedule =
   match compile ?machine st schedule with
   | Ok t -> t

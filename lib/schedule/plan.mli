@@ -60,6 +60,26 @@ val compile :
 
 val compile_exn : ?machine:Msc_machine.Machine.t -> Msc_ir.Stencil.t -> Schedule.t -> t
 
+val split_tasks :
+  core_lo:int array ->
+  core_hi:int array ->
+  (int array * int array) array ->
+  (int array * int array) array * (int array * int array) array
+(** Partition every task box against the core box [\[core_lo, core_hi)]:
+    [(interior, shell)] where the interior boxes lie inside the core and the
+    shell boxes outside it. The split boxes are pairwise disjoint and cover
+    each task exactly (qcheck-pinned), so sweeping interior and shell in any
+    order — or in different phases — computes every cell exactly once. Each
+    half preserves the tasks' traversal order. The distributed runtime uses
+    this to hide the halo exchange behind the interior sub-sweep. *)
+
+val interior_shell : t -> (int array * int array) array * (int array * int array) array
+(** {!split_tasks} against the stencil's own core: cells at least the
+    stencil radius away from every face. Interior cells read no halo data,
+    so their sub-sweep can run while halo messages are in flight; the shell
+    sub-sweep needs the completed exchange. An extent thinner than twice the
+    radius has an empty interior (every cell is shell). *)
+
 val spm_fits : t -> bool
 (** [working_set_bytes <= spm_capacity_bytes] (true when the machine has no
     scratchpad). *)

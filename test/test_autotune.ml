@@ -85,6 +85,33 @@ let anneal_trace_decreasing () =
   in
   check_bool "best-so-far never increases" true (monotone energies)
 
+let anneal_trace_includes_tail () =
+  let rng = Prng.create 6 in
+  let result =
+    Anneal.minimize ~rng ~init:25.0
+      ~neighbor:(fun rng x -> x +. Prng.gaussian rng)
+      ~energy:(fun x -> x *. x)
+      ~iterations:25 ~trace_every:10 ()
+  in
+  (* 25 is not a multiple of 10: the trace must still close with the final
+     best, not end at iteration 20. *)
+  (match List.rev result.Anneal.trace with
+  | (it, e) :: _ ->
+      check_int "last entry at the final iteration" 25 it;
+      check_float "last entry carries the returned energy" result.Anneal.best_energy e
+  | [] -> Alcotest.fail "trace must not be empty");
+  (* An exact multiple must not duplicate the final entry. *)
+  let rng = Prng.create 6 in
+  let exact =
+    Anneal.minimize ~rng ~init:25.0
+      ~neighbor:(fun rng x -> x +. Prng.gaussian rng)
+      ~energy:(fun x -> x *. x)
+      ~iterations:30 ~trace_every:10 ()
+  in
+  let iters = List.map fst exact.Anneal.trace in
+  check_int "no duplicate tail" (List.length (List.sort_uniq compare iters))
+    (List.length iters)
+
 let anneal_deterministic () =
   let run seed =
     let rng = Prng.create seed in
@@ -176,6 +203,7 @@ let suites =
         tc "quadratic minimum" anneal_finds_quadratic_minimum;
         tc "never worse" anneal_never_worse_than_init;
         tc "trace decreasing" anneal_trace_decreasing;
+        tc "trace includes tail" anneal_trace_includes_tail;
         tc "deterministic" anneal_deterministic;
       ] );
     ( "autotune.perfmodel",

@@ -14,14 +14,14 @@ module Grid = Msc_exec.Grid
 (* --- MPI simulator --- *)
 
 let mpi_send_recv () =
-  let mpi = Mpi.create ~nranks:4 in
+  let mpi = Mpi.create ~nranks:4 () in
   Mpi.isend mpi ~src:0 ~dst:3 ~tag:7 (Bytes.of_string "hello");
   let req = Mpi.irecv mpi ~dst:3 ~src:0 ~tag:7 in
   check_string "payload" "hello" (Bytes.to_string (Mpi.wait mpi req));
   check_int "drained" 0 (Mpi.pending_messages mpi)
 
 let mpi_fifo_order () =
-  let mpi = Mpi.create ~nranks:2 in
+  let mpi = Mpi.create ~nranks:2 () in
   Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "first");
   Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "second");
   check_string "fifo 1" "first"
@@ -30,7 +30,7 @@ let mpi_fifo_order () =
     (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0)))
 
 let mpi_tag_matching () =
-  let mpi = Mpi.create ~nranks:2 in
+  let mpi = Mpi.create ~nranks:2 () in
   Mpi.isend mpi ~src:0 ~dst:1 ~tag:1 (Bytes.of_string "a");
   Mpi.isend mpi ~src:0 ~dst:1 ~tag:2 (Bytes.of_string "b");
   check_string "tag 2 first" "b"
@@ -39,7 +39,7 @@ let mpi_tag_matching () =
     (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:1)))
 
 let mpi_payload_isolated () =
-  let mpi = Mpi.create ~nranks:2 in
+  let mpi = Mpi.create ~nranks:2 () in
   let buf = Bytes.of_string "orig" in
   Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 buf;
   Bytes.set buf 0 'X';
@@ -47,21 +47,81 @@ let mpi_payload_isolated () =
     (Bytes.to_string (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0)))
 
 let mpi_deadlock_detected () =
-  let mpi = Mpi.create ~nranks:2 in
-  check_bool "missing message fails" true
-    (try ignore (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0)); false
-     with Failure _ -> true)
+  let mpi = Mpi.create ~nranks:2 () in
+  (* A message on an unrelated channel, so the report can point at it. *)
+  Mpi.isend mpi ~src:1 ~dst:0 ~tag:5 (Bytes.of_string "misrouted");
+  match Mpi.wait ~timeout_s:0.05 mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0) with
+  | _ -> Alcotest.fail "wait on a never-sent message must raise"
+  | exception Mpi.Deadlock { src; dst; tag; waited_s; backlog } ->
+      check_int "src" 0 src;
+      check_int "dst" 1 dst;
+      check_int "tag" 0 tag;
+      check_bool "waited at least the timeout" true (waited_s >= 0.05);
+      check_bool "backlog names the misrouted message" true
+        (List.mem (1, 0, 5, 1) backlog)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let mpi_deadlock_report_printable () =
+  let mpi = Mpi.create ~nranks:2 () in
+  match Mpi.wait ~timeout_s:0.02 mpi (Mpi.irecv mpi ~dst:0 ~src:1 ~tag:3) with
+  | _ -> Alcotest.fail "wait on a never-sent message must raise"
+  | exception (Mpi.Deadlock _ as e) ->
+      let msg = Printexc.to_string e in
+      check_bool "names the channel" true
+        (contains_sub msg "src=1 dst=0 tag=3");
+      check_bool "reports empty queues" true
+        (contains_sub msg "no messages pending anywhere")
 
 let mpi_counters () =
-  let mpi = Mpi.create ~nranks:2 in
+  let mpi = Mpi.create ~nranks:2 () in
   Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.create 100);
-  check_int "messages" 1 (Mpi.messages_sent mpi);
-  check_int "bytes" 100 (Mpi.bytes_sent mpi);
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:1 (Bytes.create 40);
+  ignore (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0));
+  check_int "messages" 2 (Mpi.messages_sent mpi);
+  check_int "bytes" 140 (Mpi.bytes_sent mpi);
+  check_int "one still pending" 1 (Mpi.pending_messages mpi);
   Mpi.reset_counters mpi;
-  check_int "reset" 0 (Mpi.messages_sent mpi)
+  (* All three counters reset — [pending] included, so an abandoned
+     message cannot leak into the next repetition's accounting. *)
+  check_int "messages reset" 0 (Mpi.messages_sent mpi);
+  check_int "bytes reset" 0 (Mpi.bytes_sent mpi);
+  check_int "pending reset" 0 (Mpi.pending_messages mpi)
+
+let mpi_test_probe () =
+  let mpi = Mpi.create ~nranks:2 () in
+  let req = Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0 in
+  check_bool "nothing sent yet" false (Mpi.test mpi req);
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "now");
+  check_bool "completes once sent" true (Mpi.test mpi req);
+  check_bool "idempotent" true (Mpi.test mpi req);
+  check_string "payload claimed" "now" (Bytes.to_string (Mpi.wait mpi req))
+
+let mpi_simulated_latency () =
+  (* A synthetic network whose only cost is a 30 ms per-message setup:
+     [wait] must sleep out the in-flight window. *)
+  let net =
+    {
+      Netmodel.name = "test-net";
+      alpha_s = 0.03;
+      beta_gbs = 1.0;
+      congestion_at = (fun ~nranks:_ ~messages_per_rank:_ ~bytes_per_message:_ -> 1.0);
+    }
+  in
+  let mpi = Mpi.create ~net ~nranks:2 () in
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "slow");
+  let req = Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0 in
+  check_bool "still in flight" false (Mpi.test mpi req);
+  let t0 = Unix.gettimeofday () in
+  ignore (Mpi.wait mpi req);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_bool "waited out the latency" true (elapsed >= 0.02)
 
 let mpi_rank_bounds () =
-  let mpi = Mpi.create ~nranks:2 in
+  let mpi = Mpi.create ~nranks:2 () in
   check_bool "bad rank" true
     (try Mpi.isend mpi ~src:0 ~dst:2 ~tag:0 Bytes.empty; false
      with Invalid_argument _ -> true)
@@ -124,6 +184,29 @@ let decomp_validation () =
   check_bool "too many procs" true
     (try ignore (Decomp.create ~global:[| 4 |] ~ranks_shape:[| 8 |]); false
      with Invalid_argument _ -> true)
+
+(* Property: under periodic wrap every direction has a neighbour, and
+   stepping back along the opposite direction returns to the start — the
+   invariant the halo tag matching (sender's direction index, receiver
+   matches the opposite) relies on. *)
+let decomp_periodic_inverse_property =
+  qc ~count:200 "periodic neighbor inverted by opposite direction"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 3) (pair (int_range 1 4) (int_range (-1) 1)))
+        (int_range 0 1000))
+    (fun (dims, rank_seed) ->
+      let ranks_shape = Array.of_list (List.map fst dims) in
+      let dir = Array.of_list (List.map snd dims) in
+      QCheck.assume (Array.exists (fun v -> v <> 0) dir);
+      (* Every dimension needs at least as many points as processes. *)
+      let global = Array.map (fun r -> 4 * r) ranks_shape in
+      let d = Decomp.create ~global ~ranks_shape in
+      let rank = rank_seed mod d.Decomp.nranks in
+      let opposite = Array.map (fun v -> -v) dir in
+      match Decomp.neighbor ~periodic:true d ~rank ~dir with
+      | None -> false
+      | Some nb -> Decomp.neighbor ~periodic:true d ~rank:nb ~dir:opposite = Some rank)
 
 (* --- Halo pack/unpack --- *)
 
@@ -196,7 +279,7 @@ let halo_blit_matches_naive_property =
 
 let halo_exchange_fills_outer () =
   let d = Decomp.create ~global:[| 8; 8 |] ~ranks_shape:[| 2; 2 |] in
-  let mpi = Mpi.create ~nranks:4 in
+  let mpi = Mpi.create ~nranks:4 () in
   let grids =
     Array.init 4 (fun rank ->
         let _, extent = Decomp.subdomain d ~rank in
@@ -264,6 +347,92 @@ let distributed_property =
     (fun (px, py) ->
       let _, st = stencil_2d9pt_box ~m:12 ~n:12 () in
       Distributed.validate ~steps:2 ~ranks_shape:[| px; py |] st = 0.0)
+
+(* --- Overlapped engine --- *)
+
+(* Run both engines over every stencil of the paper's suite (small grids,
+   2x2(x2) process grids) and demand bit-identical gathered states — the
+   overlapped protocol must be a pure reordering of the bulk-synchronous
+   one. *)
+let engines_bit_identical_across_suite () =
+  List.iter
+    (fun (b : Msc_benchsuite.Suite.bench) ->
+      let dims = Array.make b.Msc_benchsuite.Suite.ndim (max 12 (4 * b.Msc_benchsuite.Suite.radius)) in
+      let ranks_shape = Array.make b.Msc_benchsuite.Suite.ndim 2 in
+      let st = Msc_benchsuite.Suite.stencil ~dims b in
+      let run engine =
+        let dist = Distributed.create ~engine ~ranks_shape st in
+        Distributed.run dist 2;
+        Distributed.gather dist
+      in
+      let bulk = run Distributed.Bulk_synchronous in
+      let over = run Distributed.Overlapped in
+      check_bool
+        (b.Msc_benchsuite.Suite.name ^ ": overlapped == bulk bit-exact")
+        true
+        (bulk.Grid.data = over.Grid.data))
+    Msc_benchsuite.Suite.all
+
+let engines_match_single_grid () =
+  let _, st = stencil_3d7pt ~n:12 () in
+  check_float "overlapped vs single" 0.0
+    (Distributed.validate ~engine:Distributed.Overlapped ~steps:4
+       ~ranks_shape:[| 2; 2; 2 |] st);
+  check_float "bulk vs single" 0.0
+    (Distributed.validate ~engine:Distributed.Bulk_synchronous ~steps:4
+       ~ranks_shape:[| 2; 2; 2 |] st)
+
+let overlapped_periodic_exact () =
+  let st = stencil_wave2d ~n:16 () in
+  check_float "periodic wrap through the overlapped engine" 0.0
+    (Distributed.validate ~engine:Distributed.Overlapped ~steps:4
+       ~bc:Msc_exec.Bc.Periodic ~ranks_shape:[| 2; 2 |] st)
+
+(* Ranks dispatched concurrently over a real worker pool must agree with
+   the sequential dispatch (and with the single grid). *)
+let overlapped_pool_parallel_exact () =
+  let _, st = stencil_2d9pt_box ~m:14 ~n:18 () in
+  let pool = Msc_util.Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Msc_util.Domain_pool.shutdown pool)
+    (fun () ->
+      let dist = Distributed.create ~pool ~ranks_shape:[| 2; 3 |] st in
+      let single = Msc_exec.Runtime.create st in
+      Distributed.run dist 3;
+      Msc_exec.Runtime.run single 3;
+      check_float "pool-parallel ranks bit-identical" 0.0
+        (Grid.max_rel_error ~reference:(Msc_exec.Runtime.current single)
+           (Distributed.gather dist)))
+
+(* A narrow rank (extent <= 2*radius somewhere) has an empty interior
+   phase: every cell is boundary shell. The split must stay exact. *)
+let overlapped_thin_rank_exact () =
+  let grid = Msc_frontend.Builder.def_tensor_2d ~time_window:2 ~halo:3 "B" Msc_ir.Dtype.F64 12 8 in
+  let k = Msc_frontend.Builder.star_kernel ~name:"S" ~radius:3 grid in
+  let st = Msc_frontend.Builder.two_step ~name:"thin" k in
+  check_float "all-shell ranks" 0.0
+    (Distributed.validate ~engine:Distributed.Overlapped ~steps:3
+       ~ranks_shape:[| 2; 2 |] st)
+
+let overlapped_traces_overlap_window () =
+  let trace = Msc_trace.create () in
+  let _, st = stencil_3d7pt ~n:12 () in
+  let dist = Distributed.create ~trace ~ranks_shape:[| 2; 2; 1 |] st in
+  Distributed.run dist 2;
+  let events = Msc_trace.events trace in
+  let spans_named phase =
+    List.filter_map
+      (fun (e : Msc_trace.event) ->
+        match e with
+        | Msc_trace.Span { name; tid; _ } when name = phase -> Some tid
+        | _ -> None)
+      events
+  in
+  (* One overlap window and one shell sub-sweep per rank per step. *)
+  check_int "halo.overlap spans" 8 (List.length (spans_named "halo.overlap"));
+  check_int "halo.shell spans" 8 (List.length (spans_named "halo.shell"));
+  Alcotest.(check (list int)) "overlap windows tagged per rank" [ 0; 1; 2; 3 ]
+    (List.sort_uniq compare (spans_named "halo.overlap"))
 
 (* --- Netmodel & Scaling --- *)
 
@@ -340,7 +509,10 @@ let suites =
         tc "tag matching" mpi_tag_matching;
         tc "payload copied" mpi_payload_isolated;
         tc "deadlock detected" mpi_deadlock_detected;
+        tc "deadlock report" mpi_deadlock_report_printable;
         tc "counters" mpi_counters;
+        tc "test probe" mpi_test_probe;
+        tc "simulated latency" mpi_simulated_latency;
         tc "rank bounds" mpi_rank_bounds;
       ] );
     ( "comm.decomp",
@@ -354,6 +526,7 @@ let suites =
         tc "dir tags unique" decomp_dir_index_unique;
         tc "auto shape" decomp_auto_shape;
         tc "validation" decomp_validation;
+        decomp_periodic_inverse_property;
       ] );
     ( "comm.halo",
       [
@@ -374,6 +547,15 @@ let suites =
         tc "wide halo" distributed_wide_halo_exact;
         tc "message accounting" distributed_message_accounting;
         tc "gather shape" distributed_gather_shape;
+      ] );
+    ( "comm.overlapped",
+      [
+        tc "suite bit-identical across engines" engines_bit_identical_across_suite;
+        tc "both engines match single grid" engines_match_single_grid;
+        tc "periodic exact" overlapped_periodic_exact;
+        tc "pool-parallel exact" overlapped_pool_parallel_exact;
+        tc "thin ranks all shell" overlapped_thin_rank_exact;
+        tc "overlap window traced" overlapped_traces_overlap_window;
       ] );
     ("comm.properties", [ distributed_property ]);
     ( "comm.netmodel_scaling",

@@ -62,7 +62,7 @@ let mpi_fifo_property =
   qc ~count:50 "per-channel FIFO under interleaving"
     QCheck.(list_of_size Gen.(int_range 1 30) (pair (int_range 0 2) small_nat))
     (fun sends ->
-      let mpi = Mpi.create ~nranks:4 in
+      let mpi = Mpi.create ~nranks:4 () in
       (* Send payload i on channel (tag t); receive everything and check each
          channel's order. *)
       List.iteri

@@ -180,6 +180,99 @@ let partition_prop (dims, raw_tile, perm) =
       Array.for_all (fun c -> c = 1) seen
       && Array.length p.Plan.tasks = p.Plan.tiles_count
 
+(* --- interior/shell split (the overlapped engine's phases) --- *)
+
+let split_arb =
+  let gen =
+    let open QCheck.Gen in
+    int_range 2 3 >>= fun nd ->
+    array_size (return nd) (int_range 3 10) >>= fun dims ->
+    array_size (return nd) (int_range 1 12) >>= fun raw_tile ->
+    array_size (return nd) (pair (int_range 0 10) (int_range 0 10))
+    >>= fun raw_core -> return (dims, raw_tile, raw_core)
+  in
+  let print (dims, tile, core) =
+    let arr a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+    Printf.sprintf "dims=[%s] tile=[%s] core=[%s]" (arr dims) (arr tile)
+      (String.concat ","
+         (List.map (fun (a, b) -> Printf.sprintf "%d+%d" a b) (Array.to_list core)))
+  in
+  QCheck.make ~print gen
+
+(* Property: [split_tasks] against a random (possibly empty or degenerate)
+   core box partitions the tile tasks exactly — every cell appears exactly
+   once across both halves, interior cells lie inside the core, shell cells
+   outside it. *)
+let split_partition_prop (dims, raw_tile, raw_core) =
+  let nd = Array.length dims in
+  let tile = Array.mapi (fun d t -> min t dims.(d)) raw_tile in
+  let core_lo = Array.mapi (fun d (a, _) -> min a dims.(d)) raw_core in
+  let core_hi =
+    Array.mapi (fun d (_, b) -> min (core_lo.(d) + b) dims.(d)) raw_core
+  in
+  let st = stencil_of_dims dims in
+  let sched = Schedule.tile Schedule.empty tile in
+  match Plan.compile st sched with
+  | Error msg -> QCheck.Test.fail_reportf "plan rejected: %s" msg
+  | Ok p ->
+      let interior, shell = Plan.split_tasks ~core_lo ~core_hi p.Plan.tasks in
+      let strides = Array.make nd 1 in
+      for d = nd - 2 downto 0 do
+        strides.(d) <- strides.(d + 1) * dims.(d + 1)
+      done;
+      let total = Array.fold_left ( * ) 1 dims in
+      let seen = Array.make total 0 in
+      let ok = ref true in
+      let walk ~expect_core boxes =
+        Array.iter
+          (fun (lo, hi) ->
+            let coord = Array.make nd 0 in
+            let rec go d =
+              if d = nd then begin
+                let idx = ref 0 in
+                let in_core = ref true in
+                for i = 0 to nd - 1 do
+                  idx := !idx + (coord.(i) * strides.(i));
+                  if coord.(i) < core_lo.(i) || coord.(i) >= core_hi.(i) then
+                    in_core := false
+                done;
+                seen.(!idx) <- seen.(!idx) + 1;
+                if !in_core <> expect_core then ok := false
+              end
+              else
+                for c = lo.(d) to hi.(d) - 1 do
+                  coord.(d) <- c;
+                  go (d + 1)
+                done
+            in
+            go 0)
+          boxes
+      in
+      walk ~expect_core:true interior;
+      walk ~expect_core:false shell;
+      !ok && Array.for_all (fun c -> c = 1) seen
+
+let interior_shell_canonical () =
+  (* 8^3 grid, radius-1 star, untiled: the interior is the single [1,7)^3
+     box and the shell is one slab per face. *)
+  let open Msc_frontend.Builder in
+  let grid = def_tensor_3d ~time_window:2 ~halo:1 "B" Msc_ir.Dtype.F64 8 8 8 in
+  let st = two_step ~name:"core3d" (star_kernel ~name:"S" ~radius:1 grid) in
+  let p = Plan.compile_exn st Schedule.empty in
+  let interior, shell = Plan.interior_shell p in
+  check_int "one interior box" 1 (Array.length interior);
+  check_int "six shell slabs" 6 (Array.length shell);
+  let lo, hi = interior.(0) in
+  Alcotest.(check (array int)) "core lo" [| 1; 1; 1 |] lo;
+  Alcotest.(check (array int)) "core hi" [| 7; 7; 7 |] hi;
+  let cells boxes =
+    Array.fold_left
+      (fun acc (lo, hi) ->
+        acc + Array.fold_left ( * ) 1 (Array.mapi (fun d l -> hi.(d) - l) lo))
+      0 boxes
+  in
+  check_int "cells partitioned" (8 * 8 * 8) (cells interior + cells shell)
+
 (* --- plan-driven runtime parity over the whole suite --- *)
 
 let runtime_parity_across_suite () =
@@ -340,6 +433,12 @@ let suites =
     ( "plan.partition",
       [ qc ~count:200 "tasks cover interior exactly once" partition_arb partition_prop ]
     );
+    ( "plan.split",
+      [
+        qc ~count:200 "interior/shell split is an exact partition" split_arb
+          split_partition_prop;
+        tc "canonical interior/shell" interior_shell_canonical;
+      ] );
     ("plan.parity", [ tc "suite parity (plan-driven runtime)" runtime_parity_across_suite ]);
     ( "plan.codegen",
       [
