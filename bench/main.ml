@@ -262,12 +262,17 @@ let comm_tests =
   let dist engine = Msc.Distributed.create ~engine ~ranks_shape:[| 2; 2 |] st in
   let bulk = dist Msc.Distributed.Bulk_synchronous in
   let overlapped = dist Msc.Distributed.Overlapped in
+  let temporal =
+    dist (Msc.Distributed.Temporal_blocked { depth = 4 })
+  in
   Test.make_grouped ~name:"comm"
     [
       Test.make ~name:"step_bulk_synchronous"
         (Staged.stage (fun () -> Msc.Distributed.step bulk));
       Test.make ~name:"step_overlapped"
         (Staged.stage (fun () -> Msc.Distributed.step overlapped));
+      Test.make ~name:"step_temporal_depth4"
+        (Staged.stage (fun () -> Msc.Distributed.step temporal));
     ]
 
 let all_tests =
@@ -286,6 +291,10 @@ let all_tests =
    specialized write-through sweep over the legacy fill+generic-accumulate
    step body on 3d7pt_star. *)
 
+(* Measurement quota per timing. [--smoke] shrinks it so the whole harness
+   finishes in seconds on CI while still exercising every code path. *)
+let quota_s = ref 0.2
+
 let time_per_run f =
   f ();
   (* warm-up *)
@@ -295,7 +304,7 @@ let time_per_run f =
       f ()
     done;
     let dt = Unix.gettimeofday () -. t0 in
-    if dt >= 0.2 then dt /. float_of_int iters else ramp (iters * 2)
+    if dt >= !quota_s then dt /. float_of_int iters else ramp (iters * 2)
   in
   ramp 1
 
@@ -394,7 +403,47 @@ let comm_overlap () =
   let overlapped_s = time Msc.Distributed.Overlapped in
   (dims, bulk_s, overlapped_s)
 
-let emit_runtime_json ~comm path =
+(* Communication-avoiding temporal blocking under the same ~1 ms synthetic
+   network — but sized to be latency-BOUND: each rank's whole sweep costs a
+   few microseconds, so the overlapped engine has nothing to hide the
+   message flight behind and pays ~alpha every step. The temporal engine
+   exchanges a [depth * radius] halo once per block and runs [depth]
+   substeps off it, amortising alpha to alpha/depth per step. *)
+let comm_temporal ?(smoke = false) () =
+  let b = Msc.Suite.find "2d9pt_box" in
+  let dims = if smoke then [| 16; 16 |] else [| 64; 64 |] in
+  let st = Msc.Suite.stencil ~dims b in
+  let net =
+    {
+      Msc.Netmodel.name = "bench-synthetic";
+      alpha_s = 1e-3;
+      beta_gbs = 10.0;
+      congestion_at =
+        (fun ~nranks:_ ~messages_per_rank:_ ~bytes_per_message:_ -> 1.0);
+    }
+  in
+  let time engine =
+    let pool =
+      Msc.Domain_pool.create (min 4 (Domain.recommended_domain_count ()))
+    in
+    Fun.protect
+      ~finally:(fun () -> Msc.Domain_pool.shutdown pool)
+      (fun () ->
+        let dist =
+          Msc.Distributed.create ~engine ~net ~pool ~ranks_shape:[| 2; 2 |] st
+        in
+        time_per_run (fun () -> Msc.Distributed.step dist))
+  in
+  let bulk_s = time Msc.Distributed.Bulk_synchronous in
+  let overlapped_s = time Msc.Distributed.Overlapped in
+  let temporal =
+    List.map
+      (fun depth -> (depth, time (Msc.Distributed.Temporal_blocked { depth })))
+      [ 1; 2; 4; 8 ]
+  in
+  (dims, bulk_s, overlapped_s, temporal)
+
+let emit_runtime_json ~comm ~temporal path =
   let kernels =
     List.map
       (fun (b : Msc.Suite.bench) ->
@@ -409,6 +458,18 @@ let emit_runtime_json ~comm path =
   let fast_pps, legacy_pps, speedup = fastpath_speedup () in
   let canonical_pps, reversed_pps = reorder_locality () in
   let comm_dims, bulk_s, overlapped_s = comm in
+  let t_dims, t_bulk_s, t_overlapped_s, t_depths = temporal in
+  let best_depth, best_s =
+    List.fold_left
+      (fun (bd, bs) (d, s) -> if s < bs then (d, s) else (bd, bs))
+      (List.hd t_depths) (List.tl t_depths)
+  in
+  let depth_entries =
+    String.concat ",\n"
+      (List.map
+         (fun (d, s) -> Printf.sprintf "      \"%d\": %.6e" d s)
+         t_depths)
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\
@@ -433,22 +494,41 @@ let emit_runtime_json ~comm path =
     \    \"bulk_synchronous_s_per_step\": %.6e,\n\
     \    \"overlapped_s_per_step\": %.6e,\n\
     \    \"overlap_speedup\": %.3f\n\
+    \  },\n\
+    \  \"comm_temporal\": {\n\
+    \    \"kernel\": \"2d9pt_box\",\n\
+    \    \"dims\": [%s],\n\
+    \    \"ranks\": [2, 2],\n\
+    \    \"net_alpha_s\": 1.0e-3,\n\
+    \    \"bulk_synchronous_s_per_step\": %.6e,\n\
+    \    \"overlapped_s_per_step\": %.6e,\n\
+    \    \"temporal_s_per_step\": {\n\
+     %s\n\
+    \    },\n\
+    \    \"best_depth\": %d,\n\
+    \    \"temporal_speedup_vs_overlapped\": %.3f\n\
     \  }\n\
      }\n"
     (String.concat ",\n" kernels)
     fast_pps legacy_pps speedup canonical_pps reversed_pps
     (canonical_pps /. reversed_pps)
     (String.concat ", " (Array.to_list (Array.map string_of_int comm_dims)))
-    bulk_s overlapped_s (bulk_s /. overlapped_s);
+    bulk_s overlapped_s (bulk_s /. overlapped_s)
+    (String.concat ", " (Array.to_list (Array.map string_of_int t_dims)))
+    t_bulk_s t_overlapped_s depth_entries best_depth
+    (t_overlapped_s /. best_s);
   close_out oc;
   Printf.printf
     "wrote %s (fastpath 3d7pt_star step body: %.2fx over legacy \
      fill+generic-accumulate; plan traversal canonical/reversed: %.2fx; \
      overlapped halo exchange: %.2fx over bulk-synchronous under simulated \
-     latency)\n"
+     latency; temporal blocking best depth %d: %.2fx over overlapped on a \
+     latency-bound grid)\n"
     path speedup
     (canonical_pps /. reversed_pps)
     (bulk_s /. overlapped_s)
+    best_depth
+    (t_overlapped_s /. best_s)
 
 let run_bechamel () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -494,16 +574,30 @@ let report_trace_overhead rows =
 
 let () =
   let t0 = Unix.gettimeofday () in
+  (* [--smoke]: the CI mode — every measured path still runs (so a
+     regression that breaks an engine fails the job) but on tiny grids with
+     a short quota, skipping the bechamel session and the paper-artifact
+     render; BENCH_runtime.json is still written for artifact upload. *)
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if smoke then quota_s := 0.02;
   (* Measured first, while the process heap is still quiet: an engine
      comparison at millisecond scale drowns in the GC noise a long bechamel
      session leaves behind. *)
   let comm = comm_overlap () in
-  let rows = run_bechamel () in
-  report_trace_overhead rows;
-  emit_runtime_json ~comm "BENCH_runtime.json";
-  print_newline ();
-  print_endline "== Paper artifacts (Tables 1/4/5/6/7/8, Figures 7-14, correctness) ==\n";
-  print_string (Msc.Experiments.render_all ());
-  print_endline "\n== Ablation studies ==\n";
-  print_string (Msc.Ablations.render_all ());
-  Printf.printf "\n[total harness time: %.1f s]\n" (Unix.gettimeofday () -. t0)
+  let temporal = comm_temporal ~smoke () in
+  if smoke then begin
+    emit_runtime_json ~comm ~temporal "BENCH_runtime.json";
+    Printf.printf "[smoke harness time: %.1f s]\n" (Unix.gettimeofday () -. t0)
+  end
+  else begin
+    let rows = run_bechamel () in
+    report_trace_overhead rows;
+    emit_runtime_json ~comm ~temporal "BENCH_runtime.json";
+    print_newline ();
+    print_endline
+      "== Paper artifacts (Tables 1/4/5/6/7/8, Figures 7-14, correctness) ==\n";
+    print_string (Msc.Experiments.render_all ());
+    print_endline "\n== Ablation studies ==\n";
+    print_string (Msc.Ablations.render_all ());
+    Printf.printf "\n[total harness time: %.1f s]\n" (Unix.gettimeofday () -. t0)
+  end

@@ -31,7 +31,43 @@ let plan_of ?cache ~make_stencil ~global (c : Params.config) =
   | Some cache -> Plan.Cache.compile cache st sched
   | None -> Plan.compile ~machine:Machine.sunway_cg st sched
 
-let true_cost ?cache ~make_stencil ~global (c : Params.config) =
+(* Clamp a candidate temporal-block depth to what the geometry and the
+   scratchpad allow: the deep halo must fit the per-rank sub-grid
+   ([k * radius <= sub] per dimension, mirroring
+   {!Msc_comm.Decomp.max_uniform_depth}), and the padded tile working set —
+   which grows with the deep halo — must still fit the SPM. *)
+let clamp_depth ~plan ~sub ~radius depth =
+  let geo = ref (max 1 depth) in
+  Array.iteri
+    (fun d r -> if r > 0 then geo := min !geo (max 1 (sub.(d) / r)))
+    radius;
+  let geo = !geo in
+  match plan with
+  | Error _ -> geo
+  | Ok (p : Plan.t) -> (
+      match p.Plan.spm_capacity_bytes with
+      | None -> geo
+      | Some cap ->
+          let padded k =
+            let v = ref 1.0 in
+            Array.iteri
+              (fun d t -> v := !v *. float_of_int (t + (2 * k * radius.(d))))
+              p.Plan.tile;
+            !v
+          in
+          let base = padded 1 in
+          let fits k =
+            float_of_int p.Plan.working_set_bytes *. (padded k /. base)
+            <= float_of_int cap
+          in
+          let k = ref 1 in
+          while !k < geo && fits (!k + 1) do
+            incr k
+          done;
+          !k)
+
+let true_cost ?cache ?(net = Msc_comm.Netmodel.sunway_taihulight) ~make_stencil
+    ~global (c : Params.config) =
   let sub = Params.subgrid c ~global in
   let st, sched = lower ~make_stencil ~global c in
   let plan =
@@ -39,6 +75,8 @@ let true_cost ?cache ~make_stencil ~global (c : Params.config) =
     | Some cache -> Plan.Cache.compile cache st sched
     | None -> Plan.compile ~machine:Machine.sunway_cg st sched
   in
+  let radius = Msc_ir.Stencil.radius st in
+  let depth = clamp_depth ~plan ~sub ~radius c.Params.depth in
   let compute =
     match plan with
     | Error _ ->
@@ -52,9 +90,16 @@ let true_cost ?cache ~make_stencil ~global (c : Params.config) =
             (* SPM overflow: same penalty. *)
             1.0)
   in
+  (* Temporal blocking trades redundant ghost compute for latency: the node
+     time inflates by the ghost factor while the exchange amortises over the
+     block. *)
+  let compute =
+    compute
+    *. Msc_comm.Scaling.temporal_compute_factor ~sub_grid:sub ~radius ~depth
+  in
   let nranks = Array.fold_left ( * ) 1 c.mpi_grid in
   let nd = Array.length sub in
-  let radius = Msc_ir.Stencil.radius st in
+  let time_window = Msc_ir.Stencil.time_window st in
   let elem = Msc_ir.Dtype.size_bytes st.Msc_ir.Stencil.grid.Msc_ir.Tensor.dtype in
   let volume = Array.fold_left ( * ) 1 sub in
   let face_bytes =
@@ -62,22 +107,28 @@ let true_cost ?cache ~make_stencil ~global (c : Params.config) =
     |> List.fold_left ( + ) 0
   in
   let comm =
-    Msc_comm.Netmodel.exchange_time Msc_comm.Netmodel.sunway_taihulight ~nranks
-      ~messages_per_rank:(2 * nd)
-      ~bytes_per_message:(float_of_int (2 * face_bytes) /. float_of_int (2 * nd))
+    Msc_comm.Netmodel.exchange_time net ~nranks ~messages_per_rank:(2 * nd)
+      ~bytes_per_message:
+        (float_of_int (2 * face_bytes * depth * time_window)
+        /. float_of_int (2 * nd))
+    /. float_of_int depth
   in
   Float.max compute comm
 
-let exhaustive ?(max_configs = 20_000) ~make_stencil ~global ~nranks () =
+let exhaustive ?(max_configs = 20_000) ?net ~make_stencil ~global ~nranks () =
   let ladders = Params.tile_candidates ~dims:global in
   let grids = Params.mpi_grid_candidates ~nranks ~ndim:(Array.length global) in
+  let depths = Params.depth_candidates in
   let space =
-    Array.fold_left (fun acc l -> acc * List.length l) (List.length grids) ladders
+    Array.fold_left
+      (fun acc l -> acc * List.length l)
+      (List.length grids * List.length depths)
+      ladders
   in
   if space > max_configs then None
   else begin
     let cache = Plan.Cache.create ~machine:Machine.sunway_cg () in
-    let cost = true_cost ~cache ~make_stencil ~global in
+    let cost = true_cost ~cache ?net ~make_stencil ~global in
     let best = ref None in
     let consider config =
       let c = cost config in
@@ -89,7 +140,13 @@ let exhaustive ?(max_configs = 20_000) ~make_stencil ~global ~nranks () =
     let tile = Array.make nd 1 in
     let rec tiles d =
       if d = nd then
-        List.iter (fun mpi_grid -> consider { Params.tile = Array.copy tile; mpi_grid }) grids
+        List.iter
+          (fun mpi_grid ->
+            List.iter
+              (fun depth ->
+                consider { Params.tile = Array.copy tile; mpi_grid; depth })
+              depths)
+          grids
       else
         List.iter
           (fun t ->
@@ -101,7 +158,7 @@ let exhaustive ?(max_configs = 20_000) ~make_stencil ~global ~nranks () =
     !best
   end
 
-let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
+let tune ?(seed = 42) ?(iterations = 20_000) ?net ?(trace = Msc_trace.disabled)
     ~make_stencil ~global ~nranks () =
   let rng = Msc_util.Prng.create seed in
   (* One memoized plan compiler serves both the regression features and the
@@ -113,7 +170,7 @@ let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
      the network model, the measured quantity of Figure 11. *)
   let cost c =
     let ts0 = Msc_trace.begin_span trace in
-    let t = true_cost ~cache ~make_stencil ~global c in
+    let t = true_cost ~cache ?net ~make_stencil ~global c in
     Msc_trace.end_span trace "tune.trial" ts0;
     Msc_trace.add trace "tune.trials" 1.0;
     t
@@ -134,7 +191,7 @@ let tune ?(seed = 42) ?(iterations = 20_000) ?(trace = Msc_trace.disabled)
       | first :: _ -> first
       | [] -> Array.init nd (fun d -> if d = 0 then nranks else 1)
     in
-    { Params.tile; mpi_grid }
+    { Params.tile; mpi_grid; depth = 1 }
   in
   let sa =
     Anneal.minimize ~rng ~init:initial

@@ -26,6 +26,7 @@ val plan_of :
 
 val true_cost :
   ?cache:Msc_schedule.Plan.Cache.t ->
+  ?net:Msc_comm.Netmodel.t ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->
   global:int array ->
   Params.config ->
@@ -33,23 +34,34 @@ val true_cost :
 (** Ground-truth objective: per-step time = node simulation with the config's
     (clamped) tile + network-model halo exchange for the config's process
     grid — the terms the paper's model lists (kernel, packing, transfer).
-    The node simulation reuses the memoized plan when [cache] is given. *)
+    The config's temporal-block depth is clamped to what the sub-grid
+    geometry and the scratchpad allow, then priced as the
+    communication-avoiding engine executes it: node time inflated by
+    {!Msc_comm.Scaling.temporal_compute_factor}, exchange slabs widened to
+    [depth * radius] (every retained state included) and amortised over the
+    block, so the alpha term drops as [alpha / depth]. [net] (default
+    {!Msc_comm.Netmodel.sunway_taihulight}) selects the interconnect — a
+    latency-bound network such as {!Msc_comm.Netmodel.tianhe3_prototype}
+    rewards [depth > 1]. The node simulation reuses the memoized plan when
+    [cache] is given. *)
 
 val exhaustive :
   ?max_configs:int ->
+  ?net:Msc_comm.Netmodel.t ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->
   global:int array ->
   nranks:int ->
   unit ->
   (Params.config * float) option
 (** Evaluate the true cost of every configuration in the space (tile ladders
-    x process-grid factorisations) and return the optimum, or [None] when
-    the space exceeds [max_configs] (default 20_000) — the reference the
-    annealer is measured against in the ablation study. *)
+    x process-grid factorisations x temporal depths) and return the optimum,
+    or [None] when the space exceeds [max_configs] (default 20_000) — the
+    reference the annealer is measured against in the ablation study. *)
 
 val tune :
   ?seed:int ->
   ?iterations:int ->
+  ?net:Msc_comm.Netmodel.t ->
   ?trace:Msc_trace.t ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->
   global:int array ->

@@ -1,4 +1,4 @@
-type config = { tile : int array; mpi_grid : int array }
+type config = { tile : int array; mpi_grid : int array; depth : int }
 
 let tile_candidates ~dims =
   Array.map
@@ -18,17 +18,20 @@ let mpi_grid_candidates ~nranks ~ndim =
   in
   List.map Array.of_list (go nranks ndim)
 
+let depth_candidates = [ 1; 2; 4; 8 ]
+
 let pick rng xs = List.nth xs (Msc_util.Prng.int rng (List.length xs))
 
 let random rng ~dims ~nranks =
   let cands = tile_candidates ~dims in
   let tile = Array.map (fun c -> pick rng c) cands in
   let grids = mpi_grid_candidates ~nranks ~ndim:(Array.length dims) in
-  { tile; mpi_grid = pick rng grids }
+  { tile; mpi_grid = pick rng grids; depth = pick rng depth_candidates }
 
 let neighbor rng ~dims ~nranks config =
   let nd = Array.length dims in
-  if Msc_util.Prng.uniform rng < 0.7 then begin
+  let r = Msc_util.Prng.uniform rng in
+  if r < 0.6 then begin
     (* Move one tile dimension one step along its candidate ladder. *)
     let cands = tile_candidates ~dims in
     let d = Msc_util.Prng.int rng nd in
@@ -48,7 +51,7 @@ let neighbor rng ~dims ~nranks config =
     tile.(d) <- List.nth ladder pos';
     { config with tile }
   end
-  else begin
+  else if r < 0.8 then begin
     let grids = mpi_grid_candidates ~nranks ~ndim:nd in
     let idx =
       let rec find i = function
@@ -63,14 +66,30 @@ let neighbor rng ~dims ~nranks config =
     in
     { config with mpi_grid = List.nth grids idx' }
   end
+  else begin
+    (* Step the temporal-block depth one rung along its ladder. *)
+    let pos =
+      let rec find i = function
+        | [] -> 0
+        | x :: rest -> if x = config.depth then i else find (i + 1) rest
+      in
+      find 0 depth_candidates
+    in
+    let len = List.length depth_candidates in
+    let pos' =
+      if Msc_util.Prng.bool rng then min (len - 1) (pos + 1) else max 0 (pos - 1)
+    in
+    { config with depth = List.nth depth_candidates pos' }
+  end
 
 let subgrid config ~global =
   Array.mapi
     (fun d n -> (n + config.mpi_grid.(d) - 1) / config.mpi_grid.(d))
     global
 
-let equal a b = a.tile = b.tile && a.mpi_grid = b.mpi_grid
+let equal a b = a.tile = b.tile && a.mpi_grid = b.mpi_grid && a.depth = b.depth
 
 let pp ppf c =
   let ints a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
-  Format.fprintf ppf "tile(%s) mpi(%s)" (ints c.tile) (ints c.mpi_grid)
+  Format.fprintf ppf "tile(%s) mpi(%s) depth(%d)" (ints c.tile) (ints c.mpi_grid)
+    c.depth

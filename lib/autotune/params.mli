@@ -1,7 +1,8 @@
 (** The auto-tuner's search space (§4.4 "Performance auto-tuning"): tile
-    sizes per spatial dimension and the MPI process-grid shape. *)
+    sizes per spatial dimension, the MPI process-grid shape, and the
+    communication-avoiding temporal-block depth. *)
 
-type config = { tile : int array; mpi_grid : int array }
+type config = { tile : int array; mpi_grid : int array; depth : int }
 
 val tile_candidates : dims:int array -> int list array
 (** Per-dimension candidate tile sizes: powers of two from 1 up to the
@@ -10,11 +11,17 @@ val tile_candidates : dims:int array -> int list array
 val mpi_grid_candidates : nranks:int -> ndim:int -> int array list
 (** Every factorisation of [nranks] into [ndim] ordered factors. *)
 
+val depth_candidates : int list
+(** Temporal-block depth ladder searched by the tuner: [1; 2; 4; 8]. The
+    cost model clamps a candidate to what the geometry and scratchpad
+    allow, so infeasible rungs price as their clamped depth. *)
+
 val random : Msc_util.Prng.t -> dims:int array -> nranks:int -> config
 
 val neighbor : Msc_util.Prng.t -> dims:int array -> nranks:int -> config -> config
-(** One annealing move: nudge one tile dimension up/down the candidate list,
-    or swap to an adjacent MPI factorisation. *)
+(** One annealing move: nudge one tile dimension up/down the candidate list
+    (p = 0.6), swap to an adjacent MPI factorisation (p = 0.2), or step the
+    temporal depth one rung (p = 0.2). *)
 
 val subgrid : config -> global:int array -> int array
 (** Per-rank extents under the config's process grid (ceil division). *)

@@ -34,6 +34,17 @@ let features ~plan_of (c : Params.config) ~global =
     and mn = Array.fold_left min max_int c.mpi_grid in
     float_of_int mx /. float_of_int (max 1 mn)
   in
+  (* Temporal-depth features: the latency amortisation (1/k) and the
+     redundant-ghost fraction ((k-1) * sum_d r_d / n_d) the depth trades it
+     against. *)
+  let radius = Msc_ir.Stencil.radius plan.Plan.stencil in
+  let ghost =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun d r -> acc := !acc +. (float_of_int r /. float_of_int (max 1 sub.(d))))
+      radius;
+    float_of_int (c.depth - 1) *. !acc
+  in
   [|
     log (float_of_int tile_volume);
     working_set /. float_of_int spm_bytes;
@@ -43,6 +54,8 @@ let features ~plan_of (c : Params.config) ~global =
     float_of_int surface /. float_of_int (max 1 sub_volume);
     float_of_int nranks /. 1e3;
     aspect;
+    1.0 /. float_of_int (max 1 c.depth);
+    ghost;
   |]
 
 let train ~rng ~global ~nranks ~true_cost ~plan_of ?(samples = 120) () =

@@ -64,6 +64,19 @@ let subdomain t ~rank =
   done;
   (offset, extent)
 
+let min_extent t =
+  (* The thinnest extent along each dimension: remainder points go to the
+     leading ranks, so the floor division is the minimum. *)
+  Array.map2 (fun n p -> n / p) t.global t.ranks_shape
+
+let max_uniform_depth t ~radius =
+  let m = min_extent t in
+  let cap = ref max_int in
+  Array.iteri
+    (fun d r -> if r > 0 then cap := min !cap (m.(d) / r))
+    radius;
+  max 1 (if !cap = max_int then max_int else !cap)
+
 let neighbor ?(periodic = false) t ~rank ~dir =
   let coords = coords_of_rank t rank in
   let nd = Array.length coords in

@@ -23,6 +23,17 @@ val subdomain : t -> rank:int -> int array * int array
 (** [(offset, extent)] of the rank's block in global coordinates. Remainder
     points go to the leading ranks (extents differ by at most one). *)
 
+val min_extent : t -> int array
+(** The thinnest rank extent along each dimension ([global / ranks_shape],
+    floor — remainder points go to the leading ranks). *)
+
+val max_uniform_depth : t -> radius:int array -> int
+(** The largest temporal-block depth [k] every rank supports: a depth-[k]
+    block needs a [k * radius] halo, which must not exceed any rank's own
+    extent ([min] over dimensions with non-zero radius of
+    [min_extent / radius]). At least [1]; [max_int] for a pointwise
+    (zero-radius) stencil. *)
+
 val neighbor : ?periodic:bool -> t -> rank:int -> dir:int array -> int option
 (** Neighbouring rank one step along [dir] (entries in -1/0/+1); [None] past
     the physical boundary. With [periodic], coordinates wrap around, so every

@@ -4,7 +4,10 @@ module Runtime = Msc_exec.Runtime
 module Bc = Msc_exec.Bc
 module Plan = Msc_schedule.Plan
 
-type engine = Bulk_synchronous | Overlapped
+type engine =
+  | Bulk_synchronous
+  | Overlapped
+  | Temporal_blocked of { depth : int }
 
 type t = {
   stencil : Stencil.t;
@@ -12,14 +15,20 @@ type t = {
   mpi : Mpi_sim.t;
   runtimes : Runtime.t array;
   offsets : int array array;
-  width : int array;  (** exchange width = stencil radius *)
+  width : int array;  (** exchange width = depth * stencil radius *)
   faces_only : bool;
   bc : Bc.t;
   engine : engine;
+  depth : int;  (** effective temporal-block depth (1 for other engines) *)
   pool : Msc_util.Domain_pool.t;  (** dispatches ranks, not tiles *)
   phases : ((int array * int array) array * (int array * int array) array) array;
-      (** per rank: (interior tasks, boundary-shell tasks) — the plan's
-          tiles split against the cells at least [width] from every face *)
+      (** per rank: (interior tasks, boundary-shell tasks) — the first
+          substep's tasks split against the cells at least the stencil
+          radius from every face (only those read pre-exchange halo data) *)
+  sub_tasks : (int array * int array) array array array;
+      (** per rank, per substep: the temporal block's shrinking task arrays
+          ({!Plan.temporal}); a single plain-tiles substep at depth 1 *)
+  mutable block_pos : int;  (** substep position within the current block *)
   trace : Msc_trace.t;
   mutable steps_done : int;
 }
@@ -36,13 +45,24 @@ let needs_corners (st : Stencil.t) =
         (Expr.distinct_accesses k.Kernel.expr))
     (Stencil.kernels st)
 
-let localize_stencil (st : Stencil.t) ~extent =
+let localize_stencil ?halo (st : Stencil.t) ~extent =
   let grid = st.Stencil.grid in
-  let local_tensor = { grid with Tensor.shape = Array.copy extent } in
+  let local_tensor =
+    match halo with
+    | None -> { grid with Tensor.shape = Array.copy extent }
+    | Some h ->
+        (* Deep-halo override (temporal blocking): the local grids carry a
+           [depth * radius] halo so one exchange feeds a whole block. *)
+        { grid with Tensor.shape = Array.copy extent; Tensor.halo = Array.copy h }
+  in
   let localize_kernel k =
     let aux =
       List.map
-        (fun (tensor : Tensor.t) -> { tensor with Tensor.shape = Array.copy extent })
+        (fun (tensor : Tensor.t) ->
+          match halo with
+          | None -> { tensor with Tensor.shape = Array.copy extent }
+          | Some h ->
+              { tensor with Tensor.shape = Array.copy extent; Tensor.halo = Array.copy h })
         k.Kernel.aux
     in
     Kernel.make ~bindings:k.Kernel.bindings ~aux ~name:k.Kernel.name
@@ -96,8 +116,35 @@ let create ?(engine = Overlapped) ?net
   let nranks = decomp.Decomp.nranks in
   let mpi = Mpi_sim.create ?net ~nranks () in
   let offsets = Array.make nranks [||] in
-  let width = Stencil.radius st in
+  let radius = Stencil.radius st in
+  let requested_depth =
+    match engine with
+    | Temporal_blocked { depth } ->
+        if depth < 1 then
+          invalid_arg "Distributed.create: temporal block depth must be >= 1";
+        depth
+    | Bulk_synchronous | Overlapped -> 1
+  in
+  (* Clamp the block depth to what the thinnest rank supports: a depth-k
+     block needs a [k * radius] halo no wider than the rank itself. *)
+  let depth = min requested_depth (Decomp.max_uniform_depth decomp ~radius) in
+  if depth > 1 && Bc.equal bc Bc.Reflect then
+    invalid_arg
+      "Distributed.create: Reflect boundaries are unsupported at temporal \
+       block depth > 1 (the mirrored halo cannot be recomputed locally)";
+  let width = Array.map (fun r -> depth * r) radius in
+  (* Extension cells of a star stencil still read into corner halo regions
+     (their own reads bleed diagonally), so depth > 1 always exchanges
+     corners. *)
+  let faces_only = if depth > 1 then false else not (needs_corners st) in
+  let deep_halo =
+    if depth > 1 then
+      Some (Array.mapi (fun d h -> max h width.(d)) grid.Tensor.halo)
+    else None
+  in
+  let periodic = Bc.equal bc Bc.Periodic in
   let phases = Array.make nranks ([||], [||]) in
+  let sub_tasks = Array.make nranks ([||] : (int array * int array) array array) in
   (* One plan per distinct rank extent (uneven decompositions produce at
      most a handful): equal-extent ranks share the same compiled task
      array instead of each rank re-lowering the schedule. *)
@@ -121,7 +168,7 @@ let create ?(engine = Overlapped) ?net
     Array.init nranks (fun rank ->
         let offset, extent = Decomp.subdomain decomp ~rank in
         offsets.(rank) <- offset;
-        let local = localize_stencil st ~extent in
+        let local = localize_stencil ?halo:deep_halo st ~extent in
         let plan = plan_for local ~extent in
         let local_init _dt coord =
           init (Array.mapi (fun d c -> c + offset.(d)) coord)
@@ -139,16 +186,29 @@ let create ?(engine = Overlapped) ?net
           Runtime.create ?plan ~init:local_init ~aux_init:local_aux_init ~bc
             ~trace ~tid:rank local
         in
-        (* Split the rank's tile tasks against its halo-free core: cells at
-           least the stencil radius from every local face read no halo
-           data, so their sub-sweep can run while exchange messages are in
-           flight. A sub-grid thinner than twice the radius has an empty
-           interior (every cell waits for the exchange). *)
-        let core_lo = Array.copy width in
-        let core_hi =
-          Array.mapi (fun d n -> max width.(d) (n - width.(d))) extent
+        (* Materialise the temporal block's per-substep task arrays: the
+           halo extension only grows on faces with a neighbour (physical
+           faces are fed by the boundary condition instead). *)
+        let coords = Decomp.coords_of_rank decomp rank in
+        let grow_low = Array.map (fun c -> periodic || c > 0) coords in
+        let grow_high =
+          Array.mapi (fun d c -> periodic || c < ranks_shape.(d) - 1) coords
         in
-        phases.(rank) <- Plan.split_tasks ~core_lo ~core_hi (Runtime.tiles rt);
+        sub_tasks.(rank) <-
+          Plan.temporal ~shape:extent ~radius ~depth ~grow_low ~grow_high
+            (Runtime.tiles rt);
+        (* Split the first substep's tasks against the rank's halo-free
+           core: cells at least the stencil radius from every local face
+           read no halo data — the pre-block halo is stale (the previous
+           block's last substep swept no extension), so only these cells
+           may run while the deep exchange is in flight. A sub-grid thinner
+           than twice the radius has an empty interior (every cell waits
+           for the exchange). *)
+        let core_lo = Array.copy radius in
+        let core_hi =
+          Array.mapi (fun d n -> max radius.(d) (n - radius.(d))) extent
+        in
+        phases.(rank) <- Plan.split_tasks ~core_lo ~core_hi sub_tasks.(rank).(0);
         rt)
   in
   let t =
@@ -159,11 +219,14 @@ let create ?(engine = Overlapped) ?net
       runtimes;
       offsets;
       width;
-      faces_only = not (needs_corners st);
+      faces_only;
       bc;
       engine;
+      depth;
       pool;
       phases;
+      sub_tasks;
+      block_pos = 0;
       trace;
       steps_done = 0;
     }
@@ -179,6 +242,7 @@ let nranks t = Array.length t.runtimes
 let decomp t = t.decomp
 let mpi t = t.mpi
 let engine t = t.engine
+let effective_depth t = t.depth
 let steps_done t = t.steps_done
 
 (* The parity reference: every rank sweeps its full tile set, then the
@@ -243,10 +307,97 @@ let overlapped_step t =
       Msc_trace.end_span ~tid:rank t.trace "halo.shell" ts;
       Runtime.finish_step rt)
 
+(* One timestep of the communication-avoiding temporal engine. A depth-k
+   block pays one deep exchange ([k * radius]-wide slabs of every retained
+   state, one message per neighbour) and then advances k substeps: substep
+   [s] sweeps the interior grown by [(k-1-s) * radius] into the exchanged
+   halo ({!Plan.temporal}), so the redundant ghost compute replaces k-1
+   exchanges — the alpha cost per step drops to alpha/k.
+
+   Every substep is an exact full timestep over the rank's own interior
+   (only the halo extension shrinks), so the engine stays one-timestep
+   granular: stopping mid-block is correct, and each substep's result is
+   bit-identical to the other engines'.
+
+   The first substep mirrors [overlapped_step]: pre-block halos are stale
+   (the previous block's last substep swept no extension), so only the
+   radius-deep core runs while the deep exchange is in flight; the shell
+   plus the outermost extension wait for completion. Later substeps are
+   pure compute. Between substeps the boundary condition refreshes the
+   {e physical} faces only — a full pass would clobber the freshly
+   recomputed halo extensions ([Runtime.finish_step ~low ~high]). *)
+let temporal_step t =
+  let periodic = Bc.equal t.bc Bc.Periodic in
+  let n = Array.length t.runtimes in
+  let s = t.block_pos in
+  let w = Stencil.time_window t.stencil in
+  let states rank =
+    Array.init w (fun i -> Runtime.state t.runtimes.(rank) ~dt:(i + 1))
+  in
+  let finish_masked rank =
+    let low, high = physical_masks t ~rank in
+    if periodic then begin
+      Array.fill low 0 (Array.length low) false;
+      Array.fill high 0 (Array.length high) false
+    end;
+    Runtime.finish_step ~low ~high t.runtimes.(rank)
+  in
+  if s = 0 then begin
+    let recvs = Array.make n [] in
+    (* Phase A: pack and post the deep sends (every retained state's
+       [k * radius] slab in one message per neighbour) and the receives. *)
+    Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+      (fun ~worker:_ rank ->
+        Halo.post_sends_deep ~periodic ~trace:t.trace t.mpi t.decomp ~rank
+          ~grids:(states rank) ~width:t.width ~faces_only:t.faces_only;
+        recvs.(rank) <-
+          Halo.post_recvs ~periodic t.mpi t.decomp ~rank
+            ~faces_only:t.faces_only);
+    (* Phase B: hide the halo-free core of substep 0 behind the exchange. *)
+    Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+      (fun ~worker:_ rank ->
+        let rt = t.runtimes.(rank) in
+        Runtime.begin_step rt;
+        let interior, _ = t.phases.(rank) in
+        let ts = Msc_trace.begin_span t.trace in
+        Runtime.sweep_tasks rt interior;
+        Msc_trace.end_span ~tid:rank t.trace "halo.overlap" ts);
+    (* Phase C: complete the deep receives, refresh physical faces of every
+       input state, sweep the shell and the outermost extension, commit. *)
+    Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+      (fun ~worker:_ rank ->
+        let rt = t.runtimes.(rank) in
+        let grids = states rank in
+        Halo.complete_recvs_deep ~trace:t.trace t.mpi ~rank ~grids
+          ~width:t.width recvs.(rank);
+        if not periodic then begin
+          let low, high = physical_masks t ~rank in
+          Array.iter (fun g -> Bc.apply ~low ~high t.bc g) grids
+        end;
+        let _, shell = t.phases.(rank) in
+        let ts = Msc_trace.begin_span t.trace in
+        Runtime.sweep_tasks rt shell;
+        Msc_trace.end_span ~tid:rank t.trace "halo.shell" ts;
+        finish_masked rank)
+  end
+  else
+    (* Substeps 1..k-1: no communication — sweep the shrunken extended
+       interior ({!Plan.temporal}) and refresh the physical faces. *)
+    Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+      (fun ~worker:_ rank ->
+        let rt = t.runtimes.(rank) in
+        Runtime.begin_step rt;
+        let ts = Msc_trace.begin_span t.trace in
+        Runtime.sweep_tasks rt t.sub_tasks.(rank).(s);
+        Msc_trace.end_span ~tid:rank t.trace "halo.substep" ts;
+        finish_masked rank);
+  t.block_pos <- (s + 1) mod t.depth
+
 let step t =
   (match t.engine with
   | Bulk_synchronous -> bulk_step t
-  | Overlapped -> overlapped_step t);
+  | Overlapped -> overlapped_step t
+  | Temporal_blocked _ -> temporal_step t);
   t.steps_done <- t.steps_done + 1
 
 let run t n =

@@ -17,6 +17,19 @@ type engine =
           interior while the messages are in flight, then completes the
           receives and sweeps the boundary shell. Bit-identical to
           [Bulk_synchronous]. *)
+  | Temporal_blocked of { depth : int }
+      (** Communication-avoiding temporal blocking: halos are widened to
+          [depth * radius], one deep exchange (a single message per
+          neighbour carrying every retained state's slab) feeds a block of
+          [depth] timesteps, and each substep recomputes a shrinking ghost
+          extension instead of exchanging — the per-step latency cost drops
+          to [alpha / depth] at the price of [O(depth * radius * face)]
+          redundant compute. The first substep of each block overlaps the
+          deep exchange with its halo-free core, like [Overlapped]. [depth]
+          is clamped to what the thinnest rank supports
+          ({!Decomp.max_uniform_depth}; see {!effective_depth}); stepping
+          stays one-timestep granular (stopping mid-block is exact).
+          Bit-identical to the other engines at every depth. *)
 
 val needs_corners : Msc_ir.Stencil.t -> bool
 (** Whether any kernel access touches two or more dimensions at once (box
@@ -54,14 +67,24 @@ val create :
     over each bulk exchange, and — in the overlapped engine — a
     ["halo.overlap"] span per rank over the interior sub-sweep (the window
     the exchange hides behind) plus a ["halo.shell"] span over the
-    boundary sub-sweep.
-    @raise Invalid_argument if the halo is thinner than the stencil radius or
-    the decomposition is invalid. *)
+    boundary sub-sweep; the temporal engine adds a ["halo.substep"] span
+    per rank over each communication-free substep.
+    @raise Invalid_argument if the halo is thinner than the stencil radius,
+    the decomposition is invalid, a temporal depth [< 1] is requested, or
+    [Temporal_blocked] with effective depth [> 1] is combined with
+    [Reflect] boundaries (the mirrored halo cannot be recomputed locally). *)
 
 val nranks : t -> int
 val decomp : t -> Decomp.t
 val mpi : t -> Mpi_sim.t
 val engine : t -> engine
+
+val effective_depth : t -> int
+(** The temporal block depth actually in use: the requested
+    [Temporal_blocked] depth clamped to {!Decomp.max_uniform_depth} (ranks
+    thinner than [depth * radius] cannot host the deep halo). [1] for the
+    other engines. *)
+
 val steps_done : t -> int
 
 val step : t -> unit

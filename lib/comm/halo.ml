@@ -126,6 +126,24 @@ let unpack_naive g ~dir ~width payload =
       Grid.set g coord (Int64.float_of_bits (Bytes.get_int64_le payload !pos));
       pos := !pos + 8)
 
+(* Deep-halo variants: one message per neighbour carries the [k * radius]
+   slab of {e every} retained state (dt = 1 first, then dt = 2, ...), so a
+   depth-k temporal block pays one latency per neighbour instead of k. *)
+
+let pack_multi grids ~dir ~width =
+  Bytes.concat Bytes.empty
+    (List.map (fun g -> pack g ~dir ~width) (Array.to_list grids))
+
+let unpack_multi grids ~dir ~width payload =
+  let per = 8 * payload_elems grids.(0) ~dir ~width in
+  if Bytes.length payload <> per * Array.length grids then
+    invalid_arg
+      (Printf.sprintf "Halo.unpack_multi: payload %d B but %d slabs of %d B"
+         (Bytes.length payload) (Array.length grids) per);
+  Array.iteri
+    (fun i g -> unpack g ~dir ~width (Bytes.sub payload (i * per) per))
+    grids
+
 (* The tag is the sender's direction, so the receiver matches on the
    opposite one. *)
 let post_sends ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
@@ -138,6 +156,25 @@ let post_sends ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
       | Some nb ->
           let ts_pack = Msc_trace.begin_span trace in
           let payload = pack grid ~dir ~width in
+          Msc_trace.end_span ~tid:rank trace "halo.pack" ts_pack;
+          Msc_trace.add ~tid:rank trace "halo.bytes"
+            (float_of_int (Bytes.length payload));
+          let ts_send = Msc_trace.begin_span trace in
+          Mpi_sim.isend mpi ~src:rank ~dst:nb
+            ~tag:(Decomp.dir_index ~ndim:nd dir) payload;
+          Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_send)
+    (Decomp.directions ~ndim:nd ~faces_only)
+
+let post_sends_deep ?periodic ?(trace = Msc_trace.disabled) mpi
+    (decomp : Decomp.t) ~rank ~grids ~width ~faces_only =
+  let nd = Array.length decomp.Decomp.global in
+  List.iter
+    (fun dir ->
+      match Decomp.neighbor ?periodic decomp ~rank ~dir with
+      | None -> ()
+      | Some nb ->
+          let ts_pack = Msc_trace.begin_span trace in
+          let payload = pack_multi grids ~dir ~width in
           Msc_trace.end_span ~tid:rank trace "halo.pack" ts_pack;
           Msc_trace.add ~tid:rank trace "halo.bytes"
             (float_of_int (Bytes.length payload));
@@ -170,6 +207,18 @@ let complete_recvs ?timeout_s ?(trace = Msc_trace.disabled) mpi ~rank ~grid
       Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_recv;
       let ts_unpack = Msc_trace.begin_span trace in
       unpack grid ~dir ~width payload;
+      Msc_trace.end_span ~tid:rank trace "halo.unpack" ts_unpack)
+    recvs
+
+let complete_recvs_deep ?timeout_s ?(trace = Msc_trace.disabled) mpi ~rank
+    ~grids ~width recvs =
+  List.iter
+    (fun (dir, req) ->
+      let ts_recv = Msc_trace.begin_span trace in
+      let payload = Mpi_sim.wait ?timeout_s mpi req in
+      Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_recv;
+      let ts_unpack = Msc_trace.begin_span trace in
+      unpack_multi grids ~dir ~width payload;
       Msc_trace.end_span ~tid:rank trace "halo.unpack" ts_unpack)
     recvs
 

@@ -30,6 +30,19 @@ val unpack_naive :
 
 val payload_elems : Msc_exec.Grid.t -> dir:int array -> width:int array -> int
 
+val pack_multi :
+  Msc_exec.Grid.t array -> dir:int array -> width:int array -> Bytes.t
+(** Concatenation of {!pack} over several same-geometry grids (the retained
+    states of a time window, dt = 1 first): the deep-halo temporal engine
+    ships one [k * radius]-wide slab of every state per neighbour in a
+    single message, paying one latency per neighbour per depth-[k] block. *)
+
+val unpack_multi :
+  Msc_exec.Grid.t array -> dir:int array -> width:int array -> Bytes.t -> unit
+(** Split a {!pack_multi} payload into equal per-state slabs and {!unpack}
+    each into the matching grid.
+    @raise Invalid_argument if the payload size mismatches. *)
+
 (** {1 Split protocol (the overlapped engine's phases)}
 
     One exchange = every rank runs {!post_sends} (and usually {!post_recvs}),
@@ -53,6 +66,20 @@ val post_sends :
     matches on the opposite direction. Records ["halo.pack"] spans, a
     ["halo.bytes"] counter and a ["halo.exchange"] span per posted send,
     all tagged with [rank] as [tid]. *)
+
+val post_sends_deep :
+  ?periodic:bool ->
+  ?trace:Msc_trace.t ->
+  Mpi_sim.t ->
+  Decomp.t ->
+  rank:int ->
+  grids:Msc_exec.Grid.t array ->
+  width:int array ->
+  faces_only:bool ->
+  unit
+(** {!post_sends} with a {!pack_multi} payload: one message per neighbour
+    carrying the [width]-wide slab of every grid in [grids]. Same tagging
+    and trace spans. *)
 
 val post_recvs :
   ?periodic:bool ->
@@ -80,6 +107,19 @@ val complete_recvs :
     with [rank].
     @raise Mpi_sim.Deadlock when a matching send never arrives within
     [timeout_s] (a neighbour/tag bug). *)
+
+val complete_recvs_deep :
+  ?timeout_s:float ->
+  ?trace:Msc_trace.t ->
+  Mpi_sim.t ->
+  rank:int ->
+  grids:Msc_exec.Grid.t array ->
+  width:int array ->
+  (int array * Mpi_sim.request) list ->
+  unit
+(** {!complete_recvs} for {!pack_multi} payloads: each completed message is
+    split into per-state slabs and unpacked into every grid of [grids]
+    (same order as the sender's {!post_sends_deep}). *)
 
 val exchange :
   ?periodic:bool ->

@@ -86,7 +86,9 @@ let isend t ~src ~dst ~tag payload =
     match t.net with
     | None -> neg_infinity
     | Some net ->
-        now () +. Netmodel.message_time net ~nranks:t.nranks ~bytes:(Bytes.length payload)
+        now ()
+        +. Netmodel.sim_latency_scale ()
+           *. Netmodel.message_time net ~nranks:t.nranks ~bytes:(Bytes.length payload)
   in
   Mutex.lock t.mutex;
   Queue.push { payload = Bytes.copy payload; arrival } (queue_of t { src; dst; tag });

@@ -52,6 +52,18 @@ let shared_memory =
         1.0 +. (0.05 *. (float_of_int nranks /. 28.0)));
   }
 
+(* Global multiplier on the *wall-clock* latency {!Mpi_sim} sleeps for. The
+   analytic times below are never scaled — only the simulator's real-time
+   arrival stamps are, so the test harness can run the full comm suite
+   sleep-free while benches keep the genuine transfer windows. *)
+let wallclock_scale = Atomic.make 1.0
+
+let set_sim_latency_scale s =
+  if not (s >= 0.0) then invalid_arg "Netmodel.set_sim_latency_scale: negative";
+  Atomic.set wallclock_scale s
+
+let sim_latency_scale () = Atomic.get wallclock_scale
+
 let message_time t ~nranks ~bytes =
   let bytes_per_message = float_of_int bytes in
   let congestion = t.congestion_at ~nranks ~messages_per_rank:1 ~bytes_per_message in

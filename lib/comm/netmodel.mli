@@ -25,6 +25,18 @@ val tianhe3_prototype : t
 val shared_memory : t
 (** Intra-node "network" used for the CPU-platform Physis comparison. *)
 
+val set_sim_latency_scale : float -> unit
+(** Scale applied to the {b wall-clock} latency {!Mpi_sim} charges on
+    simulated messages (default [1.0]). The analytic times below are never
+    scaled — setting [0.0] makes the simulator deliver instantly while every
+    model-based cost (scaling curves, autotuning) is unchanged. The test
+    harness sets [0.0] so [dune runtest] never sleeps on synthetic latency;
+    benches run at [1.0].
+    @raise Invalid_argument on a negative scale. *)
+
+val sim_latency_scale : unit -> float
+(** The current wall-clock scale. *)
+
 val message_time : t -> nranks:int -> bytes:int -> float
 (** In-flight time of a single message: per-message setup (congested at the
     given scale, one message per rank) plus payload streaming. This is the

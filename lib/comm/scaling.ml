@@ -76,22 +76,29 @@ let node_compute_time platform (st : Stencil.t) =
       | Ok r -> r.Msc_matrix.Sim.time_per_step_s
       | Error msg -> invalid_arg ("Scaling: " ^ msg))
 
-let comm_time platform ~ranks ~sub_grid ~radius ~elem ~faces_only =
+let comm_time ?(depth = 1) ?(time_window = 1) platform ~ranks ~sub_grid ~radius
+    ~elem ~faces_only =
+  if depth < 1 then invalid_arg "Scaling.comm_time: depth must be >= 1";
   let nd = Array.length sub_grid in
   (* The directions the engine actually exchanges: faces for star stencils,
      all 3^nd - 1 offsets (edges and corners included) for box stencils —
      the same enumeration {!Halo} drives, so message counts match the
-     functional runtime instead of hardcoding [2 * nd]. *)
+     functional runtime instead of hardcoding [2 * nd]. A temporal block of
+     depth > 1 always exchanges corners (extension reads bleed
+     diagonally). *)
+  let faces_only = faces_only && depth = 1 in
   let dirs = Decomp.directions ~ndim:nd ~faces_only in
   let messages_per_rank = List.length dirs in
-  (* A direction's payload is the slab that is radius-deep along every
-     non-zero axis and sub-grid-wide along the rest. *)
+  (* A direction's payload is the slab that is [depth * radius]-deep along
+     every non-zero axis and sub-grid-wide along the rest, carrying every
+     retained state ([time_window] slabs per message). *)
   let slab_bytes dir =
     let elems = ref 1 in
     Array.iteri
-      (fun d o -> elems := !elems * if o = 0 then sub_grid.(d) else radius.(d))
+      (fun d o ->
+        elems := !elems * if o = 0 then sub_grid.(d) else depth * radius.(d))
       dir;
-    !elems * elem
+    !elems * elem * time_window
   in
   let total_bytes = List.fold_left (fun acc d -> acc + slab_bytes d) 0 dirs in
   (* Faces carry essentially all the volume, so the switch-contention regime
@@ -115,8 +122,31 @@ let comm_time platform ~ranks ~sub_grid ~radius ~elem ~faces_only =
     net.Netmodel.congestion_at ~nranks:ranks ~messages_per_rank
       ~bytes_per_message:mean_face_bytes
   in
-  (float_of_int messages_per_rank *. net.Netmodel.alpha_s *. congestion)
-  +. (float_of_int total_bytes /. (net.Netmodel.beta_gbs *. 1e9))
+  (* One deep exchange feeds [depth] timesteps, so the per-step cost is the
+     block's exchange amortised over the block. *)
+  (((float_of_int messages_per_rank *. net.Netmodel.alpha_s *. congestion)
+   +. (float_of_int total_bytes /. (net.Netmodel.beta_gbs *. 1e9)))
+  /. float_of_int depth)
+
+(* Redundant-ghost inflation of a depth-k temporal block: substep s sweeps
+   the interior grown by (k-1-s) * radius per side, so the block computes
+   sum_s prod_d (n_d + 2*(k-1-s)*r_d) points for k true timesteps. *)
+let temporal_compute_factor ~sub_grid ~radius ~depth =
+  if depth < 1 then
+    invalid_arg "Scaling.temporal_compute_factor: depth must be >= 1";
+  let interior =
+    float_of_int (Array.fold_left ( * ) 1 sub_grid)
+  in
+  let total = ref 0.0 in
+  for s = 0 to depth - 1 do
+    let e = depth - 1 - s in
+    let v = ref 1.0 in
+    Array.iteri
+      (fun d n -> v := !v *. float_of_int (n + (2 * e * radius.(d))))
+      sub_grid;
+    total := !total +. !v
+  done;
+  !total /. (float_of_int depth *. interior)
 
 let run ~platform ~make_stencil ~configs =
   let points =

@@ -19,6 +19,34 @@ type point = {
 
 val cores_per_rank : platform -> int
 
+val comm_time :
+  ?depth:int ->
+  ?time_window:int ->
+  platform ->
+  ranks:int ->
+  sub_grid:int array ->
+  radius:int array ->
+  elem:int ->
+  faces_only:bool ->
+  float
+(** Per-step halo-exchange cost of one rank: the directions {!Halo} actually
+    exchanges (faces, or all offsets for box stencils), each paying the
+    congested per-message setup plus payload streaming. [depth] (default 1)
+    prices the communication-avoiding temporal engine: slabs widen to
+    [depth * radius], corners are always exchanged, every message carries
+    [time_window] state slabs — and the whole exchange is amortised over
+    the [depth] timesteps it feeds, so the alpha term drops as
+    [alpha / depth].
+    @raise Invalid_argument if [depth < 1]. *)
+
+val temporal_compute_factor :
+  sub_grid:int array -> radius:int array -> depth:int -> float
+(** Redundant-ghost compute inflation of a depth-[k] temporal block:
+    substep [s] sweeps the interior grown by [(k-1-s) * radius] per side,
+    so the factor is [sum_s prod_d (n_d + 2(k-1-s) r_d) / (k prod_d n_d)]
+    — [1.0] at depth 1, growing by [O(k * radius * face / volume)].
+    @raise Invalid_argument if [depth < 1]. *)
+
 val run :
   platform:platform ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->

@@ -140,8 +140,12 @@ module Pipeline : sig
   (** Decompose over a simulated MPI process grid with automatic halo
       exchange; each rank's runtime inherits the pipeline's trace sink with
       its rank as [tid]. [engine] (default {!Distributed.Overlapped})
-      selects the stepping protocol; the pipeline's [workers] size the pool
-      that dispatches ranks concurrently in the overlapped engine. *)
+      selects the stepping protocol —
+      [Distributed.Temporal_blocked { depth }] enables
+      communication-avoiding temporal blocking (one deep exchange per
+      [depth] steps); the pipeline's [workers] size the pool that
+      dispatches ranks concurrently in the overlapped and temporal
+      engines. *)
 
   val autotune :
     ?seed:int ->
@@ -150,6 +154,7 @@ module Pipeline : sig
     nranks:int ->
     t ->
     Autotune.result
-  (** Tune tile sizes and MPI grid shape for this pipeline's global grid
-      ([make_stencil] rebuilds the stencil at each candidate subgrid). *)
+  (** Tune tile sizes, MPI grid shape and temporal-block depth for this
+      pipeline's global grid ([make_stencil] rebuilds the stencil at each
+      candidate subgrid). *)
 end

@@ -36,6 +36,12 @@ type t = {
   shape : int array;
   halo : int array;
   strides : int array;
+  range_slack : int array;
+      (* how far a sweep range may extend past the interior per dimension:
+         halo minus the kernel's own radius. The cells a halo-extended sweep
+         writes still read strictly inside the padded box, which is what the
+         temporal-blocking engine's ghost-zone recompute relies on. Zero for
+         the common halo = radius geometry. *)
 }
 
 (* How a sweep writes its per-point kernel value into [dst]. [Apply] and
@@ -182,8 +188,16 @@ let compile ?(trace = Msc_trace.disabled) kernel ~geometry:(g : Grid.t) =
                        partials)))
         | None -> Tree kernel.Kernel.expr)
   in
+  let kr = Kernel.radius kernel in
   let t =
-    { kernel; mode; shape = g.Grid.shape; halo = g.Grid.halo; strides = g.Grid.strides }
+    {
+      kernel;
+      mode;
+      shape = g.Grid.shape;
+      halo = g.Grid.halo;
+      strides = g.Grid.strides;
+      range_slack = Array.mapi (fun d h -> max 0 (h - kr.(d))) g.Grid.halo;
+    }
   in
   Msc_trace.end_span trace "interp.compile" ts0;
   Msc_trace.add trace ("interp.mode." ^ mode_name t) 1.0;
@@ -209,7 +223,13 @@ let check_range t ~lo ~hi =
     invalid_arg "Interp: range rank mismatch";
   Array.iteri
     (fun d l ->
-      if l < 0 || hi.(d) > t.shape.(d) then invalid_arg "Interp: range out of bounds")
+      (* Ranges may grow into the halo as far as the kernel's reads stay
+         inside the padded box (slack = halo - kernel radius): the deep-halo
+         temporal engine sweeps such extended ranges to recompute ghost
+         cells. With halo = radius this degrades to the interior-only
+         check. *)
+      if l < -t.range_slack.(d) || hi.(d) > t.shape.(d) + t.range_slack.(d) then
+        invalid_arg "Interp: range out of bounds")
     lo
 
 let aux_data t ~aux name =
@@ -420,6 +440,130 @@ let sweep_taps t ~coeffs ~deltas ~(sdata : float array) ~(ddata : float array)
                         +. (c4 *. Array.unsafe_get sdata (idx + d4))
                         +. (c5 *. Array.unsafe_get sdata (idx + d5))
                         +. (c6 *. Array.unsafe_get sdata (idx + d6)))))
+              done)
+    | 9 ->
+        let c0 = coeffs.(0) and c1 = coeffs.(1) and c2 = coeffs.(2) in
+        let c3 = coeffs.(3) and c4 = coeffs.(4) and c5 = coeffs.(5) in
+        let c6 = coeffs.(6) and c7 = coeffs.(7) and c8 = coeffs.(8) in
+        let d0 = deltas.(0) and d1 = deltas.(1) and d2 = deltas.(2) in
+        let d3 = deltas.(3) and d4 = deltas.(4) and d5 = deltas.(5) in
+        let d6 = deltas.(6) and d7 = deltas.(7) and d8 = deltas.(8) in
+        fun base len ->
+          (match wb with
+          | Apply ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  ((c0 *. Array.unsafe_get sdata (idx + d0))
+                  +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                  +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                  +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                  +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                  +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                  +. (c6 *. Array.unsafe_get sdata (idx + d6))
+                  +. (c7 *. Array.unsafe_get sdata (idx + d7))
+                  +. (c8 *. Array.unsafe_get sdata (idx + d8)))
+              done
+          | Apply_scaled s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (s
+                  *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                     +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                     +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                     +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                     +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                     +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                     +. (c6 *. Array.unsafe_get sdata (idx + d6))
+                     +. (c7 *. Array.unsafe_get sdata (idx + d7))
+                     +. (c8 *. Array.unsafe_get sdata (idx + d8))))
+              done
+          | Accumulate s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (Array.unsafe_get ddata idx
+                  +. (s
+                     *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                        +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                        +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                        +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                        +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                        +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                        +. (c6 *. Array.unsafe_get sdata (idx + d6))
+                        +. (c7 *. Array.unsafe_get sdata (idx + d7))
+                        +. (c8 *. Array.unsafe_get sdata (idx + d8)))))
+              done)
+    | 13 ->
+        let c0 = coeffs.(0) and c1 = coeffs.(1) and c2 = coeffs.(2) in
+        let c3 = coeffs.(3) and c4 = coeffs.(4) and c5 = coeffs.(5) in
+        let c6 = coeffs.(6) and c7 = coeffs.(7) and c8 = coeffs.(8) in
+        let c9 = coeffs.(9) and c10 = coeffs.(10) and c11 = coeffs.(11) in
+        let c12 = coeffs.(12) in
+        let d0 = deltas.(0) and d1 = deltas.(1) and d2 = deltas.(2) in
+        let d3 = deltas.(3) and d4 = deltas.(4) and d5 = deltas.(5) in
+        let d6 = deltas.(6) and d7 = deltas.(7) and d8 = deltas.(8) in
+        let d9 = deltas.(9) and d10 = deltas.(10) and d11 = deltas.(11) in
+        let d12 = deltas.(12) in
+        fun base len ->
+          (match wb with
+          | Apply ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  ((c0 *. Array.unsafe_get sdata (idx + d0))
+                  +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                  +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                  +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                  +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                  +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                  +. (c6 *. Array.unsafe_get sdata (idx + d6))
+                  +. (c7 *. Array.unsafe_get sdata (idx + d7))
+                  +. (c8 *. Array.unsafe_get sdata (idx + d8))
+                  +. (c9 *. Array.unsafe_get sdata (idx + d9))
+                  +. (c10 *. Array.unsafe_get sdata (idx + d10))
+                  +. (c11 *. Array.unsafe_get sdata (idx + d11))
+                  +. (c12 *. Array.unsafe_get sdata (idx + d12)))
+              done
+          | Apply_scaled s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (s
+                  *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                     +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                     +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                     +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                     +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                     +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                     +. (c6 *. Array.unsafe_get sdata (idx + d6))
+                     +. (c7 *. Array.unsafe_get sdata (idx + d7))
+                     +. (c8 *. Array.unsafe_get sdata (idx + d8))
+                     +. (c9 *. Array.unsafe_get sdata (idx + d9))
+                     +. (c10 *. Array.unsafe_get sdata (idx + d10))
+                     +. (c11 *. Array.unsafe_get sdata (idx + d11))
+                     +. (c12 *. Array.unsafe_get sdata (idx + d12))))
+              done
+          | Accumulate s ->
+              for c = 0 to len - 1 do
+                let idx = base + c in
+                Array.unsafe_set ddata idx
+                  (Array.unsafe_get ddata idx
+                  +. (s
+                     *. ((c0 *. Array.unsafe_get sdata (idx + d0))
+                        +. (c1 *. Array.unsafe_get sdata (idx + d1))
+                        +. (c2 *. Array.unsafe_get sdata (idx + d2))
+                        +. (c3 *. Array.unsafe_get sdata (idx + d3))
+                        +. (c4 *. Array.unsafe_get sdata (idx + d4))
+                        +. (c5 *. Array.unsafe_get sdata (idx + d5))
+                        +. (c6 *. Array.unsafe_get sdata (idx + d6))
+                        +. (c7 *. Array.unsafe_get sdata (idx + d7))
+                        +. (c8 *. Array.unsafe_get sdata (idx + d8))
+                        +. (c9 *. Array.unsafe_get sdata (idx + d9))
+                        +. (c10 *. Array.unsafe_get sdata (idx + d10))
+                        +. (c11 *. Array.unsafe_get sdata (idx + d11))
+                        +. (c12 *. Array.unsafe_get sdata (idx + d12)))))
               done)
     | _ -> taps_row_generic ~coeffs ~deltas ~sdata ~ddata wb
   in

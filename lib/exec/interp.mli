@@ -5,7 +5,8 @@
 
     - {b taps}: single-grid linear kernels become a flat (coefficient,
       flat-delta) array evaluated in a tight loop, fully unrolled for the
-      3/5/7-point stars;
+      3/5/7-point stars, the 9-point arities (2-D r=2 star, 2-D r=1 box)
+      and the 13-point 3-D r=2 star;
     - {b bilinear}: multi-grid kernels of the form
       [sum_k c_k * Aux[p+a_k] * In[p+b_k]] (variable-coefficient stencils,
       the §5.6 WRF/POP2 shape) become precompiled (coefficient, kind,
@@ -46,10 +47,15 @@ val is_bilinear : t -> bool
 val apply_range :
   ?aux:(string * Grid.t) list ->
   t -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array -> unit
-(** [dst\[p\] <- K(src)\[p\]] for interior points [lo <= p < hi].
-    [src], [dst] and every aux grid must share the compiled geometry; [src]
-    must not alias [dst]. @raise Invalid_argument if the kernel reads an aux
-    tensor that was not supplied. *)
+(** [dst\[p\] <- K(src)\[p\]] for points [lo <= p < hi]. The range may
+    extend past the interior by up to [halo - kernel radius] per dimension
+    (the reads then still land inside the padded box) — the deep-halo
+    temporal-blocking engine sweeps such extended ranges to recompute ghost
+    cells; with the common [halo = radius] geometry the range is confined
+    to the interior. [src], [dst] and every aux grid must share the
+    compiled geometry; [src] must not alias [dst].
+    @raise Invalid_argument if the kernel reads an aux tensor that was not
+    supplied, or the range exceeds the allowed extension. *)
 
 val apply_scaled_range :
   ?aux:(string * Grid.t) list ->

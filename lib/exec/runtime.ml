@@ -231,11 +231,17 @@ let begin_step t =
 
 let sweep_tasks t tasks = sweep_tasks_into t ~dst:(output_slot t) tasks
 
-let finish_step t =
+let finish_step ?low ?high t =
   let dst = output_slot t in
   Msc_trace.add ~tid:t.tid t.trace "sweep.points" t.points_per_step;
+  (* [low]/[high] restrict the boundary refresh to the masked faces (the
+     distributed temporal engine applies BCs to physical faces only between
+     substeps — a full pass would clobber the freshly recomputed halo
+     extensions). All-false masks skip the walk entirely (periodic domains
+     under temporal blocking have no physical face at all). *)
+  let all_false = function Some m -> Array.for_all not m | None -> false in
   let ts_bc = Msc_trace.begin_span t.trace in
-  Bc.apply t.bc dst;
+  if not (all_false low && all_false high) then Bc.apply ?low ?high t.bc dst;
   Msc_trace.end_span ~tid:t.tid t.trace "bc.apply" ts_bc;
   let ts_rot = Msc_trace.begin_span t.trace in
   t.cur <- (t.cur + 1) mod Array.length t.window;

@@ -109,9 +109,13 @@ val sweep_tasks : t -> (int array * int array) array -> unit
 (** Sweep the given (lo, hi) task ranges into the output slot under the
     plan's parallel dispatch, recording a ["sweep"] span per task. *)
 
-val finish_step : t -> unit
+val finish_step : ?low:bool array -> ?high:bool array -> t -> unit
 (** Record ["sweep.points"], apply the boundary condition to the new state,
-    and rotate the window. *)
+    and rotate the window. [low]/[high] restrict the BC pass to the masked
+    faces (see {!Bc.apply}) — the distributed temporal engine refreshes
+    physical faces only, so the ghost cells it recomputed into the halo
+    survive between substeps. Masks that are all-false skip the BC walk
+    entirely. *)
 
 val run : t -> int -> unit
 (** [run t n] performs [n] steps. *)

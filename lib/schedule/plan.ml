@@ -188,6 +188,37 @@ let interior_shell t =
   in
   split_tasks ~core_lo ~core_hi t.tasks
 
+let temporal ~shape ~radius ~depth ~grow_low ~grow_high tasks =
+  let nd = Array.length shape in
+  if depth < 1 then invalid_arg "Plan.temporal: depth must be >= 1";
+  if Array.length radius <> nd || Array.length grow_low <> nd
+     || Array.length grow_high <> nd
+  then invalid_arg "Plan.temporal: rank mismatch";
+  Array.init depth (fun s ->
+      (* Substep [s] of a depth-k block sweeps the interior grown by
+         (k-1-s) * radius into the halo on every face that has exchanged
+         (deep) data; after the k substeps the interior is exact and the
+         remaining extension has been consumed. The extension is
+         materialised as the shell of the grown box split against the
+         interior, so the plan's own tile tasks (and their traversal order)
+         are preserved and only the ghost boxes are appended. *)
+      let e = depth - 1 - s in
+      if e = 0 then tasks
+      else begin
+        let ext_lo =
+          Array.init nd (fun d -> if grow_low.(d) then -(e * radius.(d)) else 0)
+        in
+        let ext_hi =
+          Array.init nd (fun d ->
+              shape.(d) + if grow_high.(d) then e * radius.(d) else 0)
+        in
+        let _, ext =
+          split_tasks ~core_lo:(Array.make nd 0) ~core_hi:shape
+            [| (ext_lo, ext_hi) |]
+        in
+        Array.append tasks ext
+      end)
+
 let compile_exn ?machine st schedule =
   match compile ?machine st schedule with
   | Ok t -> t

@@ -80,6 +80,24 @@ val interior_shell : t -> (int array * int array) array * (int array * int array
     sub-sweep needs the completed exchange. An extent thinner than twice the
     radius has an empty interior (every cell is shell). *)
 
+val temporal :
+  shape:int array ->
+  radius:int array ->
+  depth:int ->
+  grow_low:bool array ->
+  grow_high:bool array ->
+  (int array * int array) array ->
+  (int array * int array) array array
+(** [temporal ~shape ~radius ~depth ~grow_low ~grow_high tasks] materialises
+    the per-substep task arrays of a depth-[k] communication-avoiding
+    temporal block. Substep [s] (0-based) sweeps the interior grown by
+    [(k-1-s) * radius] cells into the halo on every face whose [grow_*]
+    flag is set (faces with an exchanged deep halo); the final substep
+    sweeps exactly [tasks]. Each substep array is the original [tasks]
+    (traversal order preserved) with the disjoint extension boxes appended,
+    so sweeping it computes every grown cell exactly once.
+    @raise Invalid_argument if [depth < 1] or the array ranks mismatch. *)
+
 val spm_fits : t -> bool
 (** [working_set_bytes <= spm_capacity_bytes] (true when the machine has no
     scratchpad). *)

@@ -44,7 +44,7 @@ let neighbor_stays_valid () =
   done
 
 let subgrid_ceil () =
-  let c = { Params.tile = [| 1; 1; 1 |]; mpi_grid = [| 3; 1; 1 |] } in
+  let c = { Params.tile = [| 1; 1; 1 |]; mpi_grid = [| 3; 1; 1 |]; depth = 1 } in
   Alcotest.(check (array int)) "ceil division" [| 86; 128; 128 |]
     (Params.subgrid c ~global:dims)
 
@@ -138,14 +138,14 @@ let perfmodel_correlates_with_truth () =
   check_bool "reasonable fit" true (Perfmodel.r_squared model > 0.4);
   (* Ranking sanity: on a fresh sample, the model orders a clearly-bad
      config after a clearly-good one. *)
-  let good = { Params.tile = [| 2; 8; 64 |]; mpi_grid = [| 16; 1; 1 |] } in
-  let bad = { Params.tile = [| 1; 1; 1 |]; mpi_grid = [| 16; 1; 1 |] } in
+  let good = { Params.tile = [| 2; 8; 64 |]; mpi_grid = [| 16; 1; 1 |]; depth = 1 } in
+  let bad = { Params.tile = [| 1; 1; 1 |]; mpi_grid = [| 16; 1; 1 |]; depth = 1 } in
   check_bool "model ranks pencil-of-1 worse" true
     (Perfmodel.predict model bad > Perfmodel.predict model good)
 
 let true_cost_penalizes_spm_overflow () =
   let cost = Autotune.true_cost ~make_stencil:fig11_make_stencil ~global:dims in
-  let huge = { Params.tile = [| 64; 64; 128 |]; mpi_grid = [| 16; 1; 1 |] } in
+  let huge = { Params.tile = [| 64; 64; 128 |]; mpi_grid = [| 16; 1; 1 |]; depth = 1 } in
   check_float "penalty value" 1.0 (cost huge)
 
 (* --- Full tuner --- *)
@@ -169,6 +169,23 @@ let tune_deterministic_per_seed () =
       .Autotune.best_time_s
   in
   check_float "reproducible" (run ()) (run ())
+
+let tune_latency_bound_prefers_depth () =
+  (* On a latency-bound interconnect (Tianhe-3 prototype alpha) with small
+     per-rank sub-grids, the alpha term dominates and the tuner should buy
+     latency amortisation with temporal-block depth > 1. *)
+  let net = Msc_comm.Netmodel.tianhe3_prototype in
+  let global = [| 128; 128; 128 |] in
+  let r =
+    Autotune.tune ~seed:5 ~iterations:2000 ~net
+      ~make_stencil:fig11_make_stencil ~global ~nranks:64 ()
+  in
+  check_bool "tuner selects temporal depth > 1" true (r.Autotune.best.Params.depth > 1);
+  (* The depth choice genuinely lowers the objective: the same config forced
+     back to depth 1 must cost more. *)
+  let cost = Autotune.true_cost ~net ~make_stencil:fig11_make_stencil ~global in
+  check_bool "depth beats depth-1 at the optimum" true
+    (cost r.Autotune.best < cost { r.Autotune.best with Params.depth = 1 })
 
 let tune_paper_setting_converges () =
   (* The Figure 11 configuration, reduced iteration count. *)
@@ -215,6 +232,7 @@ let suites =
       [
         tc "improves" tune_improves;
         tc "deterministic" tune_deterministic_per_seed;
+        tc "latency-bound depth" tune_latency_bound_prefers_depth;
         slow "paper setting converges" tune_paper_setting_converges;
       ] );
   ]

@@ -100,25 +100,52 @@ let mpi_test_probe () =
   check_bool "idempotent" true (Mpi.test mpi req);
   check_string "payload claimed" "now" (Bytes.to_string (Mpi.wait mpi req))
 
+let test_net alpha_s =
+  {
+    Netmodel.name = "test-net";
+    alpha_s;
+    beta_gbs = 1.0;
+    congestion_at = (fun ~nranks:_ ~messages_per_rank:_ ~bytes_per_message:_ -> 1.0);
+  }
+
 let mpi_simulated_latency () =
   (* A synthetic network whose only cost is a 30 ms per-message setup:
-     [wait] must sleep out the in-flight window. *)
-  let net =
-    {
-      Netmodel.name = "test-net";
-      alpha_s = 0.03;
-      beta_gbs = 1.0;
-      congestion_at = (fun ~nranks:_ ~messages_per_rank:_ ~bytes_per_message:_ -> 1.0);
-    }
-  in
+     [wait] must sleep out the in-flight window. The harness zeroes the
+     wall-clock scale globally, so restore it locally around the one test
+     that exercises the genuine sleep path. *)
+  let saved = Netmodel.sim_latency_scale () in
+  Netmodel.set_sim_latency_scale 1.0;
+  Fun.protect
+    ~finally:(fun () -> Netmodel.set_sim_latency_scale saved)
+    (fun () ->
+      let mpi = Mpi.create ~net:(test_net 0.03) ~nranks:2 () in
+      Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "slow");
+      let req = Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0 in
+      check_bool "still in flight" false (Mpi.test mpi req);
+      let t0 = Unix.gettimeofday () in
+      ignore (Mpi.wait mpi req);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check_bool "waited out the latency" true (elapsed >= 0.02))
+
+let mpi_harness_sleep_free () =
+  (* [dune runtest] must never stall on synthetic latency: the test entry
+     point zeroes the wall-clock scale, so even a network with a huge
+     per-message setup delivers instantly (the analytic [message_time] is
+     unscaled — only the simulator's sleep is). *)
+  check_bool "harness zeroes the wall-clock scale" true
+    (Netmodel.sim_latency_scale () = 0.0);
+  let net = test_net 10.0 in
   let mpi = Mpi.create ~net ~nranks:2 () in
-  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "slow");
-  let req = Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0 in
-  check_bool "still in flight" false (Mpi.test mpi req);
+  Mpi.isend mpi ~src:0 ~dst:1 ~tag:0 (Bytes.of_string "fast");
   let t0 = Unix.gettimeofday () in
-  ignore (Mpi.wait mpi req);
+  ignore (Mpi.wait mpi (Mpi.irecv mpi ~dst:1 ~src:0 ~tag:0));
   let elapsed = Unix.gettimeofday () -. t0 in
-  check_bool "waited out the latency" true (elapsed >= 0.02)
+  check_bool "delivered without sleeping" true (elapsed < 1.0);
+  check_bool "model time unscaled" true
+    (Netmodel.message_time net ~nranks:2 ~bytes:4 >= 10.0);
+  check_bool "negative scale rejected" true
+    (try Netmodel.set_sim_latency_scale (-1.0); false
+     with Invalid_argument _ -> true)
 
 let mpi_rank_bounds () =
   let mpi = Mpi.create ~nranks:2 () in
@@ -434,6 +461,188 @@ let overlapped_traces_overlap_window () =
   Alcotest.(check (list int)) "overlap windows tagged per rank" [ 0; 1; 2; 3 ]
     (List.sort_uniq compare (spans_named "halo.overlap"))
 
+(* --- Temporal-blocked engine --- *)
+
+(* At depth 1 the temporal engine must be a pure re-expression of the
+   overlapped protocol: one deep exchange per "block" of one step, the same
+   interior/shell split, bit-identical gathered states across all three
+   engines over the paper's whole suite. *)
+let temporal_depth1_bit_identical_across_suite () =
+  List.iter
+    (fun (b : Msc_benchsuite.Suite.bench) ->
+      let dims =
+        Array.make b.Msc_benchsuite.Suite.ndim
+          (max 12 (4 * b.Msc_benchsuite.Suite.radius))
+      in
+      let ranks_shape = Array.make b.Msc_benchsuite.Suite.ndim 2 in
+      let st = Msc_benchsuite.Suite.stencil ~dims b in
+      let run engine =
+        let dist = Distributed.create ~engine ~ranks_shape st in
+        Distributed.run dist 2;
+        Distributed.gather dist
+      in
+      let bulk = run Distributed.Bulk_synchronous in
+      let over = run Distributed.Overlapped in
+      let temp = run (Distributed.Temporal_blocked { depth = 1 }) in
+      check_bool
+        (b.Msc_benchsuite.Suite.name ^ ": temporal(1) == bulk bit-exact")
+        true
+        (bulk.Grid.data = temp.Grid.data);
+      check_bool
+        (b.Msc_benchsuite.Suite.name ^ ": temporal(1) == overlapped bit-exact")
+        true
+        (over.Grid.data = temp.Grid.data))
+    Msc_benchsuite.Suite.all
+
+(* Deep blocks: 5 steps at depth 2/4 stop mid-block, so this also pins the
+   one-timestep granularity of the engine (every substep is an exact full
+   timestep). *)
+let temporal_deep_star_exact () =
+  let _, st = stencil_3d7pt ~n:12 () in
+  List.iter
+    (fun depth ->
+      check_float
+        (Printf.sprintf "depth %d bit-identical" depth)
+        0.0
+        (Distributed.validate
+           ~engine:(Distributed.Temporal_blocked { depth })
+           ~steps:5 ~ranks_shape:[| 2; 2; 2 |] st))
+    [ 2; 4 ]
+
+let temporal_deep_box_uneven_exact () =
+  let _, st = stencil_2d9pt_box ~m:13 ~n:17 () in
+  List.iter
+    (fun depth ->
+      check_float
+        (Printf.sprintf "uneven blocks, depth %d" depth)
+        0.0
+        (Distributed.validate
+           ~engine:(Distributed.Temporal_blocked { depth })
+           ~steps:5 ~ranks_shape:[| 3; 2 |] st))
+    [ 2; 4 ]
+
+let temporal_periodic_exact () =
+  let st = stencil_wave2d ~n:16 () in
+  List.iter
+    (fun depth ->
+      check_float
+        (Printf.sprintf "periodic wrap, depth %d" depth)
+        0.0
+        (Distributed.validate
+           ~engine:(Distributed.Temporal_blocked { depth })
+           ~steps:5 ~bc:Msc_exec.Bc.Periodic ~ranks_shape:[| 2; 2 |] st))
+    [ 2; 4 ]
+
+(* wave2d retains two past states (time_window = 2): the deep exchange must
+   ship both in one message per neighbour. *)
+let temporal_time_window2_exact () =
+  let st = stencil_wave2d ~n:16 () in
+  check_float "two retained states, depth 2" 0.0
+    (Distributed.validate
+       ~engine:(Distributed.Temporal_blocked { depth = 2 })
+       ~steps:5 ~ranks_shape:[| 2; 2 |] st);
+  check_float "two retained states, depth 4" 0.0
+    (Distributed.validate
+       ~engine:(Distributed.Temporal_blocked { depth = 4 })
+       ~steps:4 ~ranks_shape:[| 2; 2 |] st)
+
+(* A rank thinner than [depth * radius] cannot host the deep halo: the
+   engine must clamp the depth (here radius 3 over 12x8 split 2x2 ->
+   extents 6x4 -> max depth 1) and still be exact. *)
+let temporal_thin_rank_clamps () =
+  let grid =
+    Msc_frontend.Builder.def_tensor_2d ~time_window:2 ~halo:3 "B"
+      Msc_ir.Dtype.F64 12 8
+  in
+  let k = Msc_frontend.Builder.star_kernel ~name:"S" ~radius:3 grid in
+  let st = Msc_frontend.Builder.two_step ~name:"thin" k in
+  let dist =
+    Distributed.create
+      ~engine:(Distributed.Temporal_blocked { depth = 4 })
+      ~ranks_shape:[| 2; 2 |] st
+  in
+  check_int "depth clamped to thinnest rank" 1 (Distributed.effective_depth dist);
+  check_float "clamped engine stays exact" 0.0
+    (Distributed.validate
+       ~engine:(Distributed.Temporal_blocked { depth = 4 })
+       ~steps:3 ~ranks_shape:[| 2; 2 |] st)
+
+let temporal_effective_depth_reported () =
+  let _, st = stencil_3d7pt ~n:12 () in
+  let dist =
+    Distributed.create
+      ~engine:(Distributed.Temporal_blocked { depth = 4 })
+      ~ranks_shape:[| 2; 2; 2 |] st
+  in
+  check_int "requested depth fits" 4 (Distributed.effective_depth dist);
+  let over = Distributed.create ~ranks_shape:[| 2; 2; 2 |] st in
+  check_int "other engines run depth 1" 1 (Distributed.effective_depth over)
+
+let temporal_pool_parallel_exact () =
+  let _, st = stencil_2d9pt_box ~m:14 ~n:18 () in
+  let pool = Msc_util.Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Msc_util.Domain_pool.shutdown pool)
+    (fun () ->
+      let dist =
+        Distributed.create
+          ~engine:(Distributed.Temporal_blocked { depth = 2 })
+          ~pool ~ranks_shape:[| 2; 3 |] st
+      in
+      let single = Msc_exec.Runtime.create st in
+      Distributed.run dist 3;
+      Msc_exec.Runtime.run single 3;
+      check_float "pool-parallel temporal bit-identical" 0.0
+        (Grid.max_rel_error ~reference:(Msc_exec.Runtime.current single)
+           (Distributed.gather dist)))
+
+(* One deep exchange per block: a 2x2 grid of ranks, 3 neighbours each
+   (corners included), depth 2 -> 12 messages for two steps where the
+   per-step engines would post 24. *)
+let temporal_message_savings () =
+  let _, st = stencil_2d9pt_box ~m:12 ~n:12 () in
+  let run engine steps =
+    let dist = Distributed.create ~engine ~ranks_shape:[| 2; 2 |] st in
+    let before = Mpi.messages_sent (Distributed.mpi dist) in
+    Distributed.run dist steps;
+    Mpi.messages_sent (Distributed.mpi dist) - before
+  in
+  check_int "one deep exchange per block" 12
+    (run (Distributed.Temporal_blocked { depth = 2 }) 2);
+  check_int "overlapped exchanges every step" 24 (run Distributed.Overlapped 2)
+
+let temporal_invalid_args () =
+  let _, st = stencil_2d9pt_box () in
+  check_bool "depth 0 rejected" true
+    (try
+       ignore
+         (Distributed.create
+            ~engine:(Distributed.Temporal_blocked { depth = 0 })
+            ~ranks_shape:[| 2; 2 |] st);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "Reflect at depth > 1 rejected" true
+    (try
+       ignore
+         (Distributed.create
+            ~engine:(Distributed.Temporal_blocked { depth = 2 })
+            ~bc:Msc_exec.Bc.Reflect ~ranks_shape:[| 2; 2 |] st);
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: random rank grids and depths agree bit-exactly with the single
+   grid (Dirichlet) — the cross-engine identity the deep-halo engine must
+   keep at every depth. *)
+let temporal_property =
+  qc ~count:10 "temporal == single for random rank shapes and depths"
+    QCheck.(triple (int_range 1 3) (int_range 1 3) (int_range 1 4))
+    (fun (px, py, depth) ->
+      let _, st = stencil_2d9pt_box ~m:12 ~n:12 () in
+      Distributed.validate
+        ~engine:(Distributed.Temporal_blocked { depth })
+        ~steps:3 ~ranks_shape:[| px; py |] st
+      = 0.0)
+
 (* --- Netmodel & Scaling --- *)
 
 let netmodel_monotone_in_bytes () =
@@ -490,6 +699,45 @@ let scaling_tianhe_2d_strong_droops () =
   check_bool "visible droop at max scale" true
     (last.Scaling.gflops < 0.9 *. last.Scaling.ideal_gflops)
 
+let scaling_temporal_comm_amortised () =
+  (* On a latency-dominated configuration (small faces), the deep exchange's
+     alpha amortisation must win; the bandwidth term alone cannot grow the
+     per-step cost above the depth-1 baseline by construction. *)
+  let t1 =
+    Scaling.comm_time Scaling.Tianhe3 ~ranks:256 ~sub_grid:[| 64; 64 |]
+      ~radius:[| 1; 1 |] ~elem:8 ~faces_only:true
+  in
+  let t4 =
+    Scaling.comm_time ~depth:4 Scaling.Tianhe3 ~ranks:256 ~sub_grid:[| 64; 64 |]
+      ~radius:[| 1; 1 |] ~elem:8 ~faces_only:true
+  in
+  check_bool "deep blocks amortise the alpha cost" true (t4 < t1);
+  check_bool "depth validated" true
+    (try
+       ignore
+         (Scaling.comm_time ~depth:0 Scaling.Tianhe3 ~ranks:4
+            ~sub_grid:[| 8; 8 |] ~radius:[| 1; 1 |] ~elem:8 ~faces_only:true);
+       false
+     with Invalid_argument _ -> true)
+
+let scaling_temporal_compute_factor () =
+  let f1 =
+    Scaling.temporal_compute_factor ~sub_grid:[| 32; 32 |] ~radius:[| 1; 1 |]
+      ~depth:1
+  in
+  check_float "depth 1 is free" 1.0 f1;
+  let f2 =
+    Scaling.temporal_compute_factor ~sub_grid:[| 32; 32 |] ~radius:[| 1; 1 |]
+      ~depth:2
+  in
+  let f4 =
+    Scaling.temporal_compute_factor ~sub_grid:[| 32; 32 |] ~radius:[| 1; 1 |]
+      ~depth:4
+  in
+  check_bool "ghost inflation grows with depth" true (1.0 < f2 && f2 < f4);
+  (* Depth 2 over 32x32 r=1: substep 0 sweeps 34^2, substep 1 sweeps 32^2. *)
+  check_float "closed form" ((34.0 ** 2.0 +. 32.0 ** 2.0) /. 2048.0) f2
+
 let scaling_cores_accounting () =
   let make_stencil dims = Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "3d7pt_star") in
   let points =
@@ -513,6 +761,7 @@ let suites =
         tc "counters" mpi_counters;
         tc "test probe" mpi_test_probe;
         tc "simulated latency" mpi_simulated_latency;
+        tc "harness sleep-free" mpi_harness_sleep_free;
         tc "rank bounds" mpi_rank_bounds;
       ] );
     ( "comm.decomp",
@@ -557,7 +806,20 @@ let suites =
         tc "thin ranks all shell" overlapped_thin_rank_exact;
         tc "overlap window traced" overlapped_traces_overlap_window;
       ] );
-    ("comm.properties", [ distributed_property ]);
+    ( "comm.temporal",
+      [
+        tc "depth-1 tri-engine bit identity" temporal_depth1_bit_identical_across_suite;
+        tc "deep star exact" temporal_deep_star_exact;
+        tc "deep box uneven exact" temporal_deep_box_uneven_exact;
+        tc "periodic exact" temporal_periodic_exact;
+        tc "time window 2 exact" temporal_time_window2_exact;
+        tc "thin rank clamps" temporal_thin_rank_clamps;
+        tc "effective depth reported" temporal_effective_depth_reported;
+        tc "pool-parallel exact" temporal_pool_parallel_exact;
+        tc "message savings" temporal_message_savings;
+        tc "invalid args" temporal_invalid_args;
+      ] );
+    ("comm.properties", [ distributed_property; temporal_property ]);
     ( "comm.netmodel_scaling",
       [
         tc "monotone in bytes" netmodel_monotone_in_bytes;
@@ -565,6 +827,8 @@ let suites =
         tc "tianhe congestion" netmodel_tianhe_small_message_congestion;
         tc "weak near ideal" scaling_weak_near_ideal;
         tc "tianhe 2d strong droops" scaling_tianhe_2d_strong_droops;
+        tc "temporal comm amortised" scaling_temporal_comm_amortised;
+        tc "temporal compute factor" scaling_temporal_compute_factor;
         tc "cores accounting" scaling_cores_accounting;
       ] );
   ]

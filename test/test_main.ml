@@ -1,6 +1,11 @@
 (* Entry point: aggregates every module's suites into one alcotest run. *)
 
 let () =
+  (* The suites build MPI simulators with synthetic network models; zero the
+     wall-clock latency scale so no test ever sleeps out simulated message
+     latency (the analytic model times are unaffected). Tests that exercise
+     the sleep path restore the scale locally. *)
+  Msc_comm.Netmodel.set_sim_latency_scale 0.0;
   Alcotest.run "msc"
     (Test_util.suites @ Test_ir.suites @ Test_frontend.suites
    @ Test_simplify.suites @ Test_schedule.suites @ Test_plan.suites

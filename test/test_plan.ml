@@ -410,7 +410,7 @@ let autotune_lowers_once () =
   let make_stencil dims = Suite.stencil ~dims (Suite.find "3d7pt") in
   let global = [| 64; 64; 64 |] in
   let cache = Plan.Cache.create ~machine:Machine.sunway_cg () in
-  let config = { Params.tile = [| 2; 8; 64 |]; mpi_grid = [| 4; 2; 1 |] } in
+  let config = { Params.tile = [| 2; 8; 64 |]; mpi_grid = [| 4; 2; 1 |]; depth = 1 } in
   let t1 = Autotune.true_cost ~cache ~make_stencil ~global config in
   let misses_after_first = Plan.Cache.misses cache in
   check_bool "lowered at least once" true (misses_after_first >= 1);
