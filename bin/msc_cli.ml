@@ -38,6 +38,40 @@ let target_conv =
 let steps_arg default =
   Arg.(value & opt int default & info [ "n"; "steps" ] ~docv:"N" ~doc:"Timesteps.")
 
+let backend_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Msc.Backend.of_string s) in
+  Arg.conv (parse, Msc.Backend.pp)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Msc.Backend.Interp
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Kernel backend: interp | native_ocaml | compiled_c. The compiled \
+           backends emit and compile a specialized kernel per (plan, term) at \
+           runtime and fall back to the interpreter when no toolchain is \
+           found.")
+
+let pp_backend_report ppf (r : Msc.Runtime.backend_report) =
+  Format.fprintf ppf "backend: requested %a, ran %a (%d/%d kernel terms compiled)"
+    Msc.Backend.pp r.Msc.Runtime.requested Msc.Backend.pp r.Msc.Runtime.effective
+    r.Msc.Runtime.compiled_terms r.Msc.Runtime.kernel_terms;
+  match r.Msc.Runtime.fallback with
+  | Some reason -> Format.fprintf ppf "@.backend fallback: %s" reason
+  | None -> ()
+
+(* The pool is caller-owned under [Exec.Config]; shut it down when the
+   command finishes rather than leaving parked domains to the GC backstop. *)
+let with_config ?backend ?engine ~workers f =
+  let pool =
+    if workers < 2 then Msc.Domain_pool.sequential
+    else Msc.Domain_pool.create workers
+  in
+  Fun.protect
+    ~finally:(fun () -> Msc.Domain_pool.shutdown pool)
+    (fun () -> f (Msc.Exec.Config.make ?backend ?engine ~pool ()))
+
 let small_arg =
   Arg.(
     value & flag
@@ -95,7 +129,7 @@ let run_cmd =
   let workers =
     Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
   in
-  let run b steps workers small =
+  let run b steps workers backend small =
     let st = Msc.Suite.stencil ~dims:(dims_of b small) b in
     let kernel = Msc.Suite.kernel_of st in
     let tile =
@@ -104,16 +138,17 @@ let run_cmd =
         (Msc.Schedule.default_tile kernel)
     in
     let schedule = Msc.Schedule.cpu_canonical ~tile ~threads:workers kernel in
-    let p = Msc.Pipeline.make ~stencil:st ~schedule ~workers () in
-    let t0 = Sys.time () in
-    let final = Msc.Pipeline.run ~steps p in
-    Format.printf "%a@.cpu time: %.2fs for %d steps@." Msc.Grid.pp_stats final
-      (Sys.time () -. t0) steps;
-    0
+    with_config ~backend ~workers (fun config ->
+        let p = Msc.Pipeline.make ~stencil:st ~schedule ~config () in
+        let t0 = Sys.time () in
+        let final, report = Msc.Pipeline.run_report ~steps p in
+        Format.printf "%a@.%a@.cpu time: %.2fs for %d steps@." Msc.Grid.pp_stats
+          final pp_backend_report report (Sys.time () -. t0) steps;
+        0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a benchmark natively.")
-    Term.(const run $ bench_arg $ steps_arg 10 $ workers $ small_arg)
+    Term.(const run $ bench_arg $ steps_arg 10 $ workers $ backend_arg $ small_arg)
 
 let verify_cmd =
   let run b steps small =
@@ -191,12 +226,15 @@ let profile_cmd =
   let workers =
     Arg.(value & opt int 2 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
   in
-  let run b steps workers out =
+  let run b steps workers backend out =
     let trace = Msc.Trace.create () in
     let st = Msc.Suite.stencil ~dims:(dims_of b true) b in
-    let p = Msc.Pipeline.make ~stencil:st ~workers ~trace () in
-    (* Native run: sweep / bc / window phases, per-worker spans. *)
-    ignore (Msc.Pipeline.run ~steps p);
+    with_config ~backend ~workers (fun config ->
+    let p = Msc.Pipeline.make ~stencil:st ~config ~trace () in
+    (* Native run: sweep / bc / window phases, per-worker spans; report
+       which kernel backend actually executed. *)
+    let _, backend_report = Msc.Pipeline.run_report ~steps p in
+    Format.printf "%a@." pp_backend_report backend_report;
     (* Distributed run: halo pack / exchange / unpack per rank. *)
     let ranks_shape =
       Array.init b.Msc.Suite.ndim (fun d -> if d < 2 then 2 else 1)
@@ -236,7 +274,7 @@ let profile_cmd =
            (Msc.Units_fmt.count c.Msc.Trace.sum)
            (Msc.Units_fmt.seconds p.Msc.Trace.total_s)
      | _ -> ());
-    0
+    0)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -244,7 +282,7 @@ let profile_cmd =
          "Run a benchmark through the native, distributed and simulated \
           pipeline stages with tracing on; write a chrome trace and print \
           the per-phase summary.")
-    Term.(const run $ bench_pos $ steps_arg 5 $ workers $ out)
+    Term.(const run $ bench_pos $ steps_arg 5 $ workers $ backend_arg $ out)
 
 let experiment_cmd =
   let experiment_name =

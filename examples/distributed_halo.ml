@@ -43,7 +43,8 @@ let () =
      the exchange behind each rank's interior sub-sweep; Bulk_synchronous
      is the lockstep parity reference. Their gathers agree bit-for-bit. *)
   let bulk =
-    Distributed.create ~engine:Distributed.Bulk_synchronous
+    Distributed.create
+      ~config:(Exec.Config.make ~engine:Exec.Bulk_synchronous ())
       ~ranks_shape:[| 2; 2 |] st
   in
   Distributed.run bulk 8;

@@ -30,7 +30,8 @@ let () =
     List.map
       (fun (label, schedule) ->
         let pool = Domain_pool.create 8 in
-        let rt = Runtime.create ~schedule ~pool ~init heat in
+        let config = Exec.Config.make ~pool () in
+        let rt = Runtime.create ~schedule ~config ~init heat in
         Runtime.run rt 30;
         (label, Grid.checksum (Runtime.current rt)))
       schedules

@@ -22,16 +22,25 @@ let () =
   let schedule = Schedule.sunway_canonical ~tile:[| 2; 8; 32 |] kernel in
   Format.printf "schedule:@.%a@.@." Schedule.pp schedule;
 
-  (* One pipeline configuration drives every stage. *)
-  let p = Pipeline.make ~stencil:st ~schedule ~workers:4 () in
+  (* One pipeline configuration drives every stage: 4 worker domains, and
+     the compiled-C kernel backend when a toolchain is around (it degrades
+     to the interpreter transparently when not). *)
+  let pool = Domain_pool.create 4 in
+  let config =
+    Exec.Config.make ~backend:Backend.Compiled_c ~pool ()
+  in
+  let p = Pipeline.make ~stencil:st ~schedule ~config () in
 
   (* Correctness: optimized runtime vs naive reference (§5.1). *)
   let report = Pipeline.verify ~steps:5 p in
   Format.printf "%a@.@." Verify.pp_report report;
 
   (* Native execution with 4 worker domains. *)
-  let final = Pipeline.run ~steps:10 p in
-  Format.printf "after 10 steps: %a@.@." Grid.pp_stats final;
+  let final, backend_report = Pipeline.run_report ~steps:10 p in
+  Format.printf "after 10 steps: %a@." Grid.pp_stats final;
+  Format.printf "kernels ran on: %a@.@." Backend.pp
+    backend_report.Runtime.effective;
+  Domain_pool.shutdown pool;
 
   (* st.compile_to_source_code("3d7pt") — AOT C for the Sunway target. *)
   (match Pipeline.compile ~target:Codegen.Athread p with

@@ -66,8 +66,9 @@ let clamp_depth ~plan ~sub ~radius depth =
           done;
           !k)
 
-let true_cost ?cache ?(net = Msc_comm.Netmodel.sunway_taihulight) ~make_stencil
-    ~global (c : Params.config) =
+let true_cost ?cache ?(net = Msc_comm.Netmodel.sunway_taihulight)
+    ?(backend = Msc_exec.Backend.Compiled_c) ~make_stencil ~global
+    (c : Params.config) =
   let sub = Params.subgrid c ~global in
   let st, sched = lower ~make_stencil ~global c in
   let plan =
@@ -84,7 +85,7 @@ let true_cost ?cache ?(net = Msc_comm.Netmodel.sunway_taihulight) ~make_stencil
            search space stays connected. *)
         1.0
     | Ok plan -> (
-        match Msc_sunway.Sim.simulate ~steps:1 ~plan st sched with
+        match Msc_sunway.Sim.simulate ~steps:1 ~plan ~backend st sched with
         | Ok r -> r.Msc_sunway.Sim.time_per_step_s
         | Error _ ->
             (* SPM overflow: same penalty. *)
@@ -158,8 +159,8 @@ let exhaustive ?(max_configs = 20_000) ?net ~make_stencil ~global ~nranks () =
     !best
   end
 
-let tune ?(seed = 42) ?(iterations = 20_000) ?net ?(trace = Msc_trace.disabled)
-    ~make_stencil ~global ~nranks () =
+let tune ?(seed = 42) ?(iterations = 20_000) ?net ?backend
+    ?(trace = Msc_trace.disabled) ~make_stencil ~global ~nranks () =
   let rng = Msc_util.Prng.create seed in
   (* One memoized plan compiler serves both the regression features and the
      true-cost simulations: each distinct candidate schedule is lowered and
@@ -170,7 +171,7 @@ let tune ?(seed = 42) ?(iterations = 20_000) ?net ?(trace = Msc_trace.disabled)
      the network model, the measured quantity of Figure 11. *)
   let cost c =
     let ts0 = Msc_trace.begin_span trace in
-    let t = true_cost ~cache ?net ~make_stencil ~global c in
+    let t = true_cost ~cache ?net ?backend ~make_stencil ~global c in
     Msc_trace.end_span trace "tune.trial" ts0;
     Msc_trace.add trace "tune.trials" 1.0;
     t
@@ -221,7 +222,9 @@ let tune ?(seed = 42) ?(iterations = 20_000) ?net ?(trace = Msc_trace.disabled)
     best_cost := refine.Anneal.best_energy
   end;
   let best = !best and best_time_s = !best_cost in
-  let plan_cache_hits, plan_cache_misses = Plan.Cache.stats cache in
+  let { Plan.Cache.hits = plan_cache_hits; misses = plan_cache_misses } =
+    Plan.Cache.stats cache
+  in
   {
     initial;
     initial_time_s;

@@ -27,6 +27,7 @@ val plan_of :
 val true_cost :
   ?cache:Msc_schedule.Plan.Cache.t ->
   ?net:Msc_comm.Netmodel.t ->
+  ?backend:Msc_exec.Backend.t ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->
   global:int array ->
   Params.config ->
@@ -42,8 +43,10 @@ val true_cost :
     block, so the alpha term drops as [alpha / depth]. [net] (default
     {!Msc_comm.Netmodel.sunway_taihulight}) selects the interconnect — a
     latency-bound network such as {!Msc_comm.Netmodel.tianhe3_prototype}
-    rewards [depth > 1]. The node simulation reuses the memoized plan when
-    [cache] is given. *)
+    rewards [depth > 1]. [backend] (default [Compiled_c]) scales the node
+    simulation's arithmetic phase ({!Msc_sunway.Sim.simulate}), so tuning
+    for an interpreter-hosted run prices compute accordingly. The node
+    simulation reuses the memoized plan when [cache] is given. *)
 
 val exhaustive :
   ?max_configs:int ->
@@ -62,6 +65,7 @@ val tune :
   ?seed:int ->
   ?iterations:int ->
   ?net:Msc_comm.Netmodel.t ->
+  ?backend:Msc_exec.Backend.t ->
   ?trace:Msc_trace.t ->
   make_stencil:(int array -> Msc_ir.Stencil.t) ->
   global:int array ->

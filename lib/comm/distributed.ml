@@ -3,8 +3,9 @@ module Grid = Msc_exec.Grid
 module Runtime = Msc_exec.Runtime
 module Bc = Msc_exec.Bc
 module Plan = Msc_schedule.Plan
+module Exec = Msc_exec.Exec
 
-type engine =
+type engine = Exec.engine =
   | Bulk_synchronous
   | Overlapped
   | Temporal_blocked of { depth : int }
@@ -105,11 +106,18 @@ let exchange_state t ~dt =
       grids;
   Msc_trace.end_span t.trace "halo.window" ts_win
 
-let create ?(engine = Overlapped) ?net
-    ?(pool = Msc_util.Domain_pool.sequential) ?schedule
+let create ?(config = Exec.Config.default) ?net ?schedule
     ?(init = fun coord -> Runtime.default_init 1 coord)
     ?(aux_init = Runtime.default_aux_init) ?(bc = Bc.Dirichlet 0.0)
     ?(trace = Msc_trace.disabled) ~ranks_shape (st : Stencil.t) =
+  let engine = config.Exec.Config.engine in
+  let pool = config.Exec.Config.pool in
+  (* The pool dispatches ranks; inside a rank the runtime sweeps its tiles
+     sequentially (nested parallelism would oversubscribe), so each rank's
+     config keeps the backend but drops to the sequential pool. *)
+  let rank_config =
+    { config with Exec.Config.pool = Msc_util.Domain_pool.sequential }
+  in
   Stencil.validate_halo st;
   let grid = st.Stencil.grid in
   let decomp = Decomp.create ~global:grid.Tensor.shape ~ranks_shape in
@@ -183,8 +191,8 @@ let create ?(engine = Overlapped) ?net
            plus the physical-face pass above overwrite the interior faces
            with the right data afterwards. *)
         let rt =
-          Runtime.create ?plan ~init:local_init ~aux_init:local_aux_init ~bc
-            ~trace ~tid:rank local
+          Runtime.create ?plan ~config:rank_config ~init:local_init
+            ~aux_init:local_aux_init ~bc ~trace ~tid:rank local
         in
         (* Materialise the temporal block's per-substep task arrays: the
            halo extension only grows on faces with a neighbour (physical
@@ -420,9 +428,9 @@ let gather t =
     t.runtimes;
   out
 
-let validate ?engine ?(steps = 3) ?bc ~ranks_shape (st : Stencil.t) =
-  let dist = create ?engine ?bc ~ranks_shape st in
-  let single = Runtime.create ?bc st in
+let validate ?config ?(steps = 3) ?bc ~ranks_shape (st : Stencil.t) =
+  let dist = create ?config ?bc ~ranks_shape st in
+  let single = Runtime.create ?config ?bc st in
   run dist steps;
   Runtime.run single steps;
   Grid.max_rel_error ~reference:(Runtime.current single) (gather dist)

@@ -7,7 +7,9 @@
 
 type t
 
-type engine =
+(** The halo-exchange engine, shared with {!Msc_exec.Exec.engine} (the
+    constructors below re-export it, so either path's constructors match). *)
+type engine = Msc_exec.Exec.engine =
   | Bulk_synchronous
       (** The parity reference: every rank sweeps all its tiles, then the
           freshly produced state is exchanged with no compute in flight. *)
@@ -37,9 +39,8 @@ val needs_corners : Msc_ir.Stencil.t -> bool
     the [2*ndim] faces. Star stencils get by with faces only. *)
 
 val create :
-  ?engine:engine ->
+  ?config:Msc_exec.Exec.Config.t ->
   ?net:Netmodel.t ->
-  ?pool:Msc_util.Domain_pool.t ->
   ?schedule:Msc_schedule.Schedule.t ->
   ?init:(int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
@@ -54,13 +55,16 @@ val create :
     slab halo-included, no exchange needed). Initial halo exchanges run for
     every retained state.
 
-    [engine] (default [Overlapped]) selects the stepping protocol; both
-    engines produce bit-identical states. [net] attaches a network cost
+    [config] carries all three execution knobs. [config.engine] (default
+    [Overlapped]) selects the stepping protocol; all engines produce
+    bit-identical states. [config.backend] selects the kernel backend of
+    every rank's local runtime (compiled kernels are shared across
+    equal-extent ranks through the on-disk cache). [config.pool] dispatches
+    {e ranks} concurrently (default sequential); each rank's local runtime
+    sweeps its own tiles sequentially. [net] attaches a network cost
     model to the MPI simulator, so every message carries a simulated
     in-flight latency — {!Mpi_sim.wait} sleeps out the remainder, making
-    the overlap window measurable in wall-clock traces. [pool] dispatches
-    {e ranks} concurrently in the overlapped engine (default sequential;
-    each rank's local runtime keeps its own plan-level parallelism).
+    the overlap window measurable in wall-clock traces.
 
     [trace] instruments every rank's local runtime (spans tagged with the
     rank as [tid]), each halo pack/exchange/unpack, a ["halo.window"] span
@@ -100,9 +104,9 @@ val gather : t -> Msc_exec.Grid.t
 (** Assemble the global newest state from all ranks. *)
 
 val validate :
-  ?engine:engine ->
+  ?config:Msc_exec.Exec.Config.t ->
   ?steps:int -> ?bc:Msc_exec.Bc.t -> ranks_shape:int array -> Msc_ir.Stencil.t ->
   float
-(** Runs the distributed and the single-grid runtimes side by side and
-    returns the max relative error between the gathered and the single-grid
-    result (0.0 = bit-identical). *)
+(** Runs the distributed and the single-grid runtimes side by side — both
+    under [config]'s backend — and returns the max relative error between
+    the gathered and the single-grid result (0.0 = bit-identical). *)

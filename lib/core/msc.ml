@@ -10,6 +10,9 @@ module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
 module Plan = Msc_schedule.Plan
 module Grid = Msc_exec.Grid
+module Exec = Msc_exec.Exec
+module Backend = Msc_exec.Backend
+module Jit = Msc_exec.Jit
 module Runtime = Msc_exec.Runtime
 module Interp = Msc_exec.Interp
 module Reference = Msc_exec.Reference
@@ -46,15 +49,16 @@ module Pipeline = struct
     stencil : Stencil.t;
     schedule : Schedule.t option;
     bc : Bc.t option;
-    workers : int;
+    config : Exec.Config.t;
     trace : Trace.t;
   }
 
-  let make ~stencil ?schedule ?bc ?(workers = 1) ?(trace = Trace.disabled) () =
-    if workers < 1 then invalid_arg "Pipeline.make: workers must be >= 1";
-    { stencil; schedule; bc; workers; trace }
+  let make ~stencil ?schedule ?bc ?(config = Exec.Config.default)
+      ?(trace = Trace.disabled) () =
+    { stencil; schedule; bc; config; trace }
 
   let stencil p = p.stencil
+  let config p = p.config
   let trace p = p.trace
 
   (* When no schedule was given, fall back to the target's canonical one with
@@ -85,22 +89,23 @@ module Pipeline = struct
           ~machine:(Codegen.machine_of_target target)
           p.stencil (schedule_for ~target p)
 
+  let runtime p =
+    Runtime.create ?schedule:p.schedule ~config:p.config ?bc:p.bc
+      ~trace:p.trace p.stencil
+
   let run ~steps p =
-    let pool = Domain_pool.create p.workers in
-    (* The pool's workers persist across steps; release them when the run
-       finishes rather than leaving parked domains to the GC backstop. *)
-    Fun.protect
-      ~finally:(fun () -> Domain_pool.shutdown pool)
-      (fun () ->
-        let rt =
-          Runtime.create ?schedule:p.schedule ?bc:p.bc ~pool ~trace:p.trace
-            p.stencil
-        in
-        Runtime.run rt steps;
-        Runtime.current rt)
+    let rt = runtime p in
+    Runtime.run rt steps;
+    Runtime.current rt
+
+  let run_report ~steps p =
+    let rt = runtime p in
+    Runtime.run rt steps;
+    (Runtime.current rt, Runtime.backend_report rt)
 
   let verify ~steps p =
-    Verify.check ?schedule:p.schedule ?bc:p.bc ~trace:p.trace ~steps p.stencil
+    Verify.check ?schedule:p.schedule ~config:p.config ?bc:p.bc ~trace:p.trace
+      ~steps p.stencil
 
   let compile ?steps ~target p =
     let schedule = schedule_for ~target p in
@@ -126,15 +131,10 @@ module Pipeline = struct
     | Codegen.Cpu ->
         Error "simulate: the cpu target has no processor model (use run)"
 
-  let distribute ?engine ~ranks_shape p =
-    (* Workers dispatch ranks, not tiles: the overlapped engine runs each
-       rank's phase concurrently. Workers spawn lazily and the pool carries
-       a GC finaliser, so sizing it here leaks nothing when unused. *)
-    let pool =
-      if p.workers = 1 then Domain_pool.sequential
-      else Domain_pool.create p.workers
-    in
-    Distributed.create ?engine ~pool ?schedule:p.schedule ?bc:p.bc
+  let distribute ~ranks_shape p =
+    (* The config's pool dispatches ranks, not tiles: the overlapped engine
+       runs each rank's phase concurrently. *)
+    Distributed.create ~config:p.config ?schedule:p.schedule ?bc:p.bc
       ~trace:p.trace ~ranks_shape p.stencil
 
   let autotune ?seed ?iterations ~make_stencil ~nranks p =

@@ -4,8 +4,9 @@
 
     The front door is {!Pipeline}: define a grid and kernel with {!Builder},
     wrap them once with {!Pipeline.make} (optionally with a {!Schedule}, a
-    boundary condition, worker domains, and a {!Trace} sink), then drive the
-    same configuration through every stage —
+    boundary condition, an execution {!Exec.Config.t} — kernel backend,
+    halo engine, worker pool — and a {!Trace} sink), then drive the same
+    configuration through every stage —
 
     {[
       let p = Msc.Pipeline.make ~stencil ~trace () in
@@ -41,6 +42,21 @@ module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
 module Plan = Msc_schedule.Plan
 module Grid = Msc_exec.Grid
+
+module Exec = Msc_exec.Exec
+(** Execution configuration: the {!Exec.Config.t} record bundling the kernel
+    backend, halo-exchange engine and worker pool that every execution stage
+    shares. *)
+
+module Backend = Msc_exec.Backend
+(** Kernel execution backends: the tree-walking interpreter, the
+    runtime-compiled OCaml backend and the runtime-compiled C backend. *)
+
+module Jit = Msc_exec.Jit
+(** The compiled-kernel cache behind {!Backend.Native_ocaml} and
+    {!Backend.Compiled_c}: on-disk artifacts keyed by plan digest, in-process
+    memoization, and compile/fallback statistics. *)
+
 module Runtime = Msc_exec.Runtime
 module Interp = Msc_exec.Interp
 module Reference = Msc_exec.Reference
@@ -83,24 +99,28 @@ module Trace = Msc_trace
 module Pipeline : sig
   type t
   (** A stencil plus the knobs every stage shares: optional schedule,
-      boundary condition, worker-domain count and trace sink. Immutable;
-      cheap to build. *)
+      boundary condition, execution {!Exec.Config.t} and trace sink.
+      Immutable; cheap to build. *)
 
   val make :
     stencil:Stencil.t ->
     ?schedule:Schedule.t ->
     ?bc:Bc.t ->
-    ?workers:int ->
+    ?config:Exec.Config.t ->
     ?trace:Trace.t ->
     unit ->
     t
-  (** [workers] (default 1) sizes the domain pool used by {!run}. [trace]
-      (default {!Trace.disabled}) is threaded through every stage. When
-      [schedule] is omitted, stages that need one derive the target's
-      canonical schedule with the default tile clamped to the grid.
-      @raise Invalid_argument if [workers < 1]. *)
+  (** [config] (default {!Exec.Config.default}: interpreter backend,
+      overlapped halo engine, sequential pool) carries the three execution
+      knobs shared by {!run}, {!verify} and {!distribute}. The pool is
+      caller-owned — build one with {!Domain_pool.create} and shut it down
+      when done (a GC finaliser backstops leaks). [trace] (default
+      {!Trace.disabled}) is threaded through every stage. When [schedule]
+      is omitted, stages that need one derive the target's canonical
+      schedule with the default tile clamped to the grid. *)
 
   val stencil : t -> Stencil.t
+  val config : t -> Exec.Config.t
   val trace : t -> Trace.t
 
   val plan : ?target:Codegen.target -> t -> (Plan.t, string) result
@@ -113,8 +133,13 @@ module Pipeline : sig
       {!simulate} costs. *)
 
   val run : steps:int -> t -> Grid.t
-  (** Execute natively (sliding time window, tiled, domain-parallel) and
-      return the final state. *)
+  (** Execute natively (sliding time window, tiled, domain-parallel, on
+      [config]'s kernel backend) and return the final state. *)
+
+  val run_report : steps:int -> t -> Grid.t * Runtime.backend_report
+  (** Like {!run}, but also report which kernel backend actually executed —
+      the requested backend degrades to the interpreter when no toolchain
+      is available or a kernel shape is not compilable. *)
 
   val verify : steps:int -> t -> Verify.report
   (** §5.1 correctness check of the optimized runtime against the naive
@@ -135,17 +160,15 @@ module Pipeline : sig
       SW26010 CPE-cluster model, {!Codegen.Openmp} the Matrix MT2000+ model;
       {!Codegen.Cpu} has no model and returns [Error]. *)
 
-  val distribute :
-    ?engine:Distributed.engine -> ranks_shape:int array -> t -> Distributed.t
+  val distribute : ranks_shape:int array -> t -> Distributed.t
   (** Decompose over a simulated MPI process grid with automatic halo
       exchange; each rank's runtime inherits the pipeline's trace sink with
-      its rank as [tid]. [engine] (default {!Distributed.Overlapped})
-      selects the stepping protocol —
-      [Distributed.Temporal_blocked { depth }] enables
-      communication-avoiding temporal blocking (one deep exchange per
-      [depth] steps); the pipeline's [workers] size the pool that
-      dispatches ranks concurrently in the overlapped and temporal
-      engines. *)
+      its rank as [tid]. The pipeline's [config] selects the stepping
+      protocol ([config.engine]; {!Exec.Temporal_blocked} enables
+      communication-avoiding temporal blocking with one deep exchange per
+      [depth] steps), the kernel backend of every rank's local runtime
+      ([config.backend]) and the pool that dispatches ranks concurrently in
+      the overlapped and temporal engines ([config.pool]). *)
 
   val autotune :
     ?seed:int ->

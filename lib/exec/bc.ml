@@ -8,7 +8,7 @@ let mapped_coord t ~extent c =
     | Periodic -> Some (((c mod extent) + extent) mod extent)
     | Reflect -> Some (if c < 0 then -c - 1 else (2 * extent) - c - 1)
 
-let apply ?low ?high t (g : Grid.t) =
+let check_masks ?low ?high t (g : Grid.t) =
   let nd = Grid.ndim g in
   let low = match low with Some a -> a | None -> Array.make nd true in
   let high = match high with Some a -> a | None -> Array.make nd true in
@@ -22,6 +22,15 @@ let apply ?low ?high t (g : Grid.t) =
             invalid_arg "Bc.apply: halo wider than the interior")
         g.Grid.halo
   | Dirichlet _ -> ());
+  (low, high)
+
+(* The original per-cell implementation: walk every cell of the padded box,
+   classify its out-of-range dimensions, map them one by one. Kept verbatim
+   as the reference the fast path is parity-tested against (and as the
+   baseline leg of the kernels bench group). *)
+let apply_reference ?low ?high t (g : Grid.t) =
+  let nd = Grid.ndim g in
+  let low, high = check_masks ?low ?high t g in
   let coord = Array.make nd 0 in
   let mapped = Array.make nd 0 in
   let rec go d =
@@ -63,6 +72,91 @@ let apply ?low ?high t (g : Grid.t) =
       done
   in
   go 0
+
+(* Fast path. Split each dimension into its Lo [-h,0) / In [0,n) /
+   Hi [n,n+h) segments and enumerate segment combinations; a combination
+   needs work iff at least one dimension sits in a masked (physical) Lo/Hi
+   segment. Within a combination every cell has the same classification, so
+   rows become Array.fill (Dirichlet) or Array.blit (Periodic, and the
+   unmapped-last-dim cases) instead of per-cell coordinate arithmetic —
+   only Reflect along the last dimension copies element-wise (reversed
+   source order).
+
+   Source rows read by Periodic/Reflect have all their physical-out
+   dimensions mapped into the interior and keep the remaining dimensions of
+   the destination cell, so a source cell is never itself a written cell —
+   the copy order is immaterial, exactly as in the reference. *)
+let apply ?low ?high t (g : Grid.t) =
+  let nd = Grid.ndim g in
+  let low, high = check_masks ?low ?high t g in
+  let n = g.Grid.shape and h = g.Grid.halo in
+  let strides = g.Grid.strides and data = g.Grid.data in
+  let last = nd - 1 in
+  (* Per-dimension segment of the current combination: 0 = Lo, 1 = In,
+     2 = Hi; [phys.(d)] caches whether that segment is masked physical. *)
+  let seg = Array.make nd 1 in
+  let phys = Array.make nd false in
+  let seg_lo d = match seg.(d) with 0 -> -h.(d) | 1 -> 0 | _ -> n.(d) in
+  let seg_len d = match seg.(d) with 1 -> n.(d) | _ -> h.(d) in
+  let map_c d c =
+    match t with
+    | Dirichlet _ -> c
+    | Periodic -> if c < 0 then c + n.(d) else if c >= n.(d) then c - n.(d) else c
+    | Reflect ->
+        if c < 0 then -c - 1
+        else if c >= n.(d) then (2 * n.(d)) - c - 1
+        else c
+  in
+  (* [cells] walks the outer dimensions of the current combination,
+     threading the flat offsets of the row start on the destination side
+     and (for Periodic/Reflect) the mapped source side. *)
+  let rec cells d dst_off src_off =
+    if d = last then begin
+      let a = seg_lo last in
+      let len = seg_len last in
+      let dst_base = dst_off + ((a + h.(last)) * strides.(last)) in
+      match t with
+      | Dirichlet v -> Array.fill data dst_base len v
+      | Periodic | Reflect ->
+          if not phys.(last) then
+            (* Last dim keeps its coordinates: whole-row copy. *)
+            Array.blit data (src_off + ((a + h.(last)) * strides.(last)))
+              data dst_base len
+          else if t = Periodic then
+            (* [-h,0) shifts to [n-h,n), [n,n+h) to [0,h): contiguous. *)
+            Array.blit data
+              (src_off + ((map_c last a + h.(last)) * strides.(last)))
+              data dst_base len
+          else
+            (* Reflect: ascending destination reads descending source. *)
+            let src_base = src_off + ((map_c last a + h.(last)) * strides.(last)) in
+            for k = 0 to len - 1 do
+              Array.unsafe_set data (dst_base + k)
+                (Array.unsafe_get data (src_base - k))
+            done
+    end
+    else
+      let lo = seg_lo d and len = seg_len d in
+      for c = lo to lo + len - 1 do
+        let dst_off = dst_off + ((c + h.(d)) * strides.(d)) in
+        let src_c = if phys.(d) then map_c d c else c in
+        let src_off = src_off + ((src_c + h.(d)) * strides.(d)) in
+        cells (d + 1) dst_off src_off
+      done
+  in
+  let rec combos d any_phys =
+    if d = nd then (if any_phys then cells 0 0 0)
+    else
+      for s = 0 to 2 do
+        seg.(d) <- s;
+        let p =
+          match s with 0 -> low.(d) | 2 -> high.(d) | _ -> false
+        in
+        phys.(d) <- p;
+        if seg_len d > 0 then combos (d + 1) (any_phys || p)
+      done
+  in
+  combos 0 false
 
 let pp ppf = function
   | Dirichlet v -> Format.fprintf ppf "dirichlet(%g)" v

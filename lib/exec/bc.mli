@@ -21,7 +21,16 @@ val apply : ?low:bool array -> ?high:bool array -> t -> Grid.t -> unit
     faces. [low]/[high] mark which faces are physical per dimension (default
     all). Mapping is per-dimension, so edges and corners compose correctly;
     non-physical out-of-range dimensions are kept as-is (their data comes
-    from a prior exchange). *)
+    from a prior exchange).
+
+    Runs segment-at-a-time: contiguous [Array.fill] / [Array.blit] per halo
+    row rather than a walk of the whole padded box — this pass used to
+    dominate small-grid timesteps. Bit-identical to {!apply_reference}. *)
+
+val apply_reference : ?low:bool array -> ?high:bool array -> t -> Grid.t -> unit
+(** The original cell-at-a-time implementation, kept as the parity
+    reference for {!apply} and as the baseline leg of the kernels bench
+    group. *)
 
 val mapped_coord : t -> extent:int -> int -> int option
 (** Where one out-of-range coordinate reads from: [None] for Dirichlet

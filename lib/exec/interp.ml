@@ -208,6 +208,45 @@ let kernel t = t.kernel
 let is_linear t = match t.mode with Taps _ -> true | Bilinear _ | Tree _ -> false
 let is_bilinear t = match t.mode with Bilinear _ -> true | Taps _ | Tree _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Introspection for the compiled backends: everything the JIT emitters
+   need to reproduce a sweep exactly (coefficients, flat deltas, term kinds
+   and the compiled geometry). *)
+
+type taps_spec = { taps_coeffs : float array; taps_deltas : int array }
+
+type bilinear_spec = {
+  bil_coeffs : float array;
+  bil_kinds : int array;
+  bil_aux_names : string option array;
+  bil_aux_deltas : int array;
+  bil_in_deltas : int array;
+}
+
+type spec =
+  | Spec_taps of taps_spec
+  | Spec_bilinear of bilinear_spec
+  | Spec_tree
+
+let spec t =
+  match t.mode with
+  | Taps { coeffs; deltas } ->
+      Spec_taps { taps_coeffs = coeffs; taps_deltas = deltas }
+  | Bilinear b ->
+      Spec_bilinear
+        {
+          bil_coeffs = b.bl_coeffs;
+          bil_kinds = b.bl_kinds;
+          bil_aux_names = b.bl_aux_names;
+          bil_aux_deltas = b.bl_aux_deltas;
+          bil_in_deltas = b.bl_in_deltas;
+        }
+  | Tree _ -> Spec_tree
+
+let shape t = t.shape
+let halo t = t.halo
+let strides t = t.strides
+
 let check_geometry t name (g : Grid.t) =
   if g.Grid.shape <> t.shape || g.Grid.strides <> t.strides then
     invalid_arg (Printf.sprintf "Interp: %s grid differs from compiled geometry" name)

@@ -44,6 +44,46 @@ val is_linear : t -> bool
 
 val is_bilinear : t -> bool
 
+(** {1 Introspection for the compiled backends}
+
+    The compiled backends ({!Jit}) emit a specialized kernel from the same
+    precompiled representation the interpreter executes, so a compiled
+    sweep and an interpreted sweep agree bit-exactly by construction. *)
+
+type taps_spec = { taps_coeffs : float array; taps_deltas : int array }
+(** Linear single-grid kernels: coefficient and flat-delta per tap, in the
+    accumulation order the interpreter uses. *)
+
+type bilinear_spec = {
+  bil_coeffs : float array;
+  bil_kinds : int array;
+      (** per-term dispatch: 0 = aux*input, 1 = input only, 2 = aux only *)
+  bil_aux_names : string option array;
+      (** per-term aux tensor name; [None] for input-only terms *)
+  bil_aux_deltas : int array;
+  bil_in_deltas : int array;
+}
+
+type spec =
+  | Spec_taps of taps_spec
+  | Spec_bilinear of bilinear_spec
+  | Spec_tree  (** expression-tree kernels are not compilable *)
+
+val spec : t -> spec
+
+val shape : t -> int array
+val halo : t -> int array
+val strides : t -> int array
+
+val check_grids : t -> src:Grid.t -> dst:Grid.t -> unit
+(** The geometry/aliasing validation every sweep performs, exposed so the
+    compiled backends can guard their (unchecked) kernels identically.
+    @raise Invalid_argument on a geometry mismatch or [src == dst]. *)
+
+val check_range : t -> lo:int array -> hi:int array -> unit
+(** The range validation every sweep performs (interior plus the
+    [halo - radius] slack). @raise Invalid_argument when out of bounds. *)
+
 val apply_range :
   ?aux:(string * Grid.t) list ->
   t -> src:Grid.t -> dst:Grid.t -> lo:int array -> hi:int array -> unit

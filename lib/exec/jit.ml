@@ -1,0 +1,457 @@
+(* Runtime kernel compilation: emit a specialized kernel per (plan, term),
+   compile it with the host toolchain, and load it back as a
+   Backend.kernel_fn. See jit.mli for the cache layout and backend.mli for
+   the calling convention.
+
+   Bit-identity with the interpreter is a hard contract, maintained by
+   emitting the *same* floating-point expression the interpreter
+   evaluates:
+
+   - taps arities with a dedicated unrolled path in interp.ml (3/5/7/9/13)
+     sum as a plain left-associated chain [c0*x0 +. c1*x1 +. ...];
+   - every other taps arity, and all bilinear kernels, lead the chain with
+     [0.0 +.] because the interpreter's generic paths start their
+     accumulator at 0.0 (observable through the sign of a -0.0 result);
+   - coefficients are printed as hex float literals (exact round-trip,
+     valid in both OCaml and C99);
+   - C kernels are compiled with -ffp-contract=off (GCC defaults to
+     contraction, and a fused multiply-add rounds differently). *)
+
+external dlopen_sym : string -> string -> nativeint = "msc_jit_dlopen"
+
+external c_call :
+  nativeint ->
+  int ->
+  float ->
+  float array ->
+  float array ->
+  float array array ->
+  int array ->
+  int array ->
+  unit = "msc_jit_call_bytecode" "msc_jit_call_native"
+[@@noalloc]
+
+external named_value : string -> Obj.t = "msc_jit_named_value"
+
+(* Force the Callback unit into the host image: Dynlink-loaded kernels
+   hand their closure back through [Callback.register], so the module must
+   be linked even when nothing else in the program uses it. *)
+let () = Callback.register "msc_jit_host_alive" ()
+
+type stats = {
+  memo_hits : int;
+  disk_hits : int;
+  compiles : int;
+  failures : int;
+}
+
+let lock = Mutex.create ()
+let memo : (string, Backend.kernel_fn) Hashtbl.t = Hashtbl.create 16
+let memo_hits = ref 0
+let disk_hits = ref 0
+let compiles = ref 0
+let failures = ref 0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let stats () =
+  with_lock (fun () ->
+      {
+        memo_hits = !memo_hits;
+        disk_hits = !disk_hits;
+        compiles = !compiles;
+        failures = !failures;
+      })
+
+let clear_memo () = with_lock (fun () -> Hashtbl.reset memo)
+
+let cache_dir () =
+  match Sys.getenv_opt "MSC_KERNEL_CACHE" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "msc-kernels"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* [Sys.command] goes through /bin/sh by absolute path, so toolchain
+   discovery honours the *current* PATH — a stripped PATH cleanly reports
+   "not found" rather than crashing, which is what the fallback tests
+   exercise. Re-checked on every compile, never cached. *)
+let have_tool tool =
+  Sys.command (Printf.sprintf "command -v %s > /dev/null 2>&1" tool) = 0
+
+let read_log path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let k = min n 800 in
+    seek_in ic (n - k);
+    let s = really_input_string ic k in
+    close_in ic;
+    String.trim s
+  with _ -> ""
+
+let write_atomic ~dir ~dst content =
+  let tmp = Filename.temp_file ~temp_dir:dir "msc_src" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp dst
+
+(* {2 Emission} *)
+
+(* Hex float literals round-trip exactly and parse in OCaml and C99 alike;
+   always parenthesized so a leading minus never fuses with the
+   surrounding expression. *)
+let flit f = Printf.sprintf "(%h)" f
+let idx d =
+  if d = 0 then "i"
+  else if d > 0 then Printf.sprintf "i + %d" d
+  else Printf.sprintf "i - %d" (-d)
+
+(* The arities interp.ml unrolls by hand (whose sums do NOT start at 0.0). *)
+let unrolled_taps n = n = 3 || n = 5 || n = 7 || n = 9 || n = 13
+
+let ocaml_sum (spec : Interp.spec) =
+  match spec with
+  | Spec_taps { taps_coeffs; taps_deltas } ->
+      let term k c =
+        Printf.sprintf "%s *. Array.unsafe_get _src (%s)" (flit c)
+          (idx taps_deltas.(k))
+      in
+      let s =
+        String.concat " +. " (Array.to_list (Array.mapi term taps_coeffs))
+      in
+      if unrolled_taps (Array.length taps_coeffs) then s else "0.0 +. " ^ s
+  | Spec_bilinear b ->
+      let term k =
+        let c = flit b.bil_coeffs.(k) in
+        match b.bil_kinds.(k) with
+        | 0 ->
+            Printf.sprintf
+              "%s *. Array.unsafe_get _a%d (%s) *. Array.unsafe_get _src (%s)"
+              c k
+              (idx b.bil_aux_deltas.(k))
+              (idx b.bil_in_deltas.(k))
+        | 1 ->
+            Printf.sprintf "%s *. Array.unsafe_get _src (%s)" c
+              (idx b.bil_in_deltas.(k))
+        | _ ->
+            Printf.sprintf "%s *. Array.unsafe_get _a%d (%s)" c k
+              (idx b.bil_aux_deltas.(k))
+      in
+      "0.0 +. "
+      ^ String.concat " +. "
+          (List.init (Array.length b.bil_coeffs) term)
+  | Spec_tree -> assert false
+
+let c_sum (spec : Interp.spec) =
+  match spec with
+  | Spec_taps { taps_coeffs; taps_deltas } ->
+      let term k c =
+        Printf.sprintf "%s * src[%s]" (flit c) (idx taps_deltas.(k))
+      in
+      let s =
+        String.concat " + " (Array.to_list (Array.mapi term taps_coeffs))
+      in
+      if unrolled_taps (Array.length taps_coeffs) then s else "0.0 + " ^ s
+  | Spec_bilinear b ->
+      let term k =
+        let c = flit b.bil_coeffs.(k) in
+        match b.bil_kinds.(k) with
+        | 0 ->
+            Printf.sprintf "%s * _a%d[%s] * src[%s]" c k
+              (idx b.bil_aux_deltas.(k))
+              (idx b.bil_in_deltas.(k))
+        | 1 -> Printf.sprintf "%s * src[%s]" c (idx b.bil_in_deltas.(k))
+        | _ -> Printf.sprintf "%s * _a%d[%s]" c k (idx b.bil_aux_deltas.(k))
+      in
+      "0.0 + "
+      ^ String.concat " + " (List.init (Array.length b.bil_coeffs) term)
+  | Spec_tree -> assert false
+
+let aux_terms (spec : Interp.spec) =
+  match spec with
+  | Spec_bilinear b ->
+      List.filter
+        (fun k -> b.bil_kinds.(k) = 0 || b.bil_kinds.(k) = 2)
+        (List.init (Array.length b.bil_kinds) Fun.id)
+  | _ -> []
+
+(* The flat row base for outer coordinates [i0..] and last-dim start
+   [l<last>], with halo offsets and strides folded to literals. *)
+let base_expr ~nd ~halo ~strides =
+  let last = nd - 1 in
+  String.concat " + "
+    (List.init nd (fun d ->
+         let coord =
+           if d = last then Printf.sprintf "l%d" d else Printf.sprintf "i%d" d
+         in
+         let shifted =
+           if halo.(d) = 0 then coord
+           else Printf.sprintf "(%s + %d)" coord halo.(d)
+         in
+         if strides.(d) = 1 then shifted
+         else Printf.sprintf "%s * %d" shifted strides.(d)))
+
+let emit_ocaml ~base ~halo ~strides spec =
+  let nd = Array.length strides in
+  let last = nd - 1 in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "(* Kernel %s -- generated by Msc_exec.Jit; do not edit. *)\n" base;
+  pr "let kernel (_wb : int) (_scale : float) (_src : float array)\n";
+  pr "    (_dst : float array) (_aux : float array array) (_lo : int array)\n";
+  pr "    (_hi : int array) : unit =\n";
+  List.iter
+    (fun k -> pr "  let _a%d = Array.unsafe_get _aux %d in\n" k k)
+    (aux_terms spec);
+  for d = 0 to last do
+    pr "  let l%d = Array.unsafe_get _lo %d in\n" d d;
+    pr "  let h%d = Array.unsafe_get _hi %d in\n" d d
+  done;
+  pr "  let len = h%d - l%d in\n" last last;
+  pr "  if len > 0 then begin\n";
+  for d = 0 to last - 1 do
+    pr "  for i%d = l%d to h%d - 1 do\n" d d d
+  done;
+  pr "  let base = %s in\n" (base_expr ~nd ~halo ~strides);
+  let iexpr =
+    if strides.(last) = 1 then "base + c"
+    else Printf.sprintf "base + c * %d" strides.(last)
+  in
+  let sum = ocaml_sum spec in
+  let loop body =
+    pr "  for c = 0 to len - 1 do\n";
+    pr "    let i = %s in\n" iexpr;
+    pr "    Array.unsafe_set _dst i (%s)\n" body;
+    pr "  done\n"
+  in
+  pr "  (if _wb = 0 then begin\n";
+  loop sum;
+  pr "  end\n";
+  pr "  else if _wb = 1 then begin\n";
+  loop (Printf.sprintf "_scale *. (%s)" sum);
+  pr "  end\n";
+  pr "  else begin\n";
+  loop (Printf.sprintf "Array.unsafe_get _dst i +. _scale *. (%s)" sum);
+  pr "  end)\n";
+  for _ = 0 to last - 1 do
+    pr "  done\n"
+  done;
+  pr "  end\n";
+  pr "\nlet () = Callback.register %S kernel\n" ("msc_jit_" ^ base);
+  Buffer.contents buf
+
+let emit_c ~base ~halo ~strides spec =
+  let nd = Array.length strides in
+  let last = nd - 1 in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "/* Kernel %s -- generated by Msc_exec.Jit; do not edit. */\n" base;
+  pr "void msc_kernel(long wb, double scale, const double *src, double *dst,\n";
+  pr "                const double **aux, const long *lo, const long *hi)\n";
+  pr "{\n";
+  let auxl = aux_terms spec in
+  if auxl = [] then pr "  (void)aux;\n";
+  List.iter (fun k -> pr "  const double *_a%d = aux[%d];\n" k k) auxl;
+  for d = 0 to last do
+    pr "  long l%d = lo[%d]; long h%d = hi[%d];\n" d d d d
+  done;
+  pr "  long len = h%d - l%d;\n" last last;
+  pr "  if (len <= 0) return;\n";
+  for d = 0 to last - 1 do
+    pr "  for (long i%d = l%d; i%d < h%d; i%d++) {\n" d d d d d
+  done;
+  pr "  long base = %s;\n" (base_expr ~nd ~halo ~strides);
+  let iexpr =
+    if strides.(last) = 1 then "base + c"
+    else Printf.sprintf "base + c * %d" strides.(last)
+  in
+  let sum = c_sum spec in
+  let loop body =
+    pr "    for (long c = 0; c < len; c++) {\n";
+    pr "      long i = %s;\n" iexpr;
+    pr "      dst[i] = %s;\n" body;
+    pr "    }\n"
+  in
+  pr "  if (wb == 0) {\n";
+  loop sum;
+  pr "  } else if (wb == 1) {\n";
+  loop (Printf.sprintf "scale * (%s)" sum);
+  pr "  } else {\n";
+  loop (Printf.sprintf "dst[i] + scale * (%s)" sum);
+  pr "  }\n";
+  for _ = 0 to last - 1 do
+    pr "  }\n"
+  done;
+  pr "}\n";
+  Buffer.contents buf
+
+(* {2 Build + load} *)
+
+let build_native ~dir ~base ~halo ~strides spec =
+  let cmxs = Filename.concat dir (base ^ ".cmxs") in
+  let load () =
+    try
+      Dynlink.loadfile_private cmxs;
+      Ok (Obj.obj (named_value ("msc_jit_" ^ base)) : Backend.kernel_fn)
+    with
+    | Dynlink.Error e -> Error ("dynlink: " ^ Dynlink.error_message e)
+    | Not_found -> Error "loaded kernel did not register itself"
+    | Failure m -> Error m
+  in
+  if Sys.file_exists cmxs then begin
+    incr disk_hits;
+    load ()
+  end
+  else if not (have_tool "ocamlopt") then Error "ocamlopt not found on PATH"
+  else begin
+    let ml = base ^ ".ml" in
+    write_atomic ~dir ~dst:(Filename.concat dir ml)
+      (emit_ocaml ~base ~halo ~strides spec);
+    let tmp = Filename.temp_file ~temp_dir:dir base ".cmxs" in
+    let log = base ^ ".log" in
+    let cmd =
+      Printf.sprintf "cd %s && ocamlopt -shared -o %s %s > %s 2>&1"
+        (Filename.quote dir)
+        (Filename.quote (Filename.basename tmp))
+        (Filename.quote ml) (Filename.quote log)
+    in
+    if Sys.command cmd <> 0 then begin
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error ("ocamlopt failed: " ^ read_log (Filename.concat dir log))
+    end
+    else begin
+      Sys.rename tmp cmxs;
+      incr compiles;
+      load ()
+    end
+  end
+
+let build_c ~dir ~base ~halo ~strides spec =
+  let so = Filename.concat dir (base ^ ".so") in
+  let load () =
+    try
+      let fn = dlopen_sym so "msc_kernel" in
+      Ok
+        (fun wb scale src dst aux lo hi -> c_call fn wb scale src dst aux lo hi)
+    with Failure m -> Error ("dlopen: " ^ m)
+  in
+  if Sys.file_exists so then begin
+    incr disk_hits;
+    load ()
+  end
+  else
+    let compiler =
+      if have_tool "cc" then Some "cc"
+      else if have_tool "gcc" then Some "gcc"
+      else None
+    in
+    match compiler with
+    | None -> Error "no C compiler (cc/gcc) found on PATH"
+    | Some cc ->
+        let c = base ^ ".c" in
+        write_atomic ~dir ~dst:(Filename.concat dir c)
+          (emit_c ~base ~halo ~strides spec);
+        let tmp = Filename.temp_file ~temp_dir:dir base ".so" in
+        let log = base ^ ".log" in
+        let cmd =
+          (* -ffp-contract=off: contraction would fuse mul+add and change
+             rounding, breaking bit-identity with the interpreter. *)
+          Printf.sprintf
+            "cd %s && %s -O3 -ffp-contract=off -fPIC -shared -o %s %s > %s 2>&1"
+            (Filename.quote dir) cc
+            (Filename.quote (Filename.basename tmp))
+            (Filename.quote c) (Filename.quote log)
+        in
+        if Sys.command cmd <> 0 then begin
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error (cc ^ " failed: " ^ read_log (Filename.concat dir log))
+        end
+        else begin
+          Sys.rename tmp so;
+          incr compiles;
+          load ()
+        end
+
+let spec_ok (spec : Interp.spec) =
+  match spec with
+  | Spec_tree -> Error "tree-mode kernel is not compilable"
+  | Spec_taps { taps_coeffs; _ } ->
+      if Array.for_all Float.is_finite taps_coeffs then Ok ()
+      else Error "non-finite tap coefficient"
+  | Spec_bilinear b ->
+      if Array.length b.bil_coeffs > 64 then
+        Error "too many bilinear terms for the C calling convention"
+      else if not (Array.for_all Float.is_finite b.bil_coeffs) then
+        Error "non-finite bilinear coefficient"
+      else if
+        (* An aux-reading term without a named aux tensor falls back to the
+           input grid in the interpreter; the compiled convention resolves
+           aux arrays once at runtime creation, so it cannot express that. *)
+        Array.exists
+          (fun k ->
+            (b.bil_kinds.(k) = 0 || b.bil_kinds.(k) = 2)
+            && b.bil_aux_names.(k) = None)
+          (Array.init (Array.length b.bil_kinds) Fun.id)
+      then Error "bilinear term reads an unnamed aux tensor"
+      else Ok ()
+
+let compile_term ~backend ~plan_digest ~term_index interp =
+  match (backend : Backend.t) with
+  | Interp -> Error "interpreter backend compiles nothing"
+  | (Native_ocaml | Compiled_c) as b -> (
+      let spec = Interp.spec interp in
+      match spec_ok spec with
+      | Error _ as e -> e
+      | Ok () ->
+          let halo = Interp.halo interp and strides = Interp.strides interp in
+          (* The key digests everything baked into the generated code; the
+             plan digest alone is not enough because distributed ranks
+             compile per-rank geometries under related plans. *)
+          let key =
+            Digest.to_hex
+              (Digest.string
+                 (String.concat "\x00"
+                    [
+                      plan_digest;
+                      string_of_int term_index;
+                      Marshal.to_string
+                        (Interp.shape interp, halo, strides, spec)
+                        [];
+                    ]))
+          in
+          let base = Printf.sprintf "msc_kern_%s_t%d" key term_index in
+          let memo_key = Backend.to_string b ^ ":" ^ base in
+          with_lock (fun () ->
+              match Hashtbl.find_opt memo memo_key with
+              | Some fn ->
+                  incr memo_hits;
+                  Ok fn
+              | None -> (
+                  let dir = cache_dir () in
+                  (try mkdir_p dir with _ -> ());
+                  let result =
+                    try
+                      match b with
+                      | Backend.Native_ocaml ->
+                          build_native ~dir ~base ~halo ~strides spec
+                      | Backend.Compiled_c ->
+                          build_c ~dir ~base ~halo ~strides spec
+                      | Backend.Interp -> assert false
+                    with e -> Error (Printexc.to_string e)
+                  in
+                  match result with
+                  | Ok fn ->
+                      Hashtbl.replace memo memo_key fn;
+                      Ok fn
+                  | Error _ as e ->
+                      incr failures;
+                      e)))

@@ -1,0 +1,56 @@
+(** Runtime kernel compiler behind the {!Backend.Native_ocaml} and
+    {!Backend.Compiled_c} backends.
+
+    [compile_term] emits a specialized kernel — flat-array loads/stores,
+    per-radius unrolled taps, geometry constants baked in — from the same
+    precompiled representation the interpreter executes ({!Interp.spec}),
+    compiles it with the host toolchain, and loads it back as a
+    {!Backend.kernel_fn}:
+
+    - [Native_ocaml]: a [.ml] file compiled with [ocamlopt -shared] and
+      loaded through [Dynlink]; the plugin hands its closure back via
+      [Callback.register].
+    - [Compiled_c]: a [.c] file compiled with [cc -O3 -ffp-contract=off
+      -fPIC -shared] and loaded through [dlopen]. Contraction is disabled
+      because fused multiply-adds would change the rounding and break the
+      bit-identity contract with the interpreter.
+
+    Artifacts live in a persistent on-disk cache — [$MSC_KERNEL_CACHE] when
+    set, else [<tmpdir>/msc-kernels] — keyed by a digest of everything baked
+    into the generated code (plan digest, geometry, term spec). A process
+    memo table short-circuits repeat compiles; artifacts are written with
+    atomic renames so concurrent processes can share a cache directory.
+
+    All failure modes (no toolchain on [PATH], tree-mode kernels, compile
+    or load errors) return [Error reason]; callers fall back to the
+    interpreter per term. *)
+
+type stats = {
+  memo_hits : int;  (** served from the in-process table *)
+  disk_hits : int;  (** artifact already on disk, only re-loaded *)
+  compiles : int;  (** toolchain actually invoked *)
+  failures : int;  (** compile or load errors (not counting [Interp]) *)
+}
+(** Process-lifetime counters, cumulative across cache directories. *)
+
+val stats : unit -> stats
+
+val clear_memo : unit -> unit
+(** Drop the in-process memo table (the on-disk cache is untouched), so the
+    next [compile_term] exercises the disk-hit path. For tests. *)
+
+val cache_dir : unit -> string
+(** The directory the next compile will use ([$MSC_KERNEL_CACHE] is
+    re-read on every call). *)
+
+val compile_term :
+  backend:Backend.t ->
+  plan_digest:string ->
+  term_index:int ->
+  Interp.t ->
+  (Backend.kernel_fn, string) result
+(** Emit + compile + load the kernel for one stencil term. The returned
+    function performs {e no} validation — callers must guard each
+    invocation with {!Interp.check_grids} / {!Interp.check_range} exactly
+    as the interpreter does. [backend = Interp] is an [Error] (the caller
+    should not be asking). *)

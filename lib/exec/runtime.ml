@@ -2,10 +2,29 @@ open Msc_ir
 module Schedule = Msc_schedule.Schedule
 module Plan = Msc_schedule.Plan
 
+(* One stencil term's execution state: the interpreter compilation is
+   always present (the semantic reference and the fallback); [compiled]
+   holds the backend's loaded kernel when the JIT produced one; [jit_aux]
+   is the per-bilinear-term aux data resolved once at creation (the aux
+   grids are static), [||] for taps kernels. *)
+type kernel_exec = {
+  interp : Interp.t;
+  compiled : Backend.kernel_fn option;
+  jit_aux : float array array;
+}
+
 type term = { scale : float; source : source; dt : int }
-and source = From_kernel of Interp.t | From_state
+and source = From_kernel of kernel_exec | From_state
 
 type engine = Write_through | Zero_accumulate
+
+type backend_report = {
+  requested : Backend.t;
+  effective : Backend.t;
+  kernel_terms : int;
+  compiled_terms : int;
+  fallback : string option;
+}
 
 type t = {
   stencil : Stencil.t;
@@ -19,6 +38,7 @@ type t = {
   par : [ `Seq | `Block | `Round_robin ];
   pool : Msc_util.Domain_pool.t;
   engine : engine;
+  backend_report : backend_report;
   trace : Msc_trace.t;
   tid : int;  (* label for this runtime's spans (the rank, when distributed) *)
   on_worker : (int -> unit) option;  (* attaches worker domains to [trace] *)
@@ -66,20 +86,11 @@ let default_init _dt coord =
       coord;
     !acc
 
-let create ?plan ?schedule ?(pool = Msc_util.Domain_pool.sequential)
+let create ?plan ?schedule ?(config = Exec.Config.default)
     ?(init = default_init) ?(aux_init = default_aux_init)
     ?(bc = Bc.Dirichlet 0.0) ?(engine = Write_through)
     ?(trace = Msc_trace.disabled) ?(tid = 0) (st : Stencil.t) =
   let geometry = Grid.of_tensor st.Stencil.grid in
-  let terms =
-    List.map
-      (fun (scale, src, dt) ->
-        match src with
-        | `Kernel k ->
-            { scale; source = From_kernel (Interp.compile ~trace k ~geometry); dt }
-        | `State -> { scale; source = From_state; dt })
-      (flatten 1.0 st.Stencil.expr)
-  in
   let w = Stencil.time_window st in
   let window = Array.init (w + 1) (fun _ -> Grid.like geometry) in
   (* Slot w holds the spare; slots 0..w-1 hold states t-1 .. t-w. *)
@@ -98,7 +109,8 @@ let create ?plan ?schedule ?(pool = Msc_util.Domain_pool.sequential)
   let shape = st.Stencil.grid.Tensor.shape in
   (* All schedule interpretation lives in the plan layer: [?schedule] is
      sugar that lowers here, [?plan] shares a precompiled plan (the
-     distributed runtime passes one per distinct rank extent). *)
+     distributed runtime passes one per distinct rank extent). The plan is
+     resolved before the terms because its digest keys the kernel cache. *)
   let plan =
     match plan with
     | Some p -> p
@@ -107,6 +119,64 @@ let create ?plan ?schedule ?(pool = Msc_util.Domain_pool.sequential)
         match Plan.compile st sched with
         | Ok p -> p
         | Error msg -> invalid_arg ("Runtime.create: " ^ msg))
+  in
+  let backend = config.Exec.Config.backend in
+  let fallback = ref None in
+  let kernel_terms = ref 0 and compiled_terms = ref 0 in
+  let term_ix = ref 0 in
+  let jit_aux_of interp =
+    match Interp.spec interp with
+    | Interp.Spec_bilinear b ->
+        Array.map
+          (function
+            | Some name -> (
+                match List.assoc_opt name aux with
+                | Some (g : Grid.t) -> g.Grid.data
+                | None -> [||])
+            | None -> [||])
+          b.Interp.bil_aux_names
+    | Interp.Spec_taps _ | Interp.Spec_tree -> [||]
+  in
+  let terms =
+    List.map
+      (fun (scale, src, dt) ->
+        match src with
+        | `Kernel k ->
+            let i = !term_ix in
+            incr term_ix;
+            incr kernel_terms;
+            let interp = Interp.compile ~trace k ~geometry in
+            let compiled =
+              match backend with
+              | Backend.Interp -> None
+              | b -> (
+                  match
+                    Jit.compile_term ~backend:b ~plan_digest:plan.Plan.digest
+                      ~term_index:i interp
+                  with
+                  | Ok fn ->
+                      incr compiled_terms;
+                      Some fn
+                  | Error msg ->
+                      if !fallback = None then fallback := Some msg;
+                      None)
+            in
+            {
+              scale;
+              source = From_kernel { interp; compiled; jit_aux = jit_aux_of interp };
+              dt;
+            }
+        | `State -> { scale; source = From_state; dt })
+      (flatten 1.0 st.Stencil.expr)
+  in
+  let backend_report =
+    {
+      requested = backend;
+      effective = (if !compiled_terms > 0 then backend else Backend.Interp);
+      kernel_terms = !kernel_terms;
+      compiled_terms = !compiled_terms;
+      fallback = !fallback;
+    }
   in
   let tiles = plan.Plan.tasks in
   let par =
@@ -138,8 +208,9 @@ let create ?plan ?schedule ?(pool = Msc_util.Domain_pool.sequential)
     steps_done = 0;
     tiles;
     par;
-    pool;
+    pool = config.Exec.Config.pool;
     engine;
+    backend_report;
     trace;
     tid;
     on_worker;
@@ -149,6 +220,7 @@ let create ?plan ?schedule ?(pool = Msc_util.Domain_pool.sequential)
 let stencil t = t.stencil
 let time_window t = Array.length t.window - 1
 let steps_done t = t.steps_done
+let backend_report t = t.backend_report
 
 let state t ~dt =
   let len = Array.length t.window in
@@ -165,17 +237,34 @@ let output_slot t =
 let tiles t = t.tiles
 let aux_grids t = t.aux
 
+(* Compiled kernels skip nothing the interpreter checks: every call is
+   guarded by the same geometry/aliasing/range validation; only the sweep
+   itself is the loaded code. *)
 let term_accumulate t ~dst ~lo ~hi term =
   let src = state t ~dt:term.dt in
   match term.source with
-  | From_kernel interp ->
+  | From_kernel { interp; compiled = Some fn; jit_aux } ->
+      Interp.check_grids interp ~src ~dst;
+      Interp.check_range interp ~lo ~hi;
+      fn Backend.wb_accumulate term.scale src.Grid.data dst.Grid.data jit_aux
+        lo hi
+  | From_kernel { interp; compiled = None; _ } ->
       Interp.accumulate_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
   | From_state -> Interp.identity_accumulate_range ~scale:term.scale ~src ~dst ~lo ~hi
 
 let term_write t ~dst ~lo ~hi term =
   let src = state t ~dt:term.dt in
   match term.source with
-  | From_kernel interp ->
+  | From_kernel { interp; compiled = Some fn; jit_aux } ->
+      Interp.check_grids interp ~src ~dst;
+      Interp.check_range interp ~lo ~hi;
+      (* Mirror [Interp.apply_scaled_range]'s scale = 1 degrade to a plain
+         overwrite. *)
+      let wb =
+        if term.scale = 1.0 then Backend.wb_apply else Backend.wb_apply_scaled
+      in
+      fn wb term.scale src.Grid.data dst.Grid.data jit_aux lo hi
+  | From_kernel { interp; compiled = None; _ } ->
       Interp.apply_scaled_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
   | From_state -> Interp.identity_apply_range ~scale:term.scale ~src ~dst ~lo ~hi
 

@@ -29,10 +29,24 @@ val aux_base : string -> float
 (** The name-derived constant of {!default_aux_init} (exposed so the code
     generator can fold it into the emitted C). *)
 
+type backend_report = {
+  requested : Backend.t;  (** what the config asked for *)
+  effective : Backend.t;
+      (** what kernel terms actually run on: [requested] when at least one
+          term compiled, [Interp] when everything fell back *)
+  kernel_terms : int;  (** stencil terms that sweep a kernel *)
+  compiled_terms : int;  (** of those, how many run loaded code *)
+  fallback : string option;
+      (** first reason a term fell back to the interpreter, if any *)
+}
+(** How the configured {!Backend} materialised for this runtime. Fallback
+    is per term: tree-mode kernels stay interpreted even when their
+    siblings compile. *)
+
 val create :
   ?plan:Msc_schedule.Plan.t ->
   ?schedule:Msc_schedule.Schedule.t ->
-  ?pool:Msc_util.Domain_pool.t ->
+  ?config:Exec.Config.t ->
   ?init:(int -> int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
   ?bc:Bc.t ->
@@ -48,8 +62,12 @@ val create :
     [reorder] decides the traversal. [schedule] is sugar that compiles a
     plan here (ignored when [plan] is given; when neither is given the
     runtime runs the untiled sequential plan of {!Msc_schedule.Schedule.empty}).
-    Results are plan-independent. [pool] supplies the worker domains
-    (default sequential). [bc] is applied to every initial state and to each
+    Results are plan-independent. [config] (default {!Exec.Config.default})
+    supplies the kernel {!Backend} — compiled backends JIT each kernel term
+    against the plan, falling back per term to the interpreter (see
+    {!backend_report}) — and the worker pool, which the caller owns; its
+    [engine] field concerns halo exchange and is ignored here (single
+    node). [bc] is applied to every initial state and to each
     newly produced state (default [Dirichlet 0.0], the paper's zero-halo
     convention).
 
@@ -66,6 +84,9 @@ val create :
 
 val stencil : t -> Msc_ir.Stencil.t
 val time_window : t -> int
+
+val backend_report : t -> backend_report
+(** Which backend this runtime's kernel terms actually run on. *)
 
 val aux_tensors_of : Msc_ir.Stencil.t -> Msc_ir.Tensor.t list
 (** Distinct aux (coefficient) tensors across the stencil's kernels, in

@@ -6,8 +6,8 @@ type report = {
   ok : bool;
 }
 
-let check ?schedule ?pool ?init ?aux_init ?bc ?trace ~steps (st : Msc_ir.Stencil.t) =
-  let fast = Runtime.create ?schedule ?pool ?init ?aux_init ?bc ?trace st in
+let check ?schedule ?config ?init ?aux_init ?bc ?trace ~steps (st : Msc_ir.Stencil.t) =
+  let fast = Runtime.create ?schedule ?config ?init ?aux_init ?bc ?trace st in
   let naive = Reference.create ?init ?aux_init ?bc st in
   Runtime.run fast steps;
   Reference.run naive steps;

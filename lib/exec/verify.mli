@@ -12,7 +12,7 @@ type report = {
 
 val check :
   ?schedule:Msc_schedule.Schedule.t ->
-  ?pool:Msc_util.Domain_pool.t ->
+  ?config:Exec.Config.t ->
   ?init:(int -> int array -> float) ->
   ?aux_init:(string -> int array -> float) ->
   ?bc:Bc.t ->
@@ -20,8 +20,10 @@ val check :
   steps:int -> Msc_ir.Stencil.t -> report
 (** Runs both executors [steps] timesteps from the same initial condition and
     compares final states. The tolerance comes from the grid's declared
-    datatype ({!Msc_ir.Dtype.tolerance}). [trace] instruments the optimized
-    runtime only (the reference stays untimed). *)
+    datatype ({!Msc_ir.Dtype.tolerance}). [config] drives the optimized
+    runtime (backend and pool; the engine field is ignored — single node);
+    [trace] instruments the optimized runtime only (the reference stays
+    untimed). *)
 
 val check_grids : dtype:Msc_ir.Dtype.t -> reference:Grid.t -> Grid.t -> bool
 val pp_report : Format.formatter -> report -> unit

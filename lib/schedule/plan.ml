@@ -6,6 +6,7 @@ type parallel = Seq | Block of int | Round_robin of int
 type t = {
   stencil : Stencil.t;
   schedule : Schedule.t;
+  digest : string;
   machine : Machine.t option;
   nests : Loopnest.t list;
   loops : Loopnest.loop list;
@@ -74,6 +75,17 @@ let tasks_of ~shape ~tile loops =
           done;
           (lo, hi))
 
+(* A plan is a pure function of (stencil, schedule): digest both the
+   printed forms (stable across processes) and the Marshal bytes (collision
+   resistance beyond what the printers expose). A spurious mismatch only
+   costs a kernel-cache miss; a spurious match is what the Marshal half
+   rules out. *)
+let digest_of (st : Stencil.t) schedule =
+  Digest.to_hex
+    (Digest.string
+       (Format.asprintf "%a\x00%a" Stencil.pp st Schedule.pp schedule
+       ^ Marshal.to_string (st, schedule) []))
+
 let compile ?machine (st : Stencil.t) schedule =
   let kernels = Stencil.kernels st in
   let validation =
@@ -125,6 +137,7 @@ let compile ?machine (st : Stencil.t) schedule =
         {
           stencil = st;
           schedule;
+          digest = digest_of st schedule;
           machine;
           nests;
           loops;
@@ -283,5 +296,8 @@ module Cache = struct
 
   let hits c = c.hits
   let misses c = c.misses
-  let stats c = (c.hits, c.misses)
+
+  type stats = { hits : int; misses : int }
+
+  let stats (c : t) = { hits = c.hits; misses = c.misses }
 end

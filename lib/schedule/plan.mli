@@ -26,6 +26,10 @@ type parallel =
 type t = {
   stencil : Msc_ir.Stencil.t;
   schedule : Schedule.t;
+  digest : string;
+      (** stable hex digest of (stencil, schedule) — the key of the
+          compiled-kernel disk cache; plans lowered from equal inputs get
+          equal digests across processes *)
   machine : Msc_machine.Machine.t option;
   nests : Loopnest.t list;  (** per-kernel lowerings, kernel order *)
   loops : Loopnest.loop list;  (** the shared loop nest, outermost first *)
@@ -120,6 +124,7 @@ module Cache : sig
   val hits : t -> int
   val misses : t -> int
 
-  val stats : t -> int * int
-  (** [(hits, misses)]. *)
+  type stats = { hits : int; misses : int }
+
+  val stats : t -> stats
 end

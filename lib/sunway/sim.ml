@@ -69,7 +69,8 @@ let is_box_shaped (st : Stencil.t) =
         kernels
 
 let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
-    ?(steps = 10) ?(trace = Msc_trace.disabled) ?plan (st : Stencil.t) schedule =
+    ?(steps = 10) ?(trace = Msc_trace.disabled) ?plan
+    ?(backend = Msc_exec.Backend.Compiled_c) (st : Stencil.t) schedule =
   let ts_sim = Msc_trace.begin_span trace in
   let plan =
     match plan with
@@ -172,8 +173,14 @@ let simulate ?(machine = Machine.sunway_cg) ?(overrides = default_overrides)
             Machine.peak_gflops machine grid.Tensor.dtype *. veff *. 1e9
           in
           let compute_time =
-            (flops_per_step /. peak)
-            +. (points *. overrides.extra_latency_per_point_s /. float_of_int cpes)
+            ((flops_per_step /. peak)
+            +. (points *. overrides.extra_latency_per_point_s
+               /. float_of_int cpes))
+            (* The model prices the *generated* (compiled-C) kernel; other
+               host backends scale the arithmetic phase by their measured
+               penalty. Compiled_c's scale is 1.0, so default simulations
+               are unchanged. *)
+            *. Msc_exec.Backend.compute_scale backend
           in
           (* compute_at staging serialises DMA and compute within a tile, but
              across 64 CPEs the phases interleave, so the step cost is the

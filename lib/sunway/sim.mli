@@ -59,10 +59,15 @@ val simulate :
   ?steps:int ->
   ?trace:Msc_trace.t ->
   ?plan:Msc_schedule.Plan.t ->
+  ?backend:Msc_exec.Backend.t ->
   Msc_ir.Stencil.t ->
   Msc_schedule.Schedule.t ->
   (report, string) result
-(** Default machine {!Msc_machine.Machine.sunway_cg}, 10 steps. Costs the
+(** Default machine {!Msc_machine.Machine.sunway_cg}, 10 steps. [backend]
+    (default [Compiled_c]) scales the modelled arithmetic phase by
+    {!Msc_exec.Backend.compute_scale} — the model's baseline is the
+    generated compiled kernel, so the default leaves historical numbers
+    untouched. Costs the
     lowered {!Msc_schedule.Plan.t} — pass [plan] to reuse a compiled one
     (the auto-tuner's memoized path); otherwise the plan is compiled here.
     Fails if the schedule is illegal or its buffers overflow the SPM.

@@ -1,0 +1,301 @@
+(* Tests for the compiled-kernel execution backends: bit-identity of the
+   Native_ocaml and Compiled_c backends against the interpreter over the
+   whole benchmark suite (single node and every distributed engine), direct
+   qcheck parity of a compiled kernel function against the interpreter's
+   range calls, the on-disk/memo kernel cache, and the interpreter fallback
+   when no toolchain can be found on PATH. *)
+
+open Helpers
+module Grid = Msc_exec.Grid
+module Runtime = Msc_exec.Runtime
+module Interp = Msc_exec.Interp
+module Backend = Msc_exec.Backend
+module Jit = Msc_exec.Jit
+module Exec = Msc_exec.Exec
+module Bc = Msc_exec.Bc
+module Distributed = Msc_comm.Distributed
+module Suite = Msc_benchsuite.Suite
+
+let small_dims (b : Suite.bench) =
+  match b.Suite.ndim with 2 -> [| 14; 18 |] | _ -> [| 10; 12; 11 |]
+
+(* Every test in this module works against a private kernel-cache dir so
+   the suite never races another process over /tmp artifacts. [Jit] re-reads
+   the env var on each compile, so tests that need a cold cache swap it
+   locally and restore this one. *)
+let cache_dir =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msc-test-kernels-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "MSC_KERNEL_CACHE" dir;
+  dir
+
+let with_cache_dir dir f =
+  Unix.putenv "MSC_KERNEL_CACHE" dir;
+  Jit.clear_memo ();
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "MSC_KERNEL_CACHE" cache_dir;
+      Jit.clear_memo ())
+    f
+
+let have_tool t = Sys.command (Printf.sprintf "command -v %s > /dev/null 2>&1" t) = 0
+
+let toolchain_for = function
+  | Backend.Interp -> true
+  | Backend.Native_ocaml -> have_tool "ocamlopt"
+  | Backend.Compiled_c -> have_tool "cc" || have_tool "gcc"
+
+let compiled_backends = [ Backend.Native_ocaml; Backend.Compiled_c ]
+
+let final ?bc ~backend ~steps st =
+  let rt = Runtime.create ~config:(Exec.Config.make ~backend ()) ?bc st in
+  Runtime.run rt steps;
+  (Runtime.current rt, Runtime.backend_report rt)
+
+(* --- Single-node bit-identity over the whole suite --- *)
+
+let suite_parity_bit_identical () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      let st = Suite.stencil ~dims:(small_dims b) b in
+      let interp, _ = final ~backend:Backend.Interp ~steps:3 st in
+      List.iter
+        (fun backend ->
+          let name =
+            Printf.sprintf "%s/%s" b.Suite.name (Backend.to_string backend)
+          in
+          let got, report = final ~backend ~steps:3 st in
+          if toolchain_for backend then begin
+            check_bool (name ^ ": requested backend ran") true
+              (Backend.equal report.Runtime.effective backend);
+            check_int
+              (name ^ ": every kernel term compiled")
+              report.Runtime.kernel_terms report.Runtime.compiled_terms
+          end;
+          check_bool (name ^ ": bit-identical to interp") true
+            (got.Grid.data = interp.Grid.data))
+        compiled_backends)
+    Suite.all
+
+(* Periodic and Reflect drive different range/writeback paths through the
+   same compiled kernels. *)
+let parity_under_bcs () =
+  let _, st = stencil_2d9pt_box ~m:12 ~n:15 () in
+  List.iter
+    (fun bc ->
+      let interp, _ = final ~bc ~backend:Backend.Interp ~steps:3 st in
+      List.iter
+        (fun backend ->
+          let got, _ = final ~bc ~backend ~steps:3 st in
+          check_bool
+            (Format.asprintf "%a/%s bit-identical" Bc.pp bc
+               (Backend.to_string backend))
+            true
+            (got.Grid.data = interp.Grid.data))
+        compiled_backends)
+    [ Bc.Dirichlet 0.3; Bc.Periodic; Bc.Reflect ]
+
+(* --- Distributed engines x backends --- *)
+
+let engines =
+  [
+    ("bulk", Exec.Bulk_synchronous);
+    ("overlapped", Exec.Overlapped);
+    ("temporal2", Exec.Temporal_blocked { depth = 2 });
+  ]
+
+let distributed_matrix_exact () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      let dims =
+        Array.make b.Suite.ndim (max 12 (4 * b.Suite.radius))
+      in
+      let ranks_shape = Array.make b.Suite.ndim 2 in
+      let st = Suite.stencil ~dims b in
+      List.iter
+        (fun backend ->
+          List.iter
+            (fun (ename, engine) ->
+              check_float
+                (Printf.sprintf "%s/%s/%s" b.Suite.name
+                   (Backend.to_string backend) ename)
+                0.0
+                (Distributed.validate
+                   ~config:(Exec.Config.make ~backend ~engine ())
+                   ~steps:3 ~ranks_shape st))
+            engines)
+        compiled_backends)
+    Suite.all
+
+(* Deep temporal blocks, uneven rank extents (per-rank geometry differs, so
+   each rank compiles its own kernel variant) and the periodic wrap. *)
+let distributed_deep_uneven_periodic_exact () =
+  let _, st = stencil_2d9pt_box ~m:13 ~n:17 () in
+  List.iter
+    (fun backend ->
+      let name = Backend.to_string backend in
+      check_float (name ^ ": depth 4 on uneven 3x2 ranks") 0.0
+        (Distributed.validate
+           ~config:
+             (Exec.Config.make ~backend
+                ~engine:(Exec.Temporal_blocked { depth = 4 })
+                ())
+           ~steps:5 ~ranks_shape:[| 3; 2 |] st);
+      check_float (name ^ ": periodic wrap, overlapped") 0.0
+        (Distributed.validate
+           ~config:(Exec.Config.make ~backend ~engine:Exec.Overlapped ())
+           ~bc:Bc.Periodic ~steps:4 ~ranks_shape:[| 2; 2 |] st))
+    compiled_backends
+
+(* --- Direct kernel-function parity (qcheck) --- *)
+
+(* One compiled function per backend, shared by all property iterations
+   (compile_term memoizes; the property then exercises random subranges,
+   writeback modes and scales against the interpreter's range calls). *)
+let jit_fn_matches_interp =
+  let k, st = stencil_2d9pt_box ~m:10 ~n:12 () in
+  let geometry = Grid.of_tensor st.Msc_ir.Stencil.grid in
+  let interp = Interp.compile k ~geometry in
+  let shape = Interp.shape interp in
+  let fns =
+    (* Deferred so a compile failure surfaces as a failing property, not a
+       crash at test-collection time; compile_term memoizes, so the work
+       happens once. *)
+    lazy
+      (List.filter_map
+         (fun backend ->
+           if not (toolchain_for backend) then None
+           else
+             match
+               Jit.compile_term ~backend ~plan_digest:"test-backend-prop"
+                 ~term_index:0 interp
+             with
+             | Ok fn -> Some (backend, fn)
+             | Error msg ->
+                 QCheck.Test.fail_reportf "compile_term (%s): %s"
+                   (Backend.to_string backend) msg)
+         compiled_backends)
+  in
+  qc ~count:60 "compiled fn == interp on random ranges/writeback/scale"
+    QCheck.(
+      triple (int_range 0 2) (int_range 0 1000) (pair small_int small_int))
+    (fun (wb_sel, seed, (a, b)) ->
+      let lo = Array.map (fun n -> (a * 7) mod n) shape in
+      let hi =
+        Array.mapi (fun d n -> lo.(d) + 1 + ((b * 5) + d) mod (n - lo.(d))) shape
+      in
+      let scale = 0.25 +. (float_of_int (seed mod 17) *. 0.375) in
+      let src = Grid.of_tensor st.Msc_ir.Stencil.grid in
+      Grid.fill_all src 0.0;
+      Grid.fill src (fun c ->
+          float_of_int (Array.fold_left ( + ) seed c) *. 0.0625);
+      let mk () =
+        let g = Grid.like src in
+        Grid.fill g (fun c -> float_of_int (c.(0) - c.(1)) *. 0.5);
+        g
+      in
+      let expected = mk () in
+      (match wb_sel with
+      | 0 -> Interp.apply_range ~aux:[] interp ~src ~dst:expected ~lo ~hi
+      | 1 ->
+          Interp.apply_scaled_range ~aux:[] interp ~scale ~src ~dst:expected
+            ~lo ~hi
+      | _ ->
+          Interp.accumulate_range ~aux:[] interp ~scale ~src ~dst:expected ~lo
+            ~hi);
+      List.for_all
+        (fun (_, fn) ->
+          let got = mk () in
+          let wb =
+            match wb_sel with
+            | 0 -> Backend.wb_apply
+            | 1 -> Backend.wb_apply_scaled
+            | _ -> Backend.wb_accumulate
+          in
+          fn wb scale src.Grid.data got.Grid.data [||] lo hi;
+          got.Grid.data = expected.Grid.data)
+        (Lazy.force fns))
+
+(* --- Kernel cache: compile once, then memo, then disk --- *)
+
+let cache_compiles_once () =
+  if not (toolchain_for Backend.Compiled_c) then ()
+  else
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "msc-test-kernels-cold-%d" (Unix.getpid ()))
+    in
+    with_cache_dir dir (fun () ->
+        let _, st = stencil_3d7pt ~n:8 () in
+        let s0 = Jit.stats () in
+        ignore (final ~backend:Backend.Compiled_c ~steps:1 st);
+        let s1 = Jit.stats () in
+        check_bool "first runtime compiles" true (s1.Jit.compiles > s0.Jit.compiles);
+        check_int "no failures" s0.Jit.failures s1.Jit.failures;
+        ignore (final ~backend:Backend.Compiled_c ~steps:1 st);
+        let s2 = Jit.stats () in
+        check_int "second runtime recompiles nothing" s1.Jit.compiles
+          s2.Jit.compiles;
+        check_bool "served from the in-process memo" true
+          (s2.Jit.memo_hits > s1.Jit.memo_hits);
+        (* A fresh process would miss the memo but find the artifacts: clear
+           the memo and demand disk hits, still without compiling. *)
+        Jit.clear_memo ();
+        ignore (final ~backend:Backend.Compiled_c ~steps:1 st);
+        let s3 = Jit.stats () in
+        check_int "disk reuse recompiles nothing" s2.Jit.compiles s3.Jit.compiles;
+        check_bool "served from the on-disk cache" true
+          (s3.Jit.disk_hits > s2.Jit.disk_hits))
+
+(* --- No toolchain: automatic interpreter fallback --- *)
+
+let no_toolchain_falls_back () =
+  let saved_path = try Sys.getenv "PATH" with Not_found -> "" in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msc-test-kernels-nopath-%d" (Unix.getpid ()))
+  in
+  with_cache_dir dir (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv "PATH" saved_path)
+        (fun () ->
+          Unix.putenv "PATH" "/nonexistent";
+          let _, st = stencil_3d7pt ~n:8 () in
+          let interp, _ = final ~backend:Backend.Interp ~steps:2 st in
+          List.iter
+            (fun backend ->
+              let name = Backend.to_string backend in
+              let got, report = final ~backend ~steps:2 st in
+              check_bool (name ^ ": degraded to interp") true
+                (Backend.equal report.Runtime.effective Backend.Interp);
+              check_bool (name ^ ": requested backend recorded") true
+                (Backend.equal report.Runtime.requested backend);
+              check_int (name ^ ": nothing compiled") 0
+                report.Runtime.compiled_terms;
+              check_bool (name ^ ": fallback reason reported") true
+                (report.Runtime.fallback <> None);
+              check_bool (name ^ ": results still exact") true
+                (got.Grid.data = interp.Grid.data))
+            compiled_backends))
+
+let suites =
+  [
+    ( "backend.parity",
+      [
+        slow "suite bit-identity (all backends)" suite_parity_bit_identical;
+        tc "bit-identity under BCs" parity_under_bcs;
+        jit_fn_matches_interp;
+      ] );
+    ( "backend.distributed",
+      [
+        slow "suite x backends x engines" distributed_matrix_exact;
+        tc "deep/uneven/periodic" distributed_deep_uneven_periodic_exact;
+      ] );
+    ( "backend.cache",
+      [
+        tc "compile once, memo, disk" cache_compiles_once;
+        tc "no toolchain -> interp fallback" no_toolchain_falls_back;
+      ] );
+  ]

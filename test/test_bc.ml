@@ -202,7 +202,41 @@ let athread_rejects_nontrivial_bc () =
     (try ignore (Codegen.generate ~bc:Bc.Periodic st sched Codegen.Athread); false
      with Invalid_argument _ -> true)
 
-(* --- Property --- *)
+(* --- Property: fast segment-blit apply == per-cell reference walker --- *)
+
+let fast_apply_matches_reference =
+  qc ~count:200 "Bc.apply == Bc.apply_reference on random geometry"
+    QCheck.(
+      quad (int_range 1 3) (int_range 0 2) (int_range 0 3)
+        (pair small_int small_int))
+    (fun (nd, which, seed, (mask_bits, shape_seed)) ->
+      let bc =
+        match which with
+        | 0 -> Bc.Dirichlet 1.25
+        | 1 -> Bc.Periodic
+        | _ -> Bc.Reflect
+      in
+      let shape =
+        Array.init nd (fun d -> 2 + ((shape_seed + (3 * d) + seed) mod 6))
+      in
+      (* Periodic/Reflect require halo <= extent. *)
+      let halo = Array.map (fun n -> 1 + ((n - 1) mod 3)) shape in
+      let mask i = Array.init nd (fun d -> (mask_bits lsr (i + (2 * d))) land 1 = 1) in
+      let low = mask 0 and high = mask 1 in
+      let fill g =
+        Grid.fill_all g 0.0;
+        Grid.fill g (fun c ->
+            float_of_int
+              (Array.fold_left ( + ) seed (Array.mapi (fun d x -> (d + 2) * x) c))
+            *. 0.125)
+      in
+      let a = Grid.create ~shape ~halo in
+      let b = Grid.create ~shape ~halo in
+      fill a;
+      fill b;
+      Bc.apply ~low ~high bc a;
+      Bc.apply_reference ~low ~high bc b;
+      a.Grid.data = b.Grid.data)
 
 let bc_property =
   qc ~count:15 "runtime == reference under random BCs and tiles"
@@ -229,6 +263,7 @@ let suites =
         tc "masks" masks_limit_application;
         tc "wide halo rejected" wide_halo_rejected_for_wrap;
         tc "mapped coord" mapped_coord_cases;
+        fast_apply_matches_reference;
       ] );
     ( "bc.runtime",
       [

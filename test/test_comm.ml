@@ -10,6 +10,10 @@ module Distributed = Msc_comm.Distributed
 module Netmodel = Msc_comm.Netmodel
 module Scaling = Msc_comm.Scaling
 module Grid = Msc_exec.Grid
+module Exec = Msc_exec.Exec
+
+(* [Exec.Config] now bundles the old ~engine/~pool knobs. *)
+let cfg ?backend ?engine ?pool () = Exec.Config.make ?backend ?engine ?pool ()
 
 (* --- MPI simulator --- *)
 
@@ -388,7 +392,7 @@ let engines_bit_identical_across_suite () =
       let ranks_shape = Array.make b.Msc_benchsuite.Suite.ndim 2 in
       let st = Msc_benchsuite.Suite.stencil ~dims b in
       let run engine =
-        let dist = Distributed.create ~engine ~ranks_shape st in
+        let dist = Distributed.create ~config:(cfg ~engine ()) ~ranks_shape st in
         Distributed.run dist 2;
         Distributed.gather dist
       in
@@ -403,16 +407,16 @@ let engines_bit_identical_across_suite () =
 let engines_match_single_grid () =
   let _, st = stencil_3d7pt ~n:12 () in
   check_float "overlapped vs single" 0.0
-    (Distributed.validate ~engine:Distributed.Overlapped ~steps:4
+    (Distributed.validate ~config:(cfg ~engine:Distributed.Overlapped ()) ~steps:4
        ~ranks_shape:[| 2; 2; 2 |] st);
   check_float "bulk vs single" 0.0
-    (Distributed.validate ~engine:Distributed.Bulk_synchronous ~steps:4
+    (Distributed.validate ~config:(cfg ~engine:Distributed.Bulk_synchronous ()) ~steps:4
        ~ranks_shape:[| 2; 2; 2 |] st)
 
 let overlapped_periodic_exact () =
   let st = stencil_wave2d ~n:16 () in
   check_float "periodic wrap through the overlapped engine" 0.0
-    (Distributed.validate ~engine:Distributed.Overlapped ~steps:4
+    (Distributed.validate ~config:(cfg ~engine:Distributed.Overlapped ()) ~steps:4
        ~bc:Msc_exec.Bc.Periodic ~ranks_shape:[| 2; 2 |] st)
 
 (* Ranks dispatched concurrently over a real worker pool must agree with
@@ -423,7 +427,7 @@ let overlapped_pool_parallel_exact () =
   Fun.protect
     ~finally:(fun () -> Msc_util.Domain_pool.shutdown pool)
     (fun () ->
-      let dist = Distributed.create ~pool ~ranks_shape:[| 2; 3 |] st in
+      let dist = Distributed.create ~config:(cfg ~pool ()) ~ranks_shape:[| 2; 3 |] st in
       let single = Msc_exec.Runtime.create st in
       Distributed.run dist 3;
       Msc_exec.Runtime.run single 3;
@@ -438,7 +442,7 @@ let overlapped_thin_rank_exact () =
   let k = Msc_frontend.Builder.star_kernel ~name:"S" ~radius:3 grid in
   let st = Msc_frontend.Builder.two_step ~name:"thin" k in
   check_float "all-shell ranks" 0.0
-    (Distributed.validate ~engine:Distributed.Overlapped ~steps:3
+    (Distributed.validate ~config:(cfg ~engine:Distributed.Overlapped ()) ~steps:3
        ~ranks_shape:[| 2; 2 |] st)
 
 let overlapped_traces_overlap_window () =
@@ -477,7 +481,7 @@ let temporal_depth1_bit_identical_across_suite () =
       let ranks_shape = Array.make b.Msc_benchsuite.Suite.ndim 2 in
       let st = Msc_benchsuite.Suite.stencil ~dims b in
       let run engine =
-        let dist = Distributed.create ~engine ~ranks_shape st in
+        let dist = Distributed.create ~config:(cfg ~engine ()) ~ranks_shape st in
         Distributed.run dist 2;
         Distributed.gather dist
       in
@@ -505,7 +509,7 @@ let temporal_deep_star_exact () =
         (Printf.sprintf "depth %d bit-identical" depth)
         0.0
         (Distributed.validate
-           ~engine:(Distributed.Temporal_blocked { depth })
+           ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth }) ())
            ~steps:5 ~ranks_shape:[| 2; 2; 2 |] st))
     [ 2; 4 ]
 
@@ -517,7 +521,7 @@ let temporal_deep_box_uneven_exact () =
         (Printf.sprintf "uneven blocks, depth %d" depth)
         0.0
         (Distributed.validate
-           ~engine:(Distributed.Temporal_blocked { depth })
+           ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth }) ())
            ~steps:5 ~ranks_shape:[| 3; 2 |] st))
     [ 2; 4 ]
 
@@ -529,7 +533,7 @@ let temporal_periodic_exact () =
         (Printf.sprintf "periodic wrap, depth %d" depth)
         0.0
         (Distributed.validate
-           ~engine:(Distributed.Temporal_blocked { depth })
+           ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth }) ())
            ~steps:5 ~bc:Msc_exec.Bc.Periodic ~ranks_shape:[| 2; 2 |] st))
     [ 2; 4 ]
 
@@ -539,11 +543,11 @@ let temporal_time_window2_exact () =
   let st = stencil_wave2d ~n:16 () in
   check_float "two retained states, depth 2" 0.0
     (Distributed.validate
-       ~engine:(Distributed.Temporal_blocked { depth = 2 })
+       ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth = 2 }) ())
        ~steps:5 ~ranks_shape:[| 2; 2 |] st);
   check_float "two retained states, depth 4" 0.0
     (Distributed.validate
-       ~engine:(Distributed.Temporal_blocked { depth = 4 })
+       ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth = 4 }) ())
        ~steps:4 ~ranks_shape:[| 2; 2 |] st)
 
 (* A rank thinner than [depth * radius] cannot host the deep halo: the
@@ -558,20 +562,20 @@ let temporal_thin_rank_clamps () =
   let st = Msc_frontend.Builder.two_step ~name:"thin" k in
   let dist =
     Distributed.create
-      ~engine:(Distributed.Temporal_blocked { depth = 4 })
+      ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth = 4 }) ())
       ~ranks_shape:[| 2; 2 |] st
   in
   check_int "depth clamped to thinnest rank" 1 (Distributed.effective_depth dist);
   check_float "clamped engine stays exact" 0.0
     (Distributed.validate
-       ~engine:(Distributed.Temporal_blocked { depth = 4 })
+       ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth = 4 }) ())
        ~steps:3 ~ranks_shape:[| 2; 2 |] st)
 
 let temporal_effective_depth_reported () =
   let _, st = stencil_3d7pt ~n:12 () in
   let dist =
     Distributed.create
-      ~engine:(Distributed.Temporal_blocked { depth = 4 })
+      ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth = 4 }) ())
       ~ranks_shape:[| 2; 2; 2 |] st
   in
   check_int "requested depth fits" 4 (Distributed.effective_depth dist);
@@ -586,8 +590,9 @@ let temporal_pool_parallel_exact () =
     (fun () ->
       let dist =
         Distributed.create
-          ~engine:(Distributed.Temporal_blocked { depth = 2 })
-          ~pool ~ranks_shape:[| 2; 3 |] st
+          ~config:
+            (cfg ~engine:(Distributed.Temporal_blocked { depth = 2 }) ~pool ())
+          ~ranks_shape:[| 2; 3 |] st
       in
       let single = Msc_exec.Runtime.create st in
       Distributed.run dist 3;
@@ -602,7 +607,7 @@ let temporal_pool_parallel_exact () =
 let temporal_message_savings () =
   let _, st = stencil_2d9pt_box ~m:12 ~n:12 () in
   let run engine steps =
-    let dist = Distributed.create ~engine ~ranks_shape:[| 2; 2 |] st in
+    let dist = Distributed.create ~config:(cfg ~engine ()) ~ranks_shape:[| 2; 2 |] st in
     let before = Mpi.messages_sent (Distributed.mpi dist) in
     Distributed.run dist steps;
     Mpi.messages_sent (Distributed.mpi dist) - before
@@ -617,7 +622,7 @@ let temporal_invalid_args () =
     (try
        ignore
          (Distributed.create
-            ~engine:(Distributed.Temporal_blocked { depth = 0 })
+            ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth = 0 }) ())
             ~ranks_shape:[| 2; 2 |] st);
        false
      with Invalid_argument _ -> true);
@@ -625,7 +630,7 @@ let temporal_invalid_args () =
     (try
        ignore
          (Distributed.create
-            ~engine:(Distributed.Temporal_blocked { depth = 2 })
+            ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth = 2 }) ())
             ~bc:Msc_exec.Bc.Reflect ~ranks_shape:[| 2; 2 |] st);
        false
      with Invalid_argument _ -> true)
@@ -639,7 +644,7 @@ let temporal_property =
     (fun (px, py, depth) ->
       let _, st = stencil_2d9pt_box ~m:12 ~n:12 () in
       Distributed.validate
-        ~engine:(Distributed.Temporal_blocked { depth })
+        ~config:(cfg ~engine:(Distributed.Temporal_blocked { depth }) ())
         ~steps:3 ~ranks_shape:[| px; py |] st
       = 0.0)
 

@@ -166,14 +166,22 @@ let runtime_tiled_parallel_matches () =
   let k, st = stencil_3d7pt ~n:10 () in
   let sched = Msc_schedule.Schedule.matrix_canonical ~tile:[| 3; 4; 5 |] ~threads:4 k in
   let pool = Msc_util.Domain_pool.create 4 in
-  let r = Verify.check ~schedule:sched ~pool ~steps:4 st in
+  let r =
+    Verify.check ~schedule:sched
+      ~config:(Msc_exec.Exec.Config.make ~pool ())
+      ~steps:4 st
+  in
   check_bool "bit-identical" true (r.Verify.max_rel_error = 0.0)
 
 let runtime_athread_mapping_matches () =
   let k, st = stencil_3d7pt ~n:10 () in
   let sched = Msc_schedule.Schedule.sunway_canonical ~tile:[| 2; 5; 5 |] ~cpes:8 k in
   let pool = Msc_util.Domain_pool.create 4 in
-  let r = Verify.check ~schedule:sched ~pool ~steps:3 st in
+  let r =
+    Verify.check ~schedule:sched
+      ~config:(Msc_exec.Exec.Config.make ~pool ())
+      ~steps:3 st
+  in
   check_bool "round-robin identical" true (r.Verify.max_rel_error = 0.0)
 
 let runtime_wave_matches () =

@@ -17,7 +17,8 @@ let small_dims (b : Suite.bench) =
   match b.Suite.ndim with 2 -> [| 18; 18 |] | _ -> [| 12; 12; 12 |]
 
 let final_state ?schedule ?pool ?engine ~steps st =
-  let rt = Runtime.create ?schedule ?pool ?engine st in
+  let config = Msc_exec.Exec.Config.make ?pool () in
+  let rt = Runtime.create ?schedule ~config ?engine st in
   Runtime.run rt steps;
   Runtime.current rt
 
@@ -165,7 +166,11 @@ let pool_spawns_once_across_steps () =
   let k, st = stencil_3d7pt ~n:10 () in
   let sched = Schedule.matrix_canonical ~tile:[| 3; 4; 5 |] ~threads:4 k in
   let pool = Domain_pool.create 4 in
-  let rt = Runtime.create ~schedule:sched ~pool st in
+  let rt =
+    Runtime.create ~schedule:sched
+      ~config:(Msc_exec.Exec.Config.make ~pool ())
+      st
+  in
   Runtime.run rt 40;
   (* 40 steps x many tiles: still exactly one spawn per helper domain. *)
   check_int "helpers spawned once" 3 (Domain_pool.spawn_total pool);

@@ -148,7 +148,11 @@ let varcoef_tiled_parallel_matches () =
   let k, _, st = fixture ~n:14 () in
   let sched = Schedule.matrix_canonical ~tile:[| 4; 6 |] ~threads:3 k in
   let pool = Msc_util.Domain_pool.create 3 in
-  let r = Verify.check ~schedule:sched ~pool ~steps:4 st in
+  let r =
+    Verify.check ~schedule:sched
+      ~config:(Msc_exec.Exec.Config.make ~pool ())
+      ~steps:4 st
+  in
   check_bool "within tolerance" true r.Verify.ok
 
 let varcoef_custom_aux_init () =

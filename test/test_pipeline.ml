@@ -56,7 +56,10 @@ let two_kernels_codegen_roundtrip () =
 
 let pipeline_run_and_verify () =
   let _, st = stencil_3d7pt ~n:10 () in
-  let p = Pipeline.make ~stencil:st ~workers:2 () in
+  let pool = Domain_pool.create 2 in
+  let p =
+    Pipeline.make ~stencil:st ~config:(Exec.Config.make ~pool ()) ()
+  in
   let g = Pipeline.run ~steps:3 p in
   check_bool "produced data" true (Grid.max_abs g > 0.0);
   check_bool "verify ok" true (Pipeline.verify ~steps:3 p).Verify.ok

@@ -256,10 +256,17 @@ let pipeline_matches_untraced () =
   let untraced =
     (* Tracing must be purely observational: a traced run agrees bit-for-bit
        with the same pipeline run without a sink. *)
-    Msc.Pipeline.run ~steps:4 (Msc.Pipeline.make ~stencil:st ~workers:2 ())
+    Msc.Pipeline.run ~steps:4
+      (Msc.Pipeline.make ~stencil:st
+         ~config:(Msc.Exec.Config.make ~pool:(Msc.Domain_pool.create 2) ())
+         ())
   in
   let trace = Trace.create () in
-  let p = Msc.Pipeline.make ~stencil:st ~workers:2 ~trace () in
+  let p =
+    Msc.Pipeline.make ~stencil:st
+      ~config:(Msc.Exec.Config.make ~pool:(Msc.Domain_pool.create 2) ())
+      ~trace ()
+  in
   let piped = Msc.Pipeline.run ~steps:4 p in
   check_float "identical result" 0.0
     (Msc.Grid.max_rel_error ~reference:untraced piped);
