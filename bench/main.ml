@@ -304,13 +304,60 @@ let kernel_backend_tests =
       Test.make_grouped ~name:"2d9pt_box" (backends "2d9pt_box");
     ]
 
+(* Tentpole of the fused-sweep PR: the same compiled_c timestep with one
+   fused whole-sweep kernel vs one kernel per stencil term, plus the fused
+   kernel dispatched tile-task-at-a-time across a 4-worker pool. The
+   multi-term two_step suite stencils write the output grid once per term
+   under per-term kernels; the fused kernel touches it once total. *)
+let fused_tests =
+  let single name =
+    let _, st = small_stencil name in
+    let rt fuse =
+      Msc.Runtime.create
+        ~config:(Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ~fuse ())
+        st
+    in
+    let fused = rt true and per_term = rt false in
+    Test.make_grouped ~name
+      [
+        Test.make ~name:"compiled_c_fused"
+          (Staged.stage (fun () -> Msc.Runtime.step fused));
+        Test.make ~name:"compiled_c_per_term"
+          (Staged.stage (fun () -> Msc.Runtime.step per_term));
+      ]
+  in
+  let pool_leg =
+    let _, st = small_stencil "3d7pt_star" in
+    let kernel = Msc.Suite.kernel_of st in
+    let schedule =
+      Msc.Schedule.matrix_canonical ~tile:[| 4; 8; 24 |] ~threads:4 kernel
+    in
+    let pool = Msc.Domain_pool.create 4 in
+    let rt p =
+      Msc.Runtime.create ~schedule
+        ~config:
+          (Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ~pool:p ())
+        st
+    in
+    let seq = rt Msc.Domain_pool.sequential and par = rt pool in
+    Test.make_grouped ~name:"3d7pt_star_pool"
+      [
+        Test.make ~name:"fused_1_worker"
+          (Staged.stage (fun () -> Msc.Runtime.step seq));
+        Test.make ~name:"fused_4_workers"
+          (Staged.stage (fun () -> Msc.Runtime.step par));
+      ]
+  in
+  Test.make_grouped ~name:"fused"
+    [ single "2d121pt_box"; single "2d169pt_box"; pool_leg ]
+
 let all_tests =
   Test.make_grouped ~name:"msc"
     [
       suite_tests; schedule_tests; halo_tests; codegen_tests; sim_tests;
       tuning_tests; extension_tests; parallel_overhead_tests; fastpath_tests;
       plan_traversal_tests; trace_overhead_tests; comm_tests;
-      kernel_backend_tests;
+      kernel_backend_tests; fused_tests;
     ]
 
 (* == BENCH_runtime.json: machine-readable per-kernel throughput ==
@@ -344,7 +391,12 @@ let time_per_run f =
      fast segment-blit [Bc.apply] replaced (reconstructed through the split
      stepping API with the BC pass masked off, then [Bc.apply_reference]).
    - [interp] / [native_ocaml] / [compiled_c]: [Runtime.step] under each
-     backend (which includes today's fast BC pass).
+     backend with [fuse:false], i.e. one compiled kernel per stencil term —
+     the pre-fusion meaning these columns have carried since they were
+     introduced (which includes today's fast BC pass).
+   - [fused_c]: the default config's whole-sweep fused [Compiled_c] kernel.
+   - [fused_c_pool]: the same fused kernel dispatched tile-task-at-a-time
+     over a 4-worker pool under a tiled matrix-canonical schedule.
    The compiled runtimes are created outside the probe, so emit+compile
    (or a kernel-cache hit) is not in the measured path. *)
 let kernel_backend_points_per_sec (b : Msc.Suite.bench) =
@@ -370,7 +422,9 @@ let kernel_backend_points_per_sec (b : Msc.Suite.bench) =
     List.map
       (fun backend ->
         let rt =
-          Msc.Runtime.create ~config:(Msc.Exec.Config.make ~backend ()) st
+          Msc.Runtime.create
+            ~config:(Msc.Exec.Config.make ~backend ~fuse:false ())
+            st
         in
         let effective =
           (Msc.Runtime.backend_report rt).Msc.Runtime.effective
@@ -379,7 +433,35 @@ let kernel_backend_points_per_sec (b : Msc.Suite.bench) =
         (backend, effective, points /. per_step))
       Msc.Backend.all
   in
-  (dims, legacy, backend_legs)
+  let fused_c =
+    let rt =
+      Msc.Runtime.create
+        ~config:(Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ())
+        st
+    in
+    let per_step = time_per_run (fun () -> Msc.Runtime.step rt) in
+    points /. per_step
+  in
+  let fused_c_pool =
+    let kernel = Msc.Suite.kernel_of st in
+    let tile =
+      match b.Msc.Suite.ndim with 2 -> [| 16; 16 |] | _ -> [| 6; 8; 24 |]
+    in
+    let schedule = Msc.Schedule.matrix_canonical ~tile ~threads:4 kernel in
+    let pool = Msc.Domain_pool.create 4 in
+    Fun.protect
+      ~finally:(fun () -> Msc.Domain_pool.shutdown pool)
+      (fun () ->
+        let rt =
+          Msc.Runtime.create ~schedule
+            ~config:
+              (Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ~pool ())
+            st
+        in
+        let per_step = time_per_run (fun () -> Msc.Runtime.step rt) in
+        points /. per_step)
+  in
+  (dims, legacy, backend_legs, fused_c, fused_c_pool)
 
 let fastpath_speedup () =
   let b = Msc.Suite.find "3d7pt_star" in
@@ -510,26 +592,65 @@ let comm_temporal ?(smoke = false) () =
   in
   (dims, bulk_s, overlapped_s, temporal)
 
+(* Pool-scaling headline for the fused-sweep work: the same fused
+   compiled_c kernel single-core vs dispatched tile-task-at-a-time over a
+   4-worker pool, on a grid big enough that one tile amortizes dispatch
+   (48^3, matrix-canonical 12x16x48 tiles -> 12 tasks of ~37k points).
+   [host_cores] is recorded alongside: scaling tops out at the physical
+   core count, so the ratio is only meaningful on a multicore host. *)
+let fused_pool_headline () =
+  let b = Msc.Suite.find "3d7pt_star" in
+  let dims = [| 48; 48; 48 |] in
+  let st = Msc.Suite.stencil ~dims b in
+  let points = float_of_int (48 * 48 * 48) in
+  let kernel = Msc.Suite.kernel_of st in
+  let schedule =
+    Msc.Schedule.matrix_canonical ~tile:[| 12; 16; 48 |] ~threads:4 kernel
+  in
+  let run pool =
+    let rt =
+      Msc.Runtime.create ~schedule
+        ~config:(Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ~pool ())
+        st
+    in
+    let per_step = time_per_run (fun () -> Msc.Runtime.step rt) in
+    points /. per_step
+  in
+  let single = run Msc.Domain_pool.sequential in
+  let pool = Msc.Domain_pool.create 4 in
+  let pooled =
+    Fun.protect
+      ~finally:(fun () -> Msc.Domain_pool.shutdown pool)
+      (fun () -> run pool)
+  in
+  (dims, single, pooled)
+
 let emit_runtime_json ~comm ~temporal path =
   let kernel_rows =
     List.map
       (fun (b : Msc.Suite.bench) ->
-        let dims, legacy, legs = kernel_backend_points_per_sec b in
-        (b, dims, legacy, legs))
+        let dims, legacy, legs, fused_c, fused_c_pool =
+          kernel_backend_points_per_sec b
+        in
+        (b, dims, legacy, legs, fused_c, fused_c_pool))
       Msc.Suite.all
   in
   let kernels =
     List.map
-      (fun ((b : Msc.Suite.bench), dims, legacy, legs) ->
+      (fun ((b : Msc.Suite.bench), dims, legacy, legs, fused_c, fused_c_pool) ->
         let leg_json =
           String.concat ", "
-            (Printf.sprintf "\"interp_legacy_bc\": %.6e" legacy
-            :: List.map
-                 (fun (backend, _, pps) ->
-                   Printf.sprintf "%S: %.6e"
-                     (Msc.Backend.to_string backend)
-                     pps)
-                 legs)
+            ((Printf.sprintf "\"interp_legacy_bc\": %.6e" legacy
+             :: List.map
+                  (fun (backend, _, pps) ->
+                    Printf.sprintf "%S: %.6e"
+                      (Msc.Backend.to_string backend)
+                      pps)
+                  legs)
+            @ [
+                Printf.sprintf "\"fused_c\": %.6e" fused_c;
+                Printf.sprintf "\"fused_c_pool\": %.6e" fused_c_pool;
+              ])
         in
         let ran_json =
           String.concat ", "
@@ -551,17 +672,24 @@ let emit_runtime_json ~comm ~temporal path =
           "    { \"name\": %S, \"dims\": [%s],\n\
           \      \"points_per_sec\": { %s },\n\
           \      \"ran\": { %s },\n\
-          \      \"compiled_c_over_interp_legacy_bc\": %.3f }"
+          \      \"compiled_c_over_interp_legacy_bc\": %.3f,\n\
+          \      \"fused_c_over_compiled_c\": %.3f,\n\
+          \      \"fused_c_pool_over_fused_c\": %.3f }"
           b.Msc.Suite.name
           (String.concat ", " (Array.to_list (Array.map string_of_int dims)))
-          leg_json ran_json (compiled_pps /. legacy))
+          leg_json ran_json (compiled_pps /. legacy)
+          (fused_c /. compiled_pps)
+          (fused_c_pool /. fused_c))
+      kernel_rows
+  in
+  let kernel_row name =
+    List.find_opt
+      (fun ((b : Msc.Suite.bench), _, _, _, _, _) -> b.Msc.Suite.name = name)
       kernel_rows
   in
   let kernel_speedup name =
-    match
-      List.find_opt (fun ((b : Msc.Suite.bench), _, _, _) -> b.Msc.Suite.name = name) kernel_rows
-    with
-    | Some (_, _, legacy, legs) ->
+    match kernel_row name with
+    | Some (_, _, legacy, legs, _, _) ->
         let compiled =
           List.assoc Msc.Backend.Compiled_c
             (List.map (fun (b', _, pps) -> (b', pps)) legs)
@@ -569,7 +697,21 @@ let emit_runtime_json ~comm ~temporal path =
         compiled /. legacy
     | None -> Float.nan
   in
+  (* The two acceptance ratios of the fused-sweep PR: fused over per-term
+     compiled_c on the dense-box headliners, and 4-worker pool scaling of
+     the fused kernel on 3d7pt_star. *)
+  let fused_over_per_term name =
+    match kernel_row name with
+    | Some (_, _, _, legs, fused_c, _) ->
+        let compiled =
+          List.assoc Msc.Backend.Compiled_c
+            (List.map (fun (b', _, pps) -> (b', pps)) legs)
+        in
+        fused_c /. compiled
+    | None -> Float.nan
+  in
   let fast_pps, legacy_pps, speedup = fastpath_speedup () in
+  let pool_dims, pool_single, pool_pooled = fused_pool_headline () in
   let canonical_pps, reversed_pps = reorder_locality () in
   let comm_dims, bulk_s, overlapped_s = comm in
   let t_dims, t_bulk_s, t_overlapped_s, t_depths = temporal in
@@ -621,6 +763,14 @@ let emit_runtime_json ~comm ~temporal path =
     \    },\n\
     \    \"best_depth\": %d,\n\
     \    \"temporal_speedup_vs_overlapped\": %.3f\n\
+    \  },\n\
+    \  \"fused_pool_3d7pt_star\": {\n\
+    \    \"dims\": [%s],\n\
+    \    \"workers\": 4,\n\
+    \    \"host_cores\": %d,\n\
+    \    \"fused_single_points_per_sec\": %.6e,\n\
+    \    \"fused_pool_points_per_sec\": %.6e,\n\
+    \    \"pool_scaling\": %.3f\n\
     \  }\n\
      }\n"
     (String.concat ",\n" kernels)
@@ -630,7 +780,11 @@ let emit_runtime_json ~comm ~temporal path =
     bulk_s overlapped_s (bulk_s /. overlapped_s)
     (String.concat ", " (Array.to_list (Array.map string_of_int t_dims)))
     t_bulk_s t_overlapped_s depth_entries best_depth
-    (t_overlapped_s /. best_s);
+    (t_overlapped_s /. best_s)
+    (String.concat ", " (Array.to_list (Array.map string_of_int pool_dims)))
+    (Domain.recommended_domain_count ())
+    pool_single pool_pooled
+    (pool_pooled /. pool_single);
   close_out oc;
   Printf.printf
     "wrote %s (compiled_c step over the seed interp+per-cell-BC baseline: \
@@ -638,7 +792,10 @@ let emit_runtime_json ~comm ~temporal path =
      body: %.2fx over legacy fill+generic-accumulate; plan traversal \
      canonical/reversed: %.2fx; overlapped halo exchange: %.2fx over \
      bulk-synchronous under simulated latency; temporal blocking best depth \
-     %d: %.2fx over overlapped on a latency-bound grid)\n"
+     %d: %.2fx over overlapped on a latency-bound grid; fused sweep over \
+     per-term compiled_c: %.2fx on 2d121pt_box, %.2fx on 2d169pt_box; \
+     4-worker pool over single-core fused on 3d7pt_star at 48^3: %.2fx \
+     with %d host cores)\n"
     path
     (kernel_speedup "3d7pt_star")
     (kernel_speedup "2d9pt_box")
@@ -647,6 +804,10 @@ let emit_runtime_json ~comm ~temporal path =
     (bulk_s /. overlapped_s)
     best_depth
     (t_overlapped_s /. best_s)
+    (fused_over_per_term "2d121pt_box")
+    (fused_over_per_term "2d169pt_box")
+    (pool_pooled /. pool_single)
+    (Domain.recommended_domain_count ())
 
 let run_bechamel () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -690,6 +851,69 @@ let report_trace_overhead rows =
         ((enabled -. base) /. base *. 100.0)
   | _ -> ()
 
+(* [--backend <name>] coverage audit: with a compiled backend requested,
+   every Suite kernel must run the fused whole-sweep kernel with all its
+   terms compiled and no interpreter fallback. A regression in the fused
+   emitter's coverage fails the job instead of silently benchmarking the
+   interpreter. Skipped (with a notice) when the toolchain itself is
+   missing — an environment problem, not an emitter one. *)
+let audit_fused_coverage backend =
+  let s0 = Msc.Jit.stats () in
+  let reports =
+    List.map
+      (fun (b : Msc.Suite.bench) ->
+        let dims =
+          match b.Msc.Suite.ndim with 2 -> [| 16; 16 |] | _ -> [| 8; 8; 8 |]
+        in
+        let st = Msc.Suite.stencil ~dims b in
+        let rt =
+          Msc.Runtime.create ~config:(Msc.Exec.Config.make ~backend ()) st
+        in
+        (b.Msc.Suite.name, Msc.Runtime.backend_report rt))
+      Msc.Suite.all
+  in
+  let s1 = Msc.Jit.stats () in
+  let toolchain_missing =
+    s1.Msc.Jit.failures_toolchain > s0.Msc.Jit.failures_toolchain
+    && List.for_all
+         (fun (_, r) -> r.Msc.Runtime.effective = Msc.Backend.Interp)
+         reports
+  in
+  if toolchain_missing then
+    Printf.printf
+      "[audit] %s toolchain unavailable; fused-coverage audit skipped\n"
+      (Msc.Backend.to_string backend)
+  else begin
+    let bad =
+      List.filter_map
+        (fun (name, r) ->
+          if
+            r.Msc.Runtime.fallback <> None
+            || r.Msc.Runtime.fused_sweeps <> 1
+            || r.Msc.Runtime.compiled_terms <> r.Msc.Runtime.kernel_terms
+          then
+            Some
+              (Printf.sprintf
+                 "[audit] %s: fallback=%s fused_sweeps=%d compiled=%d/%d"
+                 name
+                 (Option.value ~default:"none" r.Msc.Runtime.fallback)
+                 r.Msc.Runtime.fused_sweeps r.Msc.Runtime.compiled_terms
+                 r.Msc.Runtime.kernel_terms)
+          else None)
+        reports
+    in
+    match bad with
+    | [] ->
+        Printf.printf
+          "[audit] %s: all %d suite kernels ran the fused sweep, no fallback\n"
+          (Msc.Backend.to_string backend)
+          (List.length reports)
+    | bad ->
+        List.iter prerr_endline bad;
+        prerr_endline "[audit] fused-coverage audit FAILED";
+        exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
   (* [--smoke]: the CI mode — every measured path still runs (so a
@@ -698,6 +922,20 @@ let () =
      render; BENCH_runtime.json is still written for artifact upload. *)
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   if smoke then quota_s := 0.02;
+  (let rec backend_arg i =
+     if i + 1 >= Array.length Sys.argv then None
+     else if Sys.argv.(i) = "--backend" then Some Sys.argv.(i + 1)
+     else backend_arg (i + 1)
+   in
+   match backend_arg 1 with
+   | None -> ()
+   | Some name -> (
+       match Msc.Backend.of_string name with
+       | Error e ->
+           prerr_endline e;
+           exit 2
+       | Ok Msc.Backend.Interp -> ()
+       | Ok backend -> audit_fused_coverage backend));
   (* Measured first, while the process heap is still quiet: an engine
      comparison at millisecond scale drowns in the GC noise a long bechamel
      session leaves behind. *)

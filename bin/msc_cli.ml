@@ -49,28 +49,41 @@ let backend_arg =
     & info [ "backend" ] ~docv:"B"
         ~doc:
           "Kernel backend: interp | native_ocaml | compiled_c. The compiled \
-           backends emit and compile a specialized kernel per (plan, term) at \
-           runtime and fall back to the interpreter when no toolchain is \
-           found.")
+           backends emit and compile one fused whole-sweep kernel per plan at \
+           runtime (per-term kernels when fusion is off or unavailable) and \
+           fall back to the interpreter when no toolchain is found.")
 
 let pp_backend_report ppf (r : Msc.Runtime.backend_report) =
-  Format.fprintf ppf "backend: requested %a, ran %a (%d/%d kernel terms compiled)"
+  Format.fprintf ppf
+    "backend: requested %a, ran %a (%d/%d kernel terms compiled, %s; %d tile \
+     dispatches)"
     Msc.Backend.pp r.Msc.Runtime.requested Msc.Backend.pp r.Msc.Runtime.effective
-    r.Msc.Runtime.compiled_terms r.Msc.Runtime.kernel_terms;
+    r.Msc.Runtime.compiled_terms r.Msc.Runtime.kernel_terms
+    (if r.Msc.Runtime.fused_sweeps > 0 then "fused sweep" else "per-term")
+    r.Msc.Runtime.tile_dispatches;
   match r.Msc.Runtime.fallback with
   | Some reason -> Format.fprintf ppf "@.backend fallback: %s" reason
   | None -> ()
 
+let no_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fuse" ]
+        ~doc:
+          "Compile one kernel per stencil term (the pre-fusion behaviour) \
+           instead of one fused whole-sweep kernel. Only meaningful with a \
+           compiled backend.")
+
 (* The pool is caller-owned under [Exec.Config]; shut it down when the
    command finishes rather than leaving parked domains to the GC backstop. *)
-let with_config ?backend ?engine ~workers f =
+let with_config ?backend ?engine ?fuse ~workers f =
   let pool =
     if workers < 2 then Msc.Domain_pool.sequential
     else Msc.Domain_pool.create workers
   in
   Fun.protect
     ~finally:(fun () -> Msc.Domain_pool.shutdown pool)
-    (fun () -> f (Msc.Exec.Config.make ?backend ?engine ~pool ()))
+    (fun () -> f (Msc.Exec.Config.make ?backend ?engine ?fuse ~pool ()))
 
 let small_arg =
   Arg.(
@@ -108,9 +121,10 @@ let gen_cmd =
       value & opt string "_msc_generated"
       & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run b target out steps small =
+  let run b target out steps small backend =
     let st = Msc.Suite.stencil ~dims:(dims_of b small) b in
-    let p = Msc.Pipeline.make ~stencil:st () in
+    let config = Msc.Exec.Config.make ~backend () in
+    let p = Msc.Pipeline.make ~stencil:st ~config () in
     match Msc.Pipeline.compile ~steps ~target p with
     | Ok files ->
         let dir = Filename.concat out b.Msc.Suite.name in
@@ -123,13 +137,15 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate AOT C code for a benchmark.")
-    Term.(const run $ bench_arg $ target $ out $ steps_arg 10 $ small_arg)
+    Term.(
+      const run $ bench_arg $ target $ out $ steps_arg 10 $ small_arg
+      $ backend_arg)
 
 let run_cmd =
   let workers =
     Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
   in
-  let run b steps workers backend small =
+  let run b steps workers backend small no_fuse =
     let st = Msc.Suite.stencil ~dims:(dims_of b small) b in
     let kernel = Msc.Suite.kernel_of st in
     let tile =
@@ -138,7 +154,7 @@ let run_cmd =
         (Msc.Schedule.default_tile kernel)
     in
     let schedule = Msc.Schedule.cpu_canonical ~tile ~threads:workers kernel in
-    with_config ~backend ~workers (fun config ->
+    with_config ~backend ~fuse:(not no_fuse) ~workers (fun config ->
         let p = Msc.Pipeline.make ~stencil:st ~schedule ~config () in
         let t0 = Sys.time () in
         let final, report = Msc.Pipeline.run_report ~steps p in
@@ -148,7 +164,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a benchmark natively.")
-    Term.(const run $ bench_arg $ steps_arg 10 $ workers $ backend_arg $ small_arg)
+    Term.(
+      const run $ bench_arg $ steps_arg 10 $ workers $ backend_arg $ small_arg
+      $ no_fuse_arg)
 
 let verify_cmd =
   let run b steps small =
@@ -226,10 +244,10 @@ let profile_cmd =
   let workers =
     Arg.(value & opt int 2 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
   in
-  let run b steps workers backend out =
+  let run b steps workers backend out no_fuse =
     let trace = Msc.Trace.create () in
     let st = Msc.Suite.stencil ~dims:(dims_of b true) b in
-    with_config ~backend ~workers (fun config ->
+    with_config ~backend ~fuse:(not no_fuse) ~workers (fun config ->
     let p = Msc.Pipeline.make ~stencil:st ~config ~trace () in
     (* Native run: sweep / bc / window phases, per-worker spans; report
        which kernel backend actually executed. *)
@@ -282,7 +300,9 @@ let profile_cmd =
          "Run a benchmark through the native, distributed and simulated \
           pipeline stages with tracing on; write a chrome trace and print \
           the per-phase summary.")
-    Term.(const run $ bench_pos $ steps_arg 5 $ workers $ backend_arg $ out)
+    Term.(
+      const run $ bench_pos $ steps_arg 5 $ workers $ backend_arg $ out
+      $ no_fuse_arg)
 
 let experiment_cmd =
   let experiment_name =

@@ -24,8 +24,8 @@ let machine_of_target = function
 
 let default_spm_capacity_bytes = 64 * 1024
 
-let generate ?steps ?(bc = Msc_exec.Bc.Dirichlet 0.0) (st : Stencil.t) schedule
-    target =
+let generate ?steps ?(bc = Msc_exec.Bc.Dirichlet 0.0) ?config (st : Stencil.t)
+    schedule target =
   let machine = machine_of_target target in
   let plan =
     match Plan.compile ~machine st schedule with
@@ -36,12 +36,18 @@ let generate ?steps ?(bc = Msc_exec.Bc.Dirichlet 0.0) (st : Stencil.t) schedule
   match target with
   | Cpu ->
       [
-        { name = name ^ ".c"; contents = Emit_cpu.generate ?steps ~bc ~omp:false plan };
+        {
+          name = name ^ ".c";
+          contents = Emit_cpu.generate ?steps ~bc ?config ~omp:false plan;
+        };
         { name = "Makefile"; contents = Makefile_gen.cpu ~name };
       ]
   | Openmp ->
       [
-        { name = name ^ ".c"; contents = Emit_cpu.generate ?steps ~bc ~omp:true plan };
+        {
+          name = name ^ ".c";
+          contents = Emit_cpu.generate ?steps ~bc ?config ~omp:true plan;
+        };
         { name = "Makefile"; contents = Makefile_gen.openmp ~name };
       ]
   | Athread ->

@@ -19,12 +19,22 @@ val machine_of_target : target -> Msc_machine.Machine.t
     {!Msc_machine.Machine.sunway_cg}. *)
 
 val generate :
-  ?steps:int -> ?bc:Msc_exec.Bc.t -> Msc_ir.Stencil.t -> Msc_schedule.Schedule.t ->
-  target -> file list
+  ?steps:int ->
+  ?bc:Msc_exec.Bc.t ->
+  ?config:Msc_exec.Exec.Config.t ->
+  Msc_ir.Stencil.t ->
+  Msc_schedule.Schedule.t ->
+  target ->
+  file list
 (** Source file(s) plus a Makefile. The schedule is lowered to a
     {!Msc_schedule.Plan.t} against the target's machine descriptor and the
-    emitters walk [plan.loops]. For [Athread] the plan's
-    [working_set_bytes] is checked against the machine's SPM capacity.
+    emitters walk [plan.loops]. For the [Cpu] and [Openmp] targets,
+    [config] with a compiled backend (and [fuse] on, the default) makes the
+    generated [msc_step] call the same fused whole-sweep body the runtime
+    JIT emits, dispatched over the plan's baked tile tasks — see
+    {!Emit_cpu.generate}. [Athread] ignores [config]. For [Athread] the
+    plan's [working_set_bytes] is checked against the machine's SPM
+    capacity.
     @raise Invalid_argument on an illegal schedule, or on a non-default
     boundary condition with the [Athread] target (the MPE-side BC pass is not
     emitted yet). *)

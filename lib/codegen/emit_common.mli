@@ -18,6 +18,9 @@ val state_var : int -> string
 val dims_of : Msc_ir.Stencil.t -> int array
 val halo_of : Msc_ir.Stencil.t -> int array
 
+val elem_type : Msc_ir.Stencil.t -> string
+(** The C scalar type of the grid ([ELEM] expands to it). *)
+
 val emit_prelude : C_writer.t -> Msc_ir.Stencil.t -> unit
 (** [#include]s, dimension/halo/padded macros, the [IDX] macro, element
     count macros, and the C scalar type macro [ELEM]. *)

@@ -2,9 +2,23 @@
     OpenMP-annotated C for the Matrix MT2000+ and commodity CPUs. *)
 
 val generate :
-  ?steps:int -> ?bc:Msc_exec.Bc.t -> omp:bool -> Msc_schedule.Plan.t -> string
+  ?steps:int ->
+  ?bc:Msc_exec.Bc.t ->
+  ?config:Msc_exec.Exec.Config.t ->
+  omp:bool ->
+  Msc_schedule.Plan.t ->
+  string
 (** One self-contained translation unit: prelude, init/report helpers, the
-    [msc_step] whose loop nest walks [plan.loops], and a [main] with the
-    sliding-window time loop. With [omp], the plan's parallel loop receives
-    an [#pragma omp parallel for] annotation. [steps] is the default
-    timestep count (overridable by [argv\[1\]]; default 10). *)
+    [msc_step], and a [main] with the sliding-window time loop. With [omp],
+    the parallel loop receives an [#pragma omp parallel for] annotation.
+    [steps] is the default timestep count (overridable by [argv\[1\]];
+    default 10).
+
+    [config] selects the [msc_step] body. With a compiled backend and
+    [fuse] on, the unit embeds the {e same} fused whole-sweep function the
+    [Compiled_c] backend JITs at runtime ({!Msc_exec.Jit.emit_c_sweep}):
+    [msc_step] bakes the plan's tile task boxes as static arrays and calls
+    the fused kernel once per task, the task loop carrying the OpenMP
+    pragma. With the default [Interp] backend (or [fuse] off, a
+    non-double grid, or a form the fused emitter rejects), [msc_step] is
+    the per-point assignment whose loop nest walks [plan.loops]. *)

@@ -109,7 +109,10 @@ module Pipeline = struct
 
   let compile ?steps ~target p =
     let schedule = schedule_for ~target p in
-    try Ok (Codegen.generate ?steps ?bc:p.bc p.stencil schedule target)
+    try
+      Ok
+        (Codegen.generate ?steps ?bc:p.bc ~config:p.config p.stencil schedule
+           target)
     with Invalid_argument msg -> Error msg
 
   type sim_report =

@@ -148,7 +148,10 @@ module Pipeline : sig
   val compile :
     ?steps:int -> target:Codegen.target -> t -> (Codegen.file list, string) result
   (** AOT C code generation for [target]; [Error] on an illegal schedule
-      (e.g. SPM overflow for {!Codegen.Athread}). *)
+      (e.g. SPM overflow for {!Codegen.Athread}). The pipeline's
+      {!Exec.Config} is threaded through: with a compiled backend the
+      CPU/OpenMP targets embed the same fused whole-sweep body the runtime
+      JIT executes (see {!Codegen.generate}). *)
 
   type sim_report =
     | Sunway_report of Sunway.report

@@ -40,3 +40,12 @@ type kernel_fn =
   int array ->
   int array ->
   unit
+
+type sweep_fn =
+  int ->
+  float array array ->
+  float array ->
+  float array array ->
+  int array ->
+  int array ->
+  unit

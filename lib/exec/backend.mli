@@ -61,3 +61,25 @@ type kernel_fn =
     interior-coordinate range. The geometry (shape, halo, strides) is baked
     into the kernel at emission time; callers must pass grids of the
     compiled geometry (enforced by {!Runtime} via [Interp.check_grids]). *)
+
+type sweep_fn =
+  int ->
+  float array array ->
+  float array ->
+  float array array ->
+  int array ->
+  int array ->
+  unit
+(** [fn wb srcs dst aux lo hi]: a {e fused} whole-sweep kernel covering
+    every term of a stencil update in one pass over the range — scales and
+    per-term accumulation are baked in, so only two writeback codes apply:
+    {!wb_apply} (write-through: the first term overwrites, later terms fold
+    into a register accumulator) and {!wb_accumulate} (all terms accumulate
+    on top of [dst]'s prior contents — the zero-accumulate engine).
+
+    [srcs] holds one padded source array {e per term}, in stencil term
+    order (terms reading the same past state repeat the array); [aux] is
+    the concatenation of every term's aux slots (see
+    {!Jit.sweep_term_aux_names}). Geometry is baked at emission time;
+    callers guard with [Interp.check_grids]/[check_range] per kernel term
+    exactly as the interpreter does. *)

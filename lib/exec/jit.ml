@@ -1,7 +1,8 @@
-(* Runtime kernel compilation: emit a specialized kernel per (plan, term),
-   compile it with the host toolchain, and load it back as a
-   Backend.kernel_fn. See jit.mli for the cache layout and backend.mli for
-   the calling convention.
+(* Runtime kernel compilation: emit a specialized kernel per (plan, term)
+   — or one fused kernel for the whole sweep — compile it with the host
+   toolchain, and load it back as a Backend.kernel_fn / Backend.sweep_fn.
+   See jit.mli for the cache layout and backend.mli for the calling
+   conventions.
 
    Bit-identity with the interpreter is a hard contract, maintained by
    emitting the *same* floating-point expression the interpreter
@@ -15,7 +16,16 @@
    - coefficients are printed as hex float literals (exact round-trip,
      valid in both OCaml and C99);
    - C kernels are compiled with -ffp-contract=off (GCC defaults to
-     contraction, and a fused multiply-add rounds differently). *)
+     contraction, and a fused multiply-add rounds differently);
+   - tree-mode kernels render Expr.eval's exact operation set: libm calls
+     on both sides, and Float.min/Float.max ported to C by hand (fmin/fmax
+     differ on NaN and signed zero);
+   - fused sweeps chain the per-term writebacks through one register
+     accumulator: [let acc = t0 in let acc = acc +. (s1 *. t1) in ...] is
+     bit-identical to the interpreter's store-then-read-modify-write pass
+     sequence because a store/load roundtrip of a float is exact. *)
+
+open Msc_ir
 
 external dlopen_sym : string -> string -> nativeint = "msc_jit_dlopen"
 
@@ -31,6 +41,17 @@ external c_call :
   unit = "msc_jit_call_bytecode" "msc_jit_call_native"
 [@@noalloc]
 
+external c_call_sweep :
+  nativeint ->
+  int ->
+  float array array ->
+  float array ->
+  float array array ->
+  int array ->
+  int array ->
+  unit = "msc_jit_call_sweep_bytecode" "msc_jit_call_sweep_native"
+[@@noalloc]
+
 external named_value : string -> Obj.t = "msc_jit_named_value"
 
 (* Force the Callback unit into the host image: Dynlink-loaded kernels
@@ -42,15 +63,22 @@ type stats = {
   memo_hits : int;
   disk_hits : int;
   compiles : int;
-  failures : int;
+  failures_unsupported : int;
+  failures_toolchain : int;
 }
+
+type sweep_term =
+  | Sweep_state of { scale : float }
+  | Sweep_kernel of { scale : float; interp : Interp.t }
 
 let lock = Mutex.create ()
 let memo : (string, Backend.kernel_fn) Hashtbl.t = Hashtbl.create 16
+let sweep_memo : (string, Backend.sweep_fn) Hashtbl.t = Hashtbl.create 16
 let memo_hits = ref 0
 let disk_hits = ref 0
 let compiles = ref 0
-let failures = ref 0
+let failures_unsupported = ref 0
+let failures_toolchain = ref 0
 
 let with_lock f =
   Mutex.lock lock;
@@ -62,10 +90,14 @@ let stats () =
         memo_hits = !memo_hits;
         disk_hits = !disk_hits;
         compiles = !compiles;
-        failures = !failures;
+        failures_unsupported = !failures_unsupported;
+        failures_toolchain = !failures_toolchain;
       })
 
-let clear_memo () = with_lock (fun () -> Hashtbl.reset memo)
+let clear_memo () =
+  with_lock (fun () ->
+      Hashtbl.reset memo;
+      Hashtbl.reset sweep_memo)
 
 let cache_dir () =
   match Sys.getenv_opt "MSC_KERNEL_CACHE" with
@@ -106,23 +138,98 @@ let write_atomic ~dir ~dst content =
 
 (* {2 Emission} *)
 
+(* A form the emitters cannot express; distinguished from toolchain
+   failures in [stats]. *)
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* The stub unpacks srcs/aux/lo/hi into fixed C buffers of this size. *)
+let max_aux = 64
+
 (* Hex float literals round-trip exactly and parse in OCaml and C99 alike;
    always parenthesized so a leading minus never fuses with the
    surrounding expression. *)
 let flit f = Printf.sprintf "(%h)" f
-let idx d =
-  if d = 0 then "i"
-  else if d > 0 then Printf.sprintf "i + %d" d
-  else Printf.sprintf "i - %d" (-d)
+
+let flit_checked f =
+  if Float.is_finite f then flit f
+  else unsupported "non-finite constant has no exact literal"
+
+let idx ?(v = "i") d =
+  if d = 0 then v
+  else if d > 0 then Printf.sprintf "%s + %d" v d
+  else Printf.sprintf "%s - %d" v (-d)
+
+let flat_delta strides offsets =
+  let acc = ref 0 in
+  Array.iteri (fun d o -> acc := !acc + (o * strides.(d))) offsets;
+  !acc
 
 (* The arities interp.ml unrolls by hand (whose sums do NOT start at 0.0). *)
 let unrolled_taps n = n = 3 || n = 5 || n = 7 || n = 9 || n = 13
 
-let ocaml_sum (spec : Interp.spec) =
+(* {3 Aux slot layouts}
+
+   Three layouts coexist:
+   - per-term bilinear kernels keep one slot per bilinear subterm (matching
+     bil_aux_names verbatim; input-only and unnamed subterms get [[||]]
+     placeholders) — the PR 6 ABI, unchanged;
+   - per-term tree kernels and every term of a fused sweep use a compact
+     layout: one slot per distinct aux tensor, in first-use order. *)
+
+let tree_aux_names interp =
+  let k = Interp.kernel interp in
+  let input = k.Kernel.input.Tensor.name in
+  List.fold_left
+    (fun acc (a : Expr.access) ->
+      if String.equal a.Expr.tensor input || List.mem a.Expr.tensor acc then acc
+      else acc @ [ a.Expr.tensor ])
+    []
+    (Expr.accesses k.Kernel.expr)
+
+let sweep_term_aux_names interp =
+  match Interp.spec interp with
+  | Interp.Spec_taps _ -> []
+  | Interp.Spec_bilinear b ->
+      let acc = ref [] in
+      for k = 0 to Array.length b.bil_kinds - 1 do
+        if b.bil_kinds.(k) <> 1 then
+          match b.bil_aux_names.(k) with
+          | Some name when not (List.mem name !acc) -> acc := !acc @ [ name ]
+          | _ -> ()
+      done;
+      !acc
+  | Interp.Spec_tree -> tree_aux_names interp
+
+let per_term_aux_names interp =
+  match Interp.spec interp with
+  | Interp.Spec_taps _ -> [||]
+  | Interp.Spec_bilinear b -> Array.copy b.bil_aux_names
+  | Interp.Spec_tree ->
+      Array.of_list (List.map Option.some (tree_aux_names interp))
+
+(* Bilinear subterms that read a *named* aux tensor (and therefore get a
+   bound slot in the per-term ABI). Unnamed aux reads fall back to the
+   input grid, exactly like Interp.resolve_bilinear_arrays. *)
+let aux_terms (spec : Interp.spec) =
+  match spec with
+  | Spec_bilinear b ->
+      List.filter
+        (fun k -> b.bil_kinds.(k) <> 1 && b.bil_aux_names.(k) <> None)
+        (List.init (Array.length b.bil_kinds) Fun.id)
+  | _ -> []
+
+(* {3 Taps / bilinear sums}
+
+   [src] names the input array in scope; [aux_of k] resolves bilinear
+   subterm [k]'s aux array. The point index variable is always [i]. *)
+
+let ocaml_sum ~src ~aux_of (spec : Interp.spec) =
   match spec with
   | Spec_taps { taps_coeffs; taps_deltas } ->
       let term k c =
-        Printf.sprintf "%s *. Array.unsafe_get _src (%s)" (flit c)
+        Printf.sprintf "%s *. Array.unsafe_get %s (%s)" (flit_checked c) src
           (idx taps_deltas.(k))
       in
       let s =
@@ -131,31 +238,30 @@ let ocaml_sum (spec : Interp.spec) =
       if unrolled_taps (Array.length taps_coeffs) then s else "0.0 +. " ^ s
   | Spec_bilinear b ->
       let term k =
-        let c = flit b.bil_coeffs.(k) in
+        let c = flit_checked b.bil_coeffs.(k) in
         match b.bil_kinds.(k) with
         | 0 ->
             Printf.sprintf
-              "%s *. Array.unsafe_get _a%d (%s) *. Array.unsafe_get _src (%s)"
-              c k
+              "%s *. Array.unsafe_get %s (%s) *. Array.unsafe_get %s (%s)" c
+              (aux_of k)
               (idx b.bil_aux_deltas.(k))
+              src
               (idx b.bil_in_deltas.(k))
         | 1 ->
-            Printf.sprintf "%s *. Array.unsafe_get _src (%s)" c
+            Printf.sprintf "%s *. Array.unsafe_get %s (%s)" c src
               (idx b.bil_in_deltas.(k))
         | _ ->
-            Printf.sprintf "%s *. Array.unsafe_get _a%d (%s)" c k
+            Printf.sprintf "%s *. Array.unsafe_get %s (%s)" c (aux_of k)
               (idx b.bil_aux_deltas.(k))
       in
-      "0.0 +. "
-      ^ String.concat " +. "
-          (List.init (Array.length b.bil_coeffs) term)
+      "0.0 +. " ^ String.concat " +. " (List.init (Array.length b.bil_coeffs) term)
   | Spec_tree -> assert false
 
-let c_sum (spec : Interp.spec) =
+let c_sum ~src ~aux_of (spec : Interp.spec) =
   match spec with
   | Spec_taps { taps_coeffs; taps_deltas } ->
       let term k c =
-        Printf.sprintf "%s * src[%s]" (flit c) (idx taps_deltas.(k))
+        Printf.sprintf "%s * %s[%s]" (flit_checked c) src (idx taps_deltas.(k))
       in
       let s =
         String.concat " + " (Array.to_list (Array.mapi term taps_coeffs))
@@ -163,26 +269,163 @@ let c_sum (spec : Interp.spec) =
       if unrolled_taps (Array.length taps_coeffs) then s else "0.0 + " ^ s
   | Spec_bilinear b ->
       let term k =
-        let c = flit b.bil_coeffs.(k) in
+        let c = flit_checked b.bil_coeffs.(k) in
         match b.bil_kinds.(k) with
         | 0 ->
-            Printf.sprintf "%s * _a%d[%s] * src[%s]" c k
+            Printf.sprintf "%s * %s[%s] * %s[%s]" c (aux_of k)
               (idx b.bil_aux_deltas.(k))
+              src
               (idx b.bil_in_deltas.(k))
-        | 1 -> Printf.sprintf "%s * src[%s]" c (idx b.bil_in_deltas.(k))
-        | _ -> Printf.sprintf "%s * _a%d[%s]" c k (idx b.bil_aux_deltas.(k))
+        | 1 -> Printf.sprintf "%s * %s[%s]" c src (idx b.bil_in_deltas.(k))
+        | _ -> Printf.sprintf "%s * %s[%s]" c (aux_of k) (idx b.bil_aux_deltas.(k))
       in
-      "0.0 + "
-      ^ String.concat " + " (List.init (Array.length b.bil_coeffs) term)
+      "0.0 + " ^ String.concat " + " (List.init (Array.length b.bil_coeffs) term)
   | Spec_tree -> assert false
 
-let aux_terms (spec : Interp.spec) =
-  match spec with
-  | Spec_bilinear b ->
-      List.filter
-        (fun k -> b.bil_kinds.(k) = 0 || b.bil_kinds.(k) = 2)
-        (List.init (Array.length b.bil_kinds) Fun.id)
-  | _ -> []
+(* {3 Tree expressions}
+
+   Renders Expr.eval's exact operation set. [slot] resolves an aux tensor
+   name to its bound array variable; [coord d] renders the interior
+   coordinate of dimension [d] at the current point (matching eval_tree's
+   [coord] array); the flat point index in scope is [i], which already
+   includes the halo offsets — an access only adds its constant flat
+   delta. *)
+
+let ocaml_tree ~src ~slot ~coord interp =
+  let k = Interp.kernel interp in
+  let input = k.Kernel.input.Tensor.name in
+  let strides = Interp.strides interp in
+  let var_coord name =
+    let rec find d = function
+      | [] -> unsupported "unknown loop var %s" name
+      | v :: rest -> if String.equal v name then coord d else find (d + 1) rest
+    in
+    find 0 k.Kernel.index_vars
+  in
+  let rec go (e : Expr.t) =
+    match e with
+    | Fconst x -> flit_checked x
+    | Iconst n -> flit (float_of_int n)
+    | Param name -> (
+        match List.assoc_opt name k.Kernel.bindings with
+        | Some v -> flit_checked v
+        | None -> unsupported "unbound parameter %s" name)
+    | Var name -> Printf.sprintf "(Stdlib.float_of_int %s)" (var_coord name)
+    | Access a ->
+        let arr = if String.equal a.Expr.tensor input then src else slot a.Expr.tensor in
+        Printf.sprintf "(Array.unsafe_get %s (%s))" arr
+          (idx (flat_delta strides a.Expr.offsets))
+    | Unop (op, a) ->
+        let f =
+          match op with
+          | Expr.Neg -> "-."
+          | Abs -> "Float.abs"
+          | Sqrt -> "sqrt"
+          | Exp -> "exp"
+          | Sin -> "sin"
+          | Cos -> "cos"
+        in
+        Printf.sprintf "(%s %s)" f (go a)
+    | Binop (op, a, b) -> (
+        match op with
+        | Expr.Add -> Printf.sprintf "(%s +. %s)" (go a) (go b)
+        | Sub -> Printf.sprintf "(%s -. %s)" (go a) (go b)
+        | Mul -> Printf.sprintf "(%s *. %s)" (go a) (go b)
+        | Div -> Printf.sprintf "(%s /. %s)" (go a) (go b)
+        | Min -> Printf.sprintf "(Float.min %s %s)" (go a) (go b)
+        | Max -> Printf.sprintf "(Float.max %s %s)" (go a) (go b))
+    | Call (name, args) -> (
+        match (name, List.map go args) with
+        | "pow", [ a; b ] -> Printf.sprintf "(Float.pow %s %s)" a b
+        | "hypot", [ a; b ] -> Printf.sprintf "(Float.hypot %s %s)" a b
+        | "fma", [ a; b; c ] -> Printf.sprintf "(Float.fma %s %s %s)" a b c
+        | (("sqrt" | "exp" | "log" | "sin" | "cos" | "tanh") as f), [ a ] ->
+            Printf.sprintf "(%s %s)" f a
+        | "fabs", [ a ] -> Printf.sprintf "(Float.abs %s)" a
+        | _ -> unsupported "unknown call %s/%d" name (List.length args))
+  in
+  go k.Kernel.expr
+
+let c_tree ~src ~slot ~coord interp =
+  let k = Interp.kernel interp in
+  let input = k.Kernel.input.Tensor.name in
+  let strides = Interp.strides interp in
+  let var_coord name =
+    let rec find d = function
+      | [] -> unsupported "unknown loop var %s" name
+      | v :: rest -> if String.equal v name then coord d else find (d + 1) rest
+    in
+    find 0 k.Kernel.index_vars
+  in
+  let rec go (e : Expr.t) =
+    match e with
+    | Expr.Fconst x -> flit_checked x
+    | Iconst n -> flit (float_of_int n)
+    | Param name -> (
+        match List.assoc_opt name k.Kernel.bindings with
+        | Some v -> flit_checked v
+        | None -> unsupported "unbound parameter %s" name)
+    | Var name -> Printf.sprintf "((double)%s)" (var_coord name)
+    | Access a ->
+        let arr = if String.equal a.Expr.tensor input then src else slot a.Expr.tensor in
+        Printf.sprintf "(%s[%s])" arr (idx (flat_delta strides a.Expr.offsets))
+    | Unop (op, a) -> (
+        match op with
+        | Expr.Neg -> Printf.sprintf "(- %s)" (go a)
+        | Abs -> Printf.sprintf "(fabs(%s))" (go a)
+        | Sqrt -> Printf.sprintf "(sqrt(%s))" (go a)
+        | Exp -> Printf.sprintf "(exp(%s))" (go a)
+        | Sin -> Printf.sprintf "(sin(%s))" (go a)
+        | Cos -> Printf.sprintf "(cos(%s))" (go a))
+    | Binop (op, a, b) -> (
+        match op with
+        | Expr.Add -> Printf.sprintf "(%s + %s)" (go a) (go b)
+        | Sub -> Printf.sprintf "(%s - %s)" (go a) (go b)
+        | Mul -> Printf.sprintf "(%s * %s)" (go a) (go b)
+        | Div -> Printf.sprintf "(%s / %s)" (go a) (go b)
+        | Min -> Printf.sprintf "(msc_min(%s, %s))" (go a) (go b)
+        | Max -> Printf.sprintf "(msc_max(%s, %s))" (go a) (go b))
+    | Call (name, args) -> (
+        match (name, List.map go args) with
+        | "pow", [ a; b ] -> Printf.sprintf "(pow(%s, %s))" a b
+        | "hypot", [ a; b ] -> Printf.sprintf "(hypot(%s, %s))" a b
+        | "fma", [ a; b; c ] -> Printf.sprintf "(fma(%s, %s, %s))" a b c
+        | (("sqrt" | "exp" | "log" | "sin" | "cos" | "tanh") as f), [ a ] ->
+            Printf.sprintf "(%s(%s))" f a
+        | "fabs", [ a ] -> Printf.sprintf "(fabs(%s))" a
+        | _ -> unsupported "unknown call %s/%d" name (List.length args))
+  in
+  go k.Kernel.expr
+
+(* Exact ports of OCaml's Float.min / Float.max: fmin/fmax differ on NaN
+   propagation and signed zeros, so the C side re-implements the stdlib
+   definitions verbatim. *)
+let c_tree_prelude =
+  "#include <math.h>\n\n\
+   static inline double msc_min(double x, double y)\n\
+   {\n\
+  \  if (y > x || (!signbit(y) && signbit(x))) return (y != y) ? y : x;\n\
+  \  return (x != x) ? x : y;\n\
+   }\n\
+   static inline double msc_max(double x, double y)\n\
+   {\n\
+  \  if (y > x || (!signbit(y) && signbit(x))) return (x != x) ? x : y;\n\
+  \  return (y != y) ? y : x;\n\
+   }\n\n"
+
+(* One kernel term's value expression at point [i]. *)
+let ocaml_value ~src ~aux_of ~slot ~coord interp =
+  match Interp.spec interp with
+  | Interp.Spec_tree -> ocaml_tree ~src ~slot ~coord interp
+  | spec -> ocaml_sum ~src ~aux_of spec
+
+let c_value ~src ~aux_of ~slot ~coord interp =
+  match Interp.spec interp with
+  | Interp.Spec_tree -> c_tree ~src ~slot ~coord interp
+  | spec -> c_sum ~src ~aux_of spec
+
+let is_tree interp =
+  match Interp.spec interp with Interp.Spec_tree -> true | _ -> false
 
 (* The flat row base for outer coordinates [i0..] and last-dim start
    [l<last>], with halo offsets and strides folded to literals. *)
@@ -200,7 +443,16 @@ let base_expr ~nd ~halo ~strides =
          if strides.(d) = 1 then shifted
          else Printf.sprintf "%s * %d" shifted strides.(d)))
 
-let emit_ocaml ~base ~halo ~strides spec =
+(* Compact tree-slot resolver for the per-term layout. *)
+let per_term_slot interp n =
+  let rec go j = function
+    | [] -> unsupported "kernel reads unknown tensor %s" n
+    | m :: rest -> if String.equal m n then Printf.sprintf "_a%d" j else go (j + 1) rest
+  in
+  go 0 (tree_aux_names interp)
+
+let emit_ocaml ~base ~halo ~strides interp =
+  let spec = Interp.spec interp in
   let nd = Array.length strides in
   let last = nd - 1 in
   let buf = Buffer.create 4096 in
@@ -209,9 +461,16 @@ let emit_ocaml ~base ~halo ~strides spec =
   pr "let kernel (_wb : int) (_scale : float) (_src : float array)\n";
   pr "    (_dst : float array) (_aux : float array array) (_lo : int array)\n";
   pr "    (_hi : int array) : unit =\n";
-  List.iter
-    (fun k -> pr "  let _a%d = Array.unsafe_get _aux %d in\n" k k)
-    (aux_terms spec);
+  (match spec with
+  | Spec_bilinear _ ->
+      List.iter
+        (fun k -> pr "  let _a%d = Array.unsafe_get _aux %d in\n" k k)
+        (aux_terms spec)
+  | Spec_tree ->
+      List.iteri
+        (fun s _ -> pr "  let _a%d = Array.unsafe_get _aux %d in\n" s s)
+        (tree_aux_names interp)
+  | Spec_taps _ -> ());
   for d = 0 to last do
     pr "  let l%d = Array.unsafe_get _lo %d in\n" d d;
     pr "  let h%d = Array.unsafe_get _hi %d in\n" d d
@@ -226,7 +485,21 @@ let emit_ocaml ~base ~halo ~strides spec =
     if strides.(last) = 1 then "base + c"
     else Printf.sprintf "base + c * %d" strides.(last)
   in
-  let sum = ocaml_sum spec in
+  let aux_of =
+    match spec with
+    | Spec_bilinear b ->
+        fun k -> (
+          match b.bil_aux_names.(k) with
+          | Some _ -> Printf.sprintf "_a%d" k
+          | None -> "_src")
+    | _ -> fun _ -> "_src"
+  in
+  let coord d =
+    if d = last then Printf.sprintf "(l%d + c)" last else Printf.sprintf "i%d" d
+  in
+  let sum =
+    ocaml_value ~src:"_src" ~aux_of ~slot:(per_term_slot interp) ~coord interp
+  in
   let loop body =
     pr "  for c = 0 to len - 1 do\n";
     pr "    let i = %s in\n" iexpr;
@@ -240,7 +513,7 @@ let emit_ocaml ~base ~halo ~strides spec =
   loop (Printf.sprintf "_scale *. (%s)" sum);
   pr "  end\n";
   pr "  else begin\n";
-  loop (Printf.sprintf "Array.unsafe_get _dst i +. _scale *. (%s)" sum);
+  loop (Printf.sprintf "Array.unsafe_get _dst i +. (_scale *. (%s))" sum);
   pr "  end)\n";
   for _ = 0 to last - 1 do
     pr "  done\n"
@@ -249,18 +522,27 @@ let emit_ocaml ~base ~halo ~strides spec =
   pr "\nlet () = Callback.register %S kernel\n" ("msc_jit_" ^ base);
   Buffer.contents buf
 
-let emit_c ~base ~halo ~strides spec =
+let emit_c ~base ~halo ~strides interp =
+  let spec = Interp.spec interp in
   let nd = Array.length strides in
   let last = nd - 1 in
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.bprintf buf fmt in
   pr "/* Kernel %s -- generated by Msc_exec.Jit; do not edit. */\n" base;
+  if is_tree interp then pr "%s" c_tree_prelude;
   pr "void msc_kernel(long wb, double scale, const double *src, double *dst,\n";
   pr "                const double **aux, const long *lo, const long *hi)\n";
   pr "{\n";
-  let auxl = aux_terms spec in
-  if auxl = [] then pr "  (void)aux;\n";
-  List.iter (fun k -> pr "  const double *_a%d = aux[%d];\n" k k) auxl;
+  (match spec with
+  | Spec_bilinear _ ->
+      let auxl = aux_terms spec in
+      if auxl = [] then pr "  (void)aux;\n";
+      List.iter (fun k -> pr "  const double *_a%d = aux[%d];\n" k k) auxl
+  | Spec_tree ->
+      let names = tree_aux_names interp in
+      if names = [] then pr "  (void)aux;\n";
+      List.iteri (fun s _ -> pr "  const double *_a%d = aux[%d];\n" s s) names
+  | Spec_taps _ -> pr "  (void)aux;\n");
   for d = 0 to last do
     pr "  long l%d = lo[%d]; long h%d = hi[%d];\n" d d d d
   done;
@@ -274,7 +556,19 @@ let emit_c ~base ~halo ~strides spec =
     if strides.(last) = 1 then "base + c"
     else Printf.sprintf "base + c * %d" strides.(last)
   in
-  let sum = c_sum spec in
+  let aux_of =
+    match spec with
+    | Spec_bilinear b ->
+        fun k -> (
+          match b.bil_aux_names.(k) with
+          | Some _ -> Printf.sprintf "_a%d" k
+          | None -> "src")
+    | _ -> fun _ -> "src"
+  in
+  let coord d =
+    if d = last then Printf.sprintf "(l%d + c)" last else Printf.sprintf "i%d" d
+  in
+  let sum = c_value ~src:"src" ~aux_of ~slot:(per_term_slot interp) ~coord interp in
   let loop body =
     pr "    for (long c = 0; c < len; c++) {\n";
     pr "      long i = %s;\n" iexpr;
@@ -286,7 +580,7 @@ let emit_c ~base ~halo ~strides spec =
   pr "  } else if (wb == 1) {\n";
   loop (Printf.sprintf "scale * (%s)" sum);
   pr "  } else {\n";
-  loop (Printf.sprintf "dst[i] + scale * (%s)" sum);
+  loop (Printf.sprintf "dst[i] + (scale * (%s))" sum);
   pr "  }\n";
   for _ = 0 to last - 1 do
     pr "  }\n"
@@ -294,144 +588,584 @@ let emit_c ~base ~halo ~strides spec =
   pr "}\n";
   Buffer.contents buf
 
-(* {2 Build + load} *)
+(* {2 Fused whole-sweep emission}
 
-let build_native ~dir ~base ~halo ~strides spec =
-  let cmxs = Filename.concat dir (base ^ ".cmxs") in
-  let load () =
-    try
-      Dynlink.loadfile_private cmxs;
-      Ok (Obj.obj (named_value ("msc_jit_" ^ base)) : Backend.kernel_fn)
-    with
-    | Dynlink.Error e -> Error ("dynlink: " ^ Dynlink.error_message e)
-    | Not_found -> Error "loaded kernel did not register itself"
-    | Failure m -> Error m
+   One function per plan covering every stencil term in a single pass:
+   per-point register accumulator chaining replaces the interpreter's one
+   full-grid pass per term. For instruction-level parallelism the C
+   emitter blocks the second-innermost dimension by 4 (four adjacent rows
+   per inner iteration — independent accumulator chains, innermost loop
+   left contiguous for the auto-vectorizer); the OCaml emitter unrolls the
+   innermost row by 4 instead (flambda-less ocamlopt does not vectorize,
+   so lane independence only needs to beat loop overhead there). Neither
+   reassociates, so bit-identity is preserved. *)
+
+(* Per-term (slot offset, aux names) in the concatenated aux layout. *)
+let sweep_slots terms =
+  let off = ref 0 in
+  let layout =
+    List.map
+      (function
+        | Sweep_state _ -> (!off, [])
+        | Sweep_kernel { interp; _ } ->
+            let names = sweep_term_aux_names interp in
+            let o = !off in
+            off := o + List.length names;
+            (o, names))
+      terms
   in
-  if Sys.file_exists cmxs then begin
-    incr disk_hits;
-    load ()
-  end
-  else if not (have_tool "ocamlopt") then Error "ocamlopt not found on PATH"
-  else begin
-    let ml = base ^ ".ml" in
-    write_atomic ~dir ~dst:(Filename.concat dir ml)
-      (emit_ocaml ~base ~halo ~strides spec);
-    let tmp = Filename.temp_file ~temp_dir:dir base ".cmxs" in
-    let log = base ^ ".log" in
-    let cmd =
-      Printf.sprintf "cd %s && ocamlopt -shared -o %s %s > %s 2>&1"
-        (Filename.quote dir)
-        (Filename.quote (Filename.basename tmp))
-        (Filename.quote ml) (Filename.quote log)
+  (layout, !off)
+
+let sweep_geometry terms =
+  let kernels =
+    List.filter_map
+      (function Sweep_kernel { interp; _ } -> Some interp | Sweep_state _ -> None)
+      terms
+  in
+  match kernels with
+  | [] -> Error "fused sweep needs at least one kernel term"
+  | first :: rest ->
+      let geom i = (Interp.shape i, Interp.halo i, Interp.strides i) in
+      let g0 = geom first in
+      if List.for_all (fun i -> geom i = g0) rest then Ok g0
+      else Error "kernel terms disagree on grid geometry"
+
+let sweep_has_tree terms =
+  List.exists
+    (function Sweep_kernel { interp; _ } -> is_tree interp | Sweep_state _ -> false)
+    terms
+
+(* The value expression of kernel term [t] at lane offset [c_str] (a
+   last-dimension offset expression; the lane binds [i] to the matching
+   flat index). [row] shifts the second-innermost coordinate — the C
+   emitter computes a block of [row = 0..3] adjacent rows per inner
+   iteration. [pre] is the per-emitter variable-name prefix ("_" on the
+   OCaml side, "" in C). *)
+let sweep_kernel_value ~value ~pre ~layout ~last ?(row = 0) ~c_str t interp =
+  let off, names = List.nth layout t in
+  let src = Printf.sprintf "%ss%d" pre t in
+  let slot n =
+    let rec go j = function
+      | [] -> unsupported "aux tensor %s has no fused slot" n
+      | m :: rest ->
+          if String.equal m n then Printf.sprintf "%sa%d" pre (off + j)
+          else go (j + 1) rest
     in
-    if Sys.command cmd <> 0 then begin
-      (try Sys.remove tmp with Sys_error _ -> ());
-      Error ("ocamlopt failed: " ^ read_log (Filename.concat dir log))
+    go 0 names
+  in
+  let aux_of =
+    match Interp.spec interp with
+    | Interp.Spec_bilinear b ->
+        fun k -> (
+          match b.bil_aux_names.(k) with Some n -> slot n | None -> src)
+    | _ -> fun _ -> src
+  in
+  let coord d =
+    if d = last then Printf.sprintf "(l%d + (%s))" last c_str
+    else if d = last - 1 && row > 0 then Printf.sprintf "(i%d + %d)" d row
+    else Printf.sprintf "i%d" d
+  in
+  value ~src ~aux_of ~slot ~coord interp
+
+let emit_ocaml_sweep ~base ~halo ~strides terms =
+  let nd = Array.length strides in
+  let last = nd - 1 in
+  let layout, nslots = sweep_slots terms in
+  let buf = Buffer.create 8192 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "(* Fused sweep %s -- generated by Msc_exec.Jit; do not edit. *)\n" base;
+  pr "let sweep (_wb : int) (_srcs : float array array) (_dst : float array)\n";
+  pr "    (_aux : float array array) (_lo : int array) (_hi : int array)\n";
+  pr "    : unit =\n";
+  List.iteri
+    (fun t _ -> pr "  let _s%d = Array.unsafe_get _srcs %d in\n" t t)
+    terms;
+  for s = 0 to nslots - 1 do
+    pr "  let _a%d = Array.unsafe_get _aux %d in\n" s s
+  done;
+  for d = 0 to last do
+    pr "  let l%d = Array.unsafe_get _lo %d in\n" d d;
+    pr "  let h%d = Array.unsafe_get _hi %d in\n" d d
+  done;
+  pr "  let len = h%d - l%d in\n" last last;
+  pr "  if len > 0 then begin\n";
+  for d = 0 to last - 1 do
+    pr "  for i%d = l%d to h%d - 1 do\n" d d d
+  done;
+  pr "  let base = %s in\n" (base_expr ~nd ~halo ~strides);
+  let iexpr c_str =
+    if strides.(last) = 1 then Printf.sprintf "base + (%s)" c_str
+    else Printf.sprintf "base + ((%s) * %d)" c_str strides.(last)
+  in
+  (* Write-through: the first term seeds the accumulator (overwrite
+     semantics), later terms fold in — matching Runtime's term_write +
+     term_accumulate pass sequence. *)
+  let kernel_value c_str t interp =
+    sweep_kernel_value ~value:ocaml_value ~pre:"_" ~layout ~last ~c_str t interp
+  in
+  let first_value c_str t term =
+    match term with
+    | Sweep_kernel { scale; interp } ->
+        let v = kernel_value c_str t interp in
+        if scale = 1.0 then Printf.sprintf "(%s)" v
+        else Printf.sprintf "%s *. (%s)" (flit_checked scale) v
+    | Sweep_state { scale } ->
+        if scale = 1.0 then Printf.sprintf "Array.unsafe_get _s%d i" t
+        else
+          Printf.sprintf "%s *. Array.unsafe_get _s%d i" (flit_checked scale) t
+  in
+  let fold_value c_str t term =
+    match term with
+    | Sweep_kernel { scale; interp } ->
+        let v = kernel_value c_str t interp in
+        Printf.sprintf "acc +. (%s *. (%s))" (flit_checked scale) v
+    | Sweep_state { scale } ->
+        Printf.sprintf "acc +. (%s *. Array.unsafe_get _s%d i)"
+          (flit_checked scale) t
+  in
+  let lane_wt c_str =
+    let b = Buffer.create 512 in
+    Printf.bprintf b "(let i = %s in\n" (iexpr c_str);
+    List.iteri
+      (fun t term ->
+        if t = 0 then
+          Printf.bprintf b "       let acc = %s in\n" (first_value c_str t term)
+        else Printf.bprintf b "       let acc = %s in\n" (fold_value c_str t term))
+      terms;
+    Printf.bprintf b "       Array.unsafe_set _dst i acc)";
+    Buffer.contents b
+  in
+  let lane_acc c_str =
+    let b = Buffer.create 512 in
+    Printf.bprintf b "(let i = %s in\n" (iexpr c_str);
+    Printf.bprintf b "       let acc = Array.unsafe_get _dst i in\n";
+    List.iteri
+      (fun t term ->
+        Printf.bprintf b "       let acc = %s in\n" (fold_value c_str t term))
+      terms;
+    Printf.bprintf b "       Array.unsafe_set _dst i acc)";
+    Buffer.contents b
+  in
+  let unrolled lane =
+    pr "    let c = ref 0 in\n";
+    pr "    while !c + 3 < len do\n";
+    pr "      %s;\n" (lane "!c");
+    pr "      %s;\n" (lane "!c + 1");
+    pr "      %s;\n" (lane "!c + 2");
+    pr "      %s;\n" (lane "!c + 3");
+    pr "      c := !c + 4\n";
+    pr "    done;\n";
+    pr "    while !c < len do\n";
+    pr "      %s;\n" (lane "!c");
+    pr "      c := !c + 1\n";
+    pr "    done\n"
+  in
+  pr "  (if _wb = 0 then begin\n";
+  unrolled lane_wt;
+  pr "  end else begin\n";
+  unrolled lane_acc;
+  pr "  end)\n";
+  for _ = 0 to last - 1 do
+    pr "  done\n"
+  done;
+  pr "  end\n";
+  pr "\nlet () = Callback.register %S sweep\n" ("msc_jit_" ^ base);
+  Buffer.contents buf
+
+let emit_c_sweep_src ~fn_name ~halo ~strides terms =
+  let nd = Array.length strides in
+  let last = nd - 1 in
+  let layout, nslots = sweep_slots terms in
+  let nterms = List.length terms in
+  let buf = Buffer.create 8192 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "/* Fused sweep %s -- generated by Msc_exec.Jit; do not edit. */\n" fn_name;
+  if sweep_has_tree terms then pr "%s" c_tree_prelude;
+  pr "void %s(long wb, const double **srcs, double *restrict dst,\n" fn_name;
+  pr "%s const double **aux, const long *restrict lo,\n"
+    (String.make (String.length fn_name + 5) ' ');
+  pr "%s const long *restrict hi)\n" (String.make (String.length fn_name + 5) ' ');
+  pr "{\n";
+  for t = 0 to nterms - 1 do
+    pr "  const double *s%d = srcs[%d];\n" t t
+  done;
+  if nslots = 0 then pr "  (void)aux;\n";
+  for s = 0 to nslots - 1 do
+    pr "  const double *a%d = aux[%d];\n" s s
+  done;
+  for d = 0 to last do
+    pr "  long l%d = lo[%d]; long h%d = hi[%d];\n" d d d d
+  done;
+  pr "  long len = h%d - l%d;\n" last last;
+  pr "  if (len <= 0) return;\n";
+  (* The flat index of the row-0 lane at column [c_str]; lanes for rows
+     1..3 derive theirs as [icol + row * row_stride]. Deriving from one
+     shared column index matters: when every lane recomputes
+     [base + off + c] from scratch, gcc's CSE drowns in the wide-radius
+     tap expressions — 7x compile time and ~4x slower code on 2d169pt. *)
+  let icol_expr c_str =
+    if strides.(last) = 1 then Printf.sprintf "base + (%s)" c_str
+    else Printf.sprintf "base + ((%s) * %d)" c_str strides.(last)
+  in
+  let lane_index ~row =
+    if row = 0 then "icol"
+    else Printf.sprintf "icol + %d" (row * strides.(last - 1))
+  in
+  let kernel_value ~row c_str t interp =
+    sweep_kernel_value ~value:c_value ~pre:"" ~layout ~last ~row ~c_str t interp
+  in
+  let first_value ~row c_str t term =
+    match term with
+    | Sweep_kernel { scale; interp } ->
+        let v = kernel_value ~row c_str t interp in
+        if scale = 1.0 then Printf.sprintf "(%s)" v
+        else Printf.sprintf "%s * (%s)" (flit_checked scale) v
+    | Sweep_state { scale } ->
+        if scale = 1.0 then Printf.sprintf "s%d[i]" t
+        else Printf.sprintf "%s * s%d[i]" (flit_checked scale) t
+  in
+  let fold_value ~row c_str t term =
+    match term with
+    | Sweep_kernel { scale; interp } ->
+        let v = kernel_value ~row c_str t interp in
+        Printf.sprintf "acc + (%s * (%s))" (flit_checked scale) v
+    | Sweep_state { scale } ->
+        Printf.sprintf "acc + (%s * s%d[i])" (flit_checked scale) t
+  in
+  let lane_wt ~row c_str =
+    let b = Buffer.create 512 in
+    Printf.bprintf b "{ const long i = %s;\n" (lane_index ~row);
+    List.iteri
+      (fun t term ->
+        if t = 0 then
+          Printf.bprintf b "        double acc = %s;\n"
+            (first_value ~row c_str t term)
+        else Printf.bprintf b "        acc = %s;\n" (fold_value ~row c_str t term))
+      terms;
+    Printf.bprintf b "        dst[i] = acc; }";
+    Buffer.contents b
+  in
+  let lane_acc ~row c_str =
+    let b = Buffer.create 512 in
+    Printf.bprintf b "{ const long i = %s;\n" (lane_index ~row);
+    Printf.bprintf b "        double acc = dst[i];\n";
+    List.iteri
+      (fun t term ->
+        Printf.bprintf b "        acc = %s;\n" (fold_value ~row c_str t term))
+      terms;
+    Printf.bprintf b "        dst[i] = acc; }";
+    Buffer.contents b
+  in
+  (* One full loop nest per writeback mode. Rows (the second-innermost
+     dimension) are blocked by 4: each inner iteration computes the same
+     column of 4 adjacent rows — four independent accumulator chains, so
+     the compiler can keep the FP ports busy while still auto-vectorizing
+     the contiguous innermost loop. Manually unrolling the innermost row
+     instead defeats loop vectorization (SLP rarely digests wide-radius
+     tap chains) and measured ~2x slower on the dense box kernels. *)
+  let emit_nest lane =
+    for d = 0 to last - 2 do
+      pr "  for (long i%d = l%d; i%d < h%d; i%d++) {\n" d d d d d
+    done;
+    if nd >= 2 then begin
+      let r = last - 1 in
+      pr "  long i%d = l%d;\n" r r;
+      pr "  for (; i%d + 3 < h%d; i%d += 4) {\n" r r r;
+      pr "  long base = %s;\n" (base_expr ~nd ~halo ~strides);
+      pr "    for (long c = 0; c < len; c++) {\n";
+      pr "      const long icol = %s;\n" (icol_expr "c");
+      for row = 0 to 3 do
+        pr "      %s\n" (lane ~row "c")
+      done;
+      pr "    }\n";
+      pr "  }\n";
+      pr "  for (; i%d < h%d; i%d++) {\n" r r r;
+      pr "  long base = %s;\n" (base_expr ~nd ~halo ~strides);
+      pr "    for (long c = 0; c < len; c++) {\n";
+      pr "      const long icol = %s;\n" (icol_expr "c");
+      pr "      %s\n" (lane ~row:0 "c");
+      pr "    }\n";
+      pr "  }\n"
     end
     else begin
-      Sys.rename tmp cmxs;
-      incr compiles;
-      load ()
-    end
-  end
-
-let build_c ~dir ~base ~halo ~strides spec =
-  let so = Filename.concat dir (base ^ ".so") in
-  let load () =
-    try
-      let fn = dlopen_sym so "msc_kernel" in
-      Ok
-        (fun wb scale src dst aux lo hi -> c_call fn wb scale src dst aux lo hi)
-    with Failure m -> Error ("dlopen: " ^ m)
+      pr "  long base = %s;\n" (base_expr ~nd ~halo ~strides);
+      pr "  for (long c = 0; c < len; c++) {\n";
+      pr "    const long icol = %s;\n" (icol_expr "c");
+      pr "    %s\n" (lane ~row:0 "c");
+      pr "  }\n"
+    end;
+    for _ = 0 to last - 2 do
+      pr "  }\n"
+    done
   in
-  if Sys.file_exists so then begin
+  pr "  if (wb == 0) {\n";
+  emit_nest lane_wt;
+  pr "  } else {\n";
+  emit_nest lane_acc;
+  pr "  }\n";
+  pr "}\n";
+  Buffer.contents buf
+
+(* {2 Build + load} *)
+
+let ocaml_tool () =
+  if have_tool "ocamlopt" then Ok "ocamlopt"
+  else Error "ocamlopt not found on PATH"
+
+let c_tool () =
+  if have_tool "cc" then Ok "cc"
+  else if have_tool "gcc" then Ok "gcc"
+  else Error "no C compiler (cc/gcc) found on PATH"
+
+let ocaml_cmd ~tc ~dir ~src ~out ~log =
+  Printf.sprintf "cd %s && %s -shared -o %s %s > %s 2>&1" (Filename.quote dir)
+    tc (Filename.quote out) (Filename.quote src) (Filename.quote log)
+
+let c_cmd ~tc ~dir ~src ~out ~log =
+  (* -ffp-contract=off: contraction would fuse mul+add and change rounding,
+     breaking bit-identity with the interpreter. *)
+  Printf.sprintf
+    "cd %s && %s -O3 -ffp-contract=off -fPIC -shared -o %s %s -lm > %s 2>&1"
+    (Filename.quote dir) tc (Filename.quote out) (Filename.quote src)
+    (Filename.quote log)
+
+(* Fused sweeps are the hot artifact, and a JIT compiles for the machine it
+   runs on: ask for the host microarchitecture first and fall back to the
+   portable per-term flags when the compiler does not know [-march=native].
+   Wider vector codegen does not change per-element rounding, and
+   [-ffp-contract=off] still bans the fused multiply-adds that would. *)
+let c_sweep_cmd ~tc ~dir ~src ~out ~log =
+  let flags march =
+    Printf.sprintf "%s -O3%s -ffp-contract=off -fPIC -shared -o %s %s -lm" tc
+      march (Filename.quote out) (Filename.quote src)
+  in
+  Printf.sprintf "cd %s && { %s > %s 2>&1 || %s > %s 2>&1; }"
+    (Filename.quote dir)
+    (flags " -march=native")
+    (Filename.quote log) (flags "") (Filename.quote log)
+
+(* Shared build skeleton: serve the artifact from disk when present, else
+   emit the source, run the toolchain and atomically install the result.
+   [emit] may raise [Unsupported]; the toolchain paths return [Error]. *)
+let build_shared ~dir ~base ~art_ext ~src_ext ~tool ~cmd ~emit ~load =
+  let art = Filename.concat dir (base ^ art_ext) in
+  if Sys.file_exists art then begin
     incr disk_hits;
-    load ()
+    load art
   end
   else
-    let compiler =
-      if have_tool "cc" then Some "cc"
-      else if have_tool "gcc" then Some "gcc"
-      else None
-    in
-    match compiler with
-    | None -> Error "no C compiler (cc/gcc) found on PATH"
-    | Some cc ->
-        let c = base ^ ".c" in
-        write_atomic ~dir ~dst:(Filename.concat dir c)
-          (emit_c ~base ~halo ~strides spec);
-        let tmp = Filename.temp_file ~temp_dir:dir base ".so" in
+    match tool () with
+    | Error msg -> Error msg
+    | Ok tc ->
+        let src = base ^ src_ext in
+        write_atomic ~dir ~dst:(Filename.concat dir src) (emit ());
+        let tmp = Filename.temp_file ~temp_dir:dir base art_ext in
         let log = base ^ ".log" in
-        let cmd =
-          (* -ffp-contract=off: contraction would fuse mul+add and change
-             rounding, breaking bit-identity with the interpreter. *)
-          Printf.sprintf
-            "cd %s && %s -O3 -ffp-contract=off -fPIC -shared -o %s %s > %s 2>&1"
-            (Filename.quote dir) cc
-            (Filename.quote (Filename.basename tmp))
-            (Filename.quote c) (Filename.quote log)
-        in
-        if Sys.command cmd <> 0 then begin
+        if Sys.command (cmd ~tc ~dir ~src ~out:(Filename.basename tmp) ~log) <> 0
+        then begin
           (try Sys.remove tmp with Sys_error _ -> ());
-          Error (cc ^ " failed: " ^ read_log (Filename.concat dir log))
+          Error (tc ^ " failed: " ^ read_log (Filename.concat dir log))
         end
         else begin
-          Sys.rename tmp so;
+          Sys.rename tmp art;
           incr compiles;
-          load ()
+          load art
         end
 
-let spec_ok (spec : Interp.spec) =
+let load_native ~base art =
+  try
+    Dynlink.loadfile_private art;
+    Ok (Obj.obj (named_value ("msc_jit_" ^ base)))
+  with
+  | Dynlink.Error e -> Error ("dynlink: " ^ Dynlink.error_message e)
+  | Not_found -> Error "loaded kernel did not register itself"
+  | Failure m -> Error m
+
+let build_native ~dir ~base ~halo ~strides interp :
+    (Backend.kernel_fn, string) result =
+  build_shared ~dir ~base ~art_ext:".cmxs" ~src_ext:".ml" ~tool:ocaml_tool
+    ~cmd:ocaml_cmd
+    ~emit:(fun () -> emit_ocaml ~base ~halo ~strides interp)
+    ~load:(fun art -> load_native ~base art)
+
+let build_c ~dir ~base ~halo ~strides interp :
+    (Backend.kernel_fn, string) result =
+  build_shared ~dir ~base ~art_ext:".so" ~src_ext:".c" ~tool:c_tool ~cmd:c_cmd
+    ~emit:(fun () -> emit_c ~base ~halo ~strides interp)
+    ~load:(fun art ->
+      try
+        let fn = dlopen_sym art "msc_kernel" in
+        Ok
+          (fun wb scale src dst aux lo hi ->
+            c_call fn wb scale src dst aux lo hi)
+      with Failure m -> Error ("dlopen: " ^ m))
+
+let build_native_sweep ~dir ~base ~halo ~strides terms :
+    (Backend.sweep_fn, string) result =
+  build_shared ~dir ~base ~art_ext:".cmxs" ~src_ext:".ml" ~tool:ocaml_tool
+    ~cmd:ocaml_cmd
+    ~emit:(fun () -> emit_ocaml_sweep ~base ~halo ~strides terms)
+    ~load:(fun art -> load_native ~base art)
+
+let build_c_sweep ~dir ~base ~halo ~strides terms :
+    (Backend.sweep_fn, string) result =
+  build_shared ~dir ~base ~art_ext:".so" ~src_ext:".c" ~tool:c_tool
+    ~cmd:c_sweep_cmd
+    ~emit:(fun () ->
+      emit_c_sweep_src ~fn_name:"msc_sweep" ~halo ~strides terms)
+    ~load:(fun art ->
+      try
+        let fn = dlopen_sym art "msc_sweep" in
+        Ok
+          (fun wb srcs dst aux lo hi -> c_call_sweep fn wb srcs dst aux lo hi)
+      with Failure m -> Error ("dlopen: " ^ m))
+
+(* {2 Compilation driver} *)
+
+(* Forms the emitters reject up front (tree kernels are validated during
+   emission instead — their unsupported constructs surface as
+   [Unsupported] from the expression renderers). *)
+let check_spec (spec : Interp.spec) =
   match spec with
-  | Spec_tree -> Error "tree-mode kernel is not compilable"
+  | Spec_tree -> ()
   | Spec_taps { taps_coeffs; _ } ->
-      if Array.for_all Float.is_finite taps_coeffs then Ok ()
-      else Error "non-finite tap coefficient"
+      if not (Array.for_all Float.is_finite taps_coeffs) then
+        unsupported "non-finite tap coefficient"
   | Spec_bilinear b ->
-      if Array.length b.bil_coeffs > 64 then
-        Error "too many bilinear terms for the C calling convention"
-      else if not (Array.for_all Float.is_finite b.bil_coeffs) then
-        Error "non-finite bilinear coefficient"
-      else if
-        (* An aux-reading term without a named aux tensor falls back to the
-           input grid in the interpreter; the compiled convention resolves
-           aux arrays once at runtime creation, so it cannot express that. *)
-        Array.exists
-          (fun k ->
-            (b.bil_kinds.(k) = 0 || b.bil_kinds.(k) = 2)
-            && b.bil_aux_names.(k) = None)
-          (Array.init (Array.length b.bil_kinds) Fun.id)
-      then Error "bilinear term reads an unnamed aux tensor"
-      else Ok ()
+      if Array.length b.bil_coeffs > max_aux then
+        unsupported "too many bilinear terms for the C calling convention";
+      if not (Array.for_all Float.is_finite b.bil_coeffs) then
+        unsupported "non-finite bilinear coefficient"
+
+(* Tree kernels carry their payload outside Interp.spec, so the cache key
+   must fold it in explicitly. *)
+let term_extra interp =
+  match Interp.spec interp with
+  | Interp.Spec_tree ->
+      let k = Interp.kernel interp in
+      Some
+        ( k.Kernel.expr,
+          k.Kernel.bindings,
+          k.Kernel.index_vars,
+          k.Kernel.input.Tensor.name )
+  | _ -> None
+
+(* Classify a build outcome into the two failure counters: [Unsupported]
+   is a form the emitters cannot express; everything else (missing
+   toolchain, compile error, load error) is a toolchain failure. Counters
+   are touched under the caller's lock. *)
+let classified f =
+  match f () with
+  | Ok _ as ok -> ok
+  | Error _ as e ->
+      incr failures_toolchain;
+      e
+  | exception Unsupported msg ->
+      incr failures_unsupported;
+      Error msg
+  | exception e ->
+      incr failures_toolchain;
+      Error (Printexc.to_string e)
 
 let compile_term ~backend ~plan_digest ~term_index interp =
   match (backend : Backend.t) with
   | Interp -> Error "interpreter backend compiles nothing"
-  | (Native_ocaml | Compiled_c) as b -> (
+  | (Native_ocaml | Compiled_c) as b ->
       let spec = Interp.spec interp in
-      match spec_ok spec with
-      | Error _ as e -> e
-      | Ok () ->
-          let halo = Interp.halo interp and strides = Interp.strides interp in
-          (* The key digests everything baked into the generated code; the
-             plan digest alone is not enough because distributed ranks
-             compile per-rank geometries under related plans. *)
+      let halo = Interp.halo interp and strides = Interp.strides interp in
+      (* The key digests everything baked into the generated code; the
+         plan digest alone is not enough because distributed ranks
+         compile per-rank geometries under related plans. *)
+      let key =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\x00"
+                [
+                  plan_digest;
+                  string_of_int term_index;
+                  Marshal.to_string
+                    ( Interp.shape interp,
+                      halo,
+                      strides,
+                      spec,
+                      term_extra interp )
+                    [];
+                ]))
+      in
+      let base = Printf.sprintf "msc_kern_%s_t%d" key term_index in
+      let memo_key = Backend.to_string b ^ ":" ^ base in
+      with_lock (fun () ->
+          match Hashtbl.find_opt memo memo_key with
+          | Some fn ->
+              incr memo_hits;
+              Ok fn
+          | None -> (
+              let dir = cache_dir () in
+              (try mkdir_p dir with _ -> ());
+              let result =
+                classified (fun () ->
+                    check_spec spec;
+                    match b with
+                    | Backend.Native_ocaml ->
+                        build_native ~dir ~base ~halo ~strides interp
+                    | Backend.Compiled_c ->
+                        build_c ~dir ~base ~halo ~strides interp
+                    | Backend.Interp -> assert false)
+              in
+              match result with
+              | Ok fn ->
+                  Hashtbl.replace memo memo_key fn;
+                  result
+              | Error _ -> result))
+
+let check_sweep terms =
+  let nterms = List.length terms in
+  if nterms = 0 then unsupported "empty sweep";
+  if nterms > max_aux then
+    unsupported "too many terms for the C calling convention";
+  let _, nslots = sweep_slots terms in
+  if nslots > max_aux then
+    unsupported "too many aux slots for the C calling convention";
+  List.iter
+    (function
+      | Sweep_state _ -> ()
+      | Sweep_kernel { interp; _ } -> check_spec (Interp.spec interp))
+    terms
+
+let sweep_sig = function
+  | Sweep_state { scale } -> `State scale
+  | Sweep_kernel { scale; interp } ->
+      `Kernel (scale, Interp.spec interp, term_extra interp)
+
+let compile_sweep ~backend ~plan_digest terms =
+  match (backend : Backend.t) with
+  | Interp -> Error "interpreter backend compiles nothing"
+  | (Native_ocaml | Compiled_c) as b -> (
+      match sweep_geometry terms with
+      | Error msg ->
+          with_lock (fun () -> incr failures_unsupported);
+          Error msg
+      | Ok (shape, halo, strides) ->
           let key =
             Digest.to_hex
               (Digest.string
                  (String.concat "\x00"
                     [
                       plan_digest;
-                      string_of_int term_index;
+                      (* Emitter-version salt: bump when the generated
+                         code changes for the same specs, or stale cached
+                         artifacts keep the old code shape. v2 = row
+                         blocking + host-arch flags. *)
+                      "sweep-v2";
                       Marshal.to_string
-                        (Interp.shape interp, halo, strides, spec)
+                        (shape, halo, strides, List.map sweep_sig terms)
                         [];
                     ]))
           in
-          let base = Printf.sprintf "msc_kern_%s_t%d" key term_index in
+          let base = "msc_sweep_" ^ key in
           let memo_key = Backend.to_string b ^ ":" ^ base in
           with_lock (fun () ->
-              match Hashtbl.find_opt memo memo_key with
+              match Hashtbl.find_opt sweep_memo memo_key with
               | Some fn ->
                   incr memo_hits;
                   Ok fn
@@ -439,19 +1173,26 @@ let compile_term ~backend ~plan_digest ~term_index interp =
                   let dir = cache_dir () in
                   (try mkdir_p dir with _ -> ());
                   let result =
-                    try
-                      match b with
-                      | Backend.Native_ocaml ->
-                          build_native ~dir ~base ~halo ~strides spec
-                      | Backend.Compiled_c ->
-                          build_c ~dir ~base ~halo ~strides spec
-                      | Backend.Interp -> assert false
-                    with e -> Error (Printexc.to_string e)
+                    classified (fun () ->
+                        check_sweep terms;
+                        match b with
+                        | Backend.Native_ocaml ->
+                            build_native_sweep ~dir ~base ~halo ~strides terms
+                        | Backend.Compiled_c ->
+                            build_c_sweep ~dir ~base ~halo ~strides terms
+                        | Backend.Interp -> assert false)
                   in
                   match result with
                   | Ok fn ->
-                      Hashtbl.replace memo memo_key fn;
-                      Ok fn
-                  | Error _ as e ->
-                      incr failures;
-                      e)))
+                      Hashtbl.replace sweep_memo memo_key fn;
+                      result
+                  | Error _ -> result)))
+
+let emit_c_sweep ~fn_name terms =
+  match sweep_geometry terms with
+  | Error _ as e -> e
+  | Ok (_, halo, strides) -> (
+      try
+        check_sweep terms;
+        Ok (emit_c_sweep_src ~fn_name ~halo ~strides terms)
+      with Unsupported msg -> Error msg)

@@ -1,11 +1,25 @@
 (** Runtime kernel compiler behind the {!Backend.Native_ocaml} and
     {!Backend.Compiled_c} backends.
 
-    [compile_term] emits a specialized kernel — flat-array loads/stores,
-    per-radius unrolled taps, geometry constants baked in — from the same
-    precompiled representation the interpreter executes ({!Interp.spec}),
-    compiles it with the host toolchain, and loads it back as a
-    {!Backend.kernel_fn}:
+    Two granularities of generated code:
+
+    - [compile_term] emits a specialized kernel for one stencil term —
+      flat-array loads/stores, per-radius unrolled taps, geometry
+      constants baked in — loaded back as a {!Backend.kernel_fn};
+    - [compile_sweep] emits one {e fused} kernel for the whole sweep: every
+      term of the stencil update accumulated in a single pass over the
+      range through a per-point register accumulator, scales and writeback
+      folded in. The C emitter blocks the second-innermost loop by 4 rows
+      (independent accumulator chains for ILP while the contiguous
+      innermost loop stays auto-vectorizable) and compiles with the host's
+      native ISA when the compiler accepts it; the OCaml emitter unrolls
+      the innermost row by 4 instead. Loaded back as a {!Backend.sweep_fn}
+      and dispatched tile-task-at-a-time by {!Runtime.sweep}.
+
+    Both are emitted from the same precompiled representation the
+    interpreter executes ({!Interp.spec}, plus the kernel expression tree
+    for tree-mode kernels), so compiled sweeps agree with the interpreter
+    bit-exactly by construction:
 
     - [Native_ocaml]: a [.ml] file compiled with [ocamlopt -shared] and
       loaded through [Dynlink]; the plugin hands its closure back via
@@ -13,35 +27,63 @@
     - [Compiled_c]: a [.c] file compiled with [cc -O3 -ffp-contract=off
       -fPIC -shared] and loaded through [dlopen]. Contraction is disabled
       because fused multiply-adds would change the rounding and break the
-      bit-identity contract with the interpreter.
+      bit-identity contract with the interpreter. Tree-mode kernels call
+      the same libm the OCaml runtime links, and [Float.min]/[Float.max]
+      are ported to C by hand ([fmin]/[fmax] differ on NaN and signed
+      zeros).
 
     Artifacts live in a persistent on-disk cache — [$MSC_KERNEL_CACHE] when
     set, else [<tmpdir>/msc-kernels] — keyed by a digest of everything baked
-    into the generated code (plan digest, geometry, term spec). A process
-    memo table short-circuits repeat compiles; artifacts are written with
-    atomic renames so concurrent processes can share a cache directory.
+    into the generated code (plan digest, geometry, term specs, tree
+    payloads). A process memo table short-circuits repeat compiles;
+    artifacts are written with atomic renames so concurrent processes can
+    share a cache directory.
 
-    All failure modes (no toolchain on [PATH], tree-mode kernels, compile
-    or load errors) return [Error reason]; callers fall back to the
-    interpreter per term. *)
+    All failure modes return [Error reason]; callers fall back to the
+    interpreter. {!stats} separates forms the emitters cannot express
+    ([failures_unsupported]: non-finite constants, unknown calls or loop
+    variables, term/aux counts past the stub limit) from toolchain
+    problems ([failures_toolchain]: no compiler on [PATH], compile or load
+    errors). *)
 
 type stats = {
   memo_hits : int;  (** served from the in-process table *)
   disk_hits : int;  (** artifact already on disk, only re-loaded *)
   compiles : int;  (** toolchain actually invoked *)
-  failures : int;  (** compile or load errors (not counting [Interp]) *)
+  failures_unsupported : int;
+      (** forms the emitters cannot express (the caller's fallback is
+          expected and deterministic) *)
+  failures_toolchain : int;
+      (** missing toolchain, compile errors, load errors *)
 }
 (** Process-lifetime counters, cumulative across cache directories. *)
 
 val stats : unit -> stats
 
 val clear_memo : unit -> unit
-(** Drop the in-process memo table (the on-disk cache is untouched), so the
-    next [compile_term] exercises the disk-hit path. For tests. *)
+(** Drop the in-process memo tables (the on-disk cache is untouched), so
+    the next compile exercises the disk-hit path. For tests. *)
 
 val cache_dir : unit -> string
 (** The directory the next compile will use ([$MSC_KERNEL_CACHE] is
     re-read on every call). *)
+
+(** {1 Aux slot layouts} *)
+
+val per_term_aux_names : Interp.t -> string option array
+(** The aux layout a per-term compiled kernel expects in its [aux]
+    argument: bilinear kernels keep one slot per bilinear subterm
+    (matching [bil_aux_names]; [None] slots take [[||]] placeholders),
+    tree kernels one slot per distinct aux tensor in first-use order,
+    taps kernels none. *)
+
+val sweep_term_aux_names : Interp.t -> string list
+(** The compact aux slots one term contributes to a fused sweep: the
+    distinct aux tensor names the term reads, in first-use order. A
+    {!Backend.sweep_fn}'s [aux] argument is the concatenation of these
+    per kernel term, in stencil term order. *)
+
+(** {1 Per-term kernels} *)
 
 val compile_term :
   backend:Backend.t ->
@@ -54,3 +96,27 @@ val compile_term :
     invocation with {!Interp.check_grids} / {!Interp.check_range} exactly
     as the interpreter does. [backend = Interp] is an [Error] (the caller
     should not be asking). *)
+
+(** {1 Fused whole-sweep kernels} *)
+
+type sweep_term =
+  | Sweep_state of { scale : float }
+      (** the stencil's identity term: [scale * src] *)
+  | Sweep_kernel of { scale : float; interp : Interp.t }
+      (** a kernel term: [scale * K(src)] *)
+
+val compile_sweep :
+  backend:Backend.t ->
+  plan_digest:string ->
+  sweep_term list ->
+  (Backend.sweep_fn, string) result
+(** Emit + compile + load one fused kernel covering the whole term list,
+    in stencil term order. All kernel terms must share a geometry; at
+    least one kernel term is required. The returned function performs no
+    validation — callers guard with {!Interp.check_grids} /
+    {!Interp.check_range} per kernel term. *)
+
+val emit_c_sweep : fn_name:string -> sweep_term list -> (string, string) result
+(** The fused C function body alone (no compilation), for the AOT
+    {!Codegen} driver: the same emitter the [Compiled_c] backend JITs, so
+    standalone generated programs share the fused sweep code path. *)

@@ -6,6 +6,9 @@
  *   convention of Backend.kernel_fn. Grid data arrays are OCaml flat float
  *   arrays passed as double*; lo/hi/aux are unpacked into C locals before
  *   the call, so the kernel only ever sees raw C data.
+ * - msc_jit_call_sweep: invoke a loaded fused whole-sweep kernel
+ *   (Backend.sweep_fn) — one source array per stencil term plus the
+ *   concatenated aux slots, unpacked the same way.
  * - msc_jit_named_value: fetch the closure a Dynlink-loaded OCaml kernel
  *   registered through Callback.register.
  */
@@ -72,6 +75,44 @@ CAMLprim value msc_jit_call_bytecode(value *argv, int argn)
   (void)argn;
   return msc_jit_call_native(argv[0], argv[1], argv[2], argv[3], argv[4],
                              argv[5], argv[6], argv[7]);
+}
+
+typedef void (*msc_sweep_t)(long wb, const double **srcs, double *dst,
+                            const double **aux, const long *lo,
+                            const long *hi);
+
+CAMLprim value msc_jit_call_sweep_native(value fn, value wb, value srcs,
+                                         value dst, value aux, value lo,
+                                         value hi)
+{
+  const double *srcp[MSC_JIT_MAX];
+  const double *auxp[MSC_JIT_MAX];
+  long lov[MSC_JIT_MAX], hiv[MSC_JIT_MAX];
+  mlsize_t nsrc = Wosize_val(srcs);
+  mlsize_t naux = Wosize_val(aux);
+  mlsize_t nd = Wosize_val(lo);
+  mlsize_t i;
+  if (nsrc > MSC_JIT_MAX || naux > MSC_JIT_MAX || nd > MSC_JIT_MAX ||
+      Wosize_val(hi) != nd)
+    caml_invalid_argument("msc_jit_call_sweep: rank, term or aux count out of range");
+  for (i = 0; i < nsrc; i++)
+    srcp[i] = (const double *)Op_val(Field(srcs, i));
+  for (i = 0; i < naux; i++)
+    auxp[i] = (const double *)Op_val(Field(aux, i));
+  for (i = 0; i < nd; i++) {
+    lov[i] = Long_val(Field(lo, i));
+    hiv[i] = Long_val(Field(hi, i));
+  }
+  ((msc_sweep_t)Nativeint_val(fn))(Long_val(wb), srcp,
+                                   (double *)Op_val(dst), auxp, lov, hiv);
+  return Val_unit;
+}
+
+CAMLprim value msc_jit_call_sweep_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return msc_jit_call_sweep_native(argv[0], argv[1], argv[2], argv[3],
+                                   argv[4], argv[5], argv[6]);
 }
 
 CAMLprim value msc_jit_named_value(value name)

@@ -23,6 +23,8 @@ type backend_report = {
   effective : Backend.t;
   kernel_terms : int;
   compiled_terms : int;
+  fused_sweeps : int;
+  tile_dispatches : int;
   fallback : string option;
 }
 
@@ -38,7 +40,15 @@ type t = {
   par : [ `Seq | `Block | `Round_robin ];
   pool : Msc_util.Domain_pool.t;
   engine : engine;
-  backend_report : backend_report;
+  (* The fused whole-sweep kernel, when the backend compiled one: a single
+     pass accumulating every term. [fused_srcs] holds one source array per
+     term and is refreshed per dispatch (the window rotates between steps);
+     [fused_aux] concatenates every term's aux slots and is static. *)
+  fused : Backend.sweep_fn option;
+  fused_srcs : float array array;
+  fused_aux : float array array;
+  mutable tile_dispatches : int;  (* tile tasks swept, cumulative *)
+  backend_report : backend_report;  (* tile_dispatches patched on read *)
   trace : Msc_trace.t;
   tid : int;  (* label for this runtime's spans (the rank, when distributed) *)
   on_worker : (int -> unit) option;  (* attaches worker domains to [trace] *)
@@ -122,44 +132,103 @@ let create ?plan ?schedule ?(config = Exec.Config.default)
   in
   let backend = config.Exec.Config.backend in
   let fallback = ref None in
-  let kernel_terms = ref 0 and compiled_terms = ref 0 in
+  (* Interpreter compilations first: they are the semantic reference for
+     both the fused and the per-term compiled paths. *)
+  let pre_terms =
+    List.map
+      (fun (scale, src, dt) ->
+        match src with
+        | `Kernel k -> (scale, `Kernel (Interp.compile ~trace k ~geometry), dt)
+        | `State -> (scale, `State, dt))
+      (flatten 1.0 st.Stencil.expr)
+  in
+  let kernel_terms =
+    List.length
+      (List.filter (fun (_, s, _) -> match s with `Kernel _ -> true | `State -> false) pre_terms)
+  in
+  let aux_data_of name =
+    Option.map (fun (g : Grid.t) -> g.Grid.data) (List.assoc_opt name aux)
+  in
+  (* Tentpole path: one fused kernel for the whole sweep. Attempted first;
+     per-term kernels are only compiled when fusion is off or failed. *)
+  let sweep_terms =
+    List.map
+      (fun (scale, src, _) ->
+        match src with
+        | `Kernel interp -> Jit.Sweep_kernel { scale; interp }
+        | `State -> Jit.Sweep_state { scale })
+      pre_terms
+  in
+  let fused_aux_resolved =
+    (* Every named aux slot must have a grid, or the fused kernel cannot be
+       given its arrays (defensive: Stencil kernels always register their
+       aux tensors, so this only trips on hand-built runtimes). *)
+    List.for_all
+      (function
+        | Jit.Sweep_state _ -> true
+        | Jit.Sweep_kernel { interp; _ } ->
+            List.for_all
+              (fun n -> aux_data_of n <> None)
+              (Jit.sweep_term_aux_names interp))
+      sweep_terms
+  in
+  let fused =
+    if
+      backend = Backend.Interp
+      || (not config.Exec.Config.fuse)
+      || kernel_terms = 0
+      || not fused_aux_resolved
+    then None
+    else
+      match
+        Jit.compile_sweep ~backend ~plan_digest:plan.Plan.digest sweep_terms
+      with
+      | Ok fn -> Some fn
+      | Error _ -> None
+  in
+  let compiled_terms = ref (if fused <> None then kernel_terms else 0) in
   let term_ix = ref 0 in
   let jit_aux_of interp =
-    match Interp.spec interp with
-    | Interp.Spec_bilinear b ->
-        Array.map
-          (function
-            | Some name -> (
-                match List.assoc_opt name aux with
-                | Some (g : Grid.t) -> g.Grid.data
-                | None -> [||])
-            | None -> [||])
-          b.Interp.bil_aux_names
-    | Interp.Spec_taps _ | Interp.Spec_tree -> [||]
+    Array.map
+      (function
+        | Some name -> (
+            match aux_data_of name with Some data -> data | None -> [||])
+        | None -> [||])
+      (Jit.per_term_aux_names interp)
   in
   let terms =
     List.map
       (fun (scale, src, dt) ->
         match src with
-        | `Kernel k ->
+        | `Kernel interp ->
             let i = !term_ix in
             incr term_ix;
-            incr kernel_terms;
-            let interp = Interp.compile ~trace k ~geometry in
             let compiled =
-              match backend with
-              | Backend.Interp -> None
-              | b -> (
-                  match
-                    Jit.compile_term ~backend:b ~plan_digest:plan.Plan.digest
-                      ~term_index:i interp
-                  with
-                  | Ok fn ->
-                      incr compiled_terms;
-                      Some fn
-                  | Error msg ->
-                      if !fallback = None then fallback := Some msg;
-                      None)
+              if backend = Backend.Interp || fused <> None then None
+              else if
+                (* A named aux tensor with no grid cannot be resolved into
+                   the compiled ABI; keep that term on the interpreter. *)
+                not
+                  (Array.for_all
+                     (function
+                       | Some n -> aux_data_of n <> None | None -> true)
+                     (Jit.per_term_aux_names interp))
+              then begin
+                if !fallback = None then
+                  fallback := Some "kernel reads an aux tensor with no grid";
+                None
+              end
+              else
+                match
+                  Jit.compile_term ~backend ~plan_digest:plan.Plan.digest
+                    ~term_index:i interp
+                with
+                | Ok fn ->
+                    incr compiled_terms;
+                    Some fn
+                | Error msg ->
+                    if !fallback = None then fallback := Some msg;
+                    None
             in
             {
               scale;
@@ -167,14 +236,33 @@ let create ?plan ?schedule ?(config = Exec.Config.default)
               dt;
             }
         | `State -> { scale; source = From_state; dt })
-      (flatten 1.0 st.Stencil.expr)
+      pre_terms
+  in
+  let fused_srcs =
+    if fused = None then [||]
+    else Array.make (List.length terms) [||]
+  in
+  let fused_aux =
+    if fused = None then [||]
+    else
+      Array.of_list
+        (List.concat_map
+           (function
+             | Jit.Sweep_state _ -> []
+             | Jit.Sweep_kernel { interp; _ } ->
+                 List.map
+                   (fun n -> Option.get (aux_data_of n))
+                   (Jit.sweep_term_aux_names interp))
+           sweep_terms)
   in
   let backend_report =
     {
       requested = backend;
       effective = (if !compiled_terms > 0 then backend else Backend.Interp);
-      kernel_terms = !kernel_terms;
+      kernel_terms;
       compiled_terms = !compiled_terms;
+      fused_sweeps = (if fused = None then 0 else 1);
+      tile_dispatches = 0;
       fallback = !fallback;
     }
   in
@@ -210,6 +298,10 @@ let create ?plan ?schedule ?(config = Exec.Config.default)
     par;
     pool = config.Exec.Config.pool;
     engine;
+    fused;
+    fused_srcs;
+    fused_aux;
+    tile_dispatches = 0;
     backend_report;
     trace;
     tid;
@@ -220,7 +312,8 @@ let create ?plan ?schedule ?(config = Exec.Config.default)
 let stencil t = t.stencil
 let time_window t = Array.length t.window - 1
 let steps_done t = t.steps_done
-let backend_report t = t.backend_report
+let backend_report t =
+  { t.backend_report with tile_dispatches = t.tile_dispatches }
 
 let state t ~dt =
   let len = Array.length t.window in
@@ -268,7 +361,7 @@ let term_write t ~dst ~lo ~hi term =
       Interp.apply_scaled_range ~aux:t.aux interp ~scale:term.scale ~src ~dst ~lo ~hi
   | From_state -> Interp.identity_apply_range ~scale:term.scale ~src ~dst ~lo ~hi
 
-let compute_range t ~dst ~lo ~hi =
+let compute_range_terms t ~dst ~lo ~hi =
   match (t.engine, t.terms) with
   | Write_through, first :: rest ->
       (* The first term overwrites the range, so [step] needs no zero pass —
@@ -280,6 +373,28 @@ let compute_range t ~dst ~lo ~hi =
       List.iter (term_accumulate t ~dst ~lo ~hi) rest
   | Write_through, [] | Zero_accumulate, _ ->
       List.iter (term_accumulate t ~dst ~lo ~hi) t.terms
+
+let compute_range t ~dst ~lo ~hi =
+  match t.fused with
+  | Some fn ->
+      (* The fused kernel performs no validation; guard every kernel term
+         with the interpreter's own checks, exactly as the per-term path
+         does. [fused_srcs] was refreshed by the dispatching sweep. *)
+      List.iter
+        (fun term ->
+          match term.source with
+          | From_kernel { interp; _ } ->
+              Interp.check_grids interp ~src:(state t ~dt:term.dt) ~dst;
+              Interp.check_range interp ~lo ~hi
+          | From_state -> ())
+        t.terms;
+      let wb =
+        match t.engine with
+        | Write_through -> Backend.wb_apply
+        | Zero_accumulate -> Backend.wb_accumulate
+      in
+      fn wb t.fused_srcs dst.Grid.data t.fused_aux lo hi
+  | None -> compute_range_terms t ~dst ~lo ~hi
 
 (* [compute_range] wrapped in a per-tile "sweep" span. On parallel paths the
    worker's attachment supplies the tid; sequential sweeps carry the
@@ -295,6 +410,13 @@ let sweep_one ?tid t ~dst (lo, hi) =
    interior/shell split — produces bit-identical output in any order. *)
 let sweep_tasks_into t ~dst tasks =
   let ntiles = Array.length tasks in
+  t.tile_dispatches <- t.tile_dispatches + ntiles;
+  (* Re-resolve each term's source array: the window rotated since the
+     last sweep. Workers only read the refreshed array. *)
+  if t.fused <> None then
+    List.iteri
+      (fun i term -> t.fused_srcs.(i) <- (state t ~dt:term.dt).Grid.data)
+      t.terms;
   match t.par with
   | `Seq ->
       for id = 0 to ntiles - 1 do

@@ -36,12 +36,22 @@ type backend_report = {
           term compiled, [Interp] when everything fell back *)
   kernel_terms : int;  (** stencil terms that sweep a kernel *)
   compiled_terms : int;  (** of those, how many run loaded code *)
+  fused_sweeps : int;
+      (** [1] when the whole sweep runs as one fused compiled kernel (in
+          which case [compiled_terms = kernel_terms] and no per-term
+          kernels were built), [0] otherwise *)
+  tile_dispatches : int;
+      (** cumulative count of tile tasks swept so far — each is one
+          dispatch unit on the worker pool (interior/shell splits and
+          temporal substeps all count their tasks) *)
   fallback : string option;
       (** first reason a term fell back to the interpreter, if any *)
 }
-(** How the configured {!Backend} materialised for this runtime. Fallback
-    is per term: tree-mode kernels stay interpreted even when their
-    siblings compile. *)
+(** How the configured {!Backend} materialised for this runtime. With
+    [fuse] on (the default), compiled backends run one fused whole-sweep
+    kernel dispatched tile-task-at-a-time across the pool; when fusion is
+    off or the fused compile failed, kernels compile per term, and
+    fallback is per term. *)
 
 val create :
   ?plan:Msc_schedule.Plan.t ->

@@ -15,6 +15,9 @@ module Exec = Msc_exec.Exec
 module Bc = Msc_exec.Bc
 module Distributed = Msc_comm.Distributed
 module Suite = Msc_benchsuite.Suite
+module Builder = Msc_frontend.Builder
+module Schedule = Msc_schedule.Schedule
+module Codegen = Msc_codegen.Codegen
 
 let small_dims (b : Suite.bench) =
   match b.Suite.ndim with 2 -> [| 14; 18 |] | _ -> [| 10; 12; 11 |]
@@ -49,12 +52,20 @@ let toolchain_for = function
 
 let compiled_backends = [ Backend.Native_ocaml; Backend.Compiled_c ]
 
-let final ?bc ~backend ~steps st =
-  let rt = Runtime.create ~config:(Exec.Config.make ~backend ()) ?bc st in
+let final ?bc ?fuse ?pool ?schedule ~backend ~steps st =
+  let rt =
+    Runtime.create
+      ~config:(Exec.Config.make ~backend ?fuse ?pool ())
+      ?bc ?schedule st
+  in
   Runtime.run rt steps;
   (Runtime.current rt, Runtime.backend_report rt)
 
-(* --- Single-node bit-identity over the whole suite --- *)
+(* --- Single-node bit-identity over the whole suite ---
+
+   Three-way per benchmark and backend: the interpreter, the fused
+   whole-sweep kernel (the default), and the per-term kernels ([fuse:false])
+   must agree bit-for-bit. *)
 
 let suite_parity_bit_identical () =
   List.iter
@@ -66,16 +77,33 @@ let suite_parity_bit_identical () =
           let name =
             Printf.sprintf "%s/%s" b.Suite.name (Backend.to_string backend)
           in
-          let got, report = final ~backend ~steps:3 st in
+          let got_fused, report = final ~backend ~steps:3 st in
+          let got_terms, report_terms =
+            final ~fuse:false ~backend ~steps:3 st
+          in
           if toolchain_for backend then begin
             check_bool (name ^ ": requested backend ran") true
               (Backend.equal report.Runtime.effective backend);
             check_int
-              (name ^ ": every kernel term compiled")
-              report.Runtime.kernel_terms report.Runtime.compiled_terms
+              (name ^ ": every kernel term compiled (fused)")
+              report.Runtime.kernel_terms report.Runtime.compiled_terms;
+            check_int (name ^ ": sweep is fused") 1 report.Runtime.fused_sweeps;
+            check_int
+              (name ^ ": per-term leg not fused")
+              0 report_terms.Runtime.fused_sweeps;
+            check_int
+              (name ^ ": every kernel term compiled (per-term)")
+              report_terms.Runtime.kernel_terms
+              report_terms.Runtime.compiled_terms;
+            check_bool
+              (name ^ ": tile dispatches counted")
+              true
+              (report.Runtime.tile_dispatches > 0)
           end;
-          check_bool (name ^ ": bit-identical to interp") true
-            (got.Grid.data = interp.Grid.data))
+          check_bool (name ^ ": fused bit-identical to interp") true
+            (got_fused.Grid.data = interp.Grid.data);
+          check_bool (name ^ ": per-term bit-identical to interp") true
+            (got_terms.Grid.data = interp.Grid.data))
         compiled_backends)
     Suite.all
 
@@ -118,13 +146,17 @@ let distributed_matrix_exact () =
         (fun backend ->
           List.iter
             (fun (ename, engine) ->
-              check_float
-                (Printf.sprintf "%s/%s/%s" b.Suite.name
-                   (Backend.to_string backend) ename)
-                0.0
-                (Distributed.validate
-                   ~config:(Exec.Config.make ~backend ~engine ())
-                   ~steps:3 ~ranks_shape st))
+              List.iter
+                (fun fuse ->
+                  check_float
+                    (Printf.sprintf "%s/%s/%s/%s" b.Suite.name
+                       (Backend.to_string backend) ename
+                       (if fuse then "fused" else "per-term"))
+                    0.0
+                    (Distributed.validate
+                       ~config:(Exec.Config.make ~backend ~engine ~fuse ())
+                       ~steps:3 ~ranks_shape st))
+                [ true; false ])
             engines)
         compiled_backends)
     Suite.all
@@ -135,18 +167,25 @@ let distributed_deep_uneven_periodic_exact () =
   let _, st = stencil_2d9pt_box ~m:13 ~n:17 () in
   List.iter
     (fun backend ->
-      let name = Backend.to_string backend in
-      check_float (name ^ ": depth 4 on uneven 3x2 ranks") 0.0
-        (Distributed.validate
-           ~config:
-             (Exec.Config.make ~backend
-                ~engine:(Exec.Temporal_blocked { depth = 4 })
-                ())
-           ~steps:5 ~ranks_shape:[| 3; 2 |] st);
-      check_float (name ^ ": periodic wrap, overlapped") 0.0
-        (Distributed.validate
-           ~config:(Exec.Config.make ~backend ~engine:Exec.Overlapped ())
-           ~bc:Bc.Periodic ~steps:4 ~ranks_shape:[| 2; 2 |] st))
+      List.iter
+        (fun fuse ->
+          let name =
+            Printf.sprintf "%s/%s" (Backend.to_string backend)
+              (if fuse then "fused" else "per-term")
+          in
+          check_float (name ^ ": depth 4 on uneven 3x2 ranks") 0.0
+            (Distributed.validate
+               ~config:
+                 (Exec.Config.make ~backend ~fuse
+                    ~engine:(Exec.Temporal_blocked { depth = 4 })
+                    ())
+               ~steps:5 ~ranks_shape:[| 3; 2 |] st);
+          check_float (name ^ ": periodic wrap, overlapped") 0.0
+            (Distributed.validate
+               ~config:
+                 (Exec.Config.make ~backend ~fuse ~engine:Exec.Overlapped ())
+               ~bc:Bc.Periodic ~steps:4 ~ranks_shape:[| 2; 2 |] st))
+        [ true; false ])
     compiled_backends
 
 (* --- Direct kernel-function parity (qcheck) --- *)
@@ -218,6 +257,269 @@ let jit_fn_matches_interp =
           got.Grid.data = expected.Grid.data)
         (Lazy.force fns))
 
+(* --- Direct fused-sweep parity (qcheck) ---
+
+   A two-term sweep (identity + kernel) compiled as one fused function,
+   exercised over random subranges and both writeback modes against the
+   interpreter's equivalent pass sequence: the identity writeback done by
+   hand exactly as [Runtime]'s engines do it, the kernel term through
+   [Interp.accumulate_range]. *)
+
+let fused_sweep_matches_interp =
+  let k, st = stencil_2d9pt_box ~m:10 ~n:12 () in
+  let geometry = Grid.of_tensor st.Msc_ir.Stencil.grid in
+  let interp = Interp.compile k ~geometry in
+  let shape = Interp.shape interp in
+  let terms =
+    [
+      Jit.Sweep_state { scale = 0.5 };
+      Jit.Sweep_kernel { scale = 0.75; interp };
+    ]
+  in
+  let fns =
+    lazy
+      (List.filter_map
+         (fun backend ->
+           if not (toolchain_for backend) then None
+           else
+             match
+               Jit.compile_sweep ~backend ~plan_digest:"test-backend-sweep-prop"
+                 terms
+             with
+             | Ok fn -> Some (backend, fn)
+             | Error msg ->
+                 QCheck.Test.fail_reportf "compile_sweep (%s): %s"
+                   (Backend.to_string backend) msg)
+         compiled_backends)
+  in
+  let iter_range ~lo ~hi f =
+    let c = Array.copy lo in
+    let rec go d =
+      if d = Array.length lo then f c
+      else
+        for v = lo.(d) to hi.(d) - 1 do
+          c.(d) <- v;
+          go (d + 1)
+        done
+    in
+    go 0
+  in
+  qc ~count:60 "fused sweep == interp sequence on random ranges/writeback"
+    QCheck.(
+      triple (int_range 0 1) (int_range 0 1000) (pair small_int small_int))
+    (fun (wb_sel, seed, (a, b)) ->
+      let lo = Array.map (fun n -> (a * 7) mod n) shape in
+      let hi =
+        Array.mapi (fun d n -> lo.(d) + 1 + ((b * 5) + d) mod (n - lo.(d))) shape
+      in
+      let mk_src salt =
+        let g = Grid.of_tensor st.Msc_ir.Stencil.grid in
+        Grid.fill_all g 0.0;
+        Grid.fill g (fun c ->
+            float_of_int (Array.fold_left ( + ) (seed + salt) c) *. 0.0625);
+        g
+      in
+      let state_src = mk_src 0 and kernel_src = mk_src 17 in
+      let mk () =
+        let g = Grid.like state_src in
+        Grid.fill g (fun c -> float_of_int (c.(0) - c.(1)) *. 0.5);
+        g
+      in
+      let expected = mk () in
+      (* The identity term, written exactly as the engines do. *)
+      (if wb_sel = 0 then
+         iter_range ~lo ~hi (fun c ->
+             Grid.set expected c (0.5 *. Grid.get state_src c))
+       else
+         iter_range ~lo ~hi (fun c ->
+             Grid.set expected c
+               (Grid.get expected c +. (0.5 *. Grid.get state_src c))));
+      Interp.accumulate_range ~aux:[] interp ~scale:0.75 ~src:kernel_src
+        ~dst:expected ~lo ~hi;
+      List.for_all
+        (fun (_, fn) ->
+          let got = mk () in
+          let wb = if wb_sel = 0 then Backend.wb_apply else Backend.wb_accumulate in
+          fn wb
+            [| state_src.Grid.data; kernel_src.Grid.data |]
+            got.Grid.data [||] lo hi;
+          got.Grid.data = expected.Grid.data)
+        (Lazy.force fns))
+
+(* --- Forms beyond taps: tree mode and unnamed-aux bilinear ---
+
+   These fell back to the interpreter under the per-term JIT of PR 6; both
+   granularities must now compile them and stay bit-identical. *)
+
+(* Nonlinear kernel (tree mode): sqrt/mul force the expression-tree path,
+   Max exercises the hand-ported Float.max semantics in C. *)
+let stencil_tree_2d ?(n = 12) () =
+  let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Msc_ir.Dtype.F64 n n in
+  let k =
+    Builder.kernel ~name:"TreeK" ~grid
+      Msc_ir.Expr.(
+        Binop
+          ( Max,
+            Call ("sqrt", [ (read "B" [| 0; 0 |] * read "B" [| 0; 0 |]) + f 1.0 ]),
+            f 0.25 * read "B" [| 1; 0 |] ))
+  in
+  Builder.two_step ~name:"tree2d" k
+
+(* Tree mode reading a coefficient grid: aux slots flow through the tree
+   ABI (C * B * B is not bilinear -- two input factors). *)
+let stencil_tree_aux_2d ?(n = 10) () =
+  let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Msc_ir.Dtype.F64 n n in
+  let coeff = Builder.coefficient_grid ~grid "C" in
+  let k =
+    Msc_ir.Kernel.make ~aux:[ coeff ] ~name:"TreeAux" ~input:grid
+      ~index_vars:[ "j"; "i" ]
+      Msc_ir.Expr.(
+        (read "C" [| 0; 0 |] * read "B" [| 0; 0 |] * read "B" [| 0; 0 |])
+        + (f 0.2 * read "B" [| 0; 1 |]))
+  in
+  Builder.two_step ~name:"treeaux2d" k
+
+(* Bilinear kernel with unnamed-aux subterms: C*B is a named kind-0 term,
+   the plain B reads are kind-1 terms whose aux slot is [None]. *)
+let stencil_mixed_bilinear_2d ?(n = 12) () =
+  let grid = Builder.def_tensor_2d ~time_window:2 ~halo:1 "B" Msc_ir.Dtype.F64 n n in
+  let coeff = Builder.coefficient_grid ~grid "C" in
+  let k =
+    Msc_ir.Kernel.make
+      ~bindings:[ ("w", 0.25) ]
+      ~aux:[ coeff ] ~name:"MixB" ~input:grid ~index_vars:[ "j"; "i" ]
+      Msc_ir.Expr.(
+        (p "w" * read "C" [| 0; 0 |] * read "B" [| 0; 1 |])
+        + (f 0.5 * read "B" [| 1; 0 |])
+        - (f 0.125 * read "B" [| 0; 0 |]))
+  in
+  Builder.two_step ~name:"mixb2d" k
+
+let former_fallback_forms_compile () =
+  List.iter
+    (fun (fname, st) ->
+      let interp, _ = final ~backend:Backend.Interp ~steps:3 st in
+      List.iter
+        (fun backend ->
+          let name = Printf.sprintf "%s/%s" fname (Backend.to_string backend) in
+          let got_fused, report = final ~backend ~steps:3 st in
+          let got_terms, report_terms =
+            final ~fuse:false ~backend ~steps:3 st
+          in
+          if toolchain_for backend then begin
+            check_bool (name ^ ": no fallback (fused)") true
+              (report.Runtime.fallback = None);
+            check_int (name ^ ": compiled fused") 1 report.Runtime.fused_sweeps;
+            check_bool (name ^ ": no fallback (per-term)") true
+              (report_terms.Runtime.fallback = None);
+            check_int
+              (name ^ ": every term compiled per-term")
+              report_terms.Runtime.kernel_terms
+              report_terms.Runtime.compiled_terms
+          end;
+          check_bool (name ^ ": fused bit-identical") true
+            (got_fused.Grid.data = interp.Grid.data);
+          check_bool (name ^ ": per-term bit-identical") true
+            (got_terms.Grid.data = interp.Grid.data))
+        compiled_backends)
+    [
+      ("tree2d", stencil_tree_2d ());
+      ("treeaux2d", stencil_tree_aux_2d ());
+      ("mixb2d", stencil_mixed_bilinear_2d ());
+    ]
+
+(* --- Pool-parallel fused dispatch --- *)
+
+let fused_pool_stress () =
+  let k, st = stencil_3d7pt ~n:12 () in
+  let sched = Schedule.matrix_canonical ~tile:[| 4; 5; 6 |] ~threads:4 k in
+  let interp, _ = final ~schedule:sched ~backend:Backend.Interp ~steps:4 st in
+  List.iter
+    (fun backend ->
+      if toolchain_for backend then begin
+        let name = Backend.to_string backend in
+        let pool = Msc_util.Domain_pool.create 4 in
+        Fun.protect
+          ~finally:(fun () -> Msc_util.Domain_pool.shutdown pool)
+          (fun () ->
+            let got, report =
+              final ~schedule:sched ~pool ~backend ~steps:4 st
+            in
+            check_int (name ^ ": fused on the pool") 1 report.Runtime.fused_sweeps;
+            check_bool (name ^ ": tile tasks dispatched") true
+              (report.Runtime.tile_dispatches >= 4 * 8);
+            check_bool (name ^ ": pool-parallel fused bit-identical") true
+              (got.Grid.data = interp.Grid.data))
+      end)
+    compiled_backends
+
+(* --- Failure-kind accounting --- *)
+
+let unsupported_form_counted () =
+  let k, st = stencil_2d9pt_box ~m:8 ~n:8 () in
+  let geometry = Grid.of_tensor st.Msc_ir.Stencil.grid in
+  let interp = Interp.compile k ~geometry in
+  (* 65 terms exceed the native-stub slot limit: an unsupported form, not a
+     toolchain problem. *)
+  let terms = List.init 65 (fun _ -> Jit.Sweep_kernel { scale = 1.0; interp }) in
+  let s0 = Jit.stats () in
+  (match
+     Jit.compile_sweep ~backend:Backend.Compiled_c ~plan_digest:"too-many" terms
+   with
+  | Ok _ -> Alcotest.fail "expected compile_sweep to reject 65 terms"
+  | Error _ -> ());
+  let s1 = Jit.stats () in
+  check_int "unsupported counted"
+    (s0.Jit.failures_unsupported + 1)
+    s1.Jit.failures_unsupported;
+  check_int "toolchain count unchanged" s0.Jit.failures_toolchain
+    s1.Jit.failures_toolchain
+
+(* --- AOT: generated standalone C shares the fused sweep body --- *)
+
+let aot_fused_matches_legacy () =
+  if not (Codegen.Toolchain.available ()) then ()
+  else begin
+    let st = stencil_mixed_bilinear_2d ~n:12 () in
+    let k = List.hd (Msc_ir.Stencil.kernels st) in
+    let sched = Schedule.cpu_canonical ~tile:[| 4; 6 |] ~threads:2 k in
+    let legacy = Codegen.generate ~steps:3 st sched Codegen.Cpu in
+    let fused =
+      Codegen.generate ~steps:3
+        ~config:(Exec.Config.make ~backend:Backend.Compiled_c ())
+        st sched Codegen.Cpu
+    in
+    let contains s needle =
+      let n = String.length needle in
+      let rec scan i =
+        i + n <= String.length s
+        && (String.equal (String.sub s i n) needle || scan (i + 1))
+      in
+      scan 0
+    in
+    let has_sweep files =
+      List.exists
+        (fun f ->
+          Filename.check_suffix f.Codegen.name ".c"
+          && contains f.Codegen.contents "msc_sweep")
+        files
+    in
+    check_bool "legacy step has no fused body" false (has_sweep legacy);
+    check_bool "fused step embeds the sweep" true (has_sweep fused);
+    let run tag files =
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "msc-test-aot-%s-%d" tag (Unix.getpid ()))
+      in
+      match Codegen.Toolchain.compile_and_run ~steps:3 ~dir files with
+      | Ok r -> r.Codegen.Toolchain.checksum
+      | Error msg -> Alcotest.fail (tag ^ ": " ^ msg)
+    in
+    let cl = run "legacy" legacy and cf = run "fused" fused in
+    check_bool "checksums agree" true
+      (Float.abs (cf -. cl) /. Float.max 1.0 (Float.abs cl) < 1e-12)
+  end
+
 (* --- Kernel cache: compile once, then memo, then disk --- *)
 
 let cache_compiles_once () =
@@ -233,7 +535,10 @@ let cache_compiles_once () =
         ignore (final ~backend:Backend.Compiled_c ~steps:1 st);
         let s1 = Jit.stats () in
         check_bool "first runtime compiles" true (s1.Jit.compiles > s0.Jit.compiles);
-        check_int "no failures" s0.Jit.failures s1.Jit.failures;
+        check_int "no unsupported-form failures" s0.Jit.failures_unsupported
+          s1.Jit.failures_unsupported;
+        check_int "no toolchain failures" s0.Jit.failures_toolchain
+          s1.Jit.failures_toolchain;
         ignore (final ~backend:Backend.Compiled_c ~steps:1 st);
         let s2 = Jit.stats () in
         check_int "second runtime recompiles nothing" s1.Jit.compiles
@@ -264,6 +569,7 @@ let no_toolchain_falls_back () =
           Unix.putenv "PATH" "/nonexistent";
           let _, st = stencil_3d7pt ~n:8 () in
           let interp, _ = final ~backend:Backend.Interp ~steps:2 st in
+          let s0 = Jit.stats () in
           List.iter
             (fun backend ->
               let name = Backend.to_string backend in
@@ -274,11 +580,17 @@ let no_toolchain_falls_back () =
                 (Backend.equal report.Runtime.requested backend);
               check_int (name ^ ": nothing compiled") 0
                 report.Runtime.compiled_terms;
+              check_int (name ^ ": no fused sweep") 0 report.Runtime.fused_sweeps;
               check_bool (name ^ ": fallback reason reported") true
                 (report.Runtime.fallback <> None);
               check_bool (name ^ ": results still exact") true
                 (got.Grid.data = interp.Grid.data))
-            compiled_backends))
+            compiled_backends;
+          let s1 = Jit.stats () in
+          check_bool "counted as toolchain failures" true
+            (s1.Jit.failures_toolchain > s0.Jit.failures_toolchain);
+          check_int "no unsupported-form failures" s0.Jit.failures_unsupported
+            s1.Jit.failures_unsupported))
 
 let suites =
   [
@@ -287,6 +599,14 @@ let suites =
         slow "suite bit-identity (all backends)" suite_parity_bit_identical;
         tc "bit-identity under BCs" parity_under_bcs;
         jit_fn_matches_interp;
+      ] );
+    ( "backend.fused",
+      [
+        fused_sweep_matches_interp;
+        tc "tree + unnamed-aux forms compile" former_fallback_forms_compile;
+        slow "pool-parallel fused dispatch" fused_pool_stress;
+        tc "unsupported form counted" unsupported_form_counted;
+        slow "AOT embeds fused sweep" aot_fused_matches_legacy;
       ] );
     ( "backend.distributed",
       [
