@@ -351,13 +351,34 @@ let fused_tests =
   Test.make_grouped ~name:"fused"
     [ single "2d121pt_box"; single "2d169pt_box"; pool_leg ]
 
+(* Pipeline graph fusion: the same multi-stage pipeline stepped naive
+   stage-at-a-time vs pass-optimized (dead stages dropped, single-consumer
+   chains fused into compound kernels, shared halo merged). *)
+let pipeline_fusion_tests =
+  Test.make_grouped ~name:"pipeline_fusion"
+    (List.concat_map
+       (fun name ->
+         let g = Msc.Suite.pipeline ~dims:[| 64; 64 |] name in
+         let go = Msc.Pass.apply Msc.Pass.default_pipeline g in
+         [
+           Test.make ~name:(name ^ "_naive")
+             (Staged.stage (fun () ->
+                  let rt = Msc.Runtime.create_graph g in
+                  Msc.Runtime.step rt));
+           Test.make ~name:(name ^ "_fused")
+             (Staged.stage (fun () ->
+                  let rt = Msc.Runtime.create_graph go in
+                  Msc.Runtime.step rt));
+         ])
+       Msc.Suite.pipeline_names)
+
 let all_tests =
   Test.make_grouped ~name:"msc"
     [
       suite_tests; schedule_tests; halo_tests; codegen_tests; sim_tests;
       tuning_tests; extension_tests; parallel_overhead_tests; fastpath_tests;
       plan_traversal_tests; trace_overhead_tests; comm_tests;
-      kernel_backend_tests; fused_tests;
+      kernel_backend_tests; fused_tests; pipeline_fusion_tests;
     ]
 
 (* == BENCH_runtime.json: machine-readable per-kernel throughput ==
@@ -625,6 +646,35 @@ let fused_pool_headline () =
   in
   (dims, single, pooled)
 
+(* Pipeline fusion: stage/sweep/exchange counts before vs after the pass
+   pipeline plus measured points/sec both ways, per suite pipeline. The
+   graph runtimes are created outside the probe so buffer allocation and
+   the per-stage compiles are not in the measured path. *)
+let pipeline_fusion_rows () =
+  List.map
+    (fun name ->
+      let dims = [| 64; 64 |] in
+      let g = Msc.Suite.pipeline ~dims name in
+      let go = Msc.Pass.apply Msc.Pass.default_pipeline g in
+      let points = float_of_int (Array.fold_left ( * ) 1 dims) in
+      let pps graph =
+        let rt = Msc.Runtime.create_graph graph in
+        points /. time_per_run (fun () -> Msc.Runtime.step rt)
+      in
+      let exchanges graph =
+        match Msc.Plan.compile_graph graph Msc.Schedule.empty with
+        | Ok gp -> gp.Msc.Plan.gp_exchanges_per_step
+        | Error m -> failwith m
+      in
+      ( name,
+        List.length g.Msc.Graph.stages,
+        List.length go.Msc.Graph.stages,
+        exchanges g,
+        exchanges go,
+        pps g,
+        pps go ))
+    Msc.Suite.pipeline_names
+
 let emit_runtime_json ~comm ~temporal path =
   let kernel_rows =
     List.map
@@ -710,6 +760,25 @@ let emit_runtime_json ~comm ~temporal path =
         fused_c /. compiled
     | None -> Float.nan
   in
+  let pf_rows = pipeline_fusion_rows () in
+  let pipeline_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, s0, s1, ex0, ex1, pps0, pps1) ->
+           Printf.sprintf
+             "    { \"name\": %S,\n\
+             \      \"stages_unfused\": %d, \"stages_fused\": %d,\n\
+             \      \"exchanges_per_step_unfused\": %d, \
+              \"exchanges_per_step_fused\": %d,\n\
+             \      \"points_per_sec_unfused\": %.6e, \
+              \"points_per_sec_fused\": %.6e,\n\
+             \      \"fusion_speedup\": %.3f }"
+             name s0 s1 ex0 ex1 pps0 pps1 (pps1 /. pps0))
+         pf_rows)
+  in
+  let pf_row name =
+    List.find (fun (n, _, _, _, _, _, _) -> n = name) pf_rows
+  in
   let fast_pps, legacy_pps, speedup = fastpath_speedup () in
   let pool_dims, pool_single, pool_pooled = fused_pool_headline () in
   let canonical_pps, reversed_pps = reorder_locality () in
@@ -771,7 +840,10 @@ let emit_runtime_json ~comm ~temporal path =
     \    \"fused_single_points_per_sec\": %.6e,\n\
     \    \"fused_pool_points_per_sec\": %.6e,\n\
     \    \"pool_scaling\": %.3f\n\
-    \  }\n\
+    \  },\n\
+    \  \"pipeline_fusion\": [\n\
+     %s\n\
+    \  ]\n\
      }\n"
     (String.concat ",\n" kernels)
     fast_pps legacy_pps speedup canonical_pps reversed_pps
@@ -784,8 +856,13 @@ let emit_runtime_json ~comm ~temporal path =
     (String.concat ", " (Array.to_list (Array.map string_of_int pool_dims)))
     (Domain.recommended_domain_count ())
     pool_single pool_pooled
-    (pool_pooled /. pool_single);
+    (pool_pooled /. pool_single)
+    pipeline_json;
   close_out oc;
+  let um_s0, um_s1, um_ex0, um_ex1, um_speedup =
+    match pf_row "unsharp_mask" with
+    | _, s0, s1, ex0, ex1, pps0, pps1 -> (s0, s1, ex0, ex1, pps1 /. pps0)
+  in
   Printf.printf
     "wrote %s (compiled_c step over the seed interp+per-cell-BC baseline: \
      %.1fx on 3d7pt_star, %.1fx on 2d9pt_box; fastpath 3d7pt_star step \
@@ -795,7 +872,8 @@ let emit_runtime_json ~comm ~temporal path =
      %d: %.2fx over overlapped on a latency-bound grid; fused sweep over \
      per-term compiled_c: %.2fx on 2d121pt_box, %.2fx on 2d169pt_box; \
      4-worker pool over single-core fused on 3d7pt_star at 48^3: %.2fx \
-     with %d host cores)\n"
+     with %d host cores; pipeline fusion on unsharp_mask: %d->%d stages, \
+     %d->%d exchanges/step, %.2fx)\n"
     path
     (kernel_speedup "3d7pt_star")
     (kernel_speedup "2d9pt_box")
@@ -808,6 +886,7 @@ let emit_runtime_json ~comm ~temporal path =
     (fused_over_per_term "2d169pt_box")
     (pool_pooled /. pool_single)
     (Domain.recommended_domain_count ())
+    um_s0 um_s1 um_ex0 um_ex1 um_speedup
 
 let run_bechamel () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -914,6 +993,41 @@ let audit_fused_coverage backend =
         exit 1
   end
 
+(* Pipeline-fusion audit: every suite pipeline must still collapse under
+   the default pass pipeline — fewer stages than the naive graph and a
+   merged (single deep exchange) result. A pass regression that leaves a
+   pipeline unfused fails the job instead of silently benchmarking the
+   staged interpretation. *)
+let audit_pipeline_fusion () =
+  let bad =
+    List.filter_map
+      (fun name ->
+        let g = Msc.Suite.pipeline ~dims:[| 64; 64 |] name in
+        let go = Msc.Pass.apply Msc.Pass.default_pipeline g in
+        let s0 = List.length g.Msc.Graph.stages in
+        let s1 = List.length go.Msc.Graph.stages in
+        let merged =
+          match Msc.Plan.compile_graph go Msc.Schedule.empty with
+          | Ok gp -> gp.Msc.Plan.gp_merged
+          | Error _ -> false
+        in
+        if s1 >= s0 || not merged then
+          Some
+            (Printf.sprintf "[audit] %s: stages %d -> %d, merged=%b" name s0
+               s1 merged)
+        else None)
+      Msc.Suite.pipeline_names
+  in
+  match bad with
+  | [] ->
+      Printf.printf
+        "[audit] pipeline fusion: all %d suite pipelines collapsed and merged\n"
+        (List.length Msc.Suite.pipeline_names)
+  | bad ->
+      List.iter prerr_endline bad;
+      prerr_endline "[audit] pipeline-fusion audit FAILED";
+      exit 1
+
 let () =
   let t0 = Unix.gettimeofday () in
   (* [--smoke]: the CI mode — every measured path still runs (so a
@@ -936,6 +1050,7 @@ let () =
            exit 2
        | Ok Msc.Backend.Interp -> ()
        | Ok backend -> audit_fused_coverage backend));
+  audit_pipeline_fusion ();
   (* Measured first, while the process heap is still quiet: an engine
      comparison at millisecond scale drowns in the GC noise a long bechamel
      session leaves behind. *)

@@ -6,6 +6,8 @@
    msc verify -b 3d13pt_star -n 5         - optimized vs reference
    msc simulate -b 3d7pt_star -p sunway   - processor performance model
    msc profile 3d7pt -o trace.json        - traced pipeline + chrome trace
+   msc graph unsharp_mask --dot           - post-pass pipeline DAG (Graphviz)
+   msc run-graph unsharp_mask -n 10       - fused multi-stage execution
    msc experiment fig7                    - regenerate a paper artifact *)
 
 open Cmdliner
@@ -304,6 +306,116 @@ let profile_cmd =
       const run $ bench_pos $ steps_arg 5 $ workers $ backend_arg $ out
       $ no_fuse_arg)
 
+(* ---- Pipeline graphs ---- *)
+
+let pipeline_arg =
+  let pipeline_conv =
+    let parse s =
+      match Msc.Suite.pipeline s with
+      | _ -> Ok s
+      | exception Not_found ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown pipeline %S (try: %s)" s
+                 (String.concat ", " Msc.Suite.pipeline_names)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  Arg.(
+    required
+    & pos 0 (some pipeline_conv) None
+    & info [] ~docv:"PIPELINE"
+        ~doc:
+          "Pipeline graph from the suite (unsharp_mask | harris_corner; any \
+           unambiguous prefix works).")
+
+let graph_cmd =
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Print the DAG in Graphviz DOT format.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Dump the graph as written, skipping the optimization passes \
+             (dead-stage elimination, fusion, shared-halo merging).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run name dot raw out =
+    let g = Msc.Suite.pipeline name in
+    let g = if raw then g else Msc.Pass.apply Msc.Pass.default_pipeline g in
+    let text =
+      if dot then Msc.Graph.to_dot g else Format.asprintf "%a@." Msc.Graph.pp g
+    in
+    (match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+    | None -> print_string text);
+    0
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Inspect a pipeline graph (post-pass by default: dead stages \
+          dropped, single-consumer chains fused, shared halo merged).")
+    Term.(const run $ pipeline_arg $ dot $ raw $ out)
+
+let run_graph_cmd =
+  let workers =
+    Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
+  in
+  let no_passes =
+    Arg.(
+      value & flag
+      & info [ "no-passes" ]
+          ~doc:
+            "Execute the graph as written — every stage swept into its own \
+             buffer — instead of the pass-optimized schedule.")
+  in
+  let run name steps workers backend small no_passes =
+    let dims = if small then [| 96; 96 |] else Msc.Suite.default_pipeline_dims in
+    let g0 = Msc.Suite.pipeline ~dims name in
+    with_config ~backend ~workers (fun config ->
+        let passes = if no_passes then [] else Msc.Pass.default_pipeline in
+        let p = Msc.Pipeline.of_graph ~passes ~config g0 in
+        let g = Option.get (Msc.Pipeline.graph p) in
+        (match Msc.Pipeline.graph_plan p with
+        | Ok gp ->
+            Format.printf
+              "stages: %d -> %d  buffers: %d  exchanges/step: %d (naive %d)  \
+               halo: %d  merged: %b@."
+              (List.length g0.Msc.Graph.stages)
+              (List.length g.Msc.Graph.stages)
+              gp.Msc.Plan.gp_n_buffers gp.Msc.Plan.gp_exchanges_per_step
+              gp.Msc.Plan.gp_naive_exchanges_per_step gp.Msc.Plan.gp_halo.(0)
+              gp.Msc.Plan.gp_merged
+        | Error msg -> Printf.eprintf "plan: %s\n" msg);
+        let t0 = Sys.time () in
+        let final, report = Msc.Pipeline.run_report ~steps p in
+        Format.printf "%a@.%a@.cpu time: %.2fs for %d steps@." Msc.Grid.pp_stats
+          final pp_backend_report report (Sys.time () -. t0) steps;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "run-graph"
+       ~doc:
+         "Execute a multi-stage pipeline graph natively (passes applied \
+          first, fused stages and all).")
+    Term.(
+      const run $ pipeline_arg $ steps_arg 10 $ workers $ backend_arg
+      $ small_arg $ no_passes)
+
 let experiment_cmd =
   let experiment_name =
     Arg.(
@@ -363,5 +475,7 @@ let () =
             verify_cmd;
             simulate_cmd;
             profile_cmd;
+            graph_cmd;
+            run_graph_cmd;
             experiment_cmd;
           ]))

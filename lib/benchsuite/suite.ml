@@ -70,6 +70,125 @@ let stencil ?(dtype = Dtype.F64) ?dims b =
   if b.time_dep = 2 then Builder.two_step ~name:b.name kernel
   else Builder.single_step ~name:b.name kernel
 
+(* ------------------------------------------------------------------ *)
+(* Multi-stage pipeline graphs: image-processing DAGs exercising the   *)
+(* graph passes (dead-stage elimination, fusion, shared-halo merge).   *)
+
+module G = Msc_graph.Graph
+
+let pipeline_names = [ "unsharp_mask"; "harris_corner" ]
+let default_pipeline_dims = [| 1024; 1024 |]
+
+let stage name k = { G.name; stencil = Stencil.of_kernel k }
+
+(* Unsharp masking: sharp = (1 + a) I - a blur(blur(I)), the blur split
+   into two box passes so fusion has a chain to collapse, plus an unused
+   edge-detect stage for dead-stage elimination to drop. *)
+let unsharp_mask ~dtype ~dims =
+  let halo = [| 1; 1 |] in
+  let sp name = Tensor.sp ~halo name dtype dims in
+  let src = sp "I" in
+  let t_blur1 = sp "blur1" in
+  let t_blur2 = sp "blur2" in
+  let amount = 0.4 in
+  let sharp_expr =
+    let open Expr in
+    Binop
+      ( Sub,
+        Binop (Mul, Fconst (1.0 +. amount), read "I" [| 0; 0 |]),
+        Binop (Mul, Fconst amount, read "blur2" [| 0; 0 |]) )
+  in
+  let sharp =
+    Kernel.make ~aux:[ src ] ~name:"K_sharp" ~input:t_blur2
+      ~index_vars:(Builder.default_index_vars 2)
+      sharp_expr
+  in
+  G.make ~source:src ~output:"sharp"
+    [
+      stage "blur1" (Builder.box_kernel ~name:"K_blur1" ~radius:1 src);
+      stage "blur2" (Builder.box_kernel ~name:"K_blur2" ~radius:1 t_blur1);
+      stage "edges" (Builder.star_kernel ~name:"K_edges" ~radius:1 src);
+      stage "sharp" sharp;
+    ]
+
+(* Harris corner response: gradients, their pairwise products, box-summed
+   structure tensor, then the nonlinear det/trace response — nine stages
+   whose single-consumer chains all fold into one compound kernel. *)
+let harris_corner ~dtype ~dims =
+  let halo = [| 1; 1 |] in
+  let sp name = Tensor.sp ~halo name dtype dims in
+  let src = sp "I" in
+  let t_ix = sp "ix" in
+  let t_iy = sp "iy" in
+  let t_ixx = sp "ixx" in
+  let t_iyy = sp "iyy" in
+  let t_ixy = sp "ixy" in
+  let t_sxx = sp "sxx" in
+  let t_syy = sp "syy" in
+  let t_sxy = sp "sxy" in
+  let ivars = Builder.default_index_vars 2 in
+  let deriv name input d =
+    let off s = Array.mapi (fun k _ -> if k = d then s else 0) dims in
+    let open Expr in
+    Kernel.make ~name ~input ~index_vars:ivars
+      (Binop
+         ( Sub,
+           Binop (Mul, Fconst 0.5, read input.Tensor.name (off 1)),
+           Binop (Mul, Fconst 0.5, read input.Tensor.name (off (-1))) ))
+  in
+  let product name input ?aux other =
+    let open Expr in
+    let aux_t = Option.to_list aux in
+    Kernel.make ~aux:aux_t ~name ~input ~index_vars:ivars
+      (Binop
+         (Mul, read input.Tensor.name [| 0; 0 |], read other [| 0; 0 |]))
+  in
+  let response =
+    (* det(M) - k tr(M)^2 with k = 0.04 *)
+    let open Expr in
+    let sxx = read "sxx" [| 0; 0 |]
+    and syy = read "syy" [| 0; 0 |]
+    and sxy = read "sxy" [| 0; 0 |] in
+    let det = Binop (Sub, Binop (Mul, sxx, syy), Binop (Mul, sxy, sxy)) in
+    let tr = Binop (Add, sxx, syy) in
+    Kernel.make ~aux:[ t_syy; t_sxy ] ~name:"K_response" ~input:t_sxx
+      ~index_vars:ivars
+      (Binop (Sub, det, Binop (Mul, Fconst 0.04, Binop (Mul, tr, tr))))
+  in
+  G.make ~source:src ~output:"response"
+    [
+      stage "ix" (deriv "K_dx" src 0);
+      stage "iy" (deriv "K_dy" src 1);
+      stage "ixx" (product "K_ixx" t_ix "ix");
+      stage "iyy" (product "K_iyy" t_iy "iy");
+      stage "ixy" (product "K_ixy" t_ix ~aux:t_iy "iy");
+      stage "sxx" (Builder.box_kernel ~name:"K_sxx" ~radius:1 t_ixx);
+      stage "syy" (Builder.box_kernel ~name:"K_syy" ~radius:1 t_iyy);
+      stage "sxy" (Builder.box_kernel ~name:"K_sxy" ~radius:1 t_ixy);
+      stage "response" response;
+    ]
+
+let pipeline ?(dtype = Dtype.F64) ?dims name =
+  let dims = match dims with Some d -> d | None -> default_pipeline_dims in
+  let builder =
+    match
+      List.find_opt (fun n -> String.equal n name) pipeline_names
+    with
+    | Some n -> Some n
+    | None -> (
+        let is_prefix n =
+          String.length name <= String.length n
+          && String.equal name (String.sub n 0 (String.length name))
+        in
+        match List.filter is_prefix pipeline_names with
+        | [ n ] -> Some n
+        | _ -> None)
+  in
+  match builder with
+  | Some "unsharp_mask" -> unsharp_mask ~dtype ~dims
+  | Some "harris_corner" -> harris_corner ~dtype ~dims
+  | _ -> raise Not_found
+
 let kernel_of (st : Stencil.t) =
   match Stencil.kernels st with
   | [ k ] -> k

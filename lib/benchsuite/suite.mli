@@ -30,6 +30,29 @@ val stencil : ?dtype:Msc_ir.Dtype.t -> ?dims:int array -> bench -> Msc_ir.Stenci
     coefficients and the canonical two-time-dependency combination
     [Res\[t\] << 0.5 S\[t-1\] + 0.5 S\[t-2\]]. Default dtype f64. *)
 
+(** {1 Pipeline graphs}
+
+    Multi-stage image-processing DAGs for the graph IR and its passes. *)
+
+val pipeline_names : string list
+(** [["unsharp_mask"; "harris_corner"]]. [unsharp_mask] is four stages
+    (two chained box blurs, an unused edge-detect stage, and the
+    [(1+a)I - a blur] combine) — dead-stage elimination drops one and
+    fusion collapses the rest to a single radius-2 compound stage.
+    [harris_corner] is nine (x/y gradients, their three pairwise
+    products, box-summed structure tensor, nonlinear det/trace
+    response); its single-consumer chains all fold into one stage. *)
+
+val default_pipeline_dims : int array
+(** 1024 x 1024 (pipelines are 2-D; smaller than {!default_dims} since a
+    naive run sweeps every stage). *)
+
+val pipeline :
+  ?dtype:Msc_ir.Dtype.t -> ?dims:int array -> string -> Msc_graph.Graph.t
+(** Build a pipeline by name (or unambiguous prefix), {e unoptimized} —
+    run {!Msc_graph.Pass.default_pipeline} (or {!Pipeline.of_graph}) to
+    fuse it. @raise Not_found for unknown or ambiguous names. *)
+
 val kernel_of : Msc_ir.Stencil.t -> Msc_ir.Kernel.t
 (** The benchmark's single kernel. *)
 

@@ -4,6 +4,7 @@ module Runtime = Msc_exec.Runtime
 module Bc = Msc_exec.Bc
 module Plan = Msc_schedule.Plan
 module Exec = Msc_exec.Exec
+module G = Msc_graph.Graph
 
 type engine = Exec.engine =
   | Bulk_synchronous
@@ -32,6 +33,7 @@ type t = {
   mutable block_pos : int;  (** substep position within the current block *)
   trace : Msc_trace.t;
   mutable steps_done : int;
+  graph : G.t option;  (** present iff built by [create_graph] *)
 }
 
 (* A kernel access touching two or more dimensions at once (box corners)
@@ -237,11 +239,140 @@ let create ?(config = Exec.Config.default) ?net ?schedule
       block_pos = 0;
       trace;
       steps_done = 0;
+      graph = None;
     }
   in
   (* Every retained past state needs consistent halos before the first
      step. *)
   for dt = 1 to Stencil.time_window st do
+    exchange_state t ~dt
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline graphs. Only shared-halo (merged) execution is supported for
+   multi-stage graphs: one deep exchange of the source per step, sized by
+   the graph's required halo, feeds every stage's extended sweep. A
+   per-stage exchange of intermediate buffers would be unsound with the
+   slab-shaped packing [Halo] uses — an intermediate's
+   (physical-extension x neighbour-halo) corner cells are computed by the
+   owner but lie outside the interior slabs it packs, so box-shaped
+   consumers would read stale corners. The merged form sidesteps this:
+   every rank recomputes the extension cells it needs from the exchanged
+   deep halo, exactly like the temporal engine's ghost zones. *)
+
+let graph_needs_corners (g : G.t) =
+  (* Extension cells of even a star stencil read diagonally into corner
+     halo regions (their own reads bleed sideways), so any multi-stage
+     graph exchanges corners, like temporal blocking at depth > 1. *)
+  List.length g.G.stages > 1
+  || List.exists (fun (s : G.stage) -> needs_corners s.G.stencil) g.G.stages
+
+let create_graph ?(config = Exec.Config.default) ?net ?schedule
+    ?(init = fun coord -> Runtime.default_init 1 coord)
+    ?(aux_init = Runtime.default_aux_init) ?(bc = Bc.Dirichlet 0.0)
+    ?(trace = Msc_trace.disabled) ~ranks_shape (graph : G.t) =
+  let engine = config.Exec.Config.engine in
+  let pool = config.Exec.Config.pool in
+  let rank_config =
+    { config with Exec.Config.pool = Msc_util.Domain_pool.sequential }
+  in
+  if (not graph.G.merged) && List.length graph.G.stages > 1 then
+    invalid_arg
+      "Distributed.create_graph: multi-stage graphs need shared-halo \
+       (merged) execution — run Pass.merge_halos (or raise its max_width \
+       clamp so the pipeline's required halo fits)";
+  let source = graph.G.source in
+  let width = G.required_halo graph in
+  let decomp = Decomp.create ~global:source.Tensor.shape ~ranks_shape in
+  let nranks = decomp.Decomp.nranks in
+  (* Every rank must be at least one exchange width wide, or the deep
+     slabs would read past the donor's interior. *)
+  for rank = 0 to nranks - 1 do
+    let _, extent = Decomp.subdomain decomp ~rank in
+    Array.iteri
+      (fun d w ->
+        if extent.(d) < w then
+          invalid_arg
+            (Printf.sprintf
+               "Distributed.create_graph: rank %d extent %d < required halo \
+                %d in dimension %d (coarsen the decomposition)"
+               rank extent.(d) w d))
+      width
+  done;
+  let mpi = Mpi_sim.create ?net ~nranks () in
+  let offsets = Array.make nranks [||] in
+  let faces_only = not (graph_needs_corners graph) in
+  let sched = Option.value schedule ~default:Msc_schedule.Schedule.empty in
+  let phases = Array.make nranks ([||], [||]) in
+  (* One graph plan per distinct rank extent, shared like single-stencil
+     plans. *)
+  let plans = ref [] in
+  let plan_for ~extent =
+    match List.find_opt (fun (e, _) -> e = extent) !plans with
+    | Some (_, p) -> p
+    | None -> (
+        match Plan.compile_graph ~shape:extent graph sched with
+        | Ok p ->
+            plans := (Array.copy extent, p) :: !plans;
+            p
+        | Error msg -> invalid_arg ("Distributed.create_graph: " ^ msg))
+  in
+  let runtimes =
+    Array.init nranks (fun rank ->
+        let offset, extent = Decomp.subdomain decomp ~rank in
+        offsets.(rank) <- offset;
+        let graph_plan = plan_for ~extent in
+        let local_init _dt coord =
+          init (Array.mapi (fun d c -> c + offset.(d)) coord)
+        in
+        let local_aux_init name coord =
+          aux_init name (Array.mapi (fun d c -> c + offset.(d)) coord)
+        in
+        let rt =
+          Runtime.create_graph ~graph_plan ~config:rank_config
+            ~init:local_init ~aux_init:local_aux_init ~bc ~trace ~tid:rank
+            graph
+        in
+        (* Overlapped phase split for stage 0 (the only stage that can run
+           while the source exchange is in flight): cells at least the
+           stage radius from every local face read no dt = 1 halo data.
+           Every ghost-extension box lands in the shell by construction. *)
+        let r0 =
+          match graph_plan.Plan.gp_stages with
+          | sp :: _ -> Stencil.radius sp.Plan.gs_stencil
+          | [] -> assert false
+        in
+        let core_lo = Array.copy r0 in
+        let core_hi =
+          Array.mapi (fun d n -> max r0.(d) (n - r0.(d))) extent
+        in
+        phases.(rank) <-
+          Plan.split_tasks ~core_lo ~core_hi (Runtime.graph_stage_tasks rt 0);
+        rt)
+  in
+  let t =
+    {
+      stencil = (G.output_stage graph).G.stencil;
+      decomp;
+      mpi;
+      runtimes;
+      offsets;
+      width;
+      faces_only;
+      bc;
+      engine;
+      depth = 1;
+      pool;
+      phases;
+      sub_tasks = Array.make nranks [||];
+      block_pos = 0;
+      trace;
+      steps_done = 0;
+      graph = Some graph;
+    }
+  in
+  for dt = 1 to G.time_window graph do
     exchange_state t ~dt
   done;
   t
@@ -401,11 +532,76 @@ let temporal_step t =
         finish_masked rank);
   t.block_pos <- (s + 1) mod t.depth
 
+(* Graph bulk step: every rank runs its whole staged schedule, then one
+   deep (merged) exchange of the new source state refreshes the halos
+   every stage of the next step reads. *)
+let graph_bulk_step t =
+  Array.iter Runtime.step_graph t.runtimes;
+  exchange_state t ~dt:1
+
+(* Graph overlapped step: the deep exchange of the {e incoming} state
+   (dt = 1, identical bits to what the previous step exchanged — packing
+   reads interior slabs no phase mutates) hides behind stage 0's
+   halo-free core. Only stage 0 can run in phase B: every later stage
+   reads an intermediate buffer stage 0 is still producing, and stage 0's
+   ghost-extension boxes read the in-flight halo, so the shell, the
+   extensions, and stages 1.. all wait for phase C. *)
+let graph_overlapped_step t =
+  let periodic = Bc.equal t.bc Bc.Periodic in
+  let n = Array.length t.runtimes in
+  let recvs = Array.make n [] in
+  Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+    (fun ~worker:_ rank ->
+      let rt = t.runtimes.(rank) in
+      let grid = Runtime.state rt ~dt:1 in
+      Halo.post_sends ~periodic ~trace:t.trace t.mpi t.decomp ~rank ~grid
+        ~width:t.width ~faces_only:t.faces_only;
+      recvs.(rank) <-
+        Halo.post_recvs ~periodic t.mpi t.decomp ~rank
+          ~faces_only:t.faces_only);
+  Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+    (fun ~worker:_ rank ->
+      let rt = t.runtimes.(rank) in
+      Runtime.begin_step rt;
+      let interior, _ = t.phases.(rank) in
+      let ts = Msc_trace.begin_span t.trace in
+      Runtime.sweep_graph_stage rt 0 interior;
+      Msc_trace.end_span ~tid:rank t.trace "halo.overlap" ts);
+  Msc_util.Domain_pool.parallel_chunks t.pool ~lo:0 ~hi:n
+    (fun ~worker:_ rank ->
+      let rt = t.runtimes.(rank) in
+      let grid = Runtime.state rt ~dt:1 in
+      Halo.complete_recvs ~trace:t.trace t.mpi ~rank ~grid ~width:t.width
+        recvs.(rank);
+      if not periodic then begin
+        let low, high = physical_masks t ~rank in
+        Bc.apply ~low ~high t.bc grid
+      end;
+      let _, shell = t.phases.(rank) in
+      let ts = Msc_trace.begin_span t.trace in
+      Runtime.sweep_graph_stage rt 0 shell;
+      for i = 1 to Runtime.graph_stage_count rt - 1 do
+        Runtime.sweep_graph_stage rt i (Runtime.graph_stage_tasks rt i)
+      done;
+      Msc_trace.end_span ~tid:rank t.trace "halo.shell" ts;
+      Runtime.finish_step rt)
+
 let step t =
-  (match t.engine with
-  | Bulk_synchronous -> bulk_step t
-  | Overlapped -> overlapped_step t
-  | Temporal_blocked _ -> temporal_step t);
+  (match t.graph with
+  | Some _ -> (
+      match t.engine with
+      | Overlapped -> graph_overlapped_step t
+      | Bulk_synchronous | Temporal_blocked _ ->
+          (* Temporal blocking is depth-1 for graphs (a depth-k block
+             would need k recomputable source steps, but intermediates
+             are recomputed per step, not stepped) — it degrades to the
+             bulk schedule. *)
+          graph_bulk_step t)
+  | None -> (
+      match t.engine with
+      | Bulk_synchronous -> bulk_step t
+      | Overlapped -> overlapped_step t
+      | Temporal_blocked _ -> temporal_step t));
   t.steps_done <- t.steps_done + 1
 
 let run t n =
@@ -431,6 +627,13 @@ let gather t =
 let validate ?config ?(steps = 3) ?bc ~ranks_shape (st : Stencil.t) =
   let dist = create ?config ?bc ~ranks_shape st in
   let single = Runtime.create ?config ?bc st in
+  run dist steps;
+  Runtime.run single steps;
+  Grid.max_rel_error ~reference:(Runtime.current single) (gather dist)
+
+let validate_graph ?config ?(steps = 3) ?bc ~ranks_shape (g : G.t) =
+  let dist = create_graph ?config ?bc ~ranks_shape g in
+  let single = Runtime.create_graph ?config ?bc g in
   run dist steps;
   Runtime.run single steps;
   Grid.max_rel_error ~reference:(Runtime.current single) (gather dist)

@@ -110,3 +110,47 @@ val validate :
 (** Runs the distributed and the single-grid runtimes side by side — both
     under [config]'s backend — and returns the max relative error between
     the gathered and the single-grid result (0.0 = bit-identical). *)
+
+(** {1 Pipeline graphs}
+
+    A distributed graph run executes the whole staged schedule on every
+    rank per step and refreshes halos with {e one} deep exchange of the
+    stepped state, sized by {!Msc_graph.Graph.required_halo} — the
+    shared-halo execution the {!Msc_graph.Pass.merge_halos} pass opts a
+    graph into. Multi-stage graphs are {e merged-only}: exchanging each
+    intermediate buffer separately is not supported (the slab packing
+    cannot refresh the extension-by-halo corner regions an extended
+    downstream sweep reads), so an unmerged multi-stage graph is
+    rejected at [create_graph]. Stage sweeps recompute their ghost
+    extensions from the deep source halo instead, exactly as the
+    single-node graph runtime does, so the gathered state stays
+    bit-identical to it. *)
+
+val create_graph :
+  ?config:Msc_exec.Exec.Config.t ->
+  ?net:Netmodel.t ->
+  ?schedule:Msc_schedule.Schedule.t ->
+  ?init:(int array -> float) ->
+  ?aux_init:(string -> int array -> float) ->
+  ?bc:Msc_exec.Bc.t ->
+  ?trace:Msc_trace.t ->
+  ranks_shape:int array ->
+  Msc_graph.Graph.t -> t
+(** Decompose a pipeline graph over [ranks_shape]. Parameters behave as
+    in {!create}. Engine mapping: [Bulk_synchronous] sweeps every rank's
+    staged schedule then exchanges; [Overlapped] hides the deep exchange
+    behind stage 0's halo-free core (later stages consume stage 0's
+    buffer, so only stage 0 splits); [Temporal_blocked] degrades to the
+    bulk schedule at depth 1 (intermediates are recomputed per step, not
+    stepped, so there is no block to deepen). All engines are
+    bit-identical to {!Msc_exec.Runtime.step_graph} on one grid.
+    @raise Invalid_argument if the graph is multi-stage but not merged
+    (run {!Msc_graph.Pass.merge_halos}), or any rank's extent is thinner
+    than the graph's required halo. *)
+
+val validate_graph :
+  ?config:Msc_exec.Exec.Config.t ->
+  ?steps:int -> ?bc:Msc_exec.Bc.t -> ranks_shape:int array ->
+  Msc_graph.Graph.t -> float
+(** {!validate} for pipeline graphs: distributed staged run vs the
+    single-node graph runtime (0.0 = bit-identical). *)

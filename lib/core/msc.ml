@@ -6,6 +6,8 @@ module Stencil = Msc_ir.Stencil
 module Shapes = Msc_frontend.Shapes
 module Builder = Msc_frontend.Builder
 module Pretty = Msc_frontend.Pretty
+module Graph = Msc_graph.Graph
+module Pass = Msc_graph.Pass
 module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
 module Plan = Msc_schedule.Plan
@@ -51,13 +53,28 @@ module Pipeline = struct
     bc : Bc.t option;
     config : Exec.Config.t;
     trace : Trace.t;
+    graph : Graph.t option;
   }
 
   let make ~stencil ?schedule ?bc ?(config = Exec.Config.default)
       ?(trace = Trace.disabled) () =
-    { stencil; schedule; bc; config; trace }
+    { stencil; schedule; bc; config; trace; graph = None }
+
+  let of_graph ?passes ?schedule ?bc ?(config = Exec.Config.default)
+      ?(trace = Trace.disabled) g =
+    let passes = Option.value passes ~default:Pass.default_pipeline in
+    let g = Pass.apply ~trace passes g in
+    {
+      stencil = (Graph.output_stage g).Graph.stencil;
+      schedule;
+      bc;
+      config;
+      trace;
+      graph = Some g;
+    }
 
   let stencil p = p.stencil
+  let graph p = p.graph
   let config p = p.config
   let trace p = p.trace
 
@@ -89,9 +106,20 @@ module Pipeline = struct
           ~machine:(Codegen.machine_of_target target)
           p.stencil (schedule_for ~target p)
 
+  let graph_plan p =
+    match p.graph with
+    | None -> Error "graph_plan: not a graph pipeline (built with make)"
+    | Some g ->
+        Plan.compile_graph g (Option.value p.schedule ~default:Schedule.empty)
+
   let runtime p =
-    Runtime.create ?schedule:p.schedule ~config:p.config ?bc:p.bc
-      ~trace:p.trace p.stencil
+    match p.graph with
+    | Some g ->
+        Runtime.create_graph ?schedule:p.schedule ~config:p.config ?bc:p.bc
+          ~trace:p.trace g
+    | None ->
+        Runtime.create ?schedule:p.schedule ~config:p.config ?bc:p.bc
+          ~trace:p.trace p.stencil
 
   let run ~steps p =
     let rt = runtime p in
@@ -137,8 +165,13 @@ module Pipeline = struct
   let distribute ~ranks_shape p =
     (* The config's pool dispatches ranks, not tiles: the overlapped engine
        runs each rank's phase concurrently. *)
-    Distributed.create ~config:p.config ?schedule:p.schedule ?bc:p.bc
-      ~trace:p.trace ~ranks_shape p.stencil
+    match p.graph with
+    | Some g ->
+        Distributed.create_graph ~config:p.config ?schedule:p.schedule
+          ?bc:p.bc ~trace:p.trace ~ranks_shape g
+    | None ->
+        Distributed.create ~config:p.config ?schedule:p.schedule ?bc:p.bc
+          ~trace:p.trace ~ranks_shape p.stencil
 
   let autotune ?seed ?iterations ~make_stencil ~nranks p =
     Autotune.tune ?seed ?iterations ~trace:p.trace ~make_stencil

@@ -38,6 +38,16 @@ module Stencil = Msc_ir.Stencil
 module Shapes = Msc_frontend.Shapes
 module Builder = Msc_frontend.Builder
 module Pretty = Msc_frontend.Pretty
+module Graph = Msc_graph.Graph
+(** Pipeline graph IR: DAGs of named stencil stages with validation
+    (acyclicity, shape/halo compatibility) and DOT export. *)
+
+module Pass = Msc_graph.Pass
+(** Graph optimization passes — dead-stage elimination, producer→consumer
+    fusion, shared-halo merging — with a traced fixpoint driver. Every
+    pass preserves bit-identity against naive stage-at-a-time
+    interpretation. *)
+
 module Schedule = Msc_schedule.Schedule
 module Loopnest = Msc_schedule.Loopnest
 module Plan = Msc_schedule.Plan
@@ -119,7 +129,30 @@ module Pipeline : sig
       is omitted, stages that need one derive the target's canonical
       schedule with the default tile clamped to the grid. *)
 
+  val of_graph :
+    ?passes:Pass.t list ->
+    ?schedule:Schedule.t ->
+    ?bc:Bc.t ->
+    ?config:Exec.Config.t ->
+    ?trace:Trace.t ->
+    Graph.t ->
+    t
+  (** A pipeline over a multi-stage {!Graph.t}. The graph is first run
+      through [passes] (default {!Pass.default_pipeline}: dead-stage
+      elimination, producer→consumer fusion, shared-halo merging) to a
+      fixpoint; {!run} and {!distribute} then execute the optimized
+      staged schedule ({!Runtime.create_graph} /
+      {!Distributed.create_graph}), bit-identical to naive
+      stage-at-a-time interpretation of the original graph. {!stencil}
+      reports the optimized graph's output stage; {!verify}, {!compile}
+      and {!simulate} apply to that stage alone and ignore upstream
+      stages. *)
+
   val stencil : t -> Stencil.t
+
+  val graph : t -> Graph.t option
+  (** The optimized (post-pass) graph, when built with {!of_graph}. *)
+
   val config : t -> Exec.Config.t
   val trace : t -> Trace.t
 
@@ -132,9 +165,15 @@ module Pipeline : sig
       that target's machine descriptor — what {!compile} emits and
       {!simulate} costs. *)
 
+  val graph_plan : t -> (Plan.graph_plan, string) result
+  (** The staged graph plan (per-stage tile plans, inter-stage buffer
+      assignment, exchange counts) a graph pipeline executes; [Error] on
+      a pipeline built with {!make}. *)
+
   val run : steps:int -> t -> Grid.t
   (** Execute natively (sliding time window, tiled, domain-parallel, on
-      [config]'s kernel backend) and return the final state. *)
+      [config]'s kernel backend) and return the final state. Graph
+      pipelines run the whole staged schedule per step. *)
 
   val run_report : steps:int -> t -> Grid.t * Runtime.backend_report
   (** Like {!run}, but also report which kernel backend actually executed —

@@ -144,13 +144,16 @@ let make_bilinear terms =
     bl_in_deltas = Array.map (fun tm -> tm.in_delta) terms;
   }
 
-let compile ?(trace = Msc_trace.disabled) kernel ~geometry:(g : Grid.t) =
+let compile ?(trace = Msc_trace.disabled) ?(force_tree = false) kernel
+    ~geometry:(g : Grid.t) =
   let ts0 = Msc_trace.begin_span trace in
   if Kernel.ndim kernel <> Grid.ndim g then
     invalid_arg "Interp.compile: rank mismatch";
   if kernel.Kernel.input.Tensor.shape <> g.Grid.shape then
     invalid_arg "Interp.compile: shape mismatch";
   let mode =
+    if force_tree then Tree kernel.Kernel.expr
+    else
     match Kernel.taps kernel with
     | Some taps ->
         let n = List.length taps in

@@ -26,11 +26,24 @@
 
 type t
 
-val compile : ?trace:Msc_trace.t -> Msc_ir.Kernel.t -> geometry:Grid.t -> t
+val compile :
+  ?trace:Msc_trace.t ->
+  ?force_tree:bool ->
+  Msc_ir.Kernel.t ->
+  geometry:Grid.t ->
+  t
 (** [geometry] supplies strides/halo only; any grid with the same shape and
     halo can be passed to the apply functions. [trace] records an
     [interp.compile] span plus [interp.mode.<taps|bilinear|tree>] and
     [interp.kernel_points] counters.
+
+    [force_tree] (default false) skips the taps/bilinear fast paths and
+    evaluates the expression tree verbatim. The fast paths merge
+    duplicate-offset taps and fold/distribute coefficients, which changes
+    rounding relative to the written tree; the pipeline graph executor
+    forces tree mode on every stage so that fused compound kernels (which
+    substitute producer trees into consumer trees) stay bit-identical to
+    the unfused stage-at-a-time reference.
     @raise Invalid_argument if the kernel rank mismatches the grid. *)
 
 val kernel : t -> Msc_ir.Kernel.t

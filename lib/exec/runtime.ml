@@ -1,6 +1,7 @@
 open Msc_ir
 module Schedule = Msc_schedule.Schedule
 module Plan = Msc_schedule.Plan
+module G = Msc_graph.Graph
 
 (* One stencil term's execution state: the interpreter compilation is
    always present (the semantic reference and the fallback); [compiled]
@@ -17,6 +18,52 @@ type term = { scale : float; source : source; dt : int }
 and source = From_kernel of kernel_exec | From_state
 
 type engine = Write_through | Zero_accumulate
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline graph execution state. A graph runtime reuses the window /
+   BC / rotation machinery of [t] (the stepped source grid behaves
+   exactly as a single stencil's would) and adds per-stage sweeps into
+   scratch buffers. Stage kernels are interpreted in forced tree mode:
+   the taps/bilinear fast paths merge duplicate taps and fold/distribute
+   coefficients, which is bit-equal for a kernel on its own but not for
+   a fused compound kernel versus its unfused reference — literal tree
+   evaluation is the one mode where substitution preserves every bit. *)
+
+(* Where a stage term's input grid comes from: a past state of the
+   stepped source, or an intermediate stage's scratch buffer (always the
+   current step — intermediates are recomputed, never stepped). *)
+type gsource = G_state of int | G_buffer of int
+
+type gterm = {
+  g_scale : float;
+  g_src : gsource;
+  g_kernel : Interp.t option;  (* [None] = identity (State) term *)
+}
+
+type stage_exec = {
+  sx_name : string;
+  sx_terms : gterm list;
+  sx_aux_static : (string * Grid.t) list;
+      (* coefficient grids + predecessor buffers, resolved once: buffer
+         slot assignment is static, grid identities never change *)
+  sx_aux_source : string option;
+      (* the source tensor's name when a kernel reads it as aux (bound
+         per sweep to [state ~dt:1]: the window rotates) *)
+  sx_dst : [ `Buffer of int | `Output ];
+  sx_tasks : (int array * int array) array;
+      (* plan tasks grown by the stage's ghost-zone extension *)
+  sx_fused : Backend.sweep_fn option;  (* per-stage fused JIT sweep *)
+  sx_fused_srcs : float array array;
+  sx_fused_aux : float array array;
+  sx_aux_refresh : int list;
+      (* [sx_fused_aux] slots bound to the source, refilled per sweep *)
+}
+
+type graph_exec = {
+  gx_plan : Plan.graph_plan;
+  gx_buffers : Grid.t array;
+  gx_stages : stage_exec array;
+}
 
 type backend_report = {
   requested : Backend.t;
@@ -53,6 +100,7 @@ type t = {
   tid : int;  (* label for this runtime's spans (the rank, when distributed) *)
   on_worker : (int -> unit) option;  (* attaches worker domains to [trace] *)
   points_per_step : float;  (* interior points swept per step *)
+  graph : graph_exec option;  (* present iff built by [create_graph] *)
 }
 
 let rec flatten scale (e : Stencil.expr) =
@@ -307,6 +355,244 @@ let create ?plan ?schedule ?(config = Exec.Config.default)
     tid;
     on_worker;
     points_per_step = float_of_int (Array.fold_left ( * ) 1 shape);
+    graph = None;
+  }
+
+let create_graph ?graph_plan ?schedule ?(config = Exec.Config.default)
+    ?(init = default_init) ?(aux_init = default_aux_init)
+    ?(bc = Bc.Dirichlet 0.0) ?(trace = Msc_trace.disabled) ?(tid = 0)
+    (graph : G.t) =
+  let gp =
+    match graph_plan with
+    | Some p -> p
+    | None -> (
+        let sched = Option.value schedule ~default:Schedule.empty in
+        match Plan.compile_graph graph sched with
+        | Ok p -> p
+        | Error msg -> invalid_arg ("Runtime.create_graph: " ^ msg))
+  in
+  let g = gp.Plan.gp_graph in
+  let source = g.G.source in
+  let geometry = Grid.of_tensor source in
+  let w = gp.Plan.gp_time_window in
+  let window = Array.init (w + 1) (fun _ -> Grid.like geometry) in
+  for dt = 1 to w do
+    Grid.fill window.(w - dt) (init dt);
+    Bc.apply bc window.(w - dt)
+  done;
+  let aux =
+    List.map
+      (fun (tensor : Tensor.t) ->
+        let gr = Grid.of_tensor tensor in
+        Grid.fill_extended gr (aux_init tensor.Tensor.name);
+        (tensor.Tensor.name, gr))
+      (G.coefficient_tensors g)
+  in
+  let buffers = Array.init gp.Plan.gp_n_buffers (fun _ -> Grid.like geometry) in
+  let slot_of name =
+    List.find_map
+      (fun (sp : Plan.graph_stage_plan) ->
+        if String.equal sp.Plan.gs_name name then sp.Plan.gs_buffer else None)
+      gp.Plan.gp_stages
+  in
+  let backend = config.Exec.Config.backend in
+  let fallback = ref None in
+  let kernel_terms_total = ref 0 in
+  let compiled_terms = ref 0 in
+  let fused_stages = ref 0 in
+  let shape = source.Tensor.shape in
+  let all_true = Array.make (Tensor.ndim source) true in
+  let build_stage (sp : Plan.graph_stage_plan) =
+    let st = sp.Plan.gs_stencil in
+    let input_name = st.Stencil.grid.Tensor.name in
+    let input_is_source = String.equal input_name source.Tensor.name in
+    let src_of dt =
+      if input_is_source then G_state dt
+      else
+        match slot_of input_name with
+        | Some b -> G_buffer b
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Runtime.create_graph: stage %s reads %S which has no buffer"
+                 sp.Plan.gs_name input_name)
+    in
+    (* Graph stages always interpret in tree mode — see the comment on
+       [gsource] above. *)
+    let pre_terms =
+      List.map
+        (fun (scale, src, dt) ->
+          match src with
+          | `Kernel k ->
+              incr kernel_terms_total;
+              (scale, `Kernel (Interp.compile ~trace ~force_tree:true k ~geometry), dt)
+          | `State -> (scale, `State, dt))
+        (flatten 1.0 st.Stencil.expr)
+    in
+    let aux_names =
+      List.sort_uniq String.compare
+        (List.concat_map
+           (fun (k : Kernel.t) ->
+             List.map (fun (x : Tensor.t) -> x.Tensor.name) k.Kernel.aux)
+           (Stencil.kernels st))
+    in
+    let aux_source = ref None in
+    let aux_static =
+      List.filter_map
+        (fun n ->
+          if String.equal n source.Tensor.name then begin
+            aux_source := Some n;
+            None
+          end
+          else
+            match slot_of n with
+            | Some b -> Some (n, buffers.(b))
+            | None -> (
+                match List.assoc_opt n aux with
+                | Some gr -> Some (n, gr)
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Runtime.create_graph: stage %s reads unbound tensor %S"
+                         sp.Plan.gs_name n)))
+        aux_names
+    in
+    let terms =
+      List.map
+        (fun (scale, src, dt) ->
+          match src with
+          | `Kernel interp ->
+              { g_scale = scale; g_src = src_of dt; g_kernel = Some interp }
+          | `State -> { g_scale = scale; g_src = src_of dt; g_kernel = None })
+        pre_terms
+    in
+    let sweep_terms =
+      List.map
+        (fun (scale, src, _) ->
+          match src with
+          | `Kernel interp -> Jit.Sweep_kernel { scale; interp }
+          | `State -> Jit.Sweep_state { scale })
+        pre_terms
+    in
+    let stage_kernel_terms =
+      List.length
+        (List.filter
+           (function Jit.Sweep_kernel _ -> true | Jit.Sweep_state _ -> false)
+           sweep_terms)
+    in
+    let fused =
+      if
+        backend = Backend.Interp
+        || (not config.Exec.Config.fuse)
+        || stage_kernel_terms = 0
+      then None
+      else
+        match
+          Jit.compile_sweep ~backend ~plan_digest:sp.Plan.gs_plan.Plan.digest
+            sweep_terms
+        with
+        | Ok fn ->
+            incr fused_stages;
+            compiled_terms := !compiled_terms + stage_kernel_terms;
+            Some fn
+        | Error msg ->
+            if !fallback = None then fallback := Some msg;
+            None
+    in
+    let sx_fused_aux, sx_aux_refresh =
+      if fused = None then ([||], [])
+      else begin
+        let names =
+          List.concat_map
+            (function
+              | Jit.Sweep_state _ -> []
+              | Jit.Sweep_kernel { interp; _ } -> Jit.sweep_term_aux_names interp)
+            sweep_terms
+        in
+        let arr = Array.make (List.length names) [||] in
+        let refresh = ref [] in
+        List.iteri
+          (fun i n ->
+            if String.equal n source.Tensor.name then refresh := i :: !refresh
+            else
+              match slot_of n with
+              | Some b -> arr.(i) <- buffers.(b).Grid.data
+              | None -> arr.(i) <- (List.assoc n aux).Grid.data)
+          names;
+        (arr, !refresh)
+      end
+    in
+    {
+      sx_name = sp.Plan.gs_name;
+      sx_terms = terms;
+      sx_aux_static = aux_static;
+      sx_aux_source = !aux_source;
+      sx_dst =
+        (match sp.Plan.gs_buffer with Some b -> `Buffer b | None -> `Output);
+      sx_tasks =
+        Plan.extend_tasks ~shape ~ext:sp.Plan.gs_ext ~grow_low:all_true
+          ~grow_high:all_true sp.Plan.gs_plan.Plan.tasks;
+      sx_fused = fused;
+      sx_fused_srcs =
+        (if fused = None then [||] else Array.make (List.length terms) [||]);
+      sx_fused_aux;
+      sx_aux_refresh;
+    }
+  in
+  let stages = Array.of_list (List.map build_stage gp.Plan.gp_stages) in
+  let first_plan =
+    match gp.Plan.gp_stages with
+    | sp :: _ -> sp.Plan.gs_plan
+    | [] -> assert false
+  in
+  let par =
+    match first_plan.Plan.parallel with
+    | Plan.Seq -> `Seq
+    | Plan.Block _ -> `Block
+    | Plan.Round_robin _ -> `Round_robin
+  in
+  if Msc_trace.enabled trace then begin
+    Msc_trace.add ~tid trace "graph.stages"
+      (float_of_int (Array.length stages));
+    Msc_trace.add ~tid trace "graph.buffers"
+      (float_of_int gp.Plan.gp_n_buffers)
+  end;
+  let on_worker =
+    if Msc_trace.enabled trace then
+      Some (fun w -> Msc_trace.attach_worker trace ~tid:w)
+    else None
+  in
+  {
+    stencil = (G.output_stage g).G.stencil;
+    terms = [];
+    window;
+    aux;
+    bc;
+    cur = w - 1;
+    steps_done = 0;
+    tiles = stages.(Array.length stages - 1).sx_tasks;
+    par;
+    pool = config.Exec.Config.pool;
+    engine = Write_through;
+    fused = None;
+    fused_srcs = [||];
+    fused_aux = [||];
+    tile_dispatches = 0;
+    backend_report =
+      {
+        requested = backend;
+        effective = (if !compiled_terms > 0 then backend else Backend.Interp);
+        kernel_terms = !kernel_terms_total;
+        compiled_terms = !compiled_terms;
+        fused_sweeps = !fused_stages;
+        tile_dispatches = 0;
+        fallback = !fallback;
+      };
+    trace;
+    tid;
+    on_worker;
+    points_per_step = float_of_int (Array.fold_left ( * ) 1 shape);
+    graph = Some { gx_plan = gp; gx_buffers = buffers; gx_stages = stages };
   }
 
 let stencil t = t.stencil
@@ -459,10 +745,121 @@ let finish_step ?low ?high t =
   t.steps_done <- t.steps_done + 1;
   Msc_trace.end_span ~tid:t.tid t.trace "window.rotate" ts_rot
 
-let step t =
+(* ------------------------------------------------------------------ *)
+(* Graph stepping: sweep each stage in topological order over its
+   extended tasks into its buffer (or the output slot), then finish the
+   step exactly as the single-stencil path does — intermediates carry no
+   BC, the output slot gets the full BC pass. *)
+
+let graph_exec t =
+  match t.graph with
+  | Some gx -> gx
+  | None -> invalid_arg "Runtime: not a graph runtime (use create_graph)"
+
+let is_graph t = t.graph <> None
+
+let stage_src t gx = function
+  | G_state dt -> state t ~dt
+  | G_buffer i -> gx.gx_buffers.(i)
+
+let stage_dst t gx sx =
+  match sx.sx_dst with
+  | `Buffer i -> gx.gx_buffers.(i)
+  | `Output -> output_slot t
+
+let stage_aux t sx =
+  match sx.sx_aux_source with
+  | None -> sx.sx_aux_static
+  | Some n -> (n, current t) :: sx.sx_aux_static
+
+let gterm_write t gx ~aux ~dst ~lo ~hi gt =
+  let src = stage_src t gx gt.g_src in
+  match gt.g_kernel with
+  | Some interp ->
+      Interp.apply_scaled_range ~aux interp ~scale:gt.g_scale ~src ~dst ~lo ~hi
+  | None -> Interp.identity_apply_range ~scale:gt.g_scale ~src ~dst ~lo ~hi
+
+let gterm_accumulate t gx ~aux ~dst ~lo ~hi gt =
+  let src = stage_src t gx gt.g_src in
+  match gt.g_kernel with
+  | Some interp ->
+      Interp.accumulate_range ~aux interp ~scale:gt.g_scale ~src ~dst ~lo ~hi
+  | None -> Interp.identity_accumulate_range ~scale:gt.g_scale ~src ~dst ~lo ~hi
+
+let stage_compute_range t gx sx ~dst ~lo ~hi =
+  match sx.sx_fused with
+  | Some fn ->
+      (* The fused kernel performs no validation; guard with the
+         interpreter's own checks exactly as the single-stencil fused
+         path does. [sx_fused_srcs]/refresh slots were refilled by the
+         dispatching sweep. *)
+      List.iter
+        (fun gt ->
+          match gt.g_kernel with
+          | Some interp ->
+              Interp.check_grids interp ~src:(stage_src t gx gt.g_src) ~dst;
+              Interp.check_range interp ~lo ~hi
+          | None -> ())
+        sx.sx_terms;
+      fn Backend.wb_apply sx.sx_fused_srcs dst.Grid.data sx.sx_fused_aux lo hi
+  | None -> (
+      let aux = stage_aux t sx in
+      match sx.sx_terms with
+      | first :: rest ->
+          gterm_write t gx ~aux ~dst ~lo ~hi first;
+          List.iter (gterm_accumulate t gx ~aux ~dst ~lo ~hi) rest
+      | [] -> ())
+
+let stage_sweep_one ?tid t gx sx ~dst (lo, hi) =
+  let ts0 = Msc_trace.begin_span t.trace in
+  stage_compute_range t gx sx ~dst ~lo ~hi;
+  Msc_trace.end_span ?tid t.trace "sweep" ts0
+
+let sweep_stage_tasks t sx tasks =
+  let gx = graph_exec t in
+  let dst = stage_dst t gx sx in
+  let ntiles = Array.length tasks in
+  t.tile_dispatches <- t.tile_dispatches + ntiles;
+  if sx.sx_fused <> None then begin
+    List.iteri
+      (fun i gt -> sx.sx_fused_srcs.(i) <- (stage_src t gx gt.g_src).Grid.data)
+      sx.sx_terms;
+    List.iter
+      (fun i -> sx.sx_fused_aux.(i) <- (current t).Grid.data)
+      sx.sx_aux_refresh
+  end;
+  match t.par with
+  | `Seq ->
+      for id = 0 to ntiles - 1 do
+        stage_sweep_one ~tid:t.tid t gx sx ~dst tasks.(id)
+      done
+  | `Block ->
+      Msc_util.Domain_pool.parallel_for ?on_worker:t.on_worker t.pool ~lo:0
+        ~hi:ntiles (fun id -> stage_sweep_one t gx sx ~dst tasks.(id))
+  | `Round_robin ->
+      Msc_util.Domain_pool.parallel_chunks ?on_worker:t.on_worker t.pool ~lo:0
+        ~hi:ntiles (fun ~worker:_ id -> stage_sweep_one t gx sx ~dst tasks.(id))
+
+let graph_plan t = Option.map (fun gx -> gx.gx_plan) t.graph
+let graph_stage_count t = Array.length (graph_exec t).gx_stages
+let graph_stage_tasks t i = (graph_exec t).gx_stages.(i).sx_tasks
+
+let sweep_graph_stage t i tasks =
+  sweep_stage_tasks t (graph_exec t).gx_stages.(i) tasks
+
+let step_graph t =
+  let gx = graph_exec t in
   begin_step t;
-  sweep_tasks t t.tiles;
+  Array.iter (fun sx -> sweep_stage_tasks t sx sx.sx_tasks) gx.gx_stages;
   finish_step t
+
+let step t =
+  match t.graph with
+  | Some _ -> step_graph t
+  | None ->
+      begin_step t;
+      sweep_tasks t t.tiles;
+      finish_step t
 
 let run t n =
   for _ = 1 to n do

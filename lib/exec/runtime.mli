@@ -154,3 +154,63 @@ val run : t -> int -> unit
 val tiles : t -> (int array * int array) array
 (** The (lo, hi) interior ranges of each tile in the plan's traversal order
     (a single full-range tile when untiled). *)
+
+(** {1 Pipeline graphs}
+
+    A graph runtime executes a whole {!Msc_graph.Graph.t} per step: each
+    stage is swept in topological order over its ghost-zone-extended task
+    range into a scratch buffer (slot assignment and reuse from
+    {!Msc_schedule.Plan.compile_graph}), the output stage writes the
+    stepped state, and the window rotates exactly as a single stencil's
+    would. Stage kernels are interpreted in {e forced tree mode}
+    ({!Interp.compile}'s [force_tree]) so that fused compound stages stay
+    bit-identical to their unfused stage-at-a-time reference; compiled
+    backends JIT one fused sweep per stage against the stage's plan
+    digest (interpreter fallback per stage). Intermediate buffers carry
+    no boundary condition: extended stage sweeps read the source's
+    BC-filled (or exchanged) deep halo, sized by the graph's
+    {!Msc_graph.Graph.required_halo}. *)
+
+val create_graph :
+  ?graph_plan:Msc_schedule.Plan.graph_plan ->
+  ?schedule:Msc_schedule.Schedule.t ->
+  ?config:Exec.Config.t ->
+  ?init:(int -> int array -> float) ->
+  ?aux_init:(string -> int array -> float) ->
+  ?bc:Bc.t ->
+  ?trace:Msc_trace.t ->
+  ?tid:int ->
+  Msc_graph.Graph.t ->
+  t
+(** Build a graph runtime. [graph_plan] supplies a precompiled
+    {!Msc_schedule.Plan.graph_plan} (the distributed runtime passes one
+    per rank extent); otherwise [schedule] (default
+    {!Msc_schedule.Schedule.empty}) is lowered against every stage here.
+    [init]/[aux_init]/[bc]/[trace]/[tid] behave as in {!create}. The
+    non-graph split-stepping entry points ({!sweep_tasks}, {!tiles})
+    still refer to the output stage; use {!sweep_graph_stage} for
+    per-stage phase control.
+    @raise Invalid_argument if any stage rejects the schedule. *)
+
+val is_graph : t -> bool
+
+val graph_plan : t -> Msc_schedule.Plan.graph_plan option
+(** The lowered graph plan, when this is a graph runtime. *)
+
+val step_graph : t -> unit
+(** One pipeline step: [begin_step]; sweep every stage in topological
+    order over its extended tasks; [finish_step]. {!step} delegates here
+    on graph runtimes.
+    @raise Invalid_argument on a non-graph runtime. *)
+
+val graph_stage_count : t -> int
+
+val graph_stage_tasks : t -> int -> (int array * int array) array
+(** Stage [i]'s extended task array (topological index). Sweeping any
+    partition of these between {!begin_step} and {!finish_step}, stages
+    in order, reproduces {!step_graph} bit-exactly — the distributed
+    runtime splits stage 0 against its radius to overlap the exchange. *)
+
+val sweep_graph_stage : t -> int -> (int array * int array) array -> unit
+(** Sweep stage [i] over an explicit task array into its buffer (or the
+    output slot) under the plan's parallel dispatch. *)

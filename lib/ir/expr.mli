@@ -73,6 +73,11 @@ val eval :
     math functions by name. @raise Invalid_argument on an unknown call or
     unbound parameter. *)
 
+val map_expr : (t -> t option) -> t -> t
+(** Top-down rewrite: when [fn] returns [Some e'] the node is replaced by
+    [e'] verbatim (no recursion into the replacement); on [None] the walk
+    recurses into the children. Leaves unmatched nodes untouched. *)
+
 val rename_tensor : from:string -> to_:string -> t -> t
 val map_offsets : (access -> int array) -> t -> t
 

@@ -201,6 +201,33 @@ let interior_shell t =
   in
   split_tasks ~core_lo ~core_hi t.tasks
 
+(* Grow the sweep range by [ext] cells into the halo on every face whose
+   grow flag is set. The extension is materialised as the shell of the
+   grown box split against the interior, so the plan's own tile tasks (and
+   their traversal order) are preserved and only the ghost boxes are
+   appended; the split boxes are disjoint, so every grown cell is computed
+   exactly once. *)
+let extend_tasks ~shape ~ext ~grow_low ~grow_high tasks =
+  let nd = Array.length shape in
+  if
+    Array.length ext <> nd
+    || Array.length grow_low <> nd
+    || Array.length grow_high <> nd
+  then invalid_arg "Plan.extend_tasks: rank mismatch";
+  let ext_lo =
+    Array.init nd (fun d -> if grow_low.(d) then -ext.(d) else 0)
+  in
+  let ext_hi =
+    Array.init nd (fun d -> shape.(d) + if grow_high.(d) then ext.(d) else 0)
+  in
+  if ext_lo = Array.make nd 0 && ext_hi = shape then tasks
+  else
+    let _, sh =
+      split_tasks ~core_lo:(Array.make nd 0) ~core_hi:shape
+        [| (ext_lo, ext_hi) |]
+    in
+    Array.append tasks sh
+
 let temporal ~shape ~radius ~depth ~grow_low ~grow_high tasks =
   let nd = Array.length shape in
   if depth < 1 then invalid_arg "Plan.temporal: depth must be >= 1";
@@ -211,31 +238,130 @@ let temporal ~shape ~radius ~depth ~grow_low ~grow_high tasks =
       (* Substep [s] of a depth-k block sweeps the interior grown by
          (k-1-s) * radius into the halo on every face that has exchanged
          (deep) data; after the k substeps the interior is exact and the
-         remaining extension has been consumed. The extension is
-         materialised as the shell of the grown box split against the
-         interior, so the plan's own tile tasks (and their traversal order)
-         are preserved and only the ghost boxes are appended. *)
+         remaining extension has been consumed. *)
       let e = depth - 1 - s in
       if e = 0 then tasks
-      else begin
-        let ext_lo =
-          Array.init nd (fun d -> if grow_low.(d) then -(e * radius.(d)) else 0)
-        in
-        let ext_hi =
-          Array.init nd (fun d ->
-              shape.(d) + if grow_high.(d) then e * radius.(d) else 0)
-        in
-        let _, ext =
-          split_tasks ~core_lo:(Array.make nd 0) ~core_hi:shape
-            [| (ext_lo, ext_hi) |]
-        in
-        Array.append tasks ext
-      end)
+      else
+        extend_tasks ~shape
+          ~ext:(Array.map (fun r -> e * r) radius)
+          ~grow_low ~grow_high tasks)
 
 let compile_exn ?machine st schedule =
   match compile ?machine st schedule with
   | Ok t -> t
   | Error msg -> invalid_arg ("Plan.compile: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline graph plans.                                               *)
+
+module G = Msc_graph.Graph
+
+type graph_stage_plan = {
+  gs_name : string;
+  gs_stencil : Stencil.t;
+  gs_plan : t;
+  gs_ext : int array;
+  gs_buffer : int option;
+}
+
+type graph_plan = {
+  gp_graph : G.t;
+  gp_stages : graph_stage_plan list;
+  gp_n_buffers : int;
+  gp_halo : int array;
+  gp_time_window : int;
+  gp_merged : bool;
+  gp_exchanges_per_step : int;
+  gp_naive_exchanges_per_step : int;
+}
+
+let compile_graph ?machine ?shape (g : G.t) schedule =
+  let halo = G.required_halo g in
+  let g = G.reshape ?shape ~halo g in
+  let exts = G.extensions g in
+  let rec lower acc = function
+    | [] -> Ok (List.rev acc)
+    | (s : G.stage) :: rest -> (
+        match compile ?machine s.G.stencil schedule with
+        | Ok p -> lower ((s, p) :: acc) rest
+        | Error e ->
+            Error (Printf.sprintf "stage %s: %s" s.G.name e))
+  in
+  match lower [] g.G.stages with
+  | Error e -> Error e
+  | Ok stage_plans ->
+      (* Greedy liveness-driven buffer slots: walk the topological order,
+         give each intermediate the lowest free slot, then release the
+         slots of dependencies whose last reader is this stage. A stage's
+         own slot is allocated {e before} its dead dependencies are
+         released, so a stage never writes the buffer it is reading — the
+         double-buffer reuse happens one stage later. *)
+      let slot = Hashtbl.create 8 in
+      let free = ref [] and next = ref 0 in
+      let alloc () =
+        match !free with
+        | i :: rest ->
+            free := rest;
+            i
+        | [] ->
+            let i = !next in
+            incr next;
+            i
+      in
+      let topo = Array.of_list g.G.stages in
+      let last_reader name =
+        let last = ref (-1) in
+        Array.iteri
+          (fun i s ->
+            if List.exists (String.equal name) (G.reads s) then last := i)
+          topo;
+        !last
+      in
+      let stages =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (i, acc) ((s : G.stage), p) ->
+                  let buffer =
+                    if String.equal s.G.name g.G.output then None
+                    else begin
+                      let b = alloc () in
+                      Hashtbl.replace slot s.G.name b;
+                      Some b
+                    end
+                  in
+                  List.iter
+                    (fun d ->
+                      if last_reader d = i then
+                        match Hashtbl.find_opt slot d with
+                        | Some b ->
+                            free := b :: !free;
+                            Hashtbl.remove slot d
+                        | None -> ())
+                    (G.deps g s);
+                  ( i + 1,
+                    {
+                      gs_name = s.G.name;
+                      gs_stencil = s.G.stencil;
+                      gs_plan = p;
+                      gs_ext = Hashtbl.find exts s.G.name;
+                      gs_buffer = buffer;
+                    }
+                    :: acc ))
+                (0, []) stage_plans))
+      in
+      let n_stages = List.length stages in
+      Ok
+        {
+          gp_graph = g;
+          gp_stages = stages;
+          gp_n_buffers = !next;
+          gp_halo = halo;
+          gp_time_window = G.time_window g;
+          gp_merged = g.G.merged;
+          gp_exchanges_per_step = (if g.G.merged then 1 else n_stages);
+          gp_naive_exchanges_per_step = n_stages;
+        }
 
 let spm_fits t =
   match t.spm_capacity_bytes with

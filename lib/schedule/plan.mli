@@ -84,6 +84,21 @@ val interior_shell : t -> (int array * int array) array * (int array * int array
     sub-sweep needs the completed exchange. An extent thinner than twice the
     radius has an empty interior (every cell is shell). *)
 
+val extend_tasks :
+  shape:int array ->
+  ext:int array ->
+  grow_low:bool array ->
+  grow_high:bool array ->
+  (int array * int array) array ->
+  (int array * int array) array
+(** Grow the sweep range by [ext.(d)] cells into the halo on every face of
+    dimension [d] whose grow flag is set: the original tasks (traversal
+    order preserved) with the disjoint extension boxes appended, so
+    sweeping the result computes every grown cell exactly once. Returns
+    [tasks] unchanged when nothing grows. The graph executor uses this to
+    run intermediate pipeline stages on their ghost-zone extension.
+    @raise Invalid_argument on rank mismatch. *)
+
 val temporal :
   shape:int array ->
   radius:int array ->
@@ -101,6 +116,54 @@ val temporal :
     (traversal order preserved) with the disjoint extension boxes appended,
     so sweeping it computes every grown cell exactly once.
     @raise Invalid_argument if [depth < 1] or the array ranks mismatch. *)
+
+(** {1 Pipeline graph plans}
+
+    {!compile_graph} lowers a whole {!Msc_graph.Graph.t} into an ordered
+    stage-plan list sharing one index space: every tensor is rebuilt to
+    the graph's {!Msc_graph.Graph.required_halo} (and, for distributed
+    ranks, the local [shape]), each stage gets its own {!t} under the same
+    schedule, and intermediate results are assigned scratch-buffer slots
+    with liveness-driven reuse — a dead intermediate's slot is handed to a
+    later stage (double buffering falls out for chains). *)
+
+type graph_stage_plan = {
+  gs_name : string;
+  gs_stencil : Msc_ir.Stencil.t;  (** reshaped to the uniform deep halo *)
+  gs_plan : t;
+  gs_ext : int array;
+      (** ghost-zone extension this stage is computed on (zero for the
+          output stage) — executors grow [gs_plan.tasks] by this via
+          {!extend_tasks} *)
+  gs_buffer : int option;
+      (** scratch slot holding the stage's result; [None] = this is the
+          output stage, written to the stepped state *)
+}
+
+type graph_plan = {
+  gp_graph : Msc_graph.Graph.t;  (** the reshaped graph *)
+  gp_stages : graph_stage_plan list;  (** topological order *)
+  gp_n_buffers : int;  (** scratch grids needed after slot reuse *)
+  gp_halo : int array;  (** the uniform halo every tensor was rebuilt to *)
+  gp_time_window : int;
+  gp_merged : bool;
+  gp_exchanges_per_step : int;
+      (** halo exchanges a distributed step performs: 1 when merged *)
+  gp_naive_exchanges_per_step : int;
+      (** the per-stage-exchange baseline (one per stage) the merge saves
+          against — the bench's exchanges/step comparison *)
+}
+
+val compile_graph :
+  ?machine:Msc_machine.Machine.t ->
+  ?shape:int array ->
+  Msc_graph.Graph.t ->
+  Schedule.t ->
+  (graph_plan, string) result
+(** Reshape the graph to its required halo (and [shape], when given — the
+    distributed runtime passes each rank's local extent), then lower every
+    stage against [schedule]. Fails with the offending stage's name if any
+    stage rejects the schedule. *)
 
 val spm_fits : t -> bool
 (** [working_set_bytes <= spm_capacity_bytes] (true when the machine has no

@@ -13,5 +13,6 @@ let () =
    @ Test_machines.suites @ Test_comm.suites @ Test_autotune.suites
    @ Test_multigrid.suites @ Test_extensions.suites @ Test_bc.suites
    @ Test_baselines.suites
+   @ Test_graph.suites
    @ Test_suite.suites @ Test_pipeline.suites @ Test_trace.suites
    @ Test_fastpath.suites @ Test_misc.suites)
