@@ -372,13 +372,27 @@ let pipeline_fusion_tests =
          ])
        Msc.Suite.pipeline_names)
 
+(* Matrix-free solvers: one full solve to tolerance per run on the small
+   Poisson model problem — the whole apply + reduce + update loop, single
+   rank, so the number tracks the serial iteration cost. *)
+let solver_tests =
+  let p = Msc.Solver.Problem.poisson ~dims:[| 9; 9 |] in
+  Test.make_grouped ~name:"solver"
+    (List.map
+       (fun method_ ->
+         Test.make
+           ~name:(Msc.Solver.method_to_string method_)
+           (Staged.stage (fun () ->
+                ignore (Msc.Solver.solve ~tol:1e-6 ~method_ p))))
+       Msc.Solver.all_methods)
+
 let all_tests =
   Test.make_grouped ~name:"msc"
     [
       suite_tests; schedule_tests; halo_tests; codegen_tests; sim_tests;
       tuning_tests; extension_tests; parallel_overhead_tests; fastpath_tests;
       plan_traversal_tests; trace_overhead_tests; comm_tests;
-      kernel_backend_tests; fused_tests; pipeline_fusion_tests;
+      kernel_backend_tests; fused_tests; pipeline_fusion_tests; solver_tests;
     ]
 
 (* == BENCH_runtime.json: machine-readable per-kernel throughput ==
@@ -405,6 +419,58 @@ let time_per_run f =
     if dt >= !quota_s then dt /. float_of_int iters else ramp (iters * 2)
   in
   ramp 1
+
+(* Interleaved min-of-N for a timing PAIR whose ratio is asserted: the legs
+   alternate inside the same measurement window and each keeps its noise
+   floor (preemption and allocator jitter only ever slow a run down), so a
+   slow epoch lands on both or neither — sequential windows would let it
+   skew the ratio one way. [quota] floors the per-rep quota so [--smoke]'s
+   shrunken budget still measures asserted legs long enough to settle. *)
+let time_pair_min ?(reps = 7) ?quota fa fb =
+  let saved = !quota_s in
+  (match quota with Some q -> quota_s := Float.max saved q | None -> ());
+  Fun.protect
+    ~finally:(fun () -> quota_s := saved)
+    (fun () ->
+      let ta = ref infinity and tb = ref infinity in
+      for _ = 1 to reps do
+        ta := Float.min !ta (time_per_run fa);
+        tb := Float.min !tb (time_per_run fb)
+      done;
+      (!ta, !tb))
+
+(* Paired seconds-per-step for the default fused runtime vs the same fused
+   kernel dispatched over a tiled 4-worker pool schedule. Shared by the
+   kernel table and the pool-cutoff audit, which re-measures an
+   under-threshold kernel with a longer window before failing. *)
+let fused_pool_times ?reps ?quota (b : Msc.Suite.bench) =
+  let dims =
+    match b.Msc.Suite.ndim with 2 -> [| 64; 64 |] | _ -> [| 24; 24; 24 |]
+  in
+  let st = Msc.Suite.stencil ~dims b in
+  let rt_fused =
+    Msc.Runtime.create
+      ~config:(Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ())
+      st
+  in
+  let kernel = Msc.Suite.kernel_of st in
+  let tile =
+    match b.Msc.Suite.ndim with 2 -> [| 16; 16 |] | _ -> [| 6; 8; 24 |]
+  in
+  let schedule = Msc.Schedule.matrix_canonical ~tile ~threads:4 kernel in
+  let pool = Msc.Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Msc.Domain_pool.shutdown pool)
+    (fun () ->
+      let rt_pool =
+        Msc.Runtime.create ~schedule
+          ~config:
+            (Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ~pool ())
+          st
+      in
+      time_pair_min ?reps ?quota
+        (fun () -> Msc.Runtime.step rt_fused)
+        (fun () -> Msc.Runtime.step rt_pool))
 
 (* Per-kernel, per-backend throughput. Four legs:
    - [interp_legacy_bc]: the seed baseline this PR's 10x claim is measured
@@ -454,35 +520,8 @@ let kernel_backend_points_per_sec (b : Msc.Suite.bench) =
         (backend, effective, points /. per_step))
       Msc.Backend.all
   in
-  let fused_c =
-    let rt =
-      Msc.Runtime.create
-        ~config:(Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ())
-        st
-    in
-    let per_step = time_per_run (fun () -> Msc.Runtime.step rt) in
-    points /. per_step
-  in
-  let fused_c_pool =
-    let kernel = Msc.Suite.kernel_of st in
-    let tile =
-      match b.Msc.Suite.ndim with 2 -> [| 16; 16 |] | _ -> [| 6; 8; 24 |]
-    in
-    let schedule = Msc.Schedule.matrix_canonical ~tile ~threads:4 kernel in
-    let pool = Msc.Domain_pool.create 4 in
-    Fun.protect
-      ~finally:(fun () -> Msc.Domain_pool.shutdown pool)
-      (fun () ->
-        let rt =
-          Msc.Runtime.create ~schedule
-            ~config:
-              (Msc.Exec.Config.make ~backend:Msc.Backend.Compiled_c ~pool ())
-            st
-        in
-        let per_step = time_per_run (fun () -> Msc.Runtime.step rt) in
-        points /. per_step)
-  in
-  (dims, legacy, backend_legs, fused_c, fused_c_pool)
+  let t_fused, t_pool = fused_pool_times ~quota:0.03 b in
+  (dims, legacy, backend_legs, points /. t_fused, points /. t_pool)
 
 let fastpath_speedup () =
   let b = Msc.Suite.find "3d7pt_star" in
@@ -675,7 +714,46 @@ let pipeline_fusion_rows () =
         pps go ))
     Msc.Suite.pipeline_names
 
-let emit_runtime_json ~comm ~temporal path =
+(* Matrix-free solver throughput: every method driven to convergence on the
+   Poisson model problem at a 2x2 decomposition with real halo exchanges and
+   allreduces. Reported as update iterations per second plus the
+   residual-vs-iteration curve (downsampled to at most 12 [iteration,
+   residual] points, endpoints always kept, so the JSON stays diffable). *)
+let solver_rows ?(smoke = false) () =
+  let dims = if smoke then [| 17; 19 |] else [| 33; 35 |] in
+  let p = Msc.Solver.Problem.poisson ~dims in
+  let rows =
+    List.map
+      (fun method_ ->
+        let solve () =
+          Msc.Solver.solve
+            ~config:
+              (Msc.Exec.Config.make ~engine:Msc.Distributed.Overlapped ())
+            ~ranks_shape:[| 2; 2 |] ~tol:1e-8
+            (* Jacobi's spectral radius at the full 33x35 size puts 1e-8
+               around 4300 iterations; the 2000 default caps it mid-flight
+               and the row would record converged=false. *)
+            ~max_iters:(if smoke then 2000 else 8000)
+            ~method_ p
+        in
+        let r = solve () in
+        let per_solve = time_per_run (fun () -> ignore (solve ())) in
+        (method_, r, float_of_int r.Msc.Solver.iterations /. per_solve))
+      Msc.Solver.all_methods
+  in
+  (dims, rows)
+
+let residual_curve_json residuals =
+  let n = Array.length residuals in
+  let keep = 12 in
+  let idxs =
+    if n <= keep then List.init n Fun.id
+    else List.sort_uniq compare (List.init keep (fun i -> i * (n - 1) / (keep - 1)))
+  in
+  String.concat ", "
+    (List.map (fun i -> Printf.sprintf "[%d, %.6e]" i residuals.(i)) idxs)
+
+let emit_runtime_json ~comm ~temporal ~solver path =
   let kernel_rows =
     List.map
       (fun (b : Msc.Suite.bench) ->
@@ -779,6 +857,25 @@ let emit_runtime_json ~comm ~temporal path =
   let pf_row name =
     List.find (fun (n, _, _, _, _, _, _) -> n = name) pf_rows
   in
+  let solver_dims, solver_legs = solver in
+  let solver_json =
+    String.concat ",\n"
+      (List.map
+         (fun (method_, (r : Msc.Solver.report), ips) ->
+           Printf.sprintf
+             "    { \"method\": %S, \"problem\": %S,\n\
+             \      \"ranks\": %d, \"converged\": %b, \"iterations\": %d,\n\
+             \      \"allreduces\": %d, \"final_relative_residual\": %.6e,\n\
+             \      \"iterations_per_sec\": %.6e,\n\
+             \      \"residual_vs_iteration\": [%s] }"
+             (Msc.Solver.method_to_string method_)
+             r.Msc.Solver.problem r.Msc.Solver.ranks r.Msc.Solver.converged
+             r.Msc.Solver.iterations r.Msc.Solver.allreduces
+             (r.Msc.Solver.final_residual /. r.Msc.Solver.rhs_norm)
+             ips
+             (residual_curve_json r.Msc.Solver.residuals))
+         solver_legs)
+  in
   let fast_pps, legacy_pps, speedup = fastpath_speedup () in
   let pool_dims, pool_single, pool_pooled = fused_pool_headline () in
   let canonical_pps, reversed_pps = reorder_locality () in
@@ -841,6 +938,15 @@ let emit_runtime_json ~comm ~temporal path =
     \    \"fused_pool_points_per_sec\": %.6e,\n\
     \    \"pool_scaling\": %.3f\n\
     \  },\n\
+    \  \"solver\": {\n\
+    \    \"dims\": [%s],\n\
+    \    \"ranks\": [2, 2],\n\
+    \    \"engine\": \"overlapped\",\n\
+    \    \"tol\": 1.0e-8,\n\
+    \    \"methods\": [\n\
+     %s\n\
+    \    ]\n\
+    \  },\n\
     \  \"pipeline_fusion\": [\n\
      %s\n\
     \  ]\n\
@@ -857,11 +963,58 @@ let emit_runtime_json ~comm ~temporal path =
     (Domain.recommended_domain_count ())
     pool_single pool_pooled
     (pool_pooled /. pool_single)
-    pipeline_json;
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int solver_dims)))
+    solver_json pipeline_json;
   close_out oc;
+  (* Single-core audit of the pool inline cutoff: with no cores to scale
+     across, the pool legs must not pay dispatch latency — every bench
+     sweep sits below the cutoff and runs inline, so fused_c_pool must stay
+     within 5% of fused_c. A collapse here means small sweeps are being
+     shipped to the worker pool again. On multicore hosts the ratio mixes
+     in real scaling, so the bound is only asserted at host_cores = 1. *)
+  (if Domain.recommended_domain_count () = 1 then
+     let bad =
+       List.filter_map
+         (fun ((b : Msc.Suite.bench), _, _, _, fused_c, fused_c_pool) ->
+           let ratio = fused_c_pool /. fused_c in
+           if ratio >= 0.95 then None
+           else
+             (* Confirm before failing: a preemption spike during the long
+                harness can dent a single 0.03 s paired window, but a real
+                dispatch regression reproduces under three times the
+                quota. The table keeps the first measurement. *)
+             let t_fused, t_pool = fused_pool_times ~reps:9 ~quota:0.09 b in
+             let again = t_fused /. t_pool in
+             if again >= 0.95 then None
+             else
+               Some
+                 (Printf.sprintf
+                    "[audit] %s: fused_c_pool_over_fused_c = %.3f \
+                     (re-measured %.3f) < 0.95"
+                    b.Msc.Suite.name ratio again))
+         kernel_rows
+     in
+     match bad with
+     | [] ->
+         Printf.printf
+           "[audit] single-core pool dispatch: fused_c_pool within 5%% of \
+            fused_c on all %d suite kernels\n"
+           (List.length kernel_rows)
+     | bad ->
+         List.iter prerr_endline bad;
+         prerr_endline "[audit] pool-cutoff audit FAILED";
+         exit 1);
   let um_s0, um_s1, um_ex0, um_ex1, um_speedup =
     match pf_row "unsharp_mask" with
     | _, s0, s1, ex0, ex1, pps0, pps1 -> (s0, s1, ex0, ex1, pps1 /. pps0)
+  in
+  let cg_iters, cg_ips =
+    match
+      List.find_opt (fun (m, _, _) -> m = Msc.Solver.Cg) solver_legs
+    with
+    | Some (_, (r : Msc.Solver.report), ips) -> (r.Msc.Solver.iterations, ips)
+    | None -> (0, Float.nan)
   in
   Printf.printf
     "wrote %s (compiled_c step over the seed interp+per-cell-BC baseline: \
@@ -873,7 +1026,8 @@ let emit_runtime_json ~comm ~temporal path =
      per-term compiled_c: %.2fx on 2d121pt_box, %.2fx on 2d169pt_box; \
      4-worker pool over single-core fused on 3d7pt_star at 48^3: %.2fx \
      with %d host cores; pipeline fusion on unsharp_mask: %d->%d stages, \
-     %d->%d exchanges/step, %.2fx)\n"
+     %d->%d exchanges/step, %.2fx; cg on %s at 2x2 ranks: %d iterations, \
+     %.0f iters/s)\n"
     path
     (kernel_speedup "3d7pt_star")
     (kernel_speedup "2d9pt_box")
@@ -887,6 +1041,10 @@ let emit_runtime_json ~comm ~temporal path =
     (pool_pooled /. pool_single)
     (Domain.recommended_domain_count ())
     um_s0 um_s1 um_ex0 um_ex1 um_speedup
+    (Printf.sprintf "poisson %s"
+       (String.concat "x"
+          (Array.to_list (Array.map string_of_int solver_dims))))
+    cg_iters cg_ips
 
 let run_bechamel () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -981,10 +1139,35 @@ let audit_fused_coverage backend =
           else None)
         reports
     in
-    match bad with
+    (* Reductions carry the same contract: with the toolchain present, every
+       suite kernel's grid must reduce through the compiled kernel — a
+       silent interpreter fallback would invalidate the solver numbers. *)
+    let red_bad =
+      List.filter_map
+        (fun (b : Msc.Suite.bench) ->
+          let dims =
+            match b.Msc.Suite.ndim with 2 -> [| 16; 16 |] | _ -> [| 8; 8; 8 |]
+          in
+          let st = Msc.Suite.stencil ~dims b in
+          let g = Msc.Grid.of_tensor st.Msc.Stencil.grid in
+          let red =
+            Msc.Reduction.create ~config:(Msc.Exec.Config.make ~backend ()) g
+          in
+          if Msc.Reduction.compiled red then None
+          else
+            Some
+              (Printf.sprintf
+                 "[audit] %s: reduction fell back to the interpreter (%s)"
+                 b.Msc.Suite.name
+                 (Option.value ~default:"no reason recorded"
+                    (Msc.Reduction.fallback red))))
+        Msc.Suite.all
+    in
+    match bad @ red_bad with
     | [] ->
         Printf.printf
-          "[audit] %s: all %d suite kernels ran the fused sweep, no fallback\n"
+          "[audit] %s: all %d suite kernels ran the fused sweep and the \
+           compiled reduction, no fallback\n"
           (Msc.Backend.to_string backend)
           (List.length reports)
     | bad ->
@@ -1056,14 +1239,15 @@ let () =
      session leaves behind. *)
   let comm = comm_overlap () in
   let temporal = comm_temporal ~smoke () in
+  let solver = solver_rows ~smoke () in
   if smoke then begin
-    emit_runtime_json ~comm ~temporal "BENCH_runtime.json";
+    emit_runtime_json ~comm ~temporal ~solver "BENCH_runtime.json";
     Printf.printf "[smoke harness time: %.1f s]\n" (Unix.gettimeofday () -. t0)
   end
   else begin
     let rows = run_bechamel () in
     report_trace_overhead rows;
-    emit_runtime_json ~comm ~temporal "BENCH_runtime.json";
+    emit_runtime_json ~comm ~temporal ~solver "BENCH_runtime.json";
     print_newline ();
     print_endline
       "== Paper artifacts (Tables 1/4/5/6/7/8, Figures 7-14, correctness) ==\n";

@@ -3,6 +3,7 @@
    msc list                               - the benchmark suite
    msc gen -b 3d7pt_star -t sunway -o DIR - AOT code generation
    msc run -b 2d9pt_box -n 10 -w 8        - native execution
+   msc solve -m cg --dims 64x64 --ranks 2x2 - matrix-free iterative solver
    msc verify -b 3d13pt_star -n 5         - optimized vs reference
    msc simulate -b 3d7pt_star -p sunway   - processor performance model
    msc profile 3d7pt -o trace.json        - traced pipeline + chrome trace
@@ -58,11 +59,12 @@ let backend_arg =
 let pp_backend_report ppf (r : Msc.Runtime.backend_report) =
   Format.fprintf ppf
     "backend: requested %a, ran %a (%d/%d kernel terms compiled, %s; %d tile \
-     dispatches)"
+     dispatches, %d sweeps inlined below the %d-point pool cutoff)"
     Msc.Backend.pp r.Msc.Runtime.requested Msc.Backend.pp r.Msc.Runtime.effective
     r.Msc.Runtime.compiled_terms r.Msc.Runtime.kernel_terms
     (if r.Msc.Runtime.fused_sweeps > 0 then "fused sweep" else "per-term")
-    r.Msc.Runtime.tile_dispatches;
+    r.Msc.Runtime.tile_dispatches r.Msc.Runtime.inline_dispatches
+    r.Msc.Runtime.pool_inline_cutoff;
   match r.Msc.Runtime.fallback with
   | Some reason -> Format.fprintf ppf "@.backend fallback: %s" reason
   | None -> ()
@@ -169,6 +171,228 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ steps_arg 10 $ workers $ backend_arg $ small_arg
       $ no_fuse_arg)
+
+(* ---- Matrix-free solvers ---- *)
+
+let solve_cmd =
+  let method_conv =
+    let parse s =
+      match Msc.Solver.method_of_string s with
+      | Some m -> Ok m
+      | None ->
+          Error (`Msg (Printf.sprintf "unknown method %S (jacobi | rbgs | cg)" s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Msc.Solver.method_to_string m) in
+    Arg.conv (parse, print)
+  in
+  let ints_conv what =
+    let parse s =
+      let parts =
+        String.split_on_char 'x' (String.concat "x" (String.split_on_char ',' s))
+      in
+      match List.map int_of_string_opt parts with
+      | ints when List.for_all Option.is_some ints && ints <> [] ->
+          Ok (Array.of_list (List.map Option.get ints))
+      | _ | (exception _) ->
+          Error (`Msg (Printf.sprintf "bad %s %S (use e.g. 64x64)" what s))
+    in
+    let print ppf a =
+      Format.pp_print_string ppf
+        (String.concat "x" (List.map string_of_int (Array.to_list a)))
+    in
+    Arg.conv (parse, print)
+  in
+  let engine_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "bulk" ] -> Ok Msc.Exec.Bulk_synchronous
+      | [ "overlapped" ] -> Ok Msc.Exec.Overlapped
+      | [ "temporal" ] -> Ok (Msc.Exec.Temporal_blocked { depth = 2 })
+      | [ "temporal"; d ] -> (
+          match int_of_string_opt d with
+          | Some depth -> Ok (Msc.Exec.Temporal_blocked { depth })
+          | None -> Error (`Msg (Printf.sprintf "bad temporal depth %S" d)))
+      | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown engine %S (bulk | overlapped | temporal[:DEPTH])" s))
+    in
+    let print ppf (e : Msc.Exec.engine) =
+      match e with
+      | Msc.Exec.Bulk_synchronous -> Format.pp_print_string ppf "bulk"
+      | Msc.Exec.Overlapped -> Format.pp_print_string ppf "overlapped"
+      | Msc.Exec.Temporal_blocked { depth } ->
+          Format.fprintf ppf "temporal:%d" depth
+    in
+    Arg.conv (parse, print)
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt method_conv Msc.Solver.Cg
+      & info [ "m"; "method" ] ~docv:"M" ~doc:"Solver: jacobi | rbgs | cg.")
+  in
+  let dims_arg =
+    Arg.(
+      value
+      & opt (ints_conv "dims") [| 64; 64 |]
+      & info [ "dims" ] ~docv:"DIMS" ~doc:"Global grid extents, e.g. 64x64 or 32x32x32.")
+  in
+  let ranks_arg =
+    Arg.(
+      value
+      & opt (some (ints_conv "ranks")) None
+      & info [ "ranks" ] ~docv:"RxC"
+          ~doc:"Simulated MPI process grid, e.g. 2x2 (default: one rank).")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-8
+      & info [ "tol" ] ~docv:"T" ~doc:"Relative residual tolerance.")
+  in
+  let max_iters_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-iters" ] ~docv:"N" ~doc:"Iteration cap.")
+  in
+  let omega_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "omega" ] ~docv:"W" ~doc:"Jacobi damping factor in (0, 1].")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv Msc.Exec.Overlapped
+      & info [ "engine" ] ~docv:"E"
+          ~doc:
+            "Halo engine: bulk | overlapped | temporal[:DEPTH]. Jacobi runs \
+             natively on all three; cg/rbgs degrade a temporal request to \
+             bulk for the operator (reported).")
+  in
+  let residuals_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "residuals-out" ] ~docv:"FILE"
+          ~doc:"Write the per-iteration residual trace as CSV.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI leg: run every method on every engine over a small 2x2-rank \
+             Poisson problem and fail unless all converge with bit-identical \
+             residual sequences across engines.")
+  in
+  let write_residuals file rows =
+    let oc = open_out file in
+    output_string oc "method,engine,iteration,residual\n";
+    List.iter
+      (fun (m, e, r : Msc.Solver.method_ * string * Msc.Solver.report) ->
+        Array.iteri
+          (fun i res ->
+            Printf.fprintf oc "%s,%s,%d,%.17g\n"
+              (Msc.Solver.method_to_string m)
+              e i res)
+          r.Msc.Solver.residuals)
+      rows;
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  in
+  let engine_name (e : Msc.Exec.engine) =
+    match e with
+    | Msc.Exec.Bulk_synchronous -> "bulk"
+    | Msc.Exec.Overlapped -> "overlapped"
+    | Msc.Exec.Temporal_blocked { depth } -> Printf.sprintf "temporal:%d" depth
+  in
+  let run method_ dims ranks tol max_iters omega engine backend workers
+      residuals_out smoke =
+    if smoke then begin
+      (* Small enough to finish in seconds, large enough that every rank of
+         the 2x2 grid holds interior and shell tiles. *)
+      let p = Msc.Solver.Problem.poisson ~dims:[| 17; 19 |] in
+      let engines =
+        [
+          Msc.Exec.Bulk_synchronous;
+          Msc.Exec.Overlapped;
+          Msc.Exec.Temporal_blocked { depth = 2 };
+        ]
+      in
+      let rows = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun m ->
+          let reference = ref None in
+          List.iter
+            (fun engine ->
+              let r =
+                Msc.Solver.solve
+                  ~config:(Msc.Exec.Config.make ~backend ~engine ())
+                  ~ranks_shape:[| 2; 2 |] ~tol:1e-6 ~method_:m p
+              in
+              Format.printf "%a@." Msc.Solver.pp_report r;
+              rows := (m, engine_name engine, r) :: !rows;
+              if not r.Msc.Solver.converged then begin
+                Printf.eprintf "FAIL: %s did not converge on %s\n"
+                  (Msc.Solver.method_to_string m)
+                  (engine_name engine);
+                ok := false
+              end;
+              match !reference with
+              | None -> reference := Some r.Msc.Solver.residuals
+              | Some ref_res ->
+                  if r.Msc.Solver.residuals <> ref_res then begin
+                    Printf.eprintf
+                      "FAIL: %s residuals on %s differ from the bulk engine \
+                       (bit-identity broken)\n"
+                      (Msc.Solver.method_to_string m)
+                      (engine_name engine);
+                    ok := false
+                  end)
+            engines)
+        Msc.Solver.all_methods;
+      Option.iter (fun f -> write_residuals f (List.rev !rows)) residuals_out;
+      if !ok then begin
+        print_endline
+          "solver smoke: every method converged on every engine, residual \
+           sequences bit-identical";
+        0
+      end
+      else 1
+    end
+    else
+      let p = Msc.Solver.Problem.poisson ~dims in
+      with_config ~backend ~engine ~workers (fun config ->
+          match
+            Msc.Solver.solve ~config ~tol ~max_iters ~omega ?ranks_shape:ranks
+              ~method_ p
+          with
+          | r ->
+              Format.printf "%a@." Msc.Solver.pp_report r;
+              Option.iter
+                (fun f -> write_residuals f [ (method_, engine_name engine, r) ])
+                residuals_out;
+              if r.Msc.Solver.converged then 0 else 1
+          | exception Invalid_argument msg ->
+              prerr_endline msg;
+              1)
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker domains.")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Solve the Poisson model problem with a matrix-free iterative \
+          solver whose operator is an MSC stencil (distributed, with real \
+          halo exchanges and allreduce collectives).")
+    Term.(
+      const run $ method_arg $ dims_arg $ ranks_arg $ tol_arg $ max_iters_arg
+      $ omega_arg $ engine_arg $ backend_arg $ workers $ residuals_out_arg
+      $ smoke_arg)
 
 let verify_cmd =
   let run b steps small =
@@ -472,6 +696,7 @@ let () =
             list_cmd;
             gen_cmd;
             run_cmd;
+            solve_cmd;
             verify_cmd;
             simulate_cmd;
             profile_cmd;

@@ -21,6 +21,16 @@ type t = {
   faces_only : bool;
   bc : Bc.t;
   engine : engine;
+  effective_engine : engine;
+      (** the protocol actually stepping: [Temporal_blocked] records its
+          clamped depth; graph runs degrade [Temporal_blocked {depth = 1}]
+          to [Bulk_synchronous] (deeper graph blocks are rejected) *)
+  rank_config : Exec.Config.t;
+      (** each rank's local config (sequential pool) — reduction executors
+          reuse its backend *)
+  mutable reducers : Msc_exec.Reduction.t array option;
+      (** per-rank reduction executors over the rank state geometry,
+          built lazily on the first {!reduce} *)
   depth : int;  (** effective temporal-block depth (1 for other engines) *)
   pool : Msc_util.Domain_pool.t;  (** dispatches ranks, not tiles *)
   phases : ((int array * int array) array * (int array * int array) array) array;
@@ -232,6 +242,12 @@ let create ?(config = Exec.Config.default) ?net ?schedule
       faces_only;
       bc;
       engine;
+      effective_engine =
+        (match engine with
+        | Temporal_blocked _ -> Temporal_blocked { depth }
+        | (Bulk_synchronous | Overlapped) as e -> e);
+      rank_config;
+      reducers = None;
       depth;
       pool;
       phases;
@@ -277,6 +293,24 @@ let create_graph ?(config = Exec.Config.default) ?net ?schedule
   let rank_config =
     { config with Exec.Config.pool = Msc_util.Domain_pool.sequential }
   in
+  (* Graphs have no temporal block to deepen: intermediates are recomputed
+     per step, not stepped, so a depth > 1 request cannot be honored. It
+     used to degrade silently to the bulk schedule; now the degrade is
+     explicit — depth 1 (bulk-equivalent by definition) is recorded as
+     [Bulk_synchronous] in [effective_engine], anything deeper is an
+     error the caller must resolve. *)
+  (match engine with
+  | Temporal_blocked { depth } when depth > 1 ->
+      invalid_arg
+        (Printf.sprintf
+           "Distributed.create_graph: Temporal_blocked depth %d cannot be \
+            honored for pipeline graphs (intermediates are recomputed per \
+            step, not stepped — there is no block to deepen); use depth 1 \
+            or a non-temporal engine"
+           depth)
+  | Temporal_blocked { depth } when depth < 1 ->
+      invalid_arg "Distributed.create_graph: temporal block depth must be >= 1"
+  | Temporal_blocked _ | Bulk_synchronous | Overlapped -> ());
   if (not graph.G.merged) && List.length graph.G.stages > 1 then
     invalid_arg
       "Distributed.create_graph: multi-stage graphs need shared-halo \
@@ -362,6 +396,12 @@ let create_graph ?(config = Exec.Config.default) ?net ?schedule
       faces_only;
       bc;
       engine;
+      effective_engine =
+        (match engine with
+        | Temporal_blocked _ -> Bulk_synchronous
+        | (Bulk_synchronous | Overlapped) as e -> e);
+      rank_config;
+      reducers = None;
       depth = 1;
       pool;
       phases;
@@ -381,8 +421,61 @@ let nranks t = Array.length t.runtimes
 let decomp t = t.decomp
 let mpi t = t.mpi
 let engine t = t.engine
+let effective_engine t = t.effective_engine
 let effective_depth t = t.depth
 let steps_done t = t.steps_done
+
+let rank_runtime t ~rank =
+  if rank < 0 || rank >= Array.length t.runtimes then
+    invalid_arg
+      (Printf.sprintf "Distributed.rank_runtime: rank %d out of [0,%d)" rank
+         (Array.length t.runtimes));
+  t.runtimes.(rank)
+
+let refresh_halos t =
+  let tw =
+    match t.graph with
+    | Some g -> G.time_window g
+    | None -> Stencil.time_window t.stencil
+  in
+  for dt = 1 to tw do
+    exchange_state t ~dt
+  done
+
+(* Collective reduction over the newest distributed state: per-rank tile
+   partials (the rank's own plan tiling, same backend as its sweeps)
+   combined locally in tree order, rank partials allreduced through the
+   mailbox, one finalize at the end. Every fold is index-ordered, so the
+   result is bit-identical across engines, backends with the compiled
+   fast path, pool sizes and rank counts that preserve the tile split. *)
+let reduce_tag = 0x7ed0
+
+let reduce t ~op =
+  let reducers =
+    match t.reducers with
+    | Some rs -> rs
+    | None ->
+        let rs =
+          Array.map
+            (fun rt ->
+              Msc_exec.Reduction.create ~config:t.rank_config
+                ~tasks:(Runtime.tiles rt) (Runtime.current rt))
+            t.runtimes
+        in
+        t.reducers <- Some rs;
+        rs
+  in
+  let partials =
+    Array.mapi
+      (fun rank rt ->
+        Msc_exec.Reduction.run_raw reducers.(rank) ~op (Runtime.current rt))
+      t.runtimes
+  in
+  let combined =
+    Mpi_sim.allreduce t.mpi ~tag:reduce_tag ~combine:(Reduce.combine op)
+      partials
+  in
+  Reduce.finalize op combined
 
 (* The parity reference: every rank sweeps its full tile set, then the
    freshly produced state is exchanged — no compute hides the messages. *)

@@ -81,7 +81,17 @@ val create :
 val nranks : t -> int
 val decomp : t -> Decomp.t
 val mpi : t -> Mpi_sim.t
+
 val engine : t -> engine
+(** The engine the caller requested ([config.engine], verbatim). *)
+
+val effective_engine : t -> engine
+(** The protocol actually stepping. Differs from {!engine} in exactly two
+    recorded cases: a [Temporal_blocked] request reports its {e clamped}
+    depth ({!effective_depth}), and a graph run's
+    [Temporal_blocked {depth = 1}] reports [Bulk_synchronous] (graphs
+    have no temporal block; deeper requests are rejected at
+    {!create_graph}). *)
 
 val effective_depth : t -> int
 (** The temporal block depth actually in use: the requested
@@ -99,6 +109,32 @@ val run : t -> int -> unit
 
 val rank_state : t -> rank:int -> Msc_exec.Grid.t
 (** The rank's newest state. *)
+
+val rank_runtime : t -> rank:int -> Msc_exec.Runtime.t
+(** The rank's local runtime — matrix-free solvers use it to write
+    operator inputs into the rank states ({!Msc_exec.Runtime.state}) and
+    read sweep outputs back, with {!refresh_halos} in between.
+    @raise Invalid_argument on an out-of-range rank. *)
+
+val refresh_halos : t -> unit
+(** One halo-exchange round for {e every} retained state (plus the
+    physical-face boundary pass), outside the stepping protocol — exactly
+    the exchange {!create} runs before the first step. Solvers call this
+    after overwriting rank interiors (e.g. loading a Krylov direction
+    into the state) so the next {!step} reads coherent neighbour data. *)
+
+val reduce : t -> op:Msc_ir.Reduce.op -> float
+(** Reduce the newest distributed state to one scalar every rank agrees
+    on: per-rank tile partials on the rank runtime's own tiling (compiled
+    fast path when [config.backend] allows, same rules as
+    {!Msc_exec.Reduction}), a local {!Msc_ir.Reduce.tree_combine} per
+    rank, {!Mpi_sim.allreduce} across ranks (real mailbox traffic, priced
+    by the attached {!Netmodel}), and a single
+    {!Msc_ir.Reduce.finalize}. Every fold runs in tile/rank index order,
+    so the result is bit-stable across engines and pool sizes.
+    [Dot] is not available here (the state is a single vector);
+    solver-owned vector pairs use {!Msc_exec.Reduction} directly.
+    @raise Invalid_argument on [Dot]. *)
 
 val gather : t -> Msc_exec.Grid.t
 (** Assemble the global newest state from all ranks. *)
@@ -141,12 +177,16 @@ val create_graph :
     staged schedule then exchanges; [Overlapped] hides the deep exchange
     behind stage 0's halo-free core (later stages consume stage 0's
     buffer, so only stage 0 splits); [Temporal_blocked] degrades to the
-    bulk schedule at depth 1 (intermediates are recomputed per step, not
+    bulk schedule — only at [depth = 1], recorded as [Bulk_synchronous]
+    in {!effective_engine} (intermediates are recomputed per step, not
     stepped, so there is no block to deepen). All engines are
     bit-identical to {!Msc_exec.Runtime.step_graph} on one grid.
     @raise Invalid_argument if the graph is multi-stage but not merged
-    (run {!Msc_graph.Pass.merge_halos}), or any rank's extent is thinner
-    than the graph's required halo. *)
+    (run {!Msc_graph.Pass.merge_halos}), any rank's extent is thinner
+    than the graph's required halo, or [config.engine] is
+    [Temporal_blocked] with [depth > 1] (a silent degrade would
+    misreport the communication-avoiding regime — request depth 1 or a
+    non-temporal engine). *)
 
 val validate_graph :
   ?config:Msc_exec.Exec.Config.t ->

@@ -170,6 +170,45 @@ let wait ?(timeout_s = 1.0) t req =
   | Some msg -> msg.payload
   | None -> assert false
 
+(* Driver-side collective: rank-gather to root, deterministic tree fold,
+   broadcast back. Every hop is a real mailbox message — 8-byte payloads
+   carrying exact float bits — so traffic counters and simulated latency
+   account for solver reductions exactly like halo slabs. The fold runs
+   over the *rank-indexed* gather array with Reduce.tree_combine, never
+   over arrival order, so the result is bit-stable. *)
+let allreduce t ~tag ~combine partials =
+  let n = nranks t in
+  if Array.length partials <> n then
+    invalid_arg "Mpi_sim.allreduce: need exactly one partial per rank";
+  if n = 1 then partials.(0)
+  else begin
+    let payload v =
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+      b
+    in
+    let value b = Int64.float_of_bits (Bytes.get_int64_le b 0) in
+    for r = 1 to n - 1 do
+      isend t ~src:r ~dst:0 ~tag (payload partials.(r))
+    done;
+    let gathered = Array.make n 0.0 in
+    gathered.(0) <- partials.(0);
+    for r = 1 to n - 1 do
+      gathered.(r) <- value (wait t (irecv t ~dst:0 ~src:r ~tag))
+    done;
+    let result = Msc_ir.Reduce.tree_combine combine gathered in
+    for r = 1 to n - 1 do
+      isend t ~src:0 ~dst:r ~tag (payload result)
+    done;
+    let out = ref result in
+    for r = 1 to n - 1 do
+      (* Every rank decodes the same broadcast bits; the last decode is
+         returned (they are all equal by construction). *)
+      out := value (wait t (irecv t ~dst:r ~src:0 ~tag))
+    done;
+    !out
+  end
+
 let pending_messages t =
   Mutex.lock t.mutex;
   let n = t.pending in

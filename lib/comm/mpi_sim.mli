@@ -62,6 +62,20 @@ val wait : ?timeout_s:float -> t -> request -> Bytes.t
     queues that are non-empty. Waiting an already-completed request returns
     its payload again. *)
 
+val allreduce :
+  t -> tag:int -> combine:(float -> float -> float) -> float array -> float
+(** [allreduce t ~tag ~combine partials] reduces one scalar per rank
+    ([partials.(r)] is rank [r]'s contribution) to a single value every
+    rank agrees on: gather-to-root, {!Msc_ir.Reduce.tree_combine} over
+    the rank index, broadcast back. All [2 * (nranks - 1)] hops are real
+    8-byte mailbox messages (counted by {!messages_sent} /
+    {!bytes_sent}, priced by the attached {!Netmodel}), and the fold
+    order is fixed by rank — never by arrival — so the result is
+    bit-stable across engines and pool sizes. Single-rank simulators
+    return [partials.(0)] without traffic. Drive it from one domain (the
+    stepping driver), like the engine protocols.
+    @raise Invalid_argument unless [Array.length partials = nranks]. *)
+
 val pending_messages : t -> int
 (** Sent-but-unreceived messages (should be 0 between timesteps). *)
 

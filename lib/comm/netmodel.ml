@@ -69,6 +69,24 @@ let message_time t ~nranks ~bytes =
   let congestion = t.congestion_at ~nranks ~messages_per_rank:1 ~bytes_per_message in
   (t.alpha_s *. congestion) +. (bytes_per_message /. (t.beta_gbs *. 1e9))
 
+let allreduce_time t ~nranks ~bytes =
+  if nranks < 1 then invalid_arg "Netmodel.allreduce_time: nranks < 1";
+  if nranks = 1 then 0.0
+  else begin
+    (* Recursive doubling: ceil(log2 n) rounds, one message per rank per
+       round, each paying the same congested alpha-beta cost as a halo
+       slab of the same size. *)
+    let rounds =
+      let r = ref 0 and n = ref 1 in
+      while !n < nranks do
+        incr r;
+        n := !n * 2
+      done;
+      !r
+    in
+    float_of_int rounds *. message_time t ~nranks ~bytes
+  end
+
 let exchange_time t ~nranks ~messages_per_rank ~bytes_per_message =
   let congestion = t.congestion_at ~nranks ~messages_per_rank ~bytes_per_message in
   (* Contention inflates the per-message setup cost; the payload streams at

@@ -44,6 +44,14 @@ val message_time : t -> nranks:int -> bytes:int -> float
     receive completing, so traces show a genuine transfer window the
     overlapped engine can hide compute behind. *)
 
+val allreduce_time : t -> nranks:int -> bytes:int -> float
+(** One allreduce of a [bytes]-sized value under recursive doubling:
+    [ceil(log2 nranks)] rounds, each priced like a single {!message_time}
+    message at the current scale — the same alpha-beta model as halo
+    exchange, so solver reductions and halo traffic are directly
+    comparable. [0.] for one rank.
+    @raise Invalid_argument when [nranks < 1]. *)
+
 val exchange_time :
   t -> nranks:int -> messages_per_rank:int -> bytes_per_message:float -> float
 (** Wall time of one asynchronous exchange round: all ranks communicate

@@ -76,9 +76,14 @@ let node_compute_time platform (st : Stencil.t) =
       | Ok r -> r.Msc_matrix.Sim.time_per_step_s
       | Error msg -> invalid_arg ("Scaling: " ^ msg))
 
-let comm_time ?(depth = 1) ?(time_window = 1) platform ~ranks ~sub_grid ~radius
-    ~elem ~faces_only =
+let allreduce_time ?(bytes = 8) platform ~ranks =
+  Netmodel.allreduce_time (network platform) ~nranks:ranks ~bytes
+
+let comm_time ?(depth = 1) ?(time_window = 1) ?(allreduces_per_step = 0)
+    platform ~ranks ~sub_grid ~radius ~elem ~faces_only =
   if depth < 1 then invalid_arg "Scaling.comm_time: depth must be >= 1";
+  if allreduces_per_step < 0 then
+    invalid_arg "Scaling.comm_time: allreduces_per_step must be >= 0";
   let nd = Array.length sub_grid in
   (* The directions the engine actually exchanges: faces for star stencils,
      all 3^nd - 1 offsets (edges and corners included) for box stencils —
@@ -123,10 +128,14 @@ let comm_time ?(depth = 1) ?(time_window = 1) platform ~ranks ~sub_grid ~radius
       ~bytes_per_message:mean_face_bytes
   in
   (* One deep exchange feeds [depth] timesteps, so the per-step cost is the
-     block's exchange amortised over the block. *)
+     block's exchange amortised over the block. Solver-style allreduces are
+     per true timestep — convergence tests cannot be amortised away by
+     temporal blocking — so they add on top, outside the [depth] divide. *)
   (((float_of_int messages_per_rank *. net.Netmodel.alpha_s *. congestion)
    +. (float_of_int total_bytes /. (net.Netmodel.beta_gbs *. 1e9)))
   /. float_of_int depth)
+  +. (float_of_int allreduces_per_step
+     *. Netmodel.allreduce_time net ~nranks:ranks ~bytes:8)
 
 (* Redundant-ghost inflation of a depth-k temporal block: substep s sweeps
    the interior grown by (k-1-s) * radius per side, so the block computes

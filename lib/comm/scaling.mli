@@ -19,9 +19,16 @@ type point = {
 
 val cores_per_rank : platform -> int
 
+val allreduce_time : ?bytes:int -> platform -> ranks:int -> float
+(** One distributed allreduce (a solver residual/dot, [bytes] = 8 by
+    default) on the platform's interconnect:
+    {!Netmodel.allreduce_time} under recursive doubling — the same
+    alpha-beta pricing as halo messages. *)
+
 val comm_time :
   ?depth:int ->
   ?time_window:int ->
+  ?allreduces_per_step:int ->
   platform ->
   ranks:int ->
   sub_grid:int array ->
@@ -36,8 +43,11 @@ val comm_time :
     [depth * radius], corners are always exchanged, every message carries
     [time_window] state slabs — and the whole exchange is amortised over
     the [depth] timesteps it feeds, so the alpha term drops as
-    [alpha / depth].
-    @raise Invalid_argument if [depth < 1]. *)
+    [alpha / depth]. [allreduces_per_step] (default 0) adds that many
+    {!allreduce_time} collectives per {e true} timestep — solver residual
+    checks and Krylov dots, which temporal blocking cannot amortise, so
+    they sit outside the [depth] divide.
+    @raise Invalid_argument if [depth < 1] or [allreduces_per_step < 0]. *)
 
 val temporal_compute_factor :
   sub_grid:int array -> radius:int array -> depth:int -> float

@@ -15,6 +15,9 @@ module Grid = Msc_exec.Grid
 module Exec = Msc_exec.Exec
 module Backend = Msc_exec.Backend
 module Jit = Msc_exec.Jit
+module Reduce = Msc_ir.Reduce
+module Reduction = Msc_exec.Reduction
+module Solver = Msc_solver.Solver
 module Runtime = Msc_exec.Runtime
 module Interp = Msc_exec.Interp
 module Reference = Msc_exec.Reference

@@ -67,6 +67,19 @@ module Jit = Msc_exec.Jit
     {!Backend.Compiled_c}: on-disk artifacts keyed by plan digest, in-process
     memoization, and compile/fallback statistics. *)
 
+module Reduce = Msc_ir.Reduce
+(** Grid-reduction operators ([sum], [dot], [norm2], [max_abs]) with the
+    deterministic tree-combine contract every executor follows. *)
+
+module Reduction = Msc_exec.Reduction
+(** Grid-reduction executor: tile partials on the configured backend (with
+    a {!Jit} fast path), folded in task-index tree order — bit-stable
+    across pool sizes. *)
+
+module Solver = Msc_solver.Solver
+(** Matrix-free iterative solvers (Jacobi, red-black Gauss–Seidel, CG)
+    whose inner operator is an MSC stencil on the distributed runtime. *)
+
 module Runtime = Msc_exec.Runtime
 module Interp = Msc_exec.Interp
 module Reference = Msc_exec.Reference

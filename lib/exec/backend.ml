@@ -49,3 +49,6 @@ type sweep_fn =
   int array ->
   int array ->
   unit
+
+type reduce_fn =
+  int -> float array -> float array -> int array -> int array -> float

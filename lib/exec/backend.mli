@@ -83,3 +83,11 @@ type sweep_fn =
     {!Jit.sweep_term_aux_names}). Geometry is baked at emission time;
     callers guard with [Interp.check_grids]/[check_range] per kernel term
     exactly as the interpreter does. *)
+
+type reduce_fn =
+  int -> float array -> float array -> int array -> int array -> float
+(** [fn op a b lo hi]: a compiled reduction partial over the interior box
+    [\[lo, hi)] of the baked geometry. [op] is {!Msc_ir.Reduce.code}; [b]
+    is read only by the binary operators (callers pass [a] again for unary
+    ops). The accumulation is strictly sequential in row-major order —
+    bit-identical to the interpreter's reference partial. *)

@@ -52,7 +52,26 @@ external c_call_sweep :
   unit = "msc_jit_call_sweep_bytecode" "msc_jit_call_sweep_native"
 [@@noalloc]
 
+external c_call_reduce :
+  nativeint ->
+  int ->
+  float array ->
+  float array ->
+  int array ->
+  int array ->
+  float = "msc_jit_call_reduce_bytecode" "msc_jit_call_reduce_native"
+(* not [@@noalloc]: the float result is boxed on return *)
+
 external named_value : string -> Obj.t = "msc_jit_named_value"
+
+(* Emitter-version salt, folded into *every* artifact key (per-term
+   kernels, fused sweeps, reductions) and embedded in the artifact file
+   names: bump whenever any emitter changes the generated code for the
+   same specs, or $MSC_KERNEL_CACHE keeps serving the old code shape.
+   History: v2 = sweep row blocking + host-arch flags (fused sweeps only
+   — the per-term gap this constant closes); v3 = uniform salting of all
+   emitters + reduction kernels. *)
+let emitter_version = "v3"
 
 (* Force the Callback unit into the host image: Dynlink-loaded kernels
    hand their closure back through [Callback.register], so the module must
@@ -74,6 +93,7 @@ type sweep_term =
 let lock = Mutex.create ()
 let memo : (string, Backend.kernel_fn) Hashtbl.t = Hashtbl.create 16
 let sweep_memo : (string, Backend.sweep_fn) Hashtbl.t = Hashtbl.create 16
+let reduce_memo : (string, Backend.reduce_fn) Hashtbl.t = Hashtbl.create 16
 let memo_hits = ref 0
 let disk_hits = ref 0
 let compiles = ref 0
@@ -97,7 +117,8 @@ let stats () =
 let clear_memo () =
   with_lock (fun () ->
       Hashtbl.reset memo;
-      Hashtbl.reset sweep_memo)
+      Hashtbl.reset sweep_memo;
+      Hashtbl.reset reduce_memo)
 
 let cache_dir () =
   match Sys.getenv_opt "MSC_KERNEL_CACHE" with
@@ -1082,6 +1103,7 @@ let compile_term ~backend ~plan_digest ~term_index interp =
              (String.concat "\x00"
                 [
                   plan_digest;
+                  emitter_version;
                   string_of_int term_index;
                   Marshal.to_string
                     ( Interp.shape interp,
@@ -1092,7 +1114,9 @@ let compile_term ~backend ~plan_digest ~term_index interp =
                     [];
                 ]))
       in
-      let base = Printf.sprintf "msc_kern_%s_t%d" key term_index in
+      let base =
+        Printf.sprintf "msc_kern_%s_%s_t%d" emitter_version key term_index
+      in
       let memo_key = Backend.to_string b ^ ":" ^ base in
       with_lock (fun () ->
           match Hashtbl.find_opt memo memo_key with
@@ -1152,17 +1176,13 @@ let compile_sweep ~backend ~plan_digest terms =
                  (String.concat "\x00"
                     [
                       plan_digest;
-                      (* Emitter-version salt: bump when the generated
-                         code changes for the same specs, or stale cached
-                         artifacts keep the old code shape. v2 = row
-                         blocking + host-arch flags. *)
-                      "sweep-v2";
+                      emitter_version;
                       Marshal.to_string
                         (shape, halo, strides, List.map sweep_sig terms)
                         [];
                     ]))
           in
-          let base = "msc_sweep_" ^ key in
+          let base = Printf.sprintf "msc_sweep_%s_%s" emitter_version key in
           let memo_key = Backend.to_string b ^ ":" ^ base in
           with_lock (fun () ->
               match Hashtbl.find_opt sweep_memo memo_key with
@@ -1196,3 +1216,162 @@ let emit_c_sweep ~fn_name terms =
         check_sweep terms;
         Ok (emit_c_sweep_src ~fn_name ~halo ~strides terms)
       with Unsupported msg -> Error msg)
+
+(* {2 Reduction kernels}
+
+   One artifact per geometry covering all four operators (dispatched on
+   the op code, like the writeback codes). Bit-identity discipline: the
+   accumulator chain is strictly sequential in row-major order — the same
+   fold Reduction's interpreter reference performs — and neither compiler
+   may reassociate it (FP reassociation needs -ffast-math, which we never
+   pass), so per-tile partials agree bitwise across all three backends. *)
+
+let emit_ocaml_reduce ~base ~halo ~strides =
+  let nd = Array.length strides in
+  let last = nd - 1 in
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "(* Reduction %s -- generated by Msc_exec.Jit; do not edit. *)\n" base;
+  pr "let reduce (_op : int) (_a : float array) (_b : float array)\n";
+  pr "    (_lo : int array) (_hi : int array) : float =\n";
+  for d = 0 to last do
+    pr "  let l%d = Array.unsafe_get _lo %d in\n" d d;
+    pr "  let h%d = Array.unsafe_get _hi %d in\n" d d
+  done;
+  pr "  let len = h%d - l%d in\n" last last;
+  pr "  let acc = ref 0.0 in\n";
+  pr "  if len > 0 then begin\n";
+  let iexpr =
+    if strides.(last) = 1 then "base + c"
+    else Printf.sprintf "base + c * %d" strides.(last)
+  in
+  let nest body =
+    for d = 0 to last - 1 do
+      pr "  for i%d = l%d to h%d - 1 do\n" d d d
+    done;
+    pr "  let base = %s in\n" (base_expr ~nd ~halo ~strides);
+    pr "  for c = 0 to len - 1 do\n";
+    pr "    let i = %s in\n" iexpr;
+    pr "    %s\n" body;
+    pr "  done\n";
+    for _ = 0 to last - 1 do
+      pr "  done\n"
+    done
+  in
+  pr "  (if _op = 0 then begin\n";
+  nest "acc := !acc +. Array.unsafe_get _a i";
+  pr "  end\n  else if _op = 1 then begin\n";
+  nest "acc := !acc +. (Array.unsafe_get _a i *. Array.unsafe_get _b i)";
+  pr "  end\n  else if _op = 2 then begin\n";
+  nest "(let v = Array.unsafe_get _a i in acc := !acc +. (v *. v))";
+  pr "  end\n  else begin\n";
+  nest
+    "(let v = Float.abs (Array.unsafe_get _a i) in if v > !acc then acc := v)";
+  pr "  end)\n";
+  pr "  end;\n";
+  pr "  !acc\n";
+  pr "\nlet () = Callback.register %S reduce\n" ("msc_jit_" ^ base);
+  Buffer.contents buf
+
+let emit_c_reduce ~base ~halo ~strides =
+  let nd = Array.length strides in
+  let last = nd - 1 in
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "/* Reduction %s -- generated by Msc_exec.Jit; do not edit. */\n" base;
+  pr "#include <math.h>\n\n";
+  pr "double msc_reduce(long op, const double *a, const double *b,\n";
+  pr "                  const long *lo, const long *hi)\n";
+  pr "{\n";
+  for d = 0 to last do
+    pr "  long l%d = lo[%d]; long h%d = hi[%d];\n" d d d d
+  done;
+  pr "  long len = h%d - l%d;\n" last last;
+  pr "  double acc = 0.0;\n";
+  pr "  if (len <= 0) return acc;\n";
+  let iexpr =
+    if strides.(last) = 1 then "base + c"
+    else Printf.sprintf "base + c * %d" strides.(last)
+  in
+  let nest body =
+    for d = 0 to last - 1 do
+      pr "  for (long i%d = l%d; i%d < h%d; i%d++) {\n" d d d d d
+    done;
+    pr "  long base = %s;\n" (base_expr ~nd ~halo ~strides);
+    pr "    for (long c = 0; c < len; c++) {\n";
+    pr "      long i = %s;\n" iexpr;
+    pr "      %s\n" body;
+    pr "    }\n";
+    for _ = 0 to last - 1 do
+      pr "  }\n"
+    done
+  in
+  pr "  if (op == 0) {\n";
+  nest "acc = acc + a[i];";
+  pr "  } else if (op == 1) {\n";
+  nest "acc = acc + (a[i] * b[i]);";
+  pr "  } else if (op == 2) {\n";
+  nest "{ double v = a[i]; acc = acc + (v * v); }";
+  pr "  } else {\n";
+  pr "  (void)b;\n";
+  nest "{ double v = fabs(a[i]); if (v > acc) acc = v; }";
+  pr "  }\n";
+  pr "  return acc;\n";
+  pr "}\n";
+  Buffer.contents buf
+
+let build_native_reduce ~dir ~base ~halo ~strides :
+    (Backend.reduce_fn, string) result =
+  build_shared ~dir ~base ~art_ext:".cmxs" ~src_ext:".ml" ~tool:ocaml_tool
+    ~cmd:ocaml_cmd
+    ~emit:(fun () -> emit_ocaml_reduce ~base ~halo ~strides)
+    ~load:(fun art -> load_native ~base art)
+
+let build_c_reduce ~dir ~base ~halo ~strides :
+    (Backend.reduce_fn, string) result =
+  build_shared ~dir ~base ~art_ext:".so" ~src_ext:".c" ~tool:c_tool ~cmd:c_cmd
+    ~emit:(fun () -> emit_c_reduce ~base ~halo ~strides)
+    ~load:(fun art ->
+      try
+        let fn = dlopen_sym art "msc_reduce" in
+        Ok (fun op a b lo hi -> c_call_reduce fn op a b lo hi)
+      with Failure m -> Error ("dlopen: " ^ m))
+
+let compile_reduce ~backend ~shape ~halo ~strides =
+  match (backend : Backend.t) with
+  | Interp -> Error "interpreter backend compiles nothing"
+  | (Native_ocaml | Compiled_c) as b ->
+      let key =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\x00"
+                [
+                  "reduce";
+                  emitter_version;
+                  Marshal.to_string (shape, halo, strides) [];
+                ]))
+      in
+      let base = Printf.sprintf "msc_reduce_%s_%s" emitter_version key in
+      let memo_key = Backend.to_string b ^ ":" ^ base in
+      with_lock (fun () ->
+          match Hashtbl.find_opt reduce_memo memo_key with
+          | Some fn ->
+              incr memo_hits;
+              Ok fn
+          | None -> (
+              let dir = cache_dir () in
+              (try mkdir_p dir with _ -> ());
+              let result =
+                classified (fun () ->
+                    match b with
+                    | Backend.Native_ocaml ->
+                        build_native_reduce ~dir ~base ~halo ~strides
+                    | Backend.Compiled_c ->
+                        build_c_reduce ~dir ~base ~halo ~strides
+                    | Backend.Interp -> assert false)
+              in
+              match result with
+              | Ok fn ->
+                  Hashtbl.replace reduce_memo memo_key fn;
+                  result
+              | Error _ -> result))

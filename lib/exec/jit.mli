@@ -68,6 +68,14 @@ val cache_dir : unit -> string
 (** The directory the next compile will use ([$MSC_KERNEL_CACHE] is
     re-read on every call). *)
 
+val emitter_version : string
+(** The emitter-version salt, folded into {e every} artifact cache key
+    (per-term kernels, fused sweeps, reductions) and embedded in every
+    artifact file name ([msc_kern_<v>_...], [msc_sweep_<v>_...],
+    [msc_reduce_<v>_...]). Bumped whenever an emitter changes the code it
+    generates for the same specs, so a shared [$MSC_KERNEL_CACHE] can
+    never serve artifacts of an older code shape. *)
+
 (** {1 Aux slot layouts} *)
 
 val per_term_aux_names : Interp.t -> string option array
@@ -120,3 +128,19 @@ val emit_c_sweep : fn_name:string -> sweep_term list -> (string, string) result
 (** The fused C function body alone (no compilation), for the AOT
     {!Codegen} driver: the same emitter the [Compiled_c] backend JITs, so
     standalone generated programs share the fused sweep code path. *)
+
+(** {1 Reduction kernels} *)
+
+val compile_reduce :
+  backend:Backend.t ->
+  shape:int array ->
+  halo:int array ->
+  strides:int array ->
+  (Backend.reduce_fn, string) result
+(** Emit + compile + load one reduction kernel for a grid geometry,
+    covering all four {!Msc_ir.Reduce} operators (dispatched on
+    {!Msc_ir.Reduce.code}). The accumulator chain is strictly sequential
+    row-major — bit-identical to the interpreter reference in
+    {!Reduction} — and the artifact is keyed by geometry alone, so every
+    plan over the same grid shares it. The returned function performs no
+    validation; callers guard geometry and range like the sweep paths. *)

@@ -115,6 +115,35 @@ CAMLprim value msc_jit_call_sweep_bytecode(value *argv, int argn)
                                    argv[4], argv[5], argv[6]);
 }
 
+typedef double (*msc_reduce_t)(long op, const double *a, const double *b,
+                               const long *lo, const long *hi);
+
+CAMLprim value msc_jit_call_reduce_native(value fn, value op, value a, value b,
+                                          value lo, value hi)
+{
+  long lov[MSC_JIT_MAX], hiv[MSC_JIT_MAX];
+  mlsize_t nd = Wosize_val(lo);
+  mlsize_t i;
+  double r;
+  if (nd > MSC_JIT_MAX || Wosize_val(hi) != nd)
+    caml_invalid_argument("msc_jit_call_reduce: rank out of range");
+  for (i = 0; i < nd; i++) {
+    lov[i] = Long_val(Field(lo, i));
+    hiv[i] = Long_val(Field(hi, i));
+  }
+  r = ((msc_reduce_t)Nativeint_val(fn))(Long_val(op),
+                                        (const double *)Op_val(a),
+                                        (const double *)Op_val(b), lov, hiv);
+  return caml_copy_double(r);
+}
+
+CAMLprim value msc_jit_call_reduce_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return msc_jit_call_reduce_native(argv[0], argv[1], argv[2], argv[3],
+                                    argv[4], argv[5]);
+}
+
 CAMLprim value msc_jit_named_value(value name)
 {
   const value *v = caml_named_value(String_val(name));

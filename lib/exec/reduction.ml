@@ -1,0 +1,153 @@
+(* Grid-reduction executor. Bit-stability contract (see reduction.mli):
+   sequential row-major partial per task, fixed pairwise combine tree over
+   the task index. The interpreter reference below and the Jit reduce
+   emitters fold in exactly the same order. *)
+
+open Msc_ir
+
+type t = {
+  shape : int array;
+  halo : int array;
+  strides : int array;
+  tasks : (int array * int array) array;
+  partials : float array;
+  pool : Msc_util.Domain_pool.t;
+  compiled_fn : Backend.reduce_fn option;
+  fallback : string option;
+}
+
+let tasks t = t.tasks
+
+let partial ~op ?with_ (a : Grid.t) ~lo ~hi =
+  let b =
+    match (with_, (op : Reduce.op)) with
+    | Some g, _ ->
+        if g.Grid.shape <> a.Grid.shape || g.Grid.halo <> a.Grid.halo then
+          invalid_arg "Reduction.partial: with_ grid geometry mismatch";
+        g
+    | None, Dot -> invalid_arg "Reduction.partial: Dot needs ~with_"
+    | None, _ -> a
+  in
+  let nd = Array.length a.Grid.shape in
+  let last = nd - 1 in
+  let ad = a.Grid.data and bd = b.Grid.data in
+  let halo = a.Grid.halo and strides = a.Grid.strides in
+  let len = hi.(last) - lo.(last) in
+  let acc = ref (Reduce.identity op) in
+  if len > 0 then begin
+    let coord = Array.copy lo in
+    let stride_last = strides.(last) in
+    let rec rows d =
+      if d = last then begin
+        let base = ref 0 in
+        for e = 0 to last do
+          let c = if e = last then lo.(last) else coord.(e) in
+          base := !base + ((c + halo.(e)) * strides.(e))
+        done;
+        let base = !base in
+        match (op : Reduce.op) with
+        | Sum ->
+            for c = 0 to len - 1 do
+              let i = base + (c * stride_last) in
+              acc := !acc +. Array.unsafe_get ad i
+            done
+        | Dot ->
+            for c = 0 to len - 1 do
+              let i = base + (c * stride_last) in
+              acc := !acc +. (Array.unsafe_get ad i *. Array.unsafe_get bd i)
+            done
+        | Norm2 ->
+            for c = 0 to len - 1 do
+              let i = base + (c * stride_last) in
+              let v = Array.unsafe_get ad i in
+              acc := !acc +. (v *. v)
+            done
+        | Max_abs ->
+            for c = 0 to len - 1 do
+              let i = base + (c * stride_last) in
+              let v = Float.abs (Array.unsafe_get ad i) in
+              if v > !acc then acc := v
+            done
+      end
+      else
+        for c = lo.(d) to hi.(d) - 1 do
+          coord.(d) <- c;
+          rows (d + 1)
+        done
+    in
+    rows 0
+  end;
+  !acc
+
+let create ?(config = Exec.Config.default) ?tasks (g : Grid.t) =
+  let shape = Array.copy g.Grid.shape in
+  let halo = Array.copy g.Grid.halo in
+  let strides = Array.copy g.Grid.strides in
+  let nd = Array.length shape in
+  let tasks =
+    match tasks with
+    | Some ts -> ts
+    | None -> [| (Array.make nd 0, Array.copy shape) |]
+  in
+  Array.iter
+    (fun (lo, hi) ->
+      if Array.length lo <> nd || Array.length hi <> nd then
+        invalid_arg "Reduction.create: task rank mismatch";
+      for d = 0 to nd - 1 do
+        if lo.(d) < 0 || hi.(d) > shape.(d) || lo.(d) > hi.(d) then
+          invalid_arg "Reduction.create: task box outside the interior"
+      done)
+    tasks;
+  let compiled_fn, fallback =
+    match config.Exec.Config.backend with
+    | Backend.Interp -> (None, None)
+    | (Backend.Native_ocaml | Backend.Compiled_c) as b -> (
+        match Jit.compile_reduce ~backend:b ~shape ~halo ~strides with
+        | Ok fn -> (Some fn, None)
+        | Error msg -> (None, Some msg))
+  in
+  {
+    shape;
+    halo;
+    strides;
+    tasks;
+    partials = Array.make (max 1 (Array.length tasks)) 0.;
+    pool = config.Exec.Config.pool;
+    compiled_fn;
+    fallback;
+  }
+
+let compiled t = Option.is_some t.compiled_fn
+let fallback t = t.fallback
+
+let geom_ok t (g : Grid.t) = g.Grid.shape = t.shape && g.Grid.halo = t.halo
+
+let run_raw t ~op ?with_ (a : Grid.t) =
+  if not (geom_ok t a) then invalid_arg "Reduction.run: grid geometry mismatch";
+  (match with_ with
+  | Some g when not (geom_ok t g) ->
+      invalid_arg "Reduction.run: with_ grid geometry mismatch"
+  | _ -> ());
+  let b_data =
+    match (with_, (op : Reduce.op)) with
+    | Some g, _ -> g.Grid.data
+    | None, Dot -> invalid_arg "Reduction.run: Dot needs ~with_"
+    | None, _ -> a.Grid.data
+  in
+  let n = Array.length t.tasks in
+  if n = 0 then Reduce.identity op
+  else begin
+    let fill i =
+      let lo, hi = t.tasks.(i) in
+      t.partials.(i) <-
+        (match t.compiled_fn with
+        | Some fn -> fn (Reduce.code op) a.Grid.data b_data lo hi
+        | None -> partial ~op ?with_ a ~lo ~hi)
+    in
+    if n > 1 then Msc_util.Domain_pool.parallel_for t.pool ~lo:0 ~hi:n fill
+    else fill 0;
+    Reduce.tree_combine (Reduce.combine op) t.partials
+  end
+
+let run t ~op ?with_ (a : Grid.t) =
+  Reduce.finalize op (run_raw t ~op ?with_ a)

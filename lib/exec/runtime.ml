@@ -72,7 +72,75 @@ type backend_report = {
   compiled_terms : int;
   fused_sweeps : int;
   tile_dispatches : int;
+  pool_inline_cutoff : int;
+  inline_dispatches : int;
   fallback : string option;
+}
+
+(* Pool dispatch of a tiny sweep costs more than the sweep itself: waking
+   the workers and the end-of-region barrier take microseconds while a few
+   thousand points sweep in less — the BENCH_runtime regression that had
+   [fused_c_pool] at 0.25-0.88x of [fused_c] across the whole suite. Below
+   this many total points, a parallel-scheduled task array runs inline on
+   the calling domain instead. Override with MSC_POOL_INLINE_CUTOFF=<n>
+   (read once at startup; 0 disables inlining). *)
+let pool_inline_cutoff =
+  match
+    Option.bind (Sys.getenv_opt "MSC_POOL_INLINE_CUTOFF") int_of_string_opt
+  with
+  | Some n when n >= 0 -> n
+  | _ -> 32768
+
+let task_points tasks =
+  Array.fold_left
+    (fun acc (lo, hi) ->
+      let v = ref 1 in
+      Array.iteri (fun d l -> v := !v * (hi.(d) - l)) lo;
+      acc + !v)
+    0 tasks
+
+(* An inlined sweep drops the plan's parallel tiling along with the pool
+   dispatch: when the demoted task array exactly partitions its bounding box
+   (full-sweep tilings always do; interior/shell splits leave gaps and keep
+   their shape), it collapses to one box-sized task, so a compiled fused
+   sweep costs one kernel call — what the untiled sweep pays — instead of
+   one per tile. Below the cutoff the whole sweep fits in cache, so the
+   tiling bought no locality; tasks are disjoint and pointwise, so the
+   merge is bit-exact. *)
+let coalesce_tasks tasks =
+  if Array.length tasks <= 1 then None
+  else begin
+    let lo0, hi0 = tasks.(0) in
+    let d = Array.length lo0 in
+    let lo = Array.copy lo0 and hi = Array.copy hi0 in
+    let total = ref 0 in
+    Array.iter
+      (fun (tlo, thi) ->
+        let pts = ref 1 in
+        for k = 0 to d - 1 do
+          if tlo.(k) < lo.(k) then lo.(k) <- tlo.(k);
+          if thi.(k) > hi.(k) then hi.(k) <- thi.(k);
+          pts := !pts * (thi.(k) - tlo.(k))
+        done;
+        total := !total + !pts)
+      tasks;
+    let bbox = ref 1 in
+    for k = 0 to d - 1 do
+      bbox := !bbox * (hi.(k) - lo.(k))
+    done;
+    if !bbox = !total then Some (lo, hi) else None
+  end
+
+(* Cutoff decision for one task array, memoised by the array's identity:
+   [t.tiles] and per-stage task arrays are built once per runtime, so after
+   the first sweep the per-step cost is a pointer compare instead of a
+   rescan — which matters when the sweep itself is only microseconds.
+   Bounded so transient arrays (distributed interior/shell splits built per
+   step) evict oldest-first instead of leaking. *)
+type sweep_memo = {
+  sm_tasks : (int array * int array) array;
+  sm_points : int;
+  sm_coalesced : (int array * int array) option;
 }
 
 type t = {
@@ -95,7 +163,9 @@ type t = {
   fused_srcs : float array array;
   fused_aux : float array array;
   mutable tile_dispatches : int;  (* tile tasks swept, cumulative *)
-  backend_report : backend_report;  (* tile_dispatches patched on read *)
+  mutable inline_dispatches : int;  (* parallel sweeps run inline, cumulative *)
+  mutable sweep_memos : sweep_memo list;  (* cutoff decisions, MRU-bounded *)
+  backend_report : backend_report;  (* dispatch counters patched on read *)
   trace : Msc_trace.t;
   tid : int;  (* label for this runtime's spans (the rank, when distributed) *)
   on_worker : (int -> unit) option;  (* attaches worker domains to [trace] *)
@@ -311,6 +381,8 @@ let create ?plan ?schedule ?(config = Exec.Config.default)
       compiled_terms = !compiled_terms;
       fused_sweeps = (if fused = None then 0 else 1);
       tile_dispatches = 0;
+      pool_inline_cutoff;
+      inline_dispatches = 0;
       fallback = !fallback;
     }
   in
@@ -350,6 +422,8 @@ let create ?plan ?schedule ?(config = Exec.Config.default)
     fused_srcs;
     fused_aux;
     tile_dispatches = 0;
+    inline_dispatches = 0;
+    sweep_memos = [];
     backend_report;
     trace;
     tid;
@@ -578,6 +652,8 @@ let create_graph ?graph_plan ?schedule ?(config = Exec.Config.default)
     fused_srcs = [||];
     fused_aux = [||];
     tile_dispatches = 0;
+    inline_dispatches = 0;
+    sweep_memos = [];
     backend_report =
       {
         requested = backend;
@@ -586,6 +662,8 @@ let create_graph ?graph_plan ?schedule ?(config = Exec.Config.default)
         compiled_terms = !compiled_terms;
         fused_sweeps = !fused_stages;
         tile_dispatches = 0;
+        pool_inline_cutoff;
+        inline_dispatches = 0;
         fallback = !fallback;
       };
     trace;
@@ -599,7 +677,11 @@ let stencil t = t.stencil
 let time_window t = Array.length t.window - 1
 let steps_done t = t.steps_done
 let backend_report t =
-  { t.backend_report with tile_dispatches = t.tile_dispatches }
+  {
+    t.backend_report with
+    tile_dispatches = t.tile_dispatches;
+    inline_dispatches = t.inline_dispatches;
+  }
 
 let state t ~dt =
   let len = Array.length t.window in
@@ -682,9 +764,21 @@ let compute_range t ~dst ~lo ~hi =
       fn wb t.fused_srcs dst.Grid.data t.fused_aux lo hi
   | None -> compute_range_terms t ~dst ~lo ~hi
 
+let sweep_memo t tasks =
+  match List.find_opt (fun m -> m.sm_tasks == tasks) t.sweep_memos with
+  | Some m -> m
+  | None ->
+      let points = task_points tasks in
+      let coalesced =
+        if points < pool_inline_cutoff then coalesce_tasks tasks else None
+      in
+      let m = { sm_tasks = tasks; sm_points = points; sm_coalesced = coalesced } in
+      t.sweep_memos <- m :: List.filteri (fun i _ -> i < 7) t.sweep_memos;
+      m
+
 (* [compute_range] wrapped in a per-tile "sweep" span. On parallel paths the
    worker's attachment supplies the tid; sequential sweeps carry the
-   runtime's own label (the rank, under the distributed runtime). *)
+   runtime's own label (the rank, when distributed). *)
 let sweep_one ?tid t ~dst (lo, hi) =
   let ts0 = Msc_trace.begin_span t.trace in
   compute_range t ~dst ~lo ~hi;
@@ -703,7 +797,27 @@ let sweep_tasks_into t ~dst tasks =
     List.iteri
       (fun i term -> t.fused_srcs.(i) <- (state t ~dt:term.dt).Grid.data)
       t.terms;
-  match t.par with
+  (* Inline cutoff: a sweep too small to amortise the pool's wake+barrier
+     runs on the calling domain regardless of the plan's parallel mode.
+     Bit-identity is free — tasks are independent, so dispatch shape never
+     changes results. *)
+  let par =
+    match t.par with
+    | `Seq -> `Seq
+    | (`Block | `Round_robin) as p ->
+        let m = sweep_memo t tasks in
+        if m.sm_points < pool_inline_cutoff then begin
+          t.inline_dispatches <- t.inline_dispatches + 1;
+          `Inline m.sm_coalesced
+        end
+        else p
+  in
+  match par with
+  | `Inline (Some task) -> sweep_one ~tid:t.tid t ~dst task
+  | `Inline None ->
+      for id = 0 to ntiles - 1 do
+        sweep_one ~tid:t.tid t ~dst tasks.(id)
+      done
   | `Seq ->
       for id = 0 to ntiles - 1 do
         sweep_one ~tid:t.tid t ~dst tasks.(id)
@@ -828,7 +942,26 @@ let sweep_stage_tasks t sx tasks =
       (fun i -> sx.sx_fused_aux.(i) <- (current t).Grid.data)
       sx.sx_aux_refresh
   end;
-  match t.par with
+  (* Same inline cutoff as [sweep_tasks_into]: per-stage task arrays are
+     often tiny (intermediates of a fused pipeline), so the pool overhead
+     bites graph stepping hardest. *)
+  let par =
+    match t.par with
+    | `Seq -> `Seq
+    | (`Block | `Round_robin) as p ->
+        let m = sweep_memo t tasks in
+        if m.sm_points < pool_inline_cutoff then begin
+          t.inline_dispatches <- t.inline_dispatches + 1;
+          `Inline m.sm_coalesced
+        end
+        else p
+  in
+  match par with
+  | `Inline (Some task) -> stage_sweep_one ~tid:t.tid t gx sx ~dst task
+  | `Inline None ->
+      for id = 0 to ntiles - 1 do
+        stage_sweep_one ~tid:t.tid t gx sx ~dst tasks.(id)
+      done
   | `Seq ->
       for id = 0 to ntiles - 1 do
         stage_sweep_one ~tid:t.tid t gx sx ~dst tasks.(id)

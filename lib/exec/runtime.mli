@@ -44,6 +44,15 @@ type backend_report = {
       (** cumulative count of tile tasks swept so far — each is one
           dispatch unit on the worker pool (interior/shell splits and
           temporal substeps all count their tasks) *)
+  pool_inline_cutoff : int;
+      (** the inline-execution threshold in effect: a parallel-scheduled
+          sweep whose task array covers fewer total points than this runs
+          inline on the calling domain instead of the pool — tiny sweeps
+          cost more to dispatch than to compute. Settable once at startup
+          via [MSC_POOL_INLINE_CUTOFF] (0 disables inlining). *)
+  inline_dispatches : int;
+      (** cumulative count of parallel-scheduled sweeps the cutoff ran
+          inline *)
   fallback : string option;
       (** first reason a term fell back to the interpreter, if any *)
 }

@@ -79,6 +79,41 @@ let var_coeff_kernel ~name ~coeff ~shape ~radius grid =
     ~index_vars:(default_index_vars (Tensor.ndim grid))
     expr
 
+(* The matrix-free (negative) Laplacian: [2*nd] at the centre, [-1] on each
+   of the [2*nd] face neighbours — unit-spacing second differences, the SPD
+   operator behind the Poisson solvers. Term order is fixed (centre first,
+   then low/high per dimension), so every backend folds the same FP
+   sequence. *)
+let laplacian_diagonal grid = 2.0 *. float_of_int (Tensor.ndim grid)
+
+let laplacian_kernel ?(name = "A_laplace") grid =
+  let nd = Tensor.ndim grid in
+  let zeros = Array.make nd 0 in
+  let centre = Expr.(p "d" * read grid.Tensor.name zeros) in
+  let neighbours =
+    List.concat
+      (List.init nd (fun d ->
+           List.map
+             (fun s ->
+               let off = Array.make nd 0 in
+               off.(d) <- s;
+               Expr.(p "m" * read grid.Tensor.name off))
+             [ -1; 1 ]))
+  in
+  let expr = List.fold_left Expr.( + ) centre neighbours in
+  kernel
+    ~bindings:[ ("d", laplacian_diagonal grid); ("m", -1.0) ]
+    ~name ~grid expr
+
+(* A radius-0 kernel that reads one static coefficient grid at the centre —
+   how a solver's right-hand side enters a stencil expression ([b] in
+   [x + (omega/d) * (b - A x)]). *)
+let aux_point_kernel ?(name = "rhs") ~aux grid =
+  let zeros = Array.make (Tensor.ndim grid) 0 in
+  Kernel.make ~aux:[ aux ] ~name ~input:grid
+    ~index_vars:(default_index_vars (Tensor.ndim grid))
+    Expr.(read aux.Tensor.name zeros)
+
 let ( @> ) k dt = Stencil.Apply (k, dt)
 let state dt = Stencil.State dt
 let ( +: ) a b = Stencil.Sum (a, b)

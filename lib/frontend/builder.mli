@@ -65,6 +65,28 @@ val var_coeff_kernel :
     the input — the variable-coefficient form of WRF's [advect] and POP2's
     [hdifft] kernels. *)
 
+(** {1 Matrix-free operator kernels (solver building blocks)} *)
+
+val laplacian_diagonal : Msc_ir.Tensor.t -> float
+(** The constant diagonal of {!laplacian_kernel}'s operator matrix:
+    [2 * ndim] (unit spacing) — what Jacobi and red-black Gauss–Seidel
+    divide by. *)
+
+val laplacian_kernel : ?name:string -> Msc_ir.Tensor.t -> Msc_ir.Kernel.t
+(** The matrix-free {e negative} Laplacian [A]: [2*ndim] at the centre,
+    [-1] on each of the [2*ndim] face neighbours (unit-spacing second
+    differences). Symmetric positive definite under Dirichlet boundaries,
+    so CG applies. Radius-1 star; term order is fixed (centre, then
+    low/high per dimension), so every backend folds the same FP
+    sequence. *)
+
+val aux_point_kernel :
+  ?name:string -> aux:Msc_ir.Tensor.t -> Msc_ir.Tensor.t -> Msc_ir.Kernel.t
+(** A radius-0 kernel reading the static coefficient grid [aux] at the
+    centre — how a right-hand side [b] enters a stencil expression (e.g.
+    the Jacobi update [x + (omega/d)*:(b -: A x)]). [aux] must share the
+    grid's shape and halo ({!coefficient_grid}). *)
+
 (** {1 Stencil (temporal) combinators} *)
 
 val ( @> ) : Msc_ir.Kernel.t -> int -> Msc_ir.Stencil.expr

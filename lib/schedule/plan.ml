@@ -256,6 +256,30 @@ let compile_exn ?machine st schedule =
 
 module G = Msc_graph.Graph
 
+type reduce_plan = {
+  rp_tasks : (int array * int array) array;
+  rp_combine : (int * int) array array;
+}
+
+let combine_levels n =
+  if n < 1 then invalid_arg "Plan.combine_levels: n < 1";
+  let levels = ref [] in
+  let stride = ref 1 in
+  while !stride < n do
+    let level = ref [] in
+    let i = ref 0 in
+    while !i + !stride < n do
+      level := (!i, !i + !stride) :: !level;
+      i := !i + (2 * !stride)
+    done;
+    levels := Array.of_list (List.rev !level) :: !levels;
+    stride := 2 * !stride
+  done;
+  Array.of_list (List.rev !levels)
+
+let reduce_plan t =
+  { rp_tasks = t.tasks; rp_combine = combine_levels (Array.length t.tasks) }
+
 type graph_stage_plan = {
   gs_name : string;
   gs_stencil : Stencil.t;

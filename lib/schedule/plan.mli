@@ -117,6 +117,34 @@ val temporal :
     so sweeping it computes every grown cell exactly once.
     @raise Invalid_argument if [depth < 1] or the array ranks mismatch. *)
 
+(** {1 Reduction lowering}
+
+    A grid reduction ({!Msc_ir.Reduce}) lowers to the plan's own tile
+    tasks — each producing one sequential row-major partial — plus a fixed
+    pairwise combine tree over the task index. The tree is data-independent
+    (it only depends on the task count), so executors can fill partials in
+    any order, on any number of workers, and fold deterministically. *)
+
+type reduce_plan = {
+  rp_tasks : (int array * int array) array;
+      (** per-tile interior (lo, hi) boxes, the plan's traversal order; one
+          partial per task, accumulated sequentially row-major *)
+  rp_combine : (int * int) array array;
+      (** combine schedule, levels outermost: each level's [(dst, src)]
+          folds are independent of one another; executing every level in
+          order folds partial [src] into partial [dst], leaving the result
+          in index [0]. Matches {!Msc_ir.Reduce.tree_combine} exactly. *)
+}
+
+val combine_levels : int -> (int * int) array array
+(** The stride-doubling pairwise tree over [n] partials: level [s] holds
+    [(i, i + s)] for [i = 0, 2s, 4s, ...]. Empty for [n <= 1].
+    @raise Invalid_argument if [n < 1]. *)
+
+val reduce_plan : t -> reduce_plan
+(** Lower this plan's tiling into a reduction schedule over the same
+    interior boxes. *)
+
 (** {1 Pipeline graph plans}
 
     {!compile_graph} lowers a whole {!Msc_graph.Graph.t} into an ordered

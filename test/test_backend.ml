@@ -592,6 +592,98 @@ let no_toolchain_falls_back () =
           check_int "no unsupported-form failures" s0.Jit.failures_unsupported
             s1.Jit.failures_unsupported))
 
+(* --- Emitter salt: every artifact of every emitter carries the version ---
+
+   The cache key folds [Jit.emitter_version] in and the file name embeds it,
+   so a shared cache directory can never serve artifacts generated by an
+   older emitter: a version bump changes every name, and stale files are
+   simply never looked up again. *)
+
+let emitter_salt_in_artifacts () =
+  if not (toolchain_for Backend.Compiled_c) then ()
+  else
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "msc-test-kernels-salt-%d" (Unix.getpid ()))
+    in
+    with_cache_dir dir (fun () ->
+        let _, st = stencil_3d7pt ~n:8 () in
+        (* One fused sweep, one set of per-term kernels, one reduction
+           kernel: all three emitters must salt uniformly. *)
+        ignore (final ~backend:Backend.Compiled_c ~steps:1 st);
+        ignore (final ~fuse:false ~backend:Backend.Compiled_c ~steps:1 st);
+        let g = Grid.create ~shape:[| 8; 8; 8 |] ~halo:[| 1; 1; 1 |] in
+        let red =
+          Msc_exec.Reduction.create
+            ~config:(Exec.Config.make ~backend:Backend.Compiled_c ())
+            g
+        in
+        check_bool "reduction compiled" true (Msc_exec.Reduction.compiled red);
+        let v = Jit.emitter_version in
+        check_bool "salt is non-empty" true (String.length v > 0);
+        let prefixed p f =
+          String.length f >= String.length p && String.sub f 0 (String.length p) = p
+        in
+        let artifacts =
+          List.filter
+            (fun f ->
+              prefixed "msc_kern_" f || prefixed "msc_sweep_" f
+              || prefixed "msc_reduce_" f)
+            (Array.to_list (Sys.readdir dir))
+        in
+        check_bool "artifacts exist" true (List.length artifacts >= 3);
+        List.iter
+          (fun f ->
+            check_bool (f ^ " carries the emitter salt") true
+              (prefixed ("msc_kern_" ^ v ^ "_") f
+              || prefixed ("msc_sweep_" ^ v ^ "_") f
+              || prefixed ("msc_reduce_" ^ v ^ "_") f))
+          artifacts;
+        List.iter
+          (fun kind ->
+            check_bool (kind ^ " artifact present") true
+              (List.exists (prefixed (kind ^ "_" ^ v ^ "_")) artifacts))
+          [ "msc_kern"; "msc_sweep"; "msc_reduce" ])
+
+(* --- Pool inline cutoff: tiny parallel sweeps never wake the pool --- *)
+
+let pool_inline_cutoff_small_sweeps () =
+  (* 14x18 = 252 points per sweep, far under the 32768-point threshold: a
+     parallel schedule on a 4-worker pool must run inline — zero helper
+     domains spawned — and report it. *)
+  let k, st = stencil_2d9pt_box ~m:14 ~n:18 () in
+  let sched = Schedule.matrix_canonical ~tile:[| 7; 6 |] ~threads:4 k in
+  let interp, _ = final ~schedule:sched ~backend:Backend.Interp ~steps:3 st in
+  let pool = Msc_util.Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Msc_util.Domain_pool.shutdown pool)
+    (fun () ->
+      let got, report =
+        final ~schedule:sched ~pool ~backend:Backend.Interp ~steps:3 st
+      in
+      check_int "cutoff reported" 32768 report.Runtime.pool_inline_cutoff;
+      check_bool "sweeps ran inline" true (report.Runtime.inline_dispatches >= 3);
+      check_int "no helper domains spawned" 0
+        (Msc_util.Domain_pool.spawn_total pool);
+      check_bool "inline dispatch bit-identical" true
+        (got.Grid.data = interp.Grid.data))
+
+let pool_inline_cutoff_big_sweeps_dispatch () =
+  (* 32^3 = 32768 points is exactly at the threshold (not under it): the
+     pool must genuinely dispatch. *)
+  let k, st = stencil_3d7pt ~n:32 () in
+  let sched = Schedule.matrix_canonical ~tile:[| 8; 16; 32 |] ~threads:4 k in
+  let pool = Msc_util.Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Msc_util.Domain_pool.shutdown pool)
+    (fun () ->
+      let _, report =
+        final ~schedule:sched ~pool ~backend:Backend.Interp ~steps:1 st
+      in
+      check_int "nothing inlined" 0 report.Runtime.inline_dispatches;
+      check_bool "helpers spawned" true
+        (Msc_util.Domain_pool.spawn_total pool > 0))
+
 let suites =
   [
     ( "backend.parity",
@@ -617,5 +709,11 @@ let suites =
       [
         tc "compile once, memo, disk" cache_compiles_once;
         tc "no toolchain -> interp fallback" no_toolchain_falls_back;
+        tc "emitter salt in every artifact" emitter_salt_in_artifacts;
+      ] );
+    ( "backend.pool_cutoff",
+      [
+        tc "small sweeps run inline" pool_inline_cutoff_small_sweeps;
+        slow "big sweeps use the pool" pool_inline_cutoff_big_sweeps_dispatch;
       ] );
   ]

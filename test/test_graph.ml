@@ -53,7 +53,10 @@ let engines =
   [
     ("bulk", Exec.Bulk_synchronous);
     ("overlapped", Exec.Overlapped);
-    ("temporal", Exec.Temporal_blocked { depth = 2 });
+    (* Graphs have no temporal block to deepen: depth 1 is accepted (and
+       recorded as bulk in [effective_engine]); depth > 1 raises — see
+       [distributed_rejects_unmerged]. *)
+    ("temporal", Exec.Temporal_blocked { depth = 1 });
   ]
 
 (* --- Validation --- *)
@@ -292,6 +295,14 @@ let distributed_rejects_unmerged () =
   let g = Suite.pipeline ~dims "unsharp_mask" in
   invalid "unmerged multi-stage" (fun () ->
       Distributed.create_graph ~ranks_shape:[| 2; 1 |] g);
+  (* Temporal depth > 1 cannot be honored for graphs (intermediates are
+     recomputed per step, not stepped) — an explicit request raises instead
+     of silently degrading to bulk. *)
+  let gm = optimize g in
+  invalid "temporal depth > 1" (fun () ->
+      Distributed.create_graph
+        ~config:(Exec.Config.make ~engine:(Exec.Temporal_blocked { depth = 2 }) ())
+        ~ranks_shape:[| 2; 2 |] gm);
   (* ... and a single-stage graph needs no merge. *)
   let single = Graph.single (snd (stencil_2d9pt_box ())) in
   check_bool "single-stage ok" true

@@ -9,7 +9,8 @@ let () =
   Alcotest.run "msc"
     (Test_util.suites @ Test_ir.suites @ Test_frontend.suites
    @ Test_simplify.suites @ Test_schedule.suites @ Test_plan.suites
-   @ Test_exec.suites @ Test_backend.suites @ Test_codegen.suites
+   @ Test_exec.suites @ Test_backend.suites @ Test_reduce.suites
+   @ Test_solver.suites @ Test_codegen.suites
    @ Test_machines.suites @ Test_comm.suites @ Test_autotune.suites
    @ Test_multigrid.suites @ Test_extensions.suites @ Test_bc.suites
    @ Test_baselines.suites
