@@ -743,6 +743,243 @@ let solver_rows ?(smoke = false) () =
   in
   (dims, rows)
 
+(* == Scale-out campaign: the O(1) mailbox and the hierarchical model ==
+
+   [scaling_mailbox] is the campaign's host-side acceptance measurement: a
+   full 4096-rank 2d9pt_box exchange step (every send plus every matching
+   receive, 32004 messages) against the retained pre-refactor mailbox
+   [Msc.Mpi_ref]. The message schedule (neighbours, tags, payload sizes) is
+   precomputed so only mailbox operations are timed, the simulated-latency
+   scale is zeroed so nothing sleeps, and each implementation runs in its
+   own phase — two warm-ups, min of [reps], a major GC between phases —
+   because interleaving three multi-megabyte mailbox working sets through
+   the cache distorts the ratio. *)
+let scaling_mailbox ?(smoke = false) () =
+  let nd = 2 in
+  let decomp =
+    Msc.Decomp.create ~global:[| 4096; 4096 |] ~ranks_shape:[| 64; 64 |]
+  in
+  let nranks = decomp.Msc.Decomp.nranks in
+  let dirs = Msc.Decomp.directions ~ndim:nd ~faces_only:false in
+  let face = Bytes.create (64 * 8) and corner = Bytes.create 8 in
+  let sends = ref [] and recvs = ref [] in
+  for rank = 0 to nranks - 1 do
+    List.iter
+      (fun dir ->
+        match Msc.Decomp.neighbor decomp ~rank ~dir with
+        | None -> ()
+        | Some nb ->
+            let payload =
+              if Array.for_all (fun v -> v <> 0) dir then corner else face
+            in
+            sends :=
+              (rank, nb, Msc.Decomp.dir_index ~ndim:nd dir, payload) :: !sends;
+            let opp = Array.map (fun v -> -v) dir in
+            recvs := (rank, nb, Msc.Decomp.dir_index ~ndim:nd opp) :: !recvs)
+      dirs
+  done;
+  let sends = Array.of_list (List.rev !sends)
+  and recvs = Array.of_list (List.rev !recvs) in
+  let net = Msc.Netmodel.tianhe3_prototype in
+  let reps = if smoke then 5 else 15 in
+  let saved_scale = Msc.Netmodel.sim_latency_scale () in
+  Msc.Netmodel.set_sim_latency_scale 0.0;
+  Fun.protect
+    ~finally:(fun () -> Msc.Netmodel.set_sim_latency_scale saved_scale)
+    (fun () ->
+      let time1 f =
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0
+      in
+      let phase step =
+        Gc.full_major ();
+        step ();
+        step ();
+        let m = ref infinity in
+        for _ = 1 to reps do
+          m := Float.min !m (time1 step)
+        done;
+        !m
+      in
+      let h_new = Msc.Mpi.create ~net ~nranks () in
+      let ports =
+        Array.map
+          (fun (src, dst, tag, p) -> (Msc.Mpi.send_port h_new ~src ~dst ~tag, p))
+          sends
+      in
+      let slots =
+        Array.map
+          (fun (dst, src, tag) -> Msc.Mpi.recv_slot h_new ~dst ~src ~tag)
+          recvs
+      in
+      let step_ports () =
+        Array.iter (fun (port, p) -> Msc.Mpi.port_send port p) ports;
+        Array.iter (fun s -> ignore (Msc.Mpi.slot_wait s)) slots
+      in
+      let h_gen = Msc.Mpi.create ~net ~nranks () in
+      let step_gen () =
+        Array.iter
+          (fun (src, dst, tag, p) ->
+            Msc.Mpi.isend_owned h_gen ~src ~dst ~tag p)
+          sends;
+        Array.iter
+          (fun (dst, src, tag) ->
+            ignore (Msc.Mpi.wait h_gen (Msc.Mpi.irecv h_gen ~dst ~src ~tag)))
+          recvs
+      in
+      let h_ref = Msc.Mpi_ref.create ~net ~nranks () in
+      let step_ref () =
+        Array.iter
+          (fun (src, dst, tag, p) -> Msc.Mpi_ref.isend h_ref ~src ~dst ~tag p)
+          sends;
+        Array.iter
+          (fun (dst, src, tag) ->
+            ignore
+              (Msc.Mpi_ref.wait h_ref (Msc.Mpi_ref.irecv h_ref ~dst ~src ~tag)))
+          recvs
+      in
+      let ports_s = phase step_ports in
+      let generic_s = phase step_gen in
+      let ref_s = phase step_ref in
+      (nranks, Array.length sends, ref_s, ports_s, generic_s))
+
+(* Modelled strong/weak efficiency curves for both platforms (the arXiv
+   2404.02218 Figure-10 shape), hierarchical by default: every point is
+   analytic — platform node simulator plus the two-level network model —
+   so the 16k-rank rung costs the same milliseconds as the 16-rank one.
+   The ladder opens at 4 ranks so the audited 16-rank efficiency is a real
+   ratio, not the baseline's trivial 1.0. *)
+let scaling_curves ?(smoke = false) () =
+  let make_stencil dims =
+    Msc.Suite.stencil ~dims (Msc.Suite.find "2d9pt_box")
+  in
+  let ladder =
+    if smoke then [ 4; 16 ] else [ 4; 16; 64; 256; 1024; 4096; 16384 ]
+  in
+  List.concat_map
+    (fun (platform, pname) ->
+      let rpn = Msc.Scaling.ranks_per_node platform in
+      List.map
+        (fun (mode, mname, base) ->
+          ( pname,
+            rpn,
+            mname,
+            Msc.Scaling.efficiency_curve platform ~make_stencil ~mode ~base
+              ~ladder ))
+        [
+          (`Strong, "strong", [| 4096; 4096 |]); (`Weak, "weak", [| 512; 512 |]);
+        ])
+    [
+      (Msc.Scaling.Sunway, "sunway_taihulight");
+      (Msc.Scaling.Tianhe3, "tianhe3_prototype");
+    ]
+
+(* CI gate: weak parallel efficiency at 16 simulated ranks (against the
+   4-rank baseline) must hold the pinned floor on both platforms — a
+   regression in the mailbox-independent analytic path (decomposition,
+   netmodel, hierarchical pricing) shows up here before any curve is
+   plotted. *)
+let audit_scaling_efficiency curves =
+  (* Pinned against the deterministic analytic model (512^2 weak sub-grid,
+     2d9pt_box): Sunway holds 0.97 at 16 ranks; Tianhe-3 drops to 0.41 the
+     moment the job spills past one 8-rank node and the congested
+     latency-bound interconnect starts pricing the halo (the single-node
+     4-rank baseline is all shared-memory). *)
+  let floors = [ ("sunway_taihulight", 0.95); ("tianhe3_prototype", 0.35) ] in
+  let bad =
+    List.filter_map
+      (fun (pname, _, mode, points) ->
+        if mode <> "weak" then None
+        else
+          match
+            List.find_opt
+              (fun (p : Msc.Scaling.eff_point) -> p.Msc.Scaling.e_ranks = 16)
+              points
+          with
+          | None -> Some (Printf.sprintf "[audit] %s: no 16-rank point" pname)
+          | Some p ->
+              let floor = List.assoc pname floors in
+              if p.Msc.Scaling.e_efficiency >= floor then None
+              else
+                Some
+                  (Printf.sprintf
+                     "[audit] %s: weak efficiency at 16 ranks = %.3f < %.2f"
+                     pname p.Msc.Scaling.e_efficiency floor))
+      curves
+  in
+  match bad with
+  | [] ->
+      Printf.printf
+        "[audit] scaling: weak efficiency at 16 ranks holds its floor on \
+         both platforms\n"
+  | bad ->
+      List.iter prerr_endline bad;
+      prerr_endline "[audit] scaling-efficiency audit FAILED";
+      exit 1
+
+let scaling_group_json ~mailbox ~curves =
+  let mb_ranks, mb_messages, ref_s, ports_s, generic_s = mailbox in
+  let ints a =
+    String.concat ", " (Array.to_list (Array.map string_of_int a))
+  in
+  let curve_json (pname, rpn, mode, points) =
+    let point_json (p : Msc.Scaling.eff_point) =
+      Printf.sprintf
+        "        { \"ranks\": %d, \"grid\": [%s], \"sub\": [%s], \"depth\": \
+         %d,\n\
+        \          \"compute_s\": %.6e, \"comm_s\": %.6e, \"time_s\": %.6e, \
+         \"efficiency\": %.4f }"
+        p.Msc.Scaling.e_ranks (ints p.Msc.Scaling.e_grid)
+        (ints p.Msc.Scaling.e_sub) p.Msc.Scaling.e_depth
+        p.Msc.Scaling.e_compute_s p.Msc.Scaling.e_comm_s p.Msc.Scaling.e_time_s
+        p.Msc.Scaling.e_efficiency
+    in
+    Printf.sprintf
+      "      { \"platform\": %S, \"mode\": %S, \"kernel\": \"2d9pt_box\", \
+       \"ranks_per_node\": %d,\n\
+      \        \"points\": [\n\
+       %s\n\
+      \      ] }"
+      pname mode rpn
+      (String.concat ",\n" (List.map point_json points))
+  in
+  Printf.sprintf
+    "{\n\
+    \    \"mailbox\": {\n\
+    \      \"kernel\": \"2d9pt_box\", \"ranks\": %d, \"rank_grid\": [64, \
+     64], \"messages_per_step\": %d,\n\
+    \      \"ref_s_per_step\": %.6e,\n\
+    \      \"ports_s_per_step\": %.6e,\n\
+    \      \"generic_s_per_step\": %.6e,\n\
+    \      \"speedup_ports_vs_ref\": %.2f,\n\
+    \      \"speedup_generic_vs_ref\": %.2f\n\
+    \    },\n\
+    \    \"curves\": [\n\
+     %s\n\
+    \    ]\n\
+    \  }"
+    mb_ranks mb_messages ref_s ports_s generic_s (ref_s /. ports_s)
+    (ref_s /. generic_s)
+    (String.concat ",\n" (List.map curve_json curves))
+
+let report_scaling ~mailbox ~curves =
+  let mb_ranks, mb_messages, ref_s, ports_s, generic_s = mailbox in
+  Printf.printf
+    "[scaling] mailbox %d ranks (%d msgs/step): ref %.2f ms, ports %.2f ms \
+     (%.1fx), generic %.2f ms (%.1fx)\n"
+    mb_ranks mb_messages (ref_s *. 1e3) (ports_s *. 1e3) (ref_s /. ports_s)
+    (generic_s *. 1e3) (ref_s /. generic_s);
+  List.iter
+    (fun (pname, _, mode, points) ->
+      let last = List.nth points (List.length points - 1) in
+      Printf.printf
+        "[scaling] %s %s: efficiency %.2f at %d ranks (depth %d)\n" pname mode
+        last.Msc.Scaling.e_efficiency last.Msc.Scaling.e_ranks
+        last.Msc.Scaling.e_depth)
+    curves;
+  audit_scaling_efficiency curves
+
 let residual_curve_json residuals =
   let n = Array.length residuals in
   let keep = 12 in
@@ -753,7 +990,7 @@ let residual_curve_json residuals =
   String.concat ", "
     (List.map (fun i -> Printf.sprintf "[%d, %.6e]" i residuals.(i)) idxs)
 
-let emit_runtime_json ~comm ~temporal ~solver path =
+let emit_runtime_json ~comm ~temporal ~solver ~scaling path =
   let kernel_rows =
     List.map
       (fun (b : Msc.Suite.bench) ->
@@ -947,6 +1184,7 @@ let emit_runtime_json ~comm ~temporal ~solver path =
      %s\n\
     \    ]\n\
     \  },\n\
+    \  \"scaling\": %s,\n\
     \  \"pipeline_fusion\": [\n\
      %s\n\
     \  ]\n\
@@ -965,7 +1203,10 @@ let emit_runtime_json ~comm ~temporal ~solver path =
     (pool_pooled /. pool_single)
     (String.concat ", "
        (Array.to_list (Array.map string_of_int solver_dims)))
-    solver_json pipeline_json;
+    solver_json
+    (let mailbox, curves = scaling in
+     scaling_group_json ~mailbox ~curves)
+    pipeline_json;
   close_out oc;
   (* Single-core audit of the pool inline cutoff: with no cores to scale
      across, the pool legs must not pay dispatch latency — every bench
@@ -1219,6 +1460,24 @@ let () =
      render; BENCH_runtime.json is still written for artifact upload. *)
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   if smoke then quota_s := 0.02;
+  (* [scaling]: the scale-out CI leg — only the mailbox comparison and the
+     modelled efficiency curves, with the 16-rank efficiency floor enforced
+     (exit 1 on regression). Writes a scaling-only BENCH_runtime.json; the
+     full/smoke harness rewrites the complete file afterwards, scaling
+     group included, so the uploaded artifact always carries the curves. *)
+  if Array.exists (( = ) "scaling") Sys.argv then begin
+    let mailbox = scaling_mailbox ~smoke () in
+    let curves = scaling_curves ~smoke () in
+    let oc = open_out "BENCH_runtime.json" in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"msc-bench-scaling-v1\",\n  \"scaling\": %s\n}\n"
+      (scaling_group_json ~mailbox ~curves);
+    close_out oc;
+    report_scaling ~mailbox ~curves;
+    Printf.printf "[scaling harness time: %.1f s]\n"
+      (Unix.gettimeofday () -. t0);
+    exit 0
+  end;
   (let rec backend_arg i =
      if i + 1 >= Array.length Sys.argv then None
      else if Sys.argv.(i) = "--backend" then Some Sys.argv.(i + 1)
@@ -1240,14 +1499,18 @@ let () =
   let comm = comm_overlap () in
   let temporal = comm_temporal ~smoke () in
   let solver = solver_rows ~smoke () in
+  let mailbox = scaling_mailbox ~smoke () in
+  let curves = scaling_curves ~smoke () in
+  let scaling = (mailbox, curves) in
+  report_scaling ~mailbox ~curves;
   if smoke then begin
-    emit_runtime_json ~comm ~temporal ~solver "BENCH_runtime.json";
+    emit_runtime_json ~comm ~temporal ~solver ~scaling "BENCH_runtime.json";
     Printf.printf "[smoke harness time: %.1f s]\n" (Unix.gettimeofday () -. t0)
   end
   else begin
     let rows = run_bechamel () in
     report_trace_overhead rows;
-    emit_runtime_json ~comm ~temporal ~solver "BENCH_runtime.json";
+    emit_runtime_json ~comm ~temporal ~solver ~scaling "BENCH_runtime.json";
     print_newline ();
     print_endline
       "== Paper artifacts (Tables 1/4/5/6/7/8, Figures 7-14, correctness) ==\n";

@@ -9,6 +9,7 @@
    msc profile 3d7pt -o trace.json        - traced pipeline + chrome trace
    msc graph unsharp_mask --dot           - post-pass pipeline DAG (Graphviz)
    msc run-graph unsharp_mask -n 10       - fused multi-stage execution
+   msc scale -b 2d9pt_box -p tianhe3 --tune - modeled scale-out efficiency
    msc experiment fig7                    - regenerate a paper artifact *)
 
 open Cmdliner
@@ -174,6 +175,23 @@ let run_cmd =
 
 (* ---- Matrix-free solvers ---- *)
 
+let ints_conv what =
+  let parse s =
+    let parts =
+      String.split_on_char 'x' (String.concat "x" (String.split_on_char ',' s))
+    in
+    match List.map int_of_string_opt parts with
+    | ints when List.for_all Option.is_some ints && ints <> [] ->
+        Ok (Array.of_list (List.map Option.get ints))
+    | _ | (exception _) ->
+        Error (`Msg (Printf.sprintf "bad %s %S (use e.g. 64x64)" what s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (String.concat "x" (List.map string_of_int (Array.to_list a)))
+  in
+  Arg.conv (parse, print)
+
 let solve_cmd =
   let method_conv =
     let parse s =
@@ -183,23 +201,6 @@ let solve_cmd =
           Error (`Msg (Printf.sprintf "unknown method %S (jacobi | rbgs | cg)" s))
     in
     let print ppf m = Format.pp_print_string ppf (Msc.Solver.method_to_string m) in
-    Arg.conv (parse, print)
-  in
-  let ints_conv what =
-    let parse s =
-      let parts =
-        String.split_on_char 'x' (String.concat "x" (String.split_on_char ',' s))
-      in
-      match List.map int_of_string_opt parts with
-      | ints when List.for_all Option.is_some ints && ints <> [] ->
-          Ok (Array.of_list (List.map Option.get ints))
-      | _ | (exception _) ->
-          Error (`Msg (Printf.sprintf "bad %s %S (use e.g. 64x64)" what s))
-    in
-    let print ppf a =
-      Format.pp_print_string ppf
-        (String.concat "x" (List.map string_of_int (Array.to_list a)))
-    in
     Arg.conv (parse, print)
   in
   let engine_conv =
@@ -640,6 +641,188 @@ let run_graph_cmd =
       const run $ pipeline_arg $ steps_arg 10 $ workers $ backend_arg
       $ small_arg $ no_passes)
 
+(* ---- Scale-out modeling ---- *)
+
+let scale_cmd =
+  let platform_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("sunway", Msc.Scaling.Sunway); ("tianhe3", Msc.Scaling.Tianhe3);
+             ])
+          Msc.Scaling.Sunway
+      & info [ "p"; "platform" ] ~docv:"P" ~doc:"sunway | tianhe3.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("strong", `Strong); ("weak", `Weak) ]) `Weak
+      & info [ "mode" ] ~docv:"M"
+          ~doc:
+            "strong (fixed global grid split across ranks) | weak (fixed \
+             per-rank grid, global grows with the ladder).")
+  in
+  let base_arg =
+    Arg.(
+      value
+      & opt (ints_conv "base") [| 512; 512 |]
+      & info [ "base" ] ~docv:"DIMS"
+          ~doc:
+            "Base grid extents, e.g. 512x512: the global grid under strong \
+             scaling, the per-rank sub-grid under weak scaling.")
+  in
+  let ladder_arg =
+    Arg.(
+      value
+      & opt (list int) [ 4; 16; 64; 256; 1024 ]
+      & info [ "ranks" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Simulated rank ladder; the first rung is the efficiency \
+             baseline.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "depth" ] ~docv:"D"
+          ~doc:
+            "Temporal-blocking depth (capped per rung by the sub-grid \
+             geometry).")
+  in
+  let rpn_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ranks-per-node"; "rpn" ] ~docv:"N"
+          ~doc:
+            "Ranks sharing one physical node in the hierarchical cost model \
+             (default: the platform's — 4 on Sunway, 8 on Tianhe-3; 1 \
+             disables the hierarchy).")
+  in
+  let tune_arg =
+    Arg.(
+      value & flag
+      & info [ "tune" ]
+          ~doc:
+            "Also run the scale-out tuner at the last rung: exhaustive \
+             rank-grid x temporal-depth search, best five candidates \
+             printed.")
+  in
+  let dims_str a =
+    String.concat "x" (List.map string_of_int (Array.to_list a))
+  in
+  let run b platform mode base ladder depth rpn tune =
+    let make_stencil dims = Msc.Suite.stencil ~dims b in
+    match
+      Msc.Scaling.efficiency_curve ~depth ?ranks_per_node:rpn platform
+        ~make_stencil ~mode ~base ~ladder
+    with
+    | exception Invalid_argument msg ->
+        prerr_endline msg;
+        1
+    | [] ->
+        prerr_endline "empty rank ladder";
+        1
+    | points ->
+        let pname =
+          match platform with
+          | Msc.Scaling.Sunway -> "sunway"
+          | Msc.Scaling.Tianhe3 -> "tianhe3"
+        in
+        let rows =
+          List.map
+            (fun (p : Msc.Scaling.eff_point) ->
+              [
+                string_of_int p.Msc.Scaling.e_ranks;
+                dims_str p.Msc.Scaling.e_grid;
+                dims_str p.Msc.Scaling.e_sub;
+                string_of_int p.Msc.Scaling.e_depth;
+                Printf.sprintf "%.3g" p.Msc.Scaling.e_compute_s;
+                Printf.sprintf "%.3g" p.Msc.Scaling.e_comm_s;
+                Printf.sprintf "%.3g" p.Msc.Scaling.e_time_s;
+                Printf.sprintf "%.3f" p.Msc.Scaling.e_efficiency;
+              ])
+            points
+        in
+        print_string
+          (Msc.Table.render
+             ~title:
+               (Printf.sprintf "%s %s scaling of %s (base %s, depth %d)" pname
+                  (match mode with `Strong -> "strong" | `Weak -> "weak")
+                  b.Msc.Suite.name (dims_str base) depth)
+             ~header:
+               [
+                 "ranks"; "grid"; "sub-grid"; "depth"; "compute s"; "comm s";
+                 "s/step"; "efficiency";
+               ]
+             rows);
+        if not tune then 0
+        else begin
+          (* Tune at the last rung over the global grid that rung actually
+             covers (under weak scaling that is sub * grid). *)
+          let last = List.nth points (List.length points - 1) in
+          let global =
+            match mode with
+            | `Strong -> base
+            | `Weak ->
+                Array.mapi
+                  (fun d g -> g * last.Msc.Scaling.e_sub.(d))
+                  last.Msc.Scaling.e_grid
+          in
+          match
+            Msc.Autotune.tune_scale ?ranks_per_node:rpn ~platform ~make_stencil
+              ~global ~nranks:last.Msc.Scaling.e_ranks ()
+          with
+          | exception Invalid_argument msg ->
+              prerr_endline msg;
+              1
+          | best, ranking ->
+              let top n l =
+                List.filteri (fun i _ -> i < n) l
+              in
+              let rows =
+                List.map
+                  (fun (c : Msc.Autotune.scale_choice) ->
+                    [
+                      dims_str c.Msc.Autotune.sc_grid;
+                      dims_str c.Msc.Autotune.sc_sub;
+                      string_of_int c.Msc.Autotune.sc_depth;
+                      Printf.sprintf "%.3g" c.Msc.Autotune.sc_compute_s;
+                      Printf.sprintf "%.3g" c.Msc.Autotune.sc_comm_s;
+                      Printf.sprintf "%.3g" c.Msc.Autotune.sc_time_s;
+                    ])
+                  (top 5 ranking)
+              in
+              print_string
+                (Msc.Table.render
+                   ~title:
+                     (Printf.sprintf
+                        "tuned at %d ranks over global %s (%d candidates; \
+                         best: grid %s, depth %d)"
+                        last.Msc.Scaling.e_ranks (dims_str global)
+                        (List.length ranking)
+                        (dims_str best.Msc.Autotune.sc_grid)
+                        best.Msc.Autotune.sc_depth)
+                   ~header:
+                     [
+                       "grid"; "sub-grid"; "depth"; "compute s"; "comm s";
+                       "s/step";
+                     ]
+                   rows);
+              0
+        end
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Model strong/weak parallel efficiency over a simulated rank ladder \
+          (hierarchical node-aware cost model; no execution), optionally \
+          tuning the rank-grid shape and temporal depth at the largest rung.")
+    Term.(
+      const run $ bench_arg $ platform_arg $ mode_arg $ base_arg $ ladder_arg
+      $ depth_arg $ rpn_arg $ tune_arg)
+
 let experiment_cmd =
   let experiment_name =
     Arg.(
@@ -702,5 +885,6 @@ let () =
             profile_cmd;
             graph_cmd;
             run_graph_cmd;
+            scale_cmd;
             experiment_cmd;
           ]))

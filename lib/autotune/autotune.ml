@@ -159,6 +159,94 @@ let exhaustive ?(max_configs = 20_000) ?net ~make_stencil ~global ~nranks () =
     !best
   end
 
+type scale_choice = {
+  sc_grid : int array;
+  sc_sub : int array;
+  sc_depth : int;
+  sc_compute_s : float;
+  sc_comm_s : float;
+  sc_time_s : float;
+}
+
+(* Joint rank-grid-shape x temporal-depth search for large rank counts.
+   Everything is analytic — node compute from the platform simulator
+   (memoised per distinct sub-grid, and the divisor enumeration keeps the
+   grid list tiny even at 16k ranks), halo exchange from the hierarchical
+   {!Msc_comm.Scaling.comm_time} — so the whole space is priced in
+   milliseconds where a wall-clock inner loop would take hours. *)
+let tune_scale ?(depths = Params.depth_candidates) ?ranks_per_node ~platform
+    ~make_stencil ~global ~nranks () =
+  let module Scaling = Msc_comm.Scaling in
+  let rpn =
+    match ranks_per_node with
+    | Some n -> n
+    | None -> Scaling.ranks_per_node platform
+  in
+  let nd = Array.length global in
+  let grids =
+    List.filter
+      (fun g -> Array.for_all2 (fun p n -> p <= n) g global)
+      (Params.mpi_grid_candidates ~nranks ~ndim:nd)
+  in
+  if grids = [] then
+    invalid_arg "Autotune.tune_scale: no rank grid fits the global extents";
+  let memo = Hashtbl.create 16 in
+  let compute_of sub =
+    let key = Array.to_list sub in
+    match Hashtbl.find_opt memo key with
+    | Some t -> t
+    | None ->
+        let t = Scaling.node_compute_time platform (make_stencil sub) in
+        Hashtbl.add memo key t;
+        t
+  in
+  let candidates =
+    List.concat_map
+      (fun grid ->
+        let sub = Params.subgrid { Params.tile = [||]; mpi_grid = grid; depth = 1 } ~global in
+        let st = make_stencil sub in
+        let radius = Msc_ir.Stencil.radius st in
+        let elem =
+          Msc_ir.Dtype.size_bytes st.Msc_ir.Stencil.grid.Msc_ir.Tensor.dtype
+        in
+        let faces_only = not (Msc_comm.Distributed.needs_corners st) in
+        let base_compute = compute_of sub in
+        let cap depth =
+          let c = ref (max 1 depth) in
+          Array.iteri
+            (fun d r -> if r > 0 then c := min !c (max 1 (sub.(d) / r)))
+            radius;
+          !c
+        in
+        List.map
+          (fun depth ->
+            let compute_s =
+              base_compute
+              *. Scaling.temporal_compute_factor ~sub_grid:sub ~radius ~depth
+            in
+            let comm_s =
+              Scaling.comm_time ~depth ~ranks_per_node:rpn platform
+                ~ranks:nranks ~sub_grid:sub ~radius ~elem ~faces_only
+            in
+            let time_s =
+              Float.max compute_s comm_s +. (0.5 *. Float.min compute_s comm_s)
+            in
+            {
+              sc_grid = grid;
+              sc_sub = sub;
+              sc_depth = depth;
+              sc_compute_s = compute_s;
+              sc_comm_s = comm_s;
+              sc_time_s = time_s;
+            })
+          (List.sort_uniq compare (List.map cap depths)))
+      grids
+  in
+  let sorted =
+    List.stable_sort (fun a b -> compare a.sc_time_s b.sc_time_s) candidates
+  in
+  (List.hd sorted, sorted)
+
 let tune ?(seed = 42) ?(iterations = 20_000) ?net ?backend
     ?(trace = Msc_trace.disabled) ~make_stencil ~global ~nranks () =
   let rng = Msc_util.Prng.create seed in

@@ -61,6 +61,42 @@ val exhaustive :
     or [None] when the space exceeds [max_configs] (default 20_000) — the
     reference the annealer is measured against in the ablation study. *)
 
+(** {1 Scale-out search (rank-grid shape x temporal depth)} *)
+
+type scale_choice = {
+  sc_grid : int array;  (** rank grid shape *)
+  sc_sub : int array;  (** per-rank sub-grid (ceil division) *)
+  sc_depth : int;  (** temporal depth after the geometric cap *)
+  sc_compute_s : float;  (** per step, ghost inflation included *)
+  sc_comm_s : float;
+  sc_time_s : float;  (** overlapped per-step time, the ranking key *)
+}
+
+val tune_scale :
+  ?depths:int list ->
+  ?ranks_per_node:int ->
+  platform:Msc_comm.Scaling.platform ->
+  make_stencil:(int array -> Msc_ir.Stencil.t) ->
+  global:int array ->
+  nranks:int ->
+  unit ->
+  scale_choice * scale_choice list
+(** Exhaustive joint search over every rank-grid factorisation that fits
+    the global extents ({!Params.mpi_grid_candidates}) and every temporal
+    depth rung ([depths], default {!Params.depth_candidates}, each capped
+    by the sub-grid geometry), priced purely analytically:
+    {!Msc_comm.Scaling.node_compute_time} (memoised per distinct sub-grid)
+    inflated by the ghost factor, plus the hierarchical
+    {!Msc_comm.Scaling.comm_time} ([ranks_per_node] defaults to the
+    platform's {!Msc_comm.Scaling.ranks_per_node}), combined with the
+    overlapped-engine formula. Returns the winner and the whole ranking,
+    best first (ties keep enumeration order, so the result is
+    deterministic). On a latency-bound interconnect at large rank counts
+    the winner moves off the naive square-grid depth-1 default — a skewed
+    grid that shortens the congested direction fan, a deep block that
+    amortises alpha, or both.
+    @raise Invalid_argument when no factorisation fits [global]. *)
+
 val tune :
   ?seed:int ->
   ?iterations:int ->

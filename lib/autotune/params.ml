@@ -9,12 +9,24 @@ let tile_candidates ~dims =
     dims
 
 let mpi_grid_candidates ~nranks ~ndim =
+  (* Enumerate over the divisors only — O(sqrt n) per level instead of a
+     1..n scan — so the 16k-rank grids of the scale-out tuner cost nothing
+     to list. Ordering (ascending leading factor) is unchanged. *)
+  let divisors n =
+    let rec go d acc =
+      if d * d > n then acc
+      else if n mod d = 0 then
+        go (d + 1) (if d * d = n then d :: acc else d :: (n / d) :: acc)
+      else go (d + 1) acc
+    in
+    List.sort_uniq compare (go 1 [])
+  in
   let rec go n d =
     if d = 1 then [ [ n ] ]
     else
       List.concat_map
-        (fun f -> if n mod f = 0 then List.map (fun rest -> f :: rest) (go (n / f) (d - 1)) else [])
-        (List.init n (fun i -> i + 1))
+        (fun f -> List.map (fun rest -> f :: rest) (go (n / f) (d - 1)))
+        (divisors n)
   in
   List.map Array.of_list (go nranks ndim)
 

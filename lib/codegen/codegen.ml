@@ -68,7 +68,10 @@ let generate ?steps ?(bc = Msc_exec.Bc.Dirichlet 0.0) ?config (st : Stencil.t)
           name = name ^ "_master.c";
           contents = Emit_athread.generate_master ?steps plan;
         };
-        { name = name ^ "_slave.c"; contents = Emit_athread.generate_slave plan };
+        {
+          name = name ^ "_slave.c";
+          contents = Emit_athread.generate_slave ?config plan;
+        };
         { name = "Makefile"; contents = Makefile_gen.athread ~name };
       ]
 

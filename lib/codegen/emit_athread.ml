@@ -100,7 +100,21 @@ let generate_master ?(steps = 10) (plan : Plan.t) =
       C_writer.line w "return rc;");
   C_writer.contents w
 
-let generate_slave (plan : Plan.t) =
+let generate_slave ?config (plan : Plan.t) =
+  (* Mirror the host runtime's kernel dispatch: a compiled backend with
+     fusion on executes one fused whole-sweep body, so the slave computes
+     each point as a single summed expression; the interpreter (and a
+     compiled backend with fusion off) dispatches one kernel per stencil
+     term, accumulating into the output — the slave writes the first term
+     and [+=]s the rest in the same order, keeping the float addition
+     order identical to the host run being cross-checked. *)
+  let fused =
+    match (config : Msc_exec.Exec.Config.t option) with
+    | Some c ->
+        c.Msc_exec.Exec.Config.fuse
+        && c.Msc_exec.Exec.Config.backend <> Msc_exec.Backend.Interp
+    | None -> false
+  in
   let st : Stencil.t = plan.Plan.stencil in
   let w = C_writer.create () in
   let dims = Emit_common.dims_of st in
@@ -253,8 +267,18 @@ let generate_slave (plan : Plan.t) =
                 if t.Emit_common.scale = 1.0 then Printf.sprintf "(%s)" body
                 else Printf.sprintf "%.17g * (%s)" t.Emit_common.scale body
               in
-              C_writer.line w "buf_write[BIDX_W(%s)] = (ELEM)(%s);" write_coords
-                (String.concat " + " (List.map render terms))
+              if fused then
+                C_writer.line w "buf_write[BIDX_W(%s)] = (ELEM)(%s);"
+                  write_coords
+                  (String.concat " + " (List.map render terms))
+              else
+                List.iteri
+                  (fun i t ->
+                    C_writer.line w "buf_write[BIDX_W(%s)] %s (ELEM)(%s);"
+                      write_coords
+                      (if i = 0 then "=" else "+=")
+                      (render t))
+                  terms
             end
             else
               C_writer.block w

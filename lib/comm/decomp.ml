@@ -35,6 +35,38 @@ let auto_shape ~nranks ~ndim =
   Array.sort (fun a b -> compare b a) shape;
   shape
 
+(* Two-level split: factorise [ranks_per_node] across the dimensions so a
+   node's core block tiles the rank grid ([core.(d)] divides
+   [ranks_shape.(d)]) while staying as cubic as possible — largest prime
+   factors first onto the thinnest core dimension that still divides.
+   Factors that fit nowhere are dropped: the node then holds fewer ranks
+   than the hardware offers, and the model prices what the grid can
+   actually use. *)
+let core_shape ~ranks_shape ~ranks_per_node =
+  if ranks_per_node < 1 then
+    invalid_arg "Decomp.core_shape: ranks_per_node must be >= 1";
+  let nd = Array.length ranks_shape in
+  let core = Array.make nd 1 in
+  let rec factors n d acc =
+    if n = 1 then acc
+    else if d * d > n then n :: acc
+    else if n mod d = 0 then factors (n / d) d (d :: acc)
+    else factors n (d + 1) acc
+  in
+  let fs = List.sort (fun a b -> compare b a) (factors ranks_per_node 2 []) in
+  List.iter
+    (fun f ->
+      let best = ref (-1) in
+      for d = 0 to nd - 1 do
+        if
+          ranks_shape.(d) mod (core.(d) * f) = 0
+          && (!best < 0 || core.(d) < core.(!best))
+        then best := d
+      done;
+      if !best >= 0 then core.(!best) <- core.(!best) * f)
+    fs;
+  core
+
 let coords_of_rank t rank =
   let nd = Array.length t.ranks_shape in
   let coords = Array.make nd 0 in
@@ -49,6 +81,20 @@ let rank_of_coords t coords =
   let acc = ref 0 in
   Array.iteri (fun d c -> acc := (!acc * t.ranks_shape.(d)) + c) coords;
   !acc
+
+(* Node id of a rank under a [core] block split: node coordinates are the
+   rank coordinates divided by the core block, row-major over the node
+   grid. Requires [core.(d)] to divide [ranks_shape.(d)] (what
+   {!core_shape} produces). *)
+let node_of_rank t ~core rank =
+  let coords = coords_of_rank t rank in
+  let acc = ref 0 in
+  Array.iteri
+    (fun d c -> acc := (!acc * (t.ranks_shape.(d) / core.(d))) + (c / core.(d)))
+    coords;
+  !acc
+
+let same_node t ~core a b = node_of_rank t ~core a = node_of_rank t ~core b
 
 let subdomain t ~rank =
   let coords = coords_of_rank t rank in

@@ -16,6 +16,23 @@ val auto_shape : nranks:int -> ndim:int -> int array
 (** Balanced factorisation of [nranks] into [ndim] factors (largest factors
     on the leading dimensions), e.g. 28 over 2-D -> [|7; 4|]. *)
 
+val core_shape : ranks_shape:int array -> ranks_per_node:int -> int array
+(** Two-level (node x core) split of a rank grid: the per-node core block,
+    as cubic as possible, with every extent dividing the corresponding
+    [ranks_shape] extent so core blocks tile the grid exactly. Prime
+    factors of [ranks_per_node] that divide nowhere are dropped (the node
+    is then underpopulated rather than the tiling broken).
+    @raise Invalid_argument when [ranks_per_node < 1]. *)
+
+val node_of_rank : t -> core:int array -> int -> int
+(** The node (row-major over the node grid [ranks_shape / core]) owning a
+    rank under a {!core_shape} block split. *)
+
+val same_node : t -> core:int array -> int -> int -> bool
+(** Whether two ranks land on the same node — the faces the hierarchical
+    cost model prices as shared-memory copies instead of network
+    messages. *)
+
 val coords_of_rank : t -> int -> int array
 val rank_of_coords : t -> int array -> int
 

@@ -149,6 +149,9 @@ let unpack_multi grids ~dir ~width payload =
 let post_sends ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
     ~rank ~grid ~width ~faces_only =
   let nd = Array.length decomp.Decomp.global in
+  (* One wall-clock read stamps the rank's whole direction fan, and the
+     freshly packed slab is handed over rather than copied. *)
+  let now = Mpi_sim.clock mpi in
   List.iter
     (fun dir ->
       match Decomp.neighbor ?periodic decomp ~rank ~dir with
@@ -160,7 +163,7 @@ let post_sends ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
           Msc_trace.add ~tid:rank trace "halo.bytes"
             (float_of_int (Bytes.length payload));
           let ts_send = Msc_trace.begin_span trace in
-          Mpi_sim.isend mpi ~src:rank ~dst:nb
+          Mpi_sim.isend_owned ?now mpi ~src:rank ~dst:nb
             ~tag:(Decomp.dir_index ~ndim:nd dir) payload;
           Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_send)
     (Decomp.directions ~ndim:nd ~faces_only)
@@ -168,6 +171,7 @@ let post_sends ?periodic ?(trace = Msc_trace.disabled) mpi (decomp : Decomp.t)
 let post_sends_deep ?periodic ?(trace = Msc_trace.disabled) mpi
     (decomp : Decomp.t) ~rank ~grids ~width ~faces_only =
   let nd = Array.length decomp.Decomp.global in
+  let now = Mpi_sim.clock mpi in
   List.iter
     (fun dir ->
       match Decomp.neighbor ?periodic decomp ~rank ~dir with
@@ -179,7 +183,7 @@ let post_sends_deep ?periodic ?(trace = Msc_trace.disabled) mpi
           Msc_trace.add ~tid:rank trace "halo.bytes"
             (float_of_int (Bytes.length payload));
           let ts_send = Msc_trace.begin_span trace in
-          Mpi_sim.isend mpi ~src:rank ~dst:nb
+          Mpi_sim.isend_owned ?now mpi ~src:rank ~dst:nb
             ~tag:(Decomp.dir_index ~ndim:nd dir) payload;
           Msc_trace.end_span ~tid:rank trace "halo.exchange" ts_send)
     (Decomp.directions ~ndim:nd ~faces_only)

@@ -1,25 +1,92 @@
-type key = { src : int; dst : int; tag : int }
+(* Per-rank mailboxes: rank [dst]'s mailbox holds one channel per (src, tag)
+   pair it has ever seen, each channel an unbounded chunked ring of
+   in-flight messages. The channel table is an immutable int-keyed map
+   swapped by CAS — lookups never lock — and each channel is a
+   single-producer/single-consumer queue published through one atomic
+   counter, so posting and completing a message costs a handful of plain
+   stores plus one atomic each, with no mutex anywhere on the data path. A
+   4096-rank exchange has no global serialisation point at all.
 
-(* A message in flight: the payload plus the absolute time it "arrives" at
-   the receiver (post time + the network model's per-message latency).
-   [neg_infinity] when the simulator has no network model: delivery is
-   instantaneous, as the original lockstep simulator behaved. *)
-type message = { payload : Bytes.t; arrival : float }
+   The SPSC contract mirrors the execution model of the distributed
+   runtime: a given (src, dst, tag) channel is fed by the domain currently
+   running rank [src] and drained by the one running rank [dst], and the
+   pool barriers between engine phases order any migration of ranks across
+   domains. Distinct channels are fully independent.
+
+   Segment cells are reused and channels persist across steps: in steady
+   state (every halo exchange sends the same channels every step) a message
+   allocates nothing but its payload — and the payload copy itself is
+   elided on the [isend_owned] path, where the caller hands over a freshly
+   packed buffer. [send_port] / [recv_slot] additionally hoist the channel
+   lookup and request allocation out of the loop, the persistent-request
+   idiom the scaling bench drives. *)
+
+module Imap = Map.Make (Int)
+
+(* Ring chunk size: a halo exchange keeps at most a few messages in flight
+   per channel, so one segment almost always suffices and deep backlogs
+   (e.g. the mis-tagged traffic a Deadlock dumps) chain further segments.
+   Kept small deliberately — at thousands of ranks the aggregate channel
+   footprint is what bounds exchange throughput (the working set streams
+   through cache twice per step), and 4 cells halves the step time that 32
+   cells gives at 4096 ranks. *)
+let seg_cap = 4
+
+type seg = {
+  buf : Bytes.t array;
+  arr : float array;
+  (* Written by the producer before the element it serves is published
+     through [produced], so the consumer never follows a dangling link. *)
+  mutable next : seg option;
+}
+
+type chan = {
+  c_src : int;
+  c_tag : int;
+  produced : int Atomic.t;  (* publication point for everything below *)
+  (* Producer-owned cursor and totals. *)
+  mutable p_seg : seg;
+  mutable p_idx : int;
+  mutable p_bytes : int;
+  (* Consumer-owned cursor. *)
+  mutable consumed : int;
+  mutable c_seg : seg;
+  mutable c_idx : int;
+  (* One-slot segment freelist: the consumer parks each exhausted segment
+     here and the producer reuses it instead of allocating, so steady-state
+     traffic allocates nothing at all. *)
+  spare : seg option Atomic.t;
+}
+
+type mailbox = { channels : chan Imap.t Atomic.t }
 
 type t = {
   nranks : int;
-  mutex : Mutex.t;
-  queues : (key, message Queue.t) Hashtbl.t;
+  mailboxes : mailbox array;
   net : Netmodel.t option;
-  mutable messages_sent : int;
-  mutable bytes_sent : int;
-  mutable pending : int;
+  (* Batched latency accounting: the modelled in-flight time depends only
+     on the payload size, and halo traffic has a handful of distinct sizes
+     per step — memoize [Netmodel.message_time] per byte count so the model
+     closure runs once per size, not once per message. Only the (slow,
+     sleeping) simulated-latency path touches this. *)
+  lat_lock : Mutex.t;
+  lat_memo : (int, float) Hashtbl.t;
+  (* Counter baselines recorded by [reset_counters]: the live totals are
+     derived from the channels, so "resetting" subtracts a snapshot. *)
+  mutable base_messages : int;
+  mutable base_bytes : int;
+  mutable base_pending : int;
 }
 
 (* A posted receive. Completion is one-shot and independent of other
-   requests: [try_complete]/[wait] dequeue the matching message into
-   [completed], after which further probes are pure reads. *)
-type request = { rkey : key; mutable completed : message option }
+   requests: the matching channel is resolved at post time, and [test] /
+   [wait] dequeue its head into [completed], after which further probes are
+   pure reads. *)
+type request = { r_dst : int; r_ch : chan; mutable completed : Bytes.t option }
+
+(* Persistent endpoints: the channel resolved once, reused every step. *)
+type port = { po_t : t; po_ch : chan }
+type slot = { sl_t : t; sl_dst : int; sl_ch : chan }
 
 exception
   Deadlock of {
@@ -56,12 +123,13 @@ let create ?net ~nranks () =
   if nranks < 1 then invalid_arg "Mpi_sim.create: need at least one rank";
   {
     nranks;
-    mutex = Mutex.create ();
-    queues = Hashtbl.create 64;
+    mailboxes = Array.init nranks (fun _ -> { channels = Atomic.make Imap.empty });
     net;
-    messages_sent = 0;
-    bytes_sent = 0;
-    pending = 0;
+    lat_lock = Mutex.create ();
+    lat_memo = Hashtbl.create 16;
+    base_messages = 0;
+    base_bytes = 0;
+    base_pending = 0;
   }
 
 let nranks t = t.nranks
@@ -70,105 +138,248 @@ let check_rank t r name =
   if r < 0 || r >= t.nranks then
     invalid_arg (Printf.sprintf "Mpi_sim.%s: rank %d out of [0,%d)" name r t.nranks)
 
-(* Callers must hold [t.mutex]. *)
-let queue_of t key =
-  match Hashtbl.find_opt t.queues key with
-  | Some q -> q
-  | None ->
-      let q = Queue.create () in
-      Hashtbl.add t.queues key q;
-      q
+let new_seg () =
+  { buf = Array.make seg_cap Bytes.empty; arr = Array.make seg_cap 0.0; next = None }
 
-let isend t ~src ~dst ~tag payload =
+let new_chan ~src ~tag =
+  let s = new_seg () in
+  {
+    c_src = src;
+    c_tag = tag;
+    produced = Atomic.make 0;
+    p_seg = s;
+    p_idx = 0;
+    p_bytes = 0;
+    consumed = 0;
+    c_seg = s;
+    c_idx = 0;
+    spare = Atomic.make None;
+  }
+
+(* Lock-free find-or-create: losers of the CAS race retry the lookup and
+   adopt the winner's channel (a fresh channel has no observable effects
+   until messages flow through it, so discarding the loser is safe). *)
+let rec chan_of t mb ~src ~tag =
+  let key = (tag * t.nranks) + src in
+  let m = Atomic.get mb.channels in
+  match Imap.find_opt key m with
+  | Some ch -> ch
+  | None ->
+      let ch = new_chan ~src ~tag in
+      if Atomic.compare_and_set mb.channels m (Imap.add key ch m) then ch
+      else chan_of t mb ~src ~tag
+
+(* Producer side; at most one thread per channel (SPSC contract). *)
+let chan_push ch payload arrival =
+  if ch.p_idx = seg_cap then begin
+    let s =
+      match Atomic.exchange ch.spare None with
+      | Some s -> s (* recycled: cells already cleared, [next] already None *)
+      | None -> new_seg ()
+    in
+    ch.p_seg.next <- Some s;
+    ch.p_seg <- s;
+    ch.p_idx <- 0
+  end;
+  ch.p_seg.buf.(ch.p_idx) <- payload;
+  ch.p_seg.arr.(ch.p_idx) <- arrival;
+  ch.p_idx <- ch.p_idx + 1;
+  ch.p_bytes <- ch.p_bytes + Bytes.length payload;
+  (* Publishes the element and every plain write above it. *)
+  Atomic.incr ch.produced
+
+(* Consumer side; at most one thread per channel. Step the cursor into the
+   next segment lazily — the link is guaranteed published whenever
+   [produced] covers an element beyond the current segment. *)
+let cursor_advance ch =
+  if ch.c_idx = seg_cap then begin
+    match ch.c_seg.next with
+    | Some s ->
+        let old = ch.c_seg in
+        ch.c_seg <- s;
+        ch.c_idx <- 0;
+        (* Park the drained segment for the producer to reuse (its cells
+           were cleared as each message was claimed). *)
+        old.next <- None;
+        Atomic.set ch.spare (Some old)
+    | None -> assert false
+  end
+
+(* Simulated arrival time of the channel's head message, [infinity] when
+   empty. Consumer thread only. *)
+let head_arrival ch =
+  if ch.consumed >= Atomic.get ch.produced then infinity
+  else begin
+    cursor_advance ch;
+    ch.c_seg.arr.(ch.c_idx)
+  end
+
+(* Physically unique "nothing claimable" sentinel: it never escapes this
+   module, and every payload a caller can hand us is a distinct block, so
+   [==] against it is unambiguous — and the hot path allocates no option. *)
+let no_msg = Bytes.create 0
+
+(* Claim the head message if posted AND its simulated arrival has passed;
+   [no_msg] otherwise. Consumer thread only. *)
+let take_now ch =
+  if ch.consumed >= Atomic.get ch.produced then no_msg
+  else begin
+    cursor_advance ch;
+    let a = ch.c_seg.arr.(ch.c_idx) in
+    if a = neg_infinity || a <= now () then begin
+      let payload = ch.c_seg.buf.(ch.c_idx) in
+      (* Drop the ring's reference so delivered payloads are not kept alive
+         until the cell is overwritten. *)
+      ch.c_seg.buf.(ch.c_idx) <- Bytes.empty;
+      ch.c_idx <- ch.c_idx + 1;
+      ch.consumed <- ch.consumed + 1;
+      payload
+    end
+    else no_msg
+  end
+
+let latency_of t net bytes =
+  Mutex.lock t.lat_lock;
+  let lat =
+    match Hashtbl.find_opt t.lat_memo bytes with
+    | Some l -> l
+    | None ->
+        let l = Netmodel.message_time net ~nranks:t.nranks ~bytes in
+        Hashtbl.add t.lat_memo bytes l;
+        l
+  in
+  Mutex.unlock t.lat_lock;
+  lat
+
+(* With no network model — or the wall-clock latency scale zeroed, as the
+   test harness runs — delivery is instantaneous and no clock is read at
+   all; otherwise the arrival stamp is post time + scaled modelled flight.
+   [?now] lets a caller posting a batch (one rank's whole direction fan)
+   read the clock once for all of them. *)
+let arrival_of ?now:(t0 = nan) t bytes =
+  match t.net with
+  | None -> neg_infinity
+  | Some net ->
+      let scale = Netmodel.sim_latency_scale () in
+      if scale = 0.0 then neg_infinity
+      else
+        (if Float.is_nan t0 then now () else t0) +. (scale *. latency_of t net bytes)
+
+(* When only latency stamping needs the clock, read it at most once per
+   send batch: [None] when messages would be stamped instantaneous. *)
+let clock t =
+  match t.net with
+  | None -> None
+  | Some _ -> if Netmodel.sim_latency_scale () = 0.0 then None else Some (now ())
+
+let post ?now t ~src ~dst ~tag payload =
   check_rank t src "isend";
   check_rank t dst "isend";
-  let arrival =
-    match t.net with
-    | None -> neg_infinity
-    | Some net ->
-        now ()
-        +. Netmodel.sim_latency_scale ()
-           *. Netmodel.message_time net ~nranks:t.nranks ~bytes:(Bytes.length payload)
-  in
-  Mutex.lock t.mutex;
-  Queue.push { payload = Bytes.copy payload; arrival } (queue_of t { src; dst; tag });
-  t.messages_sent <- t.messages_sent + 1;
-  t.bytes_sent <- t.bytes_sent + Bytes.length payload;
-  t.pending <- t.pending + 1;
-  Mutex.unlock t.mutex
+  let arrival = arrival_of ?now t (Bytes.length payload) in
+  chan_push (chan_of t t.mailboxes.(dst) ~src ~tag) payload arrival
+
+let isend ?now t ~src ~dst ~tag payload =
+  post ?now t ~src ~dst ~tag (Bytes.copy payload)
+
+let isend_owned ?now t ~src ~dst ~tag payload = post ?now t ~src ~dst ~tag payload
 
 let irecv t ~dst ~src ~tag =
   check_rank t src "irecv";
   check_rank t dst "irecv";
-  { rkey = { src; dst; tag }; completed = None }
+  { r_dst = dst; r_ch = chan_of t t.mailboxes.(dst) ~src ~tag; completed = None }
 
-(* Dequeue the request's message if it has been posted AND its simulated
-   arrival time has passed; callers must hold [t.mutex]. *)
-let try_take t req =
+let test _t req =
   match req.completed with
   | Some _ -> true
-  | None -> (
-      let q = queue_of t req.rkey in
-      match Queue.peek_opt q with
-      | Some msg when msg.arrival <= now () ->
-          ignore (Queue.pop q);
-          t.pending <- t.pending - 1;
-          req.completed <- Some msg;
-          true
-      | Some _ | None -> false)
-
-let test t req =
-  Mutex.lock t.mutex;
-  let done_ = try_take t req in
-  Mutex.unlock t.mutex;
-  done_
+  | None ->
+      let payload = take_now req.r_ch in
+      if payload != no_msg then begin
+        req.completed <- Some payload;
+        true
+      end
+      else false
 
 let backlog_of t =
-  Hashtbl.fold
-    (fun k q acc ->
-      if Queue.is_empty q then acc else (k.src, k.dst, k.tag, Queue.length q) :: acc)
-    t.queues []
-  |> List.sort compare
+  let acc = ref [] in
+  Array.iteri
+    (fun dst mb ->
+      Imap.iter
+        (fun _ ch ->
+          let n = Atomic.get ch.produced - ch.consumed in
+          if n > 0 then acc := (ch.c_src, dst, ch.c_tag, n) :: !acc)
+        (Atomic.get mb.channels))
+    t.mailboxes;
+  List.sort compare !acc
 
-(* The mailbox is mutex-guarded; a blocked [wait] re-polls it at a fine
-   interval (the OCaml stdlib has no timed condition wait) both to observe
-   late sends from other domains and to enforce the deadlock timeout. The
-   poll period only bounds the timeout's resolution: a message that is
-   already queued completes on the first iteration, and a queued-but-in-
-   flight message completes exactly at its arrival time via one sleep. *)
-let wait ?(timeout_s = 1.0) t req =
-  let deadline = now () +. timeout_s in
-  let rec poll () =
-    Mutex.lock t.mutex;
-    if try_take t req then Mutex.unlock t.mutex
-    else begin
-      (* Missing entirely, or posted but still in flight: sleep toward the
-         earliest of its arrival, the timeout, and the poll period. *)
-      let head_arrival =
-        match Queue.peek_opt (queue_of t req.rkey) with
-        | Some msg -> msg.arrival
-        | None -> infinity
-      in
-      Mutex.unlock t.mutex;
-      let t_now = now () in
-      if t_now >= deadline && head_arrival = infinity then begin
-        let { src; dst; tag } = req.rkey in
-        Mutex.lock t.mutex;
-        let backlog = backlog_of t in
-        Mutex.unlock t.mutex;
-        raise
-          (Deadlock
-             { src; dst; tag; waited_s = t_now +. timeout_s -. deadline; backlog })
-      end;
-      let nap = Float.min (Float.max (head_arrival -. t_now) 2e-4) 2e-3 in
-      Unix.sleepf nap;
-      poll ()
-    end
-  in
-  poll ();
+(* A blocked receive re-polls its channel at a fine interval (the OCaml
+   stdlib has no timed condition wait) both to observe late sends from
+   other domains and to enforce the deadlock timeout. The poll period only
+   bounds the timeout's resolution: a message that is already queued
+   completes on the first probe — without ever reading the clock for the
+   deadline — and a queued-but-in-flight message completes exactly at its
+   arrival time via one sleep. *)
+let wait_chan ?(timeout_s = 1.0) t ~dst ch =
+  let first = take_now ch in
+  if first != no_msg then first
+  else begin
+    let start = now () in
+    let deadline = start +. timeout_s in
+    let rec poll () =
+      let payload = take_now ch in
+      if payload != no_msg then payload
+      else begin
+        (* Missing entirely, or posted but still in flight: sleep toward
+           the earliest of its arrival, the timeout, and the poll
+           period. *)
+        let ha = head_arrival ch in
+        let t_now = now () in
+        if t_now >= deadline && ha = infinity then
+          raise
+            (Deadlock
+               {
+                 src = ch.c_src;
+                 dst;
+                 tag = ch.c_tag;
+                 waited_s = t_now -. start;
+                 backlog = backlog_of t;
+               });
+        let nap = Float.min (Float.max (ha -. t_now) 2e-4) 2e-3 in
+        Unix.sleepf nap;
+        poll ()
+      end
+    in
+    poll ()
+  end
+
+let wait ?timeout_s t req =
   match req.completed with
-  | Some msg -> msg.payload
-  | None -> assert false
+  | Some payload -> payload
+  | None ->
+      let payload = wait_chan ?timeout_s t ~dst:req.r_dst req.r_ch in
+      req.completed <- Some payload;
+      payload
+
+(* --- persistent endpoints --- *)
+
+let send_port t ~src ~dst ~tag =
+  check_rank t src "send_port";
+  check_rank t dst "send_port";
+  { po_t = t; po_ch = chan_of t t.mailboxes.(dst) ~src ~tag }
+
+let port_send ?now port payload =
+  chan_push port.po_ch payload (arrival_of ?now port.po_t (Bytes.length payload))
+
+let recv_slot t ~dst ~src ~tag =
+  check_rank t src "recv_slot";
+  check_rank t dst "recv_slot";
+  { sl_t = t; sl_dst = dst; sl_ch = chan_of t t.mailboxes.(dst) ~src ~tag }
+
+let slot_test slot =
+  let payload = take_now slot.sl_ch in
+  if payload == no_msg then None else Some payload
+
+let slot_wait ?timeout_s slot =
+  wait_chan ?timeout_s slot.sl_t ~dst:slot.sl_dst slot.sl_ch
 
 (* Driver-side collective: rank-gather to root, deterministic tree fold,
    broadcast back. Every hop is a real mailbox message — 8-byte payloads
@@ -189,7 +400,7 @@ let allreduce t ~tag ~combine partials =
     in
     let value b = Int64.float_of_bits (Bytes.get_int64_le b 0) in
     for r = 1 to n - 1 do
-      isend t ~src:r ~dst:0 ~tag (payload partials.(r))
+      isend_owned t ~src:r ~dst:0 ~tag (payload partials.(r))
     done;
     let gathered = Array.make n 0.0 in
     gathered.(0) <- partials.(0);
@@ -198,7 +409,7 @@ let allreduce t ~tag ~combine partials =
     done;
     let result = Msc_ir.Reduce.tree_combine combine gathered in
     for r = 1 to n - 1 do
-      isend t ~src:0 ~dst:r ~tag (payload result)
+      isend_owned t ~src:0 ~dst:r ~tag (payload result)
     done;
     let out = ref result in
     for r = 1 to n - 1 do
@@ -209,29 +420,26 @@ let allreduce t ~tag ~combine partials =
     !out
   end
 
-let pending_messages t =
-  Mutex.lock t.mutex;
-  let n = t.pending in
-  Mutex.unlock t.mutex;
-  n
+(* Live totals derived from the channels. Exact whenever the ranks are
+   quiescent (between engine phases / timesteps — where every caller
+   reads them); mid-exchange reads are a best-effort snapshot. *)
+let sum_chans t f =
+  let acc = ref 0 in
+  Array.iter
+    (fun mb -> Imap.iter (fun _ ch -> acc := !acc + f ch) (Atomic.get mb.channels))
+    t.mailboxes;
+  !acc
 
-let messages_sent t =
-  Mutex.lock t.mutex;
-  let n = t.messages_sent in
-  Mutex.unlock t.mutex;
-  n
-
-let bytes_sent t =
-  Mutex.lock t.mutex;
-  let n = t.bytes_sent in
-  Mutex.unlock t.mutex;
-  n
+let live_messages t = sum_chans t (fun ch -> Atomic.get ch.produced)
+let live_bytes t = sum_chans t (fun ch -> ch.p_bytes)
+let live_pending t = sum_chans t (fun ch -> Atomic.get ch.produced - ch.consumed)
+let messages_sent t = live_messages t - t.base_messages
+let bytes_sent t = live_bytes t - t.base_bytes
+let pending_messages t = live_pending t - t.base_pending
 
 let reset_counters t =
-  Mutex.lock t.mutex;
-  t.messages_sent <- 0;
-  t.bytes_sent <- 0;
+  t.base_messages <- live_messages t;
+  t.base_bytes <- live_bytes t;
   (* [pending] too: a stale in-flight count from an aborted exchange must
      not leak into the next benchmark repetition's accounting. *)
-  t.pending <- 0;
-  Mutex.unlock t.mutex
+  t.base_pending <- live_pending t

@@ -1,12 +1,26 @@
 (** Deterministic message-passing simulator with MPI-like semantics.
 
     All ranks live in one process; messages are real byte buffers moved
-    through tag-matched FIFO queues, so pack/unpack and matching logic are
-    genuinely exercised. The mailbox is mutex-guarded and every operation is
-    domain-safe, so the distributed runtime can drive ranks concurrently
-    over a {!Msc_util.Domain_pool}: every rank posts its [isend]s, computes
-    while the messages are in flight, and completes its [irecv]s afterwards
-    — the non-blocking overlapped halo-exchange pattern of §4.4.
+    through tag-matched FIFO channels, so pack/unpack and matching logic
+    are genuinely exercised. Each rank owns a private mailbox of
+    per-(src, tag) channels: matching is one int-keyed lookup in a
+    lock-free (CAS-swapped immutable) table, each channel is a
+    single-producer/single-consumer chunked ring published through one
+    atomic counter, and ring cells are reused across steps — no mutex
+    anywhere on the data path, so thousands of simulated ranks exchange
+    halos in milliseconds of host time.
+
+    Concurrency contract: distinct channels are fully independent, and a
+    given (src, dst, tag) channel must have at most one concurrent sender
+    and one concurrent receiver. That is exactly the distributed runtime's
+    execution model — rank [src]'s sends issue from the domain currently
+    running that rank, rank [dst]'s receives from the domain running
+    [dst], and pool barriers between engine phases order any migration of
+    ranks across domains — so the runtime can drive ranks concurrently
+    over a {!Msc_util.Domain_pool}: every rank posts its [isend]s,
+    computes while the messages are in flight, and completes its [irecv]s
+    afterwards — the non-blocking overlapped halo-exchange pattern of
+    §4.4.
 
     With a {!Netmodel} attached, each message additionally carries a
     simulated in-flight latency ({!Netmodel.message_time}): [wait] blocks
@@ -41,10 +55,24 @@ val create : ?net:Netmodel.t -> nranks:int -> unit -> t
 
 val nranks : t -> int
 
-val isend : t -> src:int -> dst:int -> tag:int -> Bytes.t -> unit
+val isend : ?now:float -> t -> src:int -> dst:int -> tag:int -> Bytes.t -> unit
 (** Asynchronous send: enqueues a copy of the payload, stamped with its
-    simulated arrival time. Never blocks.
+    simulated arrival time. Never blocks. [?now] supplies the post
+    timestamp for the arrival stamp (see {!clock}) so a batch of sends
+    reads the wall clock once; ignored when delivery is instantaneous.
     @raise Invalid_argument on out-of-range ranks. *)
+
+val isend_owned :
+  ?now:float -> t -> src:int -> dst:int -> tag:int -> Bytes.t -> unit
+(** Like {!isend} but transfers ownership of the payload instead of
+    copying it: the caller must not mutate the buffer afterwards. The
+    fast path for freshly packed halo slabs. *)
+
+val clock : t -> float option
+(** [Some now] when sends currently need a wall-clock stamp (a network
+    model is attached and {!Netmodel.sim_latency_scale} is non-zero),
+    [None] when messages would be stamped instantaneous anyway. Read it
+    once per send batch and thread it through [?now]. *)
 
 val irecv : t -> dst:int -> src:int -> tag:int -> request
 (** Post a receive; completion happens at {!test} or {!wait}. *)
@@ -75,6 +103,39 @@ val allreduce :
     return [partials.(0)] without traffic. Drive it from one domain (the
     stepping driver), like the engine protocols.
     @raise Invalid_argument unless [Array.length partials = nranks]. *)
+
+(** {1 Persistent endpoints (preallocated request slots)}
+
+    The persistent-request idiom for steady-state exchange patterns: the
+    channel for a fixed (src, dst, tag) is resolved once and every
+    subsequent post or completion is O(1) with zero allocation beyond the
+    payload. The scaling bench drives a 4096-rank exchange through these. *)
+
+type port
+(** A persistent send endpoint for one (src, dst, tag). *)
+
+type slot
+(** A persistent receive endpoint for one (src, dst, tag). Unlike
+    {!request} it is not one-shot: each {!slot_wait} / successful
+    {!slot_test} claims the channel's next message in FIFO order. *)
+
+val send_port : t -> src:int -> dst:int -> tag:int -> port
+(** @raise Invalid_argument on out-of-range ranks. *)
+
+val port_send : ?now:float -> port -> Bytes.t -> unit
+(** {!isend_owned} through a resolved endpoint: ownership transfer, no
+    per-message lookup. *)
+
+val recv_slot : t -> dst:int -> src:int -> tag:int -> slot
+(** @raise Invalid_argument on out-of-range ranks. *)
+
+val slot_test : slot -> Bytes.t option
+(** Claim the next message if one has arrived (simulated latency
+    included); [None] otherwise. *)
+
+val slot_wait : ?timeout_s:float -> slot -> Bytes.t
+(** Claim the next message, blocking like {!wait} (same {!Deadlock}
+    behaviour on timeout). *)
 
 val pending_messages : t -> int
 (** Sent-but-unreceived messages (should be 0 between timesteps). *)

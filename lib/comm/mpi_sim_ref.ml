@@ -1,0 +1,245 @@
+(* The pre-refactor mailbox: one global mutex over a hashtable of
+   per-(src, dst, tag) queues, a fresh key record and message cell per
+   send, and an unconditional payload copy + wall-clock stamp on every
+   post. Retained verbatim as the baseline the per-rank O(1) mailbox of
+   {!Mpi_sim} is benchmarked against (the `scaling.mailbox` entry of
+   BENCH_runtime.json) and property-tested for behavioural parity. Not
+   used by any engine. *)
+
+type key = { src : int; dst : int; tag : int }
+
+(* A message in flight: the payload plus the absolute time it "arrives" at
+   the receiver (post time + the network model's per-message latency).
+   [neg_infinity] when the simulator has no network model: delivery is
+   instantaneous, as the original lockstep simulator behaved. *)
+type message = { payload : Bytes.t; arrival : float }
+
+type t = {
+  nranks : int;
+  mutex : Mutex.t;
+  queues : (key, message Queue.t) Hashtbl.t;
+  net : Netmodel.t option;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable pending : int;
+}
+
+(* A posted receive. Completion is one-shot and independent of other
+   requests: [try_complete]/[wait] dequeue the matching message into
+   [completed], after which further probes are pure reads. *)
+type request = { rkey : key; mutable completed : message option }
+
+exception
+  Deadlock of {
+    src : int;
+    dst : int;
+    tag : int;
+    waited_s : float;
+    backlog : (int * int * int * int) list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock { src; dst; tag; waited_s; backlog } ->
+        let pending =
+          match backlog with
+          | [] -> "no messages pending anywhere"
+          | qs ->
+              String.concat "; "
+                (List.map
+                   (fun (s, d, tg, n) ->
+                     Printf.sprintf "src=%d dst=%d tag=%d: %d queued" s d tg n)
+                   qs)
+        in
+        Some
+          (Printf.sprintf
+             "Mpi_sim.Deadlock: no message for src=%d dst=%d tag=%d after \
+              %.3f s (%s)"
+             src dst tag waited_s pending)
+    | _ -> None)
+
+let now () = Unix.gettimeofday ()
+
+let create ?net ~nranks () =
+  if nranks < 1 then invalid_arg "Mpi_sim.create: need at least one rank";
+  {
+    nranks;
+    mutex = Mutex.create ();
+    queues = Hashtbl.create 64;
+    net;
+    messages_sent = 0;
+    bytes_sent = 0;
+    pending = 0;
+  }
+
+let nranks t = t.nranks
+
+let check_rank t r name =
+  if r < 0 || r >= t.nranks then
+    invalid_arg (Printf.sprintf "Mpi_sim.%s: rank %d out of [0,%d)" name r t.nranks)
+
+(* Callers must hold [t.mutex]. *)
+let queue_of t key =
+  match Hashtbl.find_opt t.queues key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queues key q;
+      q
+
+let isend t ~src ~dst ~tag payload =
+  check_rank t src "isend";
+  check_rank t dst "isend";
+  let arrival =
+    match t.net with
+    | None -> neg_infinity
+    | Some net ->
+        now ()
+        +. Netmodel.sim_latency_scale ()
+           *. Netmodel.message_time net ~nranks:t.nranks ~bytes:(Bytes.length payload)
+  in
+  Mutex.lock t.mutex;
+  Queue.push { payload = Bytes.copy payload; arrival } (queue_of t { src; dst; tag });
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + Bytes.length payload;
+  t.pending <- t.pending + 1;
+  Mutex.unlock t.mutex
+
+let irecv t ~dst ~src ~tag =
+  check_rank t src "irecv";
+  check_rank t dst "irecv";
+  { rkey = { src; dst; tag }; completed = None }
+
+(* Dequeue the request's message if it has been posted AND its simulated
+   arrival time has passed; callers must hold [t.mutex]. *)
+let try_take t req =
+  match req.completed with
+  | Some _ -> true
+  | None -> (
+      let q = queue_of t req.rkey in
+      match Queue.peek_opt q with
+      | Some msg when msg.arrival <= now () ->
+          ignore (Queue.pop q);
+          t.pending <- t.pending - 1;
+          req.completed <- Some msg;
+          true
+      | Some _ | None -> false)
+
+let test t req =
+  Mutex.lock t.mutex;
+  let done_ = try_take t req in
+  Mutex.unlock t.mutex;
+  done_
+
+let backlog_of t =
+  Hashtbl.fold
+    (fun k q acc ->
+      if Queue.is_empty q then acc else (k.src, k.dst, k.tag, Queue.length q) :: acc)
+    t.queues []
+  |> List.sort compare
+
+(* The mailbox is mutex-guarded; a blocked [wait] re-polls it at a fine
+   interval (the OCaml stdlib has no timed condition wait) both to observe
+   late sends from other domains and to enforce the deadlock timeout. The
+   poll period only bounds the timeout's resolution: a message that is
+   already queued completes on the first iteration, and a queued-but-in-
+   flight message completes exactly at its arrival time via one sleep. *)
+let wait ?(timeout_s = 1.0) t req =
+  let deadline = now () +. timeout_s in
+  let rec poll () =
+    Mutex.lock t.mutex;
+    if try_take t req then Mutex.unlock t.mutex
+    else begin
+      (* Missing entirely, or posted but still in flight: sleep toward the
+         earliest of its arrival, the timeout, and the poll period. *)
+      let head_arrival =
+        match Queue.peek_opt (queue_of t req.rkey) with
+        | Some msg -> msg.arrival
+        | None -> infinity
+      in
+      Mutex.unlock t.mutex;
+      let t_now = now () in
+      if t_now >= deadline && head_arrival = infinity then begin
+        let { src; dst; tag } = req.rkey in
+        Mutex.lock t.mutex;
+        let backlog = backlog_of t in
+        Mutex.unlock t.mutex;
+        raise
+          (Deadlock
+             { src; dst; tag; waited_s = t_now +. timeout_s -. deadline; backlog })
+      end;
+      let nap = Float.min (Float.max (head_arrival -. t_now) 2e-4) 2e-3 in
+      Unix.sleepf nap;
+      poll ()
+    end
+  in
+  poll ();
+  match req.completed with
+  | Some msg -> msg.payload
+  | None -> assert false
+
+(* Driver-side collective: rank-gather to root, deterministic tree fold,
+   broadcast back. Every hop is a real mailbox message — 8-byte payloads
+   carrying exact float bits — so traffic counters and simulated latency
+   account for solver reductions exactly like halo slabs. The fold runs
+   over the *rank-indexed* gather array with Reduce.tree_combine, never
+   over arrival order, so the result is bit-stable. *)
+let allreduce t ~tag ~combine partials =
+  let n = nranks t in
+  if Array.length partials <> n then
+    invalid_arg "Mpi_sim.allreduce: need exactly one partial per rank";
+  if n = 1 then partials.(0)
+  else begin
+    let payload v =
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+      b
+    in
+    let value b = Int64.float_of_bits (Bytes.get_int64_le b 0) in
+    for r = 1 to n - 1 do
+      isend t ~src:r ~dst:0 ~tag (payload partials.(r))
+    done;
+    let gathered = Array.make n 0.0 in
+    gathered.(0) <- partials.(0);
+    for r = 1 to n - 1 do
+      gathered.(r) <- value (wait t (irecv t ~dst:0 ~src:r ~tag))
+    done;
+    let result = Msc_ir.Reduce.tree_combine combine gathered in
+    for r = 1 to n - 1 do
+      isend t ~src:0 ~dst:r ~tag (payload result)
+    done;
+    let out = ref result in
+    for r = 1 to n - 1 do
+      (* Every rank decodes the same broadcast bits; the last decode is
+         returned (they are all equal by construction). *)
+      out := value (wait t (irecv t ~dst:r ~src:0 ~tag))
+    done;
+    !out
+  end
+
+let pending_messages t =
+  Mutex.lock t.mutex;
+  let n = t.pending in
+  Mutex.unlock t.mutex;
+  n
+
+let messages_sent t =
+  Mutex.lock t.mutex;
+  let n = t.messages_sent in
+  Mutex.unlock t.mutex;
+  n
+
+let bytes_sent t =
+  Mutex.lock t.mutex;
+  let n = t.bytes_sent in
+  Mutex.unlock t.mutex;
+  n
+
+let reset_counters t =
+  Mutex.lock t.mutex;
+  t.messages_sent <- 0;
+  t.bytes_sent <- 0;
+  (* [pending] too: a stale in-flight count from an aborted exchange must
+     not leak into the next benchmark repetition's accounting. *)
+  t.pending <- 0;
+  Mutex.unlock t.mutex

@@ -17,6 +17,11 @@ type point = {
 
 let cores_per_rank = function Sunway -> 65 | Tianhe3 -> 32
 
+(* One MPI rank per core group / cluster: a TaihuLight node carries 4 CGs,
+   a Tianhe-3 prototype blade 8 MT-3000 clusters. Faces between ranks of
+   the same node never touch the interconnect. *)
+let ranks_per_node = function Sunway -> 4 | Tianhe3 -> 8
+
 let network = function
   | Sunway -> Netmodel.sunway_taihulight
   | Tianhe3 -> Netmodel.tianhe3_prototype
@@ -80,10 +85,12 @@ let allreduce_time ?(bytes = 8) platform ~ranks =
   Netmodel.allreduce_time (network platform) ~nranks:ranks ~bytes
 
 let comm_time ?(depth = 1) ?(time_window = 1) ?(allreduces_per_step = 0)
-    platform ~ranks ~sub_grid ~radius ~elem ~faces_only =
+    ?ranks_per_node:(rpn = 1) platform ~ranks ~sub_grid ~radius ~elem
+    ~faces_only =
   if depth < 1 then invalid_arg "Scaling.comm_time: depth must be >= 1";
   if allreduces_per_step < 0 then
     invalid_arg "Scaling.comm_time: allreduces_per_step must be >= 0";
+  if rpn < 1 then invalid_arg "Scaling.comm_time: ranks_per_node must be >= 1";
   let nd = Array.length sub_grid in
   (* The directions the engine actually exchanges: faces for star stencils,
      all 3^nd - 1 offsets (edges and corners included) for box stencils —
@@ -105,35 +112,74 @@ let comm_time ?(depth = 1) ?(time_window = 1) ?(allreduces_per_step = 0)
       dir;
     !elems * elem * time_window
   in
-  let total_bytes = List.fold_left (fun acc d -> acc + slab_bytes d) 0 dirs in
-  (* Faces carry essentially all the volume, so the switch-contention regime
-     is set by their size — not by the byte-average that a box stencil's
-     8-byte corner messages would drag down. Congestion is evaluated at the
-     mean face size; every message (corners included) pays the contended
-     setup cost, and the payload streams at link bandwidth. For star
-     stencils this is exactly {!Netmodel.exchange_time}. *)
-  let faces =
-    List.filter
-      (fun dir ->
-        Array.fold_left (fun n o -> if o <> 0 then n + 1 else n) 0 dir = 1)
-      dirs
-  in
-  let face_bytes = List.fold_left (fun acc d -> acc + slab_bytes d) 0 faces in
-  let mean_face_bytes =
-    float_of_int face_bytes /. float_of_int (List.length faces)
-  in
   let net = network platform in
-  let congestion =
-    net.Netmodel.congestion_at ~nranks:ranks ~messages_per_rank
-      ~bytes_per_message:mean_face_bytes
+  (* Every message pays the contended setup cost at its own true size —
+     a box stencil's 8-byte corners congest the small-message-hostile
+     Tianhe-3 interconnect hardest, exactly the regime the mean-face
+     approximation used to smooth away — and the payload streams at link
+     bandwidth. *)
+  let price (m : Netmodel.t) ~nranks bytes =
+    (m.Netmodel.alpha_s
+    *. m.Netmodel.congestion_at ~nranks ~messages_per_rank
+         ~bytes_per_message:(float_of_int bytes))
+    +. (float_of_int bytes /. (m.Netmodel.beta_gbs *. 1e9))
+  in
+  let exchange =
+    if rpn <= 1 then
+      List.fold_left (fun acc dir -> acc +. price net ~nranks:ranks (slab_bytes dir)) 0.0 dirs
+    else if ranks <= rpn then
+      (* The whole job fits one node: every face is a shared-memory copy,
+         the interconnect is never touched. *)
+      List.fold_left
+        (fun acc dir ->
+          acc +. price Netmodel.shared_memory ~nranks:ranks (slab_bytes dir))
+        0.0 dirs
+    else begin
+      (* Hierarchical two-level pricing. The rank grid splits into node
+         blocks of [core] ranks ({!Decomp.core_shape} of the balanced
+         rank-grid shape); a direction leaves the node only when the step
+         crosses a core-block boundary along every non-zero axis with
+         probability 1/core.(d), so
+           P(off-node) = 1 - prod_{d : dir_d <> 0} (1 - 1/core.(d)).
+         On-node faces are shared-memory copies. Off-node traffic is
+         aggregated per node and direction — the runtime packs every
+         crossing rank's slab into one message per neighbouring node, the
+         paper's corner/edge aggregation — so the interconnect sees
+         [nnodes] endpoints exchanging few large messages, and every rank
+         of the node waits out its node's aggregate exchange. *)
+      let core =
+        Decomp.core_shape ~ranks_shape:(Decomp.auto_shape ~nranks:ranks ~ndim:nd)
+          ~ranks_per_node:rpn
+      in
+      let in_node = Array.fold_left ( * ) 1 core in
+      let nnodes = max 1 (ranks / in_node) in
+      let shm = Netmodel.shared_memory in
+      List.fold_left
+        (fun acc dir ->
+          let bytes = slab_bytes dir in
+          let p_off = ref 1.0 in
+          Array.iteri
+            (fun d o ->
+              if o <> 0 then
+                p_off := !p_off *. (1.0 -. (1.0 /. float_of_int core.(d))))
+            dir;
+          let p_off = 1.0 -. !p_off in
+          let intra = (1.0 -. p_off) *. price shm ~nranks:in_node bytes in
+          let agg_bytes =
+            int_of_float (ceil (p_off *. float_of_int (in_node * bytes)))
+          in
+          let inter =
+            if agg_bytes = 0 then 0.0 else price net ~nranks:nnodes agg_bytes
+          in
+          acc +. intra +. inter)
+        0.0 dirs
+    end
   in
   (* One deep exchange feeds [depth] timesteps, so the per-step cost is the
      block's exchange amortised over the block. Solver-style allreduces are
      per true timestep — convergence tests cannot be amortised away by
      temporal blocking — so they add on top, outside the [depth] divide. *)
-  (((float_of_int messages_per_rank *. net.Netmodel.alpha_s *. congestion)
-   +. (float_of_int total_bytes /. (net.Netmodel.beta_gbs *. 1e9)))
-  /. float_of_int depth)
+  (exchange /. float_of_int depth)
   +. (float_of_int allreduces_per_step
      *. Netmodel.allreduce_time net ~nranks:ranks ~bytes:8)
 
@@ -213,3 +259,102 @@ let speedup_vs_first = function
   | first :: _ as points ->
       let last = List.nth points (List.length points - 1) in
       last.gflops /. first.gflops
+
+type eff_point = {
+  e_ranks : int;
+  e_grid : int array;
+  e_sub : int array;
+  e_depth : int;
+  e_compute_s : float;
+  e_comm_s : float;
+  e_time_s : float;
+  e_efficiency : float;
+}
+
+let efficiency_curve ?(depth = 1) ?ranks_per_node:rpn platform ~make_stencil
+    ~mode ~base ~ladder =
+  if depth < 1 then
+    invalid_arg "Scaling.efficiency_curve: depth must be >= 1";
+  let rpn = match rpn with Some n -> n | None -> ranks_per_node platform in
+  let nd = Array.length base in
+  (* The node simulators dominate the curve's cost; a weak-scaling ladder
+     reuses one sub-grid for every point, so memoise per sub-grid. *)
+  let memo = Hashtbl.create 8 in
+  let compute_of sub =
+    let key = Array.to_list sub in
+    match Hashtbl.find_opt memo key with
+    | Some t -> t
+    | None ->
+        let t = node_compute_time platform (make_stencil sub) in
+        Hashtbl.add memo key t;
+        t
+  in
+  let points =
+    List.map
+      (fun n ->
+        let grid = Decomp.auto_shape ~nranks:n ~ndim:nd in
+        let sub =
+          match mode with
+          | `Strong -> Array.map2 (fun g p -> max 1 (g / p)) base grid
+          | `Weak -> Array.copy base
+        in
+        let st = make_stencil sub in
+        let radius = Stencil.radius st in
+        let elem = Dtype.size_bytes st.Stencil.grid.Tensor.dtype in
+        (* Geometry caps the temporal depth: a block deeper than the
+           sub-grid's thinnest extent over its radius would read past the
+           neighbour's neighbour. *)
+        let d_eff =
+          let cap = ref depth in
+          Array.iteri
+            (fun d r -> if r > 0 then cap := min !cap (sub.(d) / r))
+            radius;
+          max 1 !cap
+        in
+        let compute_s =
+          compute_of sub
+          *. temporal_compute_factor ~sub_grid:sub ~radius ~depth:d_eff
+        in
+        let comm_s =
+          comm_time ~depth:d_eff ~ranks_per_node:rpn platform ~ranks:n
+            ~sub_grid:sub ~radius ~elem
+            ~faces_only:(not (Distributed.needs_corners st))
+        in
+        let overlap_residual = 0.5 in
+        let time_s =
+          Float.max compute_s comm_s
+          +. (overlap_residual *. Float.min compute_s comm_s)
+        in
+        {
+          e_ranks = n;
+          e_grid = grid;
+          e_sub = sub;
+          e_depth = d_eff;
+          e_compute_s = compute_s;
+          e_comm_s = comm_s;
+          e_time_s = time_s;
+          e_efficiency = 1.0;
+        })
+      ladder
+  in
+  match points with
+  | [] -> []
+  | first :: _ ->
+      (* Parallel efficiency against the ladder's first point, normalised
+         by the work actually swept: per-core throughput relative to the
+         baseline's. Exact strong scaling gives 1.0 down the column even
+         when the sub-grid division rounds; weak scaling reduces to
+         t_first / t_n. *)
+      let work p =
+        float_of_int p.e_ranks
+        *. float_of_int (Array.fold_left ( * ) 1 p.e_sub)
+      in
+      let base_thr = work first /. first.e_time_s /. float_of_int first.e_ranks in
+      List.map
+        (fun p ->
+          {
+            p with
+            e_efficiency =
+              work p /. p.e_time_s /. float_of_int p.e_ranks /. base_thr;
+          })
+        points

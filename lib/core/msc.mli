@@ -92,6 +92,7 @@ module Sunway = Msc_sunway.Sim
 module Spm = Msc_sunway.Spm
 module Matrix = Msc_matrix.Sim
 module Mpi = Msc_comm.Mpi_sim
+module Mpi_ref = Msc_comm.Mpi_sim_ref
 module Netmodel = Msc_comm.Netmodel
 module Decomp = Msc_comm.Decomp
 module Halo = Msc_comm.Halo

@@ -205,6 +205,52 @@ let tune_paper_setting_converges () =
   in
   check_bool "runs agree within 30%" true (rel < 0.3)
 
+(* --- Scale-out search --- *)
+
+let mpi_candidates_large_rank_counts () =
+  (* The divisor enumeration keeps huge spaces instant and tiny: 2^14 ranks
+     in 3-D is 120 ordered factorisations, not a 16k scan per level. *)
+  let grids = Params.mpi_grid_candidates ~nranks:16384 ~ndim:3 in
+  check_int "3-D factorisations of 2^14" 120 (List.length grids);
+  List.iter
+    (fun g -> check_int "product = nranks" 16384 (Array.fold_left ( * ) 1 g))
+    grids;
+  (* A prime count factorises only trivially: ndim axis choices. *)
+  check_int "prime rank count" 2 (List.length (Params.mpi_grid_candidates ~nranks:8191 ~ndim:2))
+
+let tune_scale_latency_bound_goes_deep () =
+  let make_stencil dims =
+    Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "2d9pt_star")
+  in
+  let best, all =
+    Autotune.tune_scale ~platform:Msc_comm.Scaling.Tianhe3 ~make_stencil
+      ~global:[| 2048; 2048 |] ~nranks:1024 ()
+  in
+  check_bool "joint space searched" true (List.length all >= 20);
+  List.iter
+    (fun (c : Autotune.scale_choice) ->
+      check_int "grid covers ranks" 1024 (Array.fold_left ( * ) 1 c.Autotune.sc_grid))
+    all;
+  check_bool "ranking is best-first" true
+    ((List.hd all).Autotune.sc_time_s = best.Autotune.sc_time_s);
+  (* The campaign's acceptance point: on a latency-bound interconnect at
+     >= 1024 ranks the tuner must leave the naive square depth-1 default —
+     here the Tianhe-3 alpha bill dominates 64x64 sub-grids, so a deep
+     temporal block wins by a wide margin. *)
+  let non_square =
+    Array.exists (fun v -> v <> best.Autotune.sc_grid.(0)) best.Autotune.sc_grid
+  in
+  check_bool "non-default winner" true (non_square || best.Autotune.sc_depth > 1);
+  let default =
+    List.find
+      (fun (c : Autotune.scale_choice) ->
+        c.Autotune.sc_depth = 1
+        && Array.for_all (fun v -> v = c.Autotune.sc_grid.(0)) c.Autotune.sc_grid)
+      all
+  in
+  check_bool "beats the default clearly" true
+    (best.Autotune.sc_time_s *. 2.0 < default.Autotune.sc_time_s)
+
 let suites =
   [
     ( "autotune.params",
@@ -233,6 +279,8 @@ let suites =
         tc "improves" tune_improves;
         tc "deterministic" tune_deterministic_per_seed;
         tc "latency-bound depth" tune_latency_bound_prefers_depth;
+        tc "grid candidates at 16k ranks" mpi_candidates_large_rank_counts;
+        tc "scale tuner leaves default" tune_scale_latency_bound_goes_deep;
         slow "paper setting converges" tune_paper_setting_converges;
       ] );
   ]

@@ -76,6 +76,38 @@ let athread_bundle () =
       "buf_write";
     ]
 
+let athread_body_follows_backend () =
+  (* The fixture has a two-slot time window, i.e. two stencil terms: the
+     default (interpreter) config must accumulate them per term like the
+     runtime's per-term dispatch, a compiled+fused config must sum them in
+     one fused expression like the whole-sweep kernel. *)
+  let _, st, sched = fixture () in
+  let slave_src ?config () =
+    let files = Codegen.generate ?config st sched Codegen.Athread in
+    (List.find (fun f -> contains ~needle:"slave" f.Codegen.name) files)
+      .Codegen.contents
+  in
+  let interp = slave_src () in
+  check_bool "interp accumulates per term" true (contains ~needle:"] += (ELEM)(" interp);
+  let fused =
+    slave_src
+      ~config:
+        (Msc_exec.Exec.Config.make ~backend:Msc_exec.Backend.Compiled_c
+           ~fuse:true ())
+      ()
+  in
+  check_bool "fused body has no accumulation" false (contains ~needle:"] += (ELEM)(" fused);
+  check_bool "fused braces balanced" true (balanced_braces fused);
+  (* Fusion off on a compiled backend degrades to per-term accumulation. *)
+  let unfused =
+    slave_src
+      ~config:
+        (Msc_exec.Exec.Config.make ~backend:Msc_exec.Backend.Compiled_c
+           ~fuse:false ())
+      ()
+  in
+  check_bool "no-fuse accumulates per term" true (contains ~needle:"] += (ELEM)(" unfused)
+
 let athread_spm_guard () =
   (* A tile whose window buffers exceed 64 KB must be rejected. *)
   let grid = Msc_frontend.Builder.def_tensor_3d ~time_window:2 ~halo:1 "B" Msc_ir.Dtype.F64 64 64 64 in
@@ -166,6 +198,7 @@ let suites =
         tc "openmp pragma" openmp_has_pragma;
         tc "cpu pragma-free" cpu_has_no_pragma;
         tc "athread bundle" athread_bundle;
+        tc "athread body follows backend" athread_body_follows_backend;
         tc "athread SPM guard" athread_spm_guard;
         tc "makefiles" makefiles;
         tc "loc positive" loc_positive;

@@ -4,6 +4,7 @@
 
 open Helpers
 module Mpi = Msc_comm.Mpi_sim
+module Mpi_ref = Msc_comm.Mpi_sim_ref
 module Decomp = Msc_comm.Decomp
 module Halo = Msc_comm.Halo
 module Distributed = Msc_comm.Distributed
@@ -157,6 +158,39 @@ let mpi_rank_bounds () =
     (try Mpi.isend mpi ~src:0 ~dst:2 ~tag:0 Bytes.empty; false
      with Invalid_argument _ -> true)
 
+(* Property: the mailbox rewrite of [Mpi_sim] is behaviourally identical to
+   the retained reference implementation — random send batches drained in
+   send order deliver the same payloads (FIFO per (src, dst, tag)) and the
+   same counters on both. *)
+let mpi_parity_with_reference_property =
+  qc ~count:80 "mailbox Mpi_sim == reference Mpi_sim_ref"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 40)
+        (quad (int_range 0 3) (int_range 0 3) (int_range 0 2) (int_range 0 255)))
+    (fun msgs ->
+      let a = Mpi.create ~nranks:4 () in
+      let b = Mpi_ref.create ~nranks:4 () in
+      List.iteri
+        (fun i (src, dst, tag, byte) ->
+          let payload = Printf.sprintf "%d:%d" byte i in
+          Mpi.isend a ~src ~dst ~tag (Bytes.of_string payload);
+          Mpi_ref.isend b ~src ~dst ~tag (Bytes.of_string payload))
+        msgs;
+      Mpi.pending_messages a = Mpi_ref.pending_messages b
+      && Mpi.messages_sent a = Mpi_ref.messages_sent b
+      && Mpi.bytes_sent a = Mpi_ref.bytes_sent b
+      && List.for_all
+           (fun (src, dst, tag, _) ->
+             let pa = Bytes.to_string (Mpi.wait a (Mpi.irecv a ~dst ~src ~tag)) in
+             let pb =
+               Bytes.to_string (Mpi_ref.wait b (Mpi_ref.irecv b ~dst ~src ~tag))
+             in
+             String.equal pa pb)
+           msgs
+      && Mpi.pending_messages a = 0
+      && Mpi_ref.pending_messages b = 0)
+
 (* --- Decomp --- *)
 
 let decomp_coords_roundtrip () =
@@ -238,6 +272,73 @@ let decomp_periodic_inverse_property =
       match Decomp.neighbor ~periodic:true d ~rank ~dir with
       | None -> false
       | Some nb -> Decomp.neighbor ~periodic:true d ~rank:nb ~dir:opposite = Some rank)
+
+(* Degenerate and large rank grids: pencils (1xN / Nx1), primes and the
+   64x64 production shape must still partition exactly, keep neighbor
+   symmetry, report a geometry-consistent temporal depth, and tile into
+   node blocks. *)
+let decomp_degenerate_and_large_shapes () =
+  List.iter
+    (fun (ranks_shape, rpn) ->
+      let global = Array.map (fun r -> r * 3) ranks_shape in
+      let d = Decomp.create ~global ~ranks_shape in
+      check_bool "covers globally" true (Decomp.covers_globally d);
+      let ndim = Array.length ranks_shape in
+      List.iter
+        (fun dir ->
+          let opposite = Array.map (fun v -> -v) dir in
+          for rank = 0 to min (d.Decomp.nranks - 1) 255 do
+            match Decomp.neighbor d ~rank ~dir with
+            | None -> ()
+            | Some nb ->
+                if Decomp.neighbor d ~rank:nb ~dir:opposite <> Some rank then
+                  Alcotest.failf "asymmetric neighbor at rank %d" rank
+          done)
+        (Decomp.directions ~ndim ~faces_only:false);
+      let radius = Array.make ndim 1 in
+      let depth = Decomp.max_uniform_depth d ~radius in
+      let min_extent = Decomp.min_extent d in
+      check_bool "depth >= 1" true (depth >= 1);
+      check_bool "depth fits thinnest rank" true
+        (Array.for_all (fun e -> depth <= e) min_extent);
+      let core = Decomp.core_shape ~ranks_shape ~ranks_per_node:rpn in
+      Array.iteri
+        (fun i c ->
+          if ranks_shape.(i) mod c <> 0 then
+            Alcotest.failf "core %d does not divide ranks dim %d" c i)
+        core;
+      check_bool "core within node" true (Array.fold_left ( * ) 1 core <= rpn))
+    [
+      ([| 1; 16 |], 4);
+      ([| 16; 1 |], 4);
+      ([| 7; 1 |], 8);
+      ([| 13; 13 |], 8);
+      ([| 1; 31 |], 4);
+      ([| 64; 64 |], 8);
+    ]
+
+(* Property: random rank shapes, including pencils and primes, always
+   partition the global grid exactly, and a rank's subdomain extents never
+   differ from the floor extent by more than one. *)
+let decomp_shape_partition_property =
+  qc ~count:150 "random rank shapes partition exactly"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 3) (int_range 1 64))
+        (int_range 0 10_000))
+    (fun (dims, rank_seed) ->
+      let ranks_shape = Array.of_list dims in
+      let global = Array.map (fun r -> (r * 2) + 1) ranks_shape in
+      let d = Decomp.create ~global ~ranks_shape in
+      let rank = rank_seed mod d.Decomp.nranks in
+      let _, extent = Decomp.subdomain d ~rank in
+      let floor_extent = Decomp.min_extent d in
+      Decomp.covers_globally d
+      && Array.for_all2
+           (fun e f -> e = f || e = f + 1)
+           extent floor_extent
+      && Decomp.max_uniform_depth d ~radius:(Array.map (fun _ -> 1) ranks_shape)
+         >= 1)
 
 (* --- Halo pack/unpack --- *)
 
@@ -403,6 +504,29 @@ let engines_bit_identical_across_suite () =
         true
         (bulk.Grid.data = over.Grid.data))
     Msc_benchsuite.Suite.all
+
+(* Scale-out criterion: growing the process grid from 2x2 to 4x4 (thin
+   ranks, corner messages everywhere, 16 mailboxes in flight) must leave
+   all three engines bit-identical to each other and to the single-rank
+   reference. *)
+let engines_bit_identical_4x4 () =
+  let _, st = stencil_2d9pt_box ~m:20 ~n:24 () in
+  let run engine =
+    let dist =
+      Distributed.create ~config:(cfg ~engine ()) ~ranks_shape:[| 4; 4 |] st
+    in
+    Distributed.run dist 3;
+    Distributed.gather dist
+  in
+  let bulk = run Distributed.Bulk_synchronous in
+  let over = run Distributed.Overlapped in
+  let temp = run (Distributed.Temporal_blocked { depth = 2 }) in
+  check_bool "overlapped == bulk at 4x4" true (bulk.Grid.data = over.Grid.data);
+  check_bool "temporal(2) == bulk at 4x4" true (bulk.Grid.data = temp.Grid.data);
+  let single = Msc_exec.Runtime.create st in
+  Msc_exec.Runtime.run single 3;
+  check_float "4x4 == single grid" 0.0
+    (Grid.max_rel_error ~reference:(Msc_exec.Runtime.current single) bulk)
 
 let engines_match_single_grid () =
   let _, st = stencil_3d7pt ~n:12 () in
@@ -753,6 +877,101 @@ let scaling_cores_accounting () =
   | [ p ] -> check_int "65 cores per CG" (128 * 65) p.Scaling.cores
   | _ -> Alcotest.fail "one point expected"
 
+let decomp_core_shape_tiles () =
+  let core = Decomp.core_shape ~ranks_shape:[| 64; 64 |] ~ranks_per_node:8 in
+  check_int "core holds the node" 8 (Array.fold_left ( * ) 1 core);
+  Array.iteri
+    (fun d c -> check_int "core tiles the grid" 0 (64 mod c) |> fun () -> ignore d)
+    core;
+  (* A prime node size that divides no extent is dropped, not forced. *)
+  let degenerate = Decomp.core_shape ~ranks_shape:[| 64; 64 |] ~ranks_per_node:7 in
+  Alcotest.(check (array int)) "undividable factors dropped" [| 1; 1 |] degenerate;
+  let d = Decomp.create ~global:[| 256; 256 |] ~ranks_shape:[| 64; 64 |] in
+  let core = Decomp.core_shape ~ranks_shape:[| 64; 64 |] ~ranks_per_node:8 in
+  (* Node ids partition the ranks into equal blocks of the core size. *)
+  let counts = Hashtbl.create 64 in
+  for r = 0 to d.Decomp.nranks - 1 do
+    let n = Decomp.node_of_rank d ~core r in
+    Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n))
+  done;
+  check_int "node count" (4096 / 8) (Hashtbl.length counts);
+  Hashtbl.iter (fun _ c -> check_int "ranks per node" 8 c) counts;
+  check_bool "row neighbours share a node" true (Decomp.same_node d ~core 0 1);
+  check_bool "blocks end" false (Decomp.same_node d ~core 1 2)
+
+let scaling_hier_cheaper_at_scale () =
+  let flat =
+    Scaling.comm_time Scaling.Tianhe3 ~ranks:1024 ~sub_grid:[| 128; 128 |]
+      ~radius:[| 1; 1 |] ~elem:8 ~faces_only:false
+  in
+  let one =
+    Scaling.comm_time ~ranks_per_node:1 Scaling.Tianhe3 ~ranks:1024
+      ~sub_grid:[| 128; 128 |] ~radius:[| 1; 1 |] ~elem:8 ~faces_only:false
+  in
+  check_float "rpn 1 is the flat model" flat one;
+  let hier =
+    Scaling.comm_time
+      ~ranks_per_node:(Scaling.ranks_per_node Scaling.Tianhe3)
+      Scaling.Tianhe3 ~ranks:1024 ~sub_grid:[| 128; 128 |] ~radius:[| 1; 1 |]
+      ~elem:8 ~faces_only:false
+  in
+  (* Aggregation trades 1024 congested endpoints exchanging 8-byte corners
+     for 128 nodes exchanging a few large slabs: the alpha bill collapses. *)
+  check_bool "hierarchical wins at scale" true (hier *. 2.0 < flat);
+  check_bool "rpn validated" true
+    (try
+       ignore
+         (Scaling.comm_time ~ranks_per_node:0 Scaling.Tianhe3 ~ranks:4
+            ~sub_grid:[| 8; 8 |] ~radius:[| 1; 1 |] ~elem:8 ~faces_only:true);
+       false
+     with Invalid_argument _ -> true)
+
+let scaling_efficiency_curve_weak () =
+  let make_stencil dims =
+    Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "2d9pt_star")
+  in
+  let pts =
+    Scaling.efficiency_curve Scaling.Sunway ~make_stencil ~mode:`Weak
+      ~base:[| 64; 64 |] ~ladder:[ 16; 64; 256 ]
+  in
+  check_int "one point per rung" 3 (List.length pts);
+  let first = List.hd pts in
+  check_float "baseline efficiency" 1.0 first.Scaling.e_efficiency;
+  List.iter
+    (fun (p : Scaling.eff_point) ->
+      check_int "grid covers the ranks" p.Scaling.e_ranks
+        (Array.fold_left ( * ) 1 p.Scaling.e_grid);
+      Alcotest.(check (array int)) "weak sub-grid constant" [| 64; 64 |] p.Scaling.e_sub;
+      check_bool "efficiency sane" true
+        (p.Scaling.e_efficiency > 0.5 && p.Scaling.e_efficiency <= 1.0 +. 1e-9))
+    pts
+
+let scaling_efficiency_curve_strong_depth () =
+  let make_stencil dims =
+    Msc_benchsuite.Suite.stencil ~dims (Msc_benchsuite.Suite.find "2d9pt_star")
+  in
+  let pts =
+    Scaling.efficiency_curve ~depth:16 Scaling.Tianhe3 ~make_stencil
+      ~mode:`Strong ~base:[| 512; 512 |] ~ladder:[ 16; 256 ]
+  in
+  (match pts with
+  | [ p16; p256 ] ->
+      Alcotest.(check (array int)) "strong sub shrinks" [| 128; 128 |] p16.Scaling.e_sub;
+      Alcotest.(check (array int)) "strong sub shrinks more" [| 32; 32 |]
+        p256.Scaling.e_sub;
+      (* radius 1, thinnest extent 128 / 32: the requested depth fits. *)
+      check_int "depth honoured" 16 p16.Scaling.e_depth;
+      check_int "depth honoured at scale" 16 p256.Scaling.e_depth;
+      check_bool "strong efficiency positive" true (p256.Scaling.e_efficiency > 0.0)
+  | _ -> Alcotest.fail "two points expected");
+  (* Geometry caps the depth: an 8-wide sub-grid over the star's radius-2
+     reach cannot host more than a 4-deep block. *)
+  let capped =
+    Scaling.efficiency_curve ~depth:16 Scaling.Tianhe3 ~make_stencil ~mode:`Weak
+      ~base:[| 8; 8 |] ~ladder:[ 16 ]
+  in
+  check_int "depth capped by geometry" 4 (List.hd capped).Scaling.e_depth
+
 let suites =
   [
     ( "comm.mpi",
@@ -768,6 +987,7 @@ let suites =
         tc "simulated latency" mpi_simulated_latency;
         tc "harness sleep-free" mpi_harness_sleep_free;
         tc "rank bounds" mpi_rank_bounds;
+        mpi_parity_with_reference_property;
       ] );
     ( "comm.decomp",
       [
@@ -780,7 +1000,9 @@ let suites =
         tc "dir tags unique" decomp_dir_index_unique;
         tc "auto shape" decomp_auto_shape;
         tc "validation" decomp_validation;
+        tc "degenerate and large shapes" decomp_degenerate_and_large_shapes;
         decomp_periodic_inverse_property;
+        decomp_shape_partition_property;
       ] );
     ( "comm.halo",
       [
@@ -805,6 +1027,7 @@ let suites =
     ( "comm.overlapped",
       [
         tc "suite bit-identical across engines" engines_bit_identical_across_suite;
+        tc "tri-engine bit-identical at 4x4" engines_bit_identical_4x4;
         tc "both engines match single grid" engines_match_single_grid;
         tc "periodic exact" overlapped_periodic_exact;
         tc "pool-parallel exact" overlapped_pool_parallel_exact;
@@ -835,5 +1058,9 @@ let suites =
         tc "temporal comm amortised" scaling_temporal_comm_amortised;
         tc "temporal compute factor" scaling_temporal_compute_factor;
         tc "cores accounting" scaling_cores_accounting;
+        tc "core shape tiles" decomp_core_shape_tiles;
+        tc "hier comm cheaper" scaling_hier_cheaper_at_scale;
+        tc "efficiency curve weak" scaling_efficiency_curve_weak;
+        tc "efficiency curve strong+depth" scaling_efficiency_curve_strong_depth;
       ] );
   ]

